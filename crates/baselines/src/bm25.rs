@@ -1,0 +1,204 @@
+//! Okapi BM25 keyword search over data-lake tables (Robertson & Zaragoza).
+//!
+//! Each table is one document: the bag of tokens of its name, column
+//! headers, and cell text. Queries are keyword bags; the paper converts an
+//! entity-tuple query to a *text query* by taking the full text of every
+//! query cell (§7.1), which [`Bm25Index::text_query`] mirrors.
+
+use std::collections::HashMap;
+
+use thetis_datalake::{linking::tokenize, DataLake, TableId};
+
+/// BM25 free parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Bm25Params {
+    /// Term-frequency saturation (`k1`).
+    pub k1: f64,
+    /// Length normalization (`b`).
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Self { k1: 1.2, b: 0.75 }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Posting {
+    table: u32,
+    term_freq: u32,
+}
+
+/// An inverted index with BM25 scoring.
+///
+/// ```
+/// use thetis_baselines::{Bm25Index, Bm25Params};
+/// use thetis_datalake::{CellValue, DataLake, Table};
+///
+/// let mut t = Table::new("players", vec!["name".into()]);
+/// t.push_row(vec![CellValue::Text("Ron Santo".into())]);
+/// let lake = DataLake::from_tables(vec![t]);
+///
+/// let index = Bm25Index::build(&lake, Bm25Params::default());
+/// let hits = index.search(&["santo".into()], 10);
+/// assert_eq!(hits.len(), 1);
+/// ```
+pub struct Bm25Index {
+    params: Bm25Params,
+    postings: HashMap<String, Vec<Posting>>,
+    doc_len: Vec<u32>,
+    avg_doc_len: f64,
+    n_docs: usize,
+}
+
+impl Bm25Index {
+    /// Indexes every table of `lake`.
+    pub fn build(lake: &DataLake, params: Bm25Params) -> Self {
+        let mut postings: HashMap<String, Vec<Posting>> = HashMap::new();
+        let mut doc_len = Vec::with_capacity(lake.len());
+        for (tid, table) in lake.iter() {
+            let mut tf: HashMap<String, u32> = HashMap::new();
+            let mut len = 0u32;
+            let feed = |text: &str, tf: &mut HashMap<String, u32>, len: &mut u32| {
+                for tok in tokenize(text) {
+                    *tf.entry(tok).or_insert(0) += 1;
+                    *len += 1;
+                }
+            };
+            feed(&table.name, &mut tf, &mut len);
+            for col in &table.columns {
+                feed(col, &mut tf, &mut len);
+            }
+            for row in table.rows() {
+                for cell in row {
+                    feed(&cell.text(), &mut tf, &mut len);
+                }
+            }
+            for (term, freq) in tf {
+                postings.entry(term).or_default().push(Posting {
+                    table: tid.0,
+                    term_freq: freq,
+                });
+            }
+            doc_len.push(len);
+        }
+        let n_docs = doc_len.len();
+        let avg_doc_len = if n_docs == 0 {
+            0.0
+        } else {
+            doc_len.iter().map(|&l| l as f64).sum::<f64>() / n_docs as f64
+        };
+        Self {
+            params,
+            postings,
+            doc_len,
+            avg_doc_len,
+            n_docs,
+        }
+    }
+
+    /// Number of indexed tables.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Converts cell texts (e.g. of an entity-tuple query) into keywords.
+    pub fn text_query(cells: &[String]) -> Vec<String> {
+        cells.iter().flat_map(|c| tokenize(c)).collect()
+    }
+
+    /// BM25 scores of all tables matching at least one keyword, descending.
+    pub fn search(&self, keywords: &[String], k: usize) -> Vec<(TableId, f64)> {
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        for term in keywords {
+            let Some(plist) = self.postings.get(term) else {
+                continue;
+            };
+            let df = plist.len() as f64;
+            let idf = (((self.n_docs as f64 - df + 0.5) / (df + 0.5)) + 1.0).ln();
+            for p in plist {
+                let tf = p.term_freq as f64;
+                let len_norm = 1.0 - self.params.b
+                    + self.params.b * self.doc_len[p.table as usize] as f64
+                        / self.avg_doc_len.max(1e-9);
+                let score = idf * (tf * (self.params.k1 + 1.0))
+                    / (tf + self.params.k1 * len_norm);
+                *scores.entry(p.table).or_insert(0.0) += score;
+            }
+        }
+        let mut ranked: Vec<(TableId, f64)> =
+            scores.into_iter().map(|(t, s)| (TableId(t), s)).collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| b.0.cmp(&a.0)));
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thetis_datalake::{CellValue, Table};
+
+    fn lake() -> DataLake {
+        let mk = |name: &str, texts: &[&str]| {
+            let mut t = Table::new(name, vec!["c".into()]);
+            for tx in texts {
+                t.push_row(vec![CellValue::Text((*tx).to_string())]);
+            }
+            t
+        };
+        DataLake::from_tables(vec![
+            mk("baseball", &["Ron Santo", "Chicago Cubs", "Mitch Stetter"]),
+            mk("volleyball", &["Karch Kiraly", "UCLA Bruins"]),
+            mk("mixed", &["Chicago", "Los Angeles", "Chicago Bulls"]),
+        ])
+    }
+
+    #[test]
+    fn exact_keyword_matches_rank_first() {
+        let idx = Bm25Index::build(&lake(), Bm25Params::default());
+        let res = idx.search(&["ron".into(), "santo".into()], 3);
+        assert_eq!(res[0].0, TableId(0));
+        assert_eq!(res.len(), 1); // only one table matches at all
+    }
+
+    #[test]
+    fn rarer_terms_score_higher_than_common_ones() {
+        let idx = Bm25Index::build(&lake(), Bm25Params::default());
+        // "chicago" appears in 2 docs, "santo" in 1: for the baseball table
+        // the rare term contributes more.
+        let r_common = idx.search(&["chicago".into()], 3);
+        let r_rare = idx.search(&["santo".into()], 3);
+        assert_eq!(r_common.len(), 2);
+        let common_score = r_common.iter().find(|&&(t, _)| t == TableId(0)).unwrap().1;
+        assert!(r_rare[0].1 > common_score);
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let idx = Bm25Index::build(&lake(), Bm25Params::default());
+        assert!(idx.search(&["zebra".into()], 10).is_empty());
+    }
+
+    #[test]
+    fn text_query_tokenizes_cells() {
+        let q = Bm25Index::text_query(&["Ron Santo".into(), "Chicago Cubs".into()]);
+        assert_eq!(q, vec!["ron", "santo", "chicago", "cubs"]);
+    }
+
+    #[test]
+    fn k_truncates_results() {
+        let idx = Bm25Index::build(&lake(), Bm25Params::default());
+        let res = idx.search(&["chicago".into()], 1);
+        assert_eq!(res.len(), 1);
+    }
+
+    #[test]
+    fn scoring_is_deterministic_on_ties() {
+        let idx = Bm25Index::build(&lake(), Bm25Params::default());
+        let a = idx.search(&["chicago".into()], 10);
+        let b = idx.search(&["chicago".into()], 10);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,133 @@
+//! Joinability search: the D³L / JOSIE / LSH-Ensemble family stand-in.
+//!
+//! Join search ranks a table by the *syntactic containment* of a query
+//! column's values in one of the table's columns — the signal behind
+//! joinable-table discovery. It finds tables sharing actual values with the
+//! query but is blind to topical relevance without overlap, which is why
+//! the paper measures NDCG ≈ 0.00006 for D³L on semantic ground truth.
+
+use std::collections::HashSet;
+
+use thetis_datalake::{DataLake, TableId};
+use thetis_kg::EntityId;
+
+/// Containment-based join search.
+pub struct JoinSearch<'a> {
+    lake: &'a DataLake,
+}
+
+impl<'a> JoinSearch<'a> {
+    /// Creates a join searcher over `lake`.
+    pub fn new(lake: &'a DataLake) -> Self {
+        Self { lake }
+    }
+
+    /// Scores one table: the best containment of any query column in any
+    /// table column, `max_{q, c} |q ∩ c| / |q|`.
+    pub fn score_table(&self, query_cols: &[Vec<EntityId>], tid: TableId) -> f64 {
+        let table = self.lake.table(tid);
+        let mut best = 0.0f64;
+        for qc in query_cols {
+            if qc.is_empty() {
+                continue;
+            }
+            let qset: HashSet<EntityId> = qc.iter().copied().collect();
+            for c in 0..table.n_cols() {
+                let cset: HashSet<EntityId> = table.entities_in_column(c).collect();
+                if cset.is_empty() {
+                    continue;
+                }
+                let inter = qset.intersection(&cset).count();
+                let containment = inter as f64 / qset.len() as f64;
+                if containment > best {
+                    best = containment;
+                }
+            }
+        }
+        best
+    }
+
+    /// Ranks all tables with non-zero containment, descending.
+    pub fn rank(&self, query_cols: &[Vec<EntityId>], k: usize) -> Vec<(TableId, f64)> {
+        let mut scored: Vec<(TableId, f64)> = self
+            .lake
+            .iter()
+            .map(|(tid, _)| (tid, self.score_table(query_cols, tid)))
+            .filter(|&(_, s)| s > 0.0)
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| b.0.cmp(&a.0)));
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thetis_datalake::{CellValue, Table};
+
+    fn cell(e: u32) -> CellValue {
+        CellValue::LinkedEntity {
+            mention: "m".into(),
+            entity: EntityId(e),
+        }
+    }
+
+    fn lake() -> DataLake {
+        let mut t0 = Table::new("t0", vec!["a".into()]);
+        for e in 0..4 {
+            t0.push_row(vec![cell(e)]);
+        }
+        let mut t1 = Table::new("t1", vec!["a".into()]);
+        for e in 2..6 {
+            t1.push_row(vec![cell(e)]);
+        }
+        let mut t2 = Table::new("t2", vec!["a".into()]);
+        for e in 10..14 {
+            t2.push_row(vec![cell(e)]);
+        }
+        DataLake::from_tables(vec![t0, t1, t2])
+    }
+
+    #[test]
+    fn full_containment_scores_one() {
+        let lake = lake();
+        let js = JoinSearch::new(&lake);
+        let q = vec![vec![EntityId(0), EntityId(1)]];
+        let res = js.rank(&q, 10);
+        assert_eq!(res[0], (TableId(0), 1.0));
+    }
+
+    #[test]
+    fn partial_containment_is_fractional() {
+        let lake = lake();
+        let js = JoinSearch::new(&lake);
+        // {1, 2}: t0 contains both, t1 contains only 2.
+        let q = vec![vec![EntityId(1), EntityId(2)]];
+        let res = js.rank(&q, 10);
+        assert_eq!(res[0], (TableId(0), 1.0));
+        assert_eq!(res[1], (TableId(1), 0.5));
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn semantically_related_but_disjoint_tables_score_zero() {
+        let lake = lake();
+        let js = JoinSearch::new(&lake);
+        // Entities 20.. appear nowhere: join search finds nothing,
+        // no matter how related they might be in the KG.
+        let q = vec![vec![EntityId(20)]];
+        assert!(js.rank(&q, 10).is_empty());
+    }
+
+    #[test]
+    fn best_column_wins_for_multi_column_queries() {
+        let lake = lake();
+        let js = JoinSearch::new(&lake);
+        let q = vec![vec![EntityId(10)], vec![EntityId(0)]];
+        let res = js.rank(&q, 10);
+        // Both t0 (via col 2) and t2 (via col 1) reach containment 1.0.
+        assert_eq!(res.len(), 2);
+        assert!(res.iter().all(|&(_, s)| (s - 1.0).abs() < 1e-12));
+    }
+}

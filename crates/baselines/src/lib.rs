@@ -1,0 +1,26 @@
+//! Baseline table-search methods Thetis is compared against (§7.1).
+//!
+//! Each baseline implements the *decision signal* of its method family,
+//! which is what determines the qualitative shapes the paper reports:
+//!
+//! * [`bm25`] — full Okapi BM25 keyword search over cell text (the paper's
+//!   strongest competitor; finds exact matches, misses the semantic tail).
+//!   Also usable as the naive prefilter the paper rejects in §7.3.
+//! * [`union_search`] — structural table-union search (SANTOS/Starmie
+//!   family): ranks by schema-level column compatibility, which is near
+//!   zero for topical-relevance ground truth.
+//! * [`join_search`] — joinability search (D³L/LSH-Ensemble family): ranks
+//!   by value containment of a query column in a table column.
+//! * [`table_embedding`] — table-level representation search (TURL
+//!   family): one vector per table (mean entity embedding), ranked by
+//!   cosine to the query vector; weak for small entity-tuple queries.
+
+pub mod bm25;
+pub mod join_search;
+pub mod table_embedding;
+pub mod union_search;
+
+pub use bm25::{Bm25Index, Bm25Params};
+pub use join_search::JoinSearch;
+pub use table_embedding::TableEmbeddingSearch;
+pub use union_search::{UnionSearch, UnionVariant};

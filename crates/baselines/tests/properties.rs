@@ -1,0 +1,91 @@
+//! Property-based tests for the baseline searchers.
+
+use proptest::prelude::*;
+use thetis_baselines::{Bm25Index, Bm25Params, JoinSearch};
+use thetis_datalake::{CellValue, DataLake, Table};
+use thetis_kg::EntityId;
+
+fn lake_from_docs(docs: &[Vec<String>]) -> DataLake {
+    let tables = docs
+        .iter()
+        .enumerate()
+        .map(|(i, doc)| {
+            let mut t = Table::new(format!("t{i}"), vec!["c".into()]);
+            for text in doc {
+                t.push_row(vec![CellValue::Text(text.clone())]);
+            }
+            t
+        })
+        .collect();
+    DataLake::from_tables(tables)
+}
+
+proptest! {
+    /// Every table BM25 returns actually contains at least one query token,
+    /// and scores are positive and sorted.
+    #[test]
+    fn bm25_returns_only_matching_tables(
+        docs in proptest::collection::vec(
+            proptest::collection::vec("[a-d]{1,3}( [a-d]{1,3}){0,3}", 1..5),
+            1..6,
+        ),
+        query in proptest::collection::vec("[a-e]{1,3}", 1..4),
+    ) {
+        let lake = lake_from_docs(&docs);
+        let index = Bm25Index::build(&lake, Bm25Params::default());
+        let results = index.search(&query, 100);
+        prop_assert!(results.windows(2).all(|w| w[0].1 >= w[1].1));
+        for (tid, score) in results {
+            prop_assert!(score > 0.0);
+            let table = lake.table(tid);
+            // BM25 indexes cell text plus the table name and column headers.
+            let mut text: String = table
+                .rows()
+                .iter()
+                .flatten()
+                .map(|c| c.text().to_lowercase() + " ")
+                .collect();
+            text.push_str(&table.name.to_lowercase());
+            for col in &table.columns {
+                text.push(' ');
+                text.push_str(&col.to_lowercase());
+            }
+            let hit = query.iter().any(|q| {
+                text.split_whitespace().any(|tok| tok == q.to_lowercase())
+            });
+            prop_assert!(hit, "table {tid:?} contains no query token");
+        }
+    }
+
+    /// Join-search containment is monotone: adding entities to a table can
+    /// never lower its best-containment score for any query.
+    #[test]
+    fn join_containment_is_monotone(
+        base in proptest::collection::btree_set(0u32..10, 1..6),
+        extra in proptest::collection::btree_set(0u32..10, 0..6),
+        query in proptest::collection::btree_set(0u32..10, 1..5),
+    ) {
+        let cell = |e: u32| CellValue::LinkedEntity {
+            mention: format!("e{e}"),
+            entity: EntityId(e),
+        };
+        let mk = |ents: &std::collections::BTreeSet<u32>| {
+            let mut t = Table::new("t", vec!["c".into()]);
+            for &e in ents {
+                t.push_row(vec![cell(e)]);
+            }
+            t
+        };
+        let bigger: std::collections::BTreeSet<u32> =
+            base.union(&extra).copied().collect();
+        let lake_small = DataLake::from_tables(vec![mk(&base)]);
+        let lake_big = DataLake::from_tables(vec![mk(&bigger)]);
+        let q: Vec<Vec<EntityId>> =
+            vec![query.iter().map(|&e| EntityId(e)).collect()];
+        let s_small = JoinSearch::new(&lake_small).score_table(&q, thetis_datalake::TableId(0));
+        let s_big = JoinSearch::new(&lake_big).score_table(&q, thetis_datalake::TableId(0));
+        prop_assert!(s_big >= s_small, "containment dropped: {s_big} < {s_small}");
+        prop_assert!((0.0..=1.0).contains(&s_small));
+        prop_assert!((0.0..=1.0).contains(&s_big));
+    }
+}

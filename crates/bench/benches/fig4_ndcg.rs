@@ -1,0 +1,37 @@
+//! End-to-end search throughput behind Figure 4: one full semantic search
+//! per iteration, brute force, for both σ instantiations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use thetis::prelude::*;
+use thetis_bench::BenchData;
+
+fn bench_search(c: &mut Criterion) {
+    let data = BenchData::build(BenchmarkKind::Wt2015, 0.0008, 4);
+    let graph = &data.bench.kg.graph;
+    let type_engine = ThetisEngine::new(graph, &data.bench.lake, TypeJaccard::new(graph));
+    let emb_engine =
+        ThetisEngine::new(graph, &data.bench.lake, EmbeddingCosine::new(&data.store));
+    let options = SearchOptions {
+        k: 10,
+        threads: 1, // deterministic work per iteration
+        ..SearchOptions::default()
+    };
+
+    let mut group = c.benchmark_group("search_brute_force");
+    group.sample_size(20);
+    for (qname, query) in [
+        ("1-tuple", Query::new(data.bench.queries1[0].tuples.clone())),
+        ("5-tuple", Query::new(data.bench.queries5[0].tuples.clone())),
+    ] {
+        group.bench_with_input(BenchmarkId::new("types", qname), &query, |b, q| {
+            b.iter(|| type_engine.search(std::hint::black_box(q), options))
+        });
+        group.bench_with_input(BenchmarkId::new("embeddings", qname), &query, |b, q| {
+            b.iter(|| emb_engine.search(std::hint::black_box(q), options))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Micro-benchmark of the Hungarian assignment (the dominant cost of
+//! table scoring, §7.3): typical Thetis shapes are tiny (query width ×
+//! table columns), so constant factors matter more than asymptotics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use thetis::core::hungarian::max_assignment;
+
+fn random_matrix(k: usize, n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..k)
+        .map(|_| (0..n).map(|_| rng.random_range(0.0..1.0)).collect())
+        .collect()
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    for (k, n) in [(3, 6), (5, 12), (10, 20), (25, 50)] {
+        let matrix = random_matrix(k, n, 42);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{k}x{n}")),
+            &matrix,
+            |b, m| b.iter(|| max_assignment(std::hint::black_box(m))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hungarian);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! LSEI costs (§6): signature computation, index construction, and the
+//! voting prefilter lookup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use thetis::lsh::hyperplane::RandomHyperplanes;
+use thetis::lsh::lsei::LseiMode;
+use thetis::lsh::minhash::MinHasher;
+use thetis::lsh::shingle::type_pair_shingles;
+use thetis::prelude::*;
+use thetis_bench::BenchData;
+
+fn bench_signatures(c: &mut Criterion) {
+    let data = BenchData::build(BenchmarkKind::Wt2015, 0.0004, 4);
+    let graph = &data.bench.kg.graph;
+    let entity = data.bench.queries1[0].tuples[0][0];
+    let filter = TypeFilter::from_lake(&data.bench.lake, graph, 0.5);
+
+    let mut group = c.benchmark_group("signatures");
+    for nv in [30usize, 32, 128] {
+        let hasher = MinHasher::new(nv, 7);
+        let shingles = type_pair_shingles(graph.types_of(entity), &filter);
+        group.bench_with_input(
+            BenchmarkId::new("minhash", nv),
+            &shingles,
+            |b, s| b.iter(|| hasher.sign(std::hint::black_box(s))),
+        );
+        let planes = RandomHyperplanes::new(data.store.dim(), nv, 7);
+        let v = data.store.get(entity);
+        group.bench_with_input(BenchmarkId::new("hyperplane", nv), &v, |b, v| {
+            b.iter(|| planes.sign(std::hint::black_box(v)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lsei(c: &mut Criterion) {
+    let data = BenchData::build(BenchmarkKind::Wt2015, 0.0008, 4);
+    let graph = &data.bench.kg.graph;
+    let cfg = LshConfig::recommended();
+    let filter = TypeFilter::from_lake(&data.bench.lake, graph, 0.5);
+
+    let mut group = c.benchmark_group("lsei");
+    group.sample_size(20);
+    group.bench_function("build_types", |b| {
+        b.iter(|| {
+            Lsei::build(
+                &data.bench.lake,
+                TypeSigner::new(graph, filter.clone(), cfg, 9),
+                cfg,
+                LseiMode::Entity,
+            )
+        })
+    });
+    let lsei = Lsei::build(
+        &data.bench.lake,
+        TypeSigner::new(graph, filter.clone(), cfg, 9),
+        cfg,
+        LseiMode::Entity,
+    );
+    let entities = data.bench.queries5[0].distinct_entities();
+    for votes in [1usize, 3] {
+        group.bench_with_input(
+            BenchmarkId::new("prefilter", votes),
+            &entities,
+            |b, e| b.iter(|| lsei.prefilter(std::hint::black_box(e), votes)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_signatures, bench_lsei);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Per-table scoring cost (§7.3): one `score_table` call per iteration,
+//! for both σ instantiations and both query sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use thetis::core::search::{score_table, ScoreTimings};
+use thetis::prelude::*;
+use thetis_bench::BenchData;
+
+fn bench_scoring(c: &mut Criterion) {
+    let data = BenchData::build(BenchmarkKind::Wt2015, 0.0004, 4);
+    let graph = &data.bench.kg.graph;
+    let inform = Informativeness::from_lake(&data.bench.lake);
+    let type_sim = TypeJaccard::new(graph);
+    let emb_sim = EmbeddingCosine::new(&data.store);
+    // Pick a big linked table as the scoring target.
+    let target = data
+        .bench
+        .lake
+        .iter()
+        .max_by_key(|(_, t)| t.n_rows())
+        .map(|(id, _)| id)
+        .unwrap();
+
+    let mut group = c.benchmark_group("score_table");
+    for (qname, query) in [
+        ("1-tuple", Query::new(data.bench.queries1[0].tuples.clone())),
+        ("5-tuple", Query::new(data.bench.queries5[0].tuples.clone())),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("types", qname),
+            &query,
+            |b, q| {
+                b.iter(|| {
+                    let mut t = ScoreTimings::default();
+                    score_table(q, &data.bench.lake, target, &type_sim, &inform, RowAgg::Max, &mut t)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("embeddings", qname),
+            &query,
+            |b, q| {
+                b.iter(|| {
+                    let mut t = ScoreTimings::default();
+                    score_table(q, &data.bench.lake, target, &emb_sim, &inform, RowAgg::Max, &mut t)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scoring);
+criterion_main!(benches);

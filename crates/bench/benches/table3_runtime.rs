@@ -1,0 +1,54 @@
+//! Table 3 in miniature: brute-force search vs LSH-prefiltered search for
+//! the paper's configurations, one query per iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use thetis::lsh::lsei::LseiMode;
+use thetis::prelude::*;
+use thetis_bench::BenchData;
+
+fn bench_prefiltered(c: &mut Criterion) {
+    let data = BenchData::build(BenchmarkKind::Wt2015, 0.0008, 4);
+    let graph = &data.bench.kg.graph;
+    let engine = ThetisEngine::new(graph, &data.bench.lake, TypeJaccard::new(graph));
+    let filter = TypeFilter::from_lake(&data.bench.lake, graph, 0.5);
+    let options = SearchOptions {
+        k: 10,
+        threads: 1,
+        ..SearchOptions::default()
+    };
+    let query = Query::new(data.bench.queries5[0].tuples.clone());
+
+    let mut group = c.benchmark_group("table3_runtime");
+    group.sample_size(20);
+    group.bench_function("brute_force", |b| {
+        b.iter(|| engine.search(std::hint::black_box(&query), options))
+    });
+    for cfg in LshConfig::paper_configs() {
+        let lsei = Lsei::build(
+            &data.bench.lake,
+            TypeSigner::new(graph, filter.clone(), cfg, 9),
+            cfg,
+            LseiMode::Entity,
+        );
+        for votes in [1usize, 3] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("T{cfg} v{votes}")),
+                &lsei,
+                |b, lsei| {
+                    b.iter(|| {
+                        engine.search_prefiltered(
+                            std::hint::black_box(&query),
+                            options,
+                            lsei,
+                            votes,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefiltered);
+criterion_main!(benches);

@@ -1,0 +1,285 @@
+//! Design-choice ablations the paper calls out in prose:
+//!
+//! * row-score aggregation max vs avg (§7.2, "up to 5x better NDCG");
+//! * BM25 as a prefilter instead of LSH (§7.3, 13–30% NDCG drop);
+//! * noisy entity linking (§7.5, the EMBLOOKUP study).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use thetis::eval::report::format_table;
+use thetis::prelude::*;
+
+use crate::context::Ctx;
+use crate::methods::{prefiltered_report, semantic_report, Sim};
+
+#[derive(Serialize)]
+struct AggRow {
+    query_set: &'static str,
+    sim: &'static str,
+    agg: &'static str,
+    mean_ndcg10: f64,
+}
+
+/// Row-aggregation ablation: Algorithm 1's line-13 aggregation as max vs
+/// average.
+pub fn agg_ablation(ctx: &Ctx) -> String {
+    let data = ctx.data(BenchmarkKind::Wt2015);
+    let mut rows = Vec::new();
+    for (query_set, queries, gt) in [
+        ("1-tuple", &data.bench.queries1, &data.bench.gt1),
+        ("5-tuple", &data.bench.queries5, &data.bench.gt5),
+    ] {
+        for sim in [Sim::Types, Sim::Embeddings] {
+            for (agg, name) in [(RowAgg::Max, "max"), (RowAgg::Avg, "avg")] {
+                let r = semantic_report(&data, sim, queries, gt, 10, agg);
+                rows.push(AggRow {
+                    query_set,
+                    sim: match sim {
+                        Sim::Types => "types",
+                        Sim::Embeddings => "embeddings",
+                    },
+                    agg: name,
+                    mean_ndcg10: r.mean_ndcg10,
+                });
+            }
+        }
+    }
+    ctx.write_json("agg_ablation", &rows);
+    let table = format_table(
+        "Row-aggregation ablation (§7.2): NDCG@10 with max vs avg",
+        &["queries", "σ", "agg", "NDCG@10"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.query_set.to_string(),
+                    r.sim.to_string(),
+                    r.agg.to_string(),
+                    format!("{:.3}", r.mean_ndcg10),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    table
+}
+
+#[derive(Serialize)]
+struct PrefilterRow {
+    query_set: &'static str,
+    sim: &'static str,
+    prefilter: &'static str,
+    mean_ndcg10: f64,
+}
+
+/// BM25-as-prefilter ablation: restrict Algorithm 1 to BM25's top tables
+/// instead of the LSEI candidates.
+pub fn bm25_prefilter_ablation(ctx: &Ctx) -> String {
+    let data = ctx.data(BenchmarkKind::Wt2015);
+    let graph = &data.bench.kg.graph;
+    let bm25 = Bm25Index::build(&data.bench.lake, Bm25Params::default());
+    // Match the candidate budget of the LSH prefilter: ~10% of the lake.
+    let budget = (data.bench.lake.len() / 10).max(10);
+    let mut rows = Vec::new();
+    for (query_set, queries, gt) in [
+        ("1-tuple", &data.bench.queries1, &data.bench.gt1),
+        ("5-tuple", &data.bench.queries5, &data.bench.gt5),
+    ] {
+        for sim in [Sim::Types, Sim::Embeddings] {
+            let sim_name = match sim {
+                Sim::Types => "types",
+                Sim::Embeddings => "embeddings",
+            };
+            // LSH prefilter reference.
+            let (lsh, _) =
+                prefiltered_report(&data, sim, LshConfig::recommended(), 1, queries, gt, 10);
+            rows.push(PrefilterRow {
+                query_set,
+                sim: sim_name,
+                prefilter: "LSH (30,10)",
+                mean_ndcg10: lsh.mean_ndcg10,
+            });
+            // BM25 prefilter: score only BM25's top tables.
+            let report = match sim {
+                Sim::Types => {
+                    let engine =
+                        ThetisEngine::new(graph, &data.bench.lake, TypeJaccard::new(graph));
+                    MethodReport::run("bm25pre", queries, gt, |q| {
+                        let candidates: Vec<TableId> = bm25
+                            .search(
+                                &Bm25Index::text_query(&q.cell_texts(&data.bench.kg)),
+                                budget,
+                            )
+                            .into_iter()
+                            .map(|(t, _)| t)
+                            .collect();
+                        engine
+                            .search_among(
+                                &Query::new(q.tuples.clone()),
+                                SearchOptions::top(10),
+                                &candidates,
+                            )
+                            .table_ids()
+                    })
+                }
+                Sim::Embeddings => {
+                    let engine = ThetisEngine::new(
+                        graph,
+                        &data.bench.lake,
+                        EmbeddingCosine::new(&data.store),
+                    );
+                    MethodReport::run("bm25pre", queries, gt, |q| {
+                        let candidates: Vec<TableId> = bm25
+                            .search(
+                                &Bm25Index::text_query(&q.cell_texts(&data.bench.kg)),
+                                budget,
+                            )
+                            .into_iter()
+                            .map(|(t, _)| t)
+                            .collect();
+                        engine
+                            .search_among(
+                                &Query::new(q.tuples.clone()),
+                                SearchOptions::top(10),
+                                &candidates,
+                            )
+                            .table_ids()
+                    })
+                }
+            };
+            rows.push(PrefilterRow {
+                query_set,
+                sim: sim_name,
+                prefilter: "BM25",
+                mean_ndcg10: report.mean_ndcg10,
+            });
+        }
+    }
+    ctx.write_json("bm25_prefilter", &rows);
+    let table = format_table(
+        "BM25-as-prefilter ablation (§7.3): NDCG@10 by prefilter",
+        &["queries", "σ", "prefilter", "NDCG@10"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.query_set.to_string(),
+                    r.sim.to_string(),
+                    r.prefilter.to_string(),
+                    format!("{:.3}", r.mean_ndcg10),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    table
+}
+
+#[derive(Serialize)]
+struct NoisyRow {
+    query_set: &'static str,
+    sim: &'static str,
+    linking: &'static str,
+    coverage: f64,
+    mean_ndcg10: f64,
+}
+
+/// Noisy-linker study (§7.5): degrade the ground-truth links the way a
+/// low-F1 automatic linker (EMBLOOKUP) would — drop some links, rewire
+/// others to random entities — and re-measure quality.
+pub fn noisy_linking(ctx: &Ctx) -> String {
+    let data = ctx.data(BenchmarkKind::Wt2015);
+    let graph = &data.bench.kg.graph;
+    let n_entities = graph.entity_count();
+
+    // Build the degraded lake: 30% of links dropped, 15% rewired.
+    let mut noisy_lake = data.bench.lake.clone();
+    let mut rng = SmallRng::seed_from_u64(0x0F1);
+    for table in noisy_lake.tables_mut() {
+        for row in table.rows_mut() {
+            for cell in row.iter_mut() {
+                if cell.is_linked() {
+                    let roll: f64 = rng.random();
+                    if roll < 0.30 {
+                        let owned = std::mem::replace(cell, CellValue::Null);
+                        *cell = owned.unlink();
+                    } else if roll < 0.45 {
+                        if let CellValue::LinkedEntity { entity, .. } = cell {
+                            *entity = EntityId(rng.random_range(0..n_entities as u32));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    noisy_lake.rebuild_postings();
+    let noisy_coverage = LakeStats::compute(&noisy_lake).mean_coverage;
+    let clean_coverage = LakeStats::compute(&data.bench.lake).mean_coverage;
+
+    let mut rows = Vec::new();
+    for (query_set, queries, gt) in [
+        ("1-tuple", &data.bench.queries1, &data.bench.gt1),
+        ("5-tuple", &data.bench.queries5, &data.bench.gt5),
+    ] {
+        for sim in [Sim::Types, Sim::Embeddings] {
+            let sim_name = match sim {
+                Sim::Types => "types",
+                Sim::Embeddings => "embeddings",
+            };
+            let clean = semantic_report(&data, sim, queries, gt, 10, RowAgg::Max);
+            rows.push(NoisyRow {
+                query_set,
+                sim: sim_name,
+                linking: "ground truth",
+                coverage: clean_coverage,
+                mean_ndcg10: clean.mean_ndcg10,
+            });
+            let noisy = match sim {
+                Sim::Types => {
+                    let engine = ThetisEngine::new(graph, &noisy_lake, TypeJaccard::new(graph));
+                    MethodReport::run("noisy", queries, gt, |q| {
+                        engine
+                            .search(&Query::new(q.tuples.clone()), SearchOptions::top(10))
+                            .table_ids()
+                    })
+                }
+                Sim::Embeddings => {
+                    let engine =
+                        ThetisEngine::new(graph, &noisy_lake, EmbeddingCosine::new(&data.store));
+                    MethodReport::run("noisy", queries, gt, |q| {
+                        engine
+                            .search(&Query::new(q.tuples.clone()), SearchOptions::top(10))
+                            .table_ids()
+                    })
+                }
+            };
+            rows.push(NoisyRow {
+                query_set,
+                sim: sim_name,
+                linking: "noisy linker",
+                coverage: noisy_coverage,
+                mean_ndcg10: noisy.mean_ndcg10,
+            });
+        }
+    }
+    ctx.write_json("noisy_linking", &rows);
+    let table = format_table(
+        "Noisy-linker study (§7.5): ground-truth vs degraded links (30% dropped, 15% rewired)",
+        &["queries", "σ", "linking", "coverage", "NDCG@10"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.query_set.to_string(),
+                    r.sim.to_string(),
+                    r.linking.to_string(),
+                    format!("{:.1}%", r.coverage * 100.0),
+                    format!("{:.3}", r.mean_ndcg10),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    table
+}

@@ -1,0 +1,238 @@
+//! Experiments on the extensions the paper leaves as future work (§8):
+//!
+//! * **similarity ablation** — all four `σ` instantiations (types,
+//!   embeddings, predicates, graph neighborhoods) head to head;
+//! * **query relaxation** — recovering recall on over-specialized 5-tuple
+//!   queries by dropping low-informativeness entities.
+
+use serde::Serialize;
+use thetis::core::relaxation::{search_with_relaxation, RelaxationConfig};
+use thetis::core::NeighborhoodJaccard;
+use thetis::eval::report::format_table;
+use thetis::prelude::*;
+
+use crate::context::Ctx;
+
+#[derive(Serialize)]
+struct SimRow {
+    query_set: &'static str,
+    sim: &'static str,
+    mean_ndcg10: f64,
+    mean_seconds: f64,
+}
+
+/// Compares the four σ instantiations on WT2015.
+pub fn sim_ablation(ctx: &Ctx) -> String {
+    let data = ctx.data(BenchmarkKind::Wt2015);
+    let graph = &data.bench.kg.graph;
+    let mut rows = Vec::new();
+
+    // Build each similarity once (some precompute per-entity state).
+    let predicates = PredicateJaccard::new(graph);
+    let neighborhoods = NeighborhoodJaccard::new(graph, 1);
+
+    for (query_set, queries, gt) in [
+        ("1-tuple", &data.bench.queries1, &data.bench.gt1),
+        ("5-tuple", &data.bench.queries5, &data.bench.gt5),
+    ] {
+        let mut run = |name: &'static str, report: MethodReport| {
+            rows.push(SimRow {
+                query_set,
+                sim: name,
+                mean_ndcg10: report.mean_ndcg10,
+                mean_seconds: report.mean_seconds,
+            });
+        };
+        let types_engine = ThetisEngine::new(graph, &data.bench.lake, TypeJaccard::new(graph));
+        run(
+            "types",
+            MethodReport::run("types", queries, gt, |q| {
+                types_engine
+                    .search(&Query::new(q.tuples.clone()), SearchOptions::top(10))
+                    .table_ids()
+            }),
+        );
+        let emb_engine =
+            ThetisEngine::new(graph, &data.bench.lake, EmbeddingCosine::new(&data.store));
+        run(
+            "embeddings",
+            MethodReport::run("embeddings", queries, gt, |q| {
+                emb_engine
+                    .search(&Query::new(q.tuples.clone()), SearchOptions::top(10))
+                    .table_ids()
+            }),
+        );
+        let pred_engine = ThetisEngine::new(graph, &data.bench.lake, &predicates);
+        run(
+            "predicates",
+            MethodReport::run("predicates", queries, gt, |q| {
+                pred_engine
+                    .search(&Query::new(q.tuples.clone()), SearchOptions::top(10))
+                    .table_ids()
+            }),
+        );
+        let nbr_engine = ThetisEngine::new(graph, &data.bench.lake, &neighborhoods);
+        run(
+            "neighborhoods",
+            MethodReport::run("neighborhoods", queries, gt, |q| {
+                nbr_engine
+                    .search(&Query::new(q.tuples.clone()), SearchOptions::top(10))
+                    .table_ids()
+            }),
+        );
+    }
+    ctx.write_json("sim_ablation", &rows);
+    let table = format_table(
+        "Similarity ablation (§8 future work): NDCG@10 per σ instantiation",
+        &["queries", "σ", "NDCG@10", "runtime"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.query_set.to_string(),
+                    r.sim.to_string(),
+                    format!("{:.3}", r.mean_ndcg10),
+                    thetis::eval::report::fmt_secs(r.mean_seconds),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    table
+}
+
+#[derive(Serialize)]
+struct RelaxRow {
+    query_set: &'static str,
+    mode: &'static str,
+    mean_ndcg10: f64,
+    mean_recall100: f64,
+    relaxed_queries: usize,
+}
+
+/// Measures query relaxation on over-specialized queries: 5-tuple queries
+/// widened with a hub (city) entity that no table column carries.
+pub fn relaxation(ctx: &Ctx) -> String {
+    let data = ctx.data(BenchmarkKind::Wt2015);
+    let graph = &data.bench.kg.graph;
+    let engine = ThetisEngine::new(graph, &data.bench.lake, TypeJaccard::new(graph));
+
+    // Over-specialize each query: append a hub entity to every tuple.
+    let hubs = &data.bench.kg.hubs;
+    let overspec: Vec<BenchQuery> = data
+        .bench
+        .queries5
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let mut q = q.clone();
+            for t in &mut q.tuples {
+                t.push(hubs[i % hubs.len()]);
+            }
+            q
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let gt = &data.bench.gt5;
+
+    let strict = MethodReport::run("strict", &overspec, gt, |q| {
+        engine
+            .search(&Query::new(q.tuples.clone()), SearchOptions::top(100))
+            .table_ids()
+    });
+    rows.push(RelaxRow {
+        query_set: "5-tuple + hub",
+        mode: "strict",
+        mean_ndcg10: strict.mean_ndcg10,
+        mean_recall100: strict.mean_recall100,
+        relaxed_queries: 0,
+    });
+
+    let mut relaxed_count = 0usize;
+    let cfg = RelaxationConfig {
+        score_target: 0.9,
+        min_results: 3,
+        max_drops: 2,
+    };
+    let relaxed = MethodReport::run("relaxed", &overspec, gt, |q| {
+        let out = search_with_relaxation(
+            &engine,
+            &Query::new(q.tuples.clone()),
+            SearchOptions::top(100),
+            &cfg,
+        );
+        if out.rounds > 0 {
+            relaxed_count += 1;
+        }
+        out.result.table_ids()
+    });
+    rows.push(RelaxRow {
+        query_set: "5-tuple + hub",
+        mode: "relaxed",
+        mean_ndcg10: relaxed.mean_ndcg10,
+        mean_recall100: relaxed.mean_recall100,
+        relaxed_queries: relaxed_count,
+    });
+
+    // Reference: the original (not over-specialized) 5-tuple queries.
+    let reference = MethodReport::run("original", &data.bench.queries5, gt, |q| {
+        engine
+            .search(&Query::new(q.tuples.clone()), SearchOptions::top(100))
+            .table_ids()
+    });
+    rows.push(RelaxRow {
+        query_set: "5-tuple",
+        mode: "original",
+        mean_ndcg10: reference.mean_ndcg10,
+        mean_recall100: reference.mean_recall100,
+        relaxed_queries: 0,
+    });
+
+    ctx.write_json("relaxation", &rows);
+    let table = format_table(
+        "Query relaxation (§8 future work): over-specialized queries recover quality",
+        &["queries", "mode", "NDCG@10", "recall@100", "#relaxed"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.query_set.to_string(),
+                    r.mode.to_string(),
+                    format!("{:.3}", r.mean_ndcg10),
+                    format!("{:.3}", r.mean_recall100),
+                    r.relaxed_queries.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini_ctx(tag: &str) -> Ctx {
+        let dir = std::env::temp_dir().join(format!("thetis-ext-{tag}"));
+        Ctx::new(0.0004, 3, dir)
+    }
+
+    #[test]
+    fn sim_ablation_covers_all_four_sigmas() {
+        let ctx = mini_ctx("sim");
+        let table = sim_ablation(&ctx);
+        for sigma in ["types", "embeddings", "predicates", "neighborhoods"] {
+            assert!(table.contains(sigma), "missing σ {sigma} in report");
+        }
+    }
+
+    #[test]
+    fn relaxation_experiment_relaxes_overspecialized_queries() {
+        let ctx = mini_ctx("relax");
+        let table = relaxation(&ctx);
+        assert!(table.contains("relaxed"));
+        assert!(table.contains("strict"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Figure 4: NDCG@10 on WT2015 for brute-force STST/STSE, the six LSH
+//! prefiltering configurations, BM25 text queries, and union search.
+
+use serde::Serialize;
+use thetis::eval::report::format_table;
+use thetis::prelude::*;
+
+use crate::context::Ctx;
+use crate::methods::{
+    bm25_report, prefiltered_report, semantic_report, union_report, Sim,
+};
+
+#[derive(Serialize)]
+struct Row {
+    query_set: &'static str,
+    method: String,
+    mean_ndcg10: f64,
+    q1: f64,
+    median: f64,
+    q3: f64,
+}
+
+fn eval_query_set(
+    ctx: &Ctx,
+    rows: &mut Vec<Row>,
+    query_set: &'static str,
+    queries: &[BenchQuery],
+    gt: &GroundTruth,
+) {
+    let data = ctx.data(BenchmarkKind::Wt2015);
+    let mut push = |r: &MethodReport| {
+        let (q1, median, q3) = r.ndcg10_quartiles;
+        rows.push(Row {
+            query_set,
+            method: r.name.clone(),
+            mean_ndcg10: r.mean_ndcg10,
+            q1,
+            median,
+            q3,
+        });
+    };
+    // Brute force (Figure 4 a, g).
+    push(&semantic_report(&data, Sim::Types, queries, gt, 10, RowAgg::Max));
+    push(&semantic_report(&data, Sim::Embeddings, queries, gt, 10, RowAgg::Max));
+    // LSH configurations (Figure 4 b, c, e, f, h, i, k, l), 1 vote.
+    for sim in [Sim::Types, Sim::Embeddings] {
+        for cfg in LshConfig::paper_configs() {
+            let (r, _) = prefiltered_report(&data, sim, cfg, 1, queries, gt, 10);
+            push(&r);
+        }
+    }
+    // Query-side column aggregation (§6.2): one merged LSEI lookup.
+    for sim in [Sim::Types, Sim::Embeddings] {
+        let (r, _) = crate::methods::prefiltered_aggregated_report(
+            &data,
+            sim,
+            LshConfig::recommended(),
+            1,
+            queries,
+            gt,
+            10,
+        );
+        push(&r);
+    }
+    // Competitors.
+    push(&bm25_report(&data, queries, gt, 10));
+    push(&union_report(&data, UnionVariant::Embedding, queries, gt, 10));
+    push(&union_report(&data, UnionVariant::Strict, queries, gt, 10));
+}
+
+/// Regenerates Figure 4 (as a table of boxplot statistics).
+pub fn run(ctx: &Ctx) -> String {
+    let data = ctx.data(BenchmarkKind::Wt2015);
+    let mut rows = Vec::new();
+    eval_query_set(ctx, &mut rows, "1-tuple", &data.bench.queries1, &data.bench.gt1);
+    eval_query_set(ctx, &mut rows, "5-tuple", &data.bench.queries5, &data.bench.gt5);
+    ctx.write_json("fig4", &rows);
+    let table = format_table(
+        "Figure 4: NDCG@10 on WT2015 (mean and quartiles over queries)",
+        &["queries", "method", "mean", "q1", "median", "q3"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.query_set.to_string(),
+                    r.method.clone(),
+                    format!("{:.3}", r.mean_ndcg10),
+                    format!("{:.3}", r.q1),
+                    format!("{:.3}", r.median),
+                    format!("{:.3}", r.q3),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    table
+}

@@ -1,0 +1,132 @@
+//! Figure 5: recall@100 and recall@200 on WT2015, including the
+//! BM25-complemented combinations STSTC and STSEC (§7.2).
+
+use serde::Serialize;
+use thetis::eval::report::format_table;
+use thetis::prelude::*;
+
+use crate::context::Ctx;
+use crate::methods::{bm25_report, semantic_report, Sim};
+
+#[derive(Serialize)]
+struct Row {
+    query_set: &'static str,
+    method: String,
+    mean_recall100: f64,
+    median_recall100: f64,
+    mean_recall200: f64,
+    median_recall200: f64,
+    mean_diff_vs_bm25_top100: f64,
+}
+
+fn eval_query_set(
+    ctx: &Ctx,
+    rows: &mut Vec<Row>,
+    query_set: &'static str,
+    queries: &[BenchQuery],
+    gt: &GroundTruth,
+) {
+    let data = ctx.data(BenchmarkKind::Wt2015);
+    let bm25 = bm25_report(&data, queries, gt, 200);
+    let stst = semantic_report(&data, Sim::Types, queries, gt, 200, RowAgg::Max);
+    let stse = semantic_report(&data, Sim::Embeddings, queries, gt, 200, RowAgg::Max);
+
+    // The combinations: merge the top 50% of each method's list.
+    let combine = |semantic: &MethodReport, name: &str| {
+        semantic.transformed(name, gt, |qi, sem| {
+            merge_top_half(sem, &bm25.per_query[qi].retrieved, 200)
+        })
+    };
+    let ststc = combine(&stst, "STSTC");
+    let stsec = combine(&stse, "STSEC");
+    // Unified combination (the paper's future work §8): types + embeddings
+    // + BM25, one third of the budget each.
+    let unified = stst.transformed("STSTEC", gt, |qi, sem_t| {
+        let third = 200 / 3;
+        let mut merged: Vec<TableId> = Vec::with_capacity(200);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..200 {
+            for list in [
+                sem_t,
+                &stse.per_query[qi].retrieved[..],
+                &bm25.per_query[qi].retrieved[..],
+            ] {
+                if i < third.max(1) {
+                    if let Some(&t) = list.get(i) {
+                        if merged.len() < 200 && seen.insert(t) {
+                            merged.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        // Back-fill from the semantic list.
+        for &t in sem_t {
+            if merged.len() >= 200 {
+                break;
+            }
+            if seen.insert(t) {
+                merged.push(t);
+            }
+        }
+        merged
+    });
+
+    let diff = |r: &MethodReport| {
+        thetis::eval::metrics::mean(
+            &r.per_query
+                .iter()
+                .zip(&bm25.per_query)
+                .map(|(a, b)| {
+                    thetis::eval::metrics::result_set_difference(
+                        &a.retrieved,
+                        &b.retrieved,
+                        100,
+                    ) as f64
+                })
+                .collect::<Vec<_>>(),
+        )
+    };
+    for r in [&bm25, &stst, &stse, &ststc, &stsec, &unified] {
+        rows.push(Row {
+            query_set,
+            method: r.name.clone(),
+            mean_recall100: r.mean_recall100,
+            median_recall100: r.median_recall100,
+            mean_recall200: r.mean_recall200,
+            median_recall200: r.median_recall200,
+            mean_diff_vs_bm25_top100: diff(r),
+        });
+    }
+}
+
+/// Regenerates Figure 5.
+pub fn run(ctx: &Ctx) -> String {
+    let data = ctx.data(BenchmarkKind::Wt2015);
+    let mut rows = Vec::new();
+    eval_query_set(ctx, &mut rows, "1-tuple", &data.bench.queries1, &data.bench.gt1);
+    eval_query_set(ctx, &mut rows, "5-tuple", &data.bench.queries5, &data.bench.gt5);
+    ctx.write_json("fig5", &rows);
+    let table = format_table(
+        "Figure 5: recall@100/200 on WT2015 (STSTC/STSEC = complemented with BM25)",
+        &[
+            "queries", "method", "R@100", "med@100", "R@200", "med@200", "|Δ BM25|",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.query_set.to_string(),
+                    r.method.clone(),
+                    format!("{:.3}", r.mean_recall100),
+                    format!("{:.3}", r.median_recall100),
+                    format!("{:.3}", r.mean_recall200),
+                    format!("{:.3}", r.median_recall200),
+                    format!("{:.0}", r.mean_diff_vs_bm25_top100),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    table
+}

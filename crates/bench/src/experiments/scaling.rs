@@ -1,0 +1,80 @@
+//! §7.4 synthetic scalability: runtime on three nested row-resampled
+//! corpora (the paper's 0.7M / 1.2M / 1.7M tables, scaled).
+
+use serde::Serialize;
+use thetis::eval::report::{fmt_pct, fmt_secs, format_table};
+use thetis::prelude::*;
+
+use crate::context::{BenchData, Ctx};
+use crate::methods::{prefiltered_report, Sim};
+
+#[derive(Serialize)]
+struct Row {
+    tables: usize,
+    query_set: &'static str,
+    sim: &'static str,
+    mean_seconds: f64,
+    mean_reduction: f64,
+}
+
+/// Regenerates the synthetic scaling experiment: three corpus sizes with
+/// the recommended (30, 10) LSH configuration.
+pub fn run(ctx: &Ctx) -> String {
+    // The paper's three corpora relative to the full synthetic corpus.
+    let fractions = [0.7 / 1.73, 1.2 / 1.73, 1.0];
+    let mut rows = Vec::new();
+    for f in fractions {
+        let data = BenchData::build(
+            BenchmarkKind::Synthetic,
+            ctx.scale * f,
+            ctx.n_queries.min(20),
+        );
+        let n = data.bench.lake.len();
+        eprintln!("[scaling] corpus of {n} tables");
+        for sim in [Sim::Types, Sim::Embeddings] {
+            for (query_set, queries, gt) in [
+                ("1-tuple", &data.bench.queries1, &data.bench.gt1),
+                ("5-tuple", &data.bench.queries5, &data.bench.gt5),
+            ] {
+                let (r, stats) = prefiltered_report(
+                    &data,
+                    sim,
+                    LshConfig::recommended(),
+                    1,
+                    queries,
+                    gt,
+                    10,
+                );
+                rows.push(Row {
+                    tables: n,
+                    query_set,
+                    sim: match sim {
+                        Sim::Types => "types",
+                        Sim::Embeddings => "embeddings",
+                    },
+                    mean_seconds: r.mean_seconds,
+                    mean_reduction: stats.mean_reduction,
+                });
+            }
+        }
+    }
+    ctx.write_json("scaling", &rows);
+    let table = format_table(
+        "§7.4 synthetic scaling: mean per-query runtime, LSH (30,10), 1 vote",
+        &["tables", "queries", "σ", "runtime", "reduction"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.tables.to_string(),
+                    r.query_set.to_string(),
+                    r.sim.to_string(),
+                    fmt_secs(r.mean_seconds),
+                    fmt_pct(r.mean_reduction),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    table
+}

@@ -1,0 +1,122 @@
+//! §7.3 "Table scoring": per-table scoring cost and the share spent in the
+//! Hungarian mapping `μ_{T,Q}`, on WT2015 and GitTables, for both σ.
+
+use serde::Serialize;
+use thetis::eval::report::{fmt_pct, fmt_secs, format_table};
+use thetis::prelude::*;
+
+use crate::context::Ctx;
+use crate::methods::Sim;
+
+#[derive(Serialize)]
+struct Row {
+    corpus: String,
+    query_set: &'static str,
+    sim: &'static str,
+    mean_table_seconds: f64,
+    mapping_fraction: f64,
+}
+
+fn measure(
+    ctx: &Ctx,
+    kind: BenchmarkKind,
+    rows: &mut Vec<Row>,
+) {
+    let data = ctx.data(kind);
+    let graph = &data.bench.kg.graph;
+    // Per-table timing stabilizes after a handful of queries; cap the
+    // sample so the single-threaded measurement stays fast on GitTables.
+    let cap = 8.min(data.bench.queries1.len());
+    let q1 = &data.bench.queries1[..cap];
+    let q5 = &data.bench.queries5[..cap];
+    for sim in [Sim::Types, Sim::Embeddings] {
+        for (query_set, queries) in [("1-tuple", q1), ("5-tuple", q5)] {
+            let mut mapping = 0u64;
+            let mut scoring = 0u64;
+            let mut tables = 0usize;
+            // Single-threaded so the per-table time is undistorted.
+            let options = SearchOptions {
+                k: 10,
+                threads: 1,
+                ..SearchOptions::default()
+            };
+            let run = |res: thetis::core::SearchResult,
+                       mapping: &mut u64,
+                       scoring: &mut u64,
+                       tables: &mut usize| {
+                *mapping += res.stats.timings.mapping_nanos;
+                *scoring += res.stats.timings.scoring_nanos;
+                *tables += res.stats.timings.tables_scored;
+            };
+            match sim {
+                Sim::Types => {
+                    let engine =
+                        ThetisEngine::new(graph, &data.bench.lake, TypeJaccard::new(graph));
+                    for q in queries.iter() {
+                        run(
+                            engine.search(&Query::new(q.tuples.clone()), options),
+                            &mut mapping,
+                            &mut scoring,
+                            &mut tables,
+                        );
+                    }
+                }
+                Sim::Embeddings => {
+                    let engine = ThetisEngine::new(
+                        graph,
+                        &data.bench.lake,
+                        EmbeddingCosine::new(&data.store),
+                    );
+                    for q in queries.iter() {
+                        run(
+                            engine.search(&Query::new(q.tuples.clone()), options),
+                            &mut mapping,
+                            &mut scoring,
+                            &mut tables,
+                        );
+                    }
+                }
+            }
+            rows.push(Row {
+                corpus: data.bench.name.clone(),
+                query_set,
+                sim: match sim {
+                    Sim::Types => "types",
+                    Sim::Embeddings => "embeddings",
+                },
+                mean_table_seconds: scoring as f64 / 1e9 / tables.max(1) as f64,
+                mapping_fraction: if scoring == 0 {
+                    0.0
+                } else {
+                    mapping as f64 / scoring as f64
+                },
+            });
+        }
+    }
+}
+
+/// Regenerates the scoring-cost measurement of §7.3.
+pub fn run(ctx: &Ctx) -> String {
+    let mut rows = Vec::new();
+    measure(ctx, BenchmarkKind::Wt2015, &mut rows);
+    measure(ctx, BenchmarkKind::GitTables, &mut rows);
+    ctx.write_json("scoring_cost", &rows);
+    let table = format_table(
+        "§7.3 table-scoring cost: mean per-table time and share spent in μ(T,Q)",
+        &["corpus", "queries", "σ", "per-table", "μ share"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.corpus.clone(),
+                    r.query_set.to_string(),
+                    r.sim.to_string(),
+                    fmt_secs(r.mean_table_seconds),
+                    fmt_pct(r.mapping_fraction),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    table
+}

@@ -1,0 +1,81 @@
+//! Table 2: benchmark statistics (# tables, mean rows/cols, coverage).
+
+use serde::Serialize;
+use thetis::eval::report::format_table;
+use thetis::prelude::*;
+
+use crate::context::Ctx;
+
+#[derive(Serialize)]
+struct Row {
+    corpus: String,
+    tables: usize,
+    mean_rows: f64,
+    mean_cols: f64,
+    mean_coverage: f64,
+    paper_tables: usize,
+}
+
+/// Regenerates Table 2 for all four corpora at the context's scale.
+pub fn run(ctx: &Ctx) -> String {
+    let kinds = [
+        BenchmarkKind::Wt2015,
+        BenchmarkKind::Wt2019,
+        BenchmarkKind::GitTables,
+        BenchmarkKind::Synthetic,
+    ];
+    let mut rows = Vec::new();
+    for kind in kinds {
+        let data = ctx.data(kind);
+        let stats = LakeStats::compute(&data.bench.lake);
+        rows.push(Row {
+            corpus: data.bench.name.clone(),
+            tables: stats.tables,
+            mean_rows: stats.mean_rows,
+            mean_cols: stats.mean_cols,
+            mean_coverage: stats.mean_coverage,
+            paper_tables: kind.paper_tables(),
+        });
+    }
+    ctx.write_json("table2", &rows);
+    let table = format_table(
+        &format!(
+            "Table 2: benchmark statistics (scale {} of the paper's corpora)",
+            ctx.scale
+        ),
+        &["corpus", "T", "R", "C", "Cov", "T (paper)"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.corpus.clone(),
+                    r.tables.to_string(),
+                    format!("{:.1}", r.mean_rows),
+                    format!("{:.1}", r.mean_cols),
+                    format!("{:.1}%", r.mean_coverage * 100.0),
+                    r.paper_tables.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_covers_all_four_corpora() {
+        let dir = std::env::temp_dir().join("thetis-table2-test");
+        let ctx = Ctx::new(0.0003, 2, dir.clone());
+        let table = run(&ctx);
+        for corpus in ["WT2015", "WT2019", "GitTables", "Synthetic"] {
+            assert!(table.contains(corpus), "missing {corpus}");
+        }
+        let json = std::fs::read_to_string(dir.join("table2.json")).unwrap();
+        let rows: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(rows.as_array().unwrap().len(), 4);
+    }
+}

@@ -1,0 +1,96 @@
+//! Tables 3 and 4: runtime and search-space reduction per LSH
+//! configuration, voting threshold, and query size, against the
+//! brute-force baselines.
+
+use serde::Serialize;
+use thetis::eval::report::{fmt_pct, fmt_secs, format_table};
+use thetis::prelude::*;
+
+use crate::context::Ctx;
+use crate::methods::{prefiltered_report, semantic_report, Sim};
+
+#[derive(Serialize)]
+struct Row {
+    query_set: &'static str,
+    method: String,
+    votes: usize,
+    mean_seconds: f64,
+    mean_reduction: f64,
+    mean_ndcg10: f64,
+}
+
+fn eval_query_set(
+    ctx: &Ctx,
+    rows: &mut Vec<Row>,
+    query_set: &'static str,
+    queries: &[BenchQuery],
+    gt: &GroundTruth,
+) {
+    let data = ctx.data(BenchmarkKind::Wt2015);
+    // Brute force reference (no prefiltering).
+    for sim in [Sim::Types, Sim::Embeddings] {
+        let r = semantic_report(&data, sim, queries, gt, 10, RowAgg::Max);
+        rows.push(Row {
+            query_set,
+            method: r.name.clone(),
+            votes: 0,
+            mean_seconds: r.mean_seconds,
+            mean_reduction: 0.0,
+            mean_ndcg10: r.mean_ndcg10,
+        });
+    }
+    // LSH configurations × votes.
+    for votes in [1usize, 3] {
+        for sim in [Sim::Types, Sim::Embeddings] {
+            for cfg in LshConfig::paper_configs() {
+                let (r, stats) =
+                    prefiltered_report(&data, sim, cfg, votes, queries, gt, 10);
+                rows.push(Row {
+                    query_set,
+                    method: format!("{}{}", sim.letter(), cfg),
+                    votes,
+                    mean_seconds: r.mean_seconds,
+                    mean_reduction: stats.mean_reduction,
+                    mean_ndcg10: r.mean_ndcg10,
+                });
+            }
+        }
+    }
+}
+
+/// Regenerates Tables 3 (runtime) and 4 (search-space reduction) together
+/// — they come from the same runs.
+pub fn run(ctx: &Ctx) -> String {
+    let data = ctx.data(BenchmarkKind::Wt2015);
+    let mut rows = Vec::new();
+    eval_query_set(ctx, &mut rows, "1-tuple", &data.bench.queries1, &data.bench.gt1);
+    eval_query_set(ctx, &mut rows, "5-tuple", &data.bench.queries5, &data.bench.gt5);
+    ctx.write_json("table3_table4", &rows);
+    let table = format_table(
+        "Tables 3+4: mean per-query runtime / search-space reduction / NDCG@10 (WT2015)",
+        &["queries", "method", "votes", "runtime", "reduction", "NDCG@10"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.query_set.to_string(),
+                    r.method.clone(),
+                    if r.votes == 0 {
+                        "-".into()
+                    } else {
+                        r.votes.to_string()
+                    },
+                    fmt_secs(r.mean_seconds),
+                    if r.votes == 0 {
+                        "-".into()
+                    } else {
+                        fmt_pct(r.mean_reduction)
+                    },
+                    format!("{:.3}", r.mean_ndcg10),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    table
+}

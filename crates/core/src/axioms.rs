@@ -1,0 +1,161 @@
+//! Mapping classification (§4.2): total/partial × exact/related mappings.
+//!
+//! Given a query tuple `t_Q` and a target tuple `t_T`, the paper
+//! distinguishes four relevance cases and states three axioms that any
+//! SemRel instantiation must satisfy. This module classifies tuple pairs so
+//! the axioms can be *tested* against our score (see `tests/axioms.rs` in
+//! the repository root for the property-based verification).
+
+use std::collections::HashSet;
+
+use crate::hungarian::max_assignment;
+use crate::query::EntityTuple;
+use crate::similarity::EntitySimilarity;
+
+/// The mapping category of a (query, target) tuple pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingKind {
+    /// All query entities appear verbatim in the target (`t_Q ≈TE t_T`).
+    TotalExact,
+    /// Some but not all query entities appear verbatim (`t_Q ≈PE t_T`).
+    PartialExact,
+    /// Every query entity has a (σ > 0) related partner under an injective
+    /// mapping (`t_Q ≈TR t_T`).
+    TotalRelated,
+    /// Only a subset of query entities has related partners (`t_Q ≈PR t_T`).
+    PartialRelated,
+    /// No query entity has any related partner: the target is irrelevant.
+    Irrelevant,
+}
+
+/// Classifies the pair according to §4.2.
+///
+/// Exactness is checked set-wise; relatedness uses the maximum-cardinality
+/// injective mapping induced by σ (computed via the Hungarian method on the
+/// similarity matrix, which maximizes total σ and therefore also matches
+/// every entity that *can* be matched when σ is non-negative).
+pub fn classify(
+    query: &EntityTuple,
+    target: &EntityTuple,
+    sim: &dyn EntitySimilarity,
+) -> MappingKind {
+    if query.is_empty() {
+        return MappingKind::Irrelevant;
+    }
+    let target_set: HashSet<_> = target.iter().copied().collect();
+    let exact_count = query.iter().filter(|e| target_set.contains(e)).count();
+    if exact_count == query.len() {
+        return MappingKind::TotalExact;
+    }
+
+    // Injective related mapping via max-sum assignment over σ.
+    let matrix: Vec<Vec<f64>> = query
+        .iter()
+        .map(|&eq| target.iter().map(|&et| sim.sim(eq, et)).collect())
+        .collect();
+    let (assign, _) = max_assignment(&matrix);
+    let related_count = assign
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| a.is_some_and(|j| matrix[i][j] > 0.0))
+        .count();
+
+    if related_count == query.len() {
+        // Note: a pair can be both partially exact and totally related; the
+        // paper treats such pairs as total related mappings (§4.2).
+        MappingKind::TotalRelated
+    } else if exact_count > 0 {
+        MappingKind::PartialExact
+    } else if related_count > 0 {
+        MappingKind::PartialRelated
+    } else {
+        MappingKind::Irrelevant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::TypeJaccard;
+    use thetis_kg::{EntityId, KgBuilder, KnowledgeGraph};
+
+    /// Mirrors the paper's running example: players, teams, cities, and an
+    /// unrelated actor type that shares no types with the rest
+    /// (not even a common root, so cross-kind σ is 0).
+    fn graph() -> (KnowledgeGraph, Vec<EntityId>, Vec<EntityId>, EntityId) {
+        let mut b = KgBuilder::new();
+        let player = b.add_type("Player", None);
+        let team = b.add_type("Team", None);
+        let actor = b.add_type("Actor", None);
+        let players = (0..3).map(|i| b.add_entity(&format!("p{i}"), vec![player])).collect();
+        let teams = (0..3).map(|i| b.add_entity(&format!("t{i}"), vec![team])).collect();
+        let a = b.add_entity("actor", vec![actor]);
+        (b.freeze(), players, teams, a)
+    }
+
+    #[test]
+    fn total_exact_when_all_entities_present() {
+        let (g, p, t, _) = graph();
+        let sim = TypeJaccard::new(&g);
+        let q = vec![p[0], t[0]];
+        assert_eq!(classify(&q, &vec![p[0], t[0], t[1]], &sim), MappingKind::TotalExact);
+    }
+
+    #[test]
+    fn partial_exact_requires_missing_related_partner() {
+        let (g, p, _, actor) = graph();
+        let sim = TypeJaccard::new(&g);
+        // p0 exact; actor has no partner (no shared types with anything).
+        let q = vec![p[0], actor];
+        assert_eq!(classify(&q, &vec![p[0], p[1]], &sim), MappingKind::PartialExact);
+    }
+
+    #[test]
+    fn total_related_when_every_entity_has_partner() {
+        let (g, p, t, _) = graph();
+        let sim = TypeJaccard::new(&g);
+        let q = vec![p[0], t[0]];
+        assert_eq!(
+            classify(&q, &vec![p[1], t[1]], &sim),
+            MappingKind::TotalRelated
+        );
+        // Mixed exact + related is still total related (paper's t1 ≈TR t2).
+        assert_eq!(
+            classify(&q, &vec![p[0], t[1]], &sim),
+            MappingKind::TotalRelated
+        );
+    }
+
+    #[test]
+    fn partial_related_when_subset_has_partners() {
+        let (g, p, _, actor) = graph();
+        let sim = TypeJaccard::new(&g);
+        let q = vec![p[0], actor];
+        assert_eq!(
+            classify(&q, &vec![p[1], p[2]], &sim),
+            MappingKind::PartialRelated
+        );
+    }
+
+    #[test]
+    fn irrelevant_when_no_partner_exists() {
+        let (g, p, t, actor) = graph();
+        let sim = TypeJaccard::new(&g);
+        assert_eq!(
+            classify(&vec![actor], &vec![p[0], t[0]], &sim),
+            MappingKind::Irrelevant
+        );
+        assert_eq!(classify(&vec![], &vec![p[0]], &sim), MappingKind::Irrelevant);
+    }
+
+    #[test]
+    fn injectivity_blocks_double_mapping() {
+        let (g, p, _, actor) = graph();
+        let sim = TypeJaccard::new(&g);
+        // Two query players but only one target player: μ is injective, so
+        // only one can map → not total related.
+        let q = vec![p[0], p[1]];
+        let kind = classify(&q, &vec![p[2], actor], &sim);
+        assert_eq!(kind, MappingKind::PartialRelated);
+    }
+}

@@ -1,0 +1,344 @@
+//! The Thetis search engine: Algorithm 1 + optional LSEI prefiltering
+//! behind a single API.
+
+use std::time::Instant;
+
+use thetis_datalake::{DataLake, TableId};
+use thetis_kg::KnowledgeGraph;
+use thetis_lsh::lsei::{EntitySigner, Lsei};
+
+use crate::informativeness::Informativeness;
+use crate::query::Query;
+use crate::search::{score_candidates, ScoreTimings};
+use crate::semrel::RowAgg;
+use crate::similarity::EntitySimilarity;
+use crate::topk::TopK;
+
+/// Knobs of one search call.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOptions {
+    /// Number of results to return.
+    pub k: usize,
+    /// Row-score aggregation (the paper recommends [`RowAgg::Max`]).
+    pub agg: RowAgg,
+    /// Worker threads for table scoring (0 = all available cores).
+    pub threads: usize,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        Self {
+            k: 10,
+            agg: RowAgg::Max,
+            threads: 0,
+        }
+    }
+}
+
+impl SearchOptions {
+    /// Top-`k` search with defaults otherwise.
+    pub fn top(k: usize) -> Self {
+        Self {
+            k,
+            ..Self::default()
+        }
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+/// Instrumentation of one search call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchStats {
+    /// Tables that passed prefiltering (the whole lake without it).
+    pub candidates: usize,
+    /// Tables actually scored (candidates minus unlinked tables).
+    pub tables_scored: usize,
+    /// Search-space reduction achieved by the prefilter, in `[0, 1]`.
+    pub reduction: f64,
+    /// Wall time of the prefilter lookup, nanoseconds.
+    pub prefilter_nanos: u64,
+    /// Wall time of the whole search, nanoseconds.
+    pub total_nanos: u64,
+    /// Scoring-time breakdown.
+    pub timings: ScoreTimings,
+}
+
+/// A ranked search result.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// `(table, SemRel)` pairs in descending score order.
+    pub ranked: Vec<(TableId, f64)>,
+    /// Instrumentation.
+    pub stats: SearchStats,
+}
+
+impl SearchResult {
+    /// Just the table ids, best first.
+    pub fn table_ids(&self) -> Vec<TableId> {
+        self.ranked.iter().map(|&(t, _)| t).collect()
+    }
+}
+
+/// The semantic table search engine of the paper, parameterized by the
+/// entity similarity `σ` (types or embeddings).
+pub struct ThetisEngine<'a, S> {
+    graph: &'a KnowledgeGraph,
+    lake: &'a DataLake,
+    sim: S,
+    inform: Informativeness,
+}
+
+impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
+    /// Creates an engine with informativeness weights derived from the lake
+    /// (requires fresh postings).
+    pub fn new(graph: &'a KnowledgeGraph, lake: &'a DataLake, sim: S) -> Self {
+        Self {
+            graph,
+            lake,
+            sim,
+            inform: Informativeness::from_lake(lake),
+        }
+    }
+
+    /// Creates an engine with explicit informativeness weights.
+    pub fn with_informativeness(
+        graph: &'a KnowledgeGraph,
+        lake: &'a DataLake,
+        sim: S,
+        inform: Informativeness,
+    ) -> Self {
+        Self {
+            graph,
+            lake,
+            sim,
+            inform,
+        }
+    }
+
+    /// The reference knowledge graph.
+    pub fn graph(&self) -> &KnowledgeGraph {
+        self.graph
+    }
+
+    /// The data lake being searched.
+    pub fn lake(&self) -> &DataLake {
+        self.lake
+    }
+
+    /// The similarity in use.
+    pub fn similarity(&self) -> &S {
+        &self.sim
+    }
+
+    /// The informativeness weights in use.
+    pub fn informativeness(&self) -> &Informativeness {
+        &self.inform
+    }
+
+    /// Brute-force semantic search (Algorithm 1) over the whole lake.
+    pub fn search(&self, query: &Query, options: SearchOptions) -> SearchResult {
+        let all: Vec<TableId> = (0..self.lake.len() as u32).map(TableId).collect();
+        self.search_candidates(query, options, &all, 0, 0.0)
+    }
+
+    /// Semantic search with LSEI prefiltering (§6): only tables surviving
+    /// the voting prefilter are scored.
+    pub fn search_prefiltered<Sg: EntitySigner>(
+        &self,
+        query: &Query,
+        options: SearchOptions,
+        lsei: &Lsei<Sg>,
+        votes: usize,
+    ) -> SearchResult {
+        let start = Instant::now();
+        let pre = lsei.prefilter(&query.distinct_entities(), votes);
+        let prefilter_nanos = start.elapsed().as_nanos() as u64;
+        let reduction = pre.reduction(self.lake.len());
+        self.search_candidates(query, options, &pre.tables, prefilter_nanos, reduction)
+    }
+
+    /// Prefiltered search with query-side column aggregation (§6.2): the
+    /// entities at each tuple position merge into one LSEI lookup, so a
+    /// 5-tuple query costs as much as a 1-tuple query.
+    pub fn search_prefiltered_aggregated<Sg: EntitySigner>(
+        &self,
+        query: &Query,
+        options: SearchOptions,
+        lsei: &Lsei<Sg>,
+        votes: usize,
+    ) -> SearchResult {
+        let start = Instant::now();
+        // Transpose tuples into per-position entity groups.
+        let width = query.width();
+        let mut columns: Vec<Vec<thetis_kg::EntityId>> = vec![Vec::new(); width];
+        for tuple in &query.tuples {
+            for (i, &e) in tuple.iter().enumerate() {
+                columns[i].push(e);
+            }
+        }
+        let pre = lsei.prefilter_aggregated(&columns, votes);
+        let prefilter_nanos = start.elapsed().as_nanos() as u64;
+        let reduction = pre.reduction(self.lake.len());
+        self.search_candidates(query, options, &pre.tables, prefilter_nanos, reduction)
+    }
+
+    /// Semantic search restricted to an explicit candidate set (used for
+    /// alternative prefilters, e.g. the BM25-prefiltering ablation of
+    /// §7.3).
+    pub fn search_among(
+        &self,
+        query: &Query,
+        options: SearchOptions,
+        candidates: &[TableId],
+    ) -> SearchResult {
+        let reduction = if self.lake.is_empty() {
+            0.0
+        } else {
+            1.0 - candidates.len() as f64 / self.lake.len() as f64
+        };
+        self.search_candidates(query, options, candidates, 0, reduction)
+    }
+
+    fn search_candidates(
+        &self,
+        query: &Query,
+        options: SearchOptions,
+        candidates: &[TableId],
+        prefilter_nanos: u64,
+        reduction: f64,
+    ) -> SearchResult {
+        let start = Instant::now();
+        let (scored, timings) = score_candidates(
+            query,
+            self.lake,
+            candidates,
+            &self.sim,
+            &self.inform,
+            options.agg,
+            options.resolved_threads(),
+        );
+        let mut topk = TopK::new(options.k);
+        for (tid, score) in scored {
+            topk.push(tid, score);
+        }
+        let ranked = topk.into_sorted();
+        SearchResult {
+            ranked,
+            stats: SearchStats {
+                candidates: candidates.len(),
+                tables_scored: timings.tables_scored,
+                reduction,
+                prefilter_nanos,
+                total_nanos: prefilter_nanos + start.elapsed().as_nanos() as u64,
+                timings,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::TypeJaccard;
+    use thetis_datalake::{CellValue, Table};
+    use thetis_kg::{EntityId, KgBuilder};
+    use thetis_lsh::lsei::{LseiMode, TypeSigner};
+    use thetis_lsh::{LshConfig, TypeFilter};
+
+    fn fixture() -> (KnowledgeGraph, DataLake, Vec<EntityId>, Vec<EntityId>) {
+        let mut b = KgBuilder::new();
+        let thing = b.add_type("Thing", None);
+        let p = b.add_type("Player", Some(thing));
+        let v = b.add_type("Volleyballer", Some(thing));
+        let players: Vec<EntityId> =
+            (0..8).map(|i| b.add_entity(&format!("p{i}"), vec![p])).collect();
+        let volley: Vec<EntityId> =
+            (0..8).map(|i| b.add_entity(&format!("v{i}"), vec![v])).collect();
+        let g = b.freeze();
+        let mk = |name: &str, es: &[EntityId]| {
+            let mut t = Table::new(name, vec!["c".into()]);
+            for &e in es {
+                t.push_row(vec![CellValue::LinkedEntity {
+                    mention: "m".into(),
+                    entity: e,
+                }]);
+            }
+            t
+        };
+        let lake = DataLake::from_tables(vec![
+            mk("players_a", &players[0..4]),
+            mk("players_b", &players[4..8]),
+            mk("volley_a", &volley[0..4]),
+            mk("volley_b", &volley[4..8]),
+        ]);
+        (g, lake, players, volley)
+    }
+
+    #[test]
+    fn search_ranks_topically_relevant_tables_first() {
+        let (g, lake, players, _) = fixture();
+        let engine = ThetisEngine::new(&g, &lake, TypeJaccard::new(&g));
+        let q = Query::single(vec![players[0]]);
+        let res = engine.search(&q, SearchOptions::top(4));
+        assert_eq!(res.ranked.len(), 4);
+        // The table containing p0 first, then the other player table.
+        assert_eq!(res.ranked[0].0, TableId(0));
+        assert_eq!(res.ranked[1].0, TableId(1));
+        assert!(res.ranked[0].1 > res.ranked[1].1);
+        assert!(res.ranked[1].1 > res.ranked[2].1);
+        assert_eq!(res.stats.tables_scored, 4);
+    }
+
+    #[test]
+    fn prefiltered_search_matches_brute_force_top_results() {
+        let (g, lake, players, _) = fixture();
+        let engine = ThetisEngine::new(&g, &lake, TypeJaccard::new(&g));
+        let cfg = LshConfig::new(32, 8);
+        let signer = TypeSigner::new(&g, TypeFilter::none(), cfg, 7);
+        let lsei = Lsei::build(&lake, signer, cfg, LseiMode::Entity);
+        let q = Query::single(vec![players[0]]);
+        let brute = engine.search(&q, SearchOptions::top(2));
+        let fast = engine.search_prefiltered(&q, SearchOptions::top(2), &lsei, 1);
+        assert_eq!(brute.table_ids(), fast.table_ids());
+        assert!(fast.stats.reduction >= 0.0);
+        assert!(fast.stats.candidates <= lake.len());
+    }
+
+    #[test]
+    fn aggregated_prefilter_also_finds_exact_tables() {
+        let (g, lake, players, _) = fixture();
+        let engine = ThetisEngine::new(&g, &lake, TypeJaccard::new(&g));
+        let cfg = LshConfig::new(32, 8);
+        let signer = TypeSigner::new(&g, TypeFilter::none(), cfg, 7);
+        let lsei = Lsei::build(&lake, signer, cfg, LseiMode::Entity);
+        let q = Query::single(vec![players[0], players[1]]);
+        let res = engine.search_prefiltered_aggregated(&q, SearchOptions::top(2), &lsei, 1);
+        assert!(res.table_ids().contains(&TableId(0)));
+    }
+
+    #[test]
+    fn stats_reflect_work_done() {
+        let (g, lake, players, _) = fixture();
+        let engine = ThetisEngine::new(&g, &lake, TypeJaccard::new(&g));
+        let q = Query::single(vec![players[0]]);
+        let res = engine.search(&q, SearchOptions::top(10));
+        assert_eq!(res.stats.candidates, 4);
+        assert_eq!(res.stats.reduction, 0.0);
+        assert!(res.stats.total_nanos > 0);
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let (g, lake, _, _) = fixture();
+        let engine = ThetisEngine::new(&g, &lake, TypeJaccard::new(&g));
+        let res = engine.search(&Query::new(vec![]), SearchOptions::top(5));
+        assert!(res.ranked.is_empty());
+    }
+}

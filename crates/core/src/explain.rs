@@ -1,0 +1,216 @@
+//! Search-result explanations: *why* did this table get this score?
+//!
+//! For a (query, table) pair, [`explain`] reruns Algorithm 1's scoring for
+//! that table only, keeping the intermediate state the fast path discards:
+//! the column mapping `τ`, each query entity's best-matching cell entity,
+//! and the per-entity similarity that entered the weighted distance. The
+//! output is what a search UI renders next to a hit ("Ron Santo matched
+//! column *Player* exactly; Milwaukee Brewers ≈ Chicago Cubs, σ = 0.95").
+
+use thetis_datalake::{DataLake, TableId};
+use thetis_kg::EntityId;
+
+use crate::informativeness::Informativeness;
+use crate::mapping::map_tuple_to_columns;
+use crate::query::Query;
+use crate::semrel::{distance_score, RowAgg};
+use crate::similarity::EntitySimilarity;
+
+/// How one query entity was matched in one table.
+#[derive(Debug, Clone)]
+pub struct EntityMatch {
+    /// The query entity.
+    pub query_entity: EntityId,
+    /// The column `τ` assigned it to (`None` = no column left).
+    pub column: Option<usize>,
+    /// The best-matching entity in that column (under the row aggregation).
+    pub matched_entity: Option<EntityId>,
+    /// The aggregated similarity `x_i` that entered Eq. 2.
+    pub similarity: f64,
+    /// The informativeness weight `I(e)` of the query entity.
+    pub weight: f64,
+}
+
+/// The explanation of one query tuple against the table.
+#[derive(Debug, Clone)]
+pub struct TupleExplanation {
+    /// Per-query-entity matches.
+    pub matches: Vec<EntityMatch>,
+    /// The tuple's SemRel contribution (Eq. 3).
+    pub score: f64,
+}
+
+/// A full explanation of `SemRel(Q, T)`.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// The explained table.
+    pub table: TableId,
+    /// One entry per query tuple.
+    pub tuples: Vec<TupleExplanation>,
+    /// The final table score (mean of tuple scores).
+    pub score: f64,
+}
+
+/// Explains the SemRel score of `table` for `query` (max row aggregation,
+/// as the engine's default).
+pub fn explain(
+    query: &Query,
+    lake: &DataLake,
+    table_id: TableId,
+    sim: &dyn EntitySimilarity,
+    inform: &Informativeness,
+) -> Explanation {
+    let table = lake.table(table_id);
+    let mut tuples = Vec::with_capacity(query.len());
+    for tuple in &query.tuples {
+        let mapping = map_tuple_to_columns(tuple, table, sim);
+        let mut matches: Vec<EntityMatch> = tuple
+            .iter()
+            .zip(&mapping.columns)
+            .map(|(&e, &column)| EntityMatch {
+                query_entity: e,
+                column,
+                matched_entity: None,
+                similarity: 0.0,
+                weight: inform.weight(e),
+            })
+            .collect();
+        // Max aggregation, remembering the argmax entity per query entity.
+        for row in table.rows() {
+            for m in matches.iter_mut() {
+                let Some(col) = m.column else { continue };
+                let Some(target) = row[col].entity() else {
+                    continue;
+                };
+                let s = sim.sim(m.query_entity, target);
+                if s > m.similarity {
+                    m.similarity = s;
+                    m.matched_entity = Some(target);
+                }
+            }
+        }
+        let xs: Vec<f64> = matches.iter().map(|m| m.similarity).collect();
+        let score = distance_score(tuple, &xs, inform);
+        tuples.push(TupleExplanation { matches, score });
+    }
+    let score = if tuples.is_empty() {
+        0.0
+    } else {
+        tuples.iter().map(|t| t.score).sum::<f64>() / tuples.len() as f64
+    };
+    Explanation {
+        table: table_id,
+        tuples,
+        score,
+    }
+}
+
+/// Consistency check: the explanation's score equals what Algorithm 1's
+/// fast path computes (with [`RowAgg::Max`]).
+pub fn matches_fast_path(
+    explanation: &Explanation,
+    query: &Query,
+    lake: &DataLake,
+    sim: &dyn EntitySimilarity,
+    inform: &Informativeness,
+) -> bool {
+    let mut timings = crate::search::ScoreTimings::default();
+    let fast = crate::search::score_table(
+        query,
+        lake,
+        explanation.table,
+        sim,
+        inform,
+        RowAgg::Max,
+        &mut timings,
+    );
+    match fast {
+        Some(s) => (s - explanation.score).abs() < 1e-9,
+        None => explanation.score == 0.0 || explanation.tuples.is_empty(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::TypeJaccard;
+    use thetis_datalake::{CellValue, Table};
+    use thetis_kg::KgBuilder;
+
+    fn fixture() -> (thetis_kg::KnowledgeGraph, DataLake, Vec<EntityId>, Vec<EntityId>) {
+        let mut b = KgBuilder::new();
+        let thing = b.add_type("Thing", None);
+        let p = b.add_type("Player", Some(thing));
+        let t = b.add_type("Team", Some(thing));
+        let players: Vec<EntityId> =
+            (0..3).map(|i| b.add_entity(&format!("p{i}"), vec![p])).collect();
+        let teams: Vec<EntityId> =
+            (0..3).map(|i| b.add_entity(&format!("t{i}"), vec![t])).collect();
+        let g = b.freeze();
+        let cell = |e: EntityId, g: &thetis_kg::KnowledgeGraph| CellValue::LinkedEntity {
+            mention: g.label(e).to_string(),
+            entity: e,
+        };
+        let mut table = Table::new("roster", vec!["Player".into(), "Team".into()]);
+        for i in 0..3 {
+            table.push_row(vec![cell(players[i], &g), cell(teams[i], &g)]);
+        }
+        (g, DataLake::from_tables(vec![table]), players, teams)
+    }
+
+    #[test]
+    fn explanation_identifies_exact_matches() {
+        let (g, lake, players, teams) = fixture();
+        let sim = TypeJaccard::new(&g);
+        let inform = Informativeness::uniform();
+        let q = Query::single(vec![players[0], teams[1]]);
+        let ex = explain(&q, &lake, TableId(0), &sim, &inform);
+        assert_eq!(ex.tuples.len(), 1);
+        let m = &ex.tuples[0].matches;
+        assert_eq!(m[0].matched_entity, Some(players[0]));
+        assert_eq!(m[0].similarity, 1.0);
+        assert_eq!(m[0].column, Some(0));
+        assert_eq!(m[1].matched_entity, Some(teams[1]));
+        assert_eq!(m[1].similarity, 1.0);
+        assert_eq!(m[1].column, Some(1));
+        assert_eq!(ex.score, 1.0);
+    }
+
+    #[test]
+    fn explanation_score_matches_algorithm_one() {
+        let (g, lake, players, teams) = fixture();
+        let sim = TypeJaccard::new(&g);
+        let inform = Informativeness::uniform();
+        for q in [
+            Query::single(vec![players[0]]),
+            Query::single(vec![teams[2], players[1]]),
+            Query::new(vec![vec![players[0], teams[0]], vec![players[2], teams[1]]]),
+        ] {
+            let ex = explain(&q, &lake, TableId(0), &sim, &inform);
+            assert!(
+                matches_fast_path(&ex, &q, &lake, &sim, &inform),
+                "explanation diverged for {q:?}: {}",
+                ex.score
+            );
+        }
+    }
+
+    #[test]
+    fn related_matches_report_partial_similarity() {
+        let (g, lake, players, _) = fixture();
+        let sim = TypeJaccard::new(&g);
+        let inform = Informativeness::uniform();
+        // A KG entity of the same type that is NOT in the table.
+        let q = Query::single(vec![players[0], players[1], players[2]]);
+        let ex = explain(&q, &lake, TableId(0), &sim, &inform);
+        let m = &ex.tuples[0].matches;
+        // Only one player column exists: one entity gets it (σ=1 for its own
+        // row or 0.95 for same-type), the others map elsewhere or nowhere.
+        let mapped: Vec<_> = m.iter().filter(|x| x.column.is_some()).collect();
+        assert!(!mapped.is_empty());
+        for x in m {
+            assert!((0.0..=1.0).contains(&x.similarity));
+            assert!(x.weight > 0.0);
+        }
+    }
+}

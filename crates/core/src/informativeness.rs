@@ -1,0 +1,130 @@
+//! Informativeness weights `I : N → [0, 1]` (§5.2).
+//!
+//! Entities that occur in many tables (a popular team) discriminate less
+//! than rare ones (a specific player), so the weighted Euclidean distance
+//! of Eq. 2 scales each query-entity dimension by an inverse-frequency
+//! weight. We use the standard smoothed IDF normalized into `(0, 1]`:
+//!
+//! ```text
+//! I(e) = ln(1 + N / tf(e)) / ln(1 + N)
+//! ```
+//!
+//! where `N` is the number of tables and `tf(e)` the number of tables
+//! containing `e`. Entities absent from the corpus get weight 1 (maximally
+//! informative: nothing in the lake dilutes them).
+
+use std::collections::HashMap;
+
+use thetis_datalake::DataLake;
+use thetis_kg::EntityId;
+
+/// Precomputed informativeness weights.
+#[derive(Debug, Clone)]
+pub struct Informativeness {
+    weights: HashMap<EntityId, f64>,
+    default: f64,
+}
+
+impl Informativeness {
+    /// Uniform weights: every entity counts 1 (unweighted Eq. 2).
+    pub fn uniform() -> Self {
+        Self {
+            weights: HashMap::new(),
+            default: 1.0,
+        }
+    }
+
+    /// Builds IDF-style weights from the lake's entity→table postings.
+    ///
+    /// Requires fresh postings (see [`DataLake::rebuild_postings`]).
+    pub fn from_lake(lake: &DataLake) -> Self {
+        let n = lake.len() as f64;
+        if n == 0.0 {
+            return Self::uniform();
+        }
+        let norm = (1.0 + n).ln();
+        let weights = lake
+            .postings()
+            .iter()
+            .map(|(&e, tables)| {
+                let tf = tables.len() as f64;
+                (e, (1.0 + n / tf).ln() / norm)
+            })
+            .collect();
+        Self {
+            weights,
+            default: 1.0,
+        }
+    }
+
+    /// The weight of entity `e`.
+    #[inline]
+    pub fn weight(&self, e: EntityId) -> f64 {
+        self.weights.get(&e).copied().unwrap_or(self.default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thetis_datalake::{CellValue, Table};
+
+    fn linked(e: u32) -> CellValue {
+        CellValue::LinkedEntity {
+            mention: format!("e{e}"),
+            entity: EntityId(e),
+        }
+    }
+
+    fn lake() -> DataLake {
+        // entity 1 in all 4 tables, entity 2 in exactly one.
+        let tables = (0..4)
+            .map(|i| {
+                let mut t = Table::new(format!("t{i}"), vec!["a".into(), "b".into()]);
+                t.push_row(vec![
+                    linked(1),
+                    if i == 0 { linked(2) } else { CellValue::Null },
+                ]);
+                t
+            })
+            .collect();
+        DataLake::from_tables(tables)
+    }
+
+    #[test]
+    fn rare_entities_weigh_more() {
+        let i = Informativeness::from_lake(&lake());
+        let frequent = i.weight(EntityId(1));
+        let rare = i.weight(EntityId(2));
+        assert!(rare > frequent, "rare {rare} vs frequent {frequent}");
+    }
+
+    #[test]
+    fn weights_are_bounded() {
+        let i = Informativeness::from_lake(&lake());
+        for e in [EntityId(1), EntityId(2), EntityId(99)] {
+            let w = i.weight(e);
+            assert!(w > 0.0 && w <= 1.0, "weight {w} out of range");
+        }
+    }
+
+    #[test]
+    fn unseen_entities_get_max_weight() {
+        let i = Informativeness::from_lake(&lake());
+        assert_eq!(i.weight(EntityId(1234)), 1.0);
+    }
+
+    #[test]
+    fn entity_in_every_table_has_expected_idf() {
+        let i = Informativeness::from_lake(&lake());
+        // tf = N = 4: ln(2) / ln(5)
+        let expected = 2.0f64.ln() / 5.0f64.ln();
+        assert!((i.weight(EntityId(1)) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_weights_are_one() {
+        let i = Informativeness::uniform();
+        assert_eq!(i.weight(EntityId(0)), 1.0);
+    }
+}

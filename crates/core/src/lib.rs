@@ -1,0 +1,46 @@
+//! Thetis core: the semantic table search of §4–§6 of
+//! *"Fantastic Tables and Where to Find Them"* (EDBT 2025).
+//!
+//! Given a query of entity tuples and a semantic data lake
+//! `(D, G, Φ)`, rank every table `T ∈ D` by
+//!
+//! ```text
+//! SemRel_MAX(Q, T) = (1/|Q|) · Σ_{t_q ∈ Q} max-mapping score of t_q in T
+//! ```
+//!
+//! where each query tuple is scored against a table by
+//!
+//! 1. assigning query entities to table columns with the **Hungarian
+//!    method** so the summed column-relevance is maximal ([`mapping`]),
+//! 2. scoring each row with an entity similarity `σ` ([`similarity`]:
+//!    adjusted type-Jaccard or embedding cosine),
+//! 3. aggregating row scores per query entity (max or average,
+//!    [`semrel::RowAgg`]),
+//! 4. converting the informativeness-weighted Euclidean distance from the
+//!    perfect match into a similarity via `1 / (D_I + 1)` ([`semrel`]).
+//!
+//! [`engine::ThetisEngine`] packages the whole pipeline — with optional LSEI
+//! prefiltering (§6) and parallel table scoring — behind one API.
+
+pub mod axioms;
+pub mod engine;
+pub mod explain;
+pub mod hungarian;
+pub mod informativeness;
+pub mod mapping;
+pub mod query;
+pub mod relaxation;
+pub mod search;
+pub mod semrel;
+pub mod similarity;
+pub mod topk;
+
+pub use engine::{SearchOptions, SearchResult, SearchStats, ThetisEngine};
+pub use explain::{explain, EntityMatch, Explanation, TupleExplanation};
+pub use informativeness::Informativeness;
+pub use query::{EntityTuple, Query};
+pub use relaxation::{search_with_relaxation, RelaxationConfig, RelaxedSearch};
+pub use semrel::RowAgg;
+pub use similarity::{
+    EmbeddingCosine, EntitySimilarity, NeighborhoodJaccard, PredicateJaccard, TypeJaccard,
+};

@@ -1,0 +1,91 @@
+//! Queries: sets of entity tuples (§2.4).
+
+use thetis_kg::EntityId;
+
+/// One entity tuple `⟨e_1, ..., e_n⟩` — a list of KG entities.
+pub type EntityTuple = Vec<EntityId>;
+
+/// A query `Q = {t_1, ..., t_k}`: a set of entity tuples.
+///
+/// Tuples may have different widths; the engine maps each tuple to table
+/// columns independently (§5.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// The query tuples.
+    pub tuples: Vec<EntityTuple>,
+}
+
+impl Query {
+    /// Creates a query from tuples, dropping empty ones.
+    pub fn new(tuples: Vec<EntityTuple>) -> Self {
+        Self {
+            tuples: tuples.into_iter().filter(|t| !t.is_empty()).collect(),
+        }
+    }
+
+    /// A single-tuple query.
+    pub fn single(tuple: EntityTuple) -> Self {
+        Self::new(vec![tuple])
+    }
+
+    /// Number of tuples `|Q|`.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the query has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// All distinct entities mentioned anywhere in the query, in
+    /// first-occurrence order (the LSEI lookup set).
+    pub fn distinct_entities(&self) -> Vec<EntityId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for t in &self.tuples {
+            for &e in t {
+                if seen.insert(e) {
+                    out.push(e);
+                }
+            }
+        }
+        out
+    }
+
+    /// Maximum tuple width.
+    pub fn width(&self) -> usize {
+        self.tuples.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tuples_are_dropped() {
+        let q = Query::new(vec![vec![], vec![EntityId(1)]]);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn distinct_entities_dedup_across_tuples() {
+        let q = Query::new(vec![
+            vec![EntityId(1), EntityId(2)],
+            vec![EntityId(2), EntityId(3)],
+        ]);
+        assert_eq!(
+            q.distinct_entities(),
+            vec![EntityId(1), EntityId(2), EntityId(3)]
+        );
+        assert_eq!(q.width(), 2);
+    }
+
+    #[test]
+    fn single_builds_one_tuple() {
+        let q = Query::single(vec![EntityId(9)]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.width(), 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! Query relaxation for over-specialized queries.
+//!
+//! The paper observes (§7.2) that 5-tuple queries can *lose* recall
+//! against 1-tuple queries because they become over-specialized, and lists
+//! handling this as future work (§8). This module implements the natural
+//! mechanism: when the best results are weak, iteratively drop the
+//! **least informative** entity from each query tuple (the entity whose
+//! absence the weighted distance of Eq. 2 penalizes least) and search
+//! again.
+//!
+//! Relaxation never fabricates relevance — the returned scores are genuine
+//! SemRel values of the relaxed query — and the process records what was
+//! dropped so callers can surface it ("ignored: Milwaukee").
+
+use thetis_kg::EntityId;
+
+use crate::engine::{SearchOptions, SearchResult, ThetisEngine};
+use crate::query::Query;
+use crate::similarity::EntitySimilarity;
+
+/// When and how far to relax.
+#[derive(Debug, Clone, Copy)]
+pub struct RelaxationConfig {
+    /// Relax while the `min_results`-th best score is below this.
+    pub score_target: f64,
+    /// Require at least this many results before judging the score target.
+    pub min_results: usize,
+    /// Maximum entities dropped per tuple.
+    pub max_drops: usize,
+}
+
+impl Default for RelaxationConfig {
+    fn default() -> Self {
+        Self {
+            score_target: 0.75,
+            min_results: 3,
+            max_drops: 2,
+        }
+    }
+}
+
+/// The outcome of a relaxed search.
+#[derive(Debug, Clone)]
+pub struct RelaxedSearch {
+    /// The final result (from the most relaxed query actually used).
+    pub result: SearchResult,
+    /// Entities dropped from the query, in drop order.
+    pub dropped: Vec<EntityId>,
+    /// How many relaxation rounds ran (0 = original query was good enough).
+    pub rounds: usize,
+}
+
+/// Whether `result` satisfies the config's quality bar.
+fn good_enough(result: &SearchResult, config: &RelaxationConfig) -> bool {
+    if result.ranked.len() < config.min_results {
+        return false;
+    }
+    result.ranked[config.min_results - 1].1 >= config.score_target
+}
+
+/// Searches, relaxing the query while results stay weak.
+///
+/// Each round removes one entity from every tuple still wider than one
+/// entity, choosing the drop by a two-level priority:
+///
+/// 1. entities that occur in **no table of the lake** — they can never be
+///    mapped, so dropping them is free;
+/// 2. otherwise the entity with the lowest informativeness weight `I(e)`
+///    — frequent, low-discrimination entities (the "Milwaukee" of the
+///    paper's example) go first.
+pub fn search_with_relaxation<S: EntitySimilarity>(
+    engine: &ThetisEngine<'_, S>,
+    query: &Query,
+    options: SearchOptions,
+    config: &RelaxationConfig,
+) -> RelaxedSearch {
+    let mut current = query.clone();
+    let mut dropped = Vec::new();
+    let mut rounds = 0;
+    let mut result = engine.search(&current, options);
+
+    let postings = engine.lake().postings();
+    let drop_key = |e: EntityId| -> (u8, f64) {
+        let seen = postings.get(&e).is_some_and(|t| !t.is_empty());
+        (u8::from(seen), engine.informativeness().weight(e))
+    };
+
+    while rounds < config.max_drops && !good_enough(&result, config) {
+        let mut any_drop = false;
+        for tuple in &mut current.tuples {
+            if tuple.len() <= 1 {
+                continue;
+            }
+            let (idx, _) = tuple
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| {
+                    let (sa, wa) = drop_key(a);
+                    let (sb, wb) = drop_key(b);
+                    sa.cmp(&sb).then(wa.total_cmp(&wb))
+                })
+                .expect("tuple is non-empty");
+            dropped.push(tuple.remove(idx));
+            any_drop = true;
+        }
+        if !any_drop {
+            break;
+        }
+        rounds += 1;
+        result = engine.search(&current, options);
+    }
+
+    RelaxedSearch {
+        result,
+        dropped,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::TypeJaccard;
+    use thetis_datalake::{CellValue, DataLake, Table};
+    use thetis_kg::{KgBuilder, KnowledgeGraph};
+
+    /// A lake of player tables; the query additionally names a city that
+    /// appears in *every* table (so it is maximally uninformative) but
+    /// never in the same column layout — an over-specialized query.
+    fn fixture() -> (KnowledgeGraph, DataLake, Vec<EntityId>, EntityId) {
+        let mut b = KgBuilder::new();
+        let thing = b.add_type("Thing", None);
+        let player = b.add_type("Player", Some(thing));
+        let city = b.add_type("City", Some(thing));
+        let players: Vec<EntityId> =
+            (0..6).map(|i| b.add_entity(&format!("p{i}"), vec![player])).collect();
+        let milwaukee = b.add_entity("Milwaukee", vec![city]);
+        let g = b.freeze();
+
+        let cell = |e: EntityId, g: &KnowledgeGraph| CellValue::LinkedEntity {
+            mention: g.label(e).to_string(),
+            entity: e,
+        };
+        // One-column player tables; the city entity appears in every table,
+        // making it maximally frequent (I ≈ minimum).
+        let tables = (0..3)
+            .map(|i| {
+                let mut t = Table::new(format!("t{i}"), vec!["p".into()]);
+                t.push_row(vec![cell(players[2 * i], &g)]);
+                t.push_row(vec![cell(players[2 * i + 1], &g)]);
+                t.push_row(vec![cell(milwaukee, &g)]);
+                t
+            })
+            .collect();
+        (g, DataLake::from_tables(tables), players, milwaukee)
+    }
+
+    #[test]
+    fn relaxation_drops_the_least_informative_entity() {
+        let (g, lake, players, milwaukee) = fixture();
+        let engine = ThetisEngine::new(&g, &lake, TypeJaccard::new(&g));
+        // Over-specialized: player + city, but the single-column tables can
+        // map only one of them.
+        let query = Query::single(vec![players[0], milwaukee]);
+        let strict = engine.search(&query, SearchOptions::top(3));
+        let relaxed = search_with_relaxation(
+            &engine,
+            &query,
+            SearchOptions::top(3),
+            &RelaxationConfig {
+                score_target: 0.9,
+                min_results: 1,
+                max_drops: 2,
+            },
+        );
+        assert_eq!(relaxed.rounds, 1);
+        assert_eq!(relaxed.dropped, vec![milwaukee]);
+        assert!(
+            relaxed.result.ranked[0].1 > strict.ranked[0].1,
+            "relaxed {} should beat strict {}",
+            relaxed.result.ranked[0].1,
+            strict.ranked[0].1
+        );
+    }
+
+    #[test]
+    fn good_queries_are_not_relaxed() {
+        let (g, lake, players, _) = fixture();
+        let engine = ThetisEngine::new(&g, &lake, TypeJaccard::new(&g));
+        let query = Query::single(vec![players[0]]);
+        let relaxed = search_with_relaxation(
+            &engine,
+            &query,
+            SearchOptions::top(3),
+            &RelaxationConfig {
+                score_target: 0.5,
+                min_results: 1,
+                max_drops: 3,
+            },
+        );
+        assert_eq!(relaxed.rounds, 0);
+        assert!(relaxed.dropped.is_empty());
+    }
+
+    #[test]
+    fn relaxation_never_empties_a_tuple() {
+        let (g, lake, players, milwaukee) = fixture();
+        let engine = ThetisEngine::new(&g, &lake, TypeJaccard::new(&g));
+        let query = Query::single(vec![players[0], milwaukee]);
+        let relaxed = search_with_relaxation(
+            &engine,
+            &query,
+            SearchOptions::top(3),
+            &RelaxationConfig {
+                score_target: 2.0, // unreachable: relax as far as allowed
+                min_results: 1,
+                max_drops: 10,
+            },
+        );
+        // Tuple shrinks to a single entity and stops.
+        assert_eq!(relaxed.dropped.len(), 1);
+        assert!(!relaxed.result.ranked.is_empty());
+    }
+}

@@ -1,0 +1,355 @@
+//! Entity similarity scores `σ : N × N → [0, 1]` (§5.2–5.3).
+//!
+//! Three instantiations — the paper's two plus the alternative it points
+//! to as future work:
+//!
+//! * [`TypeJaccard`] — the *adjusted* Jaccard of entity-type sets (Eq. 4):
+//!   `1` for identical entities, otherwise the type-set Jaccard **capped at
+//!   0.95**, so exact entity matches always dominate type-level matches;
+//! * [`EmbeddingCosine`] — cosine similarity of RDF2Vec-style vectors,
+//!   clamped to `[0, 1]` (negative cosine means "unrelated", not
+//!   "anti-relevant", for relevance purposes);
+//! * [`PredicateJaccard`] — Jaccard over the predicate vocabulary around
+//!   each entity (§5.3's "similarity based on the set of predicates").
+
+use thetis_embedding::EmbeddingStore;
+use thetis_kg::{entity::type_jaccard, EntityId, KnowledgeGraph};
+
+/// An entity-to-entity semantic similarity in `[0, 1]` with `σ(e, e) = 1`.
+///
+/// Implementations must be cheap (`O(types)` or `O(dim)`) — Algorithm 1
+/// evaluates `σ` once per (query entity, table cell) pair.
+pub trait EntitySimilarity: Sync {
+    /// The similarity of two entities.
+    fn sim(&self, a: EntityId, b: EntityId) -> f64;
+
+    /// A short human-readable name ("types" / "embeddings").
+    fn name(&self) -> &'static str;
+}
+
+impl<S: EntitySimilarity + ?Sized> EntitySimilarity for Box<S> {
+    fn sim(&self, a: EntityId, b: EntityId) -> f64 {
+        (**self).sim(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<S: EntitySimilarity + ?Sized> EntitySimilarity for &S {
+    fn sim(&self, a: EntityId, b: EntityId) -> f64 {
+        (**self).sim(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Adjusted Jaccard similarity over entity-type sets (Eq. 4).
+pub struct TypeJaccard<'a> {
+    graph: &'a KnowledgeGraph,
+    cap: f64,
+}
+
+impl<'a> TypeJaccard<'a> {
+    /// The paper's cap for non-identical entities.
+    pub const DEFAULT_CAP: f64 = 0.95;
+
+    /// Creates the similarity with the default 0.95 cap.
+    pub fn new(graph: &'a KnowledgeGraph) -> Self {
+        Self {
+            graph,
+            cap: Self::DEFAULT_CAP,
+        }
+    }
+
+    /// Creates the similarity with a custom cap in `[0, 1]`.
+    pub fn with_cap(graph: &'a KnowledgeGraph, cap: f64) -> Self {
+        assert!((0.0..=1.0).contains(&cap), "cap must be in [0, 1]");
+        Self { graph, cap }
+    }
+}
+
+impl EntitySimilarity for TypeJaccard<'_> {
+    fn sim(&self, a: EntityId, b: EntityId) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let j = type_jaccard(self.graph.types_of(a), self.graph.types_of(b));
+        j.min(self.cap)
+    }
+
+    fn name(&self) -> &'static str {
+        "types"
+    }
+}
+
+/// Jaccard similarity over the sets of *predicates* surrounding an entity
+/// (its outgoing edge labels) — the alternative relevance signal §5.3
+/// points to ([Mottin et al., exemplar queries]): two entities play a
+/// similar role if the graph talks about them in the same vocabulary.
+///
+/// Precomputes each entity's sorted predicate set once; like
+/// [`TypeJaccard`], non-identical entities are capped below 1.
+pub struct PredicateJaccard {
+    predicate_sets: Vec<Vec<u32>>,
+    cap: f64,
+}
+
+impl PredicateJaccard {
+    /// Builds the per-entity predicate sets from `graph`.
+    pub fn new(graph: &KnowledgeGraph) -> Self {
+        let mut predicate_sets = Vec::with_capacity(graph.entity_count());
+        for e in graph.entity_ids() {
+            let mut preds: Vec<u32> =
+                graph.neighbors(e).iter().map(|edge| edge.predicate.0).collect();
+            preds.sort_unstable();
+            preds.dedup();
+            predicate_sets.push(preds);
+        }
+        Self {
+            predicate_sets,
+            cap: TypeJaccard::DEFAULT_CAP,
+        }
+    }
+}
+
+impl EntitySimilarity for PredicateJaccard {
+    fn sim(&self, a: EntityId, b: EntityId) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let sa = &self.predicate_sets[a.index()];
+        let sb = &self.predicate_sets[b.index()];
+        if sa.is_empty() && sb.is_empty() {
+            return 0.0;
+        }
+        let mut i = 0;
+        let mut j = 0;
+        let mut inter = 0usize;
+        while i < sa.len() && j < sb.len() {
+            match sa[i].cmp(&sb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let union = sa.len() + sb.len() - inter;
+        (inter as f64 / union as f64).min(self.cap)
+    }
+
+    fn name(&self) -> &'static str {
+        "predicates"
+    }
+}
+
+/// Jaccard similarity over bounded graph neighborhoods: two entities are
+/// similar when the graph connects them to the same entities (§3.3's
+/// proximity-based relevance family). Neighborhoods are precomputed once
+/// per entity (undirected, up to `depth` hops), so `σ` stays a linear
+/// merge at query time.
+pub struct NeighborhoodJaccard {
+    neighborhoods: Vec<Vec<u32>>,
+    cap: f64,
+}
+
+impl NeighborhoodJaccard {
+    /// Precomputes all neighborhoods of `graph` up to `depth` hops.
+    pub fn new(graph: &KnowledgeGraph, depth: u32) -> Self {
+        let reverse = thetis_kg::paths::ReverseAdjacency::build(graph);
+        let neighborhoods = graph
+            .entity_ids()
+            .map(|e| {
+                let mut n: Vec<u32> = thetis_kg::paths::neighborhood(graph, &reverse, e, depth)
+                    .into_iter()
+                    .map(|x| x.0)
+                    .collect();
+                n.sort_unstable();
+                n
+            })
+            .collect();
+        Self {
+            neighborhoods,
+            cap: TypeJaccard::DEFAULT_CAP,
+        }
+    }
+}
+
+impl EntitySimilarity for NeighborhoodJaccard {
+    fn sim(&self, a: EntityId, b: EntityId) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let sa = &self.neighborhoods[a.index()];
+        let sb = &self.neighborhoods[b.index()];
+        if sa.is_empty() && sb.is_empty() {
+            return 0.0;
+        }
+        let mut i = 0;
+        let mut j = 0;
+        let mut inter = 0usize;
+        while i < sa.len() && j < sb.len() {
+            match sa[i].cmp(&sb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let union = sa.len() + sb.len() - inter;
+        (inter as f64 / union as f64).min(self.cap)
+    }
+
+    fn name(&self) -> &'static str {
+        "neighborhoods"
+    }
+}
+
+/// Cosine similarity of entity embeddings, clamped to `[0, 1]`.
+pub struct EmbeddingCosine<'a> {
+    store: &'a EmbeddingStore,
+}
+
+impl<'a> EmbeddingCosine<'a> {
+    /// Creates the similarity over `store`.
+    pub fn new(store: &'a EmbeddingStore) -> Self {
+        Self { store }
+    }
+}
+
+impl EntitySimilarity for EmbeddingCosine<'_> {
+    fn sim(&self, a: EntityId, b: EntityId) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        self.store.cosine(a, b).max(0.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "embeddings"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thetis_kg::KgBuilder;
+
+    fn graph() -> (KnowledgeGraph, EntityId, EntityId, EntityId) {
+        let mut b = KgBuilder::new();
+        let thing = b.add_type("Thing", None);
+        let player = b.add_type("BaseballPlayer", Some(thing));
+        let actor = b.add_type("Actor", Some(thing));
+        let p1 = b.add_entity("p1", vec![player]);
+        let p2 = b.add_entity("p2", vec![player]);
+        let a1 = b.add_entity("a1", vec![actor]);
+        (b.freeze(), p1, p2, a1)
+    }
+
+    #[test]
+    fn identical_entity_scores_one() {
+        let (g, p1, _, _) = graph();
+        let s = TypeJaccard::new(&g);
+        assert_eq!(s.sim(p1, p1), 1.0);
+    }
+
+    #[test]
+    fn same_types_cap_at_095() {
+        let (g, p1, p2, _) = graph();
+        let s = TypeJaccard::new(&g);
+        // identical type sets → Jaccard 1.0 → capped
+        assert_eq!(s.sim(p1, p2), 0.95);
+    }
+
+    #[test]
+    fn related_types_score_between() {
+        let (g, p1, _, a1) = graph();
+        let s = TypeJaccard::new(&g);
+        // share {Thing} of {Thing, Player} ∪ {Thing, Actor} → 1/3
+        let v = s.sim(p1, a1);
+        assert!((v - 1.0 / 3.0).abs() < 1e-12, "got {v}");
+    }
+
+    #[test]
+    fn custom_cap_applies() {
+        let (g, p1, p2, _) = graph();
+        let s = TypeJaccard::with_cap(&g, 0.5);
+        assert_eq!(s.sim(p1, p2), 0.5);
+        assert_eq!(s.sim(p1, p1), 1.0);
+    }
+
+    #[test]
+    fn predicate_jaccard_uses_edge_vocabulary() {
+        let mut b = KgBuilder::new();
+        let thing = b.add_type("Thing", None);
+        let e1 = b.add_entity("e1", vec![thing]);
+        let e2 = b.add_entity("e2", vec![thing]);
+        let e3 = b.add_entity("e3", vec![thing]);
+        let target = b.add_entity("t", vec![thing]);
+        let plays = b.add_predicate("playsFor");
+        let born = b.add_predicate("bornIn");
+        let acts = b.add_predicate("actsIn");
+        // e1, e2 share the {playsFor, bornIn} vocabulary; e3 differs.
+        b.add_edge(e1, plays, target);
+        b.add_edge(e1, born, target);
+        b.add_edge(e2, plays, target);
+        b.add_edge(e2, born, target);
+        b.add_edge(e3, acts, target);
+        let g = b.freeze();
+        let s = PredicateJaccard::new(&g);
+        assert_eq!(s.sim(e1, e1), 1.0);
+        assert_eq!(s.sim(e1, e2), 0.95); // identical vocabulary, capped
+        assert_eq!(s.sim(e1, e3), 0.0);
+        // Entities with no edges are maximally uninformative.
+        assert_eq!(s.sim(target, target), 1.0);
+        assert_eq!(s.sim(target, e1), 0.0);
+        assert_eq!(s.name(), "predicates");
+    }
+
+    #[test]
+    fn neighborhood_jaccard_reflects_shared_context() {
+        let mut b = KgBuilder::new();
+        let thing = b.add_type("Thing", None);
+        let p1 = b.add_entity("p1", vec![thing]);
+        let p2 = b.add_entity("p2", vec![thing]);
+        let p3 = b.add_entity("p3", vec![thing]);
+        let team_a = b.add_entity("team_a", vec![thing]);
+        let team_b = b.add_entity("team_b", vec![thing]);
+        let plays = b.add_predicate("playsFor");
+        // p1, p2 play for team_a; p3 for team_b.
+        b.add_edge(p1, plays, team_a);
+        b.add_edge(p2, plays, team_a);
+        b.add_edge(p3, plays, team_b);
+        let g = b.freeze();
+        let s = NeighborhoodJaccard::new(&g, 1);
+        // p1 and p2 share their whole 1-hop neighborhood {team_a}.
+        assert_eq!(s.sim(p1, p2), 0.95);
+        // p1 and p3 share nothing at depth 1.
+        assert_eq!(s.sim(p1, p3), 0.0);
+        // At depth 2, p1's neighborhood gains p2 (via team_a): sim drops
+        // below the cap but stays positive against p2.
+        let s2 = NeighborhoodJaccard::new(&g, 2);
+        let v = s2.sim(p1, p2);
+        assert!(v > 0.0 && v < 0.95, "depth-2 sim {v}");
+        assert_eq!(s.name(), "neighborhoods");
+    }
+
+    #[test]
+    fn embedding_cosine_clamps_negative() {
+        let mut store = EmbeddingStore::zeros(2, 2);
+        store.get_mut(EntityId(0)).copy_from_slice(&[1.0, 0.0]);
+        store.get_mut(EntityId(1)).copy_from_slice(&[-1.0, 0.0]);
+        let s = EmbeddingCosine::new(&store);
+        assert_eq!(s.sim(EntityId(0), EntityId(1)), 0.0);
+        assert_eq!(s.sim(EntityId(0), EntityId(0)), 1.0);
+    }
+}

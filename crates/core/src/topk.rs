@@ -1,0 +1,158 @@
+//! Bounded top-k collection by score.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A `(score, item)` pair ordered by score, then by item as a deterministic
+/// tie-break. Stored inverted so the binary heap pops the *minimum*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MinEntry<T> {
+    score: f64,
+    item: T,
+}
+
+impl<T: Ord + Eq> Eq for MinEntry<T> {}
+
+impl<T: Ord + Eq> PartialOrd for MinEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: Ord + Eq> Ord for MinEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so BinaryHeap (a max-heap) keeps the smallest on top.
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| other.item.cmp(&self.item))
+    }
+}
+
+/// Collects the `k` highest-scoring items.
+#[derive(Debug, Clone)]
+pub struct TopK<T> {
+    k: usize,
+    heap: BinaryHeap<MinEntry<T>>,
+}
+
+impl<T: Ord + Eq + Copy> TopK<T> {
+    /// Creates a collector for the top `k` items.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offers an item; it is kept only while among the best `k`.
+    pub fn push(&mut self, item: T, score: f64) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(MinEntry { score, item });
+        } else if let Some(min) = self.heap.peek() {
+            if score > min.score || (score == min.score && item > min.item) {
+                self.heap.pop();
+                self.heap.push(MinEntry { score, item });
+            }
+        }
+    }
+
+    /// Number of items currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no items are held.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Consumes the collector, returning `(item, score)` pairs sorted by
+    /// descending score (ties broken by descending item).
+    pub fn into_sorted(self) -> Vec<(T, f64)> {
+        let mut v: Vec<(T, f64)> = self
+            .heap
+            .into_iter()
+            .map(|e| (e.item, e.score))
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| b.0.cmp(&a.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_k_best() {
+        let mut t = TopK::new(3);
+        for (i, s) in [(1u32, 0.1), (2, 0.9), (3, 0.5), (4, 0.7), (5, 0.2)] {
+            t.push(i, s);
+        }
+        let out = t.into_sorted();
+        assert_eq!(
+            out.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![2, 4, 3]
+        );
+    }
+
+    #[test]
+    fn result_is_sorted_descending() {
+        let mut t = TopK::new(10);
+        for (i, s) in [(1u32, 0.3), (2, 0.8), (3, 0.1)] {
+            t.push(i, s);
+        }
+        let out = t.into_sorted();
+        assert!(out.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn fewer_items_than_k() {
+        let mut t = TopK::new(5);
+        t.push(1u32, 1.0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.into_sorted(), vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn k_zero_accepts_nothing() {
+        let mut t = TopK::new(0);
+        t.push(1u32, 1.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let mut a = TopK::new(2);
+        let mut b = TopK::new(2);
+        for &(i, s) in &[(1u32, 0.5), (2, 0.5), (3, 0.5)] {
+            a.push(i, s);
+        }
+        for &(i, s) in &[(3u32, 0.5), (1, 0.5), (2, 0.5)] {
+            b.push(i, s);
+        }
+        assert_eq!(a.into_sorted(), b.into_sorted());
+    }
+
+    #[test]
+    fn equals_full_sort_prefix() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(5);
+        let items: Vec<(u32, f64)> = (0..200u32)
+            .map(|i| (i, rng.random_range(0.0..1.0)))
+            .collect();
+        let mut topk = TopK::new(10);
+        for &(i, s) in &items {
+            topk.push(i, s);
+        }
+        let mut sorted = items.clone();
+        sorted.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| b.0.cmp(&a.0)));
+        sorted.truncate(10);
+        assert_eq!(topk.into_sorted(), sorted);
+    }
+}

@@ -1,0 +1,162 @@
+//! Benchmark query generation (§7.1).
+//!
+//! The paper extracts "a heterogeneous set of 50 1- and 5-tuples queries of
+//! width of at least 3, where the 1-tuple queries are contained in the
+//! 5-tuples queries". We replicate that design: a query targets a topic,
+//! each tuple draws one entity per kind (width = kinds), and the 5-tuple
+//! variant extends the 1-tuple variant with four more tuples from the same
+//! topic.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use thetis_kg::{EntityId, SyntheticKg, TopicId};
+
+/// One benchmark query with its target topic.
+#[derive(Debug, Clone)]
+pub struct BenchQuery {
+    /// Index within the benchmark's query set.
+    pub id: usize,
+    /// The topic the query's entities come from.
+    pub topic: TopicId,
+    /// The entity tuples.
+    pub tuples: Vec<Vec<EntityId>>,
+}
+
+impl BenchQuery {
+    /// All distinct entities of the query.
+    pub fn distinct_entities(&self) -> Vec<EntityId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for t in &self.tuples {
+            for &e in t {
+                if seen.insert(e) {
+                    out.push(e);
+                }
+            }
+        }
+        out
+    }
+
+    /// Mention texts (entity labels) for BM25 text queries.
+    pub fn cell_texts(&self, kg: &SyntheticKg) -> Vec<String> {
+        self.tuples
+            .iter()
+            .flatten()
+            .map(|&e| kg.graph.label(e).to_string())
+            .collect()
+    }
+}
+
+/// One tuple of width `width` from `topic`: the `k`-th entry comes from
+/// entity kind `k` (player, team, venue, ...).
+fn draw_tuple(kg: &SyntheticKg, topic: TopicId, width: usize, rng: &mut SmallRng) -> Vec<EntityId> {
+    let pools = &kg.topics[topic.index()].entities_by_kind;
+    (0..width)
+        .map(|k| {
+            let pool = &pools[k % pools.len()];
+            pool[rng.random_range(0..pool.len())]
+        })
+        .collect()
+}
+
+/// Generates `n` paired query sets: `(one_tuple, five_tuple)` per topic,
+/// with the 1-tuple query contained in the 5-tuple query.
+pub fn generate_query_pairs(
+    kg: &SyntheticKg,
+    n: usize,
+    width: usize,
+    seed: u64,
+) -> (Vec<BenchQuery>, Vec<BenchQuery>) {
+    assert!(width >= 1, "queries need positive width");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_topics = kg.topics.len();
+    assert!(n_topics > 0, "KG has no topics");
+    let mut ones = Vec::with_capacity(n);
+    let mut fives = Vec::with_capacity(n);
+    for id in 0..n {
+        // Round-robin over topics for heterogeneity, shuffling the phase.
+        let topic = TopicId(((id + rng.random_range(0..n_topics)) % n_topics) as u32);
+        let first = draw_tuple(kg, topic, width, &mut rng);
+        let mut tuples = vec![first.clone()];
+        while tuples.len() < 5 {
+            let t = draw_tuple(kg, topic, width, &mut rng);
+            if !tuples.contains(&t) {
+                tuples.push(t);
+            }
+        }
+        ones.push(BenchQuery {
+            id,
+            topic,
+            tuples: vec![first],
+        });
+        fives.push(BenchQuery { id, topic, tuples });
+    }
+    (ones, fives)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thetis_kg::KgGeneratorConfig;
+
+    fn kg() -> SyntheticKg {
+        SyntheticKg::generate(&KgGeneratorConfig {
+            domains: 2,
+            topics_per_domain: 3,
+            entities_per_kind: 12,
+            ..KgGeneratorConfig::default()
+        })
+    }
+
+    #[test]
+    fn pairs_share_the_first_tuple() {
+        let kg = kg();
+        let (ones, fives) = generate_query_pairs(&kg, 10, 3, 42);
+        assert_eq!(ones.len(), 10);
+        assert_eq!(fives.len(), 10);
+        for (o, f) in ones.iter().zip(&fives) {
+            assert_eq!(o.tuples.len(), 1);
+            assert_eq!(f.tuples.len(), 5);
+            assert_eq!(o.tuples[0], f.tuples[0], "1-tuple not contained in 5-tuple");
+            assert_eq!(o.topic, f.topic);
+        }
+    }
+
+    #[test]
+    fn tuples_have_requested_width() {
+        let kg = kg();
+        let (ones, fives) = generate_query_pairs(&kg, 5, 3, 7);
+        assert!(ones.iter().all(|q| q.tuples[0].len() == 3));
+        assert!(fives.iter().flat_map(|q| &q.tuples).all(|t| t.len() == 3));
+    }
+
+    #[test]
+    fn query_entities_belong_to_the_topic() {
+        let kg = kg();
+        let (_, fives) = generate_query_pairs(&kg, 6, 3, 9);
+        for q in &fives {
+            for e in q.distinct_entities() {
+                assert_eq!(kg.topic_of(e), Some(q.topic));
+            }
+        }
+    }
+
+    #[test]
+    fn cell_texts_are_labels() {
+        let kg = kg();
+        let (ones, _) = generate_query_pairs(&kg, 1, 3, 3);
+        let texts = ones[0].cell_texts(&kg);
+        assert_eq!(texts.len(), 3);
+        assert!(texts.iter().all(|t| !t.is_empty()));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let kg = kg();
+        let (a, _) = generate_query_pairs(&kg, 5, 3, 11);
+        let (b, _) = generate_query_pairs(&kg, 5, 3, 11);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tuples, y.tuples);
+        }
+    }
+}

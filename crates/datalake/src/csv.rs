@@ -1,0 +1,201 @@
+//! Minimal CSV reader/writer for data-lake tables.
+//!
+//! Supports RFC-4180-style quoting (`"` quotes, `""` escapes). The first
+//! record is the header. Values are classified by [`CellValue::parse`];
+//! entity links are attached later by a linker, so CSV round-trips lose
+//! links by design (a real lake stores raw files; `Φ` is metadata).
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::table::Table;
+use crate::value::CellValue;
+
+/// Errors raised while parsing CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A record with a different arity than the header.
+    RaggedRow {
+        /// 1-based record number (header is record 1).
+        record: usize,
+        /// Fields found.
+        found: usize,
+        /// Fields expected from the header.
+        expected: usize,
+    },
+    /// The input had no header record.
+    Empty,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error: {e}"),
+            CsvError::RaggedRow {
+                record,
+                found,
+                expected,
+            } => write!(
+                f,
+                "record {record} has {found} fields, expected {expected}"
+            ),
+            CsvError::Empty => write!(f, "input has no header record"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Splits one CSV line into fields, honouring quotes.
+fn split_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            if ch == '"' {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(ch);
+            }
+        } else {
+            match ch {
+                '"' => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut cur)),
+                _ => cur.push(ch),
+            }
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Quotes a field if it contains a comma, quote, or newline.
+fn quote_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Reads a table named `name` from CSV.
+pub fn read_csv<R: BufRead>(name: &str, r: R) -> Result<Table, CsvError> {
+    let mut lines = r.lines();
+    let header = match lines.next() {
+        Some(h) => h?,
+        None => return Err(CsvError::Empty),
+    };
+    let columns = split_line(&header);
+    let expected = columns.len();
+    let mut table = Table::new(name, columns);
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_line(&line);
+        if fields.len() != expected {
+            return Err(CsvError::RaggedRow {
+                record: i + 2,
+                found: fields.len(),
+                expected,
+            });
+        }
+        table.push_row(fields.iter().map(|f| CellValue::parse(f)).collect());
+    }
+    Ok(table)
+}
+
+/// Writes a table as CSV (links degrade to their mention text).
+pub fn write_csv<W: Write>(table: &Table, mut w: W) -> std::io::Result<()> {
+    let header: Vec<String> = table.columns.iter().map(|c| quote_field(c)).collect();
+    writeln!(w, "{}", header.join(","))?;
+    for row in table.rows() {
+        let fields: Vec<String> = row.iter().map(|c| quote_field(&c.text())).collect();
+        let line = fields.join(",");
+        if line.is_empty() {
+            // A single null cell would serialize to a blank line, which the
+            // reader (like most CSV parsers) skips; write an explicit empty
+            // quoted field instead so the row survives a round-trip.
+            writeln!(w, "\"\"")?;
+        } else {
+            writeln!(w, "{line}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_header_and_rows() {
+        let input = "Player,Team,Year\nRon Santo,Chicago Cubs,1960\n";
+        let t = read_csv("t", input.as_bytes()).unwrap();
+        assert_eq!(t.columns, vec!["Player", "Team", "Year"]);
+        assert_eq!(t.n_rows(), 1);
+        assert_eq!(*t.cell(0, 2), CellValue::Number(1960.0));
+        assert_eq!(*t.cell(0, 0), CellValue::Text("Ron Santo".into()));
+    }
+
+    #[test]
+    fn quoted_fields_keep_commas_and_quotes() {
+        let input = "a,b\n\"x, y\",\"he said \"\"hi\"\"\"\n";
+        let t = read_csv("t", input.as_bytes()).unwrap();
+        assert_eq!(*t.cell(0, 0), CellValue::Text("x, y".into()));
+        assert_eq!(*t.cell(0, 1), CellValue::Text("he said \"hi\"".into()));
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let input = "a,b\n1\n";
+        let err = read_csv("t", input.as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            CsvError::RaggedRow {
+                record: 2,
+                found: 1,
+                expected: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        let err = read_csv("t", "".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Empty));
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let input = "a,b\nhello,42\n\"x, y\",\n";
+        let t = read_csv("t", input.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let t2 = read_csv("t", buf.as_slice()).unwrap();
+        assert_eq!(t.rows(), t2.rows());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let input = "a\n1\n\n2\n";
+        let t = read_csv("t", input.as_bytes()).unwrap();
+        assert_eq!(t.n_rows(), 2);
+    }
+}

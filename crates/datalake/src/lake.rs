@@ -1,0 +1,192 @@
+//! The data lake container: tables plus entity→table postings.
+
+use std::collections::HashMap;
+
+use thetis_kg::EntityId;
+
+use crate::table::{Table, TableId};
+
+/// A data lake `D = {T1, ..., Tn}`.
+///
+/// Besides the tables themselves, the lake maintains an inverse of the
+/// entity-linking function `Φ⁻¹`: for each entity, the list of tables it
+/// appears in. This posting list powers both the informativeness weights
+/// `I(e)` (inverse table frequency) and the LSEI prefilter.
+#[derive(Debug, Clone, Default)]
+pub struct DataLake {
+    tables: Vec<Table>,
+    postings: HashMap<EntityId, Vec<TableId>>,
+    postings_dirty: bool,
+}
+
+impl DataLake {
+    /// Creates an empty lake.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a lake from tables, computing postings eagerly.
+    pub fn from_tables(tables: Vec<Table>) -> Self {
+        let mut lake = Self {
+            tables,
+            postings: HashMap::new(),
+            postings_dirty: true,
+        };
+        lake.rebuild_postings();
+        lake
+    }
+
+    /// Adds a table, returning its id. Postings are marked stale and rebuilt
+    /// lazily on the next posting query.
+    pub fn add_table(&mut self, table: Table) -> TableId {
+        let id = TableId::from_index(self.tables.len());
+        self.tables.push(table);
+        self.postings_dirty = true;
+        id
+    }
+
+    /// Number of tables.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the lake is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// The table with the given id.
+    #[inline]
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.index()]
+    }
+
+    /// Mutable access to a table. Postings are marked stale.
+    pub fn table_mut(&mut self, id: TableId) -> &mut Table {
+        self.postings_dirty = true;
+        &mut self.tables[id.index()]
+    }
+
+    /// All tables in id order.
+    #[inline]
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Mutable access to all tables (bulk linking). Postings are marked stale.
+    pub fn tables_mut(&mut self) -> &mut [Table] {
+        self.postings_dirty = true;
+        &mut self.tables
+    }
+
+    /// Iterates over `(id, table)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TableId, &Table)> {
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TableId::from_index(i), t))
+    }
+
+    /// Rebuilds the entity→tables postings from scratch.
+    pub fn rebuild_postings(&mut self) {
+        self.postings.clear();
+        for (i, table) in self.tables.iter().enumerate() {
+            let id = TableId::from_index(i);
+            for e in table.distinct_entities() {
+                self.postings.entry(e).or_default().push(id);
+            }
+        }
+        self.postings_dirty = false;
+    }
+
+    fn ensure_postings(&mut self) {
+        if self.postings_dirty {
+            self.rebuild_postings();
+        }
+    }
+
+    /// Tables containing entity `e` (each at most once, in id order).
+    pub fn tables_with_entity(&mut self, e: EntityId) -> &[TableId] {
+        self.ensure_postings();
+        self.postings.get(&e).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Read-only posting access; requires postings to be fresh.
+    ///
+    /// # Panics
+    /// Panics if tables were mutated since the last rebuild.
+    pub fn postings(&self) -> &HashMap<EntityId, Vec<TableId>> {
+        assert!(
+            !self.postings_dirty,
+            "postings are stale; call rebuild_postings() after mutating tables"
+        );
+        &self.postings
+    }
+
+    /// Number of tables containing entity `e` (the raw signal behind the
+    /// informativeness weight `I(e)`).
+    pub fn table_frequency(&mut self, e: EntityId) -> usize {
+        self.tables_with_entity(e).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::CellValue;
+
+    fn linked(m: &str, e: u32) -> CellValue {
+        CellValue::LinkedEntity {
+            mention: m.into(),
+            entity: EntityId(e),
+        }
+    }
+
+    fn lake() -> DataLake {
+        let mut t1 = Table::new("t1", vec!["a".into()]);
+        t1.push_row(vec![linked("x", 1)]);
+        t1.push_row(vec![linked("x", 1)]); // duplicate entity, one posting
+        let mut t2 = Table::new("t2", vec!["a".into()]);
+        t2.push_row(vec![linked("y", 2)]);
+        t2.push_row(vec![linked("x", 1)]);
+        DataLake::from_tables(vec![t1, t2])
+    }
+
+    #[test]
+    fn postings_dedup_within_table() {
+        let mut lake = lake();
+        assert_eq!(
+            lake.tables_with_entity(EntityId(1)),
+            &[TableId(0), TableId(1)]
+        );
+        assert_eq!(lake.tables_with_entity(EntityId(2)), &[TableId(1)]);
+        assert_eq!(lake.tables_with_entity(EntityId(99)), &[] as &[TableId]);
+    }
+
+    #[test]
+    fn table_frequency_counts_tables() {
+        let mut lake = lake();
+        assert_eq!(lake.table_frequency(EntityId(1)), 2);
+        assert_eq!(lake.table_frequency(EntityId(2)), 1);
+    }
+
+    #[test]
+    fn mutation_invalidates_postings() {
+        let mut lake = lake();
+        let _ = lake.tables_with_entity(EntityId(1));
+        let mut t3 = Table::new("t3", vec!["a".into()]);
+        t3.push_row(vec![linked("z", 3)]);
+        lake.add_table(t3);
+        assert_eq!(lake.tables_with_entity(EntityId(3)), &[TableId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn stale_posting_access_panics() {
+        let mut lake = lake();
+        lake.add_table(Table::new("t3", vec!["a".into()]));
+        let _ = lake.postings();
+    }
+}

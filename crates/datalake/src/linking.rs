@@ -1,0 +1,340 @@
+//! Entity linking: implementations of the partial mapping `Φ`.
+//!
+//! The paper assumes links are produced by an off-the-shelf linker (TabEL
+//! for the Wikipedia corpora, Lucene keyword lookup for GitTables, and
+//! EMBLOOKUP in the linker-robustness study of §7.5). We provide:
+//!
+//! * [`ExactLabelLinker`] — exact mention-to-label match (the ground-truth
+//!   links shipped with the WT benchmarks),
+//! * [`TokenLinker`] — token-overlap match against a token index of entity
+//!   labels (the Lucene stand-in used for GitTables),
+//! * [`NoisyLinker`] — wraps another linker, dropping or rewiring links at
+//!   configurable rates (the low-F1 EMBLOOKUP simulation).
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use thetis_kg::interner::Interner;
+use thetis_kg::{EntityId, KnowledgeGraph};
+
+use crate::lake::DataLake;
+use crate::table::Table;
+use crate::value::CellValue;
+
+/// Statistics of one linking pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkStats {
+    /// Non-null cells examined.
+    pub cells: usize,
+    /// Cells that received a link.
+    pub linked: usize,
+}
+
+impl LinkStats {
+    /// Fraction of examined cells that were linked.
+    pub fn coverage(&self) -> f64 {
+        if self.cells == 0 {
+            0.0
+        } else {
+            self.linked as f64 / self.cells as f64
+        }
+    }
+}
+
+/// A function from mention text to a KG entity: the mapping `Φ` restricted
+/// to a single cell.
+pub trait EntityLinker {
+    /// Attempts to link a mention.
+    fn link(&mut self, mention: &str) -> Option<EntityId>;
+
+    /// Links every text cell of `table` in place, returning statistics.
+    fn link_table(&mut self, table: &mut Table) -> LinkStats {
+        let mut stats = LinkStats::default();
+        for row in table.rows_mut() {
+            for cell in row.iter_mut() {
+                match cell {
+                    CellValue::Text(s) => {
+                        stats.cells += 1;
+                        if let Some(entity) = self.link(s) {
+                            stats.linked += 1;
+                            let mention = std::mem::take(s);
+                            *cell = CellValue::LinkedEntity { mention, entity };
+                        }
+                    }
+                    CellValue::Number(_) | CellValue::LinkedEntity { .. } => {
+                        stats.cells += 1;
+                        if cell.is_linked() {
+                            stats.linked += 1;
+                        }
+                    }
+                    CellValue::Null => {}
+                }
+            }
+        }
+        stats
+    }
+
+    /// Links every table of `lake`, rebuilding postings afterwards.
+    fn link_lake(&mut self, lake: &mut DataLake) -> LinkStats {
+        let mut total = LinkStats::default();
+        for table in lake.tables_mut() {
+            let s = self.link_table(table);
+            total.cells += s.cells;
+            total.linked += s.linked;
+        }
+        lake.rebuild_postings();
+        total
+    }
+}
+
+/// Links a mention iff it exactly equals an entity label.
+pub struct ExactLabelLinker<'g> {
+    graph: &'g KnowledgeGraph,
+}
+
+impl<'g> ExactLabelLinker<'g> {
+    /// Creates a linker over `graph`'s label index.
+    pub fn new(graph: &'g KnowledgeGraph) -> Self {
+        Self { graph }
+    }
+}
+
+impl EntityLinker for ExactLabelLinker<'_> {
+    fn link(&mut self, mention: &str) -> Option<EntityId> {
+        self.graph.entity_by_label(mention.trim())
+    }
+}
+
+/// Token-overlap linker: a small inverted index over label tokens, scoring
+/// candidates by the number of shared tokens and tie-breaking toward
+/// shorter labels (the behaviour of a Lucene `OR` keyword query with length
+/// normalization).
+///
+/// Tokens are interned to dense symbols, so postings are keyed by `u32`
+/// instead of owned strings — label vocabularies repeat heavily.
+pub struct TokenLinker {
+    tokens: Interner,
+    postings: Vec<Vec<EntityId>>,
+    label_len: Vec<u16>,
+    /// Minimum fraction of mention tokens that must match.
+    pub min_overlap: f64,
+}
+
+impl TokenLinker {
+    /// Indexes all entity labels of `graph`.
+    pub fn new(graph: &KnowledgeGraph) -> Self {
+        let mut tokens = Interner::new();
+        let mut postings: Vec<Vec<EntityId>> = Vec::new();
+        let mut label_len = Vec::with_capacity(graph.entity_count());
+        for e in graph.entity_ids() {
+            let label = graph.label(e);
+            let toks = tokenize(label);
+            label_len.push(toks.len() as u16);
+            for tok in toks {
+                let sym = tokens.intern(&tok);
+                if postings.len() <= sym.0 as usize {
+                    postings.resize_with(sym.0 as usize + 1, Vec::new);
+                }
+                let list = &mut postings[sym.0 as usize];
+                // labels are indexed once per distinct token
+                if list.last() != Some(&e) {
+                    list.push(e);
+                }
+            }
+        }
+        Self {
+            tokens,
+            postings,
+            label_len,
+            min_overlap: 0.6,
+        }
+    }
+}
+
+/// Lowercased alphanumeric tokens of a string.
+pub fn tokenize(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in s.chars() {
+        if ch.is_alphanumeric() {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+impl EntityLinker for TokenLinker {
+    fn link(&mut self, mention: &str) -> Option<EntityId> {
+        let tokens = tokenize(mention);
+        if tokens.is_empty() {
+            return None;
+        }
+        let mut votes: HashMap<EntityId, usize> = HashMap::new();
+        for tok in &tokens {
+            if let Some(sym) = self.tokens.get(tok) {
+                for &e in &self.postings[sym.0 as usize] {
+                    *votes.entry(e).or_insert(0) += 1;
+                }
+            }
+        }
+        let needed = (tokens.len() as f64 * self.min_overlap).ceil() as usize;
+        votes
+            .into_iter()
+            .filter(|&(_, v)| v >= needed.max(1))
+            // prefer more matched tokens, then shorter labels, then lower id
+            .max_by(|&(ea, va), &(eb, vb)| {
+                va.cmp(&vb)
+                    .then(
+                        self.label_len[eb.index()]
+                            .cmp(&self.label_len[ea.index()]),
+                    )
+                    .then(eb.0.cmp(&ea.0))
+            })
+            .map(|(e, _)| e)
+    }
+}
+
+/// Wraps a linker with synthetic noise: with probability `drop_rate` a link
+/// is discarded; with probability `rewire_rate` it is replaced by a random
+/// entity. Simulates a low-F1 automatic linker such as EMBLOOKUP (§7.5).
+pub struct NoisyLinker<L> {
+    inner: L,
+    /// Probability a produced link is dropped.
+    pub drop_rate: f64,
+    /// Probability a produced link is rewired to a random entity.
+    pub rewire_rate: f64,
+    n_entities: usize,
+    rng: SmallRng,
+}
+
+impl<L: EntityLinker> NoisyLinker<L> {
+    /// Creates a noisy wrapper around `inner` for a graph of `n_entities`.
+    pub fn new(inner: L, n_entities: usize, drop_rate: f64, rewire_rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drop_rate) && (0.0..=1.0).contains(&rewire_rate),
+            "rates must be probabilities"
+        );
+        assert!(drop_rate + rewire_rate <= 1.0, "rates must sum to ≤ 1");
+        Self {
+            inner,
+            drop_rate,
+            rewire_rate,
+            n_entities,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl<L: EntityLinker> EntityLinker for NoisyLinker<L> {
+    fn link(&mut self, mention: &str) -> Option<EntityId> {
+        let linked = self.inner.link(mention)?;
+        let roll: f64 = self.rng.random();
+        if roll < self.drop_rate {
+            None
+        } else if roll < self.drop_rate + self.rewire_rate {
+            Some(EntityId(self.rng.random_range(0..self.n_entities as u32)))
+        } else {
+            Some(linked)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thetis_kg::KgBuilder;
+
+    fn graph() -> KnowledgeGraph {
+        let mut b = KgBuilder::new();
+        let t = b.add_type("Thing", None);
+        b.add_entity("Ron Santo", vec![t]);
+        b.add_entity("Chicago Cubs", vec![t]);
+        b.add_entity("Chicago", vec![t]);
+        b.freeze()
+    }
+
+    #[test]
+    fn exact_linker_matches_labels() {
+        let g = graph();
+        let mut l = ExactLabelLinker::new(&g);
+        assert_eq!(l.link("Ron Santo"), g.entity_by_label("Ron Santo"));
+        assert_eq!(l.link("  Ron Santo  "), g.entity_by_label("Ron Santo"));
+        assert_eq!(l.link("ron santo"), None);
+    }
+
+    #[test]
+    fn token_linker_matches_partial_mentions() {
+        let g = graph();
+        let mut l = TokenLinker::new(&g);
+        // Full-token match.
+        assert_eq!(l.link("chicago cubs"), g.entity_by_label("Chicago Cubs"));
+        // Single token prefers the shorter label ("Chicago" over "Chicago Cubs").
+        assert_eq!(l.link("Chicago"), g.entity_by_label("Chicago"));
+        assert_eq!(l.link("zebra"), None);
+        assert_eq!(l.link("!!!"), None);
+    }
+
+    #[test]
+    fn link_table_attaches_links_and_reports_coverage() {
+        let g = graph();
+        let mut t = Table::new("t", vec!["a".into(), "b".into()]);
+        t.push_row(vec![
+            CellValue::Text("Ron Santo".into()),
+            CellValue::Text("not an entity".into()),
+        ]);
+        t.push_row(vec![CellValue::Number(3.0), CellValue::Null]);
+        let stats = ExactLabelLinker::new(&g).link_table(&mut t);
+        assert_eq!(stats.cells, 3); // null excluded
+        assert_eq!(stats.linked, 1);
+        assert!(t.cell(0, 0).is_linked());
+        assert!(!t.cell(0, 1).is_linked());
+    }
+
+    #[test]
+    fn noisy_linker_degrades_coverage() {
+        let g = graph();
+        let mut clean = 0;
+        let mut noisy = 0;
+        for i in 0..200 {
+            let mut l = NoisyLinker::new(ExactLabelLinker::new(&g), 3, 0.5, 0.0, i);
+            if ExactLabelLinker::new(&g).link("Ron Santo").is_some() {
+                clean += 1;
+            }
+            if l.link("Ron Santo").is_some() {
+                noisy += 1;
+            }
+        }
+        assert_eq!(clean, 200);
+        assert!(noisy > 50 && noisy < 150, "expected ~100, got {noisy}");
+    }
+
+    #[test]
+    fn noisy_linker_rewires_links() {
+        let g = graph();
+        let mut l = NoisyLinker::new(ExactLabelLinker::new(&g), 3, 0.0, 1.0, 7);
+        // With rewire_rate = 1 every link is random but always present.
+        for _ in 0..20 {
+            assert!(l.link("Ron Santo").is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum")]
+    fn invalid_rates_panic() {
+        let g = graph();
+        let _ = NoisyLinker::new(ExactLabelLinker::new(&g), 3, 0.8, 0.8, 0);
+    }
+
+    #[test]
+    fn tokenize_splits_on_non_alphanumeric() {
+        assert_eq!(tokenize("Ron Santo"), vec!["ron", "santo"]);
+        assert_eq!(tokenize("a-b_c9"), vec!["a", "b", "c9"]);
+        assert!(tokenize("  !! ").is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Corpus statistics reproducing Table 2 of the paper: number of tables,
+//! mean rows, mean columns, and mean entity-link coverage.
+
+use serde::Serialize;
+
+use crate::lake::DataLake;
+
+/// Aggregate statistics over a data lake.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LakeStats {
+    /// Number of tables `|D|`.
+    pub tables: usize,
+    /// Mean rows per table.
+    pub mean_rows: f64,
+    /// Mean columns per table.
+    pub mean_cols: f64,
+    /// Mean per-table entity-link coverage.
+    pub mean_coverage: f64,
+}
+
+impl LakeStats {
+    /// Computes the statistics for `lake`.
+    pub fn compute(lake: &DataLake) -> Self {
+        let n = lake.len();
+        if n == 0 {
+            return Self {
+                tables: 0,
+                mean_rows: 0.0,
+                mean_cols: 0.0,
+                mean_coverage: 0.0,
+            };
+        }
+        let mut rows = 0usize;
+        let mut cols = 0usize;
+        let mut coverage = 0.0f64;
+        for table in lake.tables() {
+            rows += table.n_rows();
+            cols += table.n_cols();
+            coverage += table.link_coverage();
+        }
+        Self {
+            tables: n,
+            mean_rows: rows as f64 / n as f64,
+            mean_cols: cols as f64 / n as f64,
+            mean_coverage: coverage / n as f64,
+        }
+    }
+}
+
+impl std::fmt::Display for LakeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} tables, {:.1} rows, {:.1} cols, {:.1}% coverage",
+            self.tables,
+            self.mean_rows,
+            self.mean_cols,
+            self.mean_coverage * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+    use crate::value::CellValue;
+    use thetis_kg::EntityId;
+
+    #[test]
+    fn stats_average_over_tables() {
+        let mut t1 = Table::new("t1", vec!["a".into(), "b".into()]);
+        t1.push_row(vec![
+            CellValue::LinkedEntity {
+                mention: "x".into(),
+                entity: EntityId(0),
+            },
+            CellValue::Text("y".into()),
+        ]);
+        let mut t2 = Table::new("t2", vec!["a".into()]);
+        t2.push_row(vec![CellValue::Text("p".into())]);
+        t2.push_row(vec![CellValue::Text("q".into())]);
+        t2.push_row(vec![CellValue::Text("r".into())]);
+        let lake = DataLake::from_tables(vec![t1, t2]);
+        let s = LakeStats::compute(&lake);
+        assert_eq!(s.tables, 2);
+        assert!((s.mean_rows - 2.0).abs() < 1e-12);
+        assert!((s.mean_cols - 1.5).abs() < 1e-12);
+        assert!((s.mean_coverage - 0.25).abs() < 1e-12); // (0.5 + 0.0) / 2
+    }
+
+    #[test]
+    fn stats_of_empty_lake() {
+        let s = LakeStats::compute(&DataLake::new());
+        assert_eq!(s.tables, 0);
+        assert_eq!(s.mean_rows, 0.0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = LakeStats {
+            tables: 10,
+            mean_rows: 35.1,
+            mean_cols: 5.8,
+            mean_coverage: 0.277,
+        };
+        assert_eq!(s.to_string(), "10 tables, 35.1 rows, 5.8 cols, 27.7% coverage");
+    }
+}

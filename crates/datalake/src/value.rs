@@ -1,0 +1,138 @@
+//! Cell values: the countable value set `V` plus the partial entity link.
+
+use thetis_kg::EntityId;
+
+/// The value of one cell in a data-lake table.
+///
+/// Values come from the infinite set `V` of strings and numbers plus the
+/// null marker `⊥` (§2.1). A cell whose text was matched to a KG entity by
+/// the linking function `Φ` is represented as [`CellValue::LinkedEntity`],
+/// retaining the original mention text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellValue {
+    /// The null value `⊥`.
+    Null,
+    /// A numeric value.
+    Number(f64),
+    /// Free text with no entity link.
+    Text(String),
+    /// Text that `Φ` linked to a KG entity.
+    LinkedEntity {
+        /// The original cell text (the *mention*).
+        mention: String,
+        /// The linked entity.
+        entity: EntityId,
+    },
+}
+
+impl CellValue {
+    /// The linked entity, if any.
+    #[inline]
+    pub fn entity(&self) -> Option<EntityId> {
+        match self {
+            CellValue::LinkedEntity { entity, .. } => Some(*entity),
+            _ => None,
+        }
+    }
+
+    /// The textual content of the cell (numbers formatted, null empty).
+    pub fn text(&self) -> String {
+        match self {
+            CellValue::Null => String::new(),
+            CellValue::Number(n) => format_number(*n),
+            CellValue::Text(s) => s.clone(),
+            CellValue::LinkedEntity { mention, .. } => mention.clone(),
+        }
+    }
+
+    /// Whether the cell is null.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, CellValue::Null)
+    }
+
+    /// Whether the cell carries an entity link.
+    #[inline]
+    pub fn is_linked(&self) -> bool {
+        matches!(self, CellValue::LinkedEntity { .. })
+    }
+
+    /// Removes an entity link, turning the cell back into plain text.
+    pub fn unlink(self) -> CellValue {
+        match self {
+            CellValue::LinkedEntity { mention, .. } => CellValue::Text(mention),
+            other => other,
+        }
+    }
+
+    /// Parses raw text into `Null` / `Number` / `Text`.
+    pub fn parse(raw: &str) -> CellValue {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            return CellValue::Null;
+        }
+        if let Ok(n) = trimmed.parse::<f64>() {
+            if n.is_finite() {
+                return CellValue::Number(n);
+            }
+        }
+        CellValue::Text(trimmed.to_string())
+    }
+}
+
+/// Formats a number the way we print it into CSV: integers without a
+/// trailing `.0`.
+fn format_number(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_classifies_values() {
+        assert_eq!(CellValue::parse(""), CellValue::Null);
+        assert_eq!(CellValue::parse("  "), CellValue::Null);
+        assert_eq!(CellValue::parse("3.5"), CellValue::Number(3.5));
+        assert_eq!(CellValue::parse("42"), CellValue::Number(42.0));
+        assert_eq!(
+            CellValue::parse(" Ron Santo "),
+            CellValue::Text("Ron Santo".into())
+        );
+    }
+
+    #[test]
+    fn parse_rejects_non_finite_numbers() {
+        assert_eq!(CellValue::parse("inf"), CellValue::Text("inf".into()));
+        // "NaN" parses as f64 NaN; must stay text.
+        assert_eq!(CellValue::parse("NaN"), CellValue::Text("NaN".into()));
+    }
+
+    #[test]
+    fn text_roundtrips() {
+        assert_eq!(CellValue::Number(42.0).text(), "42");
+        assert_eq!(CellValue::Number(2.5).text(), "2.5");
+        assert_eq!(CellValue::Null.text(), "");
+        let linked = CellValue::LinkedEntity {
+            mention: "Cubs".into(),
+            entity: EntityId(7),
+        };
+        assert_eq!(linked.text(), "Cubs");
+        assert_eq!(linked.entity(), Some(EntityId(7)));
+    }
+
+    #[test]
+    fn unlink_strips_entity() {
+        let linked = CellValue::LinkedEntity {
+            mention: "Cubs".into(),
+            entity: EntityId(7),
+        };
+        assert_eq!(linked.unlink(), CellValue::Text("Cubs".into()));
+        assert_eq!(CellValue::Null.unlink(), CellValue::Null);
+    }
+}

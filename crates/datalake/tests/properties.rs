@@ -1,0 +1,94 @@
+//! Property-based tests for the data-lake substrate.
+
+use proptest::prelude::*;
+use thetis_datalake::{csv, CellValue, DataLake, Table};
+use thetis_kg::EntityId;
+
+/// CSV-safe arbitrary cell text (the writer quotes commas/quotes/newlines;
+/// carriage returns are the one thing line-based parsing cannot keep).
+fn arb_text() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 ,\"']{0,12}".prop_map(|s| s.trim().to_string())
+}
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    (1usize..5, 0usize..8).prop_flat_map(|(cols, rows)| {
+        proptest::collection::vec(
+            proptest::collection::vec(arb_text(), cols..=cols),
+            rows..=rows,
+        )
+        .prop_map(move |data| {
+            let mut t = Table::new(
+                "t",
+                (0..cols).map(|c| format!("col{c}")).collect::<Vec<_>>(),
+            );
+            for row in data {
+                t.push_row(row.into_iter().map(|s| CellValue::parse(&s)).collect());
+            }
+            t
+        })
+    })
+}
+
+proptest! {
+    /// write_csv ∘ read_csv is the identity on parsed values.
+    #[test]
+    fn csv_roundtrip(table in arb_table()) {
+        let mut buf = Vec::new();
+        csv::write_csv(&table, &mut buf).unwrap();
+        let reread = csv::read_csv("t", buf.as_slice()).unwrap();
+        prop_assert_eq!(&reread.columns, &table.columns);
+        prop_assert_eq!(reread.rows(), table.rows());
+    }
+
+    /// Postings are exactly the inverse of table membership.
+    #[test]
+    fn postings_are_inverse_of_membership(
+        memberships in proptest::collection::vec(
+            proptest::collection::btree_set(0u32..12, 0..6), 1..8),
+    ) {
+        let tables: Vec<Table> = memberships
+            .iter()
+            .map(|ents| {
+                let mut t = Table::new("t", vec!["c".into()]);
+                for &e in ents {
+                    t.push_row(vec![CellValue::LinkedEntity {
+                        mention: format!("e{e}"),
+                        entity: EntityId(e),
+                    }]);
+                }
+                t
+            })
+            .collect();
+        let mut lake = DataLake::from_tables(tables);
+        for e in 0u32..12 {
+            let posted: Vec<usize> = lake
+                .tables_with_entity(EntityId(e))
+                .iter()
+                .map(|t| t.index())
+                .collect();
+            let expected: Vec<usize> = memberships
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.contains(&e))
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(posted, expected);
+        }
+    }
+
+    /// Coverage is always a valid fraction and responds to unlinking.
+    #[test]
+    fn coverage_is_bounded_and_monotone(table in arb_table()) {
+        let cov = table.link_coverage();
+        prop_assert!((0.0..=1.0).contains(&cov));
+        // Unlinking everything drives coverage to zero.
+        let mut unlinked = table.clone();
+        for row in unlinked.rows_mut() {
+            for cell in row.iter_mut() {
+                let owned = std::mem::replace(cell, CellValue::Null);
+                *cell = owned.unlink();
+            }
+        }
+        prop_assert_eq!(unlinked.link_coverage(), 0.0);
+    }
+}

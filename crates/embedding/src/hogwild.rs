@@ -1,0 +1,213 @@
+//! Lock-free parallel SGNS ("Hogwild!", Niu et al. 2011).
+//!
+//! Worker threads update shared embedding matrices without coordination;
+//! occasional lost updates are statistically harmless for SGD. We avoid
+//! undefined behaviour by storing weights as relaxed `AtomicU32` bit
+//! patterns — on x86 these compile to plain loads/stores, so the
+//! single-threaded fast path pays nothing.
+//!
+//! Training with more than one thread is **not bit-deterministic** (update
+//! interleaving varies); the deterministic single-threaded path in
+//! [`crate::sgns`] remains the default everywhere reproducibility matters.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use thetis_kg::EntityId;
+
+use crate::sgns::SgnsConfig;
+use crate::store::EmbeddingStore;
+
+/// A shared `f32` matrix with relaxed atomic element access.
+pub struct AtomicMatrix {
+    cells: Vec<AtomicU32>,
+}
+
+impl AtomicMatrix {
+    /// Creates a matrix from initial values.
+    pub fn from_values(values: Vec<f32>) -> Self {
+        Self {
+            cells: values.into_iter().map(|v| AtomicU32::new(v.to_bits())).collect(),
+        }
+    }
+
+    /// Relaxed load.
+    #[inline]
+    pub fn get(&self, i: usize) -> f32 {
+        f32::from_bits(self.cells[i].load(Ordering::Relaxed))
+    }
+
+    /// Relaxed store.
+    #[inline]
+    pub fn set(&self, i: usize, v: f32) {
+        self.cells[i].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Non-atomic read-modify-write (`+=`); lost updates are acceptable in
+    /// Hogwild training.
+    #[inline]
+    pub fn add(&self, i: usize, delta: f32) {
+        self.set(i, self.get(i) + delta);
+    }
+
+    /// Extracts the values.
+    pub fn into_values(self) -> Vec<f32> {
+        self.cells
+            .into_iter()
+            .map(|c| f32::from_bits(c.into_inner()))
+            .collect()
+    }
+}
+
+/// Trains SGNS over `walks` on `threads` workers (falls back to the
+/// deterministic single-threaded trainer for `threads <= 1`).
+pub fn train_parallel(
+    walks: &[Vec<EntityId>],
+    n_entities: usize,
+    config: &SgnsConfig,
+    threads: usize,
+) -> EmbeddingStore {
+    if threads <= 1 {
+        return crate::sgns::train(walks, n_entities, config);
+    }
+    let dim = config.dim;
+    let mut init_rng = SmallRng::seed_from_u64(config.seed);
+    let mut centers_init = vec![0.0f32; n_entities * dim];
+    for x in centers_init.iter_mut() {
+        *x = (init_rng.random::<f32>() - 0.5) / dim as f32;
+    }
+    let centers = AtomicMatrix::from_values(centers_init);
+    let contexts = AtomicMatrix::from_values(vec![0.0f32; n_entities * dim]);
+
+    let mut counts = vec![0u64; n_entities];
+    for walk in walks {
+        for &e in walk {
+            counts[e.index()] += 1;
+        }
+    }
+    let neg_table = crate::sgns::negative_table(&counts);
+    if neg_table.is_empty() {
+        return EmbeddingStore::from_raw(centers.into_values(), dim);
+    }
+
+    let chunk = walks.len().div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        for (tid, slice) in walks.chunks(chunk).enumerate() {
+            let centers = &centers;
+            let contexts = &contexts;
+            let neg_table = &neg_table;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(config.seed ^ (tid as u64 + 1) << 17);
+                let total_tokens: usize = slice.iter().map(Vec::len).sum();
+                let total_pairs =
+                    (total_tokens * config.window * 2 * config.epochs).max(1);
+                let mut processed = 0usize;
+                let mut grad = vec![0.0f32; dim];
+                for _epoch in 0..config.epochs {
+                    for walk in slice {
+                        for (i, &center) in walk.iter().enumerate() {
+                            let radius = rng.random_range(1..=config.window);
+                            let lo = i.saturating_sub(radius);
+                            let hi = (i + radius + 1).min(walk.len());
+                            for (j, &context) in
+                                walk.iter().enumerate().take(hi).skip(lo)
+                            {
+                                if j == i {
+                                    continue;
+                                }
+                                processed += 1;
+                                let lr = config.learning_rate
+                                    * (1.0 - processed as f32 / total_pairs as f32)
+                                        .max(1e-4);
+                                grad.iter_mut().for_each(|g| *g = 0.0);
+                                let c_off = center.index() * dim;
+                                for k in 0..=config.negatives {
+                                    let (target, label) = if k == 0 {
+                                        (context.index(), 1.0f32)
+                                    } else {
+                                        let t = neg_table
+                                            [rng.random_range(0..neg_table.len())]
+                                            as usize;
+                                        if t == context.index() {
+                                            continue;
+                                        }
+                                        (t, 0.0f32)
+                                    };
+                                    let t_off = target * dim;
+                                    let mut dot = 0.0f32;
+                                    for d in 0..dim {
+                                        dot += centers.get(c_off + d)
+                                            * contexts.get(t_off + d);
+                                    }
+                                    let g = (label - crate::sgns::sigmoid(dot)) * lr;
+                                    for (d, gd) in grad.iter_mut().enumerate() {
+                                        *gd += g * contexts.get(t_off + d);
+                                        contexts.add(t_off + d, g * centers.get(c_off + d));
+                                    }
+                                }
+                                for (d, &gd) in grad.iter().enumerate() {
+                                    centers.add(c_off + d, gd);
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    EmbeddingStore::from_raw(centers.into_values(), dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walks_two_clusters() -> (Vec<Vec<EntityId>>, usize) {
+        let mut walks = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..400 {
+            let base = if rng.random_bool(0.5) { 0 } else { 4 };
+            let walk: Vec<EntityId> = (0..6)
+                .map(|_| EntityId(base + rng.random_range(0..4)))
+                .collect();
+            walks.push(walk);
+        }
+        (walks, 8)
+    }
+
+    #[test]
+    fn parallel_training_preserves_cluster_structure() {
+        let (walks, n) = walks_two_clusters();
+        let cfg = SgnsConfig {
+            dim: 16,
+            epochs: 5,
+            ..SgnsConfig::default()
+        };
+        let emb = train_parallel(&walks, n, &cfg, 4);
+        let within = emb.cosine(EntityId(0), EntityId(1));
+        let across = emb.cosine(EntityId(0), EntityId(5));
+        assert!(
+            within > across + 0.2,
+            "within {within:.3} vs across {across:.3}"
+        );
+    }
+
+    #[test]
+    fn single_thread_falls_back_to_deterministic_path() {
+        let (walks, n) = walks_two_clusters();
+        let cfg = SgnsConfig::default();
+        let a = train_parallel(&walks, n, &cfg, 1);
+        let b = crate::sgns::train(&walks, n, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn atomic_matrix_roundtrips() {
+        let m = AtomicMatrix::from_values(vec![1.0, -2.5]);
+        assert_eq!(m.get(0), 1.0);
+        m.add(1, 0.5);
+        assert_eq!(m.get(1), -2.0);
+        assert_eq!(m.into_values(), vec![1.0, -2.0]);
+    }
+}

@@ -1,0 +1,28 @@
+//! RDF2Vec-style entity embeddings for Thetis.
+//!
+//! RDF2Vec (Ristoski & Paulheim, 2016) trains word2vec over random walks on
+//! an RDF graph. The paper uses pre-trained RDF2Vec vectors on DBpedia; we
+//! implement the same pipeline from scratch:
+//!
+//! 1. [`walks`] — uniform random walks over the knowledge graph, one corpus
+//!    "sentence" per walk;
+//! 2. [`sgns`] — skip-gram with negative sampling trained on the walk
+//!    corpus;
+//! 3. [`store`] — a dense, L2-normalizable embedding store with cosine
+//!    similarity and a compact binary serialization.
+//!
+//! The only property downstream code relies on is that entities with
+//! similar graph neighborhoods receive high cosine similarity, which is
+//! exactly what SGNS over random walks produces.
+
+pub mod hogwild;
+pub mod rdf2vec;
+pub mod sgns;
+pub mod store;
+pub mod walks;
+
+pub use rdf2vec::{Rdf2Vec, Rdf2VecConfig};
+pub use sgns::SgnsConfig;
+pub use store::EmbeddingStore;
+pub use hogwild::train_parallel;
+pub use walks::{generate_walks, WalkConfig};

@@ -1,0 +1,117 @@
+//! The end-to-end RDF2Vec pipeline: walks → SGNS → normalized store.
+
+use thetis_kg::KnowledgeGraph;
+
+use crate::sgns::{self, SgnsConfig};
+use crate::store::EmbeddingStore;
+use crate::walks::{generate_walks, WalkConfig};
+
+/// Combined configuration of the RDF2Vec pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct Rdf2VecConfig {
+    /// Random-walk extraction parameters.
+    pub walks: WalkConfig,
+    /// SGNS training parameters.
+    pub sgns: SgnsConfig,
+    /// Training threads. `0` or `1` = deterministic single-threaded SGNS;
+    /// more = Hogwild parallel training (not bit-reproducible).
+    pub threads: usize,
+}
+
+/// The RDF2Vec trainer.
+///
+/// ```
+/// use thetis_kg::{KgGeneratorConfig, SyntheticKg};
+/// use thetis_embedding::{Rdf2Vec, Rdf2VecConfig};
+///
+/// let kg = SyntheticKg::generate(&KgGeneratorConfig {
+///     domains: 2, topics_per_domain: 2, entities_per_kind: 4,
+///     ..KgGeneratorConfig::default()
+/// });
+/// let emb = Rdf2Vec::new(Rdf2VecConfig::default()).train(&kg.graph);
+/// assert_eq!(emb.len(), kg.graph.entity_count());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Rdf2Vec {
+    config: Rdf2VecConfig,
+}
+
+impl Rdf2Vec {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: Rdf2VecConfig) -> Self {
+        Self { config }
+    }
+
+    /// Trains embeddings for every entity of `graph` and L2-normalizes them
+    /// so cosine similarity reduces to a dot product.
+    pub fn train(&self, graph: &KnowledgeGraph) -> EmbeddingStore {
+        let walks = generate_walks(graph, &self.config.walks);
+        let mut store = if self.config.threads > 1 {
+            crate::hogwild::train_parallel(
+                &walks,
+                graph.entity_count(),
+                &self.config.sgns,
+                self.config.threads,
+            )
+        } else {
+            sgns::train(&walks, graph.entity_count(), &self.config.sgns)
+        };
+        store.normalize();
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thetis_kg::{KgGeneratorConfig, SyntheticKg};
+
+    fn small_kg() -> SyntheticKg {
+        SyntheticKg::generate(&KgGeneratorConfig {
+            domains: 3,
+            topics_per_domain: 3,
+            entities_per_kind: 8,
+            hubs: 6,
+            ..KgGeneratorConfig::default()
+        })
+    }
+
+    #[test]
+    fn intra_topic_similarity_exceeds_cross_domain() {
+        let kg = small_kg();
+        let emb = Rdf2Vec::new(Rdf2VecConfig::default()).train(&kg.graph);
+
+        // Average same-topic vs cross-domain cosine over several probes.
+        let t0 = &kg.topics[0];
+        let t_far = kg.topics.last().unwrap();
+        let mut same = 0.0;
+        let mut cross = 0.0;
+        let mut n = 0.0;
+        for i in 0..4 {
+            for j in 0..4 {
+                if i == j {
+                    continue;
+                }
+                same += emb.cosine(t0.entities_by_kind[0][i], t0.entities_by_kind[0][j]);
+                cross += emb.cosine(t0.entities_by_kind[0][i], t_far.entities_by_kind[0][j]);
+                n += 1.0;
+            }
+        }
+        assert!(
+            same / n > cross / n,
+            "same-topic mean {:.3} should exceed cross-domain mean {:.3}",
+            same / n,
+            cross / n
+        );
+    }
+
+    #[test]
+    fn vectors_are_normalized() {
+        let kg = small_kg();
+        let emb = Rdf2Vec::new(Rdf2VecConfig::default()).train(&kg.graph);
+        for e in kg.graph.entity_ids().take(50) {
+            let norm: f32 = emb.get(e).iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-3, "non-unit norm {norm}");
+        }
+    }
+}

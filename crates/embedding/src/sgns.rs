@@ -1,0 +1,263 @@
+//! Skip-gram with negative sampling (SGNS) over walk corpora.
+//!
+//! A faithful, dependency-free word2vec core: for every (center, context)
+//! pair within a window we maximize `log σ(v·u)` and minimize
+//! `log σ(v·u_neg)` for `negatives` samples drawn from the unigram
+//! distribution raised to `3/4`. Training is single-threaded and fully
+//! deterministic given the seed, which keeps every downstream experiment
+//! reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use thetis_kg::EntityId;
+
+use crate::store::EmbeddingStore;
+
+/// SGNS hyperparameters.
+#[derive(Debug, Clone)]
+pub struct SgnsConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Context window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Passes over the walk corpus.
+    pub epochs: usize,
+    /// Initial learning rate (decays linearly to 1e-4 of itself).
+    pub learning_rate: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SgnsConfig {
+    fn default() -> Self {
+        Self {
+            dim: 32,
+            window: 4,
+            negatives: 5,
+            epochs: 3,
+            learning_rate: 0.05,
+            seed: 0x5EED2,
+        }
+    }
+}
+
+/// Size of the precomputed negative-sampling table.
+const NEG_TABLE_SIZE: usize = 1 << 17;
+/// Sigmoid lookup-table bounds (standard word2vec trick).
+const SIGMOID_TABLE_SIZE: usize = 512;
+const MAX_SIGMOID: f32 = 6.0;
+
+/// Fast approximate sigmoid shared by the serial and parallel trainers.
+#[inline]
+pub(crate) fn sigmoid(x: f32) -> f32 {
+    SIGMOID.with(|t| t.get(x))
+}
+
+thread_local! {
+    static SIGMOID: SigmoidTable = SigmoidTable::new();
+}
+
+struct SigmoidTable {
+    table: Vec<f32>,
+}
+
+impl SigmoidTable {
+    fn new() -> Self {
+        let table = (0..SIGMOID_TABLE_SIZE)
+            .map(|i| {
+                let x = (i as f32 / SIGMOID_TABLE_SIZE as f32 * 2.0 - 1.0) * MAX_SIGMOID;
+                1.0 / (1.0 + (-x).exp())
+            })
+            .collect();
+        Self { table }
+    }
+
+    #[inline]
+    fn get(&self, x: f32) -> f32 {
+        if x >= MAX_SIGMOID {
+            1.0
+        } else if x <= -MAX_SIGMOID {
+            0.0
+        } else {
+            let idx = ((x + MAX_SIGMOID) / (2.0 * MAX_SIGMOID) * (SIGMOID_TABLE_SIZE - 1) as f32)
+                as usize;
+            self.table[idx]
+        }
+    }
+}
+
+/// Builds the `unigram^(3/4)` negative-sampling table.
+pub(crate) fn negative_table(counts: &[u64]) -> Vec<u32> {
+    let weights: Vec<f64> = counts.iter().map(|&c| (c as f64).powf(0.75)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut table = Vec::with_capacity(NEG_TABLE_SIZE);
+    if total == 0.0 {
+        return table;
+    }
+    let mut word = 0usize;
+    let mut next_cum = weights[0] / total;
+    for i in 0..NEG_TABLE_SIZE {
+        let frac = (i as f64 + 0.5) / NEG_TABLE_SIZE as f64;
+        while frac > next_cum && word + 1 < counts.len() {
+            word += 1;
+            next_cum += weights[word] / total;
+        }
+        table.push(word as u32);
+    }
+    table
+}
+
+/// Trains SGNS over `walks` for a vocabulary of `n_entities` dense ids.
+///
+/// Returns the input ("center") vectors, the conventional choice for entity
+/// similarity.
+pub fn train(walks: &[Vec<EntityId>], n_entities: usize, config: &SgnsConfig) -> EmbeddingStore {
+    assert!(config.dim > 0 && config.window > 0, "invalid SGNS config");
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let dim = config.dim;
+
+    // Occurrence counts feed the negative-sampling distribution.
+    let mut counts = vec![0u64; n_entities];
+    let mut total_tokens = 0u64;
+    for walk in walks {
+        for &e in walk {
+            counts[e.index()] += 1;
+            total_tokens += 1;
+        }
+    }
+    let neg_table = negative_table(&counts);
+    let sigmoid = SigmoidTable::new();
+
+    // Init: centers uniform in [-0.5/dim, 0.5/dim], contexts zero (word2vec).
+    let mut centers = vec![0.0f32; n_entities * dim];
+    for x in centers.iter_mut() {
+        *x = (rng.random::<f32>() - 0.5) / dim as f32;
+    }
+    let mut contexts = vec![0.0f32; n_entities * dim];
+
+    let total_pairs_estimate =
+        (total_tokens as usize * config.window * 2 * config.epochs).max(1);
+    let mut processed = 0usize;
+    let mut grad = vec![0.0f32; dim];
+
+    for _epoch in 0..config.epochs {
+        for walk in walks {
+            for (i, &center) in walk.iter().enumerate() {
+                // Shrinking window as in word2vec: radius in [1, window].
+                let radius = rng.random_range(1..=config.window);
+                let lo = i.saturating_sub(radius);
+                let hi = (i + radius + 1).min(walk.len());
+                for (j, &context) in walk.iter().enumerate().take(hi).skip(lo) {
+                    if j == i {
+                        continue;
+                    }
+                    processed += 1;
+                    let lr = config.learning_rate
+                        * (1.0 - processed as f32 / total_pairs_estimate as f32)
+                            .max(1e-4);
+                    grad.iter_mut().for_each(|g| *g = 0.0);
+                    let c_off = center.index() * dim;
+
+                    // One positive plus `negatives` negative updates.
+                    for k in 0..=config.negatives {
+                        let (target, label) = if k == 0 {
+                            (context.index(), 1.0f32)
+                        } else {
+                            let t = neg_table[rng.random_range(0..neg_table.len())] as usize;
+                            if t == context.index() {
+                                continue;
+                            }
+                            (t, 0.0f32)
+                        };
+                        let t_off = target * dim;
+                        let mut dot = 0.0f32;
+                        for d in 0..dim {
+                            dot += centers[c_off + d] * contexts[t_off + d];
+                        }
+                        let g = (label - sigmoid.get(dot)) * lr;
+                        for d in 0..dim {
+                            grad[d] += g * contexts[t_off + d];
+                            contexts[t_off + d] += g * centers[c_off + d];
+                        }
+                    }
+                    for d in 0..dim {
+                        centers[c_off + d] += grad[d];
+                    }
+                }
+            }
+        }
+    }
+
+    EmbeddingStore::from_raw(centers, dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walks_two_clusters() -> (Vec<Vec<EntityId>>, usize) {
+        // Entities 0-3 co-occur; entities 4-7 co-occur; never across.
+        let mut walks = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..300 {
+            let base = if rng.random_bool(0.5) { 0 } else { 4 };
+            let walk: Vec<EntityId> = (0..6)
+                .map(|_| EntityId(base + rng.random_range(0..4)))
+                .collect();
+            walks.push(walk);
+        }
+        (walks, 8)
+    }
+
+    #[test]
+    fn sgns_separates_cooccurrence_clusters() {
+        let (walks, n) = walks_two_clusters();
+        let cfg = SgnsConfig {
+            dim: 16,
+            epochs: 5,
+            ..SgnsConfig::default()
+        };
+        let emb = train(&walks, n, &cfg);
+        let within = emb.cosine(EntityId(0), EntityId(1));
+        let across = emb.cosine(EntityId(0), EntityId(5));
+        assert!(
+            within > across + 0.2,
+            "within-cluster {within:.3} should clearly exceed across-cluster {across:.3}"
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (walks, n) = walks_two_clusters();
+        let cfg = SgnsConfig::default();
+        let a = train(&walks, n, &cfg);
+        let b = train(&walks, n, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn negative_table_tracks_frequencies() {
+        let counts = vec![100, 1, 1, 1];
+        let table = negative_table(&counts);
+        let zero_frac =
+            table.iter().filter(|&&w| w == 0).count() as f64 / table.len() as f64;
+        // 100^.75 / (100^.75 + 3) ≈ 0.913
+        assert!(zero_frac > 0.85 && zero_frac < 0.95, "got {zero_frac}");
+    }
+
+    #[test]
+    fn negative_table_with_all_zero_counts_is_empty() {
+        assert!(negative_table(&[0, 0]).is_empty());
+    }
+
+    #[test]
+    fn sigmoid_table_is_monotone_and_bounded() {
+        let s = SigmoidTable::new();
+        assert_eq!(s.get(100.0), 1.0);
+        assert_eq!(s.get(-100.0), 0.0);
+        assert!((s.get(0.0) - 0.5).abs() < 0.02);
+        assert!(s.get(2.0) > s.get(1.0));
+    }
+}

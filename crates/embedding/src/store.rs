@@ -1,0 +1,201 @@
+//! Dense embedding store with cosine operations and binary serialization.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use thetis_kg::EntityId;
+
+/// Magic prefix of the binary embedding format.
+const MAGIC: &[u8; 4] = b"TEV1";
+
+/// A dense `n × dim` matrix of entity embeddings, indexed by [`EntityId`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingStore {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl EmbeddingStore {
+    /// Creates a zero-initialized store for `n` entities.
+    pub fn zeros(n: usize, dim: usize) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        Self {
+            dim,
+            data: vec![0.0; n * dim],
+        }
+    }
+
+    /// Wraps an existing row-major matrix.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `dim`.
+    pub fn from_raw(data: Vec<f32>, dim: usize) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        assert_eq!(data.len() % dim, 0, "data length must be a multiple of dim");
+        Self { dim, data }
+    }
+
+    /// Embedding dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored vectors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Whether the store holds no vectors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The vector for entity `e`.
+    #[inline]
+    pub fn get(&self, e: EntityId) -> &[f32] {
+        let i = e.index() * self.dim;
+        &self.data[i..i + self.dim]
+    }
+
+    /// Mutable access to the vector for entity `e`.
+    #[inline]
+    pub fn get_mut(&mut self, e: EntityId) -> &mut [f32] {
+        let i = e.index() * self.dim;
+        &mut self.data[i..i + self.dim]
+    }
+
+    /// L2-normalizes every vector in place (zero vectors are left as-is).
+    pub fn normalize(&mut self) {
+        let dim = self.dim;
+        for row in self.data.chunks_mut(dim) {
+            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > 0.0 {
+                for x in row {
+                    *x /= norm;
+                }
+            }
+        }
+    }
+
+    /// Cosine similarity of two entities' vectors, in `[-1, 1]`.
+    /// Zero vectors yield 0.
+    pub fn cosine(&self, a: EntityId, b: EntityId) -> f64 {
+        cosine(self.get(a), self.get(b))
+    }
+
+    /// Serializes to the `TEV1` binary format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(12 + self.data.len() * 4);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(self.dim as u32);
+        buf.put_u32_le(self.len() as u32);
+        for &x in &self.data {
+            buf.put_f32_le(x);
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes from the `TEV1` binary format.
+    pub fn from_bytes(mut bytes: Bytes) -> Result<Self, String> {
+        if bytes.remaining() < 12 {
+            return Err("truncated embedding header".into());
+        }
+        let mut magic = [0u8; 4];
+        bytes.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(format!("bad magic {magic:?}"));
+        }
+        let dim = bytes.get_u32_le() as usize;
+        let n = bytes.get_u32_le() as usize;
+        if dim == 0 {
+            return Err("zero embedding dimension".into());
+        }
+        if bytes.remaining() != n * dim * 4 {
+            return Err(format!(
+                "expected {} payload bytes, found {}",
+                n * dim * 4,
+                bytes.remaining()
+            ));
+        }
+        let mut data = Vec::with_capacity(n * dim);
+        for _ in 0..n * dim {
+            data.push(bytes.get_f32_le());
+        }
+        Ok(Self { dim, data })
+    }
+}
+
+/// Cosine similarity of two equal-length vectors (0 for zero vectors).
+pub fn cosine(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += f64::from(x) * f64::from(y);
+        na += f64::from(x) * f64::from(x);
+        nb += f64::from(y) * f64::from(y);
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_and_set_rows() {
+        let mut s = EmbeddingStore::zeros(3, 2);
+        s.get_mut(EntityId(1)).copy_from_slice(&[1.0, 2.0]);
+        assert_eq!(s.get(EntityId(1)), &[1.0, 2.0]);
+        assert_eq!(s.get(EntityId(0)), &[0.0, 0.0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dim(), 2);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-9);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-9);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-9);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn normalize_produces_unit_vectors() {
+        let mut s = EmbeddingStore::from_raw(vec![3.0, 4.0, 0.0, 0.0], 2);
+        s.normalize();
+        let v = s.get(EntityId(0));
+        assert!((v[0] - 0.6).abs() < 1e-6);
+        assert!((v[1] - 0.8).abs() < 1e-6);
+        assert_eq!(s.get(EntityId(1)), &[0.0, 0.0]); // zero row untouched
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let s = EmbeddingStore::from_raw(vec![1.5, -2.5, 0.0, 7.25], 2);
+        let b = s.to_bytes();
+        let s2 = EmbeddingStore::from_bytes(b).unwrap();
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = EmbeddingStore::from_bytes(Bytes::from_static(b"XXXX\0\0\0\0\0\0\0\0")).unwrap_err();
+        assert!(err.contains("bad magic"));
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let s = EmbeddingStore::from_raw(vec![1.0, 2.0], 2);
+        let mut b = s.to_bytes().to_vec();
+        b.pop();
+        let err = EmbeddingStore::from_bytes(Bytes::from(b)).unwrap_err();
+        assert!(err.contains("payload"));
+    }
+}

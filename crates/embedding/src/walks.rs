@@ -1,0 +1,130 @@
+//! Uniform random walks over a knowledge graph.
+//!
+//! RDF2Vec extracts a corpus of graph walks and treats each walk as a
+//! sentence. We generate `walks_per_entity` walks starting at every entity,
+//! each of at most `walk_length` nodes, choosing the next hop uniformly
+//! among outgoing edges and stopping early at sinks.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use thetis_kg::{EntityId, KnowledgeGraph};
+
+/// Random-walk extraction parameters.
+#[derive(Debug, Clone)]
+pub struct WalkConfig {
+    /// Walks started from each entity.
+    pub walks_per_entity: usize,
+    /// Maximum nodes per walk (including the start).
+    pub walk_length: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        Self {
+            walks_per_entity: 8,
+            walk_length: 8,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Generates the walk corpus for `graph`.
+///
+/// Every walk has at least one node (its start), so entities with no
+/// outgoing edges still occur in the corpus and receive embeddings.
+pub fn generate_walks(graph: &KnowledgeGraph, config: &WalkConfig) -> Vec<Vec<EntityId>> {
+    assert!(config.walk_length >= 1, "walks must have at least one node");
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut walks = Vec::with_capacity(graph.entity_count() * config.walks_per_entity);
+    for start in graph.entity_ids() {
+        for _ in 0..config.walks_per_entity {
+            let mut walk = Vec::with_capacity(config.walk_length);
+            let mut cur = start;
+            walk.push(cur);
+            for _ in 1..config.walk_length {
+                let neighbors = graph.neighbors(cur);
+                if neighbors.is_empty() {
+                    break;
+                }
+                cur = neighbors[rng.random_range(0..neighbors.len())].target;
+                walk.push(cur);
+            }
+            walks.push(walk);
+        }
+    }
+    walks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thetis_kg::KgBuilder;
+
+    fn chain_graph(n: usize) -> KnowledgeGraph {
+        let mut b = KgBuilder::new();
+        let t = b.add_type("T", None);
+        let ids: Vec<_> = (0..n).map(|i| b.add_entity(&format!("e{i}"), vec![t])).collect();
+        let p = b.add_predicate("next");
+        for w in ids.windows(2) {
+            b.add_edge(w[0], p, w[1]);
+        }
+        b.freeze()
+    }
+
+    #[test]
+    fn walk_count_and_length_bounds() {
+        let g = chain_graph(5);
+        let cfg = WalkConfig {
+            walks_per_entity: 3,
+            walk_length: 4,
+            seed: 1,
+        };
+        let walks = generate_walks(&g, &cfg);
+        assert_eq!(walks.len(), 5 * 3);
+        assert!(walks.iter().all(|w| !w.is_empty() && w.len() <= 4));
+    }
+
+    #[test]
+    fn walks_follow_edges() {
+        let g = chain_graph(4);
+        let walks = generate_walks(&g, &WalkConfig::default());
+        for walk in &walks {
+            for pair in walk.windows(2) {
+                let ok = g.neighbors(pair[0]).iter().any(|e| e.target == pair[1]);
+                assert!(ok, "walk took a non-edge step {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sink_entities_get_singleton_walks() {
+        let g = chain_graph(2);
+        let walks = generate_walks(
+            &g,
+            &WalkConfig {
+                walks_per_entity: 1,
+                walk_length: 5,
+                seed: 0,
+            },
+        );
+        // entity 1 is a sink: its walk is just [e1]
+        let sink_walks: Vec<_> = walks.iter().filter(|w| w[0].0 == 1).collect();
+        assert!(sink_walks.iter().all(|w| w.len() == 1));
+    }
+
+    #[test]
+    fn walks_are_deterministic_per_seed() {
+        let g = chain_graph(6);
+        let cfg = WalkConfig::default();
+        assert_eq!(generate_walks(&g, &cfg), generate_walks(&g, &cfg));
+        let other = WalkConfig {
+            seed: 99,
+            ..cfg.clone()
+        };
+        // different seed gives a different corpus on a branching graph; on a
+        // pure chain they can coincide, so just assert the call succeeds.
+        let _ = generate_walks(&g, &other);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the embedding pipeline.
+
+use proptest::prelude::*;
+use thetis_embedding::store::cosine;
+use thetis_embedding::{generate_walks, EmbeddingStore, WalkConfig};
+use thetis_kg::{EntityId, KgBuilder};
+
+proptest! {
+    /// Cosine similarity is symmetric, bounded, and reflexive on non-zero
+    /// vectors.
+    #[test]
+    fn cosine_is_a_similarity(
+        a in proptest::collection::vec(-10.0f32..10.0, 4),
+        b in proptest::collection::vec(-10.0f32..10.0, 4),
+    ) {
+        let ab = cosine(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&ab));
+        prop_assert!((ab - cosine(&b, &a)).abs() < 1e-12);
+        if a.iter().any(|&x| x != 0.0) {
+            prop_assert!((cosine(&a, &a) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    /// The binary store format round-trips arbitrary matrices.
+    #[test]
+    fn store_roundtrip(
+        data in proptest::collection::vec(-100.0f32..100.0, 0..64),
+        dim in 1usize..8,
+    ) {
+        let truncated: Vec<f32> = data
+            .iter()
+            .copied()
+            .take(data.len() / dim * dim)
+            .collect();
+        let store = EmbeddingStore::from_raw(truncated, dim);
+
+        let bytes = store.to_bytes();
+        let reread = EmbeddingStore::from_bytes(bytes).unwrap();
+        prop_assert_eq!(store, reread);
+    }
+
+    /// Walks on arbitrary random graphs always follow edges and start at
+    /// every entity the configured number of times.
+    #[test]
+    fn walks_respect_graph_structure(
+        edges in proptest::collection::vec((0u32..10, 0u32..10), 0..30),
+        seed in 0u64..50,
+    ) {
+        let mut b = KgBuilder::new();
+        let t = b.add_type("T", None);
+        let ids: Vec<EntityId> =
+            (0..10).map(|i| b.add_entity(&format!("e{i}"), vec![t])).collect();
+        let p = b.add_predicate("p");
+        for (s, d) in &edges {
+            b.add_edge(ids[*s as usize], p, ids[*d as usize]);
+        }
+        let g = b.freeze();
+        let cfg = WalkConfig { walks_per_entity: 2, walk_length: 5, seed };
+        let walks = generate_walks(&g, &cfg);
+        prop_assert_eq!(walks.len(), 20);
+        let mut starts = [0usize; 10];
+        for w in &walks {
+            starts[w[0].index()] += 1;
+            for pair in w.windows(2) {
+                prop_assert!(
+                    g.neighbors(pair[0]).iter().any(|e| e.target == pair[1]),
+                    "non-edge step"
+                );
+            }
+        }
+        prop_assert!(starts.iter().all(|&s| s == 2));
+    }
+
+    /// Normalization makes all non-zero rows unit length and is idempotent.
+    #[test]
+    fn normalize_is_idempotent(
+        data in proptest::collection::vec(-10.0f32..10.0, 8),
+    ) {
+        let mut store = EmbeddingStore::from_raw(data, 4);
+        store.normalize();
+        let once = store.clone();
+        store.normalize();
+        for i in 0..store.len() {
+            let row = store.get(EntityId(i as u32));
+            let norm: f32 = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+            prop_assert!(norm == 0.0 || (norm - 1.0).abs() < 1e-3);
+            for (a, b) in row.iter().zip(once.get(EntityId(i as u32))) {
+                prop_assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Method combination (§7.2): STSTC / STSEC.
+//!
+//! The paper's best quality comes from *complementing* keyword search with
+//! semantic search: "We extracted the top 50% from each method, merged the
+//! two result sets, and measured recall." The merge interleaves the two
+//! halves so neither method dominates the head of the combined ranking,
+//! then back-fills with leftovers up to `k`.
+
+use thetis_datalake::TableId;
+
+/// Merges the top halves of two rankings into one list of at most `k`
+/// tables: alternate `a[0], b[0], a[1], b[1], ...` over each method's top
+/// `k/2`, dedup, then fill with the remaining entries of `a` then `b`.
+pub fn merge_top_half(a: &[TableId], b: &[TableId], k: usize) -> Vec<TableId> {
+    let half = k / 2;
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(k);
+    let push = |t: TableId, out: &mut Vec<TableId>, seen: &mut std::collections::HashSet<TableId>| {
+        if out.len() < k && seen.insert(t) {
+            out.push(t);
+        }
+    };
+    for i in 0..half {
+        if let Some(&t) = a.get(i) {
+            push(t, &mut out, &mut seen);
+        }
+        if let Some(&t) = b.get(i) {
+            push(t, &mut out, &mut seen);
+        }
+    }
+    // Back-fill from the tails when the union of halves is short.
+    for &t in a.iter().skip(half).chain(b.iter().skip(half)) {
+        if out.len() >= k {
+            break;
+        }
+        push(t, &mut out, &mut seen);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<TableId> {
+        v.iter().copied().map(TableId).collect()
+    }
+
+    #[test]
+    fn disjoint_lists_interleave() {
+        let merged = merge_top_half(&ids(&[1, 2, 3, 4]), &ids(&[5, 6, 7, 8]), 4);
+        assert_eq!(merged, ids(&[1, 5, 2, 6]));
+    }
+
+    #[test]
+    fn duplicates_are_removed() {
+        let merged = merge_top_half(&ids(&[1, 2]), &ids(&[2, 3]), 4);
+        assert_eq!(merged, ids(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn backfill_extends_short_halves() {
+        let merged = merge_top_half(&ids(&[1, 2, 3, 4]), &ids(&[1, 2, 3, 4]), 4);
+        // halves identical → union of halves is {1,2}; backfill adds 3, 4.
+        assert_eq!(merged, ids(&[1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn result_never_exceeds_k() {
+        let merged = merge_top_half(&ids(&[1, 2, 3]), &ids(&[4, 5, 6]), 4);
+        assert_eq!(merged.len(), 4);
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty() {
+        assert!(merge_top_half(&[], &[], 10).is_empty());
+        assert_eq!(merge_top_half(&ids(&[1]), &[], 10), ids(&[1]));
+    }
+}

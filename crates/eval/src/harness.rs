@@ -1,0 +1,213 @@
+//! The experiment harness: run a method over a query set, collect quality
+//! and runtime.
+//!
+//! A *method* is any closure from a benchmark query to a ranked table list;
+//! the harness is agnostic to whether that list came from Thetis, BM25, a
+//! baseline, or a combination.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use thetis_corpus::{BenchQuery, GroundTruth};
+use thetis_datalake::TableId;
+
+use crate::metrics::{mean, ndcg_at_k, quartiles, recall_at_k};
+
+/// Per-query measurements.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerQuery {
+    /// Query index.
+    pub query: usize,
+    /// NDCG@10.
+    pub ndcg10: f64,
+    /// Recall@100.
+    pub recall100: f64,
+    /// Recall@200.
+    pub recall200: f64,
+    /// Wall time of the method call, seconds.
+    pub seconds: f64,
+    /// The retrieved ranking (for set-difference analyses).
+    #[serde(skip)]
+    pub retrieved: Vec<TableId>,
+}
+
+/// Aggregate report for one method over one query set.
+///
+/// ```
+/// use thetis_corpus::{Benchmark, BenchmarkConfig, BenchmarkKind};
+/// use thetis_eval::MethodReport;
+///
+/// let mut cfg = BenchmarkConfig::tiny(BenchmarkKind::Wt2015);
+/// cfg.scale = 0.0002;
+/// cfg.n_queries = 2;
+/// let bench = Benchmark::build(&cfg);
+/// // A "method" is any closure producing a ranked table list.
+/// let report = MethodReport::run("noop", &bench.queries1, &bench.gt1, |_q| vec![]);
+/// assert_eq!(report.mean_ndcg10, 0.0);
+/// assert_eq!(report.per_query.len(), 2);
+/// ```
+#[derive(Debug, Clone, Serialize)]
+pub struct MethodReport {
+    /// Method name.
+    pub name: String,
+    /// Mean NDCG@10.
+    pub mean_ndcg10: f64,
+    /// `(q1, median, q3)` of NDCG@10 — the boxplot of Figure 4.
+    pub ndcg10_quartiles: (f64, f64, f64),
+    /// Mean recall@100.
+    pub mean_recall100: f64,
+    /// Median recall@100.
+    pub median_recall100: f64,
+    /// Mean recall@200.
+    pub mean_recall200: f64,
+    /// Median recall@200.
+    pub median_recall200: f64,
+    /// Mean wall time per query, seconds.
+    pub mean_seconds: f64,
+    /// Per-query detail.
+    pub per_query: Vec<PerQuery>,
+}
+
+impl MethodReport {
+    /// Runs `method` over every query, evaluating against `gt`.
+    ///
+    /// `method` must return a ranking of at least 200 tables for the
+    /// recall@200 number to be meaningful; shorter rankings are evaluated
+    /// as-is.
+    pub fn run(
+        name: &str,
+        queries: &[BenchQuery],
+        gt: &GroundTruth,
+        mut method: impl FnMut(&BenchQuery) -> Vec<TableId>,
+    ) -> Self {
+        let mut per_query = Vec::with_capacity(queries.len());
+        for (qi, q) in queries.iter().enumerate() {
+            let start = Instant::now();
+            let retrieved = method(q);
+            let seconds = start.elapsed().as_secs_f64();
+            per_query.push(PerQuery {
+                query: qi,
+                ndcg10: ndcg_at_k(gt, qi, &retrieved, 10),
+                recall100: recall_at_k(gt, qi, &retrieved, 100),
+                recall200: recall_at_k(gt, qi, &retrieved, 200),
+                seconds,
+                retrieved,
+            });
+        }
+        Self::aggregate(name, per_query)
+    }
+
+    /// Builds a report from already-computed per-query measurements.
+    pub fn aggregate(name: &str, per_query: Vec<PerQuery>) -> Self {
+        let ndcg: Vec<f64> = per_query.iter().map(|p| p.ndcg10).collect();
+        let r100: Vec<f64> = per_query.iter().map(|p| p.recall100).collect();
+        let r200: Vec<f64> = per_query.iter().map(|p| p.recall200).collect();
+        let secs: Vec<f64> = per_query.iter().map(|p| p.seconds).collect();
+        Self {
+            name: name.to_string(),
+            mean_ndcg10: mean(&ndcg),
+            ndcg10_quartiles: quartiles(&ndcg),
+            mean_recall100: mean(&r100),
+            median_recall100: crate::metrics::median(&r100),
+            mean_recall200: mean(&r200),
+            median_recall200: crate::metrics::median(&r200),
+            mean_seconds: mean(&secs),
+            per_query,
+        }
+    }
+
+    /// Re-evaluates this report's retrieved lists after applying a
+    /// transformation (e.g. merging with another method's lists).
+    pub fn transformed(
+        &self,
+        name: &str,
+        gt: &GroundTruth,
+        mut f: impl FnMut(usize, &[TableId]) -> Vec<TableId>,
+    ) -> Self {
+        let per_query = self
+            .per_query
+            .iter()
+            .map(|p| {
+                let retrieved = f(p.query, &p.retrieved);
+                PerQuery {
+                    query: p.query,
+                    ndcg10: ndcg_at_k(gt, p.query, &retrieved, 10),
+                    recall100: recall_at_k(gt, p.query, &retrieved, 100),
+                    recall200: recall_at_k(gt, p.query, &retrieved, 200),
+                    seconds: p.seconds,
+                    retrieved,
+                }
+            })
+            .collect();
+        Self::aggregate(name, per_query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thetis_corpus::TableMeta;
+    use thetis_kg::{KgGeneratorConfig, SyntheticKg, TopicId};
+
+    fn fixture() -> (Vec<BenchQuery>, GroundTruth) {
+        let kg = SyntheticKg::generate(&KgGeneratorConfig {
+            domains: 2,
+            topics_per_domain: 2,
+            entities_per_kind: 4,
+            ..KgGeneratorConfig::default()
+        });
+        let meta = vec![
+            TableMeta {
+                primary_topic: TopicId(0),
+                topic_fractions: vec![(TopicId(0), 1.0)],
+            },
+            TableMeta {
+                // Topic 2 is in the other domain: gain 0 for topic-0 queries.
+                primary_topic: TopicId(2),
+                topic_fractions: vec![(TopicId(2), 1.0)],
+            },
+        ];
+        let queries = vec![BenchQuery {
+            id: 0,
+            topic: TopicId(0),
+            tuples: vec![vec![kg.topics[0].entities_by_kind[0][0]]],
+        }];
+        let gt = GroundTruth::compute(
+            &kg,
+            &thetis_datalake::DataLake::from_tables(
+                (0..meta.len())
+                    .map(|i| thetis_datalake::Table::new(format!("t{i}"), vec!["c".into()]))
+                    .collect(),
+            ),
+            &meta,
+            &queries,
+        );
+        (queries, gt)
+    }
+
+    #[test]
+    fn perfect_method_scores_one() {
+        let (queries, gt) = fixture();
+        let report = MethodReport::run("oracle", &queries, &gt, |_| vec![TableId(0)]);
+        assert!((report.mean_ndcg10 - 1.0).abs() < 1e-12);
+        assert!((report.mean_recall100 - 1.0).abs() < 1e-12);
+        assert!(report.mean_seconds >= 0.0);
+    }
+
+    #[test]
+    fn useless_method_scores_zero() {
+        let (queries, gt) = fixture();
+        let report = MethodReport::run("noise", &queries, &gt, |_| vec![TableId(1)]);
+        assert_eq!(report.mean_ndcg10, 0.0);
+        assert_eq!(report.mean_recall200, 0.0);
+    }
+
+    #[test]
+    fn transformed_reevaluates() {
+        let (queries, gt) = fixture();
+        let bad = MethodReport::run("noise", &queries, &gt, |_| vec![TableId(1)]);
+        let fixed = bad.transformed("fixed", &gt, |_, _| vec![TableId(0)]);
+        assert!((fixed.mean_ndcg10 - 1.0).abs() < 1e-12);
+        assert_eq!(fixed.name, "fixed");
+    }
+}

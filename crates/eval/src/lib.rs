@@ -1,0 +1,21 @@
+//! Evaluation metrics and the experiment harness for the Thetis
+//! reproduction (§7).
+//!
+//! * [`metrics`] — NDCG@k against graded gains, recall@k against the top-k
+//!   ground-truth tables (the paper's definitions), result-set difference,
+//!   and distribution statistics (mean/median/quartiles, as boxplotted in
+//!   Figures 4–5);
+//! * [`combine`] — the STSTC/STSEC combination: top 50% of two methods'
+//!   result lists merged (§7.2);
+//! * [`harness`] — runs a search method over a benchmark's query set and
+//!   collects quality plus runtime;
+//! * [`report`] — fixed-width text tables for the `reproduce` binary.
+
+pub mod combine;
+pub mod harness;
+pub mod metrics;
+pub mod report;
+
+pub use combine::merge_top_half;
+pub use harness::{MethodReport, PerQuery};
+pub use metrics::{mean, median, ndcg_at_k, quartiles, recall_at_k, result_set_difference};

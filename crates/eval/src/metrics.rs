@@ -1,0 +1,194 @@
+//! Ranking metrics.
+
+use thetis_datalake::TableId;
+use thetis_corpus::GroundTruth;
+
+/// NDCG@k of a retrieved ranking against graded gains.
+///
+/// `DCG = Σ_{i<k} gain_i / log2(i + 2)`; the ideal DCG uses the ground
+/// truth's own descending gain order. Returns 0 when the query has no
+/// relevant tables.
+pub fn ndcg_at_k(gt: &GroundTruth, q: usize, retrieved: &[TableId], k: usize) -> f64 {
+    let judgments = gt.judgments(q);
+    if judgments.is_empty() {
+        return 0.0;
+    }
+    let dcg: f64 = retrieved
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, &t)| gt.gain(q, t) / ((i + 2) as f64).log2())
+        .sum();
+    let idcg: f64 = judgments
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, &(_, g))| g / ((i + 2) as f64).log2())
+        .sum();
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// Recall@k as the paper computes it: the fraction of the top-k *ground
+/// truth* tables that appear among the k retrieved tables.
+pub fn recall_at_k(gt: &GroundTruth, q: usize, retrieved: &[TableId], k: usize) -> f64 {
+    let relevant = gt.top_k(q, k);
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let retrieved_set: std::collections::HashSet<TableId> =
+        retrieved.iter().take(k).copied().collect();
+    let hits = relevant.iter().filter(|t| retrieved_set.contains(t)).count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// `|A \ B|` over the first `k` of each list — the paper's "result set
+/// difference" showing Thetis and BM25 retrieve disjoint tables.
+pub fn result_set_difference(a: &[TableId], b: &[TableId], k: usize) -> usize {
+    let b_set: std::collections::HashSet<TableId> = b.iter().take(k).copied().collect();
+    a.iter().take(k).filter(|t| !b_set.contains(t)).count()
+}
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Median (0 for empty input).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// `(q1, median, q3)` — the boxplot statistics of Figures 4–5.
+pub fn quartiles(xs: &[f64]) -> (f64, f64, f64) {
+    (quantile(xs, 0.25), quantile(xs, 0.5), quantile(xs, 0.75))
+}
+
+fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (pos - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thetis_corpus::{BenchQuery, GroundTruth, TableMeta};
+    use thetis_kg::{KgGeneratorConfig, SyntheticKg, TopicId};
+
+    fn gt() -> GroundTruth {
+        let kg = SyntheticKg::generate(&KgGeneratorConfig {
+            domains: 2,
+            topics_per_domain: 2,
+            entities_per_kind: 4,
+            ..KgGeneratorConfig::default()
+        });
+        let meta = vec![
+            TableMeta {
+                primary_topic: TopicId(0),
+                topic_fractions: vec![(TopicId(0), 1.0)],
+            },
+            TableMeta {
+                primary_topic: TopicId(0),
+                topic_fractions: vec![(TopicId(0), 0.5), (TopicId(2), 0.5)],
+            },
+            TableMeta {
+                primary_topic: TopicId(2),
+                topic_fractions: vec![(TopicId(2), 1.0)],
+            },
+        ];
+        let queries = vec![BenchQuery {
+            id: 0,
+            topic: TopicId(0),
+            tuples: vec![vec![kg.topics[0].entities_by_kind[0][0]]],
+        }];
+        GroundTruth::compute(
+            &kg,
+            &thetis_datalake::DataLake::from_tables(
+                (0..meta.len())
+                    .map(|i| thetis_datalake::Table::new(format!("t{i}"), vec!["c".into()]))
+                    .collect(),
+            ),
+            &meta,
+            &queries,
+        )
+    }
+
+    #[test]
+    fn perfect_ranking_has_ndcg_one() {
+        let gt = gt();
+        // GT order: table 0 (gain 2), table 1 (gain 1).
+        let retrieved = vec![TableId(0), TableId(1)];
+        assert!((ndcg_at_k(&gt, 0, &retrieved, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swapped_ranking_has_lower_ndcg() {
+        let gt = gt();
+        let swapped = vec![TableId(1), TableId(0)];
+        let v = ndcg_at_k(&gt, 0, &swapped, 10);
+        assert!(v < 1.0 && v > 0.5, "got {v}");
+    }
+
+    #[test]
+    fn irrelevant_ranking_has_ndcg_zero() {
+        let gt = gt();
+        assert_eq!(ndcg_at_k(&gt, 0, &[TableId(2)], 10), 0.0);
+        assert_eq!(ndcg_at_k(&gt, 0, &[], 10), 0.0);
+    }
+
+    #[test]
+    fn recall_counts_relevant_hits() {
+        let gt = gt();
+        // GT top-10 = {0, 1}.
+        assert_eq!(recall_at_k(&gt, 0, &[TableId(0)], 10), 0.5);
+        assert_eq!(recall_at_k(&gt, 0, &[TableId(0), TableId(1)], 10), 1.0);
+        assert_eq!(recall_at_k(&gt, 0, &[TableId(2)], 10), 0.0);
+    }
+
+    #[test]
+    fn recall_at_one_considers_only_first() {
+        let gt = gt();
+        // GT top-1 = {0}; retrieved top-1 = {1} → 0.
+        assert_eq!(recall_at_k(&gt, 0, &[TableId(1), TableId(0)], 1), 0.0);
+    }
+
+    #[test]
+    fn result_set_difference_counts_exclusives() {
+        let a = vec![TableId(1), TableId(2), TableId(3)];
+        let b = vec![TableId(3), TableId(4)];
+        assert_eq!(result_set_difference(&a, &b, 10), 2);
+        assert_eq!(result_set_difference(&b, &a, 10), 1);
+        assert_eq!(result_set_difference(&a, &a, 10), 0);
+    }
+
+    #[test]
+    fn stats_are_standard() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert_eq!(median(&xs), 2.5);
+        let (q1, m, q3) = quartiles(&xs);
+        assert!((q1 - 1.75).abs() < 1e-12);
+        assert_eq!(m, 2.5);
+        assert!((q3 - 3.25).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Fixed-width text tables for experiment output.
+
+/// Renders a text table with aligned columns, a header rule, and a title —
+/// the output format of the `reproduce` binary.
+pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let n_cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), n_cols, "row arity mismatch in report table");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (n_cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats seconds with adaptive precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 0.001 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = format_table(
+            "Title",
+            &["method", "ndcg"],
+            &[
+                vec!["STST".into(), "0.61".into()],
+                vec!["BM25text".into(), "0.60".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "Title");
+        assert!(lines[1].contains("method") && lines[1].contains("ndcg"));
+        assert!(lines[3].trim_start().starts_with("STST"));
+        // All data lines equally wide.
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn ragged_rows_panic() {
+        format_table("t", &["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(0.0000005), "0.5µs");
+        assert_eq!(fmt_secs(0.0123), "12.3ms");
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_pct(0.885), "88.5%");
+    }
+}

@@ -1,0 +1,218 @@
+//! Mutable builder that freezes into an immutable [`KnowledgeGraph`].
+
+use std::collections::HashMap;
+
+use crate::entity::Entity;
+use crate::graph::{Edge, KnowledgeGraph};
+use crate::ids::{EntityId, PredicateId, TypeId};
+use crate::taxonomy::Taxonomy;
+
+/// Accumulates entities, types, predicates, and edges, then freezes them
+/// into CSR form.
+///
+/// Entities added with a set of (fine) types automatically inherit the full
+/// ancestor closure of each type, mirroring how DBpedia materializes
+/// multi-granularity annotations.
+///
+/// ```
+/// use thetis_kg::KgBuilder;
+///
+/// let mut b = KgBuilder::new();
+/// let thing = b.add_type("Thing", None);
+/// let team = b.add_type("BaseballTeam", Some(thing));
+/// let cubs = b.add_entity("Chicago Cubs", vec![team]);
+/// let santo = b.add_entity("Ron Santo", vec![thing]);
+/// let plays = b.add_predicate("playsFor");
+/// b.add_edge(santo, plays, cubs);
+///
+/// let graph = b.freeze();
+/// assert_eq!(graph.entity_count(), 2);
+/// assert_eq!(graph.types_of(cubs).len(), 2); // closure: team + Thing
+/// assert_eq!(graph.neighbors(santo)[0].target, cubs);
+/// ```
+#[derive(Debug, Default)]
+pub struct KgBuilder {
+    taxonomy: Taxonomy,
+    entities: Vec<Entity>,
+    predicates: Vec<String>,
+    predicate_index: HashMap<String, PredicateId>,
+    label_index: HashMap<String, EntityId>,
+    edges: Vec<(EntityId, Edge)>,
+}
+
+impl KgBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or retrieves) a type under `parent`.
+    pub fn add_type(&mut self, label: &str, parent: Option<TypeId>) -> TypeId {
+        self.taxonomy.add(label, parent)
+    }
+
+    /// Read access to the taxonomy under construction.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// Adds an entity with the given types, expanding each to its ancestor
+    /// closure. Duplicate labels return the existing entity (types merged).
+    pub fn add_entity(&mut self, label: &str, types: Vec<TypeId>) -> EntityId {
+        let mut closed: Vec<TypeId> = Vec::new();
+        for t in types {
+            closed.extend(self.taxonomy.closure(t));
+        }
+        if let Some(&existing) = self.label_index.get(label) {
+            let entity = &mut self.entities[existing.index()];
+            entity.types.extend(closed);
+            entity.types.sort_unstable();
+            entity.types.dedup();
+            return existing;
+        }
+        let id = EntityId::from_index(self.entities.len());
+        self.entities.push(Entity::new(label, closed));
+        self.label_index.insert(label.to_string(), id);
+        id
+    }
+
+    /// Looks up an already-added entity by label.
+    pub fn entity_id_by_label(&self, label: &str) -> Option<EntityId> {
+        self.label_index.get(label).copied()
+    }
+
+    /// Adds (or retrieves) a predicate.
+    pub fn add_predicate(&mut self, label: &str) -> PredicateId {
+        if let Some(&p) = self.predicate_index.get(label) {
+            return p;
+        }
+        let id = PredicateId::from_index(self.predicates.len());
+        self.predicates.push(label.to_string());
+        self.predicate_index.insert(label.to_string(), id);
+        id
+    }
+
+    /// Adds a directed edge `source --predicate--> target`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint or the predicate has not been added.
+    pub fn add_edge(&mut self, source: EntityId, predicate: PredicateId, target: EntityId) {
+        assert!(source.index() < self.entities.len(), "unknown source entity");
+        assert!(target.index() < self.entities.len(), "unknown target entity");
+        assert!(
+            predicate.index() < self.predicates.len(),
+            "unknown predicate"
+        );
+        self.edges.push((source, Edge { predicate, target }));
+    }
+
+    /// Number of entities added so far.
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Freezes the builder into an immutable graph with CSR adjacency.
+    ///
+    /// Edges are grouped by source via a counting sort, so freezing is
+    /// `O(N + E)` and edge order within a source follows insertion order.
+    pub fn freeze(self) -> KnowledgeGraph {
+        let n = self.entities.len();
+        let mut counts = vec![0u32; n + 1];
+        for (src, _) in &self.edges {
+            counts[src.index() + 1] += 1;
+        }
+        for i in 1..=n {
+            counts[i] += counts[i - 1];
+        }
+        let edge_offsets = counts.clone();
+        let mut cursor = counts;
+        let mut edges = vec![
+            Edge {
+                predicate: PredicateId(0),
+                target: EntityId(0),
+            };
+            self.edges.len()
+        ];
+        for (src, edge) in self.edges {
+            let pos = cursor[src.index()] as usize;
+            edges[pos] = edge;
+            cursor[src.index()] += 1;
+        }
+        KnowledgeGraph {
+            entities: self.entities,
+            taxonomy: self.taxonomy,
+            predicates: self.predicates,
+            edge_offsets,
+            edges,
+            label_index: self.label_index,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entities_inherit_type_closure() {
+        let mut b = KgBuilder::new();
+        let thing = b.add_type("Thing", None);
+        let org = b.add_type("Organisation", Some(thing));
+        let team = b.add_type("BaseballTeam", Some(org));
+        let e = b.add_entity("Chicago Cubs", vec![team]);
+        let g = b.freeze();
+        let types = g.types_of(e);
+        assert!(types.contains(&thing));
+        assert!(types.contains(&org));
+        assert!(types.contains(&team));
+        assert_eq!(types.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_labels_merge_types() {
+        let mut b = KgBuilder::new();
+        let a = b.add_type("A", None);
+        let c = b.add_type("C", None);
+        let e1 = b.add_entity("x", vec![a]);
+        let e2 = b.add_entity("x", vec![c]);
+        assert_eq!(e1, e2);
+        let g = b.freeze();
+        assert_eq!(g.types_of(e1), &[a, c]);
+    }
+
+    #[test]
+    fn predicates_are_deduplicated() {
+        let mut b = KgBuilder::new();
+        let p1 = b.add_predicate("playsFor");
+        let p2 = b.add_predicate("playsFor");
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn freeze_groups_edges_by_source() {
+        let mut b = KgBuilder::new();
+        let t = b.add_type("T", None);
+        let ids: Vec<_> = (0..5).map(|i| b.add_entity(&format!("e{i}"), vec![t])).collect();
+        let p = b.add_predicate("p");
+        // interleaved insertion order
+        b.add_edge(ids[2], p, ids[0]);
+        b.add_edge(ids[0], p, ids[1]);
+        b.add_edge(ids[2], p, ids[4]);
+        b.add_edge(ids[0], p, ids[3]);
+        let g = b.freeze();
+        let n0: Vec<_> = g.neighbors(ids[0]).iter().map(|e| e.target).collect();
+        let n2: Vec<_> = g.neighbors(ids[2]).iter().map(|e| e.target).collect();
+        assert_eq!(n0, vec![ids[1], ids[3]]);
+        assert_eq!(n2, vec![ids[0], ids[4]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown source")]
+    fn edge_with_unknown_source_panics() {
+        let mut b = KgBuilder::new();
+        let t = b.add_type("T", None);
+        let e = b.add_entity("a", vec![t]);
+        let p = b.add_predicate("p");
+        b.add_edge(EntityId(99), p, e);
+    }
+}

@@ -1,0 +1,105 @@
+//! Entity records: a label plus a sorted set of types.
+
+use crate::ids::TypeId;
+
+/// A single entity node in the knowledge graph.
+///
+/// The `types` vector is kept **sorted and deduplicated** so that set
+/// operations (Jaccard, shingling) can run as linear merges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entity {
+    /// Human-readable label, e.g. `"Ron Santo"`.
+    pub label: String,
+    /// Sorted, deduplicated type annotations (all granularities).
+    pub types: Vec<TypeId>,
+}
+
+impl Entity {
+    /// Creates an entity, normalizing the type list to sorted/deduped form.
+    pub fn new(label: impl Into<String>, mut types: Vec<TypeId>) -> Self {
+        types.sort_unstable();
+        types.dedup();
+        Self {
+            label: label.into(),
+            types,
+        }
+    }
+
+    /// Whether the entity carries the given type annotation.
+    pub fn has_type(&self, ty: TypeId) -> bool {
+        self.types.binary_search(&ty).is_ok()
+    }
+}
+
+/// Jaccard similarity of two sorted type sets, in `[0, 1]`.
+///
+/// Two empty sets are defined to have similarity `0` (an untyped entity tells
+/// us nothing, so it should not look identical to another untyped entity).
+pub fn type_jaccard(a: &[TypeId], b: &[TypeId]) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "type set must be sorted");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "type set must be sorted");
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tys(ids: &[u32]) -> Vec<TypeId> {
+        ids.iter().copied().map(TypeId).collect()
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let e = Entity::new("x", tys(&[3, 1, 3, 2]));
+        assert_eq!(e.types, tys(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn has_type_uses_binary_search() {
+        let e = Entity::new("x", tys(&[1, 5, 9]));
+        assert!(e.has_type(TypeId(5)));
+        assert!(!e.has_type(TypeId(4)));
+    }
+
+    #[test]
+    fn jaccard_identical_sets() {
+        let a = tys(&[1, 2, 3]);
+        assert_eq!(type_jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn jaccard_disjoint_sets() {
+        assert_eq!(type_jaccard(&tys(&[1, 2]), &tys(&[3, 4])), 0.0);
+    }
+
+    #[test]
+    fn jaccard_partial_overlap() {
+        // |{2,3}| / |{1,2,3,4}| = 0.5
+        assert_eq!(type_jaccard(&tys(&[1, 2, 3]), &tys(&[2, 3, 4])), 0.5);
+    }
+
+    #[test]
+    fn jaccard_empty_sets_are_zero() {
+        assert_eq!(type_jaccard(&[], &[]), 0.0);
+        assert_eq!(type_jaccard(&tys(&[1]), &[]), 0.0);
+    }
+}

@@ -1,0 +1,411 @@
+//! Synthetic knowledge-graph generator.
+//!
+//! The Thetis experiments run against DBpedia (~31M nodes, 763 types). The
+//! search and indexing algorithms only consume (a) per-entity type sets and
+//! (b) graph adjacency, so this generator reproduces the *statistical shape*
+//! DBpedia exhibits along those two axes:
+//!
+//! * a multi-level taxonomy (`Thing > Domain > TopicCategory > FineType`)
+//!   plus lateral facet types (`Person`, `Organisation`, ...) shared across
+//!   domains — so coarse types are near-useless (the paper filters types
+//!   appearing in >50% of tables) while fine types are discriminative;
+//! * dense intra-topic connectivity, sparse cross-topic and cross-domain
+//!   edges, and widely-referenced hub entities (cities) — so random-walk
+//!   embeddings place topically-related entities close together, yet
+//!   entities from different sports in the same city stay distinguishable
+//!   (the paper's motivating example).
+//!
+//! Topic membership is exposed as metadata so the corpus generator can build
+//! topically-coherent tables and graded ground truth.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::KgBuilder;
+use crate::graph::KnowledgeGraph;
+use crate::ids::{EntityId, TypeId};
+
+/// Syllable inventory for opaque entity names.
+const SYLLABLES: [&str; 40] = [
+    "ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du", "ka", "ke", "ki", "ko", "ku",
+    "ma", "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu", "ra", "re", "ri", "ro", "ru",
+    "sa", "se", "si", "so", "su", "ta", "te", "ti", "to", "tu",
+];
+
+/// A unique, opaque, pronounceable name for entity counter `n`.
+///
+/// Entity labels must not leak topic or domain tokens: in a real data lake
+/// a player's name does not contain their sport, so keyword search must not
+/// be able to find topically-related tables through label substrings. The
+/// encoding is bijective (base-40 positional, 4 syllables, plus remaining
+/// counter digits on overflow), so labels never collide.
+pub fn opaque_name(n: usize) -> String {
+    let mut digits = [0usize; 4];
+    let mut x = n;
+    for d in digits.iter_mut() {
+        *d = x % SYLLABLES.len();
+        x /= SYLLABLES.len();
+    }
+    let mut name = String::new();
+    for &d in digits.iter().rev() {
+        name.push_str(SYLLABLES[d]);
+    }
+    // Capitalize; append the overflow to stay bijective past 40^4 entities.
+    let mut chars = name.chars();
+    let mut out: String = chars
+        .next()
+        .map(|c| c.to_uppercase().collect::<String>())
+        .unwrap_or_default();
+    out.push_str(chars.as_str());
+    if x > 0 {
+        out.push_str(&format!("{x}"));
+    }
+    out
+}
+
+/// Identifier of a generated topic (dense index into [`SyntheticKg::topics`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TopicId(pub u32);
+
+impl TopicId {
+    /// The topic as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Metadata for one generated topic.
+#[derive(Debug, Clone)]
+pub struct TopicMeta {
+    /// Human-readable topic label, e.g. `"sports/topic03"`.
+    pub label: String,
+    /// Index of the domain this topic belongs to.
+    pub domain: usize,
+    /// Entity ids grouped by kind (kind 0 = primary entities, kind 1 =
+    /// organizations, ...). Tables about this topic draw one column per kind.
+    pub entities_by_kind: Vec<Vec<EntityId>>,
+}
+
+impl TopicMeta {
+    /// All entities of the topic across kinds.
+    pub fn all_entities(&self) -> impl Iterator<Item = EntityId> + '_ {
+        self.entities_by_kind.iter().flatten().copied()
+    }
+}
+
+/// Configuration of the synthetic generator.
+///
+/// Defaults produce ~3k entities in a second; every knob scales linearly.
+#[derive(Debug, Clone)]
+pub struct KgGeneratorConfig {
+    /// RNG seed; identical configs produce identical graphs.
+    pub seed: u64,
+    /// Number of top-level domains (sports, geography, ...).
+    pub domains: usize,
+    /// Topics per domain (baseball, volleyball, ... within sports).
+    pub topics_per_domain: usize,
+    /// Entity kinds per topic (players, teams, venues → table columns).
+    pub kinds_per_topic: usize,
+    /// Entities per kind per topic.
+    pub entities_per_kind: usize,
+    /// Random intra-topic edges added per entity (besides the kind chain).
+    pub intra_topic_edges_per_entity: usize,
+    /// Cross-topic (same domain) edges per entity.
+    pub cross_topic_edges_per_entity: usize,
+    /// Probability that a cross-topic edge instead crosses domains.
+    pub cross_domain_prob: f64,
+    /// Number of hub entities (cities) shared across all topics.
+    pub hubs: usize,
+}
+
+impl Default for KgGeneratorConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xC0FFEE,
+            domains: 6,
+            topics_per_domain: 10,
+            kinds_per_topic: 3,
+            entities_per_kind: 18,
+            intra_topic_edges_per_entity: 3,
+            cross_topic_edges_per_entity: 1,
+            cross_domain_prob: 0.05,
+            hubs: 40,
+        }
+    }
+}
+
+impl KgGeneratorConfig {
+    /// Total number of topic entities the config will generate (hubs excluded).
+    pub fn topic_entity_count(&self) -> usize {
+        self.domains * self.topics_per_domain * self.kinds_per_topic * self.entities_per_kind
+    }
+}
+
+/// A generated knowledge graph plus topic metadata.
+#[derive(Debug, Clone)]
+pub struct SyntheticKg {
+    /// The graph itself.
+    pub graph: KnowledgeGraph,
+    /// Topic metadata, indexed by [`TopicId`].
+    pub topics: Vec<TopicMeta>,
+    /// Topic of each entity (`None` for hubs).
+    pub entity_topic: Vec<Option<TopicId>>,
+    /// Kind of each entity within its topic (`0` for hubs).
+    pub entity_kind: Vec<u8>,
+    /// Hub (city) entities.
+    pub hubs: Vec<EntityId>,
+}
+
+impl SyntheticKg {
+    /// Generates a graph from `config`.
+    pub fn generate(config: &KgGeneratorConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut b = KgBuilder::new();
+
+        let thing = b.add_type("Thing", None);
+        // Lateral facets shared across domains, one per kind index.
+        let facet_labels = ["Person", "Organisation", "Place", "Work", "Event", "Device"];
+        let facets: Vec<TypeId> = (0..config.kinds_per_topic.max(1))
+            .map(|k| b.add_type(facet_labels[k % facet_labels.len()], Some(thing)))
+            .collect();
+        let place = b.add_type("Place", Some(thing));
+        let city = b.add_type("City", Some(place));
+
+        // Hubs first so topics can link to them.
+        let hubs: Vec<EntityId> = (0..config.hubs)
+            .map(|_| {
+                let name = format!("City {}", opaque_name(b.entity_count()));
+                b.add_entity(&name, vec![city])
+            })
+            .collect();
+
+        let located_in = b.add_predicate("locatedIn");
+        let related_to = b.add_predicate("relatedTo");
+
+        // Family-name pool shared across all domains: labels become
+        // "Given Family" where the family token recurs (~1/pool of all
+        // entities), giving keyword search the partial-match ambiguity real
+        // person names have.
+        let families: Vec<String> = (0..40).map(|i| opaque_name(911_000 + i * 13)).collect();
+
+        let mut topics = Vec::new();
+        for d in 0..config.domains {
+            let domain_label = format!("domain{d:02}");
+            let domain_type = b.add_type(&domain_label, Some(thing));
+            b.add_predicate(&format!("{domain_label}/memberOf"));
+
+            for t in 0..config.topics_per_domain {
+                let topic_label = format!("{domain_label}/topic{t:02}");
+                let topic_type = b.add_type(&topic_label, Some(domain_type));
+                let mut entities_by_kind = Vec::with_capacity(config.kinds_per_topic);
+                for (k, &facet) in facets.iter().enumerate().take(config.kinds_per_topic) {
+                    let fine = b.add_type(&format!("{topic_label}/kind{k}"), Some(topic_type));
+                    let kind_entities: Vec<EntityId> = (0..config.entities_per_kind)
+                        .map(|_| {
+                            // Opaque names: no topic/domain token leaks into
+                            // the label (see `opaque_name`); the family part
+                            // is shared across topics for realistic keyword
+                            // ambiguity.
+                            let family = &families[rng.random_range(0..families.len())];
+                            let name =
+                                format!("{} {family}", opaque_name(b.entity_count()));
+                            b.add_entity(&name, vec![fine, facet])
+                        })
+                        .collect();
+                    entities_by_kind.push(kind_entities);
+                }
+                topics.push(TopicMeta {
+                    label: topic_label,
+                    domain: d,
+                    entities_by_kind,
+                });
+            }
+        }
+
+        // Edge generation pass.
+        let n_topics = topics.len();
+        for (ti, topic) in topics.iter().enumerate() {
+            let domain = topic.domain;
+            let member_of = b.add_predicate(&format!("domain{domain:02}/memberOf"));
+            let all: Vec<EntityId> = topic.all_entities().collect();
+            for (k, kind_entities) in topic.entities_by_kind.iter().enumerate() {
+                for &e in kind_entities {
+                    // Kind chain: kind k links to a random entity of kind k+1
+                    // (players -> teams -> venues).
+                    if k + 1 < topic.entities_by_kind.len() {
+                        let next = &topic.entities_by_kind[k + 1];
+                        let target = next[rng.random_range(0..next.len())];
+                        b.add_edge(e, member_of, target);
+                    }
+                    // Random intra-topic edges.
+                    for _ in 0..config.intra_topic_edges_per_entity {
+                        let target = all[rng.random_range(0..all.len())];
+                        if target != e {
+                            b.add_edge(e, related_to, target);
+                        }
+                    }
+                    // Cross-topic / cross-domain edges.
+                    for _ in 0..config.cross_topic_edges_per_entity {
+                        let other_ti = if rng.random_bool(config.cross_domain_prob) {
+                            rng.random_range(0..n_topics)
+                        } else {
+                            // Another topic in the same domain.
+                            let base = domain * config.topics_per_domain;
+                            base + rng.random_range(0..config.topics_per_domain)
+                        };
+                        if other_ti == ti {
+                            continue;
+                        }
+                        let other = &topics[other_ti];
+                        let pool = &other.entities_by_kind[k % other.entities_by_kind.len()];
+                        let target = pool[rng.random_range(0..pool.len())];
+                        b.add_edge(e, related_to, target);
+                    }
+                    // Geographic anchoring to a hub.
+                    if !hubs.is_empty() {
+                        let hub = hubs[rng.random_range(0..hubs.len())];
+                        b.add_edge(e, located_in, hub);
+                    }
+                }
+            }
+        }
+
+        // Materialize the per-entity topic/kind maps.
+        let n = b.entity_count();
+        let mut entity_topic = vec![None; n];
+        let mut entity_kind = vec![0u8; n];
+        for (ti, topic) in topics.iter().enumerate() {
+            for (k, kind_entities) in topic.entities_by_kind.iter().enumerate() {
+                for &e in kind_entities {
+                    entity_topic[e.index()] = Some(TopicId(ti as u32));
+                    entity_kind[e.index()] = k as u8;
+                }
+            }
+        }
+
+        SyntheticKg {
+            graph: b.freeze(),
+            topics,
+            entity_topic,
+            entity_kind,
+            hubs,
+        }
+    }
+
+    /// Topic of an entity (`None` for hubs).
+    pub fn topic_of(&self, e: EntityId) -> Option<TopicId> {
+        self.entity_topic[e.index()]
+    }
+
+    /// Kind of an entity within its topic.
+    pub fn kind_of(&self, e: EntityId) -> u8 {
+        self.entity_kind[e.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = KgGeneratorConfig::default();
+        let a = SyntheticKg::generate(&cfg);
+        let b = SyntheticKg::generate(&cfg);
+        assert_eq!(a.graph.entity_count(), b.graph.entity_count());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        let id = EntityId(100);
+        assert_eq!(a.graph.label(id), b.graph.label(id));
+    }
+
+    #[test]
+    fn entity_counts_match_config() {
+        let cfg = KgGeneratorConfig::default();
+        let kg = SyntheticKg::generate(&cfg);
+        assert_eq!(
+            kg.graph.entity_count(),
+            cfg.topic_entity_count() + cfg.hubs
+        );
+        assert_eq!(kg.topics.len(), cfg.domains * cfg.topics_per_domain);
+    }
+
+    #[test]
+    fn same_topic_entities_share_more_types_than_cross_domain() {
+        let kg = SyntheticKg::generate(&KgGeneratorConfig::default());
+        let t0 = &kg.topics[0];
+        let t_far = kg.topics.last().unwrap();
+        assert_ne!(t0.domain, t_far.domain);
+        let a = t0.entities_by_kind[0][0];
+        let b = t0.entities_by_kind[0][1];
+        let c = t_far.entities_by_kind[0][0];
+        let sim_same =
+            crate::entity::type_jaccard(kg.graph.types_of(a), kg.graph.types_of(b));
+        let sim_cross =
+            crate::entity::type_jaccard(kg.graph.types_of(a), kg.graph.types_of(c));
+        assert!(
+            sim_same > sim_cross,
+            "same-topic {sim_same} should exceed cross-domain {sim_cross}"
+        );
+    }
+
+    #[test]
+    fn every_topic_entity_has_topic_metadata() {
+        let kg = SyntheticKg::generate(&KgGeneratorConfig::default());
+        let hub_set: std::collections::HashSet<_> = kg.hubs.iter().copied().collect();
+        for e in kg.graph.entity_ids() {
+            if hub_set.contains(&e) {
+                assert_eq!(kg.topic_of(e), None);
+            } else {
+                assert!(kg.topic_of(e).is_some(), "entity {e:?} lacks a topic");
+            }
+        }
+    }
+
+    #[test]
+    fn topic_entities_are_connected() {
+        let kg = SyntheticKg::generate(&KgGeneratorConfig::default());
+        // Every topic entity has at least the locatedIn edge.
+        for e in kg.graph.entity_ids() {
+            if kg.topic_of(e).is_some() {
+                assert!(kg.graph.out_degree(e) >= 1, "entity {e:?} is isolated");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod name_tests {
+    use super::*;
+
+    #[test]
+    fn opaque_names_are_unique_and_clean() {
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..5000 {
+            let name = opaque_name(n);
+            assert!(seen.insert(name.clone()), "duplicate name {name}");
+            assert!(name.chars().all(|c| c.is_alphanumeric()));
+        }
+    }
+
+    #[test]
+    fn opaque_names_survive_overflow() {
+        let big = 40usize.pow(4) + 17;
+        let a = opaque_name(big);
+        let b = opaque_name(17);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generated_labels_do_not_leak_topic_tokens() {
+        let kg = SyntheticKg::generate(&KgGeneratorConfig::default());
+        for t in &kg.topics {
+            for e in t.all_entities().take(3) {
+                let label = kg.graph.label(e).to_lowercase();
+                assert!(
+                    !label.contains("domain") && !label.contains("topic"),
+                    "label {label} leaks topic structure"
+                );
+            }
+        }
+    }
+}

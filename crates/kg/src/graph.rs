@@ -1,0 +1,151 @@
+//! The frozen knowledge graph: entities, taxonomy, predicates, and a CSR
+//! adjacency structure.
+
+use std::collections::HashMap;
+
+use crate::entity::Entity;
+use crate::ids::{EntityId, PredicateId, TypeId};
+use crate::taxonomy::Taxonomy;
+
+/// An outgoing edge: predicate label plus target entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Predicate (edge label).
+    pub predicate: PredicateId,
+    /// Target entity.
+    pub target: EntityId,
+}
+
+/// An immutable knowledge graph `G = (N, E, λ)`.
+///
+/// Built via [`KgBuilder`](crate::KgBuilder); once frozen, adjacency is
+/// stored in compressed sparse row (CSR) form so that neighbor iteration is
+/// a contiguous slice scan.
+#[derive(Debug, Clone)]
+pub struct KnowledgeGraph {
+    pub(crate) entities: Vec<Entity>,
+    pub(crate) taxonomy: Taxonomy,
+    pub(crate) predicates: Vec<String>,
+    pub(crate) edge_offsets: Vec<u32>,
+    pub(crate) edges: Vec<Edge>,
+    pub(crate) label_index: HashMap<String, EntityId>,
+}
+
+impl KnowledgeGraph {
+    /// Number of entity nodes.
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of distinct predicates.
+    pub fn predicate_count(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// The type taxonomy.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// The entity record for `id`.
+    pub fn entity(&self, id: EntityId) -> &Entity {
+        &self.entities[id.index()]
+    }
+
+    /// The label of entity `id`.
+    pub fn label(&self, id: EntityId) -> &str {
+        &self.entities[id.index()].label
+    }
+
+    /// The sorted type set of entity `id`.
+    pub fn types_of(&self, id: EntityId) -> &[TypeId] {
+        &self.entities[id.index()].types
+    }
+
+    /// The outgoing edges of entity `id`.
+    pub fn neighbors(&self, id: EntityId) -> &[Edge] {
+        let lo = self.edge_offsets[id.index()] as usize;
+        let hi = self.edge_offsets[id.index() + 1] as usize;
+        &self.edges[lo..hi]
+    }
+
+    /// Out-degree of entity `id`.
+    pub fn out_degree(&self, id: EntityId) -> usize {
+        self.neighbors(id).len()
+    }
+
+    /// Resolves an entity by exact label.
+    pub fn entity_by_label(&self, label: &str) -> Option<EntityId> {
+        self.label_index.get(label).copied()
+    }
+
+    /// Label of a predicate.
+    pub fn predicate_label(&self, id: PredicateId) -> &str {
+        &self.predicates[id.index()]
+    }
+
+    /// Iterates over all entity ids.
+    pub fn entity_ids(&self) -> impl Iterator<Item = EntityId> {
+        (0..self.entities.len()).map(EntityId::from_index)
+    }
+
+    /// Iterates over `(source, edge)` pairs for all edges.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (EntityId, Edge)> + '_ {
+        self.entity_ids()
+            .flat_map(move |src| self.neighbors(src).iter().map(move |&e| (src, e)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::KgBuilder;
+
+    #[test]
+    fn neighbors_are_per_source() {
+        let mut b = KgBuilder::new();
+        let thing = b.add_type("Thing", None);
+        let a = b.add_entity("a", vec![thing]);
+        let c = b.add_entity("c", vec![thing]);
+        let d = b.add_entity("d", vec![thing]);
+        let p = b.add_predicate("knows");
+        b.add_edge(a, p, c);
+        b.add_edge(a, p, d);
+        b.add_edge(c, p, d);
+        let g = b.freeze();
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.out_degree(c), 1);
+        assert_eq!(g.out_degree(d), 0);
+        assert_eq!(g.edge_count(), 3);
+        let targets: Vec<_> = g.neighbors(a).iter().map(|e| e.target).collect();
+        assert_eq!(targets, vec![c, d]);
+    }
+
+    #[test]
+    fn label_lookup() {
+        let mut b = KgBuilder::new();
+        let thing = b.add_type("Thing", None);
+        let a = b.add_entity("Ron Santo", vec![thing]);
+        let g = b.freeze();
+        assert_eq!(g.entity_by_label("Ron Santo"), Some(a));
+        assert_eq!(g.entity_by_label("nobody"), None);
+        assert_eq!(g.label(a), "Ron Santo");
+    }
+
+    #[test]
+    fn iter_edges_covers_all() {
+        let mut b = KgBuilder::new();
+        let t = b.add_type("T", None);
+        let a = b.add_entity("a", vec![t]);
+        let c = b.add_entity("c", vec![t]);
+        let p = b.add_predicate("p");
+        b.add_edge(a, p, c);
+        b.add_edge(c, p, a);
+        let g = b.freeze();
+        assert_eq!(g.iter_edges().count(), 2);
+    }
+}

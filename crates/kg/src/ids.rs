@@ -1,0 +1,81 @@
+//! Compact newtype identifiers for knowledge-graph objects.
+//!
+//! All identifiers are dense `u32` indices into the owning
+//! [`KnowledgeGraph`](crate::KnowledgeGraph)'s arenas, which keeps adjacency
+//! lists, type sets, and LSH postings small and cache-friendly.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the identifier as a `usize` index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an identifier from a `usize` index.
+            ///
+            /// # Panics
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id overflow: more than u32::MAX objects"))
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type! {
+    /// Identifier of an entity node in the knowledge graph.
+    EntityId
+}
+
+id_type! {
+    /// Identifier of an entity type (a node in the taxonomy).
+    TypeId
+}
+
+id_type! {
+    /// Identifier of a predicate (edge label).
+    PredicateId
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let e = EntityId::from_index(42);
+        assert_eq!(e.index(), 42);
+        assert_eq!(usize::from(e), 42);
+        assert_eq!(e, EntityId(42));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(TypeId(1) < TypeId(2));
+        assert!(PredicateId(0) < PredicateId(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "id overflow")]
+    fn from_index_overflow_panics() {
+        let _ = EntityId::from_index(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! String interner mapping labels to dense `u32` symbols.
+//!
+//! Knowledge graphs repeat labels heavily (predicate names, type names); the
+//! interner stores each distinct string once and hands out stable indices.
+
+use std::collections::HashMap;
+
+/// A dense symbol referring to an interned string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u32);
+
+/// An append-only string interner.
+///
+/// Interning the same string twice returns the same [`Symbol`]; resolution is
+/// an array lookup.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    index: HashMap<Box<str>, Symbol>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its symbol. Idempotent.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.index.get(s) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.strings.len()).expect("interner overflow"));
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.index.insert(boxed, sym);
+        sym
+    }
+
+    /// Resolves a symbol to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Looks up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.index.get(s).copied()
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(symbol, string)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("baseball");
+        let b = i.intern("baseball");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn resolve_roundtrips() {
+        let mut i = Interner::new();
+        let a = i.intern("Milwaukee Brewers");
+        let b = i.intern("Chicago Cubs");
+        assert_eq!(i.resolve(a), "Milwaukee Brewers");
+        assert_eq!(i.resolve(b), "Chicago Cubs");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.get("x").is_none());
+        let s = i.intern("x");
+        assert_eq!(i.get("x"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let collected: Vec<_> = i.iter().map(|(_, s)| s.to_string()).collect();
+        assert_eq!(collected, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,211 @@
+//! TSV triple I/O for knowledge graphs.
+//!
+//! A pragmatic stand-in for N-Triples: one record per line, tab-separated,
+//! with a leading record kind so the file can be streamed in one pass:
+//!
+//! ```text
+//! type <tab> BaseballTeam <tab> SportsTeam     # parent, or "-" for roots
+//! entity <tab> Chicago Cubs <tab> BaseballTeam,Organisation
+//! edge <tab> Ron Santo <tab> playsFor <tab> Chicago Cubs
+//! ```
+//!
+//! Types must be declared before they are referenced; entities before edges.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::builder::KgBuilder;
+use crate::graph::KnowledgeGraph;
+use crate::ids::TypeId;
+
+/// Errors raised while reading a TSV knowledge-graph dump.
+#[derive(Debug)]
+pub enum KgIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A structurally invalid line (wrong field count / unknown record kind).
+    Malformed { line: usize, reason: String },
+    /// A reference to a type, entity, or predicate that was never declared.
+    Unresolved { line: usize, name: String },
+}
+
+impl fmt::Display for KgIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KgIoError::Io(e) => write!(f, "i/o error: {e}"),
+            KgIoError::Malformed { line, reason } => {
+                write!(f, "malformed record on line {line}: {reason}")
+            }
+            KgIoError::Unresolved { line, name } => {
+                write!(f, "unresolved reference on line {line}: {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KgIoError {}
+
+impl From<std::io::Error> for KgIoError {
+    fn from(e: std::io::Error) -> Self {
+        KgIoError::Io(e)
+    }
+}
+
+/// Serializes `graph` in the TSV triple format.
+pub fn write_tsv<W: Write>(graph: &KnowledgeGraph, mut w: W) -> std::io::Result<()> {
+    // Types first, in id order, so parents always precede children when the
+    // taxonomy was built top-down (Taxonomy::add requires exactly that).
+    for (id, label) in graph.taxonomy().iter() {
+        match graph.taxonomy().parent(id) {
+            Some(p) => writeln!(w, "type\t{label}\t{}", graph.taxonomy().label(p))?,
+            None => writeln!(w, "type\t{label}\t-")?,
+        }
+    }
+    for id in graph.entity_ids() {
+        let types: Vec<&str> = graph
+            .types_of(id)
+            .iter()
+            .map(|&t| graph.taxonomy().label(t))
+            .collect();
+        writeln!(w, "entity\t{}\t{}", graph.label(id), types.join(","))?;
+    }
+    for (src, edge) in graph.iter_edges() {
+        writeln!(
+            w,
+            "edge\t{}\t{}\t{}",
+            graph.label(src),
+            graph.predicate_label(edge.predicate),
+            graph.label(edge.target)
+        )?;
+    }
+    Ok(())
+}
+
+/// Parses a TSV triple dump into a [`KnowledgeGraph`].
+pub fn read_tsv<R: BufRead>(r: R) -> Result<KnowledgeGraph, KgIoError> {
+    let mut b = KgBuilder::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line?;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields.as_slice() {
+            ["type", label, parent] => {
+                let parent_id: Option<TypeId> = if *parent == "-" {
+                    None
+                } else {
+                    Some(b.taxonomy().by_label(parent).ok_or_else(|| {
+                        KgIoError::Unresolved {
+                            line: lineno,
+                            name: parent.to_string(),
+                        }
+                    })?)
+                };
+                b.add_type(label, parent_id);
+            }
+            ["entity", label, types] => {
+                let mut type_ids = Vec::new();
+                for t in types.split(',').filter(|t| !t.is_empty()) {
+                    let id = b
+                        .taxonomy()
+                        .by_label(t)
+                        .ok_or_else(|| KgIoError::Unresolved {
+                            line: lineno,
+                            name: t.to_string(),
+                        })?;
+                    type_ids.push(id);
+                }
+                b.add_entity(label, type_ids);
+            }
+            ["edge", src, pred, dst] => {
+                // Entities must pre-exist; we do not auto-create them so that
+                // typos in dumps surface as errors rather than ghost nodes.
+                let src_id = b.entity_id_by_label(src).ok_or_else(|| KgIoError::Unresolved {
+                    line: lineno,
+                    name: src.to_string(),
+                })?;
+                let dst_id = b.entity_id_by_label(dst).ok_or_else(|| KgIoError::Unresolved {
+                    line: lineno,
+                    name: dst.to_string(),
+                })?;
+                let p = b.add_predicate(pred);
+                b.add_edge(src_id, p, dst_id);
+            }
+            _ => {
+                return Err(KgIoError::Malformed {
+                    line: lineno,
+                    reason: format!("unrecognized record: {line:?}"),
+                })
+            }
+        }
+    }
+    Ok(b.freeze())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KgBuilder;
+
+    fn sample_graph() -> KnowledgeGraph {
+        let mut b = KgBuilder::new();
+        let thing = b.add_type("Thing", None);
+        let team = b.add_type("BaseballTeam", Some(thing));
+        let person = b.add_type("Person", Some(thing));
+        let cubs = b.add_entity("Chicago Cubs", vec![team]);
+        let santo = b.add_entity("Ron Santo", vec![person]);
+        let p = b.add_predicate("playsFor");
+        b.add_edge(santo, p, cubs);
+        b.freeze()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_tsv(&g, &mut buf).unwrap();
+        let g2 = read_tsv(buf.as_slice()).unwrap();
+        assert_eq!(g2.entity_count(), g.entity_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        let santo = g2.entity_by_label("Ron Santo").unwrap();
+        let cubs = g2.entity_by_label("Chicago Cubs").unwrap();
+        assert_eq!(g2.neighbors(santo)[0].target, cubs);
+        let ty_labels: Vec<_> = g2
+            .types_of(santo)
+            .iter()
+            .map(|&t| g2.taxonomy().label(t).to_string())
+            .collect();
+        assert!(ty_labels.contains(&"Person".to_string()));
+        assert!(ty_labels.contains(&"Thing".to_string()));
+    }
+
+    #[test]
+    fn unresolved_type_is_reported() {
+        let input = "entity\tX\tNoSuchType\n";
+        let err = read_tsv(input.as_bytes()).unwrap_err();
+        assert!(matches!(err, KgIoError::Unresolved { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn unresolved_edge_endpoint_is_reported() {
+        let input = "type\tT\t-\nentity\tA\tT\nedge\tA\tp\tB\n";
+        let err = read_tsv(input.as_bytes()).unwrap_err();
+        assert!(matches!(err, KgIoError::Unresolved { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn malformed_line_is_reported() {
+        let input = "garbage line\n";
+        let err = read_tsv(input.as_bytes()).unwrap_err();
+        assert!(matches!(err, KgIoError::Malformed { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let input = "# comment\n\ntype\tT\t-\nentity\tA\tT\n";
+        let g = read_tsv(input.as_bytes()).unwrap();
+        assert_eq!(g.entity_count(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! Knowledge-graph substrate for Thetis semantic table search.
+//!
+//! A knowledge graph is a labeled directed graph `G = (N, E, λ)` whose nodes
+//! are entities annotated with sets of types drawn from a taxonomy, and whose
+//! edges carry predicate labels. Thetis only ever consumes two views of the
+//! graph:
+//!
+//! * the **type set** of each entity (for the adjusted-Jaccard similarity and
+//!   the type-based LSH index), and
+//! * the **adjacency structure** (for training RDF2Vec-style embeddings).
+//!
+//! This crate provides compact integer identifiers, a string interner, a
+//! frozen CSR adjacency representation, a type taxonomy with ancestor
+//! closure, TSV triple I/O, and a synthetic generator that mimics the
+//! statistical shape of DBpedia (shared coarse types, discriminative fine
+//! types, dense intra-topic connectivity).
+
+pub mod builder;
+pub mod entity;
+pub mod generator;
+pub mod graph;
+pub mod ids;
+pub mod interner;
+pub mod io;
+pub mod paths;
+pub mod stats;
+pub mod taxonomy;
+
+pub use builder::KgBuilder;
+pub use entity::Entity;
+pub use generator::{KgGeneratorConfig, SyntheticKg, TopicId, TopicMeta};
+pub use graph::KnowledgeGraph;
+pub use ids::{EntityId, PredicateId, TypeId};
+pub use interner::Interner;
+pub use stats::KgStats;
+pub use taxonomy::Taxonomy;

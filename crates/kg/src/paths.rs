@@ -1,0 +1,182 @@
+//! Bounded graph traversal: BFS distances and neighborhoods.
+//!
+//! Relevance measures over KGs (§3.3 of the paper) often derive from graph
+//! proximity. This module provides the traversal substrate: bounded
+//! breadth-first search treating edges as undirected for proximity
+//! purposes (an entity is near the entities that mention it, regardless of
+//! edge direction — we materialize the reverse adjacency on first use).
+
+use std::collections::VecDeque;
+
+use crate::graph::KnowledgeGraph;
+use crate::ids::EntityId;
+
+/// Reverse adjacency (target → sources), built once and reused.
+#[derive(Debug, Clone)]
+pub struct ReverseAdjacency {
+    offsets: Vec<u32>,
+    sources: Vec<EntityId>,
+}
+
+impl ReverseAdjacency {
+    /// Builds the reverse adjacency of `graph` (counting sort, `O(N+E)`).
+    pub fn build(graph: &KnowledgeGraph) -> Self {
+        let n = graph.entity_count();
+        let mut counts = vec![0u32; n + 1];
+        for (_, edge) in graph.iter_edges() {
+            counts[edge.target.index() + 1] += 1;
+        }
+        for i in 1..=n {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut sources = vec![EntityId(0); graph.edge_count()];
+        for (src, edge) in graph.iter_edges() {
+            let pos = cursor[edge.target.index()] as usize;
+            sources[pos] = src;
+            cursor[edge.target.index()] += 1;
+        }
+        Self { offsets, sources }
+    }
+
+    /// Entities with an edge *into* `e`.
+    pub fn sources_of(&self, e: EntityId) -> &[EntityId] {
+        let lo = self.offsets[e.index()] as usize;
+        let hi = self.offsets[e.index() + 1] as usize;
+        &self.sources[lo..hi]
+    }
+}
+
+/// Undirected BFS distance between two entities, up to `max_depth` hops.
+///
+/// Returns `None` when `b` is farther than `max_depth` from `a` (or
+/// unreachable).
+pub fn bounded_distance(
+    graph: &KnowledgeGraph,
+    reverse: &ReverseAdjacency,
+    a: EntityId,
+    b: EntityId,
+    max_depth: u32,
+) -> Option<u32> {
+    if a == b {
+        return Some(0);
+    }
+    // Bounded BFS with a visited set sized to the graph; for the depths
+    // used in similarity scoring (≤ 4) the frontier stays small.
+    let mut visited = vec![false; graph.entity_count()];
+    let mut queue = VecDeque::new();
+    visited[a.index()] = true;
+    queue.push_back((a, 0u32));
+    while let Some((cur, depth)) = queue.pop_front() {
+        if depth >= max_depth {
+            continue;
+        }
+        let out = graph.neighbors(cur).iter().map(|e| e.target);
+        let inc = reverse.sources_of(cur).iter().copied();
+        for next in out.chain(inc) {
+            if next == b {
+                return Some(depth + 1);
+            }
+            if !visited[next.index()] {
+                visited[next.index()] = true;
+                queue.push_back((next, depth + 1));
+            }
+        }
+    }
+    None
+}
+
+/// The set of entities within `max_depth` undirected hops of `start`
+/// (excluding `start`), in BFS order.
+pub fn neighborhood(
+    graph: &KnowledgeGraph,
+    reverse: &ReverseAdjacency,
+    start: EntityId,
+    max_depth: u32,
+) -> Vec<EntityId> {
+    let mut visited = vec![false; graph.entity_count()];
+    let mut out = Vec::new();
+    let mut queue = VecDeque::new();
+    visited[start.index()] = true;
+    queue.push_back((start, 0u32));
+    while let Some((cur, depth)) = queue.pop_front() {
+        if depth >= max_depth {
+            continue;
+        }
+        let targets = graph.neighbors(cur).iter().map(|e| e.target);
+        let sources = reverse.sources_of(cur).iter().copied();
+        for next in targets.chain(sources) {
+            if !visited[next.index()] {
+                visited[next.index()] = true;
+                out.push(next);
+                queue.push_back((next, depth + 1));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KgBuilder;
+
+    /// a → b → c → d, plus e isolated.
+    fn chain() -> (KnowledgeGraph, Vec<EntityId>) {
+        let mut b = KgBuilder::new();
+        let t = b.add_type("T", None);
+        let ids: Vec<EntityId> =
+            (0..5).map(|i| b.add_entity(&format!("e{i}"), vec![t])).collect();
+        let p = b.add_predicate("p");
+        b.add_edge(ids[0], p, ids[1]);
+        b.add_edge(ids[1], p, ids[2]);
+        b.add_edge(ids[2], p, ids[3]);
+        (b.freeze(), ids)
+    }
+
+    #[test]
+    fn distances_along_the_chain() {
+        let (g, ids) = chain();
+        let rev = ReverseAdjacency::build(&g);
+        assert_eq!(bounded_distance(&g, &rev, ids[0], ids[0], 4), Some(0));
+        assert_eq!(bounded_distance(&g, &rev, ids[0], ids[1], 4), Some(1));
+        assert_eq!(bounded_distance(&g, &rev, ids[0], ids[3], 4), Some(3));
+        // Undirected: distance is symmetric.
+        assert_eq!(bounded_distance(&g, &rev, ids[3], ids[0], 4), Some(3));
+    }
+
+    #[test]
+    fn depth_bound_cuts_off() {
+        let (g, ids) = chain();
+        let rev = ReverseAdjacency::build(&g);
+        assert_eq!(bounded_distance(&g, &rev, ids[0], ids[3], 2), None);
+        assert_eq!(bounded_distance(&g, &rev, ids[0], ids[3], 3), Some(3));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let (g, ids) = chain();
+        let rev = ReverseAdjacency::build(&g);
+        assert_eq!(bounded_distance(&g, &rev, ids[0], ids[4], 10), None);
+    }
+
+    #[test]
+    fn neighborhood_expands_with_depth() {
+        let (g, ids) = chain();
+        let rev = ReverseAdjacency::build(&g);
+        let n1 = neighborhood(&g, &rev, ids[1], 1);
+        assert_eq!(n1.len(), 2); // e0 (reverse) and e2 (forward)
+        let n2 = neighborhood(&g, &rev, ids[1], 2);
+        assert_eq!(n2.len(), 3);
+        assert!(!n2.contains(&ids[4]));
+    }
+
+    #[test]
+    fn reverse_adjacency_inverts_edges() {
+        let (g, ids) = chain();
+        let rev = ReverseAdjacency::build(&g);
+        assert_eq!(rev.sources_of(ids[1]), &[ids[0]]);
+        assert_eq!(rev.sources_of(ids[0]), &[] as &[EntityId]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Summary statistics of a knowledge graph.
+
+use serde::Serialize;
+
+use crate::graph::KnowledgeGraph;
+
+/// Aggregate counts and averages describing a graph, mirroring the figures
+/// the paper reports for its DBpedia snapshot (§7.1).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct KgStats {
+    /// Number of entity nodes.
+    pub entities: usize,
+    /// Number of directed edges.
+    pub edges: usize,
+    /// Number of distinct types.
+    pub types: usize,
+    /// Number of distinct predicates.
+    pub predicates: usize,
+    /// Mean number of type annotations per entity.
+    pub avg_types_per_entity: f64,
+    /// Mean out-degree.
+    pub avg_out_degree: f64,
+}
+
+impl KgStats {
+    /// Computes statistics for `graph`.
+    pub fn compute(graph: &KnowledgeGraph) -> Self {
+        let entities = graph.entity_count();
+        let edges = graph.edge_count();
+        let total_types: usize = graph.entity_ids().map(|e| graph.types_of(e).len()).sum();
+        Self {
+            entities,
+            edges,
+            types: graph.taxonomy().len(),
+            predicates: graph.predicate_count(),
+            avg_types_per_entity: if entities == 0 {
+                0.0
+            } else {
+                total_types as f64 / entities as f64
+            },
+            avg_out_degree: if entities == 0 {
+                0.0
+            } else {
+                edges as f64 / entities as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KgBuilder;
+
+    #[test]
+    fn stats_on_small_graph() {
+        let mut b = KgBuilder::new();
+        let thing = b.add_type("Thing", None);
+        let person = b.add_type("Person", Some(thing));
+        let a = b.add_entity("a", vec![person]); // 2 types after closure
+        let c = b.add_entity("c", vec![thing]); // 1 type
+        let p = b.add_predicate("p");
+        b.add_edge(a, p, c);
+        let stats = KgStats::compute(&b.freeze());
+        assert_eq!(stats.entities, 2);
+        assert_eq!(stats.edges, 1);
+        assert_eq!(stats.types, 2);
+        assert_eq!(stats.predicates, 1);
+        assert!((stats.avg_types_per_entity - 1.5).abs() < 1e-12);
+        assert!((stats.avg_out_degree - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_on_empty_graph() {
+        let stats = KgStats::compute(&KgBuilder::new().freeze());
+        assert_eq!(stats.entities, 0);
+        assert_eq!(stats.avg_out_degree, 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Type taxonomy: a forest of entity types with ancestor closure.
+//!
+//! DBpedia-style KGs annotate entities at several granularities at once
+//! (e.g. *Milwaukee Brewers* is a `BaseballTeam`, a `SportsTeam`, and an
+//! `Organisation`). We model this as a parent-linked forest and expose the
+//! ancestor closure so that an entity annotated with a fine type inherits
+//! every coarser type above it.
+
+use std::collections::HashMap;
+
+use crate::ids::TypeId;
+
+#[derive(Debug, Clone)]
+struct TypeNode {
+    label: String,
+    parent: Option<TypeId>,
+    depth: u32,
+}
+
+/// A forest of entity types.
+#[derive(Debug, Default, Clone)]
+pub struct Taxonomy {
+    nodes: Vec<TypeNode>,
+    by_label: HashMap<String, TypeId>,
+}
+
+impl Taxonomy {
+    /// Creates an empty taxonomy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a type under `parent` (or as a root when `parent` is `None`).
+    ///
+    /// Re-adding an existing label returns the existing id and ignores the
+    /// new parent, which keeps ingestion of repeated triples idempotent.
+    ///
+    /// # Panics
+    /// Panics if `parent` is not a valid id of this taxonomy.
+    pub fn add(&mut self, label: &str, parent: Option<TypeId>) -> TypeId {
+        if let Some(&existing) = self.by_label.get(label) {
+            return existing;
+        }
+        let depth = match parent {
+            Some(p) => self.nodes[p.index()].depth + 1,
+            None => 0,
+        };
+        let id = TypeId::from_index(self.nodes.len());
+        self.nodes.push(TypeNode {
+            label: label.to_string(),
+            parent,
+            depth,
+        });
+        self.by_label.insert(label.to_string(), id);
+        id
+    }
+
+    /// Number of types.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the taxonomy has no types.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Label of a type.
+    pub fn label(&self, id: TypeId) -> &str {
+        &self.nodes[id.index()].label
+    }
+
+    /// Looks up a type by label.
+    pub fn by_label(&self, label: &str) -> Option<TypeId> {
+        self.by_label.get(label).copied()
+    }
+
+    /// Parent of a type, if any.
+    pub fn parent(&self, id: TypeId) -> Option<TypeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// Depth of a type (roots have depth 0).
+    pub fn depth(&self, id: TypeId) -> u32 {
+        self.nodes[id.index()].depth
+    }
+
+    /// The ancestor closure of `id`, **including `id` itself**, ordered from
+    /// `id` up to its root.
+    pub fn closure(&self, id: TypeId) -> Vec<TypeId> {
+        let mut out = Vec::with_capacity(self.nodes[id.index()].depth as usize + 1);
+        let mut cur = Some(id);
+        while let Some(t) = cur {
+            out.push(t);
+            cur = self.nodes[t.index()].parent;
+        }
+        out
+    }
+
+    /// Whether `ancestor` lies on the parent chain of `descendant`
+    /// (a type is considered its own ancestor).
+    pub fn is_ancestor(&self, ancestor: TypeId, descendant: TypeId) -> bool {
+        let mut cur = Some(descendant);
+        while let Some(t) = cur {
+            if t == ancestor {
+                return true;
+            }
+            cur = self.nodes[t.index()].parent;
+        }
+        false
+    }
+
+    /// Iterates over `(id, label)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (TypeId, &str)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (TypeId::from_index(i), n.label.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Taxonomy, TypeId, TypeId, TypeId) {
+        let mut t = Taxonomy::new();
+        let thing = t.add("Thing", None);
+        let org = t.add("Organisation", Some(thing));
+        let team = t.add("SportsTeam", Some(org));
+        (t, thing, org, team)
+    }
+
+    #[test]
+    fn depths_follow_parent_chain() {
+        let (t, thing, org, team) = sample();
+        assert_eq!(t.depth(thing), 0);
+        assert_eq!(t.depth(org), 1);
+        assert_eq!(t.depth(team), 2);
+    }
+
+    #[test]
+    fn closure_walks_to_root() {
+        let (t, thing, org, team) = sample();
+        assert_eq!(t.closure(team), vec![team, org, thing]);
+        assert_eq!(t.closure(thing), vec![thing]);
+    }
+
+    #[test]
+    fn is_ancestor_includes_self() {
+        let (t, thing, _org, team) = sample();
+        assert!(t.is_ancestor(thing, team));
+        assert!(t.is_ancestor(team, team));
+        assert!(!t.is_ancestor(team, thing));
+    }
+
+    #[test]
+    fn add_is_idempotent_by_label() {
+        let (mut t, thing, org, _team) = sample();
+        let again = t.add("Organisation", Some(thing));
+        assert_eq!(again, org);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn lookup_by_label() {
+        let (t, _thing, org, _team) = sample();
+        assert_eq!(t.by_label("Organisation"), Some(org));
+        assert_eq!(t.by_label("missing"), None);
+    }
+}

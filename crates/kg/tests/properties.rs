@@ -1,0 +1,90 @@
+//! Property-based tests for the knowledge-graph substrate.
+
+use proptest::prelude::*;
+use thetis_kg::entity::type_jaccard;
+use thetis_kg::{io, KgBuilder, KgGeneratorConfig, SyntheticKg, TypeId};
+
+proptest! {
+    /// Jaccard over sorted type sets is a bounded, symmetric similarity
+    /// with the expected identity behaviour.
+    #[test]
+    fn type_jaccard_is_a_similarity(
+        a in proptest::collection::btree_set(0u32..50, 0..12),
+        b in proptest::collection::btree_set(0u32..50, 0..12),
+    ) {
+        let ta: Vec<TypeId> = a.iter().copied().map(TypeId).collect();
+        let tb: Vec<TypeId> = b.iter().copied().map(TypeId).collect();
+        let ab = type_jaccard(&ta, &tb);
+        let ba = type_jaccard(&tb, &ta);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert_eq!(ab, ba);
+        if !ta.is_empty() {
+            prop_assert_eq!(type_jaccard(&ta, &ta), 1.0);
+        }
+        // Adding a shared element never lowers similarity... verified via
+        // the superset relation: J(a, a∪b) ≥ J(a, b).
+        let mut union: Vec<TypeId> = ta.iter().chain(tb.iter()).copied().collect();
+        union.sort_unstable();
+        union.dedup();
+        if !union.is_empty() && !ta.is_empty() {
+            prop_assert!(type_jaccard(&ta, &union) + 1e-12 >= ab);
+        }
+    }
+
+    /// The TSV dump of any generated graph parses back to an isomorphic
+    /// graph (same counts, labels resolve, types preserved).
+    #[test]
+    fn tsv_roundtrip_preserves_generated_graphs(seed in 0u64..50) {
+        let kg = SyntheticKg::generate(&KgGeneratorConfig {
+            seed,
+            domains: 2,
+            topics_per_domain: 2,
+            entities_per_kind: 4,
+            hubs: 3,
+            ..KgGeneratorConfig::default()
+        });
+        let mut buf = Vec::new();
+        io::write_tsv(&kg.graph, &mut buf).unwrap();
+        let reread = io::read_tsv(buf.as_slice()).unwrap();
+        prop_assert_eq!(reread.entity_count(), kg.graph.entity_count());
+        prop_assert_eq!(reread.edge_count(), kg.graph.edge_count());
+        prop_assert_eq!(reread.taxonomy().len(), kg.graph.taxonomy().len());
+        for e in kg.graph.entity_ids() {
+            let label = kg.graph.label(e);
+            let e2 = reread.entity_by_label(label);
+            prop_assert!(e2.is_some(), "label {} lost in roundtrip", label);
+            prop_assert_eq!(
+                reread.types_of(e2.unwrap()).len(),
+                kg.graph.types_of(e).len()
+            );
+        }
+    }
+
+    /// Builder closure materialization: every entity carries each declared
+    /// type's full ancestor chain.
+    #[test]
+    fn closure_is_upward_closed(
+        depth_choices in proptest::collection::vec(0usize..4, 1..20),
+    ) {
+        let mut b = KgBuilder::new();
+        let mut chain = vec![b.add_type("L0", None)];
+        for d in 1..4 {
+            let parent = chain[d - 1];
+            chain.push(b.add_type(&format!("L{d}"), Some(parent)));
+        }
+        let entities: Vec<_> = depth_choices
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| b.add_entity(&format!("e{i}"), vec![chain[d]]))
+            .collect();
+        let g = b.freeze();
+        for (&e, &d) in entities.iter().zip(&depth_choices) {
+            let types = g.types_of(e);
+            // Expect exactly d+1 types: the declared one and all ancestors.
+            prop_assert_eq!(types.len(), d + 1);
+            for anc in &chain[0..=d] {
+                prop_assert!(types.contains(anc));
+            }
+        }
+    }
+}

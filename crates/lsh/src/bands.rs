@@ -1,0 +1,55 @@
+//! Banding: splitting a signature into per-group bucket keys.
+
+use crate::config::LshConfig;
+use crate::signature::Signature;
+
+/// The bucket key of each band of `sig` under `config`.
+///
+/// Band `i` covers bits `[i·B, (i+1)·B)` and its key is those bits read as a
+/// little-endian integer in `[0, 2^B)`.
+///
+/// # Panics
+/// Panics if the signature length does not equal `config.num_vectors`.
+pub fn band_keys(sig: &Signature, config: &LshConfig) -> Vec<u64> {
+    assert_eq!(
+        sig.len(),
+        config.num_vectors,
+        "signature length {} does not match config {}",
+        sig.len(),
+        config
+    );
+    (0..config.bands())
+        .map(|b| sig.extract(b * config.band_size, config.band_size))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_partition_the_signature() {
+        let cfg = LshConfig::new(8, 4);
+        let sig = Signature::from_bits(&[true, false, false, false, true, true, false, false]);
+        let keys = band_keys(&sig, &cfg);
+        assert_eq!(keys, vec![0b0001, 0b0011]);
+    }
+
+    #[test]
+    fn keys_are_bounded_by_bucket_count() {
+        let cfg = LshConfig::new(30, 10);
+        let bits: Vec<bool> = (0..30).map(|i| i % 3 == 0).collect();
+        let sig = Signature::from_bits(&bits);
+        for key in band_keys(&sig, &cfg) {
+            assert!(key < cfg.buckets_per_band());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match config")]
+    fn length_mismatch_panics() {
+        let cfg = LshConfig::new(16, 4);
+        let sig = Signature::zeros(8);
+        let _ = band_keys(&sig, &cfg);
+    }
+}

@@ -1,0 +1,98 @@
+//! LSH configuration: number of permutation/projection vectors and band size.
+
+use serde::Serialize;
+
+/// An LSH configuration `(X, Y)` in the paper's notation: `X` permutation or
+/// projection vectors producing an `X`-bit signature, split into bands of
+/// `Y` bits each.
+///
+/// The paper evaluates `(32, 8)`, `(128, 8)`, and `(30, 10)` (§7.3) and
+/// recommends `(30, 10)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct LshConfig {
+    /// Signature length in bits (number of permutations / projections).
+    pub num_vectors: usize,
+    /// Bits per band.
+    pub band_size: usize,
+}
+
+impl LshConfig {
+    /// Creates a configuration, validating divisibility and bounds.
+    ///
+    /// # Panics
+    /// Panics if `band_size` does not divide `num_vectors`, is zero, or
+    /// exceeds 32 (bucket keys are materialized as `2^band_size` values).
+    pub fn new(num_vectors: usize, band_size: usize) -> Self {
+        assert!(num_vectors > 0 && band_size > 0, "config must be positive");
+        assert!(band_size <= 32, "band size above 32 is unsupported");
+        assert_eq!(
+            num_vectors % band_size,
+            0,
+            "band size {band_size} must divide the number of vectors {num_vectors}"
+        );
+        Self {
+            num_vectors,
+            band_size,
+        }
+    }
+
+    /// Number of bands (= bucket groups).
+    #[inline]
+    pub fn bands(&self) -> usize {
+        self.num_vectors / self.band_size
+    }
+
+    /// Number of buckets per band group (`2^band_size`).
+    #[inline]
+    pub fn buckets_per_band(&self) -> u64 {
+        1u64 << self.band_size
+    }
+
+    /// The paper's recommended configuration, `(30, 10)`.
+    pub fn recommended() -> Self {
+        Self::new(30, 10)
+    }
+
+    /// The three configurations evaluated in §7.3.
+    pub fn paper_configs() -> [Self; 3] {
+        [Self::new(32, 8), Self::new(128, 8), Self::new(30, 10)]
+    }
+}
+
+impl std::fmt::Display for LshConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.num_vectors, self.band_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_arithmetic() {
+        let c = LshConfig::new(32, 8);
+        assert_eq!(c.bands(), 4);
+        assert_eq!(c.buckets_per_band(), 256);
+        let c = LshConfig::new(30, 10);
+        assert_eq!(c.bands(), 3);
+        assert_eq!(c.buckets_per_band(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn indivisible_band_panics() {
+        let _ = LshConfig::new(32, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_band_panics() {
+        let _ = LshConfig::new(32, 0);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(LshConfig::new(30, 10).to_string(), "(30, 10)");
+    }
+}

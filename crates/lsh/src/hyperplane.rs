@@ -1,0 +1,149 @@
+//! Random-hyperplane signatures for embedding vectors (§6.1).
+//!
+//! Each projection vector splits the embedding space into a positive and a
+//! negative half; signature bit `i` records the side of hyperplane `i`
+//! (Charikar, STOC 2002). Two vectors at angle `θ` agree on each bit with
+//! probability `1 − θ/π`, so cosine-similar entities collide in bands.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::signature::Signature;
+
+/// A family of random projection hyperplanes.
+#[derive(Debug, Clone)]
+pub struct RandomHyperplanes {
+    dim: usize,
+    // Row-major `num_vectors × dim`.
+    planes: Vec<f32>,
+    num_vectors: usize,
+}
+
+impl RandomHyperplanes {
+    /// Samples `num_vectors` hyperplanes for `dim`-dimensional vectors.
+    ///
+    /// Components are standard-normal (via Box–Muller), which makes the
+    /// hyperplane directions uniform on the sphere.
+    pub fn new(dim: usize, num_vectors: usize, seed: u64) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut planes = Vec::with_capacity(num_vectors * dim);
+        while planes.len() < num_vectors * dim {
+            // Box–Muller: two normals per draw.
+            let u1: f64 = rng.random::<f64>().max(1e-12);
+            let u2: f64 = rng.random();
+            let r = (-2.0 * u1.ln()).sqrt();
+            planes.push((r * (2.0 * std::f64::consts::PI * u2).cos()) as f32);
+            if planes.len() < num_vectors * dim {
+                planes.push((r * (2.0 * std::f64::consts::PI * u2).sin()) as f32);
+            }
+        }
+        Self {
+            dim,
+            planes,
+            num_vectors,
+        }
+    }
+
+    /// Signature length in bits.
+    pub fn num_vectors(&self) -> usize {
+        self.num_vectors
+    }
+
+    /// Vector dimensionality the family was sampled for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Signs a vector: bit `i` is set iff `v · plane_i > 0`.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != dim`.
+    pub fn sign(&self, v: &[f32]) -> Signature {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let mut sig = Signature::zeros(self.num_vectors);
+        for i in 0..self.num_vectors {
+            let row = &self.planes[i * self.dim..(i + 1) * self.dim];
+            let dot: f32 = row.iter().zip(v).map(|(p, x)| p * x).sum();
+            if dot > 0.0 {
+                sig.set(i);
+            }
+        }
+        sig
+    }
+}
+
+/// Averages several vectors into one (the column-aggregation variant of
+/// §6.2 for embeddings). Returns `None` when the input is empty.
+pub fn mean_vector(vectors: &[&[f32]]) -> Option<Vec<f32>> {
+    let first = vectors.first()?;
+    let dim = first.len();
+    let mut mean = vec![0.0f32; dim];
+    for v in vectors {
+        assert_eq!(v.len(), dim, "vector dimension mismatch");
+        for (m, x) in mean.iter_mut().zip(*v) {
+            *m += x;
+        }
+    }
+    let n = vectors.len() as f32;
+    for m in &mut mean {
+        *m /= n;
+    }
+    Some(mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_identical_signatures() {
+        let h = RandomHyperplanes::new(8, 64, 1);
+        let v = [1.0, -0.5, 0.3, 0.0, 2.0, -1.0, 0.7, 0.1];
+        assert_eq!(h.sign(&v), h.sign(&v));
+    }
+
+    #[test]
+    fn bit_agreement_tracks_angle() {
+        // Orthogonal vectors: θ = π/2 → agreement 0.5.
+        let h = RandomHyperplanes::new(2, 4096, 11);
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        let agree = h.sign(&a).matching_bits(&h.sign(&b)) as f64 / 4096.0;
+        assert!((agree - 0.5).abs() < 0.05, "orthogonal agreement {agree:.3}");
+
+        // 45° vectors: agreement 1 − 0.25 = 0.75.
+        let c = [1.0, 1.0];
+        let agree = h.sign(&a).matching_bits(&h.sign(&c)) as f64 / 4096.0;
+        assert!((agree - 0.75).abs() < 0.05, "45° agreement {agree:.3}");
+
+        // Opposite vectors: agreement ~0.
+        let d = [-1.0, 0.0];
+        let agree = h.sign(&a).matching_bits(&h.sign(&d)) as f64 / 4096.0;
+        assert!(agree < 0.05, "opposite agreement {agree:.3}");
+    }
+
+    #[test]
+    fn scaling_does_not_change_signature() {
+        let h = RandomHyperplanes::new(4, 32, 5);
+        let v = [0.2, -0.9, 0.4, 0.0];
+        let scaled: Vec<f32> = v.iter().map(|x| x * 17.0).collect();
+        assert_eq!(h.sign(&v), h.sign(&scaled));
+    }
+
+    #[test]
+    fn mean_vector_averages() {
+        let a = [2.0f32, 0.0];
+        let b = [0.0f32, 4.0];
+        let m = mean_vector(&[&a, &b]).unwrap();
+        assert_eq!(m, vec![1.0, 2.0]);
+        assert!(mean_vector(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_panics() {
+        let h = RandomHyperplanes::new(3, 8, 0);
+        let _ = h.sign(&[1.0, 2.0]);
+    }
+}

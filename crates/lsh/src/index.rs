@@ -1,0 +1,134 @@
+//! The generic banded LSH bucket index.
+
+use std::collections::HashMap;
+
+use crate::bands::band_keys;
+use crate::config::LshConfig;
+use crate::signature::Signature;
+
+/// A banded LSH index over items of type `T`.
+///
+/// One bucket group per band; within a group an item lives in exactly one
+/// bucket (the one addressed by its band key), as described in §6.1.
+#[derive(Debug, Clone)]
+pub struct LshIndex<T> {
+    config: LshConfig,
+    groups: Vec<HashMap<u64, Vec<T>>>,
+}
+
+impl<T: Copy + Eq> LshIndex<T> {
+    /// Creates an empty index for `config`.
+    pub fn new(config: LshConfig) -> Self {
+        Self {
+            config,
+            groups: (0..config.bands()).map(|_| HashMap::new()).collect(),
+        }
+    }
+
+    /// The index configuration.
+    pub fn config(&self) -> &LshConfig {
+        &self.config
+    }
+
+    /// Inserts `item` under `sig`, once per band.
+    pub fn insert(&mut self, sig: &Signature, item: T) {
+        for (group, key) in self.groups.iter_mut().zip(band_keys(sig, &self.config)) {
+            group.entry(key).or_default().push(item);
+        }
+    }
+
+    /// All items colliding with `sig` in at least one band, as a *bag*:
+    /// an item appears once per colliding band (the voting prefilter counts
+    /// these multiplicities).
+    pub fn query_bag(&self, sig: &Signature) -> Vec<T> {
+        let mut out = Vec::new();
+        for (group, key) in self.groups.iter().zip(band_keys(sig, &self.config)) {
+            if let Some(bucket) = group.get(&key) {
+                out.extend_from_slice(bucket);
+            }
+        }
+        out
+    }
+
+    /// Read access to the bucket groups (for persistence).
+    pub fn groups(&self) -> &[HashMap<u64, Vec<T>>] {
+        &self.groups
+    }
+
+    /// Inserts an item directly into a bucket (used when restoring a
+    /// persisted index, bypassing signature computation).
+    ///
+    /// # Panics
+    /// Panics if `group` is out of range.
+    pub fn insert_raw(&mut self, group: usize, key: u64, item: T) {
+        self.groups[group].entry(key).or_default().push(item);
+    }
+
+    /// Total number of stored (item, band) entries.
+    pub fn entry_count(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|g| g.values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Number of non-empty buckets across all groups.
+    pub fn bucket_count(&self) -> usize {
+        self.groups.iter().map(HashMap::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(bits: &[bool]) -> Signature {
+        Signature::from_bits(bits)
+    }
+
+    #[test]
+    fn identical_signatures_collide_in_every_band() {
+        let cfg = LshConfig::new(8, 4);
+        let mut idx = LshIndex::new(cfg);
+        let s = sig(&[true, false, true, false, false, true, false, true]);
+        idx.insert(&s, 1u32);
+        let bag = idx.query_bag(&s);
+        assert_eq!(bag.len(), 2); // one hit per band
+        assert!(bag.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn partial_agreement_collides_in_matching_band_only() {
+        let cfg = LshConfig::new(8, 4);
+        let mut idx = LshIndex::new(cfg);
+        let a = sig(&[true, true, true, true, false, false, false, false]);
+        // Same first band, different second band.
+        let b = sig(&[true, true, true, true, true, true, true, true]);
+        idx.insert(&a, 7u32);
+        let bag = idx.query_bag(&b);
+        assert_eq!(bag, vec![7]);
+    }
+
+    #[test]
+    fn disjoint_signatures_do_not_collide() {
+        let cfg = LshConfig::new(8, 4);
+        let mut idx = LshIndex::new(cfg);
+        let a = sig(&[true; 8]);
+        let b = sig(&[false; 8]);
+        idx.insert(&a, 1u32);
+        assert!(idx.query_bag(&b).is_empty());
+    }
+
+    #[test]
+    fn entry_and_bucket_counts() {
+        let cfg = LshConfig::new(8, 4);
+        let mut idx = LshIndex::new(cfg);
+        let a = sig(&[true; 8]);
+        let b = sig(&[false; 8]);
+        idx.insert(&a, 1u32);
+        idx.insert(&b, 2u32);
+        idx.insert(&a, 3u32);
+        assert_eq!(idx.entry_count(), 6);
+        assert_eq!(idx.bucket_count(), 4); // 2 buckets per group × 2 groups
+    }
+}

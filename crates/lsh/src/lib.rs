@@ -1,0 +1,33 @@
+//! Locality-sensitive hashing and the Locality-Sensitive Entity Index
+//! (LSEI) of §6 of the Thetis paper.
+//!
+//! Two signature families, one banding/bucketing machinery:
+//!
+//! * **Types** — entities are represented by the set of *type-pair shingles*
+//!   of their (frequency-filtered) type sets, then min-hashed. We keep one
+//!   bit per permutation (1-bit minwise hashing, Li & König 2010), which
+//!   matches the paper's "`2^B` buckets per band of size `B`" bucket layout
+//!   and preserves the Jaccard locality property
+//!   (`P[bit match] = (1 + J) / 2`).
+//! * **Embeddings** — random-hyperplane signatures (sign of the dot product
+//!   with random projection vectors), `P[bit match] = 1 − θ/π`.
+//!
+//! Signatures are split into bands; each band's bit pattern selects one of
+//! `2^B` buckets in that band's group. The [`lsei::Lsei`] couples the bucket
+//! index with entity→table postings and implements the voting prefilter and
+//! the column-aggregation variants of §6.2.
+
+pub mod bands;
+pub mod config;
+pub mod hyperplane;
+pub mod index;
+pub mod lsei;
+pub mod minhash;
+pub mod persist;
+pub mod shingle;
+pub mod signature;
+
+pub use config::LshConfig;
+pub use lsei::{Lsei, PrefilterResult};
+pub use shingle::TypeFilter;
+pub use signature::Signature;

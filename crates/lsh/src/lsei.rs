@@ -1,0 +1,613 @@
+//! The Locality-Sensitive Entity Index (LSEI) of §6.
+//!
+//! The LSEI couples a banded LSH index over entity signatures with the
+//! entity→table postings of the lake. Before running the (expensive) table
+//! scoring of Algorithm 1, the engine looks up every query entity, gathers
+//! the tables of all colliding entities, applies a *voting threshold* on
+//! table multiplicity, and scores only the surviving tables.
+//!
+//! Two index granularities are supported:
+//!
+//! * [`LseiMode::Entity`] — one signature per distinct lake entity (the
+//!   default in the paper);
+//! * [`LseiMode::Column`] — one aggregated signature per table column
+//!   (the space-saving variant of §6.2: merged type sets, or averaged
+//!   embedding vectors).
+//!
+//! Query-side aggregation ([`Lsei::prefilter_aggregated`]) merges all query
+//! entities into a single lookup, trading accuracy for fewer probes.
+
+use std::collections::HashMap;
+
+use thetis_datalake::{DataLake, TableId};
+use thetis_embedding::EmbeddingStore;
+use thetis_kg::{EntityId, KnowledgeGraph};
+
+use crate::config::LshConfig;
+use crate::hyperplane::{mean_vector, RandomHyperplanes};
+use crate::index::LshIndex;
+use crate::minhash::MinHasher;
+use crate::shingle::{merged_type_shingles, type_pair_shingles, TypeFilter};
+use crate::signature::Signature;
+
+/// Computes LSH signatures for entities and entity groups.
+pub trait EntitySigner {
+    /// Signature of a single entity.
+    fn sign_entity(&self, e: EntityId) -> Signature;
+
+    /// Signature of an aggregated entity group (column aggregation, §6.2).
+    fn sign_group(&self, entities: &[EntityId]) -> Signature;
+}
+
+/// Signer over type-pair shingles (the "LSEI for Entity Types" of §6.1).
+pub struct TypeSigner<'a> {
+    graph: &'a KnowledgeGraph,
+    filter: TypeFilter,
+    hasher: MinHasher,
+}
+
+impl<'a> TypeSigner<'a> {
+    /// Creates a signer with `config.num_vectors` permutations.
+    pub fn new(graph: &'a KnowledgeGraph, filter: TypeFilter, config: LshConfig, seed: u64) -> Self {
+        Self {
+            graph,
+            filter,
+            hasher: MinHasher::new(config.num_vectors, seed),
+        }
+    }
+}
+
+impl EntitySigner for TypeSigner<'_> {
+    fn sign_entity(&self, e: EntityId) -> Signature {
+        let shingles = type_pair_shingles(self.graph.types_of(e), &self.filter);
+        self.hasher.sign(&shingles)
+    }
+
+    fn sign_group(&self, entities: &[EntityId]) -> Signature {
+        let shingles = merged_type_shingles(
+            entities.iter().map(|&e| self.graph.types_of(e).to_vec()),
+            &self.filter,
+        );
+        self.hasher.sign(&shingles)
+    }
+}
+
+/// Signer over embedding vectors (the "LSEI for Entity Embeddings" of §6.1).
+pub struct EmbeddingSigner<'a> {
+    store: &'a EmbeddingStore,
+    planes: RandomHyperplanes,
+}
+
+impl<'a> EmbeddingSigner<'a> {
+    /// Creates a signer with `config.num_vectors` projections.
+    pub fn new(store: &'a EmbeddingStore, config: LshConfig, seed: u64) -> Self {
+        Self {
+            store,
+            planes: RandomHyperplanes::new(store.dim(), config.num_vectors, seed),
+        }
+    }
+}
+
+impl EntitySigner for EmbeddingSigner<'_> {
+    fn sign_entity(&self, e: EntityId) -> Signature {
+        self.planes.sign(self.store.get(e))
+    }
+
+    fn sign_group(&self, entities: &[EntityId]) -> Signature {
+        let vectors: Vec<&[f32]> = entities.iter().map(|&e| self.store.get(e)).collect();
+        match mean_vector(&vectors) {
+            Some(mean) => self.planes.sign(&mean),
+            None => Signature::zeros(self.planes.num_vectors()),
+        }
+    }
+}
+
+/// Index granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LseiMode {
+    /// One signature per distinct lake entity.
+    Entity,
+    /// One aggregated signature per table column.
+    Column,
+}
+
+/// What an LSEI lookup returned.
+#[derive(Debug, Clone)]
+pub struct PrefilterResult {
+    /// Surviving candidate tables, sorted and deduplicated.
+    pub tables: Vec<TableId>,
+    /// Size of the raw candidate bag before voting (a work measure).
+    pub raw_candidates: usize,
+}
+
+impl PrefilterResult {
+    /// Search-space reduction relative to a lake of `total` tables, as a
+    /// fraction in `[0, 1]` (Table 4 of the paper).
+    pub fn reduction(&self, total: usize) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            1.0 - self.tables.len() as f64 / total as f64
+        }
+    }
+}
+
+/// The Locality-Sensitive Entity Index.
+///
+/// ```
+/// use thetis_datalake::{CellValue, DataLake, Table};
+/// use thetis_kg::KgBuilder;
+/// use thetis_lsh::lsei::{Lsei, LseiMode, TypeSigner};
+/// use thetis_lsh::{LshConfig, TypeFilter};
+///
+/// let mut b = KgBuilder::new();
+/// let ty = b.add_type("Player", None);
+/// let e = b.add_entity("Ron Santo", vec![ty]);
+/// let graph = b.freeze();
+///
+/// let mut table = Table::new("t", vec!["p".into()]);
+/// table.push_row(vec![CellValue::LinkedEntity {
+///     mention: "Ron Santo".into(),
+///     entity: e,
+/// }]);
+/// let lake = DataLake::from_tables(vec![table]);
+///
+/// let cfg = LshConfig::recommended();
+/// let signer = TypeSigner::new(&graph, TypeFilter::none(), cfg, 42);
+/// let lsei = Lsei::build(&lake, signer, cfg, LseiMode::Entity);
+/// // Identical entities always collide: the table survives prefiltering.
+/// assert_eq!(lsei.prefilter(&[e], 1).tables.len(), 1);
+/// ```
+pub struct Lsei<S> {
+    signer: S,
+    mode: LseiMode,
+    /// In `Entity` mode items are entity ids; in `Column` mode, table ids.
+    index: LshIndex<u32>,
+    postings: HashMap<EntityId, Vec<TableId>>,
+    n_tables: usize,
+}
+
+impl<S> Lsei<S> {
+    /// Decomposes the index for persistence: `(config, mode, bucket index,
+    /// postings, n_tables)`.
+    pub fn parts(
+        &self,
+    ) -> (
+        LshConfig,
+        LseiMode,
+        &LshIndex<u32>,
+        &HashMap<EntityId, Vec<TableId>>,
+        usize,
+    ) {
+        (
+            *self.index.config(),
+            self.mode,
+            &self.index,
+            &self.postings,
+            self.n_tables,
+        )
+    }
+
+    /// Reassembles an index from persisted parts plus a fresh signer (must
+    /// be configured identically to the one used at build time).
+    pub fn from_parts(
+        signer: S,
+        mode: LseiMode,
+        index: LshIndex<u32>,
+        postings: HashMap<EntityId, Vec<TableId>>,
+        n_tables: usize,
+    ) -> Self {
+        Self {
+            signer,
+            mode,
+            index,
+            postings,
+            n_tables,
+        }
+    }
+
+}
+
+impl<S: EntitySigner> Lsei<S> {
+    /// Builds the index over every linked entity (or column) of `lake`.
+    ///
+    /// The lake's postings must be fresh (see
+    /// [`DataLake::rebuild_postings`]); [`DataLake::from_tables`] and
+    /// linking via `link_lake` leave them fresh.
+    pub fn build(lake: &DataLake, signer: S, config: LshConfig, mode: LseiMode) -> Self {
+        let mut index = LshIndex::new(config);
+        let mut postings = HashMap::new();
+        match mode {
+            LseiMode::Entity => {
+                postings = lake.postings().clone();
+                for &e in postings.keys() {
+                    let sig = signer.sign_entity(e);
+                    index.insert(&sig, e.0);
+                }
+            }
+            LseiMode::Column => {
+                for (tid, table) in lake.iter() {
+                    for col in 0..table.n_cols() {
+                        let entities: Vec<EntityId> = table.entities_in_column(col).collect();
+                        if entities.is_empty() {
+                            continue;
+                        }
+                        let sig = signer.sign_group(&entities);
+                        index.insert(&sig, tid.0);
+                    }
+                }
+            }
+        }
+        Self {
+            signer,
+            mode,
+            index,
+            postings,
+            n_tables: lake.len(),
+        }
+    }
+
+    /// Incrementally indexes one new table (dynamic-lake ingestion: the
+    /// paper's §2.3 argues a semantic data lake must admit new datasets
+    /// without global recomputation, and the LSEI supports exactly that).
+    ///
+    /// `table_id` must be the id the table has (or will have) in the lake;
+    /// entities already indexed only gain a posting, new entities are
+    /// signed and inserted into the buckets.
+    pub fn insert_table(&mut self, table_id: TableId, table: &thetis_datalake::Table) {
+        match self.mode {
+            LseiMode::Entity => {
+                for e in table.distinct_entities() {
+                    match self.postings.entry(e) {
+                        std::collections::hash_map::Entry::Occupied(mut o) => {
+                            if !o.get().contains(&table_id) {
+                                o.get_mut().push(table_id);
+                            }
+                        }
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            let sig = self.signer.sign_entity(e);
+                            self.index.insert(&sig, e.0);
+                            v.insert(vec![table_id]);
+                        }
+                    }
+                }
+            }
+            LseiMode::Column => {
+                for col in 0..table.n_cols() {
+                    let entities: Vec<EntityId> = table.entities_in_column(col).collect();
+                    if entities.is_empty() {
+                        continue;
+                    }
+                    let sig = self.signer.sign_group(&entities);
+                    self.index.insert(&sig, table_id.0);
+                }
+            }
+        }
+        self.n_tables = self.n_tables.max(table_id.index() + 1);
+    }
+
+    /// The number of tables the index was built over.
+    pub fn n_tables(&self) -> usize {
+        self.n_tables
+    }
+
+    /// Like [`Lsei::build`], but computes entity signatures on `threads`
+    /// worker threads (signature hashing dominates build time on large
+    /// lakes; bucket insertion stays sequential and cheap).
+    pub fn build_parallel(
+        lake: &DataLake,
+        signer: S,
+        config: LshConfig,
+        mode: LseiMode,
+        threads: usize,
+    ) -> Self
+    where
+        S: Sync,
+    {
+        if mode == LseiMode::Column || threads <= 1 {
+            return Self::build(lake, signer, config, mode);
+        }
+        let postings = lake.postings().clone();
+        let entities: Vec<EntityId> = {
+            let mut v: Vec<EntityId> = postings.keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        let chunk = entities.len().div_ceil(threads.max(1)).max(1);
+        let signed: Vec<Vec<(EntityId, Signature)>> = std::thread::scope(|scope| {
+            entities
+                .chunks(chunk)
+                .map(|slice| {
+                    let signer = &signer;
+                    scope.spawn(move || {
+                        slice
+                            .iter()
+                            .map(|&e| (e, signer.sign_entity(e)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("signature worker panicked"))
+                .collect()
+        });
+        let mut index = LshIndex::new(config);
+        for (e, sig) in signed.into_iter().flatten() {
+            index.insert(&sig, e.0);
+        }
+        Self {
+            signer,
+            mode,
+            index,
+            postings,
+            n_tables: lake.len(),
+        }
+    }
+
+    /// The index granularity.
+    pub fn mode(&self) -> LseiMode {
+        self.mode
+    }
+
+    /// Tables colliding with one signature, as a multiplicity bag.
+    fn table_bag(&self, sig: &Signature) -> Vec<TableId> {
+        let mut bag = Vec::new();
+        match self.mode {
+            LseiMode::Entity => {
+                for raw in self.index.query_bag(sig) {
+                    if let Some(tables) = self.postings.get(&EntityId(raw)) {
+                        bag.extend_from_slice(tables);
+                    }
+                }
+            }
+            LseiMode::Column => {
+                bag.extend(self.index.query_bag(sig).into_iter().map(TableId));
+            }
+        }
+        bag
+    }
+
+    /// Applies the voting threshold to a bag and returns the sorted
+    /// surviving table set.
+    fn vote(bag: &[TableId], votes: usize) -> Vec<TableId> {
+        let mut counts: HashMap<TableId, usize> = HashMap::new();
+        for &t in bag {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+        let mut out: Vec<TableId> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= votes.max(1))
+            .map(|(t, _)| t)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The prefilter of §6.2: each query entity is looked up individually,
+    /// voting is applied per lookup, and the per-entity results are merged.
+    pub fn prefilter(&self, query_entities: &[EntityId], votes: usize) -> PrefilterResult {
+        let mut raw = 0usize;
+        let mut merged: Vec<TableId> = Vec::new();
+        for &e in query_entities {
+            let sig = self.signer.sign_entity(e);
+            let bag = self.table_bag(&sig);
+            raw += bag.len();
+            merged.extend(Self::vote(&bag, votes));
+        }
+        merged.sort_unstable();
+        merged.dedup();
+        PrefilterResult {
+            tables: merged,
+            raw_candidates: raw,
+        }
+    }
+
+    /// Query-side aggregation (§6.2): the entities of each query *column*
+    /// (same tuple position across tuples) merge into one signature, so a
+    /// multi-tuple query costs as many lookups as a 1-tuple query.
+    pub fn prefilter_aggregated(
+        &self,
+        query_columns: &[Vec<EntityId>],
+        votes: usize,
+    ) -> PrefilterResult {
+        let mut raw = 0usize;
+        let mut merged: Vec<TableId> = Vec::new();
+        for group in query_columns {
+            if group.is_empty() {
+                continue;
+            }
+            let sig = self.signer.sign_group(group);
+            let bag = self.table_bag(&sig);
+            raw += bag.len();
+            merged.extend(Self::vote(&bag, votes));
+        }
+        merged.sort_unstable();
+        merged.dedup();
+        PrefilterResult {
+            tables: merged,
+            raw_candidates: raw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thetis_datalake::{CellValue, Table};
+    use thetis_kg::KgBuilder;
+
+    /// Two topic clusters with distinct fine types; one table per topic.
+    fn fixture() -> (KnowledgeGraph, DataLake, Vec<EntityId>, Vec<EntityId>) {
+        let mut b = KgBuilder::new();
+        let thing = b.add_type("Thing", None);
+        let baseball = b.add_type("BaseballPlayer", Some(thing));
+        let volleyball = b.add_type("VolleyballPlayer", Some(thing));
+        let bb: Vec<EntityId> = (0..8)
+            .map(|i| b.add_entity(&format!("bb{i}"), vec![baseball]))
+            .collect();
+        let vb: Vec<EntityId> = (0..8)
+            .map(|i| b.add_entity(&format!("vb{i}"), vec![volleyball]))
+            .collect();
+        let g = b.freeze();
+
+        let mk = |name: &str, es: &[EntityId], g: &KnowledgeGraph| {
+            let mut t = Table::new(name, vec!["p".into()]);
+            for &e in es {
+                t.push_row(vec![CellValue::LinkedEntity {
+                    mention: g.label(e).to_string(),
+                    entity: e,
+                }]);
+            }
+            t
+        };
+        let lake = DataLake::from_tables(vec![
+            mk("bb_a", &bb[0..4], &g),
+            mk("bb_b", &bb[4..8], &g),
+            mk("vb_a", &vb[0..4], &g),
+            mk("vb_b", &vb[4..8], &g),
+        ]);
+        (g, lake, bb, vb)
+    }
+
+    #[test]
+    fn entity_mode_finds_same_type_tables() {
+        let (g, lake, bb, _vb) = fixture();
+        let signer = TypeSigner::new(&g, TypeFilter::none(), LshConfig::new(32, 8), 1);
+        let lsei = Lsei::build(&lake, signer, LshConfig::new(32, 8), LseiMode::Entity);
+        // Query with a baseball entity: both baseball tables must be found
+        // (identical type sets ⇒ identical signatures ⇒ guaranteed collision).
+        let res = lsei.prefilter(&[bb[0]], 1);
+        assert!(res.tables.contains(&TableId(0)));
+        assert!(res.tables.contains(&TableId(1)));
+    }
+
+    #[test]
+    fn voting_restricts_the_result() {
+        let (g, lake, bb, _vb) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let signer = TypeSigner::new(&g, TypeFilter::none(), cfg, 1);
+        let lsei = Lsei::build(&lake, signer, cfg, LseiMode::Entity);
+        let loose = lsei.prefilter(&[bb[0]], 1);
+        let strict = lsei.prefilter(&[bb[0]], 1000);
+        assert!(strict.tables.len() <= loose.tables.len());
+        assert!(strict.tables.is_empty());
+    }
+
+    #[test]
+    fn reduction_is_fraction_of_lake() {
+        let res = PrefilterResult {
+            tables: vec![TableId(0)],
+            raw_candidates: 10,
+        };
+        assert!((res.reduction(4) - 0.75).abs() < 1e-12);
+        assert_eq!(res.reduction(0), 0.0);
+    }
+
+    #[test]
+    fn column_mode_returns_tables_directly() {
+        let (g, lake, bb, vb) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let signer = TypeSigner::new(&g, TypeFilter::none(), cfg, 1);
+        let lsei = Lsei::build(&lake, signer, cfg, LseiMode::Column);
+        let res = lsei.prefilter(&[bb[0]], 1);
+        // Baseball tables collide (identical merged type sets).
+        assert!(res.tables.contains(&TableId(0)));
+        assert!(res.tables.contains(&TableId(1)));
+        // A volleyball query should not pull in baseball tables more often
+        // than chance; with disjoint singleton type sets the signatures
+        // differ with overwhelming probability.
+        let res_v = lsei.prefilter(&[vb[0]], 1);
+        assert!(res_v.tables.contains(&TableId(2)));
+    }
+
+    #[test]
+    fn aggregated_prefilter_uses_one_lookup_per_column() {
+        let (g, lake, bb, _vb) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let signer = TypeSigner::new(&g, TypeFilter::none(), cfg, 1);
+        let lsei = Lsei::build(&lake, signer, cfg, LseiMode::Entity);
+        // One query column holding three same-type entities: merging their
+        // identical type sets is lossless, so baseball tables are found.
+        let res = lsei.prefilter_aggregated(&[bb[0..3].to_vec()], 1);
+        assert!(res.tables.contains(&TableId(0)));
+        // Empty groups are skipped gracefully.
+        let res = lsei.prefilter_aggregated(&[vec![], bb[0..1].to_vec()], 1);
+        assert!(res.tables.contains(&TableId(0)));
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let (g, lake, bb, vb) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let mk = || TypeSigner::new(&g, TypeFilter::none(), cfg, 1);
+        let seq = Lsei::build(&lake, mk(), cfg, LseiMode::Entity);
+        let par = Lsei::build_parallel(&lake, mk(), cfg, LseiMode::Entity, 4);
+        for &probe in bb.iter().chain(&vb) {
+            let a = seq.prefilter(&[probe], 1);
+            let b = par.prefilter(&[probe], 1);
+            assert_eq!(a.tables, b.tables);
+            assert_eq!(a.raw_candidates, b.raw_candidates);
+        }
+    }
+
+    #[test]
+    fn incremental_insert_matches_batch_build() {
+        let (g, lake, bb, vb) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let mk_signer = || TypeSigner::new(&g, TypeFilter::none(), cfg, 1);
+
+        // Batch build over the full lake.
+        let batch = Lsei::build(&lake, mk_signer(), cfg, LseiMode::Entity);
+
+        // Incremental: start from the first two tables, then ingest the rest.
+        let partial = DataLake::from_tables(lake.tables()[0..2].to_vec());
+        let mut incr = Lsei::build(&partial, mk_signer(), cfg, LseiMode::Entity);
+        for (tid, table) in lake.iter().skip(2) {
+            incr.insert_table(tid, table);
+        }
+        assert_eq!(incr.n_tables(), lake.len());
+
+        for &probe in bb.iter().chain(&vb) {
+            let a = batch.prefilter(&[probe], 1);
+            let b = incr.prefilter(&[probe], 1);
+            assert_eq!(a.tables, b.tables, "divergence for {probe:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_insert_is_idempotent_per_posting() {
+        let (g, lake, bb, _) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let signer = TypeSigner::new(&g, TypeFilter::none(), cfg, 1);
+        let mut lsei = Lsei::build(&lake, signer, cfg, LseiMode::Entity);
+        let before = lsei.prefilter(&[bb[0]], 1);
+        // Re-inserting an already-indexed table must not duplicate postings
+        // (the voting threshold would otherwise be distorted).
+        lsei.insert_table(TableId(0), lake.table(TableId(0)));
+        let after = lsei.prefilter(&[bb[0]], 1);
+        assert_eq!(before.tables, after.tables);
+        assert_eq!(before.raw_candidates, after.raw_candidates);
+    }
+
+    #[test]
+    fn embedding_signer_clusters_by_vector() {
+        let (_g, lake, bb, vb) = fixture();
+        // Hand-crafted embeddings: baseball near +x, volleyball near +y.
+        let n = 16;
+        let mut store = EmbeddingStore::zeros(n, 4);
+        for &e in &bb {
+            store.get_mut(e).copy_from_slice(&[1.0, 0.05, 0.0, 0.0]);
+        }
+        for &e in &vb {
+            store.get_mut(e).copy_from_slice(&[0.05, 1.0, 0.0, 0.0]);
+        }
+        let cfg = LshConfig::new(32, 8);
+        let signer = EmbeddingSigner::new(&store, cfg, 5);
+        let lsei = Lsei::build(&lake, signer, cfg, LseiMode::Entity);
+        let res = lsei.prefilter(&[bb[0]], 1);
+        assert!(res.tables.contains(&TableId(0)));
+        assert!(res.tables.contains(&TableId(1)));
+        // Identical vectors collide everywhere; orthogonal ones almost never.
+        assert!(!res.tables.contains(&TableId(2)) || !res.tables.contains(&TableId(3)));
+    }
+}

@@ -1,0 +1,125 @@
+//! One-bit minwise hashing over shingle sets.
+//!
+//! For each of the `num_vectors` seeded hash permutations we compute the
+//! minimum hash over the shingle set and keep its lowest bit (Li & König,
+//! "b-bit minwise hashing", WWW 2010 — with `b = 1`). Two sets with Jaccard
+//! similarity `J` agree on each bit with probability `(1 + J) / 2`, so the
+//! banding analysis of classical MinHash carries over while each signature
+//! element fits one bucket-key bit, matching the paper's `2^B`-buckets
+//! layout.
+
+use crate::signature::Signature;
+
+/// A family of seeded hash permutations producing 1-bit minhash signatures.
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    seeds: Vec<u64>,
+}
+
+impl MinHasher {
+    /// Creates `num_vectors` permutations derived from `seed`.
+    pub fn new(num_vectors: usize, seed: u64) -> Self {
+        // SplitMix64 stream gives independent, well-mixed per-permutation keys.
+        let mut state = seed;
+        let seeds = (0..num_vectors)
+            .map(|_| {
+                state = state.wrapping_add(0x9E3779B97F4A7C15);
+                splitmix64(state)
+            })
+            .collect();
+        Self { seeds }
+    }
+
+    /// Signature length in bits.
+    pub fn num_vectors(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Signs a shingle set. The empty set gets the all-zero signature.
+    pub fn sign(&self, shingles: &[u64]) -> Signature {
+        let mut sig = Signature::zeros(self.seeds.len());
+        if shingles.is_empty() {
+            return sig;
+        }
+        for (i, &seed) in self.seeds.iter().enumerate() {
+            let mut min = u64::MAX;
+            for &s in shingles {
+                let h = splitmix64(s ^ seed);
+                if h < min {
+                    min = h;
+                }
+            }
+            if min & 1 == 1 {
+                sig.set(i);
+            }
+        }
+        sig
+    }
+}
+
+/// SplitMix64 finalizer: a fast, high-quality 64-bit mixer.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jaccard(a: &[u64], b: &[u64]) -> f64 {
+        let sa: std::collections::HashSet<_> = a.iter().collect();
+        let sb: std::collections::HashSet<_> = b.iter().collect();
+        let inter = sa.intersection(&sb).count();
+        inter as f64 / (sa.len() + sb.len() - inter) as f64
+    }
+
+    #[test]
+    fn identical_sets_get_identical_signatures() {
+        let h = MinHasher::new(64, 42);
+        let s = vec![1u64, 5, 9, 200];
+        assert_eq!(h.sign(&s), h.sign(&s));
+    }
+
+    #[test]
+    fn bit_agreement_tracks_jaccard() {
+        // J = 1/3 → expected agreement (1 + 1/3)/2 = 2/3.
+        let a: Vec<u64> = (0..40).collect();
+        let b: Vec<u64> = (20..80).collect();
+        let j = jaccard(&a, &b);
+        let h = MinHasher::new(2048, 7);
+        let (sa, sb) = (h.sign(&a), h.sign(&b));
+        let agree = sa.matching_bits(&sb) as f64 / 2048.0;
+        let expected = (1.0 + j) / 2.0;
+        assert!(
+            (agree - expected).abs() < 0.05,
+            "agreement {agree:.3} should approximate {expected:.3}"
+        );
+    }
+
+    #[test]
+    fn disjoint_sets_agree_about_half_the_time() {
+        let a: Vec<u64> = (0..50).collect();
+        let b: Vec<u64> = (1000..1050).collect();
+        let h = MinHasher::new(2048, 3);
+        let agree = h.sign(&a).matching_bits(&h.sign(&b)) as f64 / 2048.0;
+        assert!((agree - 0.5).abs() < 0.05, "agreement {agree:.3} should be ~0.5");
+    }
+
+    #[test]
+    fn different_seeds_give_different_permutations() {
+        let a: Vec<u64> = (0..30).collect();
+        let h1 = MinHasher::new(64, 1);
+        let h2 = MinHasher::new(64, 2);
+        assert_ne!(h1.sign(&a), h2.sign(&a));
+    }
+
+    #[test]
+    fn empty_set_signature_is_zero() {
+        let h = MinHasher::new(16, 0);
+        let s = h.sign(&[]);
+        assert!((0..16).all(|i| !s.get(i)));
+    }
+}

@@ -1,0 +1,243 @@
+//! Binary persistence for the LSEI.
+//!
+//! Building the index costs one signature per distinct lake entity; a
+//! production deployment persists the buckets and postings and re-creates
+//! only the (cheap, seed-derived) signer at startup. The signer itself is
+//! *not* serialized — the caller must re-create it with the same
+//! configuration and seed, which the header verifies via the stored
+//! config.
+//!
+//! Format (`TLI1`, little-endian):
+//!
+//! ```text
+//! magic "TLI1" | num_vectors u32 | band_size u32 | mode u8 | n_tables u32
+//! | n_groups u32 | groups... | n_postings u32 | postings...
+//! group    := n_buckets u32 | (key u64 | n_items u32 | items u32*)*
+//! posting  := entity u32 | n_tables u32 | table u32*
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use thetis_datalake::TableId;
+use thetis_kg::EntityId;
+
+use crate::config::LshConfig;
+use crate::index::LshIndex;
+use crate::lsei::{EntitySigner, Lsei, LseiMode};
+
+const MAGIC: &[u8; 4] = b"TLI1";
+
+/// Serializes an LSEI's index structure (buckets, postings, config).
+pub fn lsei_to_bytes<S>(lsei: &Lsei<S>) -> Bytes {
+    let (config, mode, index, postings, n_tables) = lsei.parts();
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(config.num_vectors as u32);
+    buf.put_u32_le(config.band_size as u32);
+    buf.put_u8(match mode {
+        LseiMode::Entity => 0,
+        LseiMode::Column => 1,
+    });
+    buf.put_u32_le(n_tables as u32);
+
+    let groups = index.groups();
+    buf.put_u32_le(groups.len() as u32);
+    for group in groups {
+        buf.put_u32_le(group.len() as u32);
+        // Deterministic output: sort buckets by key.
+        let mut keys: Vec<_> = group.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let items = &group[&key];
+            buf.put_u64_le(key);
+            buf.put_u32_le(items.len() as u32);
+            for &item in items {
+                buf.put_u32_le(item);
+            }
+        }
+    }
+
+    buf.put_u32_le(postings.len() as u32);
+    let mut entities: Vec<_> = postings.keys().copied().collect();
+    entities.sort_unstable();
+    for e in entities {
+        let tables = &postings[&e];
+        buf.put_u32_le(e.0);
+        buf.put_u32_le(tables.len() as u32);
+        for t in tables {
+            buf.put_u32_le(t.0);
+        }
+    }
+    buf.freeze()
+}
+
+/// Restores an LSEI from bytes plus a freshly constructed signer.
+///
+/// # Errors
+/// Fails on magic/structure mismatch, or when the stored configuration
+/// disagrees with `expected_config` (which would silently break lookups).
+pub fn lsei_from_bytes<S: EntitySigner>(
+    mut bytes: Bytes,
+    signer: S,
+    expected_config: LshConfig,
+) -> Result<Lsei<S>, String> {
+    let need = |bytes: &Bytes, n: usize| -> Result<(), String> {
+        if bytes.remaining() < n {
+            Err("truncated LSEI dump".into())
+        } else {
+            Ok(())
+        }
+    };
+    need(&bytes, 17)?;
+    let mut magic = [0u8; 4];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(format!("bad magic {magic:?}"));
+    }
+    let num_vectors = bytes.get_u32_le() as usize;
+    let band_size = bytes.get_u32_le() as usize;
+    let config = LshConfig::new(num_vectors, band_size);
+    if config != expected_config {
+        return Err(format!(
+            "stored config {config} does not match expected {expected_config}"
+        ));
+    }
+    let mode = match bytes.get_u8() {
+        0 => LseiMode::Entity,
+        1 => LseiMode::Column,
+        m => return Err(format!("unknown mode byte {m}")),
+    };
+    let n_tables = bytes.get_u32_le() as usize;
+
+    need(&bytes, 4)?;
+    let n_groups = bytes.get_u32_le() as usize;
+    if n_groups != config.bands() {
+        return Err(format!(
+            "stored {n_groups} bucket groups, config implies {}",
+            config.bands()
+        ));
+    }
+    let mut index = LshIndex::new(config);
+    for group_idx in 0..n_groups {
+        need(&bytes, 4)?;
+        let n_buckets = bytes.get_u32_le() as usize;
+        for _ in 0..n_buckets {
+            need(&bytes, 12)?;
+            let key = bytes.get_u64_le();
+            let n_items = bytes.get_u32_le() as usize;
+            need(&bytes, n_items * 4)?;
+            for _ in 0..n_items {
+                index.insert_raw(group_idx, key, bytes.get_u32_le());
+            }
+        }
+    }
+
+    need(&bytes, 4)?;
+    let n_postings = bytes.get_u32_le() as usize;
+    let mut postings = std::collections::HashMap::with_capacity(n_postings);
+    for _ in 0..n_postings {
+        need(&bytes, 8)?;
+        let e = EntityId(bytes.get_u32_le());
+        let n = bytes.get_u32_le() as usize;
+        need(&bytes, n * 4)?;
+        let tables: Vec<TableId> = (0..n).map(|_| TableId(bytes.get_u32_le())).collect();
+        postings.insert(e, tables);
+    }
+    if bytes.has_remaining() {
+        return Err(format!("{} trailing bytes in LSEI dump", bytes.remaining()));
+    }
+
+    Ok(Lsei::from_parts(signer, mode, index, postings, n_tables))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lsei::TypeSigner;
+    use crate::shingle::TypeFilter;
+    use thetis_datalake::{CellValue, DataLake, Table};
+    use thetis_kg::{KgBuilder, KnowledgeGraph};
+
+    fn fixture() -> (KnowledgeGraph, DataLake, Vec<EntityId>) {
+        let mut b = KgBuilder::new();
+        let thing = b.add_type("Thing", None);
+        let p = b.add_type("Player", Some(thing));
+        let players: Vec<EntityId> =
+            (0..8).map(|i| b.add_entity(&format!("p{i}"), vec![p])).collect();
+        let g = b.freeze();
+        let mk = |es: &[EntityId]| {
+            let mut t = Table::new("t", vec!["c".into()]);
+            for &e in es {
+                t.push_row(vec![CellValue::LinkedEntity {
+                    mention: "m".into(),
+                    entity: e,
+                }]);
+            }
+            t
+        };
+        let lake = DataLake::from_tables(vec![mk(&players[0..4]), mk(&players[4..8])]);
+        (g, lake, players)
+    }
+
+    #[test]
+    fn roundtrip_preserves_lookups() {
+        let (g, lake, players) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let mk_signer = || TypeSigner::new(&g, TypeFilter::none(), cfg, 7);
+        let original = Lsei::build(&lake, mk_signer(), cfg, LseiMode::Entity);
+        let bytes = lsei_to_bytes(&original);
+        let restored = lsei_from_bytes(bytes, mk_signer(), cfg).unwrap();
+        for &probe in &players {
+            let a = original.prefilter(&[probe], 1);
+            let b = restored.prefilter(&[probe], 1);
+            assert_eq!(a.tables, b.tables);
+            assert_eq!(a.raw_candidates, b.raw_candidates);
+        }
+        assert_eq!(original.n_tables(), restored.n_tables());
+    }
+
+    #[test]
+    fn config_mismatch_is_rejected() {
+        let (g, lake, _) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let original = Lsei::build(
+            &lake,
+            TypeSigner::new(&g, TypeFilter::none(), cfg, 7),
+            cfg,
+            LseiMode::Entity,
+        );
+        let bytes = lsei_to_bytes(&original);
+        let other_cfg = LshConfig::new(30, 10);
+        let err = match lsei_from_bytes(
+            bytes,
+            TypeSigner::new(&g, TypeFilter::none(), other_cfg, 7),
+            other_cfg,
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("config mismatch accepted"),
+        };
+        assert!(err.contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn truncated_dump_is_rejected() {
+        let (g, lake, _) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let original = Lsei::build(
+            &lake,
+            TypeSigner::new(&g, TypeFilter::none(), cfg, 7),
+            cfg,
+            LseiMode::Entity,
+        );
+        let mut bytes = lsei_to_bytes(&original).to_vec();
+        bytes.truncate(bytes.len() - 3);
+        let err = match lsei_from_bytes(
+            Bytes::from(bytes),
+            TypeSigner::new(&g, TypeFilter::none(), cfg, 7),
+            cfg,
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("truncated dump accepted"),
+        };
+        assert!(err.contains("truncated") || err.contains("trailing"), "{err}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Packed bit signatures.
+
+/// A fixed-length bit signature packed into `u64` words.
+///
+/// Bit `i` is stored in word `i / 64` at position `i % 64`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Signature {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl Signature {
+    /// Creates an all-zero signature of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            bits: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Builds a signature from a boolean slice.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let mut sig = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                sig.set(i);
+            }
+        }
+        sig
+    }
+
+    /// Signature length in bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the signature has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.bits[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.bits[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Extracts bits `[start, start + width)` as a little-endian integer.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the signature or `width > 32`.
+    pub fn extract(&self, start: usize, width: usize) -> u64 {
+        assert!(width <= 32 && start + width <= self.len, "band out of range");
+        let mut out = 0u64;
+        for i in 0..width {
+            if self.get(start + i) {
+                out |= 1u64 << i;
+            }
+        }
+        out
+    }
+
+    /// Number of positions where two signatures agree.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn matching_bits(&self, other: &Self) -> usize {
+        assert_eq!(self.len, other.len, "signature lengths differ");
+        let mut diff = 0usize;
+        for (a, b) in self.bits.iter().zip(&other.bits) {
+            diff += (a ^ b).count_ones() as usize;
+        }
+        // XOR on the unused tail bits is zero since both store zeros there.
+        self.len - diff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut s = Signature::zeros(70);
+        s.set(0);
+        s.set(63);
+        s.set(64);
+        s.set(69);
+        assert!(s.get(0) && s.get(63) && s.get(64) && s.get(69));
+        assert!(!s.get(1) && !s.get(65));
+    }
+
+    #[test]
+    fn extract_reads_bands() {
+        let s = Signature::from_bits(&[true, false, true, true, false, false, true, false]);
+        // band 0 (bits 0..4): 1,0,1,1 → 0b1101 = 13
+        assert_eq!(s.extract(0, 4), 0b1101);
+        // band 1 (bits 4..8): 0,0,1,0 → 0b0100 = 4
+        assert_eq!(s.extract(4, 4), 0b0100);
+    }
+
+    #[test]
+    fn matching_bits_counts_agreements() {
+        let a = Signature::from_bits(&[true, true, false, false]);
+        let b = Signature::from_bits(&[true, false, false, true]);
+        assert_eq!(a.matching_bits(&b), 2);
+        assert_eq!(a.matching_bits(&a), 4);
+    }
+
+    #[test]
+    fn matching_bits_across_word_boundary() {
+        let mut a = Signature::zeros(100);
+        let mut b = Signature::zeros(100);
+        a.set(99);
+        b.set(99);
+        a.set(3);
+        assert_eq!(a.matching_bits(&b), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn extract_out_of_range_panics() {
+        Signature::zeros(8).extract(4, 8);
+    }
+}

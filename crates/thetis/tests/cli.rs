@@ -1,0 +1,110 @@
+//! End-to-end tests of the `thetis-cli` binary: argument handling, the
+//! demo path, and a real KG + CSV directory round trip.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_thetis-cli"))
+}
+
+#[test]
+fn missing_query_is_a_usage_error() {
+    let out = cli().arg("--demo").output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--query is required"), "{stderr}");
+}
+
+#[test]
+fn unknown_flag_is_rejected() {
+    let out = cli()
+        .args(["--demo", "--query", "x", "--frobnicate"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+}
+
+#[test]
+fn demo_mode_searches_end_to_end() {
+    // The demo prints a suggested query entity on stderr; use a fixed label
+    // we can rely on instead: resolve via a two-step run. First run with a
+    // nonsense query to learn the suggestion...
+    let probe = cli()
+        .args(["--demo", "--query", "zzz-not-an-entity"])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&probe.stderr);
+    let suggested = stderr
+        .split("Try --query \"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("demo prints a suggested query")
+        .to_string();
+
+    // ...then search with it.
+    let out = cli()
+        .args(["--demo", "--query", &suggested, "--k", "3", "--lsh"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SemRel"), "{stdout}");
+    // Three results requested; header + 3 lines.
+    assert!(stdout.lines().count() >= 3, "{stdout}");
+}
+
+#[test]
+fn searches_real_kg_and_csv_directory() {
+    let dir = std::env::temp_dir().join("thetis-cli-e2e");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("tables")).unwrap();
+
+    std::fs::write(
+        dir.join("kg.tsv"),
+        "type\tThing\t-\n\
+         type\tPlayer\tThing\n\
+         type\tTeam\tThing\n\
+         entity\tRon Santo\tPlayer\n\
+         entity\tMitch Stetter\tPlayer\n\
+         entity\tChicago Cubs\tTeam\n\
+         edge\tRon Santo\tplaysFor\tChicago Cubs\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("tables").join("roster.csv"),
+        "Player,Team\nRon Santo,Chicago Cubs\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("tables").join("other.csv"),
+        "Player\nMitch Stetter\n",
+    )
+    .unwrap();
+
+    let out = cli()
+        .args([
+            "--kg",
+            dir.join("kg.tsv").to_str().unwrap(),
+            "--tables",
+            dir.join("tables").to_str().unwrap(),
+            "--query",
+            "Ron Santo",
+            "--explain",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let first_result = stdout.lines().nth(1).unwrap_or_default();
+    assert!(
+        first_result.contains("roster"),
+        "expected roster first, got:\n{stdout}"
+    );
+    // The semantically related player table is returned too.
+    assert!(stdout.contains("other"), "{stdout}");
+    // --explain shows the per-entity breakdown with an exact match.
+    assert!(stdout.contains("sigma=1.000"), "{stdout}");
+    assert!(stdout.contains("Ron Santo"), "{stdout}");
+}

@@ -1,0 +1,169 @@
+//! Property-based verification that our SemRel instantiation satisfies the
+//! axioms of §4.2, for randomly generated knowledge graphs and tuples.
+
+use proptest::prelude::*;
+use thetis::core::axioms::{classify, MappingKind};
+use thetis::core::semrel::tuple_tuple_semrel;
+use thetis::prelude::*;
+
+/// A random KG: `n_types` unrelated fine types under a shared root, and
+/// `n_entities` entities with 1–3 types each.
+fn arb_graph(n_types: usize, n_entities: usize) -> impl Strategy<Value = KnowledgeGraph> {
+    proptest::collection::vec(
+        proptest::collection::vec(0..n_types, 1..=3),
+        n_entities..=n_entities,
+    )
+    .prop_map(move |assignments| {
+        let mut b = KgBuilder::new();
+        let root = b.add_type("Thing", None);
+        let types: Vec<_> = (0..n_types)
+            .map(|i| b.add_type(&format!("T{i}"), Some(root)))
+            .collect();
+        for (i, tys) in assignments.iter().enumerate() {
+            let entity_types = tys.iter().map(|&t| types[t]).collect();
+            b.add_entity(&format!("e{i}"), entity_types);
+        }
+        b.freeze()
+    })
+}
+
+fn entity_ids(graph: &KnowledgeGraph) -> Vec<EntityId> {
+    graph.entity_ids().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Axiom 1: a total exact mapping outscores any non-exact mapping of
+    /// the same query tuple.
+    #[test]
+    fn axiom1_total_exact_dominates(
+        graph in arb_graph(6, 10),
+        picks in proptest::collection::vec(0..10usize, 4),
+    ) {
+        let ids = entity_ids(&graph);
+        let sim = TypeJaccard::new(&graph);
+        let inform = Informativeness::uniform();
+
+        // Query of two distinct entities.
+        let q = vec![ids[picks[0]], ids[(picks[0] + 1) % ids.len()]];
+        // Target 1: contains the query verbatim (total exact).
+        let t1 = vec![q[0], q[1], ids[picks[1]]];
+        // Target 2: arbitrary other entities.
+        let t2 = vec![ids[picks[2]], ids[picks[3]]];
+
+        prop_assume!(classify(&q, &t1, &sim) == MappingKind::TotalExact);
+        prop_assume!(classify(&q, &t2, &sim) != MappingKind::TotalExact);
+
+        let s1 = tuple_tuple_semrel(&q, &t1, &sim, &inform);
+        let s2 = tuple_tuple_semrel(&q, &t2, &sim, &inform);
+        prop_assert!(s1 > s2, "TE {s1} must beat non-TE {s2}");
+    }
+
+    /// Axiom 2: extending the exactly-mapped subset never lowers the score.
+    #[test]
+    fn axiom2_larger_exact_subsets_score_higher(
+        graph in arb_graph(6, 12),
+        qa in 0..12usize,
+        qb in 0..12usize,
+        extra in 0..12usize,
+    ) {
+        prop_assume!(qa != qb);
+        let ids = entity_ids(&graph);
+        let sim = TypeJaccard::new(&graph);
+        let inform = Informativeness::uniform();
+        let q = vec![ids[qa], ids[qb]];
+
+        // T1 exactly maps both query entities; T2 only the first, padding
+        // with an arbitrary entity.
+        let t1 = vec![ids[qa], ids[qb]];
+        let t2 = vec![ids[qa], ids[extra]];
+        let s1 = tuple_tuple_semrel(&q, &t1, &sim, &inform);
+        let s2 = tuple_tuple_semrel(&q, &t2, &sim, &inform);
+        prop_assert!(s1 >= s2, "dom(μ1) ⊇ dom(μ2) but {s1} < {s2}");
+    }
+
+    /// Axiom 3: raising every entity's mapped similarity raises the score.
+    /// We verify the scoring primitive directly: if x dominates y
+    /// component-wise (strictly somewhere), the distance score is at least
+    /// as high.
+    #[test]
+    fn axiom3_pointwise_better_mappings_score_higher(
+        xs in proptest::collection::vec(0.0f64..1.0, 1..6),
+        bumps in proptest::collection::vec(0.0f64..0.5, 1..6),
+    ) {
+        use thetis::core::semrel::distance_score;
+        let m = xs.len().min(bumps.len());
+        let xs = &xs[..m];
+        let bumps = &bumps[..m];
+        let improved: Vec<f64> = xs.iter().zip(bumps).map(|(x, b)| (x + b).min(1.0)).collect();
+        let tuple: Vec<EntityId> = (0..m as u32).map(EntityId).collect();
+        let inform = Informativeness::uniform();
+        let lo = distance_score(&tuple, xs, &inform);
+        let hi = distance_score(&tuple, &improved, &inform);
+        prop_assert!(hi >= lo, "improved mapping scored lower: {hi} < {lo}");
+    }
+
+    /// σ is symmetric, bounded, and 1 exactly on the diagonal (with the
+    /// 0.95 cap making non-identical scores strictly smaller than 1).
+    #[test]
+    fn sigma_is_a_capped_similarity(
+        graph in arb_graph(5, 8),
+        a in 0..8usize,
+        b in 0..8usize,
+    ) {
+        let ids = entity_ids(&graph);
+        let sim = TypeJaccard::new(&graph);
+        let s = sim.sim(ids[a], ids[b]);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert_eq!(sim.sim(ids[a], ids[b]), sim.sim(ids[b], ids[a]));
+        if a == b {
+            prop_assert_eq!(s, 1.0);
+        } else {
+            prop_assert!(s <= 0.95);
+        }
+    }
+
+    /// SemRel is bounded in (0, 1] and consistent with §4.1's containment
+    /// rule: for t2 ⊂ t1, SemRel(t1, t2) ≤ SemRel(t2, t1).
+    #[test]
+    fn semrel_bounds_and_containment(
+        graph in arb_graph(5, 10),
+        qa in 0..10usize,
+        qb in 0..10usize,
+    ) {
+        prop_assume!(qa != qb);
+        let ids = entity_ids(&graph);
+        let sim = TypeJaccard::new(&graph);
+        let inform = Informativeness::uniform();
+        let t1 = vec![ids[qa], ids[qb]];
+        let t2 = vec![ids[qa]];
+        let big_query = tuple_tuple_semrel(&t1, &t2, &sim, &inform);
+        let small_query = tuple_tuple_semrel(&t2, &t1, &sim, &inform);
+        prop_assert!(big_query <= small_query);
+        prop_assert_eq!(small_query, 1.0);
+        prop_assert!(big_query > 0.0 && big_query <= 1.0);
+    }
+
+    /// The classifier covers every case and agrees with set containment.
+    #[test]
+    fn classification_is_total(
+        graph in arb_graph(4, 8),
+        q_pick in proptest::collection::vec(0..8usize, 1..4),
+        t_pick in proptest::collection::vec(0..8usize, 1..4),
+    ) {
+        let ids = entity_ids(&graph);
+        let sim = TypeJaccard::new(&graph);
+        let mut q: Vec<EntityId> = q_pick.iter().map(|&i| ids[i]).collect();
+        q.dedup();
+        let t: Vec<EntityId> = t_pick.iter().map(|&i| ids[i]).collect();
+        let kind = classify(&q, &t, &sim);
+        // All query entities present ⇒ TotalExact, no exceptions.
+        let t_set: std::collections::HashSet<_> = t.iter().collect();
+        if q.iter().all(|e| t_set.contains(e)) {
+            prop_assert_eq!(kind, MappingKind::TotalExact);
+        } else {
+            prop_assert_ne!(kind, MappingKind::TotalExact);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! The qualitative ordering of §7.2, end to end: on topical-relevance
+//! ground truth, Thetis ≳ BM25 ≫ union/join search, and the Thetis and
+//! BM25 result sets are largely disjoint so their combination wins.
+
+use thetis::baselines::union_search::tuples_to_columns;
+use thetis::prelude::*;
+
+struct Setup {
+    bench: Benchmark,
+    store: EmbeddingStore,
+}
+
+fn setup() -> Setup {
+    let mut cfg = BenchmarkConfig::tiny(BenchmarkKind::Wt2015);
+    cfg.n_queries = 12;
+    let bench = Benchmark::build(&cfg);
+    let store = Rdf2Vec::new(Rdf2VecConfig::default()).train(&bench.kg.graph);
+    Setup { bench, store }
+}
+
+fn run_all(s: &Setup) -> Vec<MethodReport> {
+    let bench = &s.bench;
+    let graph = &bench.kg.graph;
+    let queries = &bench.queries1;
+    let gt = &bench.gt1;
+
+    let engine = ThetisEngine::new(graph, &bench.lake, TypeJaccard::new(graph));
+    let stst = MethodReport::run("STST", queries, gt, |q| {
+        engine
+            .search(&Query::new(q.tuples.clone()), SearchOptions::top(100))
+            .table_ids()
+    });
+
+    let bm25 = Bm25Index::build(&bench.lake, Bm25Params::default());
+    let bm25_report = MethodReport::run("BM25", queries, gt, |q| {
+        bm25.search(&Bm25Index::text_query(&q.cell_texts(&bench.kg)), 100)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect()
+    });
+
+    let union = UnionSearch::new(graph, &bench.lake, Some(&s.store));
+    let santos = MethodReport::run("SANTOS-like", queries, gt, |q| {
+        union
+            .rank(&tuples_to_columns(&q.tuples), 100, UnionVariant::Strict)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect()
+    });
+    let starmie = MethodReport::run("Starmie-like", queries, gt, |q| {
+        union
+            .rank(&tuples_to_columns(&q.tuples), 100, UnionVariant::Embedding)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect()
+    });
+
+    let join = JoinSearch::new(&bench.lake);
+    let d3l = MethodReport::run("D3L-like", queries, gt, |q| {
+        join.rank(&tuples_to_columns(&q.tuples), 100)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect()
+    });
+
+    let turl = TableEmbeddingSearch::build(&bench.lake, &s.store);
+    let turl_report = MethodReport::run("TURL-like", queries, gt, |q| {
+        turl.rank(&q.distinct_entities(), 100)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect()
+    });
+
+    vec![stst, bm25_report, santos, starmie, d3l, turl_report]
+}
+
+#[test]
+fn qualitative_ordering_matches_the_paper() {
+    let s = setup();
+    let reports = run_all(&s);
+    let by_name = |n: &str| reports.iter().find(|r| r.name == n).unwrap();
+
+    let stst = by_name("STST");
+    let bm25 = by_name("BM25");
+    let santos = by_name("SANTOS-like");
+    let d3l = by_name("D3L-like");
+
+    // Reference: a topic-blind ranking (tables in a fixed arbitrary order).
+    let random_ref = MethodReport::run("random", &s.bench.queries1, &s.bench.gt1, |q| {
+        (0..s.bench.lake.len() as u32)
+            .map(|i| TableId((i * 7 + q.id as u32) % s.bench.lake.len() as u32))
+            .take(100)
+            .collect()
+    });
+
+    // Thetis and BM25 are both strong (far above topic-blind)...
+    assert!(stst.mean_ndcg10 > 0.3, "STST {}", stst.mean_ndcg10);
+    assert!(bm25.mean_ndcg10 > 0.2, "BM25 {}", bm25.mean_ndcg10);
+    assert!(
+        stst.mean_ndcg10 > random_ref.mean_ndcg10 * 2.0,
+        "STST {} should dwarf topic-blind {}",
+        stst.mean_ndcg10,
+        random_ref.mean_ndcg10
+    );
+    // ...while structural union search carries no topical signal (the
+    // paper reports NDCG ≈ 0.0001 for SANTOS): schema compatibility
+    // against coarse concepts ranks no better than a topic-blind ordering.
+    assert!(
+        santos.mean_ndcg10 < stst.mean_ndcg10 / 2.0,
+        "SANTOS-like should trail Thetis: {} vs {}",
+        santos.mean_ndcg10,
+        stst.mean_ndcg10
+    );
+    // Near the topic-blind floor (full-schema tables carry slightly more
+    // entity cells, hence marginally more overlap gain than a uniform
+    // draw, so a small factor above the random reference is allowed).
+    assert!(
+        santos.mean_ndcg10 < random_ref.mean_ndcg10 * 3.0 + 0.05,
+        "SANTOS-like should be ~topic-blind: {} vs random {}",
+        santos.mean_ndcg10,
+        random_ref.mean_ndcg10
+    );
+    // Join search only reaches tables with *syntactic* entity overlap, so
+    // it cannot retrieve the semantic tail: far lower recall than Thetis.
+    // (The paper's D³L additionally collapses in NDCG because its
+    // multi-feature pipeline degenerates on tiny query tables; a pure
+    // containment signal keeps the exact-match head, like BM25 — see
+    // EXPERIMENTS.md for the documented deviation.)
+    assert!(
+        d3l.mean_recall100 < stst.mean_recall100 * 0.7,
+        "join search should miss the semantic tail: {} vs {}",
+        d3l.mean_recall100,
+        stst.mean_recall100
+    );
+}
+
+#[test]
+fn starmie_like_beats_santos_like() {
+    let s = setup();
+    let reports = run_all(&s);
+    let by_name = |n: &str| reports.iter().find(|r| r.name == n).unwrap();
+    // "the improved performance of Starmie over SANTOS is due to its
+    // ability to capture rich contextual semantic information".
+    assert!(
+        by_name("Starmie-like").mean_ndcg10 >= by_name("SANTOS-like").mean_ndcg10,
+        "Starmie-like {} < SANTOS-like {}",
+        by_name("Starmie-like").mean_ndcg10,
+        by_name("SANTOS-like").mean_ndcg10
+    );
+}
+
+#[test]
+fn semantic_and_keyword_results_differ_and_combine_well() {
+    let s = setup();
+    let reports = run_all(&s);
+    let stst = reports.iter().find(|r| r.name == "STST").unwrap();
+    let bm25 = reports.iter().find(|r| r.name == "BM25").unwrap();
+
+    // Result sets differ substantially (the paper reports median
+    // differences of 66-100 tables out of 100).
+    let mean_diff = thetis::eval::metrics::mean(
+        &stst
+            .per_query
+            .iter()
+            .zip(&bm25.per_query)
+            .map(|(a, b)| {
+                thetis::eval::metrics::result_set_difference(&a.retrieved, &b.retrieved, 100)
+                    as f64
+            })
+            .collect::<Vec<_>>(),
+    );
+    assert!(mean_diff > 10.0, "result sets too similar: {mean_diff}");
+
+    // STSTC: merging the top halves must not lose recall vs either method.
+    let combined = stst.transformed("STSTC", &s.bench.gt1, |qi, semantic| {
+        merge_top_half(semantic, &bm25.per_query[qi].retrieved, 100)
+    });
+    assert!(
+        combined.mean_recall100 >= bm25.mean_recall100 - 1e-9
+            || combined.mean_recall100 >= stst.mean_recall100 - 1e-9,
+        "combination lost recall: {} vs ({}, {})",
+        combined.mean_recall100,
+        bm25.mean_recall100,
+        stst.mean_recall100
+    );
+}
+
+#[test]
+fn turl_like_improves_with_whole_table_queries() {
+    // §7.2: "TURL's performance can reach 0.488 using entire source tables"
+    // — table-level embeddings need many entities to stabilize.
+    let s = setup();
+    let turl = TableEmbeddingSearch::build(&s.bench.lake, &s.store);
+    let gt = &s.bench.gt1;
+
+    let small = MethodReport::run("TURL-small", &s.bench.queries1, gt, |q| {
+        turl.rank(&q.distinct_entities(), 100)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect()
+    });
+    // Whole-table query: all linked entities of one relevant table.
+    let large = MethodReport::run("TURL-table", &s.bench.queries1, gt, |q| {
+        let topical = s
+            .bench
+            .meta
+            .iter()
+            .position(|m| m.primary_topic == q.topic)
+            .map(|i| s.bench.lake.tables()[i].distinct_entities())
+            .unwrap_or_default();
+        turl.rank(&topical, 100).into_iter().map(|(t, _)| t).collect()
+    });
+    // Our mean-embedding stand-in lacks TURL's context dependence, so the
+    // gap is small; we assert whole-table queries are at least comparable
+    // (the paper's direction: 0.005 → 0.488). See EXPERIMENTS.md.
+    assert!(
+        large.mean_ndcg10 >= small.mean_ndcg10 - 0.05,
+        "whole-table queries should not hurt the TURL-like baseline: {} vs {}",
+        large.mean_ndcg10,
+        small.mean_ndcg10
+    );
+}

@@ -1,0 +1,159 @@
+//! End-to-end integration: benchmark generation → engine → evaluation,
+//! with and without LSH prefiltering, for both similarity functions.
+
+use thetis::prelude::*;
+
+fn bench() -> Benchmark {
+    let mut cfg = BenchmarkConfig::tiny(BenchmarkKind::Wt2015);
+    cfg.n_queries = 10;
+    Benchmark::build(&cfg)
+}
+
+#[test]
+fn type_search_finds_topically_relevant_tables() {
+    let bench = bench();
+    let engine = ThetisEngine::new(
+        &bench.kg.graph,
+        &bench.lake,
+        TypeJaccard::new(&bench.kg.graph),
+    );
+    let report = MethodReport::run("STST", &bench.queries1, &bench.gt1, |q| {
+        engine
+            .search(&Query::new(q.tuples.clone()), SearchOptions::top(100))
+            .table_ids()
+    });
+    assert!(
+        report.mean_ndcg10 > 0.3,
+        "STST NDCG@10 too low: {}",
+        report.mean_ndcg10
+    );
+    assert!(
+        report.mean_recall100 > 0.3,
+        "STST recall@100 too low: {}",
+        report.mean_recall100
+    );
+}
+
+#[test]
+fn embedding_search_finds_topically_relevant_tables() {
+    let bench = bench();
+    let store = Rdf2Vec::new(Rdf2VecConfig::default()).train(&bench.kg.graph);
+    let engine = ThetisEngine::new(&bench.kg.graph, &bench.lake, EmbeddingCosine::new(&store));
+    let report = MethodReport::run("STSE", &bench.queries1, &bench.gt1, |q| {
+        engine
+            .search(&Query::new(q.tuples.clone()), SearchOptions::top(100))
+            .table_ids()
+    });
+    assert!(
+        report.mean_ndcg10 > 0.25,
+        "STSE NDCG@10 too low: {}",
+        report.mean_ndcg10
+    );
+}
+
+#[test]
+fn five_tuple_queries_work_and_share_ground_truth_topics() {
+    let bench = bench();
+    let engine = ThetisEngine::new(
+        &bench.kg.graph,
+        &bench.lake,
+        TypeJaccard::new(&bench.kg.graph),
+    );
+    let report = MethodReport::run("STST-5", &bench.queries5, &bench.gt5, |q| {
+        engine
+            .search(&Query::new(q.tuples.clone()), SearchOptions::top(100))
+            .table_ids()
+    });
+    assert!(report.mean_ndcg10 > 0.3, "got {}", report.mean_ndcg10);
+}
+
+#[test]
+fn prefiltered_search_preserves_quality() {
+    let bench = bench();
+    let graph = &bench.kg.graph;
+    let engine = ThetisEngine::new(graph, &bench.lake, TypeJaccard::new(graph));
+    let cfg = LshConfig::recommended();
+    let filter = TypeFilter::from_lake(&bench.lake, graph, 0.5);
+    let signer = TypeSigner::new(graph, filter, cfg, 42);
+    let lsei = Lsei::build(&bench.lake, signer, cfg, LseiMode::Entity);
+
+    let brute = MethodReport::run("STST", &bench.queries1, &bench.gt1, |q| {
+        engine
+            .search(&Query::new(q.tuples.clone()), SearchOptions::top(10))
+            .table_ids()
+    });
+    let mut reductions = Vec::new();
+    let fast = MethodReport::run("LSH", &bench.queries1, &bench.gt1, |q| {
+        let res = engine.search_prefiltered(
+            &Query::new(q.tuples.clone()),
+            SearchOptions::top(10),
+            &lsei,
+            1,
+        );
+        reductions.push(res.stats.reduction);
+        res.table_ids()
+    });
+    // The paper: "All LSH configurations achieve equivalent NDCG scores".
+    assert!(
+        fast.mean_ndcg10 > brute.mean_ndcg10 * 0.9,
+        "prefiltering lost too much quality: {} vs {}",
+        fast.mean_ndcg10,
+        brute.mean_ndcg10
+    );
+    // And the search space must actually shrink.
+    let mean_reduction: f64 = reductions.iter().sum::<f64>() / reductions.len() as f64;
+    assert!(
+        mean_reduction > 0.2,
+        "prefilter barely reduced the space: {mean_reduction}"
+    );
+}
+
+#[test]
+fn prefiltered_results_are_subset_of_lake() {
+    let bench = bench();
+    let graph = &bench.kg.graph;
+    let engine = ThetisEngine::new(graph, &bench.lake, TypeJaccard::new(graph));
+    let cfg = LshConfig::new(32, 8);
+    let signer = TypeSigner::new(graph, TypeFilter::none(), cfg, 1);
+    let lsei = Lsei::build(&bench.lake, signer, cfg, LseiMode::Entity);
+    let q = Query::new(bench.queries1[0].tuples.clone());
+    let res = engine.search_prefiltered(&q, SearchOptions::top(50), &lsei, 3);
+    for (tid, score) in &res.ranked {
+        assert!(tid.index() < bench.lake.len());
+        assert!(*score > 0.0 && *score <= 1.0);
+    }
+}
+
+#[test]
+fn higher_votes_never_enlarge_the_candidate_set() {
+    let bench = bench();
+    let graph = &bench.kg.graph;
+    let cfg = LshConfig::new(32, 8);
+    let signer = TypeSigner::new(graph, TypeFilter::none(), cfg, 1);
+    let lsei = Lsei::build(&bench.lake, signer, cfg, LseiMode::Entity);
+    let entities = bench.queries5[0].distinct_entities();
+    let one = lsei.prefilter(&entities, 1);
+    let three = lsei.prefilter(&entities, 3);
+    assert!(three.tables.len() <= one.tables.len());
+}
+
+#[test]
+fn csv_roundtrip_then_link_then_search() {
+    // Full pipeline through the CSV layer: serialize a benchmark table,
+    // read it back, relink, and confirm the engine still scores it.
+    let bench = bench();
+    let graph = &bench.kg.graph;
+    let table = &bench.lake.tables()[0];
+    let mut buf = Vec::new();
+    thetis::datalake::csv::write_csv(table, &mut buf).unwrap();
+    let mut reread = thetis::datalake::csv::read_csv("reread", buf.as_slice()).unwrap();
+    let stats = ExactLabelLinker::new(graph).link_table(&mut reread);
+    assert!(stats.linked > 0, "relinking found no entities");
+
+    let lake = DataLake::from_tables(vec![reread]);
+    let engine = ThetisEngine::new(graph, &lake, TypeJaccard::new(graph));
+    let entity = lake.tables()[0].distinct_entities()[0];
+    let res = engine.search(&Query::single(vec![entity]), SearchOptions::top(1));
+    assert_eq!(res.ranked.len(), 1);
+    assert!(res.ranked[0].1 > 0.5);
+}

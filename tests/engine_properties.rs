@@ -1,0 +1,150 @@
+//! Property-based invariants of the search engine as a whole.
+
+use proptest::prelude::*;
+use thetis::prelude::*;
+
+/// A small deterministic world: `n_types` fine types under a root, plus a
+/// lake whose tables are drawn from the generated membership lists.
+fn build_world(
+    memberships: &[Vec<(u32, u32)>], // per table: (entity id, fine type id)
+    n_types: u32,
+) -> (KnowledgeGraph, DataLake) {
+    let mut b = KgBuilder::new();
+    let root = b.add_type("Thing", None);
+    let types: Vec<_> = (0..n_types)
+        .map(|i| b.add_type(&format!("T{i}"), Some(root)))
+        .collect();
+    // Register every mentioned entity with its (first seen) type.
+    let mut ids = std::collections::HashMap::new();
+    for row in memberships.iter().flatten() {
+        ids.entry(row.0)
+            .or_insert_with(|| b.add_entity(&format!("e{}", row.0), vec![types[row.1 as usize]]));
+    }
+    let g = b.freeze();
+    let tables = memberships
+        .iter()
+        .enumerate()
+        .map(|(i, rows)| {
+            let mut t = Table::new(format!("t{i}"), vec!["c".into()]);
+            for (e, _) in rows {
+                t.push_row(vec![CellValue::LinkedEntity {
+                    mention: format!("e{e}"),
+                    entity: ids[e],
+                }]);
+            }
+            t
+        })
+        .collect();
+    (g, DataLake::from_tables(tables))
+}
+
+fn arb_memberships() -> impl Strategy<Value = Vec<Vec<(u32, u32)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..12, 0u32..4), 1..6),
+        2..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All returned scores are valid SemRel values and the ranking is
+    /// sorted descending.
+    #[test]
+    fn scores_are_valid_and_sorted(
+        memberships in arb_memberships(),
+        probe in 0u32..12,
+    ) {
+        let (g, lake) = build_world(&memberships, 4);
+        let Some(e) = g.entity_by_label(&format!("e{probe}")) else {
+            return Ok(());
+        };
+        let engine = ThetisEngine::new(&g, &lake, TypeJaccard::new(&g));
+        let res = engine.search(&Query::single(vec![e]), SearchOptions::top(100));
+        prop_assert!(res
+            .ranked
+            .windows(2)
+            .all(|w| w[0].1 >= w[1].1));
+        for &(_, s) in &res.ranked {
+            prop_assert!(s > 0.0 && s <= 1.0, "score {s} out of range");
+        }
+    }
+
+    /// A table that contains the query entity itself always scores at
+    /// least as high as any table that does not.
+    #[test]
+    fn exact_containment_dominates(
+        memberships in arb_memberships(),
+        probe in 0u32..12,
+    ) {
+        let (g, lake) = build_world(&memberships, 4);
+        let Some(e) = g.entity_by_label(&format!("e{probe}")) else {
+            return Ok(());
+        };
+        let engine = ThetisEngine::new(&g, &lake, TypeJaccard::new(&g));
+        let res = engine.search(&Query::single(vec![e]), SearchOptions::top(100));
+        let containing: std::collections::HashSet<TableId> = lake
+            .iter()
+            .filter(|(_, t)| t.distinct_entities().contains(&e))
+            .map(|(id, _)| id)
+            .collect();
+        let best_without = res
+            .ranked
+            .iter()
+            .filter(|(t, _)| !containing.contains(t))
+            .map(|&(_, s)| s)
+            .fold(0.0f64, f64::max);
+        for &(t, s) in &res.ranked {
+            if containing.contains(&t) {
+                prop_assert!(
+                    s + 1e-9 >= best_without,
+                    "containing table scored {s} below non-containing {best_without}"
+                );
+            }
+        }
+    }
+
+    /// Scoring is insensitive to the number of worker threads.
+    #[test]
+    fn thread_count_does_not_change_results(
+        memberships in arb_memberships(),
+        probe in 0u32..12,
+    ) {
+        let (g, lake) = build_world(&memberships, 4);
+        let Some(e) = g.entity_by_label(&format!("e{probe}")) else {
+            return Ok(());
+        };
+        let engine = ThetisEngine::new(&g, &lake, TypeJaccard::new(&g));
+        let q = Query::single(vec![e]);
+        let one = engine.search(&q, SearchOptions { k: 50, threads: 1, ..SearchOptions::default() });
+        let many = engine.search(&q, SearchOptions { k: 50, threads: 8, ..SearchOptions::default() });
+        prop_assert_eq!(one.ranked, many.ranked);
+    }
+
+    /// Appending an unlinked table never changes the *order* of the rest.
+    /// (Absolute scores may shift: the informativeness weight I(e) is an
+    /// inverse corpus frequency, and the corpus grew — but for a
+    /// single-entity query that is a monotone rescaling.)
+    #[test]
+    fn irrelevant_tables_do_not_perturb_rankings(
+        memberships in arb_memberships(),
+        probe in 0u32..12,
+    ) {
+        let (g, lake) = build_world(&memberships, 4);
+        let Some(e) = g.entity_by_label(&format!("e{probe}")) else {
+            return Ok(());
+        };
+        let engine = ThetisEngine::new(&g, &lake, TypeJaccard::new(&g));
+        let q = Query::single(vec![e]);
+        let before = engine.search(&q, SearchOptions::top(100));
+
+        let mut extended = lake.clone();
+        let mut noise = Table::new("noise", vec!["c".into()]);
+        noise.push_row(vec![CellValue::Text("nothing linked".into())]);
+        extended.add_table(noise);
+        extended.rebuild_postings();
+        let engine2 = ThetisEngine::new(&g, &extended, TypeJaccard::new(&g));
+        let after = engine2.search(&q, SearchOptions::top(100));
+        prop_assert_eq!(before.table_ids(), after.table_ids());
+    }
+}

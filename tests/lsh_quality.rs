@@ -1,0 +1,172 @@
+//! LSH quality integration tests: prefiltering must keep what matters.
+//!
+//! These tests check the *statistical contract* of the LSEI: tables
+//! containing entities similar to the query survive the filter, dissimilar
+//! tables are dropped, and the paper's configuration trade-offs (§7.3,
+//! Tables 3–4) hold qualitatively.
+
+use proptest::prelude::*;
+use thetis::prelude::*;
+
+fn bench() -> Benchmark {
+    let mut cfg = BenchmarkConfig::tiny(BenchmarkKind::Wt2015);
+    cfg.n_queries = 10;
+    Benchmark::build(&cfg)
+}
+
+/// Tables whose primary topic matches the query must survive prefiltering
+/// (they contain entities with *identical* fine-type sets).
+#[test]
+fn same_topic_tables_survive_type_prefiltering() {
+    let bench = bench();
+    let graph = &bench.kg.graph;
+    let cfg = LshConfig::recommended();
+    let filter = TypeFilter::from_lake(&bench.lake, graph, 0.5);
+    let lsei = Lsei::build(
+        &bench.lake,
+        TypeSigner::new(graph, filter, cfg, 9),
+        cfg,
+        LseiMode::Entity,
+    );
+    for q in &bench.queries1 {
+        let res = lsei.prefilter(&q.distinct_entities(), 1);
+        let surviving: std::collections::HashSet<TableId> = res.tables.iter().copied().collect();
+        // Count same-topic tables that contain at least one linked entity.
+        let mut total = 0;
+        let mut kept = 0;
+        for (i, meta) in bench.meta.iter().enumerate() {
+            if meta.primary_topic == q.topic && meta.fraction_of(q.topic) > 0.8 {
+                let tid = TableId(i as u32);
+                if bench.lake.table(tid).distinct_entities().is_empty() {
+                    continue;
+                }
+                total += 1;
+                if surviving.contains(&tid) {
+                    kept += 1;
+                }
+            }
+        }
+        assert!(
+            total == 0 || kept as f64 / total as f64 > 0.7,
+            "query {} lost too many same-topic tables: {kept}/{total}",
+            q.id
+        );
+    }
+}
+
+#[test]
+fn embedding_prefilter_also_keeps_topical_tables() {
+    let bench = bench();
+    let store = Rdf2Vec::new(Rdf2VecConfig::default()).train(&bench.kg.graph);
+    let cfg = LshConfig::new(32, 8);
+    let lsei = Lsei::build(
+        &bench.lake,
+        EmbeddingSigner::new(&store, cfg, 3),
+        cfg,
+        LseiMode::Entity,
+    );
+    let mut any_kept = 0;
+    for q in &bench.queries1 {
+        let res = lsei.prefilter(&q.distinct_entities(), 1);
+        let surviving: std::collections::HashSet<TableId> = res.tables.iter().copied().collect();
+        let topical = bench
+            .meta
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.primary_topic == q.topic)
+            .map(|(i, _)| TableId(i as u32));
+        if topical.into_iter().any(|t| surviving.contains(&t)) {
+            any_kept += 1;
+        }
+    }
+    assert!(
+        any_kept >= bench.queries1.len() * 7 / 10,
+        "embedding prefilter lost topical tables for most queries: {any_kept}"
+    );
+}
+
+/// Larger band size ⇒ more buckets ⇒ stronger reduction (Table 4's
+/// (30,10) > (32,8) ordering).
+#[test]
+fn bigger_bands_reduce_more() {
+    let bench = bench();
+    let graph = &bench.kg.graph;
+    let filter = TypeFilter::from_lake(&bench.lake, graph, 0.5);
+    let mk = |cfg: LshConfig| {
+        Lsei::build(
+            &bench.lake,
+            TypeSigner::new(graph, filter.clone(), cfg, 9),
+            cfg,
+            LseiMode::Entity,
+        )
+    };
+    let coarse = mk(LshConfig::new(32, 8));
+    let fine = mk(LshConfig::new(30, 10));
+    let mut red_coarse = 0.0;
+    let mut red_fine = 0.0;
+    for q in &bench.queries1 {
+        let e = q.distinct_entities();
+        red_coarse += coarse.prefilter(&e, 1).reduction(bench.lake.len());
+        red_fine += fine.prefilter(&e, 1).reduction(bench.lake.len());
+    }
+    assert!(
+        red_fine >= red_coarse * 0.9,
+        "(30,10) should reduce at least comparably: {red_fine} vs {red_coarse}"
+    );
+}
+
+/// More voting ⇒ fewer candidates (Table 3's 3-votes speedup).
+#[test]
+fn voting_monotonically_shrinks_candidates() {
+    let bench = bench();
+    let graph = &bench.kg.graph;
+    let cfg = LshConfig::new(128, 8);
+    let lsei = Lsei::build(
+        &bench.lake,
+        TypeSigner::new(graph, TypeFilter::none(), cfg, 2),
+        cfg,
+        LseiMode::Entity,
+    );
+    for q in bench.queries5.iter().take(5) {
+        let e = q.distinct_entities();
+        let mut prev = usize::MAX;
+        for votes in [1, 2, 4, 8] {
+            let n = lsei.prefilter(&e, votes).tables.len();
+            assert!(n <= prev, "votes={votes} grew the set: {n} > {prev}");
+            prev = n;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// 1-bit MinHash respects similarity ordering: for three sets where
+    /// J(a,b) ≫ J(a,c), the signature agreement follows the same order.
+    #[test]
+    fn minhash_preserves_similarity_order(seed in 0u64..1000) {
+        use thetis::lsh::minhash::MinHasher;
+        let a: Vec<u64> = (0..60).collect();
+        let b: Vec<u64> = (10..70).collect();   // J ≈ 0.71
+        let c: Vec<u64> = (55..115).collect();  // J ≈ 0.04
+        let h = MinHasher::new(512, seed);
+        let (sa, sb, sc) = (h.sign(&a), h.sign(&b), h.sign(&c));
+        let ab = sa.matching_bits(&sb);
+        let ac = sa.matching_bits(&sc);
+        prop_assert!(ab > ac, "agreement order violated: {ab} vs {ac}");
+    }
+
+    /// Hyperplane signatures respect cosine ordering.
+    #[test]
+    fn hyperplane_preserves_cosine_order(seed in 0u64..1000) {
+        use thetis::lsh::hyperplane::RandomHyperplanes;
+        let h = RandomHyperplanes::new(4, 512, seed);
+        let a = [1.0, 0.0, 0.0, 0.0];
+        let near = [0.9, 0.1, 0.0, 0.1];
+        let far = [0.0, 1.0, 1.0, 0.0];
+        let sa = h.sign(&a);
+        let ab = sa.matching_bits(&h.sign(&near));
+        let ac = sa.matching_bits(&h.sign(&far));
+        prop_assert!(ab > ac, "agreement order violated: {ab} vs {ac}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Integration of the "operating a lake over time" features: corpus
+//! export/import, LSEI persistence, incremental ingestion, and query
+//! relaxation — the pieces a deployment needs around the core search.
+
+use thetis::core::relaxation::{search_with_relaxation, RelaxationConfig};
+use thetis::corpus::io::{export, import};
+use thetis::lsh::persist::{lsei_from_bytes, lsei_to_bytes};
+use thetis::prelude::*;
+
+fn bench() -> Benchmark {
+    let mut cfg = BenchmarkConfig::tiny(BenchmarkKind::Wt2015);
+    cfg.scale = 0.0005;
+    cfg.n_queries = 6;
+    Benchmark::build(&cfg)
+}
+
+#[test]
+fn exported_corpus_searches_like_the_original() {
+    let bench = bench();
+    let dir = std::env::temp_dir().join("thetis-prod-export");
+    let _ = std::fs::remove_dir_all(&dir);
+    export(&dir, &bench.kg.graph, &bench.lake, &bench.queries1).unwrap();
+    let imported = import(&dir).unwrap();
+
+    // Search the re-imported lake with the re-imported queries: the same
+    // top-1 table (by name) must come back as on the original lake.
+    let orig_engine = ThetisEngine::new(
+        &bench.kg.graph,
+        &bench.lake,
+        TypeJaccard::new(&bench.kg.graph),
+    );
+    let new_engine = ThetisEngine::new(
+        &imported.graph,
+        &imported.lake,
+        TypeJaccard::new(&imported.graph),
+    );
+    // Import re-links every entity cell (coverage can only grow), so exact
+    // rankings may shift; but the imported search must (a) score at least
+    // as well at the top and (b) keep the original winner in its top-10.
+    for (orig_q, new_q) in bench.queries1.iter().zip(&imported.queries) {
+        let a = orig_engine.search(
+            &Query::new(orig_q.tuples.clone()),
+            SearchOptions::top(1),
+        );
+        let b = new_engine.search(&Query::new(new_q.tuples.clone()), SearchOptions::top(10));
+        assert!(
+            b.ranked[0].1 + 1e-9 >= a.ranked[0].1,
+            "imported top score {} fell below original {}",
+            b.ranked[0].1,
+            a.ranked[0].1
+        );
+        let name_a = &bench.lake.table(a.ranked[0].0).name;
+        let found = b
+            .ranked
+            .iter()
+            .any(|&(t, _)| imported.lake.table(t).name.contains(name_a.as_str()));
+        assert!(found, "original winner {name_a} missing from imported top-10");
+    }
+}
+
+#[test]
+fn persisted_index_equals_rebuilt_index() {
+    let bench = bench();
+    let graph = &bench.kg.graph;
+    let cfg = LshConfig::recommended();
+    let filter = TypeFilter::from_lake(&bench.lake, graph, 0.5);
+    let mk_signer = || TypeSigner::new(graph, filter.clone(), cfg, 11);
+
+    let original = Lsei::build(&bench.lake, mk_signer(), cfg, LseiMode::Entity);
+    let restored = lsei_from_bytes(lsei_to_bytes(&original), mk_signer(), cfg).unwrap();
+
+    let engine = ThetisEngine::new(graph, &bench.lake, TypeJaccard::new(graph));
+    for q in &bench.queries5 {
+        let query = Query::new(q.tuples.clone());
+        let a = engine.search_prefiltered(&query, SearchOptions::top(10), &original, 3);
+        let b = engine.search_prefiltered(&query, SearchOptions::top(10), &restored, 3);
+        assert_eq!(a.table_ids(), b.table_ids());
+    }
+}
+
+#[test]
+fn incremental_ingestion_then_relaxed_search() {
+    let bench = bench();
+    let graph = &bench.kg.graph;
+    let cfg = LshConfig::new(32, 8);
+    let filter = TypeFilter::from_lake(&bench.lake, graph, 0.5);
+    let mut lsei = Lsei::build(
+        &bench.lake,
+        TypeSigner::new(graph, filter, cfg, 3),
+        cfg,
+        LseiMode::Entity,
+    );
+
+    // Ingest a new table holding exactly the first query's tuple.
+    let mut lake = bench.lake.clone();
+    let tuple = bench.queries1[0].tuples[0].clone();
+    let mut table = Table::new(
+        "fresh",
+        (0..tuple.len()).map(|k| format!("e{k}")).collect::<Vec<_>>(),
+    );
+    table.push_row(
+        tuple
+            .iter()
+            .map(|&e| CellValue::LinkedEntity {
+                mention: graph.label(e).to_string(),
+                entity: e,
+            })
+            .collect(),
+    );
+    let tid = lake.add_table(table);
+    lsei.insert_table(tid, lake.table(tid));
+    lake.rebuild_postings();
+
+    let engine = ThetisEngine::new(graph, &lake, TypeJaccard::new(graph));
+    let res = engine.search_prefiltered(
+        &Query::new(vec![tuple.clone()]),
+        SearchOptions::top(3),
+        &lsei,
+        1,
+    );
+    assert!(
+        res.table_ids().contains(&tid),
+        "freshly ingested exact-match table missing from top-3"
+    );
+
+    // Relaxation on an over-specialized variant of the same query (a hub
+    // city appended) recovers the exact-match table.
+    let mut overspec = tuple;
+    overspec.push(bench.kg.hubs[0]);
+    let relaxed = search_with_relaxation(
+        &engine,
+        &Query::new(vec![overspec]),
+        SearchOptions::top(3),
+        &RelaxationConfig {
+            score_target: 0.95,
+            min_results: 1,
+            max_drops: 2,
+        },
+    );
+    assert!(relaxed.rounds >= 1, "over-specialized query was not relaxed");
+    assert!(
+        relaxed.result.table_ids().contains(&tid),
+        "relaxation failed to recover the exact-match table"
+    );
+}
