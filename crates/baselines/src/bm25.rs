@@ -122,8 +122,7 @@ impl Bm25Index {
                 let len_norm = 1.0 - self.params.b
                     + self.params.b * self.doc_len[p.table as usize] as f64
                         / self.avg_doc_len.max(1e-9);
-                let score = idf * (tf * (self.params.k1 + 1.0))
-                    / (tf + self.params.k1 * len_norm);
+                let score = idf * (tf * (self.params.k1 + 1.0)) / (tf + self.params.k1 * len_norm);
                 *scores.entry(p.table).or_insert(0.0) += score;
             }
         }

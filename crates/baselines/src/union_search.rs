@@ -133,9 +133,10 @@ impl<'a> UnionSearch<'a> {
                     let Some(q_ty) = self.dominant_type(qc) else {
                         return 0.0;
                     };
-                    let hit = table_cols.iter().enumerate().find(|(j, tc)| {
-                        !used[*j] && self.dominant_type(tc) == Some(q_ty)
-                    });
+                    let hit = table_cols
+                        .iter()
+                        .enumerate()
+                        .find(|(j, tc)| !used[*j] && self.dominant_type(tc) == Some(q_ty));
                     match hit {
                         Some((j, _)) => {
                             used[j] = true;
@@ -231,10 +232,12 @@ mod tests {
         let thing = b.add_type("Thing", None);
         let p = b.add_type("Player", Some(thing));
         let t = b.add_type("Team", Some(thing));
-        let players: Vec<EntityId> =
-            (0..4).map(|i| b.add_entity(&format!("p{i}"), vec![p])).collect();
-        let teams: Vec<EntityId> =
-            (0..4).map(|i| b.add_entity(&format!("t{i}"), vec![t])).collect();
+        let players: Vec<EntityId> = (0..4)
+            .map(|i| b.add_entity(&format!("p{i}"), vec![p]))
+            .collect();
+        let teams: Vec<EntityId> = (0..4)
+            .map(|i| b.add_entity(&format!("t{i}"), vec![t]))
+            .collect();
         let g = b.freeze();
 
         let cell = |e: EntityId| CellValue::LinkedEntity {
@@ -297,10 +300,10 @@ mod tests {
 
     #[test]
     fn tuples_to_columns_transposes() {
-        let cols = tuples_to_columns(&[
-            vec![EntityId(1), EntityId(2)],
-            vec![EntityId(3)],
-        ]);
-        assert_eq!(cols, vec![vec![EntityId(1), EntityId(3)], vec![EntityId(2)]]);
+        let cols = tuples_to_columns(&[vec![EntityId(1), EntityId(2)], vec![EntityId(3)]]);
+        assert_eq!(
+            cols,
+            vec![vec![EntityId(1), EntityId(3)], vec![EntityId(2)]]
+        );
     }
 }

@@ -9,8 +9,7 @@ fn bench_search(c: &mut Criterion) {
     let data = BenchData::build(BenchmarkKind::Wt2015, 0.0008, 4);
     let graph = &data.bench.kg.graph;
     let type_engine = ThetisEngine::new(graph, &data.bench.lake, TypeJaccard::new(graph));
-    let emb_engine =
-        ThetisEngine::new(graph, &data.bench.lake, EmbeddingCosine::new(&data.store));
+    let emb_engine = ThetisEngine::new(graph, &data.bench.lake, EmbeddingCosine::new(&data.store));
     let options = SearchOptions {
         k: 10,
         threads: 1, // deterministic work per iteration

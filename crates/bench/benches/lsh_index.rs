@@ -19,11 +19,9 @@ fn bench_signatures(c: &mut Criterion) {
     for nv in [30usize, 32, 128] {
         let hasher = MinHasher::new(nv, 7);
         let shingles = type_pair_shingles(graph.types_of(entity), &filter);
-        group.bench_with_input(
-            BenchmarkId::new("minhash", nv),
-            &shingles,
-            |b, s| b.iter(|| hasher.sign(std::hint::black_box(s))),
-        );
+        group.bench_with_input(BenchmarkId::new("minhash", nv), &shingles, |b, s| {
+            b.iter(|| hasher.sign(std::hint::black_box(s)))
+        });
         let planes = RandomHyperplanes::new(data.store.dim(), nv, 7);
         let v = data.store.get(entity);
         group.bench_with_input(BenchmarkId::new("hyperplane", nv), &v, |b, v| {
@@ -59,11 +57,9 @@ fn bench_lsei(c: &mut Criterion) {
     );
     let entities = data.bench.queries5[0].distinct_entities();
     for votes in [1usize, 3] {
-        group.bench_with_input(
-            BenchmarkId::new("prefilter", votes),
-            &entities,
-            |b, e| b.iter(|| lsei.prefilter(std::hint::black_box(e), votes)),
-        );
+        group.bench_with_input(BenchmarkId::new("prefilter", votes), &entities, |b, e| {
+            b.iter(|| lsei.prefilter(std::hint::black_box(e), votes))
+        });
     }
     group.finish();
 }

@@ -84,7 +84,11 @@ fn main() -> ExitCode {
         eprintln!("unknown experiment {command:?}\n{USAGE}");
         return ExitCode::FAILURE;
     }
-    eprintln!("[done] {} in {:.1}s", command, start.elapsed().as_secs_f64());
+    eprintln!(
+        "[done] {} in {:.1}s",
+        command,
+        start.elapsed().as_secs_f64()
+    );
     ExitCode::SUCCESS
 }
 

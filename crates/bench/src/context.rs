@@ -57,13 +57,7 @@ impl Ctx {
 
     /// Returns (building and caching on first use) the data for `kind`.
     pub fn data(&self, kind: BenchmarkKind) -> Arc<BenchData> {
-        if let Some((_, d)) = self
-            .cache
-            .lock()
-            .unwrap()
-            .iter()
-            .find(|(k, _)| *k == kind)
-        {
+        if let Some((_, d)) = self.cache.lock().unwrap().iter().find(|(k, _)| *k == kind) {
             return Arc::clone(d);
         }
         eprintln!(
@@ -75,10 +69,7 @@ impl Ctx {
             "[build] {kind:?}: {}",
             LakeStats::compute(&built.bench.lake)
         );
-        self.cache
-            .lock()
-            .unwrap()
-            .push((kind, Arc::clone(&built)));
+        self.cache.lock().unwrap().push((kind, Arc::clone(&built)));
         built
     }
 

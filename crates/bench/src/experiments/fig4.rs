@@ -6,9 +6,7 @@ use thetis::eval::report::format_table;
 use thetis::prelude::*;
 
 use crate::context::Ctx;
-use crate::methods::{
-    bm25_report, prefiltered_report, semantic_report, union_report, Sim,
-};
+use crate::methods::{bm25_report, prefiltered_report, semantic_report, union_report, Sim};
 
 #[derive(Serialize)]
 struct Row {
@@ -40,8 +38,22 @@ fn eval_query_set(
         });
     };
     // Brute force (Figure 4 a, g).
-    push(&semantic_report(&data, Sim::Types, queries, gt, 10, RowAgg::Max));
-    push(&semantic_report(&data, Sim::Embeddings, queries, gt, 10, RowAgg::Max));
+    push(&semantic_report(
+        &data,
+        Sim::Types,
+        queries,
+        gt,
+        10,
+        RowAgg::Max,
+    ));
+    push(&semantic_report(
+        &data,
+        Sim::Embeddings,
+        queries,
+        gt,
+        10,
+        RowAgg::Max,
+    ));
     // LSH configurations (Figure 4 b, c, e, f, h, i, k, l), 1 vote.
     for sim in [Sim::Types, Sim::Embeddings] {
         for cfg in LshConfig::paper_configs() {
@@ -64,7 +76,13 @@ fn eval_query_set(
     }
     // Competitors.
     push(&bm25_report(&data, queries, gt, 10));
-    push(&union_report(&data, UnionVariant::Embedding, queries, gt, 10));
+    push(&union_report(
+        &data,
+        UnionVariant::Embedding,
+        queries,
+        gt,
+        10,
+    ));
     push(&union_report(&data, UnionVariant::Strict, queries, gt, 10));
 }
 
@@ -72,8 +90,20 @@ fn eval_query_set(
 pub fn run(ctx: &Ctx) -> String {
     let data = ctx.data(BenchmarkKind::Wt2015);
     let mut rows = Vec::new();
-    eval_query_set(ctx, &mut rows, "1-tuple", &data.bench.queries1, &data.bench.gt1);
-    eval_query_set(ctx, &mut rows, "5-tuple", &data.bench.queries5, &data.bench.gt5);
+    eval_query_set(
+        ctx,
+        &mut rows,
+        "1-tuple",
+        &data.bench.queries1,
+        &data.bench.gt1,
+    );
+    eval_query_set(
+        ctx,
+        &mut rows,
+        "5-tuple",
+        &data.bench.queries5,
+        &data.bench.gt5,
+    );
     ctx.write_json("fig4", &rows);
     let table = format_table(
         "Figure 4: NDCG@10 on WT2015 (mean and quartiles over queries)",

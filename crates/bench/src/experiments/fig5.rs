@@ -78,11 +78,8 @@ fn eval_query_set(
                 .iter()
                 .zip(&bm25.per_query)
                 .map(|(a, b)| {
-                    thetis::eval::metrics::result_set_difference(
-                        &a.retrieved,
-                        &b.retrieved,
-                        100,
-                    ) as f64
+                    thetis::eval::metrics::result_set_difference(&a.retrieved, &b.retrieved, 100)
+                        as f64
                 })
                 .collect::<Vec<_>>(),
         )
@@ -104,13 +101,31 @@ fn eval_query_set(
 pub fn run(ctx: &Ctx) -> String {
     let data = ctx.data(BenchmarkKind::Wt2015);
     let mut rows = Vec::new();
-    eval_query_set(ctx, &mut rows, "1-tuple", &data.bench.queries1, &data.bench.gt1);
-    eval_query_set(ctx, &mut rows, "5-tuple", &data.bench.queries5, &data.bench.gt5);
+    eval_query_set(
+        ctx,
+        &mut rows,
+        "1-tuple",
+        &data.bench.queries1,
+        &data.bench.gt1,
+    );
+    eval_query_set(
+        ctx,
+        &mut rows,
+        "5-tuple",
+        &data.bench.queries5,
+        &data.bench.gt5,
+    );
     ctx.write_json("fig5", &rows);
     let table = format_table(
         "Figure 5: recall@100/200 on WT2015 (STSTC/STSEC = complemented with BM25)",
         &[
-            "queries", "method", "R@100", "med@100", "R@200", "med@200", "|Δ BM25|",
+            "queries",
+            "method",
+            "R@100",
+            "med@100",
+            "R@200",
+            "med@200",
+            "|Δ BM25|",
         ],
         &rows
             .iter()

@@ -63,8 +63,20 @@ fn eval(
 pub fn run(ctx: &Ctx) -> String {
     let data = ctx.data(BenchmarkKind::Wt2015);
     let mut rows = Vec::new();
-    eval(ctx, &mut rows, "1-tuple", &data.bench.queries1, &data.bench.gt1);
-    eval(ctx, &mut rows, "5-tuple", &data.bench.queries5, &data.bench.gt5);
+    eval(
+        ctx,
+        &mut rows,
+        "1-tuple",
+        &data.bench.queries1,
+        &data.bench.gt1,
+    );
+    eval(
+        ctx,
+        &mut rows,
+        "5-tuple",
+        &data.bench.queries5,
+        &data.bench.gt5,
+    );
     ctx.write_json("fig6", &rows);
     let table = format_table(
         "Figure 6: NDCG@10 when only tables with coverage ≤ cap may be returned",

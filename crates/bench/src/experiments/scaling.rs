@@ -36,15 +36,8 @@ pub fn run(ctx: &Ctx) -> String {
                 ("1-tuple", &data.bench.queries1, &data.bench.gt1),
                 ("5-tuple", &data.bench.queries5, &data.bench.gt5),
             ] {
-                let (r, stats) = prefiltered_report(
-                    &data,
-                    sim,
-                    LshConfig::recommended(),
-                    1,
-                    queries,
-                    gt,
-                    10,
-                );
+                let (r, stats) =
+                    prefiltered_report(&data, sim, LshConfig::recommended(), 1, queries, gt, 10);
                 rows.push(Row {
                     tables: n,
                     query_set,

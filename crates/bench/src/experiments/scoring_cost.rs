@@ -17,11 +17,7 @@ struct Row {
     mapping_fraction: f64,
 }
 
-fn measure(
-    ctx: &Ctx,
-    kind: BenchmarkKind,
-    rows: &mut Vec<Row>,
-) {
+fn measure(ctx: &Ctx, kind: BenchmarkKind, rows: &mut Vec<Row>) {
     let data = ctx.data(kind);
     let graph = &data.bench.kg.graph;
     // Per-table timing stabilizes after a handful of queries; cap the
@@ -34,11 +30,12 @@ fn measure(
             let mut mapping = 0u64;
             let mut scoring = 0u64;
             let mut tables = 0usize;
-            // Single-threaded so the per-table time is undistorted.
+            // Single-threaded so the per-table time is undistorted, and
+            // exhaustive (no memo, no pruning) so every table contributes a
+            // full Hungarian mapping to the measured share.
             let options = SearchOptions {
-                k: 10,
                 threads: 1,
-                ..SearchOptions::default()
+                ..SearchOptions::exhaustive(10)
             };
             let run = |res: thetis::core::SearchResult,
                        mapping: &mut u64,

@@ -7,7 +7,7 @@ use thetis::eval::report::{fmt_pct, fmt_secs, format_table};
 use thetis::prelude::*;
 
 use crate::context::Ctx;
-use crate::methods::{prefiltered_report, semantic_report, Sim};
+use crate::methods::{prefiltered_report, semantic_report_opts, Sim};
 
 #[derive(Serialize)]
 struct Row {
@@ -17,6 +17,8 @@ struct Row {
     mean_seconds: f64,
     mean_reduction: f64,
     mean_ndcg10: f64,
+    sigma_computed: u64,
+    tables_pruned: usize,
 }
 
 fn eval_query_set(
@@ -27,24 +29,36 @@ fn eval_query_set(
     gt: &GroundTruth,
 ) {
     let data = ctx.data(BenchmarkKind::Wt2015);
-    // Brute force reference (no prefiltering).
+    // Brute force reference, before (exhaustive) and after (memoized +
+    // pruned) the scoring optimizations — same ranking, fewer σ.
     for sim in [Sim::Types, Sim::Embeddings] {
-        let r = semantic_report(&data, sim, queries, gt, 10, RowAgg::Max);
-        rows.push(Row {
-            query_set,
-            method: r.name.clone(),
-            votes: 0,
-            mean_seconds: r.mean_seconds,
-            mean_reduction: 0.0,
-            mean_ndcg10: r.mean_ndcg10,
-        });
+        let base = match sim {
+            Sim::Types => "STST",
+            Sim::Embeddings => "STSE",
+        };
+        for (suffix, options) in [
+            (" exh", SearchOptions::exhaustive(10)),
+            ("", SearchOptions::top(10)),
+        ] {
+            let (r, scoring) =
+                semantic_report_opts(&data, sim, &format!("{base}{suffix}"), queries, gt, options);
+            rows.push(Row {
+                query_set,
+                method: r.name.clone(),
+                votes: 0,
+                mean_seconds: r.mean_seconds,
+                mean_reduction: 0.0,
+                mean_ndcg10: r.mean_ndcg10,
+                sigma_computed: scoring.sigma_computed,
+                tables_pruned: scoring.tables_pruned,
+            });
+        }
     }
     // LSH configurations × votes.
     for votes in [1usize, 3] {
         for sim in [Sim::Types, Sim::Embeddings] {
             for cfg in LshConfig::paper_configs() {
-                let (r, stats) =
-                    prefiltered_report(&data, sim, cfg, votes, queries, gt, 10);
+                let (r, stats) = prefiltered_report(&data, sim, cfg, votes, queries, gt, 10);
                 rows.push(Row {
                     query_set,
                     method: format!("{}{}", sim.letter(), cfg),
@@ -52,6 +66,8 @@ fn eval_query_set(
                     mean_seconds: r.mean_seconds,
                     mean_reduction: stats.mean_reduction,
                     mean_ndcg10: r.mean_ndcg10,
+                    sigma_computed: 0,
+                    tables_pruned: 0,
                 });
             }
         }
@@ -63,12 +79,33 @@ fn eval_query_set(
 pub fn run(ctx: &Ctx) -> String {
     let data = ctx.data(BenchmarkKind::Wt2015);
     let mut rows = Vec::new();
-    eval_query_set(ctx, &mut rows, "1-tuple", &data.bench.queries1, &data.bench.gt1);
-    eval_query_set(ctx, &mut rows, "5-tuple", &data.bench.queries5, &data.bench.gt5);
+    eval_query_set(
+        ctx,
+        &mut rows,
+        "1-tuple",
+        &data.bench.queries1,
+        &data.bench.gt1,
+    );
+    eval_query_set(
+        ctx,
+        &mut rows,
+        "5-tuple",
+        &data.bench.queries5,
+        &data.bench.gt5,
+    );
     ctx.write_json("table3_table4", &rows);
     let table = format_table(
         "Tables 3+4: mean per-query runtime / search-space reduction / NDCG@10 (WT2015)",
-        &["queries", "method", "votes", "runtime", "reduction", "NDCG@10"],
+        &[
+            "queries",
+            "method",
+            "votes",
+            "runtime",
+            "reduction",
+            "NDCG@10",
+            "σ evals",
+            "pruned",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -87,6 +124,18 @@ pub fn run(ctx: &Ctx) -> String {
                         fmt_pct(r.mean_reduction)
                     },
                     format!("{:.3}", r.mean_ndcg10),
+                    if r.sigma_computed == 0 {
+                        "-".into()
+                    } else {
+                        r.sigma_computed.to_string()
+                    },
+                    if r.votes == 0 && r.method.contains("exh") {
+                        "-".into()
+                    } else if r.votes == 0 {
+                        r.tables_pruned.to_string()
+                    } else {
+                        "-".into()
+                    },
                 ]
             })
             .collect::<Vec<_>>(),

@@ -34,7 +34,65 @@ pub struct PrefilterStats {
     pub mean_reduction: f64,
 }
 
-/// Runs brute-force semantic search (STST or STSE).
+/// Scoring-optimizer counters summed across a query set (the before/after
+/// evidence for σ memoization and upper-bound pruning).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ScoringStats {
+    /// σ evaluations actually performed.
+    pub sigma_computed: u64,
+    /// σ lookups served from the query-scoped memo.
+    pub sigma_cached: u64,
+    /// Tables fully scored.
+    pub tables_scored: usize,
+    /// Tables skipped by upper-bound pruning.
+    pub tables_pruned: usize,
+}
+
+impl ScoringStats {
+    fn absorb(&mut self, stats: &SearchStats) {
+        self.sigma_computed += stats.sigma_computed();
+        self.sigma_cached += stats.sigma_cached();
+        self.tables_scored += stats.tables_scored;
+        self.tables_pruned += stats.tables_pruned();
+    }
+}
+
+/// Runs brute-force semantic search with explicit [`SearchOptions`],
+/// returning the report plus the summed optimizer counters.
+pub fn semantic_report_opts(
+    data: &BenchData,
+    sim: Sim,
+    name: &str,
+    queries: &[BenchQuery],
+    gt: &GroundTruth,
+    options: SearchOptions,
+) -> (MethodReport, ScoringStats) {
+    let graph = &data.bench.kg.graph;
+    let mut scoring = ScoringStats::default();
+    let report = match sim {
+        Sim::Types => {
+            let engine = ThetisEngine::new(graph, &data.bench.lake, TypeJaccard::new(graph));
+            MethodReport::run(name, queries, gt, |q| {
+                let res = engine.search(&Query::new(q.tuples.clone()), options);
+                scoring.absorb(&res.stats);
+                res.table_ids()
+            })
+        }
+        Sim::Embeddings => {
+            let engine =
+                ThetisEngine::new(graph, &data.bench.lake, EmbeddingCosine::new(&data.store));
+            MethodReport::run(name, queries, gt, |q| {
+                let res = engine.search(&Query::new(q.tuples.clone()), options);
+                scoring.absorb(&res.stats);
+                res.table_ids()
+            })
+        }
+    };
+    (report, scoring)
+}
+
+/// Runs brute-force semantic search (STST or STSE) with the default
+/// (memoized + pruned) scoring path.
 pub fn semantic_report(
     data: &BenchData,
     sim: Sim,
@@ -43,7 +101,6 @@ pub fn semantic_report(
     k: usize,
     agg: RowAgg,
 ) -> MethodReport {
-    let graph = &data.bench.kg.graph;
     let options = SearchOptions {
         k,
         agg,
@@ -53,33 +110,11 @@ pub fn semantic_report(
         Sim::Types => "STST",
         Sim::Embeddings => "STSE",
     };
-    match sim {
-        Sim::Types => {
-            let engine = ThetisEngine::new(graph, &data.bench.lake, TypeJaccard::new(graph));
-            MethodReport::run(name, queries, gt, |q| {
-                engine
-                    .search(&Query::new(q.tuples.clone()), options)
-                    .table_ids()
-            })
-        }
-        Sim::Embeddings => {
-            let engine =
-                ThetisEngine::new(graph, &data.bench.lake, EmbeddingCosine::new(&data.store));
-            MethodReport::run(name, queries, gt, |q| {
-                engine
-                    .search(&Query::new(q.tuples.clone()), options)
-                    .table_ids()
-            })
-        }
-    }
+    semantic_report_opts(data, sim, name, queries, gt, options).0
 }
 
 /// Builds the LSEI for a similarity and configuration.
-pub fn build_lsei<'a>(
-    data: &'a BenchData,
-    sim: Sim,
-    cfg: LshConfig,
-) -> LseiVariant<'a> {
+pub fn build_lsei<'a>(data: &'a BenchData, sim: Sim, cfg: LshConfig) -> LseiVariant<'a> {
     let graph = &data.bench.kg.graph;
     match sim {
         Sim::Types => {
@@ -128,12 +163,8 @@ pub fn prefiltered_report(
         (LseiVariant::Types(lsei), _) => {
             let engine = ThetisEngine::new(graph, &data.bench.lake, TypeJaccard::new(graph));
             MethodReport::run(&name, queries, gt, |q| {
-                let res = engine.search_prefiltered(
-                    &Query::new(q.tuples.clone()),
-                    options,
-                    lsei,
-                    votes,
-                );
+                let res =
+                    engine.search_prefiltered(&Query::new(q.tuples.clone()), options, lsei, votes);
                 reductions.push(res.stats.reduction);
                 res.table_ids()
             })
@@ -142,12 +173,8 @@ pub fn prefiltered_report(
             let engine =
                 ThetisEngine::new(graph, &data.bench.lake, EmbeddingCosine::new(&data.store));
             MethodReport::run(&name, queries, gt, |q| {
-                let res = engine.search_prefiltered(
-                    &Query::new(q.tuples.clone()),
-                    options,
-                    lsei,
-                    votes,
-                );
+                let res =
+                    engine.search_prefiltered(&Query::new(q.tuples.clone()), options, lsei, votes);
                 reductions.push(res.stats.reduction);
                 res.table_ids()
             })
@@ -299,8 +326,7 @@ mod tests {
         assert_eq!(stst.per_query.len(), 4);
         let stse = semantic_report(&d, Sim::Embeddings, q, gt, 10, RowAgg::Max);
         assert_eq!(stse.name, "STSE");
-        let (lsh, stats) =
-            prefiltered_report(&d, Sim::Types, LshConfig::new(32, 8), 1, q, gt, 10);
+        let (lsh, stats) = prefiltered_report(&d, Sim::Types, LshConfig::new(32, 8), 1, q, gt, 10);
         assert!(stats.mean_reduction >= 0.0 && stats.mean_reduction <= 1.0);
         assert_eq!(lsh.per_query.len(), 4);
         assert_eq!(bm25_report(&d, q, gt, 10).per_query.len(), 4);
@@ -309,6 +335,32 @@ mod tests {
         assert_eq!(
             union_report(&d, UnionVariant::Embedding, q, gt, 10).name,
             "Starmie-like"
+        );
+    }
+
+    #[test]
+    fn optimized_scoring_matches_exhaustive_and_computes_less() {
+        let d = data();
+        let q = &d.bench.queries1;
+        let gt = &d.bench.gt1;
+        let (fast, fast_stats) =
+            semantic_report_opts(&d, Sim::Types, "STST", q, gt, SearchOptions::top(10));
+        let (slow, slow_stats) = semantic_report_opts(
+            &d,
+            Sim::Types,
+            "STST-exh",
+            q,
+            gt,
+            SearchOptions::exhaustive(10),
+        );
+        assert_eq!(fast.mean_ndcg10, slow.mean_ndcg10);
+        assert_eq!(slow_stats.sigma_cached, 0);
+        assert_eq!(slow_stats.tables_pruned, 0);
+        assert!(
+            fast_stats.sigma_computed * 2 <= slow_stats.sigma_computed,
+            "memoization only cut σ evaluations from {} to {}",
+            slow_stats.sigma_computed,
+            fast_stats.sigma_computed
         );
     }
 }

@@ -1,0 +1,94 @@
+//! Golden regression test: a fixed-seed tiny WT2015 benchmark with pinned
+//! retrieval quality for STST, with and without LSEI prefiltering.
+//!
+//! The pinned numbers are produced by this repository's vendored
+//! deterministic RNG (xoshiro256++ seeded via SplitMix64) — any change to
+//! the corpus generator, the scoring pipeline, or the LSEI index that
+//! shifts retrieval quality shows up here as an exact-value mismatch.
+//! Scoring optimizations (σ memoization, upper-bound pruning) must NOT
+//! move these numbers: the optimized path is ranking-identical by design.
+
+use thetis::prelude::*;
+use thetis_bench::methods::{prefiltered_report, semantic_report_opts, Sim};
+use thetis_bench::BenchData;
+
+const TOL: f64 = 1e-12;
+
+fn data() -> BenchData {
+    // Same fixed configuration as the harness tests: WT2015 scaled to
+    // 0.0004 with 4 queries per set. Fully deterministic.
+    BenchData::build(BenchmarkKind::Wt2015, 0.0004, 4)
+}
+
+#[test]
+fn stst_brute_force_quality_is_pinned() {
+    let d = data();
+    let q = &d.bench.queries1;
+    let gt = &d.bench.gt1;
+    for options in [SearchOptions::top(100), SearchOptions::exhaustive(100)] {
+        let (r, _) = semantic_report_opts(&d, Sim::Types, "STST", q, gt, options);
+        assert!(
+            (r.mean_ndcg10 - GOLDEN_BRUTE_NDCG10).abs() < TOL,
+            "STST NDCG@10 drifted: got {:.17}, pinned {:.17}",
+            r.mean_ndcg10,
+            GOLDEN_BRUTE_NDCG10
+        );
+        assert!(
+            (r.mean_recall100 - GOLDEN_BRUTE_RECALL100).abs() < TOL,
+            "STST recall@100 drifted: got {:.17}, pinned {:.17}",
+            r.mean_recall100,
+            GOLDEN_BRUTE_RECALL100
+        );
+    }
+}
+
+#[test]
+fn stst_prefiltered_quality_is_pinned() {
+    let d = data();
+    let q = &d.bench.queries1;
+    let gt = &d.bench.gt1;
+    let (r, stats) = prefiltered_report(&d, Sim::Types, LshConfig::new(32, 8), 1, q, gt, 100);
+    assert!(
+        (r.mean_ndcg10 - GOLDEN_PRE_NDCG10).abs() < TOL,
+        "prefiltered STST NDCG@10 drifted: got {:.17}, pinned {:.17}",
+        r.mean_ndcg10,
+        GOLDEN_PRE_NDCG10
+    );
+    assert!(
+        (r.mean_recall100 - GOLDEN_PRE_RECALL100).abs() < TOL,
+        "prefiltered STST recall@100 drifted: got {:.17}, pinned {:.17}",
+        r.mean_recall100,
+        GOLDEN_PRE_RECALL100
+    );
+    assert!(
+        (stats.mean_reduction - GOLDEN_PRE_REDUCTION).abs() < TOL,
+        "LSEI search-space reduction drifted: got {:.17}, pinned {:.17}",
+        stats.mean_reduction,
+        GOLDEN_PRE_REDUCTION
+    );
+}
+
+// Pinned against the vendored RNG; regenerate by running this test with
+// `GOLDEN_PRINT=1` and copying the printed values.
+const GOLDEN_BRUTE_NDCG10: f64 = 0.8123244334835918;
+const GOLDEN_BRUTE_RECALL100: f64 = 1.0;
+const GOLDEN_PRE_NDCG10: f64 = 0.8123244334835918;
+const GOLDEN_PRE_RECALL100: f64 = 0.7178700328759291;
+const GOLDEN_PRE_REDUCTION: f64 = 0.531578947368421;
+
+#[test]
+fn print_golden_values() {
+    if std::env::var("GOLDEN_PRINT").is_err() {
+        return;
+    }
+    let d = data();
+    let q = &d.bench.queries1;
+    let gt = &d.bench.gt1;
+    let (b, _) = semantic_report_opts(&d, Sim::Types, "STST", q, gt, SearchOptions::top(100));
+    let (p, s) = prefiltered_report(&d, Sim::Types, LshConfig::new(32, 8), 1, q, gt, 100);
+    println!("GOLDEN_BRUTE_NDCG10: f64 = {:?};", b.mean_ndcg10);
+    println!("GOLDEN_BRUTE_RECALL100: f64 = {:?};", b.mean_recall100);
+    println!("GOLDEN_PRE_NDCG10: f64 = {:?};", p.mean_ndcg10);
+    println!("GOLDEN_PRE_RECALL100: f64 = {:?};", p.mean_recall100);
+    println!("GOLDEN_PRE_REDUCTION: f64 = {:?};", s.mean_reduction);
+}

@@ -87,8 +87,12 @@ mod tests {
         let player = b.add_type("Player", None);
         let team = b.add_type("Team", None);
         let actor = b.add_type("Actor", None);
-        let players = (0..3).map(|i| b.add_entity(&format!("p{i}"), vec![player])).collect();
-        let teams = (0..3).map(|i| b.add_entity(&format!("t{i}"), vec![team])).collect();
+        let players = (0..3)
+            .map(|i| b.add_entity(&format!("p{i}"), vec![player]))
+            .collect();
+        let teams = (0..3)
+            .map(|i| b.add_entity(&format!("t{i}"), vec![team]))
+            .collect();
         let a = b.add_entity("actor", vec![actor]);
         (b.freeze(), players, teams, a)
     }
@@ -98,7 +102,10 @@ mod tests {
         let (g, p, t, _) = graph();
         let sim = TypeJaccard::new(&g);
         let q = vec![p[0], t[0]];
-        assert_eq!(classify(&q, &vec![p[0], t[0], t[1]], &sim), MappingKind::TotalExact);
+        assert_eq!(
+            classify(&q, &vec![p[0], t[0], t[1]], &sim),
+            MappingKind::TotalExact
+        );
     }
 
     #[test]
@@ -107,7 +114,10 @@ mod tests {
         let sim = TypeJaccard::new(&g);
         // p0 exact; actor has no partner (no shared types with anything).
         let q = vec![p[0], actor];
-        assert_eq!(classify(&q, &vec![p[0], p[1]], &sim), MappingKind::PartialExact);
+        assert_eq!(
+            classify(&q, &vec![p[0], p[1]], &sim),
+            MappingKind::PartialExact
+        );
     }
 
     #[test]
@@ -145,7 +155,10 @@ mod tests {
             classify(&vec![actor], &vec![p[0], t[0]], &sim),
             MappingKind::Irrelevant
         );
-        assert_eq!(classify(&vec![], &vec![p[0]], &sim), MappingKind::Irrelevant);
+        assert_eq!(
+            classify(&vec![], &vec![p[0]], &sim),
+            MappingKind::Irrelevant
+        );
     }
 
     #[test]

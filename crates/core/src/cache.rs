@@ -1,0 +1,322 @@
+//! Query-scoped σ memoization.
+//!
+//! Algorithm 1 recomputes `σ(e, ē)` for the same `(query entity, lake
+//! entity)` pair many times in one search: the pair shows up once per
+//! occurrence of `ē` in every candidate table — in the score matrix, again
+//! in the row aggregation, and again for every other table mentioning `ē`.
+//! [`SimilarityCache`] memoizes each pair exactly once per search (or longer,
+//! when a caller shares one cache across searches), and
+//! [`CachedSimilarity`] threads the memo through the existing
+//! [`EntitySimilarity`] call sites without signature changes.
+//!
+//! The cache is sharded so the parallel scorer's workers rarely contend on
+//! the same lock, and it counts lookups so searches can report
+//! `sigma_computed` / `sigma_cached`: every lookup either computes σ (miss)
+//! or serves it from the memo (hit), so the two counters always sum to the
+//! total number of lookups. Under a concurrent race two workers may both
+//! miss the same fresh pair and compute it twice; both count as computed, so
+//! the invariant still holds (σ must therefore be deterministic — see
+//! [`EntitySimilarity`]).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use thetis_kg::EntityId;
+
+use crate::similarity::EntitySimilarity;
+
+/// Counter snapshot of a [`SimilarityCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// σ evaluations performed (cache misses).
+    pub computed: u64,
+    /// σ lookups served from the memo (cache hits).
+    pub served: u64,
+}
+
+impl CacheStats {
+    /// Total σ lookups, hits plus misses.
+    pub fn lookups(&self) -> u64 {
+        self.computed + self.served
+    }
+
+    /// Fraction of lookups served from the memo (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.served as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Counter-wise difference against an earlier snapshot.
+    pub fn since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            computed: self.computed - earlier.computed,
+            served: self.served - earlier.served,
+        }
+    }
+}
+
+/// A thread-safe memo of `σ(query entity, lake entity)` values, sharded by
+/// key hash so parallel scoring workers mostly touch disjoint locks.
+///
+/// Keys are directional — `(a, b)` and `(b, a)` are distinct entries — so no
+/// symmetry assumption is imposed on the wrapped similarity.
+pub struct SimilarityCache {
+    shards: Vec<RwLock<HashMap<(u32, u32), f64>>>,
+    computed: AtomicU64,
+    served: AtomicU64,
+}
+
+impl Default for SimilarityCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimilarityCache {
+    /// Shard count used by [`SimilarityCache::new`]; enough that the
+    /// default parallel scorer (one worker per core) rarely contends.
+    pub const DEFAULT_SHARDS: usize = 64;
+
+    /// An empty cache with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(Self::DEFAULT_SHARDS)
+    }
+
+    /// An empty cache with `shards` lock shards (rounded up to at least 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            computed: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: (u32, u32)) -> &RwLock<HashMap<(u32, u32), f64>> {
+        let h = (((key.0 as u64) << 32) | key.1 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 33) as usize % self.shards.len()]
+    }
+
+    /// Looks up `σ(a, b)`, computing and memoizing it through `sim` on a
+    /// miss.
+    pub fn sim_through(&self, sim: &dyn EntitySimilarity, a: EntityId, b: EntityId) -> f64 {
+        let key = (a.0, b.0);
+        let shard = self.shard(key);
+        if let Some(&v) = shard.read().expect("similarity cache poisoned").get(&key) {
+            self.served.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        let v = sim.sim(a, b);
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        shard
+            .write()
+            .expect("similarity cache poisoned")
+            .insert(key, v);
+        v
+    }
+
+    /// Number of memoized pairs.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("similarity cache poisoned").len())
+            .sum()
+    }
+
+    /// Whether nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            computed: self.computed.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops all memoized pairs and resets the counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().expect("similarity cache poisoned").clear();
+        }
+        self.computed.store(0, Ordering::Relaxed);
+        self.served.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An [`EntitySimilarity`] that answers through a [`SimilarityCache`],
+/// drop-in wherever a `&dyn EntitySimilarity` is expected.
+pub struct CachedSimilarity<'a> {
+    inner: &'a dyn EntitySimilarity,
+    cache: &'a SimilarityCache,
+}
+
+impl<'a> CachedSimilarity<'a> {
+    /// Wraps `inner` so its σ values memoize into `cache`.
+    pub fn new(inner: &'a dyn EntitySimilarity, cache: &'a SimilarityCache) -> Self {
+        Self { inner, cache }
+    }
+
+    /// The cache in use.
+    pub fn cache(&self) -> &SimilarityCache {
+        self.cache
+    }
+}
+
+impl EntitySimilarity for CachedSimilarity<'_> {
+    fn sim(&self, a: EntityId, b: EntityId) -> f64 {
+        self.cache.sim_through(self.inner, a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+/// An [`EntitySimilarity`] that counts σ evaluations without memoizing —
+/// the instrumentation counterpart of [`CachedSimilarity`] for the
+/// exhaustive baseline, so memoized and unmemoized searches report
+/// comparable `sigma_computed` numbers.
+pub struct CountingSimilarity<'a> {
+    inner: &'a dyn EntitySimilarity,
+    computed: AtomicU64,
+}
+
+impl<'a> CountingSimilarity<'a> {
+    /// Wraps `inner`, counting every evaluation.
+    pub fn new(inner: &'a dyn EntitySimilarity) -> Self {
+        Self {
+            inner,
+            computed: AtomicU64::new(0),
+        }
+    }
+
+    /// σ evaluations performed so far.
+    pub fn computed(&self) -> u64 {
+        self.computed.load(Ordering::Relaxed)
+    }
+}
+
+impl EntitySimilarity for CountingSimilarity<'_> {
+    fn sim(&self, a: EntityId, b: EntityId) -> f64 {
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        self.inner.sim(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::TypeJaccard;
+    use thetis_kg::KgBuilder;
+
+    fn graph() -> (thetis_kg::KnowledgeGraph, Vec<EntityId>) {
+        let mut b = KgBuilder::new();
+        let thing = b.add_type("Thing", None);
+        let p = b.add_type("Player", Some(thing));
+        let es = (0..4)
+            .map(|i| b.add_entity(&format!("e{i}"), vec![p]))
+            .collect();
+        (b.freeze(), es)
+    }
+
+    #[test]
+    fn second_lookup_is_served_from_the_memo() {
+        let (g, es) = graph();
+        let sim = TypeJaccard::new(&g);
+        let cache = SimilarityCache::new();
+        let cached = CachedSimilarity::new(&sim, &cache);
+        let first = cached.sim(es[0], es[1]);
+        let second = cached.sim(es[0], es[1]);
+        assert_eq!(first, second);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                computed: 1,
+                served: 1
+            }
+        );
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cached.name(), "types");
+    }
+
+    #[test]
+    fn keys_are_directional() {
+        let (g, es) = graph();
+        let sim = TypeJaccard::new(&g);
+        let cache = SimilarityCache::new();
+        let cached = CachedSimilarity::new(&sim, &cache);
+        cached.sim(es[0], es[1]);
+        cached.sim(es[1], es[0]);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().computed, 2);
+    }
+
+    #[test]
+    fn counters_sum_to_lookups() {
+        let (g, es) = graph();
+        let sim = TypeJaccard::new(&g);
+        let cache = SimilarityCache::with_shards(3);
+        let cached = CachedSimilarity::new(&sim, &cache);
+        let mut lookups = 0u64;
+        for _ in 0..3 {
+            for &a in &es {
+                for &b in &es {
+                    cached.sim(a, b);
+                    lookups += 1;
+                }
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.lookups(), lookups);
+        assert_eq!(stats.computed, 16);
+        assert!(stats.hit_rate() > 0.6);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let (g, es) = graph();
+        let sim = TypeJaccard::new(&g);
+        let cache = SimilarityCache::new();
+        let cached = CachedSimilarity::new(&sim, &cache);
+        cached.sim(es[0], es[1]);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn concurrent_lookups_keep_the_invariant() {
+        let (g, es) = graph();
+        let sim = TypeJaccard::new(&g);
+        let cache = SimilarityCache::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let cached = CachedSimilarity::new(&sim, &cache);
+                    for _ in 0..50 {
+                        for &a in &es {
+                            for &b in &es {
+                                cached.sim(a, b);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.lookups(), 4 * 50 * 16);
+        // At most one duplicated compute per pair per racing thread.
+        assert!(stats.computed >= 16 && stats.computed <= 64, "{stats:?}");
+    }
+}

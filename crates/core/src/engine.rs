@@ -7,9 +7,10 @@ use thetis_datalake::{DataLake, TableId};
 use thetis_kg::KnowledgeGraph;
 use thetis_lsh::lsei::{EntitySigner, Lsei};
 
+use crate::cache::{CachedSimilarity, CountingSimilarity, SimilarityCache};
 use crate::informativeness::Informativeness;
 use crate::query::Query;
-use crate::search::{score_candidates, ScoreTimings};
+use crate::search::{score_candidates, score_candidates_pruned, ScoreTimings};
 use crate::semrel::RowAgg;
 use crate::similarity::EntitySimilarity;
 use crate::topk::TopK;
@@ -23,6 +24,14 @@ pub struct SearchOptions {
     pub agg: RowAgg,
     /// Worker threads for table scoring (0 = all available cores).
     pub threads: usize,
+    /// Memoize `σ(query entity, lake entity)` in a query-scoped
+    /// [`SimilarityCache`] shared across all candidate tables, so each pair
+    /// is evaluated at most once per search.
+    pub memoize: bool,
+    /// Skip the Hungarian mapping and row aggregation for tables whose
+    /// relevance upper bound cannot beat the running top-`k` floor. The
+    /// ranking is identical to the exhaustive path either way.
+    pub prune: bool,
 }
 
 impl Default for SearchOptions {
@@ -31,6 +40,8 @@ impl Default for SearchOptions {
             k: 10,
             agg: RowAgg::Max,
             threads: 0,
+            memoize: true,
+            prune: true,
         }
     }
 }
@@ -40,6 +51,17 @@ impl SearchOptions {
     pub fn top(k: usize) -> Self {
         Self {
             k,
+            ..Self::default()
+        }
+    }
+
+    /// Top-`k` search with memoization and pruning disabled — the
+    /// reference path the optimized one is validated against.
+    pub fn exhaustive(k: usize) -> Self {
+        Self {
+            k,
+            memoize: false,
+            prune: false,
             ..Self::default()
         }
     }
@@ -68,6 +90,28 @@ pub struct SearchStats {
     pub total_nanos: u64,
     /// Scoring-time breakdown.
     pub timings: ScoreTimings,
+}
+
+impl SearchStats {
+    /// Tables skipped by upper-bound pruning.
+    pub fn tables_pruned(&self) -> usize {
+        self.timings.tables_pruned
+    }
+
+    /// σ evaluations actually performed.
+    pub fn sigma_computed(&self) -> u64 {
+        self.timings.sigma_computed
+    }
+
+    /// σ lookups served from the query-scoped memo.
+    pub fn sigma_cached(&self) -> u64 {
+        self.timings.sigma_cached
+    }
+
+    /// Fraction of σ lookups served from the memo.
+    pub fn sigma_hit_rate(&self) -> f64 {
+        self.timings.sigma_hit_rate()
+    }
 }
 
 /// A ranked search result.
@@ -148,6 +192,20 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
         self.search_candidates(query, options, &all, 0, 0.0)
     }
 
+    /// Brute-force search memoizing σ into a caller-provided cache, so the
+    /// memo outlives one call: repeating a search against an already-warm
+    /// cache computes no σ at all (hit rate 1.0). The caller must clear or
+    /// replace the cache when the underlying similarity changes.
+    pub fn search_with_cache(
+        &self,
+        query: &Query,
+        options: SearchOptions,
+        cache: &SimilarityCache,
+    ) -> SearchResult {
+        let all: Vec<TableId> = (0..self.lake.len() as u32).map(TableId).collect();
+        self.search_candidates_cached(query, options, &all, 0, 0.0, Some(cache))
+    }
+
     /// Semantic search with LSEI prefiltering (§6): only tables surviving
     /// the voting prefilter are scored.
     pub fn search_prefiltered<Sg: EntitySigner>(
@@ -214,16 +272,67 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
         prefilter_nanos: u64,
         reduction: f64,
     ) -> SearchResult {
+        self.search_candidates_cached(query, options, candidates, prefilter_nanos, reduction, None)
+    }
+
+    fn search_candidates_cached(
+        &self,
+        query: &Query,
+        options: SearchOptions,
+        candidates: &[TableId],
+        prefilter_nanos: u64,
+        reduction: f64,
+        external: Option<&SimilarityCache>,
+    ) -> SearchResult {
         let start = Instant::now();
-        let (scored, timings) = score_candidates(
-            query,
-            self.lake,
-            candidates,
-            &self.sim,
-            &self.inform,
-            options.agg,
-            options.resolved_threads(),
-        );
+        // A query-scoped memo, unless the caller brought a longer-lived one.
+        let owned = (external.is_none() && options.memoize).then(SimilarityCache::new);
+        let cache = external.or(owned.as_ref());
+        let before = cache.map(|c| c.stats());
+
+        let run = |sim: &(dyn EntitySimilarity + Sync)| {
+            if options.prune {
+                score_candidates_pruned(
+                    query,
+                    self.lake,
+                    candidates,
+                    sim,
+                    &self.inform,
+                    options.agg,
+                    options.resolved_threads(),
+                    options.k,
+                )
+            } else {
+                score_candidates(
+                    query,
+                    self.lake,
+                    candidates,
+                    sim,
+                    &self.inform,
+                    options.agg,
+                    options.resolved_threads(),
+                )
+            }
+        };
+
+        let (scored, mut timings) = match cache {
+            Some(c) => run(&CachedSimilarity::new(&self.sim, c)),
+            None => {
+                let counting = CountingSimilarity::new(&self.sim);
+                let out = run(&counting);
+                (out.0, {
+                    let mut t = out.1;
+                    t.sigma_computed = counting.computed();
+                    t
+                })
+            }
+        };
+        if let (Some(c), Some(before)) = (cache, before) {
+            let delta = c.stats().since(before);
+            timings.sigma_computed = delta.computed;
+            timings.sigma_cached = delta.served;
+        }
+
         let mut topk = TopK::new(options.k);
         for (tid, score) in scored {
             topk.push(tid, score);
@@ -257,10 +366,12 @@ mod tests {
         let thing = b.add_type("Thing", None);
         let p = b.add_type("Player", Some(thing));
         let v = b.add_type("Volleyballer", Some(thing));
-        let players: Vec<EntityId> =
-            (0..8).map(|i| b.add_entity(&format!("p{i}"), vec![p])).collect();
-        let volley: Vec<EntityId> =
-            (0..8).map(|i| b.add_entity(&format!("v{i}"), vec![v])).collect();
+        let players: Vec<EntityId> = (0..8)
+            .map(|i| b.add_entity(&format!("p{i}"), vec![p]))
+            .collect();
+        let volley: Vec<EntityId> = (0..8)
+            .map(|i| b.add_entity(&format!("v{i}"), vec![v]))
+            .collect();
         let g = b.freeze();
         let mk = |name: &str, es: &[EntityId]| {
             let mut t = Table::new(name, vec!["c".into()]);
@@ -340,5 +451,69 @@ mod tests {
         let engine = ThetisEngine::new(&g, &lake, TypeJaccard::new(&g));
         let res = engine.search(&Query::new(vec![]), SearchOptions::top(5));
         assert!(res.ranked.is_empty());
+    }
+
+    #[test]
+    fn optimized_search_matches_the_exhaustive_path() {
+        let (g, lake, players, volley) = fixture();
+        let engine = ThetisEngine::new(&g, &lake, TypeJaccard::new(&g));
+        let q = Query::new(vec![vec![players[0]], vec![volley[1], players[3]]]);
+        for k in [1, 2, 4, 10] {
+            let fast = engine.search(&q, SearchOptions::top(k));
+            let slow = engine.search(&q, SearchOptions::exhaustive(k));
+            assert_eq!(fast.ranked, slow.ranked, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn memoization_cuts_sigma_evaluations() {
+        let (g, lake, players, _) = fixture();
+        let engine = ThetisEngine::new(&g, &lake, TypeJaccard::new(&g));
+        let q = Query::single(vec![players[0]]);
+        // Disable pruning on both sides so the comparison isolates the memo.
+        let memo = engine.search(
+            &q,
+            SearchOptions {
+                prune: false,
+                ..SearchOptions::top(4)
+            },
+        );
+        let raw = engine.search(&q, SearchOptions::exhaustive(4));
+        // 16 distinct lake entities → at most 16 distinct pairs to compute.
+        assert!(memo.stats.sigma_computed() <= 16);
+        assert!(raw.stats.sigma_computed() > memo.stats.sigma_computed());
+        assert_eq!(raw.stats.sigma_cached(), 0);
+        assert!(memo.stats.sigma_cached() + memo.stats.sigma_computed() > 0);
+        assert!(memo.stats.sigma_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn shared_cache_serves_a_repeat_search_entirely() {
+        let (g, lake, players, _) = fixture();
+        let engine = ThetisEngine::new(&g, &lake, TypeJaccard::new(&g));
+        let q = Query::single(vec![players[0], players[1]]);
+        let cache = crate::cache::SimilarityCache::new();
+        let first = engine.search_with_cache(&q, SearchOptions::top(4), &cache);
+        let second = engine.search_with_cache(&q, SearchOptions::top(4), &cache);
+        assert_eq!(first.ranked, second.ranked);
+        assert!(first.stats.sigma_computed() > 0);
+        assert_eq!(second.stats.sigma_computed(), 0);
+        assert_eq!(second.stats.sigma_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn pruning_is_reported_in_stats() {
+        let (g, lake, players, _) = fixture();
+        let engine = ThetisEngine::new(&g, &lake, TypeJaccard::new(&g));
+        let q = Query::single(vec![players[0]]);
+        let res = engine.search(&q, SearchOptions::top(1));
+        // With k = 1 the exact-match table (score 1.0) is found first and
+        // every other table's bound is below it.
+        assert_eq!(res.ranked[0].0, TableId(0));
+        assert!(res.stats.tables_pruned() > 0);
+        assert_eq!(
+            res.stats.tables_scored + res.stats.tables_pruned(),
+            lake.len()
+        );
     }
 }

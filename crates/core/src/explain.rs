@@ -49,6 +49,9 @@ pub struct Explanation {
     pub tuples: Vec<TupleExplanation>,
     /// The final table score (mean of tuple scores).
     pub score: f64,
+    /// The relevance upper bound the pruning pass would have used for this
+    /// table (≥ `score`; 0 for unlinked tables or empty queries).
+    pub upper_bound: f64,
 }
 
 /// Explains the SemRel score of `table` for `query` (max row aggregation,
@@ -98,10 +101,13 @@ pub fn explain(
     } else {
         tuples.iter().map(|t| t.score).sum::<f64>() / tuples.len() as f64
     };
+    let upper_bound =
+        crate::search::upper_bound_score(query, lake, table_id, sim, inform).unwrap_or(0.0);
     Explanation {
         table: table_id,
         tuples,
         score,
+        upper_bound,
     }
 }
 
@@ -137,15 +143,22 @@ mod tests {
     use thetis_datalake::{CellValue, Table};
     use thetis_kg::KgBuilder;
 
-    fn fixture() -> (thetis_kg::KnowledgeGraph, DataLake, Vec<EntityId>, Vec<EntityId>) {
+    fn fixture() -> (
+        thetis_kg::KnowledgeGraph,
+        DataLake,
+        Vec<EntityId>,
+        Vec<EntityId>,
+    ) {
         let mut b = KgBuilder::new();
         let thing = b.add_type("Thing", None);
         let p = b.add_type("Player", Some(thing));
         let t = b.add_type("Team", Some(thing));
-        let players: Vec<EntityId> =
-            (0..3).map(|i| b.add_entity(&format!("p{i}"), vec![p])).collect();
-        let teams: Vec<EntityId> =
-            (0..3).map(|i| b.add_entity(&format!("t{i}"), vec![t])).collect();
+        let players: Vec<EntityId> = (0..3)
+            .map(|i| b.add_entity(&format!("p{i}"), vec![p]))
+            .collect();
+        let teams: Vec<EntityId> = (0..3)
+            .map(|i| b.add_entity(&format!("t{i}"), vec![t]))
+            .collect();
         let g = b.freeze();
         let cell = |e: EntityId, g: &thetis_kg::KnowledgeGraph| CellValue::LinkedEntity {
             mention: g.label(e).to_string(),
@@ -174,6 +187,27 @@ mod tests {
         assert_eq!(m[1].similarity, 1.0);
         assert_eq!(m[1].column, Some(1));
         assert_eq!(ex.score, 1.0);
+        assert_eq!(ex.upper_bound, 1.0);
+    }
+
+    #[test]
+    fn upper_bound_dominates_the_explained_score() {
+        let (g, lake, players, teams) = fixture();
+        let sim = TypeJaccard::new(&g);
+        let inform = Informativeness::uniform();
+        for q in [
+            Query::single(vec![players[1]]),
+            Query::single(vec![teams[2], players[1]]),
+            Query::new(vec![vec![players[0], teams[0]], vec![players[2]]]),
+        ] {
+            let ex = explain(&q, &lake, TableId(0), &sim, &inform);
+            assert!(
+                ex.score <= ex.upper_bound + 1e-12,
+                "score {} exceeds bound {} for {q:?}",
+                ex.score,
+                ex.upper_bound
+            );
+        }
     }
 
     #[test]

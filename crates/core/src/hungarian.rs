@@ -119,13 +119,7 @@ mod tests {
         let cols: Vec<usize> = (0..n).collect();
         let mut best = f64::NEG_INFINITY;
         // permutations of column subsets of size min(k, n)
-        fn rec(
-            scores: &[Vec<f64>],
-            row: usize,
-            used: &mut Vec<bool>,
-            acc: f64,
-            best: &mut f64,
-        ) {
+        fn rec(scores: &[Vec<f64>], row: usize, used: &mut Vec<bool>, acc: f64, best: &mut f64) {
             if row == scores.len() {
                 *best = (*best).max(acc);
                 return;

@@ -20,9 +20,14 @@
 //!    perfect match into a similarity via `1 / (D_I + 1)` ([`semrel`]).
 //!
 //! [`engine::ThetisEngine`] packages the whole pipeline — with optional LSEI
-//! prefiltering (§6) and parallel table scoring — behind one API.
+//! prefiltering (§6) and parallel table scoring — behind one API. Scoring
+//! cost is further cut by a query-scoped σ memo ([`cache`]) and by
+//! upper-bound pruning ([`search::upper_bound_score`]) that skips the
+//! Hungarian mapping for tables that cannot reach the current top-k floor;
+//! both are on by default and never change the ranking.
 
 pub mod axioms;
+pub mod cache;
 pub mod engine;
 pub mod explain;
 pub mod hungarian;
@@ -35,6 +40,7 @@ pub mod semrel;
 pub mod similarity;
 pub mod topk;
 
+pub use cache::{CacheStats, CachedSimilarity, CountingSimilarity, SimilarityCache};
 pub use engine::{SearchOptions, SearchResult, SearchStats, ThetisEngine};
 pub use explain::{explain, EntityMatch, Explanation, TupleExplanation};
 pub use informativeness::Informativeness;

@@ -66,10 +66,12 @@ mod tests {
         let thing = b.add_type("Thing", None);
         let p = b.add_type("Player", Some(thing));
         let t = b.add_type("Team", Some(thing));
-        let players: Vec<EntityId> =
-            (0..3).map(|i| b.add_entity(&format!("p{i}"), vec![p])).collect();
-        let teams: Vec<EntityId> =
-            (0..3).map(|i| b.add_entity(&format!("t{i}"), vec![t])).collect();
+        let players: Vec<EntityId> = (0..3)
+            .map(|i| b.add_entity(&format!("p{i}"), vec![p]))
+            .collect();
+        let teams: Vec<EntityId> = (0..3)
+            .map(|i| b.add_entity(&format!("t{i}"), vec![t]))
+            .collect();
         let g = b.freeze();
 
         let mut table = Table::new("roster", vec!["Player".into(), "Team".into()]);

@@ -132,8 +132,9 @@ mod tests {
         let thing = b.add_type("Thing", None);
         let player = b.add_type("Player", Some(thing));
         let city = b.add_type("City", Some(thing));
-        let players: Vec<EntityId> =
-            (0..6).map(|i| b.add_entity(&format!("p{i}"), vec![player])).collect();
+        let players: Vec<EntityId> = (0..6)
+            .map(|i| b.add_entity(&format!("p{i}"), vec![player]))
+            .collect();
         let milwaukee = b.add_entity("Milwaukee", vec![city]);
         let g = b.freeze();
 

@@ -16,10 +16,21 @@ use crate::similarity::EntitySimilarity;
 pub struct ScoreTimings {
     /// Nanoseconds spent in the Hungarian column-mapping step.
     pub mapping_nanos: u64,
-    /// Nanoseconds spent scoring tables in total (mapping included).
+    /// Nanoseconds spent scoring tables in total (mapping, upper-bound
+    /// computation, and row aggregation included).
     pub scoring_nanos: u64,
     /// Tables actually scored (tables without entity links are skipped).
     pub tables_scored: usize,
+    /// Tables skipped because their relevance upper bound could not beat
+    /// the running top-k floor.
+    pub tables_pruned: usize,
+    /// σ evaluations actually performed (cache misses when memoizing;
+    /// every evaluation otherwise). Filled in by the engine from the
+    /// query-scoped [`SimilarityCache`](crate::cache::SimilarityCache).
+    pub sigma_computed: u64,
+    /// σ lookups served from the query-scoped memo (always 0 when
+    /// memoization is disabled).
+    pub sigma_cached: u64,
 }
 
 impl ScoreTimings {
@@ -32,10 +43,23 @@ impl ScoreTimings {
         }
     }
 
+    /// Fraction of σ lookups served from the memo (0 when none happened).
+    pub fn sigma_hit_rate(&self) -> f64 {
+        let lookups = self.sigma_computed + self.sigma_cached;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.sigma_cached as f64 / lookups as f64
+        }
+    }
+
     fn merge(&mut self, other: ScoreTimings) {
         self.mapping_nanos += other.mapping_nanos;
         self.scoring_nanos += other.scoring_nanos;
         self.tables_scored += other.tables_scored;
+        self.tables_pruned += other.tables_pruned;
+        self.sigma_computed += other.sigma_computed;
+        self.sigma_cached += other.sigma_cached;
     }
 }
 
@@ -73,6 +97,56 @@ pub fn score_table(
     }
     timings.scoring_nanos += start.elapsed().as_nanos() as u64;
     timings.tables_scored += 1;
+    Some(sum / query.len() as f64)
+}
+
+/// An upper bound on [`score_table`] for the same arguments, cheap enough
+/// to decide whether the Hungarian mapping and row aggregation are worth
+/// running at all.
+///
+/// For every query entity `e_i` the bound takes
+/// `x̄_i = max_{ē ∈ T} σ(e_i, ē)` over the table's *distinct* entities. Any
+/// real mapping aggregates σ values drawn from that same entity pool, so
+/// `x_i ≤ x̄_i` under both [`RowAgg::Max`] and [`RowAgg::Avg`], and Eq. 2–3
+/// are monotone in each `x_i` — hence `score ≤ bound`. When `sim` memoizes
+/// (see [`CachedSimilarity`](crate::cache::CachedSimilarity)) the σ values
+/// computed here pre-seed the cache for the full scoring pass, so an
+/// unpruned table pays for the bound almost nothing.
+///
+/// Returns `None` exactly when [`score_table`] would (no entity links or an
+/// empty query).
+pub fn upper_bound_score(
+    query: &Query,
+    lake: &DataLake,
+    table_id: TableId,
+    sim: &dyn EntitySimilarity,
+    inform: &Informativeness,
+) -> Option<f64> {
+    let table = lake.table(table_id);
+    let has_links = table
+        .rows()
+        .iter()
+        .any(|row| row.iter().any(|c| c.is_linked()));
+    if !has_links || query.is_empty() {
+        return None;
+    }
+
+    let pool = table.distinct_entities();
+    let mut best: std::collections::HashMap<thetis_kg::EntityId, f64> =
+        std::collections::HashMap::new();
+    for e in query.distinct_entities() {
+        let x = pool
+            .iter()
+            .map(|&t| sim.sim(e, t))
+            .fold(0.0f64, f64::max)
+            .min(1.0);
+        best.insert(e, x);
+    }
+    let mut sum = 0.0;
+    for tuple in &query.tuples {
+        let x: Vec<f64> = tuple.iter().map(|e| best[e]).collect();
+        sum += crate::semrel::distance_score(tuple, &x, inform);
+    }
     Some(sum / query.len() as f64)
 }
 
@@ -121,10 +195,99 @@ pub fn score_candidates(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("scoring worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scoring worker panicked"))
+            .collect()
     });
 
     let mut all = Vec::with_capacity(candidates.len());
+    let mut timings = ScoreTimings::default();
+    for (part, t) in results {
+        all.extend(part);
+        timings.merge(t);
+    }
+    (all, timings)
+}
+
+/// Like [`score_candidates`], but skips the Hungarian mapping and row
+/// aggregation for tables whose [`upper_bound_score`] falls strictly below
+/// the running top-`k` floor, and returns only each worker's local top-`k`
+/// survivors (at most `k · workers` pairs).
+///
+/// The floor is shared across workers through an atomic: it is the best
+/// k-th-highest score any worker has seen so far, which is always ≤ the
+/// final k-th-highest score, so a table pruned here — `score ≤ bound <
+/// floor` — can never enter the final top-k, not even on a tie (ties enter
+/// only at equal score). The ranking is therefore bit-identical to the
+/// exhaustive path regardless of thread count or timing; only
+/// `tables_pruned` may vary between runs.
+#[allow(clippy::too_many_arguments)]
+pub fn score_candidates_pruned(
+    query: &Query,
+    lake: &DataLake,
+    candidates: &[TableId],
+    sim: &(dyn EntitySimilarity + Sync),
+    inform: &Informativeness,
+    agg: RowAgg,
+    threads: usize,
+    k: usize,
+) -> (Vec<(TableId, f64)>, ScoreTimings) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use crate::topk::TopK;
+
+    let threads = threads.max(1);
+    if candidates.is_empty() || k == 0 {
+        return (Vec::new(), ScoreTimings::default());
+    }
+
+    // f64 bits compare like integers for non-negative floats, and SemRel
+    // scores are always positive, so `fetch_max` on the bit pattern keeps
+    // the floor monotonically tightening without a lock.
+    let floor_bits = AtomicU64::new(0.0f64.to_bits());
+
+    let run_chunk = |slice: &[TableId]| {
+        let mut timings = ScoreTimings::default();
+        let mut local: TopK<TableId> = TopK::new(k);
+        for &tid in slice {
+            let start = Instant::now();
+            let bound = upper_bound_score(query, lake, tid, sim, inform);
+            timings.scoring_nanos += start.elapsed().as_nanos() as u64;
+            let Some(bound) = bound else { continue };
+            let floor = f64::from_bits(floor_bits.load(Ordering::Relaxed));
+            if bound < floor {
+                timings.tables_pruned += 1;
+                continue;
+            }
+            if let Some(s) = score_table(query, lake, tid, sim, inform, agg, &mut timings) {
+                local.push(tid, s);
+                if local.len() == k {
+                    let min = local.min_score().expect("full top-k has a minimum");
+                    floor_bits.fetch_max(min.to_bits(), Ordering::Relaxed);
+                }
+            }
+        }
+        (local.into_sorted(), timings)
+    };
+
+    if threads == 1 || candidates.len() < 64 {
+        return run_chunk(candidates);
+    }
+
+    let chunk = candidates.len().div_ceil(threads);
+    let results: Vec<(Vec<(TableId, f64)>, ScoreTimings)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .map(|slice| scope.spawn(|| run_chunk(slice)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scoring worker panicked"))
+            .collect()
+    });
+
+    let mut all = Vec::with_capacity(k * results.len());
     let mut timings = ScoreTimings::default();
     for (part, t) in results {
         all.extend(part);
@@ -144,8 +307,9 @@ mod tests {
         let mut b = KgBuilder::new();
         let thing = b.add_type("Thing", None);
         let p = b.add_type("Player", Some(thing));
-        let players: Vec<EntityId> =
-            (0..6).map(|i| b.add_entity(&format!("p{i}"), vec![p])).collect();
+        let players: Vec<EntityId> = (0..6)
+            .map(|i| b.add_entity(&format!("p{i}"), vec![p]))
+            .collect();
         let g = b.freeze();
         let mk = |es: &[EntityId]| {
             let mut t = Table::new("t", vec!["c".into()]);
@@ -159,11 +323,7 @@ mod tests {
         };
         let mut unlinked = Table::new("u", vec!["c".into()]);
         unlinked.push_row(vec![CellValue::Text("plain".into())]);
-        let lake = DataLake::from_tables(vec![
-            mk(&players[0..2]),
-            mk(&players[2..4]),
-            unlinked,
-        ]);
+        let lake = DataLake::from_tables(vec![mk(&players[0..2]), mk(&players[2..4]), unlinked]);
         (g, lake, players)
     }
 
@@ -216,5 +376,70 @@ mod tests {
         assert_eq!(timings.tables_scored, 2);
         assert!(timings.scoring_nanos >= timings.mapping_nanos);
         assert!(timings.mapping_fraction() <= 1.0);
+        assert_eq!(timings.sigma_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn upper_bound_dominates_the_real_score() {
+        let (g, lake, players) = fixture();
+        let sim = TypeJaccard::new(&g);
+        let inform = Informativeness::uniform();
+        let q = Query::new(vec![vec![players[0]], vec![players[2], players[4]]]);
+        for tid in [TableId(0), TableId(1)] {
+            let bound = upper_bound_score(&q, &lake, tid, &sim, &inform).unwrap();
+            for agg in [RowAgg::Max, RowAgg::Avg] {
+                let mut t = ScoreTimings::default();
+                let s = score_table(&q, &lake, tid, &sim, &inform, agg, &mut t).unwrap();
+                assert!(s <= bound + 1e-12, "{s} > {bound} for {tid:?} {agg:?}");
+            }
+        }
+        assert!(upper_bound_score(&q, &lake, TableId(2), &sim, &inform).is_none());
+    }
+
+    #[test]
+    fn pruned_search_keeps_the_same_top_k() {
+        let (g, lake, players) = fixture();
+        let sim = TypeJaccard::new(&g);
+        let inform = Informativeness::uniform();
+        let q = Query::single(vec![players[0]]);
+        let cands: Vec<TableId> = (0..3).map(TableId).collect();
+        let (exhaustive, _) = score_candidates(&q, &lake, &cands, &sim, &inform, RowAgg::Max, 1);
+        let (survivors, timings) =
+            score_candidates_pruned(&q, &lake, &cands, &sim, &inform, RowAgg::Max, 1, 1);
+        let mut top = crate::topk::TopK::new(1);
+        for &(t, s) in &exhaustive {
+            top.push(t, s);
+        }
+        assert_eq!(survivors, top.into_sorted());
+        assert_eq!(timings.tables_scored + timings.tables_pruned, 2);
+    }
+
+    #[test]
+    fn pruning_actually_skips_dominated_tables() {
+        // Table 0 holds the exact query entity (score 1.0, the maximum);
+        // with k = 1 every later table's bound is < 1.0 and gets pruned.
+        let (g, lake, players) = fixture();
+        let sim = TypeJaccard::new(&g);
+        let inform = Informativeness::uniform();
+        let q = Query::single(vec![players[0]]);
+        let cands: Vec<TableId> = (0..3).map(TableId).collect();
+        let (survivors, timings) =
+            score_candidates_pruned(&q, &lake, &cands, &sim, &inform, RowAgg::Max, 1, 1);
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(survivors[0].0, TableId(0));
+        assert_eq!(timings.tables_scored, 1);
+        assert_eq!(timings.tables_pruned, 1);
+    }
+
+    #[test]
+    fn pruned_k_zero_returns_nothing() {
+        let (g, lake, players) = fixture();
+        let sim = TypeJaccard::new(&g);
+        let inform = Informativeness::uniform();
+        let q = Query::single(vec![players[0]]);
+        let cands: Vec<TableId> = (0..3).map(TableId).collect();
+        let (survivors, _) =
+            score_candidates_pruned(&q, &lake, &cands, &sim, &inform, RowAgg::Max, 1, 0);
+        assert!(survivors.is_empty());
     }
 }

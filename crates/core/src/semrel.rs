@@ -121,8 +121,12 @@ mod tests {
         let thing = b.add_type("Thing", None);
         let p = b.add_type("Player", Some(thing));
         let t = b.add_type("Team", Some(thing));
-        let players = (0..3).map(|i| b.add_entity(&format!("p{i}"), vec![p])).collect();
-        let teams = (0..3).map(|i| b.add_entity(&format!("t{i}"), vec![t])).collect();
+        let players = (0..3)
+            .map(|i| b.add_entity(&format!("p{i}"), vec![p]))
+            .collect();
+        let teams = (0..3)
+            .map(|i| b.add_entity(&format!("t{i}"), vec![t]))
+            .collect();
         (b.freeze(), players, teams)
     }
 
@@ -227,8 +231,7 @@ mod tests {
         let q = vec![players[0], teams[0]];
         // Uniform: missing the team costs sqrt(1).
         let uniform = Informativeness::uniform();
-        let s_uniform =
-            tuple_tuple_semrel(&q, &vec![players[0]], &sim, &uniform);
+        let s_uniform = tuple_tuple_semrel(&q, &vec![players[0]], &sim, &uniform);
         assert!((s_uniform - 0.5).abs() < 1e-12);
         // A weighted I that discounts the team makes the same miss cheaper —
         // emulate by building a lake where the team is ubiquitous.

@@ -18,7 +18,10 @@ use thetis_kg::{entity::type_jaccard, EntityId, KnowledgeGraph};
 /// An entity-to-entity semantic similarity in `[0, 1]` with `σ(e, e) = 1`.
 ///
 /// Implementations must be cheap (`O(types)` or `O(dim)`) — Algorithm 1
-/// evaluates `σ` once per (query entity, table cell) pair.
+/// evaluates `σ` once per (query entity, table cell) pair — and
+/// **deterministic**: the engine memoizes values per entity pair in a
+/// [`SimilarityCache`](crate::cache::SimilarityCache), so `sim(a, b)` must
+/// return the same value every time for the same pair.
 pub trait EntitySimilarity: Sync {
     /// The similarity of two entities.
     fn sim(&self, a: EntityId, b: EntityId) -> f64;
@@ -103,8 +106,11 @@ impl PredicateJaccard {
     pub fn new(graph: &KnowledgeGraph) -> Self {
         let mut predicate_sets = Vec::with_capacity(graph.entity_count());
         for e in graph.entity_ids() {
-            let mut preds: Vec<u32> =
-                graph.neighbors(e).iter().map(|edge| edge.predicate.0).collect();
+            let mut preds: Vec<u32> = graph
+                .neighbors(e)
+                .iter()
+                .map(|edge| edge.predicate.0)
+                .collect();
             preds.sort_unstable();
             preds.dedup();
             predicate_sets.push(preds);

@@ -65,6 +65,12 @@ impl<T: Ord + Eq + Copy> TopK<T> {
         self.heap.len()
     }
 
+    /// Lowest score currently held, if any. Once `len() == k` this is the
+    /// pruning floor: a candidate scoring strictly below it can never enter.
+    pub fn min_score(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.score)
+    }
+
     /// Whether no items are held.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
@@ -73,11 +79,7 @@ impl<T: Ord + Eq + Copy> TopK<T> {
     /// Consumes the collector, returning `(item, score)` pairs sorted by
     /// descending score (ties broken by descending item).
     pub fn into_sorted(self) -> Vec<(T, f64)> {
-        let mut v: Vec<(T, f64)> = self
-            .heap
-            .into_iter()
-            .map(|e| (e.item, e.score))
-            .collect();
+        let mut v: Vec<(T, f64)> = self.heap.into_iter().map(|e| (e.item, e.score)).collect();
         v.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| b.0.cmp(&a.0)));
         v
     }
@@ -123,6 +125,19 @@ mod tests {
         let mut t = TopK::new(0);
         t.push(1u32, 1.0);
         assert!(t.is_empty());
+        assert_eq!(t.min_score(), None);
+    }
+
+    #[test]
+    fn min_score_tracks_the_weakest_entry() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.min_score(), None);
+        t.push(1u32, 0.4);
+        assert_eq!(t.min_score(), Some(0.4));
+        t.push(2, 0.9);
+        assert_eq!(t.min_score(), Some(0.4));
+        t.push(3, 0.6);
+        assert_eq!(t.min_score(), Some(0.6));
     }
 
     #[test]

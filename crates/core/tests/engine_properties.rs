@@ -1,0 +1,238 @@
+//! Property-based tests for the scoring optimizations: σ memoization and
+//! top-k upper-bound pruning must be invisible in the ranking — the
+//! optimized search returns bit-identical results to the exhaustive
+//! sequential path on randomized tiny lakes — and the cache counters must
+//! account for every σ lookup.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use thetis_core::search::score_candidates;
+use thetis_core::{
+    CachedSimilarity, CountingSimilarity, EmbeddingCosine, Informativeness, Query, RowAgg,
+    SearchOptions, SimilarityCache, ThetisEngine, TypeJaccard,
+};
+use thetis_datalake::{CellValue, DataLake, Table, TableId};
+use thetis_embedding::EmbeddingStore;
+use thetis_kg::{EntityId, KgBuilder, KnowledgeGraph};
+
+/// A randomized tiny semantic data lake plus a query over it.
+struct Scenario {
+    graph: KnowledgeGraph,
+    lake: DataLake,
+    store: EmbeddingStore,
+    query: Query,
+}
+
+fn build_scenario(seed: u64, n_entities: usize, n_tables: usize) -> Scenario {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = KgBuilder::new();
+    let root = b.add_type("Thing", None);
+    let n_types = rng.random_range(2usize..5);
+    let types: Vec<_> = (0..n_types)
+        .map(|i| b.add_type(&format!("T{i}"), Some(root)))
+        .collect();
+    let entities: Vec<EntityId> = (0..n_entities)
+        .map(|i| {
+            let t = types[rng.random_range(0..types.len())];
+            b.add_entity(&format!("e{i}"), vec![t])
+        })
+        .collect();
+    let graph = b.freeze();
+
+    let tables: Vec<Table> = (0..n_tables)
+        .map(|ti| {
+            let n_cols = rng.random_range(1usize..3);
+            let cols = (0..n_cols).map(|c| format!("c{c}")).collect();
+            let mut t = Table::new(format!("t{ti}"), cols);
+            for _ in 0..rng.random_range(1usize..5) {
+                let row = (0..n_cols)
+                    .map(|_| {
+                        if rng.random_bool(0.8) {
+                            CellValue::LinkedEntity {
+                                mention: "m".into(),
+                                entity: entities[rng.random_range(0..entities.len())],
+                            }
+                        } else {
+                            CellValue::Text("plain".into())
+                        }
+                    })
+                    .collect();
+                t.push_row(row);
+            }
+            t
+        })
+        .collect();
+    let lake = DataLake::from_tables(tables);
+
+    let dim = 4usize;
+    let raw: Vec<f32> = (0..n_entities * dim)
+        .map(|_| rng.random_range(-1.0f32..1.0))
+        .collect();
+    let store = EmbeddingStore::from_raw(raw, dim);
+
+    let tuples = (0..rng.random_range(1usize..3))
+        .map(|_| {
+            (0..rng.random_range(1usize..3))
+                .map(|_| entities[rng.random_range(0..entities.len())])
+                .collect()
+        })
+        .collect();
+    let query = Query::new(tuples);
+
+    Scenario {
+        graph,
+        lake,
+        store,
+        query,
+    }
+}
+
+fn assert_optimized_matches_exhaustive(
+    s: &Scenario,
+    engine: &ThetisEngine<'_, impl thetis_core::EntitySimilarity>,
+    k: usize,
+) -> Result<(), TestCaseError> {
+    for agg in [RowAgg::Max, RowAgg::Avg] {
+        let fast = engine.search(
+            &s.query,
+            SearchOptions {
+                agg,
+                ..SearchOptions::top(k)
+            },
+        );
+        let slow = engine.search(
+            &s.query,
+            SearchOptions {
+                agg,
+                threads: 1,
+                ..SearchOptions::exhaustive(k)
+            },
+        );
+        prop_assert_eq!(
+            &fast.ranked,
+            &slow.ranked,
+            "optimized ranking diverged for k = {}, agg = {:?}",
+            k,
+            agg
+        );
+        prop_assert!(
+            fast.stats.tables_scored + fast.stats.tables_pruned() <= slow.stats.tables_scored,
+            "pruned path touched more tables than the exhaustive one"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Memoized + pruned search is bit-identical to the exhaustive
+    /// sequential path under the type-Jaccard σ, for both row aggregations.
+    #[test]
+    fn optimized_search_is_ranking_identical_types(
+        seed in any::<u64>(),
+        n_entities in 4usize..16,
+        n_tables in 2usize..10,
+        k in 1usize..8,
+    ) {
+        let s = build_scenario(seed, n_entities, n_tables);
+        let engine = ThetisEngine::new(&s.graph, &s.lake, TypeJaccard::new(&s.graph));
+        assert_optimized_matches_exhaustive(&s, &engine, k)?;
+    }
+
+    /// The same invariance under the embedding-cosine σ.
+    #[test]
+    fn optimized_search_is_ranking_identical_embeddings(
+        seed in any::<u64>(),
+        n_entities in 4usize..16,
+        n_tables in 2usize..10,
+        k in 1usize..8,
+    ) {
+        let s = build_scenario(seed, n_entities, n_tables);
+        let engine = ThetisEngine::new(&s.graph, &s.lake, EmbeddingCosine::new(&s.store));
+        assert_optimized_matches_exhaustive(&s, &engine, k)?;
+    }
+
+    /// The invariance holds through the multi-threaded pruning path (the
+    /// shared floor only ever tightens, so thread timing cannot change the
+    /// ranking — only how many tables get pruned).
+    #[test]
+    fn parallel_pruned_search_is_ranking_identical(
+        seed in any::<u64>(),
+        k in 1usize..6,
+        threads in 2usize..5,
+    ) {
+        // 80 tables crosses the sequential fallback threshold (64).
+        let s = build_scenario(seed, 12, 80);
+        let engine = ThetisEngine::new(&s.graph, &s.lake, TypeJaccard::new(&s.graph));
+        let fast = engine.search(
+            &s.query,
+            SearchOptions { threads, ..SearchOptions::top(k) },
+        );
+        let slow = engine.search(
+            &s.query,
+            SearchOptions { threads: 1, ..SearchOptions::exhaustive(k) },
+        );
+        prop_assert_eq!(&fast.ranked, &slow.ranked);
+    }
+
+    /// Every σ lookup is either computed or served from the memo:
+    /// `computed + served` equals the number of lookups, exactly.
+    #[test]
+    fn sigma_counters_account_for_every_lookup(
+        seed in any::<u64>(),
+        n_entities in 4usize..16,
+        n_tables in 2usize..10,
+        threads in 1usize..4,
+    ) {
+        let s = build_scenario(seed, n_entities, n_tables);
+        let sim = TypeJaccard::new(&s.graph);
+        let cache = SimilarityCache::new();
+        let cached = CachedSimilarity::new(&sim, &cache);
+        // The outer counter sees every lookup that reaches the cache.
+        let lookups = CountingSimilarity::new(&cached);
+        let inform = Informativeness::from_lake(&s.lake);
+        let candidates: Vec<TableId> = (0..s.lake.len() as u32).map(TableId).collect();
+        score_candidates(
+            &s.query,
+            &s.lake,
+            &candidates,
+            &lookups,
+            &inform,
+            RowAgg::Max,
+            threads,
+        );
+        let stats = cache.stats();
+        prop_assert_eq!(stats.computed + stats.served, lookups.computed());
+        // Racing workers may compute a pair twice, but never store it twice.
+        prop_assert!(stats.computed >= cache.len() as u64);
+    }
+
+    /// A second identical search against a shared cache computes nothing:
+    /// hit rate 1.0, same ranking.
+    #[test]
+    fn repeated_search_is_fully_cached(
+        seed in any::<u64>(),
+        n_entities in 4usize..16,
+        n_tables in 2usize..10,
+        k in 1usize..8,
+    ) {
+        let s = build_scenario(seed, n_entities, n_tables);
+        let engine = ThetisEngine::new(&s.graph, &s.lake, TypeJaccard::new(&s.graph));
+        let cache = SimilarityCache::new();
+        // Disable pruning so both passes perform the same lookups.
+        let options = SearchOptions { prune: false, ..SearchOptions::top(k) };
+        let first = engine.search_with_cache(&s.query, options, &cache);
+        let second = engine.search_with_cache(&s.query, options, &cache);
+        prop_assert_eq!(&first.ranked, &second.ranked);
+        prop_assert_eq!(second.stats.sigma_computed(), 0);
+        if second.stats.sigma_cached() > 0 {
+            prop_assert_eq!(second.stats.sigma_hit_rate(), 1.0);
+        }
+        prop_assert_eq!(
+            first.stats.sigma_computed() + first.stats.sigma_cached(),
+            second.stats.sigma_cached()
+        );
+    }
+}

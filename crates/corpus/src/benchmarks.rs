@@ -204,8 +204,12 @@ impl Benchmark {
             _ => (DataLake::from_tables(tables), meta),
         };
 
-        let (queries1, queries5) =
-            generate_query_pairs(&kg, config.n_queries, config.query_width, config.seed ^ 0x17);
+        let (queries1, queries5) = generate_query_pairs(
+            &kg,
+            config.n_queries,
+            config.query_width,
+            config.seed ^ 0x17,
+        );
         let gt1 = GroundTruth::compute(&kg, &lake, &meta, &queries1);
         let gt5 = GroundTruth::compute(&kg, &lake, &meta, &queries5);
 
@@ -231,9 +235,20 @@ mod tests {
     fn tiny_wt2015_has_expected_shape() {
         let b = Benchmark::build(&BenchmarkConfig::tiny(BenchmarkKind::Wt2015));
         let stats = LakeStats::compute(&b.lake);
-        assert_eq!(stats.tables, BenchmarkConfig::tiny(BenchmarkKind::Wt2015).tables());
-        assert!((stats.mean_rows - 35.0).abs() < 8.0, "rows {}", stats.mean_rows);
-        assert!((stats.mean_cols - 5.8).abs() < 0.8, "cols {}", stats.mean_cols);
+        assert_eq!(
+            stats.tables,
+            BenchmarkConfig::tiny(BenchmarkKind::Wt2015).tables()
+        );
+        assert!(
+            (stats.mean_rows - 35.0).abs() < 8.0,
+            "rows {}",
+            stats.mean_rows
+        );
+        assert!(
+            (stats.mean_cols - 5.8).abs() < 0.8,
+            "cols {}",
+            stats.mean_cols
+        );
         assert!(
             (stats.mean_coverage - 0.277).abs() < 0.08,
             "coverage {}",

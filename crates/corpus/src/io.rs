@@ -87,7 +87,13 @@ pub fn export(
         let safe: String = table
             .name
             .chars()
-            .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+            .map(|c| {
+                if c.is_alphanumeric() || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         let path = dir.join("tables").join(format!("{i:06}_{safe}.csv"));
         let file = fs::File::create(path)?;
@@ -154,12 +160,12 @@ pub fn import(dir: &Path) -> Result<ImportedCorpus, CorpusIoError> {
         if line.is_empty() {
             continue;
         }
-        let (id_str, tuples_str) =
-            line.split_once('\t')
-                .ok_or_else(|| CorpusIoError::Queries {
-                    line: lineno + 1,
-                    reason: "expected '<id>\\t<tuples>'".into(),
-                })?;
+        let (id_str, tuples_str) = line
+            .split_once('\t')
+            .ok_or_else(|| CorpusIoError::Queries {
+                line: lineno + 1,
+                reason: "expected '<id>\\t<tuples>'".into(),
+            })?;
         let id: usize = id_str.parse().map_err(|_| CorpusIoError::Queries {
             line: lineno + 1,
             reason: format!("bad query id {id_str:?}"),
@@ -255,6 +261,9 @@ mod tests {
         export(&dir, &bench.kg.graph, &bench.lake, &bench.queries1).unwrap();
         fs::write(dir.join("queries.tsv"), "not a valid line\n").unwrap();
         let err = import(&dir).unwrap_err();
-        assert!(matches!(err, CorpusIoError::Queries { line: 1, .. }), "{err}");
+        assert!(
+            matches!(err, CorpusIoError::Queries { line: 1, .. }),
+            "{err}"
+        );
     }
 }

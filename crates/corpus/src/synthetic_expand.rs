@@ -45,10 +45,8 @@ pub fn meta_from_content(table: &Table, kg: &SyntheticKg, fallback: TopicId) -> 
     for &t in &row_topics {
         *counts.entry(t).or_insert(0) += 1;
     }
-    let mut topic_fractions: Vec<(TopicId, f64)> = counts
-        .into_iter()
-        .map(|(t, c)| (t, c as f64 / n))
-        .collect();
+    let mut topic_fractions: Vec<(TopicId, f64)> =
+        counts.into_iter().map(|(t, c)| (t, c as f64 / n)).collect();
     topic_fractions.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     TableMeta {
         primary_topic: topic_fractions[0].0,

@@ -201,7 +201,10 @@ mod tests {
             ..TableGenConfig::default()
         };
         let mut rng = SmallRng::seed_from_u64(1);
-        let cfg = TableGenConfig { schema_diversity: 0.0, ..cfg };
+        let cfg = TableGenConfig {
+            schema_diversity: 0.0,
+            ..cfg
+        };
         let (t, _) = generate_table(&kg, TopicId(0), "t", &cfg, &mut rng);
         assert_eq!(t.n_cols(), 5);
         assert!(t.n_rows() >= 10 && t.n_rows() <= 30);
@@ -222,7 +225,10 @@ mod tests {
             covs.push(t.link_coverage());
         }
         let mean: f64 = covs.iter().sum::<f64>() / covs.len() as f64;
-        assert!((mean - 0.3).abs() < 0.05, "mean coverage {mean} far from 0.3");
+        assert!(
+            (mean - 0.3).abs() < 0.05,
+            "mean coverage {mean} far from 0.3"
+        );
         // The spread knob produces genuinely heterogeneous tables.
         let min = covs.iter().cloned().fold(f64::MAX, f64::min);
         let max = covs.iter().cloned().fold(0.0f64, f64::max);

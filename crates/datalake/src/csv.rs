@@ -37,10 +37,7 @@ impl fmt::Display for CsvError {
                 record,
                 found,
                 expected,
-            } => write!(
-                f,
-                "record {record} has {found} fields, expected {expected}"
-            ),
+            } => write!(f, "record {record} has {found} fields, expected {expected}"),
             CsvError::Empty => write!(f, "input has no header record"),
         }
     }

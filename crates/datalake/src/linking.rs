@@ -190,10 +190,7 @@ impl EntityLinker for TokenLinker {
             // prefer more matched tokens, then shorter labels, then lower id
             .max_by(|&(ea, va), &(eb, vb)| {
                 va.cmp(&vb)
-                    .then(
-                        self.label_len[eb.index()]
-                            .cmp(&self.label_len[ea.index()]),
-                    )
+                    .then(self.label_len[eb.index()].cmp(&self.label_len[ea.index()]))
                     .then(eb.0.cmp(&ea.0))
             })
             .map(|(e, _)| e)

@@ -104,6 +104,9 @@ mod tests {
             mean_cols: 5.8,
             mean_coverage: 0.277,
         };
-        assert_eq!(s.to_string(), "10 tables, 35.1 rows, 5.8 cols, 27.7% coverage");
+        assert_eq!(
+            s.to_string(),
+            "10 tables, 35.1 rows, 5.8 cols, 27.7% coverage"
+        );
     }
 }

@@ -28,7 +28,10 @@ impl AtomicMatrix {
     /// Creates a matrix from initial values.
     pub fn from_values(values: Vec<f32>) -> Self {
         Self {
-            cells: values.into_iter().map(|v| AtomicU32::new(v.to_bits())).collect(),
+            cells: values
+                .into_iter()
+                .map(|v| AtomicU32::new(v.to_bits()))
+                .collect(),
         }
     }
 
@@ -100,8 +103,7 @@ pub fn train_parallel(
             scope.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(config.seed ^ (tid as u64 + 1) << 17);
                 let total_tokens: usize = slice.iter().map(Vec::len).sum();
-                let total_pairs =
-                    (total_tokens * config.window * 2 * config.epochs).max(1);
+                let total_pairs = (total_tokens * config.window * 2 * config.epochs).max(1);
                 let mut processed = 0usize;
                 let mut grad = vec![0.0f32; dim];
                 for _epoch in 0..config.epochs {
@@ -110,24 +112,20 @@ pub fn train_parallel(
                             let radius = rng.random_range(1..=config.window);
                             let lo = i.saturating_sub(radius);
                             let hi = (i + radius + 1).min(walk.len());
-                            for (j, &context) in
-                                walk.iter().enumerate().take(hi).skip(lo)
-                            {
+                            for (j, &context) in walk.iter().enumerate().take(hi).skip(lo) {
                                 if j == i {
                                     continue;
                                 }
                                 processed += 1;
                                 let lr = config.learning_rate
-                                    * (1.0 - processed as f32 / total_pairs as f32)
-                                        .max(1e-4);
+                                    * (1.0 - processed as f32 / total_pairs as f32).max(1e-4);
                                 grad.iter_mut().for_each(|g| *g = 0.0);
                                 let c_off = center.index() * dim;
                                 for k in 0..=config.negatives {
                                     let (target, label) = if k == 0 {
                                         (context.index(), 1.0f32)
                                     } else {
-                                        let t = neg_table
-                                            [rng.random_range(0..neg_table.len())]
+                                        let t = neg_table[rng.random_range(0..neg_table.len())]
                                             as usize;
                                         if t == context.index() {
                                             continue;
@@ -137,8 +135,7 @@ pub fn train_parallel(
                                     let t_off = target * dim;
                                     let mut dot = 0.0f32;
                                     for d in 0..dim {
-                                        dot += centers.get(c_off + d)
-                                            * contexts.get(t_off + d);
+                                        dot += centers.get(c_off + d) * contexts.get(t_off + d);
                                     }
                                     let g = (label - crate::sgns::sigmoid(dot)) * lr;
                                     for (d, gd) in grad.iter_mut().enumerate() {

@@ -21,8 +21,8 @@ pub mod sgns;
 pub mod store;
 pub mod walks;
 
+pub use hogwild::train_parallel;
 pub use rdf2vec::{Rdf2Vec, Rdf2VecConfig};
 pub use sgns::SgnsConfig;
 pub use store::EmbeddingStore;
-pub use hogwild::train_parallel;
 pub use walks::{generate_walks, WalkConfig};

@@ -137,8 +137,7 @@ pub fn train(walks: &[Vec<EntityId>], n_entities: usize, config: &SgnsConfig) ->
     }
     let mut contexts = vec![0.0f32; n_entities * dim];
 
-    let total_pairs_estimate =
-        (total_tokens as usize * config.window * 2 * config.epochs).max(1);
+    let total_pairs_estimate = (total_tokens as usize * config.window * 2 * config.epochs).max(1);
     let mut processed = 0usize;
     let mut grad = vec![0.0f32; dim];
 
@@ -155,8 +154,7 @@ pub fn train(walks: &[Vec<EntityId>], n_entities: usize, config: &SgnsConfig) ->
                     }
                     processed += 1;
                     let lr = config.learning_rate
-                        * (1.0 - processed as f32 / total_pairs_estimate as f32)
-                            .max(1e-4);
+                        * (1.0 - processed as f32 / total_pairs_estimate as f32).max(1e-4);
                     grad.iter_mut().for_each(|g| *g = 0.0);
                     let c_off = center.index() * dim;
 
@@ -241,8 +239,7 @@ mod tests {
     fn negative_table_tracks_frequencies() {
         let counts = vec![100, 1, 1, 1];
         let table = negative_table(&counts);
-        let zero_frac =
-            table.iter().filter(|&&w| w == 0).count() as f64 / table.len() as f64;
+        let zero_frac = table.iter().filter(|&&w| w == 0).count() as f64 / table.len() as f64;
         // 100^.75 / (100^.75 + 3) ≈ 0.913
         assert!(zero_frac > 0.85 && zero_frac < 0.95, "got {zero_frac}");
     }

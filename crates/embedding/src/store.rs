@@ -186,7 +186,8 @@ mod tests {
 
     #[test]
     fn bad_magic_is_rejected() {
-        let err = EmbeddingStore::from_bytes(Bytes::from_static(b"XXXX\0\0\0\0\0\0\0\0")).unwrap_err();
+        let err =
+            EmbeddingStore::from_bytes(Bytes::from_static(b"XXXX\0\0\0\0\0\0\0\0")).unwrap_err();
         assert!(err.contains("bad magic"));
     }
 

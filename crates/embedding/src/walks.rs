@@ -65,7 +65,9 @@ mod tests {
     fn chain_graph(n: usize) -> KnowledgeGraph {
         let mut b = KgBuilder::new();
         let t = b.add_type("T", None);
-        let ids: Vec<_> = (0..n).map(|i| b.add_entity(&format!("e{i}"), vec![t])).collect();
+        let ids: Vec<_> = (0..n)
+            .map(|i| b.add_entity(&format!("e{i}"), vec![t]))
+            .collect();
         let p = b.add_predicate("next");
         for w in ids.windows(2) {
             b.add_edge(w[0], p, w[1]);

@@ -15,11 +15,12 @@ pub fn merge_top_half(a: &[TableId], b: &[TableId], k: usize) -> Vec<TableId> {
     let half = k / 2;
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::with_capacity(k);
-    let push = |t: TableId, out: &mut Vec<TableId>, seen: &mut std::collections::HashSet<TableId>| {
-        if out.len() < k && seen.insert(t) {
-            out.push(t);
-        }
-    };
+    let push =
+        |t: TableId, out: &mut Vec<TableId>, seen: &mut std::collections::HashSet<TableId>| {
+            if out.len() < k && seen.insert(t) {
+                out.push(t);
+            }
+        };
     for i in 0..half {
         if let Some(&t) = a.get(i) {
             push(t, &mut out, &mut seen);

@@ -1,7 +1,7 @@
 //! Ranking metrics.
 
-use thetis_datalake::TableId;
 use thetis_corpus::GroundTruth;
+use thetis_datalake::TableId;
 
 /// NDCG@k of a retrieved ranking against graded gains.
 ///
@@ -41,7 +41,10 @@ pub fn recall_at_k(gt: &GroundTruth, q: usize, retrieved: &[TableId], k: usize) 
     }
     let retrieved_set: std::collections::HashSet<TableId> =
         retrieved.iter().take(k).copied().collect();
-    let hits = relevant.iter().filter(|t| retrieved_set.contains(t)).count();
+    let hits = relevant
+        .iter()
+        .filter(|t| retrieved_set.contains(t))
+        .count();
     hits as f64 / relevant.len() as f64
 }
 

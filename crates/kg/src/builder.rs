@@ -97,8 +97,14 @@ impl KgBuilder {
     /// # Panics
     /// Panics if either endpoint or the predicate has not been added.
     pub fn add_edge(&mut self, source: EntityId, predicate: PredicateId, target: EntityId) {
-        assert!(source.index() < self.entities.len(), "unknown source entity");
-        assert!(target.index() < self.entities.len(), "unknown target entity");
+        assert!(
+            source.index() < self.entities.len(),
+            "unknown source entity"
+        );
+        assert!(
+            target.index() < self.entities.len(),
+            "unknown target entity"
+        );
         assert!(
             predicate.index() < self.predicates.len(),
             "unknown predicate"
@@ -192,7 +198,9 @@ mod tests {
     fn freeze_groups_edges_by_source() {
         let mut b = KgBuilder::new();
         let t = b.add_type("T", None);
-        let ids: Vec<_> = (0..5).map(|i| b.add_entity(&format!("e{i}"), vec![t])).collect();
+        let ids: Vec<_> = (0..5)
+            .map(|i| b.add_entity(&format!("e{i}"), vec![t]))
+            .collect();
         let p = b.add_predicate("p");
         // interleaved insertion order
         b.add_edge(ids[2], p, ids[0]);

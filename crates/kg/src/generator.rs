@@ -27,9 +27,9 @@ use crate::ids::{EntityId, TypeId};
 
 /// Syllable inventory for opaque entity names.
 const SYLLABLES: [&str; 40] = [
-    "ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du", "ka", "ke", "ki", "ko", "ku",
-    "ma", "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu", "ra", "re", "ri", "ro", "ru",
-    "sa", "se", "si", "so", "su", "ta", "te", "ti", "to", "tu",
+    "ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du", "ka", "ke", "ki", "ko", "ku", "ma",
+    "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu", "ra", "re", "ri", "ro", "ru", "sa", "se",
+    "si", "so", "su", "ta", "te", "ti", "to", "tu",
 ];
 
 /// A unique, opaque, pronounceable name for entity counter `n`.
@@ -207,8 +207,7 @@ impl SyntheticKg {
                             // is shared across topics for realistic keyword
                             // ambiguity.
                             let family = &families[rng.random_range(0..families.len())];
-                            let name =
-                                format!("{} {family}", opaque_name(b.entity_count()));
+                            let name = format!("{} {family}", opaque_name(b.entity_count()));
                             b.add_entity(&name, vec![fine, facet])
                         })
                         .collect();
@@ -322,10 +321,7 @@ mod tests {
     fn entity_counts_match_config() {
         let cfg = KgGeneratorConfig::default();
         let kg = SyntheticKg::generate(&cfg);
-        assert_eq!(
-            kg.graph.entity_count(),
-            cfg.topic_entity_count() + cfg.hubs
-        );
+        assert_eq!(kg.graph.entity_count(), cfg.topic_entity_count() + cfg.hubs);
         assert_eq!(kg.topics.len(), cfg.domains * cfg.topics_per_domain);
     }
 
@@ -338,10 +334,8 @@ mod tests {
         let a = t0.entities_by_kind[0][0];
         let b = t0.entities_by_kind[0][1];
         let c = t_far.entities_by_kind[0][0];
-        let sim_same =
-            crate::entity::type_jaccard(kg.graph.types_of(a), kg.graph.types_of(b));
-        let sim_cross =
-            crate::entity::type_jaccard(kg.graph.types_of(a), kg.graph.types_of(c));
+        let sim_same = crate::entity::type_jaccard(kg.graph.types_of(a), kg.graph.types_of(b));
+        let sim_cross = crate::entity::type_jaccard(kg.graph.types_of(a), kg.graph.types_of(c));
         assert!(
             sim_same > sim_cross,
             "same-topic {sim_same} should exceed cross-domain {sim_cross}"

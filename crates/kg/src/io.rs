@@ -93,16 +93,17 @@ pub fn read_tsv<R: BufRead>(r: R) -> Result<KnowledgeGraph, KgIoError> {
         let fields: Vec<&str> = line.split('\t').collect();
         match fields.as_slice() {
             ["type", label, parent] => {
-                let parent_id: Option<TypeId> = if *parent == "-" {
-                    None
-                } else {
-                    Some(b.taxonomy().by_label(parent).ok_or_else(|| {
-                        KgIoError::Unresolved {
-                            line: lineno,
-                            name: parent.to_string(),
-                        }
-                    })?)
-                };
+                let parent_id: Option<TypeId> =
+                    if *parent == "-" {
+                        None
+                    } else {
+                        Some(b.taxonomy().by_label(parent).ok_or_else(|| {
+                            KgIoError::Unresolved {
+                                line: lineno,
+                                name: parent.to_string(),
+                            }
+                        })?)
+                    };
                 b.add_type(label, parent_id);
             }
             ["entity", label, types] => {
@@ -122,14 +123,18 @@ pub fn read_tsv<R: BufRead>(r: R) -> Result<KnowledgeGraph, KgIoError> {
             ["edge", src, pred, dst] => {
                 // Entities must pre-exist; we do not auto-create them so that
                 // typos in dumps surface as errors rather than ghost nodes.
-                let src_id = b.entity_id_by_label(src).ok_or_else(|| KgIoError::Unresolved {
-                    line: lineno,
-                    name: src.to_string(),
-                })?;
-                let dst_id = b.entity_id_by_label(dst).ok_or_else(|| KgIoError::Unresolved {
-                    line: lineno,
-                    name: dst.to_string(),
-                })?;
+                let src_id = b
+                    .entity_id_by_label(src)
+                    .ok_or_else(|| KgIoError::Unresolved {
+                        line: lineno,
+                        name: src.to_string(),
+                    })?;
+                let dst_id = b
+                    .entity_id_by_label(dst)
+                    .ok_or_else(|| KgIoError::Unresolved {
+                        line: lineno,
+                        name: dst.to_string(),
+                    })?;
                 let p = b.add_predicate(pred);
                 b.add_edge(src_id, p, dst_id);
             }
@@ -185,14 +190,20 @@ mod tests {
     fn unresolved_type_is_reported() {
         let input = "entity\tX\tNoSuchType\n";
         let err = read_tsv(input.as_bytes()).unwrap_err();
-        assert!(matches!(err, KgIoError::Unresolved { line: 1, .. }), "{err}");
+        assert!(
+            matches!(err, KgIoError::Unresolved { line: 1, .. }),
+            "{err}"
+        );
     }
 
     #[test]
     fn unresolved_edge_endpoint_is_reported() {
         let input = "type\tT\t-\nentity\tA\tT\nedge\tA\tp\tB\n";
         let err = read_tsv(input.as_bytes()).unwrap_err();
-        assert!(matches!(err, KgIoError::Unresolved { line: 3, .. }), "{err}");
+        assert!(
+            matches!(err, KgIoError::Unresolved { line: 3, .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -126,8 +126,9 @@ mod tests {
     fn chain() -> (KnowledgeGraph, Vec<EntityId>) {
         let mut b = KgBuilder::new();
         let t = b.add_type("T", None);
-        let ids: Vec<EntityId> =
-            (0..5).map(|i| b.add_entity(&format!("e{i}"), vec![t])).collect();
+        let ids: Vec<EntityId> = (0..5)
+            .map(|i| b.add_entity(&format!("e{i}"), vec![t]))
+            .collect();
         let p = b.add_predicate("p");
         b.add_edge(ids[0], p, ids[1]);
         b.add_edge(ids[1], p, ids[2]);

@@ -110,7 +110,10 @@ mod tests {
         let a = [1.0, 0.0];
         let b = [0.0, 1.0];
         let agree = h.sign(&a).matching_bits(&h.sign(&b)) as f64 / 4096.0;
-        assert!((agree - 0.5).abs() < 0.05, "orthogonal agreement {agree:.3}");
+        assert!(
+            (agree - 0.5).abs() < 0.05,
+            "orthogonal agreement {agree:.3}"
+        );
 
         // 45° vectors: agreement 1 − 0.25 = 0.75.
         let c = [1.0, 1.0];

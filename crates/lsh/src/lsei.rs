@@ -48,7 +48,12 @@ pub struct TypeSigner<'a> {
 
 impl<'a> TypeSigner<'a> {
     /// Creates a signer with `config.num_vectors` permutations.
-    pub fn new(graph: &'a KnowledgeGraph, filter: TypeFilter, config: LshConfig, seed: u64) -> Self {
+    pub fn new(
+        graph: &'a KnowledgeGraph,
+        filter: TypeFilter,
+        config: LshConfig,
+        seed: u64,
+    ) -> Self {
         Self {
             graph,
             filter,
@@ -205,7 +210,6 @@ impl<S> Lsei<S> {
             n_tables,
         }
     }
-
 }
 
 impl<S: EntitySigner> Lsei<S> {

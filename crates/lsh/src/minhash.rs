@@ -105,7 +105,10 @@ mod tests {
         let b: Vec<u64> = (1000..1050).collect();
         let h = MinHasher::new(2048, 3);
         let agree = h.sign(&a).matching_bits(&h.sign(&b)) as f64 / 2048.0;
-        assert!((agree - 0.5).abs() < 0.05, "agreement {agree:.3} should be ~0.5");
+        assert!(
+            (agree - 0.5).abs() < 0.05,
+            "agreement {agree:.3} should be ~0.5"
+        );
     }
 
     #[test]

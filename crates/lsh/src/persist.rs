@@ -161,8 +161,9 @@ mod tests {
         let mut b = KgBuilder::new();
         let thing = b.add_type("Thing", None);
         let p = b.add_type("Player", Some(thing));
-        let players: Vec<EntityId> =
-            (0..8).map(|i| b.add_entity(&format!("p{i}"), vec![p])).collect();
+        let players: Vec<EntityId> = (0..8)
+            .map(|i| b.add_entity(&format!("p{i}"), vec![p]))
+            .collect();
         let g = b.freeze();
         let mk = |es: &[EntityId]| {
             let mut t = Table::new("t", vec!["c".into()]);
@@ -238,6 +239,9 @@ mod tests {
             Err(e) => e,
             Ok(_) => panic!("truncated dump accepted"),
         };
-        assert!(err.contains("truncated") || err.contains("trailing"), "{err}");
+        assert!(
+            err.contains("truncated") || err.contains("trailing"),
+            "{err}"
+        );
     }
 }

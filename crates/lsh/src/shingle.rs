@@ -30,7 +30,10 @@ impl TypeFilter {
     /// fraction of tables containing at least one entity with that type
     /// exceeds `threshold` (the paper uses `0.5`).
     pub fn from_lake(lake: &DataLake, graph: &KnowledgeGraph, threshold: f64) -> Self {
-        assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be in [0,1]"
+        );
         let n_tables = lake.len();
         if n_tables == 0 {
             return Self::none();

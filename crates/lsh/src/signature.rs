@@ -60,7 +60,10 @@ impl Signature {
     /// # Panics
     /// Panics if the range exceeds the signature or `width > 32`.
     pub fn extract(&self, start: usize, width: usize) -> u64 {
-        assert!(width <= 32 && start + width <= self.len, "band out of range");
+        assert!(
+            width <= 32 && start + width <= self.len,
+            "band out of range"
+        );
         let mut out = 0u64;
         for i in 0..width {
             if self.get(start + i) {

@@ -2,13 +2,13 @@
 //! make prefiltering sound.
 
 use proptest::prelude::*;
+use thetis_kg::TypeId;
 use thetis_lsh::bands::band_keys;
 use thetis_lsh::hyperplane::RandomHyperplanes;
 use thetis_lsh::index::LshIndex;
 use thetis_lsh::minhash::MinHasher;
 use thetis_lsh::shingle::{type_pair_shingles, TypeFilter};
 use thetis_lsh::{LshConfig, Signature};
-use thetis_kg::TypeId;
 
 proptest! {
     /// Identical inputs always produce identical signatures, and identical

@@ -117,7 +117,9 @@ fn parse_args() -> Result<Args, String> {
         return Err(format!("--query is required\n{USAGE}"));
     }
     if !args.demo && (args.kg.is_none() || args.tables.is_none()) {
-        return Err(format!("--kg and --tables are required (or --demo)\n{USAGE}"));
+        return Err(format!(
+            "--kg and --tables are required (or --demo)\n{USAGE}"
+        ));
     }
     Ok(args)
 }
@@ -233,9 +235,7 @@ fn run() -> Result<(), String> {
     let sim: Box<dyn EntitySimilarity + '_> = match args.sim.as_str() {
         "types" => Box::new(TypeJaccard::new(&graph)),
         "predicates" => Box::new(PredicateJaccard::new(&graph)),
-        "embeddings" => Box::new(EmbeddingCosine::new(
-            store.as_ref().expect("trained above"),
-        )),
+        "embeddings" => Box::new(EmbeddingCosine::new(store.as_ref().expect("trained above"))),
         other => {
             return Err(format!(
                 "unknown similarity {other:?} (types|predicates|embeddings)"

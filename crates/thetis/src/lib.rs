@@ -57,10 +57,10 @@ pub mod prelude {
     };
     pub use thetis_core::{
         EmbeddingCosine, EntitySimilarity, Informativeness, PredicateJaccard, Query, RowAgg,
-        SearchOptions, SearchResult, ThetisEngine, TypeJaccard,
+        SearchOptions, SearchResult, SearchStats, SimilarityCache, ThetisEngine, TypeJaccard,
     };
     pub use thetis_corpus::{
-        Benchmark, BenchmarkConfig, BenchmarkKind, BenchQuery, GroundTruth, TableGenConfig,
+        BenchQuery, Benchmark, BenchmarkConfig, BenchmarkKind, GroundTruth, TableGenConfig,
     };
     pub use thetis_datalake::{
         CellValue, DataLake, EntityLinker, ExactLabelLinker, LakeStats, NoisyLinker, Table,

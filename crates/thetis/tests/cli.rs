@@ -48,7 +48,11 @@ fn demo_mode_searches_end_to_end() {
         .args(["--demo", "--query", &suggested, "--k", "3", "--lsh"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("SemRel"), "{stdout}");
     // Three results requested; header + 3 lines.
@@ -95,7 +99,11 @@ fn searches_real_kg_and_csv_directory() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     let first_result = stdout.lines().nth(1).unwrap_or_default();
     assert!(

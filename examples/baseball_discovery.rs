@@ -28,10 +28,15 @@ fn main() {
     let vb_team = kg.add_type("VolleyballTeam", Some(org));
     let city = kg.add_type("City", Some(thing));
 
-    let bb_players: Vec<EntityId> = ["Ron Santo", "Mitch Stetter", "Micah Hoffpauir", "Tony Giarratano"]
-        .iter()
-        .map(|n| kg.add_entity(n, vec![bb_player]))
-        .collect();
+    let bb_players: Vec<EntityId> = [
+        "Ron Santo",
+        "Mitch Stetter",
+        "Micah Hoffpauir",
+        "Tony Giarratano",
+    ]
+    .iter()
+    .map(|n| kg.add_entity(n, vec![bb_player]))
+    .collect();
     let bb_teams: Vec<EntityId> = ["Chicago Cubs", "Milwaukee Brewers", "Detroit Tigers"]
         .iter()
         .map(|n| kg.add_entity(n, vec![bb_team]))
@@ -55,7 +60,10 @@ fn main() {
     t_roster.push_row(vec![cell(&graph, bb_players[0]), cell(&graph, bb_teams[0])]);
     t_roster.push_row(vec![cell(&graph, bb_players[2]), cell(&graph, bb_teams[0])]);
 
-    let mut t_transfers = Table::new("bb_transfers", vec!["Player".into(), "From".into(), "To".into()]);
+    let mut t_transfers = Table::new(
+        "bb_transfers",
+        vec!["Player".into(), "From".into(), "To".into()],
+    );
     t_transfers.push_row(vec![
         cell(&graph, bb_players[1]),
         cell(&graph, bb_teams[1]),

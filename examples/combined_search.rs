@@ -56,8 +56,7 @@ fn main() {
             .iter()
             .zip(&bm25_report.per_query)
             .map(|(a, b)| {
-                thetis::eval::metrics::result_set_difference(&a.retrieved, &b.retrieved, 100)
-                    as f64
+                thetis::eval::metrics::result_set_difference(&a.retrieved, &b.retrieved, 100) as f64
             })
             .collect::<Vec<_>>(),
     );

@@ -34,9 +34,7 @@ fn main() {
             &report
                 .per_query
                 .iter()
-                .map(|p| {
-                    thetis::eval::metrics::recall_at_k(&bench.gt1, p.query, &p.retrieved, 50)
-                })
+                .map(|p| thetis::eval::metrics::recall_at_k(&bench.gt1, p.query, &p.retrieved, 50))
                 .collect::<Vec<_>>(),
         );
         println!(

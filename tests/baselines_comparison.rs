@@ -164,8 +164,7 @@ fn semantic_and_keyword_results_differ_and_combine_well() {
             .iter()
             .zip(&bm25.per_query)
             .map(|(a, b)| {
-                thetis::eval::metrics::result_set_difference(&a.retrieved, &b.retrieved, 100)
-                    as f64
+                thetis::eval::metrics::result_set_difference(&a.retrieved, &b.retrieved, 100) as f64
             })
             .collect::<Vec<_>>(),
     );
@@ -208,7 +207,10 @@ fn turl_like_improves_with_whole_table_queries() {
             .position(|m| m.primary_topic == q.topic)
             .map(|i| s.bench.lake.tables()[i].distinct_entities())
             .unwrap_or_default();
-        turl.rank(&topical, 100).into_iter().map(|(t, _)| t).collect()
+        turl.rank(&topical, 100)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect()
     });
     // Our mean-embedding stand-in lacks TURL's context dependence, so the
     // gap is small; we assert whole-table queries are at least comparable

@@ -39,10 +39,7 @@ fn build_world(
 }
 
 fn arb_memberships() -> impl Strategy<Value = Vec<Vec<(u32, u32)>>> {
-    proptest::collection::vec(
-        proptest::collection::vec((0u32..12, 0u32..4), 1..6),
-        2..8,
-    )
+    proptest::collection::vec(proptest::collection::vec((0u32..12, 0u32..4), 1..6), 2..8)
 }
 
 proptest! {

@@ -38,10 +38,7 @@ fn exported_corpus_searches_like_the_original() {
     // rankings may shift; but the imported search must (a) score at least
     // as well at the top and (b) keep the original winner in its top-10.
     for (orig_q, new_q) in bench.queries1.iter().zip(&imported.queries) {
-        let a = orig_engine.search(
-            &Query::new(orig_q.tuples.clone()),
-            SearchOptions::top(1),
-        );
+        let a = orig_engine.search(&Query::new(orig_q.tuples.clone()), SearchOptions::top(1));
         let b = new_engine.search(&Query::new(new_q.tuples.clone()), SearchOptions::top(10));
         assert!(
             b.ranked[0].1 + 1e-9 >= a.ranked[0].1,
@@ -54,7 +51,10 @@ fn exported_corpus_searches_like_the_original() {
             .ranked
             .iter()
             .any(|&(t, _)| imported.lake.table(t).name.contains(name_a.as_str()));
-        assert!(found, "original winner {name_a} missing from imported top-10");
+        assert!(
+            found,
+            "original winner {name_a} missing from imported top-10"
+        );
     }
 }
 
@@ -96,7 +96,9 @@ fn incremental_ingestion_then_relaxed_search() {
     let tuple = bench.queries1[0].tuples[0].clone();
     let mut table = Table::new(
         "fresh",
-        (0..tuple.len()).map(|k| format!("e{k}")).collect::<Vec<_>>(),
+        (0..tuple.len())
+            .map(|k| format!("e{k}"))
+            .collect::<Vec<_>>(),
     );
     table.push_row(
         tuple
@@ -137,7 +139,10 @@ fn incremental_ingestion_then_relaxed_search() {
             max_drops: 2,
         },
     );
-    assert!(relaxed.rounds >= 1, "over-specialized query was not relaxed");
+    assert!(
+        relaxed.rounds >= 1,
+        "over-specialized query was not relaxed"
+    );
     assert!(
         relaxed.result.table_ids().contains(&tid),
         "relaxation failed to recover the exact-match table"

@@ -1,0 +1,246 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The real crate cannot be fetched in this build environment, so this is a
+//! minimal reimplementation of the surface the workspace uses: the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`, integer and
+//! float range strategies, tuple strategies, string strategies from a small
+//! regex subset, [`collection::vec`] / [`collection::btree_set`], and the
+//! `proptest!` / `prop_assert*` / `prop_assume!` macros.
+//!
+//! Failing cases are reported with their inputs' `Debug` rendering but are
+//! **not shrunk** — each test runs a fixed number of deterministically seeded
+//! cases (rejected cases via `prop_assume!` are retried with fresh seeds).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+mod regex;
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` import surface.
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+use rand::SeedableRng;
+
+use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// Drives one `proptest!`-generated test: runs `config.cases` passing cases,
+/// retrying rejected ones with fresh deterministic seeds.
+///
+/// Not part of the public proptest API — only the `proptest!` macro calls it.
+pub fn run_proptest<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    // FNV-1a over the test name so each test gets its own stream.
+    let mut base = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        base ^= b as u64;
+        base = base.wrapping_mul(0x100000001b3);
+    }
+    let mut passed = 0u32;
+    let mut attempt = 0u64;
+    let max_attempts = config.cases as u64 * 20 + 100;
+    while passed < config.cases {
+        attempt += 1;
+        assert!(
+            attempt <= max_attempts,
+            "proptest `{name}`: too many rejected cases \
+             ({passed}/{} passed after {max_attempts} attempts)",
+            config.cases
+        );
+        let mut rng = TestRng::seed_from_u64(base ^ attempt.wrapping_mul(0x9E3779B97F4A7C15));
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{name}` failed on case {} (attempt {attempt}):\n{msg}",
+                    passed + 1
+                )
+            }
+        }
+    }
+}
+
+/// Defines property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of `fn name(pat in strategy, ...)`
+/// items, whose bodies run in a `Result<(), TestCaseError>` context so
+/// `prop_assert*` / `prop_assume!` / `return Ok(())` all work.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (@impl ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::run_proptest(stringify!($name), &config, |rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                    #[allow(unused_mut)]
+                    let mut body = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    };
+                    body()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case (without aborting the whole test binary mid-case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), format!($($fmt)+), a, b
+        );
+    }};
+}
+
+/// Fails the current case unless the two values compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}` ({})\n  both: {:?}",
+            stringify!($a), stringify!($b), format!($($fmt)+), a
+        );
+    }};
+}
+
+/// Skips the current case (it is regenerated, not counted as a pass).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(
+            a in 0u32..10,
+            (lo, hi) in (0usize..5, 5usize..10),
+            f in -1.0f64..1.0,
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!(lo < hi, "{lo} !< {hi}");
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn assume_skips_without_failing(x in 0u32..4) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+
+        #[test]
+        fn mapped_and_flat_mapped(
+            s in (1usize..4).prop_flat_map(|n| {
+                crate::collection::vec(Just(7u32), n..=n).prop_map(move |v| (n, v))
+            }),
+        ) {
+            let (n, v) = s;
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|&x| x == 7));
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in crate::collection::vec(any::<bool>(), 3),
+            s in crate::collection::btree_set(0u64..100, 1..8),
+        ) {
+            prop_assert_eq!(v.len(), 3);
+            prop_assert!(!s.is_empty() && s.len() < 8);
+        }
+
+        #[test]
+        fn regex_strategies_match_shape(
+            word in "[a-d]{1,3}( [a-d]{1,3}){0,3}",
+        ) {
+            for part in word.split(' ') {
+                prop_assert!((1..=3).contains(&part.len()), "bad part {part:?} in {word:?}");
+                prop_assert!(part.chars().all(|c| ('a'..='d').contains(&c)));
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let mut seen = Vec::new();
+            crate::run_proptest(
+                "determinism_probe",
+                &ProptestConfig::with_cases(16),
+                |rng| {
+                    seen.push(crate::strategy::Strategy::generate(&(0u64..1000), rng));
+                    Ok(())
+                },
+            );
+            runs.push(seen);
+        }
+        assert_eq!(runs[0], runs[1]);
+    }
+}

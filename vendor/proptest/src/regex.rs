@@ -1,0 +1,164 @@
+//! String generation from a small regex subset: literals, `[...]` classes
+//! with ranges and escapes, `(...)` groups, and the quantifiers `{n}`,
+//! `{m,n}`, `?`, `*`, `+` (the last two bounded at 8 repetitions).
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+enum Node {
+    Lit(char),
+    Class(Vec<char>),
+    Group(Vec<Piece>),
+}
+
+struct Piece {
+    node: Node,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0usize;
+    let pieces = parse_seq(&chars, &mut pos, true, pattern);
+    assert!(
+        pos == chars.len(),
+        "unbalanced `)` at {pos} in pattern {pattern:?}"
+    );
+    let mut out = String::new();
+    emit_seq(&pieces, rng, &mut out);
+    out
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize, top: bool, pattern: &str) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    while *pos < chars.len() {
+        let node = match chars[*pos] {
+            ')' => {
+                assert!(!top, "stray `)` at {} in pattern {pattern:?}", *pos);
+                *pos += 1;
+                return pieces;
+            }
+            '(' => {
+                *pos += 1;
+                Node::Group(parse_seq(chars, pos, false, pattern))
+            }
+            '[' => {
+                *pos += 1;
+                Node::Class(parse_class(chars, pos, pattern))
+            }
+            '\\' => {
+                *pos += 1;
+                let c = *chars
+                    .get(*pos)
+                    .unwrap_or_else(|| panic!("trailing `\\` in pattern {pattern:?}"));
+                *pos += 1;
+                Node::Lit(c)
+            }
+            c => {
+                *pos += 1;
+                Node::Lit(c)
+            }
+        };
+        let (min, max) = parse_quantifier(chars, pos, pattern);
+        pieces.push(Piece { node, min, max });
+    }
+    assert!(top, "missing `)` in pattern {pattern:?}");
+    pieces
+}
+
+fn parse_class(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<char> {
+    let mut set = Vec::new();
+    loop {
+        let c = *chars
+            .get(*pos)
+            .unwrap_or_else(|| panic!("unterminated `[` in pattern {pattern:?}"));
+        *pos += 1;
+        match c {
+            ']' => return set,
+            '\\' => {
+                let c = *chars
+                    .get(*pos)
+                    .unwrap_or_else(|| panic!("trailing `\\` in pattern {pattern:?}"));
+                *pos += 1;
+                set.push(c);
+            }
+            c => {
+                // `a-z` range, unless the `-` is last before `]`.
+                if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&e| e != ']') {
+                    let end = chars[*pos + 1];
+                    *pos += 2;
+                    assert!(c <= end, "reversed range {c}-{end} in pattern {pattern:?}");
+                    set.extend(c..=end);
+                } else {
+                    set.push(c);
+                }
+            }
+        }
+    }
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *pos += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *pos += 1;
+            (1, 8)
+        }
+        Some('{') => {
+            *pos += 1;
+            let read_int = |pos: &mut usize| -> usize {
+                let start = *pos;
+                while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                    *pos += 1;
+                }
+                chars[start..*pos]
+                    .iter()
+                    .collect::<String>()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad `{{...}}` bound in pattern {pattern:?}"))
+            };
+            let min = read_int(pos);
+            let max = match chars.get(*pos) {
+                Some(',') => {
+                    *pos += 1;
+                    read_int(pos)
+                }
+                _ => min,
+            };
+            assert!(
+                chars.get(*pos) == Some(&'}'),
+                "unterminated `{{` in pattern {pattern:?}"
+            );
+            *pos += 1;
+            assert!(min <= max, "reversed bounds in pattern {pattern:?}");
+            (min, max)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn emit_seq(pieces: &[Piece], rng: &mut TestRng, out: &mut String) {
+    for piece in pieces {
+        let count = rng.random_range(piece.min..=piece.max);
+        for _ in 0..count {
+            match &piece.node {
+                Node::Lit(c) => out.push(*c),
+                Node::Class(set) => {
+                    assert!(!set.is_empty(), "empty character class");
+                    out.push(set[rng.random_range(0..set.len())]);
+                }
+                Node::Group(inner) => emit_seq(inner, rng, out),
+            }
+        }
+    }
+}

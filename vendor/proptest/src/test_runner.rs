@@ -1,0 +1,33 @@
+//! Test-runner configuration and per-case error signalling.
+
+/// Deterministic RNG driving value generation (one fresh stream per case).
+pub use rand::rngs::SmallRng as TestRng;
+
+/// Runner configuration. Only `cases` is honored by this vendored harness.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` passing cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; aborts the whole test.
+    Fail(String),
+    /// A `prop_assume!` precondition failed; the case is regenerated.
+    Reject(String),
+}

@@ -1,0 +1,279 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` implementation.
+//!
+//! Hand-rolled over `proc_macro` token streams (no `syn`/`quote` available
+//! offline). Supports exactly what the workspace uses: non-generic structs
+//! with named fields (honoring `#[serde(skip)]`) and tuple structs. The
+//! generated impls target the vendored `serde` facade's value-tree traits.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    /// Field identifier for named structs, positional index otherwise.
+    name: String,
+    /// Type tokens, stringified (used only by `Deserialize`).
+    ty: String,
+    /// Whether `#[serde(skip)]` was present.
+    skip: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+    Unit,
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Returns true if an attribute bracket group is `serde(... skip ...)`.
+fn is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes from `iter`, reporting whether any was
+/// `#[serde(skip)]`.
+fn skip_attrs(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut skip = false;
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    skip |= is_serde_skip(&g);
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_visibility(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+/// Collects type tokens up to a top-level comma, tracking `<...>` depth so
+/// commas inside generics stay part of the type.
+fn take_type(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> String {
+    let mut ty = String::new();
+    let mut angle_depth = 0i32;
+    while let Some(tok) = iter.peek() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                ',' if angle_depth == 0 => break,
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                _ => {}
+            }
+        }
+        let tok = iter.next().unwrap();
+        ty.push_str(&tok.to_string());
+        ty.push(' ');
+    }
+    ty.trim().to_string()
+}
+
+fn parse_named_fields(group: proc_macro::Group) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = group.stream().into_iter().peekable();
+    loop {
+        let skip = skip_attrs(&mut iter);
+        skip_visibility(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(other) => panic!("serde_derive: expected field name, got `{other}`"),
+            None => break,
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        let ty = take_type(&mut iter);
+        fields.push(Field { name, ty, skip });
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => panic!("serde_derive: expected `,` between fields, got `{other}`"),
+            None => break,
+        }
+    }
+    fields
+}
+
+fn parse_tuple_fields(group: proc_macro::Group) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = group.stream().into_iter().peekable();
+    let mut index = 0usize;
+    while iter.peek().is_some() {
+        let skip = skip_attrs(&mut iter);
+        skip_visibility(&mut iter);
+        let ty = take_type(&mut iter);
+        if ty.is_empty() {
+            break;
+        }
+        fields.push(Field {
+            name: index.to_string(),
+            ty,
+            skip,
+        });
+        index += 1;
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => panic!("serde_derive: expected `,` between fields, got `{other}`"),
+            None => break,
+        }
+    }
+    fields
+}
+
+fn parse(input: TokenStream) -> Parsed {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility, find `struct`.
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the bracket group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "struct" => break,
+            Some(TokenTree::Ident(i)) if i.to_string() == "enum" => {
+                panic!("serde_derive: enums are not supported by the vendored derive")
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: no `struct` found in derive input"),
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected struct name, got {other:?}"),
+    };
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Parsed {
+            name,
+            shape: Shape::Named(parse_named_fields(g)),
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Parsed {
+            name,
+            shape: Shape::Tuple(parse_tuple_fields(g)),
+        },
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Parsed {
+            name,
+            shape: Shape::Unit,
+        },
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive: generic structs are not supported by the vendored derive")
+        }
+        other => panic!("serde_derive: unexpected token after struct name: {other:?}"),
+    }
+}
+
+/// Derives `serde::Serialize` (vendored value-tree flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "fields.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(fields)"
+            )
+        }
+        Shape::Tuple(fields) if fields.len() == 1 => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::Tuple(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("::serde::Serialize::to_value(&self.{})", f.name))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl does not parse")
+}
+
+/// Derives `serde::Deserialize` (vendored value-tree flavor).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: <{ty} as ::serde::Deserialize>::from_value(\
+                         value.get(\"{n}\").unwrap_or(&::serde::Value::Null))?,\n",
+                        n = f.name,
+                        ty = f.ty
+                    ));
+                }
+            }
+            format!("::std::result::Result::Ok(Self {{\n{inits}}})")
+        }
+        Shape::Tuple(fields) if fields.len() == 1 => format!(
+            "::std::result::Result::Ok(Self(<{} as ::serde::Deserialize>::from_value(value)?))",
+            fields[0].ty
+        ),
+        Shape::Tuple(fields) => {
+            let mut items = String::new();
+            for (i, f) in fields.iter().enumerate() {
+                items.push_str(&format!(
+                    "<{ty} as ::serde::Deserialize>::from_value(\
+                     arr.get({i}).unwrap_or(&::serde::Value::Null))?,\n",
+                    ty = f.ty
+                ));
+            }
+            format!(
+                "let arr = value.as_array().ok_or_else(|| \
+                 format!(\"expected array for {name}, got {{value:?}}\"))?;\n\
+                 ::std::result::Result::Ok(Self({items}))"
+            )
+        }
+        Shape::Unit => "::std::result::Result::Ok(Self)".to_string(),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, \
+         ::std::string::String> {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl does not parse")
+}
