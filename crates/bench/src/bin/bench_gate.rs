@@ -1,0 +1,146 @@
+//! `bench_gate` — CI perf regression check over `BENCH_*.json` reports.
+//!
+//! ```sh
+//! bench_gate --baseline results/BENCH_smoke.json \
+//!            --current  ci-out/BENCH_smoke.json  [--threshold 0.20]
+//! ```
+//!
+//! Compares the current run's wall time against the committed baseline and
+//! exits non-zero when it regresses by more than the threshold (default
+//! 20%). A missing baseline is a warning, not a failure, so the first run
+//! on a fresh branch can bootstrap one. Per-span totals are printed for
+//! both runs so a failing job's log shows *where* the time went, but only
+//! wall time gates: span-level noise on shared CI runners is too high to
+//! fail on.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use thetis_bench::BenchReport;
+
+const USAGE: &str = "usage: bench_gate --baseline FILE --current FILE [--threshold F]
+  --baseline FILE   committed BENCH_*.json to compare against
+  --current FILE    freshly produced BENCH_*.json
+  --threshold F     allowed wall-time regression fraction (default 0.20)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline: Option<PathBuf> = None;
+    let mut current: Option<PathBuf> = None;
+    let mut threshold = 0.20f64;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| {
+            args.get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| die(&format!("{} needs a value", args[i])))
+        };
+        match args[i].as_str() {
+            "--baseline" => {
+                baseline = Some(PathBuf::from(value(i)));
+                i += 2;
+            }
+            "--current" => {
+                current = Some(PathBuf::from(value(i)));
+                i += 2;
+            }
+            "--threshold" => {
+                threshold = value(i)
+                    .parse()
+                    .unwrap_or_else(|_| die("--threshold needs a float"));
+                i += 2;
+            }
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => die(&format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    let Some(current) = current else {
+        die(&format!("--current is required\n{USAGE}"));
+    };
+    let Some(baseline) = baseline else {
+        die(&format!("--baseline is required\n{USAGE}"));
+    };
+    if !(0.0..10.0).contains(&threshold) {
+        die("--threshold must be in [0, 10)");
+    }
+
+    let cur = match load(&current) {
+        Ok(r) => r,
+        Err(e) => die(&format!("cannot read current report: {e}")),
+    };
+    let base = match load(&baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "bench_gate: no usable baseline at {} ({e}); passing. \
+                 Commit the current report to create one.",
+                baseline.display()
+            );
+            return ExitCode::SUCCESS;
+        }
+    };
+
+    println!(
+        "bench_gate: {} wall {:.2}s baseline vs {:.2}s current",
+        cur.experiment, base.wall_seconds, cur.wall_seconds
+    );
+    print_span_table(&base, &cur);
+
+    if base.wall_seconds <= 0.0 {
+        eprintln!("bench_gate: baseline wall time is zero; passing");
+        return ExitCode::SUCCESS;
+    }
+    let ratio = cur.wall_seconds / base.wall_seconds;
+    if ratio > 1.0 + threshold {
+        eprintln!(
+            "bench_gate: FAIL — wall time regressed {:.1}% (allowed {:.0}%)",
+            (ratio - 1.0) * 100.0,
+            threshold * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench_gate: OK — wall time {}{:.1}% vs baseline (allowed +{:.0}%)",
+        if ratio >= 1.0 { "+" } else { "" },
+        (ratio - 1.0) * 100.0,
+        threshold * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+fn load(path: &PathBuf) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    serde_json::from_str(&text).map_err(|e| format!("{e:?}"))
+}
+
+/// Prints baseline-vs-current totals for every span either run recorded.
+fn print_span_table(base: &BenchReport, cur: &BenchReport) {
+    let mut names: Vec<&str> = base
+        .spans
+        .iter()
+        .chain(cur.spans.iter())
+        .map(|s| s.name.as_str())
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    if names.is_empty() {
+        return;
+    }
+    println!("{:<26} {:>12} {:>12}", "span", "base ms", "cur ms");
+    for name in names {
+        let fmt = |r: &BenchReport| {
+            r.span_total_ns(name)
+                .map(|ns| format!("{:.2}", ns as f64 / 1e6))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!("{name:<26} {:>12} {:>12}", fmt(base), fmt(cur));
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}

@@ -34,7 +34,12 @@ experiments:
   noisy-linking  §7.5      degraded-linker robustness
   sim-ablation   §8        all four σ instantiations head to head
   relaxation     §8        query relaxation on over-specialized queries
-  all            run everything above in order";
+  smoke          CI        quick perf-smoke workload (LSEI + scoring)
+  all            run everything above in order
+
+Every run also snapshots the observability registry into
+BENCH_<experiment>.json (wall time, per-span totals, counters) in the
+output directory; see bench_gate for the CI regression check.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -78,17 +83,16 @@ fn main() -> ExitCode {
     }
 
     let ctx = Ctx::new(scale, queries, out);
+    thetis::obs::set_enabled(true);
     let start = std::time::Instant::now();
     let known = run_experiment(&ctx, &command);
     if !known {
         eprintln!("unknown experiment {command:?}\n{USAGE}");
         return ExitCode::FAILURE;
     }
-    eprintln!(
-        "[done] {} in {:.1}s",
-        command,
-        start.elapsed().as_secs_f64()
-    );
+    let wall = start.elapsed().as_secs_f64();
+    thetis_bench::write_bench_report(&ctx, &command, wall);
+    eprintln!("[done] {command} in {wall:.1}s");
     ExitCode::SUCCESS
 }
 
@@ -107,6 +111,7 @@ fn run_experiment(ctx: &Ctx, command: &str) -> bool {
         "noisy-linking" => experiments::ablations::noisy_linking(ctx),
         "sim-ablation" => experiments::extensions::sim_ablation(ctx),
         "relaxation" => experiments::extensions::relaxation(ctx),
+        "smoke" => experiments::smoke::run(ctx),
         "all" => {
             for cmd in [
                 "table2",

@@ -9,5 +9,6 @@ pub mod fig6;
 pub mod other_corpora;
 pub mod scaling;
 pub mod scoring_cost;
+pub mod smoke;
 pub mod table2;
 pub mod table3;

@@ -1,0 +1,133 @@
+//! CI perf-smoke workload: the `scoring_cost` and `lsh_index` bench
+//! workloads at a fixed quick scale, with every hot path instrumented.
+//!
+//! This is what the `bench-smoke` CI job runs. It exercises, end to end:
+//! LSEI construction and prefilter queries (`lsh.build`, `lsh.query`),
+//! engine searches with σ memoization (`core.search`, `core.sigma`,
+//! `core.hungarian`, `core.row_agg`), and raw `score_table` calls for both
+//! σ instantiations. The enclosing `reproduce` run snapshots the registry
+//! into `BENCH_smoke.json`, which `bench_gate` diffs against the committed
+//! baseline.
+
+use serde::Serialize;
+use thetis::core::search::{score_table, ScoreTimings};
+use thetis::lsh::lsei::LseiMode;
+use thetis::prelude::*;
+
+use crate::context::Ctx;
+
+/// The smoke workload never grows past this corpus fraction, whatever
+/// `--scale` says: the CI gate wants seconds, not fidelity.
+const MAX_SMOKE_SCALE: f64 = 0.002;
+
+/// How many engine searches per query set.
+const SMOKE_SEARCHES: usize = 4;
+
+/// How many raw `score_table` iterations per σ.
+const SMOKE_SCORE_ITERS: usize = 50;
+
+#[derive(Serialize)]
+struct SmokeSummary {
+    tables: usize,
+    lsei_build_seconds: f64,
+    prefilter_queries: usize,
+    searches: usize,
+    score_table_iters: usize,
+    mean_search_seconds: f64,
+}
+
+/// Runs the quick perf-smoke workload.
+pub fn run(ctx: &Ctx) -> String {
+    let scale = ctx.scale.min(MAX_SMOKE_SCALE);
+    let n_queries = ctx.n_queries.clamp(4, 8);
+    eprintln!("[smoke] scale {scale}, {n_queries} queries");
+    let data = crate::context::BenchData::build(BenchmarkKind::Wt2015, scale, n_queries);
+    let graph = &data.bench.kg.graph;
+    let lake = &data.bench.lake;
+
+    // lsh_index workload: build the LSEI, then run voting prefilters.
+    let cfg = LshConfig::recommended();
+    let filter = TypeFilter::from_lake(lake, graph, 0.5);
+    let build_start = std::time::Instant::now();
+    let lsei = Lsei::build(
+        lake,
+        TypeSigner::new(graph, filter.clone(), cfg, 9),
+        cfg,
+        LseiMode::Entity,
+    );
+    let lsei_build_seconds = build_start.elapsed().as_secs_f64();
+    let mut prefilter_queries = 0usize;
+    for q in data.bench.queries5.iter() {
+        for votes in [1usize, 3] {
+            let _ = lsei.prefilter(&q.distinct_entities(), votes);
+            prefilter_queries += 1;
+        }
+    }
+
+    // scoring_cost workload, part 1: full engine searches (σ memoization,
+    // pruning, Hungarian mapping, row aggregation all live).
+    let engine = ThetisEngine::new(graph, lake, TypeJaccard::new(graph));
+    let mut searches = 0usize;
+    let mut search_seconds = 0.0f64;
+    for q in data.bench.queries5.iter().take(SMOKE_SEARCHES) {
+        let query = Query::new(q.tuples.clone());
+        let start = std::time::Instant::now();
+        let plain = engine.search(&query, SearchOptions::top(10));
+        search_seconds += start.elapsed().as_secs_f64();
+        let via_lsei = engine.search_prefiltered(&query, SearchOptions::top(10), &lsei, 1);
+        searches += 2;
+        assert!(
+            !plain.ranked.is_empty() && via_lsei.ranked.len() <= plain.ranked.len().max(10),
+            "smoke search produced no ranking"
+        );
+    }
+
+    // scoring_cost workload, part 2: raw per-table scoring for both σ.
+    let inform = Informativeness::from_lake(lake);
+    let type_sim = TypeJaccard::new(graph);
+    let emb_sim = EmbeddingCosine::new(&data.store);
+    let target = lake
+        .iter()
+        .max_by_key(|(_, t)| t.n_rows())
+        .map(|(id, _)| id)
+        .expect("smoke lake is non-empty");
+    let query = Query::new(data.bench.queries1[0].tuples.clone());
+    let mut checksum = 0.0f64;
+    for _ in 0..SMOKE_SCORE_ITERS {
+        let mut t = ScoreTimings::default();
+        checksum += score_table(
+            &query,
+            lake,
+            target,
+            &type_sim,
+            &inform,
+            RowAgg::Max,
+            &mut t,
+        )
+        .unwrap_or_default();
+        checksum += score_table(&query, lake, target, &emb_sim, &inform, RowAgg::Max, &mut t)
+            .unwrap_or_default();
+    }
+    assert!(checksum.is_finite(), "smoke scoring diverged");
+
+    let summary = SmokeSummary {
+        tables: lake.len(),
+        lsei_build_seconds,
+        prefilter_queries,
+        searches,
+        score_table_iters: SMOKE_SCORE_ITERS * 2,
+        mean_search_seconds: search_seconds / SMOKE_SEARCHES.max(1) as f64,
+    };
+    let line = format!(
+        "smoke: {} tables, LSEI build {:.3}s, {} prefilters, {} searches (mean {:.4}s), {} score_table iters",
+        summary.tables,
+        summary.lsei_build_seconds,
+        summary.prefilter_queries,
+        summary.searches,
+        summary.mean_search_seconds,
+        summary.score_table_iters,
+    );
+    ctx.write_json("smoke_summary", &summary);
+    println!("{line}");
+    line
+}

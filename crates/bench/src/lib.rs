@@ -23,5 +23,7 @@
 pub mod context;
 pub mod experiments;
 pub mod methods;
+pub mod telemetry;
 
 pub use context::{BenchData, Ctx};
+pub use telemetry::{write_bench_report, BenchReport};

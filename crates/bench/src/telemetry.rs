@@ -1,0 +1,174 @@
+//! Machine-readable run telemetry.
+//!
+//! Every `reproduce` invocation snapshots the observability registry
+//! ([`thetis::obs`]) on exit and writes `BENCH_<experiment>.json` next to
+//! the experiment's result files: total wall time, per-span totals
+//! (nanoseconds, entries, self time), counter values, and latency
+//! histograms. The `bench_gate` binary diffs two such files and fails on
+//! wall-time regression, which is what the CI perf-smoke job runs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::context::Ctx;
+
+/// One counter at snapshot time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CounterRow {
+    /// Registry name (e.g. `core.sigma_cached`).
+    pub name: String,
+    /// Monotonic value since process start.
+    pub value: u64,
+}
+
+/// One span's accumulated timings at snapshot time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpanRow {
+    /// Registry name (e.g. `core.hungarian`).
+    pub name: String,
+    /// Wall nanoseconds inside the span, children included.
+    pub total_ns: u64,
+    /// Wall nanoseconds net of enclosed spans.
+    pub self_ns: u64,
+    /// Number of entries.
+    pub count: u64,
+    /// Mean nanoseconds per entry.
+    pub mean_ns: u64,
+}
+
+/// One latency histogram at snapshot time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HistogramRow {
+    /// Registry name (e.g. `core.search_latency`).
+    pub name: String,
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations, nanoseconds.
+    pub sum_ns: u64,
+    /// Non-cumulative bucket counts; last is the +Inf overflow bucket.
+    pub buckets: Vec<u64>,
+}
+
+/// The `BENCH_<experiment>.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Experiment (subcommand) name.
+    pub experiment: String,
+    /// Corpus scale the run used.
+    pub scale: f64,
+    /// Queries per corpus.
+    pub n_queries: u64,
+    /// End-to-end wall time of the run, seconds.
+    pub wall_seconds: f64,
+    /// All counters, name-ordered.
+    pub counters: Vec<CounterRow>,
+    /// All spans, name-ordered.
+    pub spans: Vec<SpanRow>,
+    /// All latency histograms, name-ordered.
+    pub histograms: Vec<HistogramRow>,
+}
+
+impl BenchReport {
+    /// Captures the current observability snapshot into a report.
+    pub fn capture(experiment: &str, scale: f64, n_queries: usize, wall_seconds: f64) -> Self {
+        let snap = thetis::obs::snapshot();
+        Self {
+            experiment: experiment.to_string(),
+            scale,
+            n_queries: n_queries as u64,
+            wall_seconds,
+            counters: snap
+                .counters
+                .iter()
+                .map(|c| CounterRow {
+                    name: c.name.to_string(),
+                    value: c.value,
+                })
+                .collect(),
+            spans: snap
+                .spans
+                .iter()
+                .map(|s| SpanRow {
+                    name: s.name.to_string(),
+                    total_ns: s.total_ns,
+                    self_ns: s.self_ns,
+                    count: s.count,
+                    mean_ns: s.mean_ns(),
+                })
+                .collect(),
+            histograms: snap
+                .histograms
+                .iter()
+                .map(|h| HistogramRow {
+                    name: h.name.to_string(),
+                    count: h.count,
+                    sum_ns: h.sum_ns,
+                    buckets: h.buckets.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The total nanoseconds of span `name`, if present.
+    pub fn span_total_ns(&self, name: &str) -> Option<u64> {
+        self.spans
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.total_ns)
+    }
+
+    /// The value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+}
+
+/// Snapshots the registry and writes `BENCH_<experiment>.json` (dashes in
+/// the experiment name become underscores) into the context's output
+/// directory. Returns the captured report.
+pub fn write_bench_report(ctx: &Ctx, experiment: &str, wall_seconds: f64) -> BenchReport {
+    let report = BenchReport::capture(experiment, ctx.scale, ctx.n_queries, wall_seconds);
+    let stem = format!("BENCH_{}", experiment.replace('-', "_"));
+    ctx.write_json(&stem, &report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let report = BenchReport {
+            experiment: "smoke".into(),
+            scale: 0.002,
+            n_queries: 4,
+            wall_seconds: 1.25,
+            counters: vec![CounterRow {
+                name: "core.searches".into(),
+                value: 12,
+            }],
+            spans: vec![SpanRow {
+                name: "lsh.build".into(),
+                total_ns: 5_000_000,
+                self_ns: 4_000_000,
+                count: 1,
+                mean_ns: 5_000_000,
+            }],
+            histograms: vec![HistogramRow {
+                name: "core.search_latency".into(),
+                count: 12,
+                sum_ns: 60_000_000,
+                buckets: vec![0, 0, 0, 0, 12, 0, 0, 0, 0],
+            }],
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.experiment, "smoke");
+        assert_eq!(back.span_total_ns("lsh.build"), Some(5_000_000));
+        assert_eq!(back.counter("core.searches"), Some(12));
+        assert_eq!(back.histograms[0].buckets.len(), 9);
+    }
+}

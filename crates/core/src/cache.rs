@@ -26,6 +26,24 @@ use thetis_kg::EntityId;
 
 use crate::similarity::EntitySimilarity;
 
+/// Time spent actually evaluating σ (cache misses only). Timed per call —
+/// a clock read costs a few percent of one σ evaluation — and only while
+/// metrics are enabled, so the disabled path stays clock-free.
+static OBS_SIGMA: thetis_obs::Span = thetis_obs::Span::new("core.sigma");
+
+/// Evaluates `sim.sim(a, b)`, recording wall time into the `core.sigma`
+/// span when metrics are enabled.
+#[inline]
+fn timed_sim(sim: &dyn EntitySimilarity, a: EntityId, b: EntityId) -> f64 {
+    if !thetis_obs::enabled() {
+        return sim.sim(a, b);
+    }
+    let start = std::time::Instant::now();
+    let v = sim.sim(a, b);
+    OBS_SIGMA.record_nanos(start.elapsed().as_nanos() as u64, 1);
+    v
+}
+
 /// Counter snapshot of a [`SimilarityCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -110,7 +128,7 @@ impl SimilarityCache {
             self.served.fetch_add(1, Ordering::Relaxed);
             return v;
         }
-        let v = sim.sim(a, b);
+        let v = timed_sim(sim, a, b);
         self.computed.fetch_add(1, Ordering::Relaxed);
         shard
             .write()
@@ -206,7 +224,7 @@ impl<'a> CountingSimilarity<'a> {
 impl EntitySimilarity for CountingSimilarity<'_> {
     fn sim(&self, a: EntityId, b: EntityId) -> f64 {
         self.computed.fetch_add(1, Ordering::Relaxed);
-        self.inner.sim(a, b)
+        timed_sim(self.inner, a, b)
     }
 
     fn name(&self) -> &'static str {

@@ -15,6 +15,21 @@ use crate::semrel::RowAgg;
 use crate::similarity::EntitySimilarity;
 use crate::topk::TopK;
 
+/// One engine search end to end (prefilter excluded — that is `lsh.query`).
+static OBS_SEARCH: thetis_obs::Span = thetis_obs::Span::new("core.search");
+/// Hungarian column-mapping time, bulk-merged from the scoring workers.
+static OBS_HUNGARIAN: thetis_obs::Span = thetis_obs::Span::new("core.hungarian");
+/// Row-aggregation time, bulk-merged from the scoring workers.
+static OBS_ROW_AGG: thetis_obs::Span = thetis_obs::Span::new("core.row_agg");
+static OBS_SEARCHES: thetis_obs::Counter = thetis_obs::Counter::new("core.searches");
+static OBS_CANDIDATES: thetis_obs::Counter = thetis_obs::Counter::new("core.candidates");
+static OBS_TABLES_SCORED: thetis_obs::Counter = thetis_obs::Counter::new("core.tables_scored");
+static OBS_TABLES_PRUNED: thetis_obs::Counter = thetis_obs::Counter::new("core.tables_pruned");
+static OBS_SIGMA_COMPUTED: thetis_obs::Counter = thetis_obs::Counter::new("core.sigma_computed");
+static OBS_SIGMA_CACHED: thetis_obs::Counter = thetis_obs::Counter::new("core.sigma_cached");
+static OBS_SEARCH_LATENCY: thetis_obs::Histogram =
+    thetis_obs::Histogram::new("core.search_latency");
+
 /// Knobs of one search call.
 #[derive(Debug, Clone, Copy)]
 pub struct SearchOptions {
@@ -284,6 +299,7 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
         reduction: f64,
         external: Option<&SimilarityCache>,
     ) -> SearchResult {
+        let _search = OBS_SEARCH.start();
         let start = Instant::now();
         // A query-scoped memo, unless the caller brought a longer-lived one.
         let owned = (external.is_none() && options.memoize).then(SimilarityCache::new);
@@ -338,6 +354,18 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
             topk.push(tid, score);
         }
         let ranked = topk.into_sorted();
+        let total_nanos = prefilter_nanos + start.elapsed().as_nanos() as u64;
+        if thetis_obs::enabled() {
+            OBS_SEARCHES.inc();
+            OBS_CANDIDATES.add(candidates.len() as u64);
+            OBS_TABLES_SCORED.add(timings.tables_scored as u64);
+            OBS_TABLES_PRUNED.add(timings.tables_pruned as u64);
+            OBS_SIGMA_COMPUTED.add(timings.sigma_computed);
+            OBS_SIGMA_CACHED.add(timings.sigma_cached);
+            OBS_HUNGARIAN.record_nanos(timings.mapping_nanos, timings.mapping_count);
+            OBS_ROW_AGG.record_nanos(timings.agg_nanos, timings.tables_scored as u64);
+            OBS_SEARCH_LATENCY.observe_nanos(total_nanos);
+        }
         SearchResult {
             ranked,
             stats: SearchStats {
@@ -345,7 +373,7 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
                 tables_scored: timings.tables_scored,
                 reduction,
                 prefilter_nanos,
-                total_nanos: prefilter_nanos + start.elapsed().as_nanos() as u64,
+                total_nanos,
                 timings,
             },
         }

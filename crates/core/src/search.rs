@@ -16,6 +16,12 @@ use crate::similarity::EntitySimilarity;
 pub struct ScoreTimings {
     /// Nanoseconds spent in the Hungarian column-mapping step.
     pub mapping_nanos: u64,
+    /// Hungarian column-mapping invocations (one per query tuple per
+    /// scored table).
+    pub mapping_count: u64,
+    /// Nanoseconds spent aggregating row scores into per-tuple SemRel
+    /// values (everything in the scoring loop that is not the mapping).
+    pub agg_nanos: u64,
     /// Nanoseconds spent scoring tables in total (mapping, upper-bound
     /// computation, and row aggregation included).
     pub scoring_nanos: u64,
@@ -55,6 +61,8 @@ impl ScoreTimings {
 
     fn merge(&mut self, other: ScoreTimings) {
         self.mapping_nanos += other.mapping_nanos;
+        self.mapping_count += other.mapping_count;
+        self.agg_nanos += other.agg_nanos;
         self.scoring_nanos += other.scoring_nanos;
         self.tables_scored += other.tables_scored;
         self.tables_pruned += other.tables_pruned;
@@ -92,8 +100,11 @@ pub fn score_table(
     for tuple in &query.tuples {
         let map_start = Instant::now();
         let mapping = map_tuple_to_columns(tuple, table, sim);
-        timings.mapping_nanos += map_start.elapsed().as_nanos() as u64;
+        let agg_start = Instant::now();
+        timings.mapping_nanos += agg_start.duration_since(map_start).as_nanos() as u64;
+        timings.mapping_count += 1;
         sum += tuple_table_score(tuple, table, &mapping, sim, inform, agg);
+        timings.agg_nanos += agg_start.elapsed().as_nanos() as u64;
     }
     timings.scoring_nanos += start.elapsed().as_nanos() as u64;
     timings.tables_scored += 1;

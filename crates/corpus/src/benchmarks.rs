@@ -151,9 +151,15 @@ pub struct Benchmark {
     pub gt5: GroundTruth,
 }
 
+/// One benchmark corpus materialization (KG + tables + queries + truth).
+static OBS_BUILD: thetis_obs::Span = thetis_obs::Span::new("corpus.build");
+static OBS_TABLES: thetis_obs::Counter = thetis_obs::Counter::new("corpus.tables");
+static OBS_ROWS: thetis_obs::Counter = thetis_obs::Counter::new("corpus.rows");
+
 impl Benchmark {
     /// Builds the benchmark described by `config`.
     pub fn build(config: &BenchmarkConfig) -> Self {
+        let _build = OBS_BUILD.start();
         let n_tables = config.tables();
         // Size the KG so that each topic gets roughly 15 tables: enough
         // same-topic tables for meaningful top-k pools, sparse enough that
@@ -212,6 +218,11 @@ impl Benchmark {
         );
         let gt1 = GroundTruth::compute(&kg, &lake, &meta, &queries1);
         let gt5 = GroundTruth::compute(&kg, &lake, &meta, &queries5);
+
+        OBS_TABLES.add(lake.len() as u64);
+        if thetis_obs::enabled() {
+            OBS_ROWS.add(lake.tables().iter().map(|t| t.n_rows() as u64).sum());
+        }
 
         Self {
             name: config.kind.name().to_string(),

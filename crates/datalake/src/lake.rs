@@ -6,6 +6,10 @@ use thetis_kg::EntityId;
 
 use crate::table::{Table, TableId};
 
+/// One full postings rebuild (corpus ingestion's dominant index cost).
+static OBS_REBUILD: thetis_obs::Span = thetis_obs::Span::new("datalake.rebuild_postings");
+static OBS_TABLES_ADDED: thetis_obs::Counter = thetis_obs::Counter::new("datalake.tables_added");
+
 /// A data lake `D = {T1, ..., Tn}`.
 ///
 /// Besides the tables themselves, the lake maintains an inverse of the
@@ -39,6 +43,7 @@ impl DataLake {
     /// Adds a table, returning its id. Postings are marked stale and rebuilt
     /// lazily on the next posting query.
     pub fn add_table(&mut self, table: Table) -> TableId {
+        OBS_TABLES_ADDED.inc();
         let id = TableId::from_index(self.tables.len());
         self.tables.push(table);
         self.postings_dirty = true;
@@ -91,6 +96,7 @@ impl DataLake {
 
     /// Rebuilds the entity→tables postings from scratch.
     pub fn rebuild_postings(&mut self) {
+        let _rebuild = OBS_REBUILD.start();
         self.postings.clear();
         for (i, table) in self.tables.iter().enumerate() {
             let id = TableId::from_index(i);

@@ -42,6 +42,11 @@ impl LinkStats {
     }
 }
 
+/// One whole-lake linking pass.
+static OBS_LINK: thetis_obs::Span = thetis_obs::Span::new("datalake.link");
+static OBS_CELLS_SEEN: thetis_obs::Counter = thetis_obs::Counter::new("datalake.cells_seen");
+static OBS_CELLS_LINKED: thetis_obs::Counter = thetis_obs::Counter::new("datalake.cells_linked");
+
 /// A function from mention text to a KG entity: the mapping `Φ` restricted
 /// to a single cell.
 pub trait EntityLinker {
@@ -77,6 +82,7 @@ pub trait EntityLinker {
 
     /// Links every table of `lake`, rebuilding postings afterwards.
     fn link_lake(&mut self, lake: &mut DataLake) -> LinkStats {
+        let _link = OBS_LINK.start();
         let mut total = LinkStats::default();
         for table in lake.tables_mut() {
             let s = self.link_table(table);
@@ -84,6 +90,8 @@ pub trait EntityLinker {
             total.linked += s.linked;
         }
         lake.rebuild_postings();
+        OBS_CELLS_SEEN.add(total.cells as u64);
+        OBS_CELLS_LINKED.add(total.linked as u64);
         total
     }
 }

@@ -6,6 +6,16 @@ use crate::sgns::{self, SgnsConfig};
 use crate::store::EmbeddingStore;
 use crate::walks::{generate_walks, WalkConfig};
 
+/// The whole RDF2Vec pipeline (walks + SGNS + normalize).
+static OBS_TRAIN: thetis_obs::Span = thetis_obs::Span::new("embedding.train");
+/// Random-walk corpus extraction.
+static OBS_WALKS: thetis_obs::Span = thetis_obs::Span::new("embedding.walks");
+/// SGNS training (all epochs, either backend).
+static OBS_SGNS: thetis_obs::Span = thetis_obs::Span::new("embedding.sgns");
+static OBS_WALKS_GENERATED: thetis_obs::Counter =
+    thetis_obs::Counter::new("embedding.walks_generated");
+static OBS_SGNS_EPOCHS: thetis_obs::Counter = thetis_obs::Counter::new("embedding.sgns_epochs");
+
 /// Combined configuration of the RDF2Vec pipeline.
 #[derive(Debug, Clone, Default)]
 pub struct Rdf2VecConfig {
@@ -45,7 +55,14 @@ impl Rdf2Vec {
     /// Trains embeddings for every entity of `graph` and L2-normalizes them
     /// so cosine similarity reduces to a dot product.
     pub fn train(&self, graph: &KnowledgeGraph) -> EmbeddingStore {
-        let walks = generate_walks(graph, &self.config.walks);
+        let _train = OBS_TRAIN.start();
+        let walks = {
+            let _walks = OBS_WALKS.start();
+            generate_walks(graph, &self.config.walks)
+        };
+        OBS_WALKS_GENERATED.add(walks.len() as u64);
+        let _sgns = OBS_SGNS.start();
+        OBS_SGNS_EPOCHS.add(self.config.sgns.epochs as u64);
         let mut store = if self.config.threads > 1 {
             crate::hogwild::train_parallel(
                 &walks,

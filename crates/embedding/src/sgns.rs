@@ -141,7 +141,10 @@ pub fn train(walks: &[Vec<EntityId>], n_entities: usize, config: &SgnsConfig) ->
     let mut processed = 0usize;
     let mut grad = vec![0.0f32; dim];
 
+    // One span entry per epoch, so reports show mean epoch cost.
+    static OBS_EPOCH: thetis_obs::Span = thetis_obs::Span::new("embedding.sgns_epoch");
     for _epoch in 0..config.epochs {
+        let _epoch_span = OBS_EPOCH.start();
         for walk in walks {
             for (i, &center) in walk.iter().enumerate() {
                 // Shrinking window as in word2vec: radius in [1, window].

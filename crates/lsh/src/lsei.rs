@@ -30,6 +30,22 @@ use crate::minhash::MinHasher;
 use crate::shingle::{merged_type_shingles, type_pair_shingles, TypeFilter};
 use crate::signature::Signature;
 
+/// Whole-index construction (signing + banding).
+static OBS_BUILD: thetis_obs::Span = thetis_obs::Span::new("lsh.build");
+/// Signature hashing during construction.
+static OBS_BUILD_SIGN: thetis_obs::Span = thetis_obs::Span::new("lsh.build.sign");
+/// One prefilter lookup end to end.
+static OBS_QUERY: thetis_obs::Span = thetis_obs::Span::new("lsh.query");
+/// Query-side signature hashing.
+static OBS_QUERY_SIGN: thetis_obs::Span = thetis_obs::Span::new("lsh.query.sign");
+/// Voting: multiplicity counting + threshold.
+static OBS_QUERY_VOTE: thetis_obs::Span = thetis_obs::Span::new("lsh.query.vote");
+static OBS_SIGNATURES: thetis_obs::Counter = thetis_obs::Counter::new("lsh.signatures_computed");
+static OBS_RAW_CANDIDATES: thetis_obs::Counter = thetis_obs::Counter::new("lsh.raw_candidates");
+static OBS_CANDIDATES_OUT: thetis_obs::Counter = thetis_obs::Counter::new("lsh.candidates_out");
+static OBS_TABLES_INSERTED: thetis_obs::Counter = thetis_obs::Counter::new("lsh.tables_inserted");
+static OBS_QUERY_LATENCY: thetis_obs::Histogram = thetis_obs::Histogram::new("lsh.query_latency");
+
 /// Computes LSH signatures for entities and entity groups.
 pub trait EntitySigner {
     /// Signature of a single entity.
@@ -219,13 +235,21 @@ impl<S: EntitySigner> Lsei<S> {
     /// [`DataLake::rebuild_postings`]); [`DataLake::from_tables`] and
     /// linking via `link_lake` leave them fresh.
     pub fn build(lake: &DataLake, signer: S, config: LshConfig, mode: LseiMode) -> Self {
+        let _build = OBS_BUILD.start();
         let mut index = LshIndex::new(config);
         let mut postings = HashMap::new();
         match mode {
             LseiMode::Entity => {
                 postings = lake.postings().clone();
-                for &e in postings.keys() {
-                    let sig = signer.sign_entity(e);
+                let signed: Vec<(EntityId, Signature)> = {
+                    let _sign = OBS_BUILD_SIGN.start();
+                    postings
+                        .keys()
+                        .map(|&e| (e, signer.sign_entity(e)))
+                        .collect()
+                };
+                OBS_SIGNATURES.add(signed.len() as u64);
+                for (e, sig) in signed {
                     index.insert(&sig, e.0);
                 }
             }
@@ -236,7 +260,11 @@ impl<S: EntitySigner> Lsei<S> {
                         if entities.is_empty() {
                             continue;
                         }
-                        let sig = signer.sign_group(&entities);
+                        let sig = {
+                            let _sign = OBS_BUILD_SIGN.start();
+                            signer.sign_group(&entities)
+                        };
+                        OBS_SIGNATURES.inc();
                         index.insert(&sig, tid.0);
                     }
                 }
@@ -259,6 +287,7 @@ impl<S: EntitySigner> Lsei<S> {
     /// entities already indexed only gain a posting, new entities are
     /// signed and inserted into the buckets.
     pub fn insert_table(&mut self, table_id: TableId, table: &thetis_datalake::Table) {
+        OBS_TABLES_INSERTED.inc();
         match self.mode {
             LseiMode::Entity => {
                 for e in table.distinct_entities() {
@@ -311,12 +340,17 @@ impl<S: EntitySigner> Lsei<S> {
         if mode == LseiMode::Column || threads <= 1 {
             return Self::build(lake, signer, config, mode);
         }
+        let _build = OBS_BUILD.start();
         let postings = lake.postings().clone();
         let entities: Vec<EntityId> = {
             let mut v: Vec<EntityId> = postings.keys().copied().collect();
             v.sort_unstable();
             v
         };
+        OBS_SIGNATURES.add(entities.len() as u64);
+        // The scope below blocks until every signing worker finishes, so a
+        // main-thread guard captures the wall time of the whole phase.
+        let sign_guard = OBS_BUILD_SIGN.start();
         let chunk = entities.len().div_ceil(threads.max(1)).max(1);
         let signed: Vec<Vec<(EntityId, Signature)>> = std::thread::scope(|scope| {
             entities
@@ -335,6 +369,7 @@ impl<S: EntitySigner> Lsei<S> {
                 .map(|h| h.join().expect("signature worker panicked"))
                 .collect()
         });
+        drop(sign_guard);
         let mut index = LshIndex::new(config);
         for (e, sig) in signed.into_iter().flatten() {
             index.insert(&sig, e.0);
@@ -374,6 +409,7 @@ impl<S: EntitySigner> Lsei<S> {
     /// Applies the voting threshold to a bag and returns the sorted
     /// surviving table set.
     fn vote(bag: &[TableId], votes: usize) -> Vec<TableId> {
+        let _vote = OBS_QUERY_VOTE.start();
         let mut counts: HashMap<TableId, usize> = HashMap::new();
         for &t in bag {
             *counts.entry(t).or_insert(0) += 1;
@@ -390,16 +426,26 @@ impl<S: EntitySigner> Lsei<S> {
     /// The prefilter of §6.2: each query entity is looked up individually,
     /// voting is applied per lookup, and the per-entity results are merged.
     pub fn prefilter(&self, query_entities: &[EntityId], votes: usize) -> PrefilterResult {
+        let started = thetis_obs::enabled().then(std::time::Instant::now);
+        let _query = OBS_QUERY.start();
         let mut raw = 0usize;
         let mut merged: Vec<TableId> = Vec::new();
         for &e in query_entities {
-            let sig = self.signer.sign_entity(e);
+            let sig = {
+                let _sign = OBS_QUERY_SIGN.start();
+                self.signer.sign_entity(e)
+            };
             let bag = self.table_bag(&sig);
             raw += bag.len();
             merged.extend(Self::vote(&bag, votes));
         }
         merged.sort_unstable();
         merged.dedup();
+        OBS_RAW_CANDIDATES.add(raw as u64);
+        OBS_CANDIDATES_OUT.add(merged.len() as u64);
+        if let Some(started) = started {
+            OBS_QUERY_LATENCY.observe_since(started);
+        }
         PrefilterResult {
             tables: merged,
             raw_candidates: raw,
@@ -414,19 +460,29 @@ impl<S: EntitySigner> Lsei<S> {
         query_columns: &[Vec<EntityId>],
         votes: usize,
     ) -> PrefilterResult {
+        let started = thetis_obs::enabled().then(std::time::Instant::now);
+        let _query = OBS_QUERY.start();
         let mut raw = 0usize;
         let mut merged: Vec<TableId> = Vec::new();
         for group in query_columns {
             if group.is_empty() {
                 continue;
             }
-            let sig = self.signer.sign_group(group);
+            let sig = {
+                let _sign = OBS_QUERY_SIGN.start();
+                self.signer.sign_group(group)
+            };
             let bag = self.table_bag(&sig);
             raw += bag.len();
             merged.extend(Self::vote(&bag, votes));
         }
         merged.sort_unstable();
         merged.dedup();
+        OBS_RAW_CANDIDATES.add(raw as u64);
+        OBS_CANDIDATES_OUT.add(merged.len() as u64);
+        if let Some(started) = started {
+            OBS_QUERY_LATENCY.observe_since(started);
+        }
         PrefilterResult {
             tables: merged,
             raw_candidates: raw,

@@ -7,14 +7,20 @@
 //! configuration and seed, which the header verifies via the stored
 //! config.
 //!
-//! Format (`TLI1`, little-endian):
+//! Format (`TLI2`, little-endian; `TLI1` is the same without the checksum
+//! footer and is still readable):
 //!
 //! ```text
-//! magic "TLI1" | num_vectors u32 | band_size u32 | mode u8 | n_tables u32
-//! | n_groups u32 | groups... | n_postings u32 | postings...
+//! magic "TLI2" | num_vectors u32 | band_size u32 | mode u8 | n_tables u32
+//! | n_groups u32 | groups... | n_postings u32 | postings... | checksum u64
 //! group    := n_buckets u32 | (key u64 | n_items u32 | items u32*)*
 //! posting  := entity u32 | n_tables u32 | table u32*
+//! checksum := FNV-1a 64 over every preceding byte (magic included)
 //! ```
+//!
+//! Deserialization never trusts a length field beyond what the remaining
+//! input can back, and never panics on malformed input: every failure mode
+//! — truncation, bit flips, bad magic, config drift — returns `Err`.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use thetis_datalake::TableId;
@@ -24,13 +30,36 @@ use crate::config::LshConfig;
 use crate::index::LshIndex;
 use crate::lsei::{EntitySigner, Lsei, LseiMode};
 
-const MAGIC: &[u8; 4] = b"TLI1";
+/// Current format: checksummed footer.
+const MAGIC_V2: &[u8; 4] = b"TLI2";
+/// Legacy format: no footer. Still accepted by [`lsei_from_bytes`].
+const MAGIC_V1: &[u8; 4] = b"TLI1";
 
-/// Serializes an LSEI's index structure (buckets, postings, config).
+/// FNV-1a 64-bit: tiny, dependency-free, and plenty to catch the
+/// truncation and bit-flip corruption a snapshot file suffers in practice
+/// (this is an integrity check, not an authenticity one).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Serializes an LSEI's index structure (buckets, postings, config) in the
+/// `TLI2` format: payload plus an FNV-1a checksum footer.
 pub fn lsei_to_bytes<S>(lsei: &Lsei<S>) -> Bytes {
+    let mut buf = encode_payload(lsei, MAGIC_V2);
+    let checksum = fnv1a64(&buf);
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
+fn encode_payload<S>(lsei: &Lsei<S>, magic: &[u8; 4]) -> BytesMut {
     let (config, mode, index, postings, n_tables) = lsei.parts();
     let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC);
+    buf.put_slice(magic);
     buf.put_u32_le(config.num_vectors as u32);
     buf.put_u32_le(config.band_size as u32);
     buf.put_u8(match mode {
@@ -67,14 +96,19 @@ pub fn lsei_to_bytes<S>(lsei: &Lsei<S>) -> Bytes {
             buf.put_u32_le(t.0);
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Restores an LSEI from bytes plus a freshly constructed signer.
 ///
+/// Accepts both the current `TLI2` format (whose FNV-1a footer is verified
+/// before any field is parsed) and the legacy `TLI1` format (no footer).
+///
 /// # Errors
-/// Fails on magic/structure mismatch, or when the stored configuration
-/// disagrees with `expected_config` (which would silently break lookups).
+/// Fails on magic/structure mismatch, truncated or bit-flipped input
+/// (`TLI2` checksum), or when the stored configuration disagrees with
+/// `expected_config` (which would silently break lookups). Never panics on
+/// malformed input.
 pub fn lsei_from_bytes<S: EntitySigner>(
     mut bytes: Bytes,
     signer: S,
@@ -90,7 +124,31 @@ pub fn lsei_from_bytes<S: EntitySigner>(
     need(&bytes, 17)?;
     let mut magic = [0u8; 4];
     bytes.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    if &magic == MAGIC_V2 {
+        // Verify the footer over the whole payload (magic already
+        // consumed, so rebuild the checksum incrementally) before trusting
+        // any length field.
+        let n = bytes.remaining();
+        if n < 8 + 13 {
+            return Err("truncated LSEI dump (missing checksum footer)".into());
+        }
+        let stored = u64::from_le_bytes(
+            bytes[n - 8..]
+                .try_into()
+                .expect("slice of exactly eight bytes"),
+        );
+        let mut payload = Vec::with_capacity(4 + n - 8);
+        payload.extend_from_slice(MAGIC_V2);
+        payload.extend_from_slice(&bytes[..n - 8]);
+        let computed = fnv1a64(&payload);
+        if stored != computed {
+            return Err(format!(
+                "LSEI dump corrupt or truncated: checksum mismatch \
+                 (stored {stored:#018x}, computed {computed:#018x})"
+            ));
+        }
+        bytes.truncate(n - 8);
+    } else if &magic != MAGIC_V1 {
         return Err(format!("bad magic {magic:?}"));
     }
     let num_vectors = bytes.get_u32_le() as usize;
@@ -133,7 +191,11 @@ pub fn lsei_from_bytes<S: EntitySigner>(
 
     need(&bytes, 4)?;
     let n_postings = bytes.get_u32_le() as usize;
-    let mut postings = std::collections::HashMap::with_capacity(n_postings);
+    // Each posting takes at least 8 bytes, so a count beyond remaining/8
+    // can only come from a corrupt (legacy, un-checksummed) dump — do not
+    // let it drive a huge allocation before the bounds checks catch it.
+    let mut postings =
+        std::collections::HashMap::with_capacity(n_postings.min(bytes.remaining() / 8));
     for _ in 0..n_postings {
         need(&bytes, 8)?;
         let e = EntityId(bytes.get_u32_le());
@@ -217,6 +279,75 @@ mod tests {
             Ok(_) => panic!("config mismatch accepted"),
         };
         assert!(err.contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn bit_flip_anywhere_is_rejected() {
+        let (g, lake, _) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let original = Lsei::build(
+            &lake,
+            TypeSigner::new(&g, TypeFilter::none(), cfg, 7),
+            cfg,
+            LseiMode::Entity,
+        );
+        let pristine = lsei_to_bytes(&original).to_vec();
+        // Flip one bit at a spread of offsets covering the magic, header,
+        // bucket groups, postings, and the checksum footer itself.
+        let offsets = [0, 5, 9, 13, pristine.len() / 2, pristine.len() - 1];
+        for &off in &offsets {
+            let mut corrupt = pristine.clone();
+            corrupt[off] ^= 0x40;
+            let outcome = lsei_from_bytes(
+                Bytes::from(corrupt),
+                TypeSigner::new(&g, TypeFilter::none(), cfg, 7),
+                cfg,
+            );
+            assert!(outcome.is_err(), "bit flip at offset {off} accepted");
+        }
+    }
+
+    #[test]
+    fn legacy_tli1_dump_is_still_readable() {
+        let (g, lake, players) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let mk_signer = || TypeSigner::new(&g, TypeFilter::none(), cfg, 7);
+        let original = Lsei::build(&lake, mk_signer(), cfg, LseiMode::Entity);
+        // A TLI1 dump is the raw payload with the old magic and no footer.
+        let legacy = encode_payload(&original, MAGIC_V1).freeze();
+        let restored = lsei_from_bytes(legacy, mk_signer(), cfg).unwrap();
+        for &probe in &players {
+            let a = original.prefilter(&[probe], 1);
+            let b = restored.prefilter(&[probe], 1);
+            assert_eq!(a.tables, b.tables);
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic() {
+        let (g, _, _) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        // Adversarial inputs: empty, short, huge length fields after a
+        // valid-looking TLI2 prefix. All must return Err, none may panic.
+        let mut huge_lengths = Vec::new();
+        huge_lengths.extend_from_slice(b"TLI2");
+        huge_lengths.extend_from_slice(&u32::MAX.to_le_bytes());
+        huge_lengths.extend_from_slice(&[0xFF; 32]);
+        let inputs: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            b"TLI2".to_vec(),
+            b"NOPE".repeat(8),
+            huge_lengths,
+            vec![0u8; 64],
+        ];
+        for input in inputs {
+            let outcome = lsei_from_bytes(
+                Bytes::from(input.clone()),
+                TypeSigner::new(&g, TypeFilter::none(), cfg, 7),
+                cfg,
+            );
+            assert!(outcome.is_err(), "{} garbage bytes accepted", input.len());
+        }
     }
 
     #[test]

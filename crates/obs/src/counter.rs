@@ -1,0 +1,58 @@
+//! Monotonic atomic counters.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock};
+
+use crate::registry::{self, CounterCell};
+
+/// A named monotonic counter.
+///
+/// Declare one per call site as a `static`; the handle resolves its
+/// registry cell lazily on the first enabled recording and then records
+/// with a single relaxed `fetch_add`.
+pub struct Counter {
+    name: &'static str,
+    cell: OnceLock<Arc<CounterCell>>,
+}
+
+impl Counter {
+    /// A handle for the counter `name` (registration is deferred until the
+    /// first enabled recording).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The counter's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn cell(&self) -> &CounterCell {
+        self.cell
+            .get_or_init(|| registry::global().counter(self.name))
+    }
+
+    /// Adds `n`; a no-op (atomic load + branch) while metrics are disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.cell().value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1; a no-op while metrics are disabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Whether this handle has resolved its registry cell yet (diagnostic;
+    /// used to prove the disabled path never touches the registry).
+    pub fn is_registered(&self) -> bool {
+        self.cell.get().is_some()
+    }
+}

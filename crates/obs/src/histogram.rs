@@ -1,0 +1,87 @@
+//! Fixed-bucket latency histograms.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use crate::registry::{self, HistogramCell};
+
+/// Upper bounds (inclusive) of the latency buckets, in nanoseconds:
+/// 1µs, 10µs, 100µs, 1ms, 10ms, 100ms, 1s, 10s. Observations above the
+/// last bound land in an implicit +Inf bucket.
+pub const HISTOGRAM_BOUNDS_NS: [u64; 8] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// Bucket count including the +Inf overflow bucket.
+pub(crate) const N_BUCKETS: usize = HISTOGRAM_BOUNDS_NS.len() + 1;
+
+/// A named fixed-bucket latency histogram.
+///
+/// Bounds are compile-time fixed ([`HISTOGRAM_BOUNDS_NS`]): recording is a
+/// branchless-enough linear scan over 8 bounds plus two `fetch_add`s — no
+/// allocation, no locking.
+pub struct Histogram {
+    name: &'static str,
+    cell: OnceLock<Arc<HistogramCell>>,
+}
+
+impl Histogram {
+    /// A handle for the histogram `name` (registration is deferred until
+    /// the first enabled recording).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The histogram's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn cell(&self) -> &HistogramCell {
+        self.cell
+            .get_or_init(|| registry::global().histogram(self.name))
+    }
+
+    /// Records one latency observation; a no-op while metrics are
+    /// disabled.
+    #[inline]
+    pub fn observe_nanos(&self, ns: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        let cell = self.cell();
+        let idx = HISTOGRAM_BOUNDS_NS
+            .iter()
+            .position(|&bound| ns <= bound)
+            .unwrap_or(HISTOGRAM_BOUNDS_NS.len());
+        cell.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        cell.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        cell.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the elapsed time since `start`.
+    #[inline]
+    pub fn observe_since(&self, start: Instant) {
+        if !crate::enabled() {
+            return;
+        }
+        self.observe_nanos(start.elapsed().as_nanos() as u64);
+    }
+
+    /// Whether this handle has resolved its registry cell yet (diagnostic;
+    /// used to prove the disabled path never touches the registry).
+    pub fn is_registered(&self) -> bool {
+        self.cell.get().is_some()
+    }
+}

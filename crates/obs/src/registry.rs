@@ -1,0 +1,144 @@
+//! The process-global metric registry.
+//!
+//! Cells live behind `Arc`s so handles can record locklessly after a
+//! one-time registration; the registry itself is only locked to register a
+//! new metric, to reset, and to snapshot. `BTreeMap` keeps snapshots
+//! ordered by name, which makes rendered reports deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use crate::histogram::N_BUCKETS;
+use crate::report::{CounterSnapshot, HistogramSnapshot, Report, SpanSnapshot};
+
+/// Value cell of a [`crate::Counter`].
+#[derive(Default)]
+pub(crate) struct CounterCell {
+    pub(crate) value: AtomicU64,
+}
+
+/// Value cell of a [`crate::Span`].
+#[derive(Default)]
+pub(crate) struct SpanCell {
+    /// Wall nanoseconds including nested child spans.
+    pub(crate) total_ns: AtomicU64,
+    /// Wall nanoseconds excluding nested child spans.
+    pub(crate) self_ns: AtomicU64,
+    /// Number of recorded span entries.
+    pub(crate) count: AtomicU64,
+}
+
+/// Value cell of a [`crate::Histogram`].
+pub(crate) struct HistogramCell {
+    /// One non-cumulative count per bound (the last bucket is +Inf).
+    pub(crate) buckets: [AtomicU64; N_BUCKETS],
+    pub(crate) sum_ns: AtomicU64,
+    pub(crate) count: AtomicU64,
+}
+
+impl Default for HistogramCell {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Metrics {
+    counters: BTreeMap<&'static str, Arc<CounterCell>>,
+    spans: BTreeMap<&'static str, Arc<SpanCell>>,
+    histograms: BTreeMap<&'static str, Arc<HistogramCell>>,
+}
+
+/// The registry: one per process.
+#[derive(Default)]
+pub(crate) struct Registry {
+    metrics: Mutex<Metrics>,
+}
+
+impl Registry {
+    fn lock(&self) -> MutexGuard<'_, Metrics> {
+        // A panic while holding the registration lock leaves the maps in a
+        // valid state (insertions are atomic), so poisoning is ignorable.
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn counter(&self, name: &'static str) -> Arc<CounterCell> {
+        Arc::clone(self.lock().counters.entry(name).or_default())
+    }
+
+    pub(crate) fn span(&self, name: &'static str) -> Arc<SpanCell> {
+        Arc::clone(self.lock().spans.entry(name).or_default())
+    }
+
+    pub(crate) fn histogram(&self, name: &'static str) -> Arc<HistogramCell> {
+        Arc::clone(self.lock().histograms.entry(name).or_default())
+    }
+
+    pub(crate) fn reset(&self) {
+        let m = self.lock();
+        for cell in m.counters.values() {
+            cell.value.store(0, Ordering::Relaxed);
+        }
+        for cell in m.spans.values() {
+            cell.total_ns.store(0, Ordering::Relaxed);
+            cell.self_ns.store(0, Ordering::Relaxed);
+            cell.count.store(0, Ordering::Relaxed);
+        }
+        for cell in m.histograms.values() {
+            for b in &cell.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            cell.sum_ns.store(0, Ordering::Relaxed);
+            cell.count.store(0, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> Report {
+        let m = self.lock();
+        Report {
+            counters: m
+                .counters
+                .iter()
+                .map(|(&name, cell)| CounterSnapshot {
+                    name,
+                    value: cell.value.load(Ordering::Relaxed),
+                })
+                .collect(),
+            spans: m
+                .spans
+                .iter()
+                .map(|(&name, cell)| SpanSnapshot {
+                    name,
+                    total_ns: cell.total_ns.load(Ordering::Relaxed),
+                    self_ns: cell.self_ns.load(Ordering::Relaxed),
+                    count: cell.count.load(Ordering::Relaxed),
+                })
+                .collect(),
+            histograms: m
+                .histograms
+                .iter()
+                .map(|(&name, cell)| HistogramSnapshot {
+                    name,
+                    buckets: cell
+                        .buckets
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .collect(),
+                    sum_ns: cell.sum_ns.load(Ordering::Relaxed),
+                    count: cell.count.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The process-global registry.
+pub(crate) fn global() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}

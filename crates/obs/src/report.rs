@@ -1,0 +1,276 @@
+//! Deterministic metric snapshots and their text / JSON renderings.
+//!
+//! The text form is Prometheus exposition format (counters and spans as
+//! `counter` families, histograms as a `histogram` family with cumulative
+//! `le` buckets); the JSON form is a stable hand-rolled document so this
+//! crate stays dependency-free.
+
+use std::fmt::Write as _;
+
+use crate::histogram::HISTOGRAM_BOUNDS_NS;
+
+/// One counter's value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Registry name (e.g. `core.sigma_computed`).
+    pub name: &'static str,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One span's accumulated timings at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Registry name (e.g. `lsh.build`).
+    pub name: &'static str,
+    /// Wall nanoseconds including nested child spans.
+    pub total_ns: u64,
+    /// Wall nanoseconds excluding nested child spans.
+    pub self_ns: u64,
+    /// Recorded entries.
+    pub count: u64,
+}
+
+impl SpanSnapshot {
+    /// Mean nanoseconds per entry (0 when never entered).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// One histogram's buckets at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Registry name (e.g. `core.search_latency`).
+    pub name: &'static str,
+    /// Non-cumulative per-bucket counts; the last entry is the +Inf
+    /// overflow bucket (see [`HISTOGRAM_BOUNDS_NS`]).
+    pub buckets: Vec<u64>,
+    /// Sum of all observations, nanoseconds.
+    pub sum_ns: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// A full snapshot of the registry, ordered by metric name.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All counters, name-ordered.
+    pub counters: Vec<CounterSnapshot>,
+    /// All spans, name-ordered.
+    pub spans: Vec<SpanSnapshot>,
+    /// All histograms, name-ordered.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Report {
+    /// The value of counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The snapshot of span `name`, if registered.
+    pub fn span(&self, name: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// The snapshot of histogram `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Renders the Prometheus text exposition format.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("# TYPE thetis_counter_total counter\n");
+            for c in &self.counters {
+                let _ = writeln!(
+                    out,
+                    "thetis_counter_total{{name=\"{}\"}} {}",
+                    escape_label(c.name),
+                    c.value
+                );
+            }
+        }
+        if !self.spans.is_empty() {
+            out.push_str("# TYPE thetis_span_nanoseconds_total counter\n");
+            for s in &self.spans {
+                let name = escape_label(s.name);
+                let _ = writeln!(
+                    out,
+                    "thetis_span_nanoseconds_total{{span=\"{name}\"}} {}",
+                    s.total_ns
+                );
+                let _ = writeln!(
+                    out,
+                    "thetis_span_self_nanoseconds_total{{span=\"{name}\"}} {}",
+                    s.self_ns
+                );
+                let _ = writeln!(
+                    out,
+                    "thetis_span_entries_total{{span=\"{name}\"}} {}",
+                    s.count
+                );
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("# TYPE thetis_latency_seconds histogram\n");
+            for h in &self.histograms {
+                let name = escape_label(h.name);
+                let mut cumulative = 0u64;
+                for (i, &bucket) in h.buckets.iter().enumerate() {
+                    cumulative += bucket;
+                    let le = match HISTOGRAM_BOUNDS_NS.get(i) {
+                        Some(&bound_ns) => format_seconds(bound_ns),
+                        None => "+Inf".to_string(),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "thetis_latency_seconds_bucket{{name=\"{name}\",le=\"{le}\"}} {cumulative}"
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "thetis_latency_seconds_sum{{name=\"{name}\"}} {}",
+                    format_seconds(h.sum_ns)
+                );
+                let _ = writeln!(
+                    out,
+                    "thetis_latency_seconds_count{{name=\"{name}\"}} {}",
+                    h.count
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders a stable JSON document:
+    /// `{"counters": {...}, "spans": {...}, "histograms": {...}}`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, c) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {}", escape_json(c.name), c.value);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"spans\": {");
+        for (i, s) in self.spans.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{\"total_ns\": {}, \"self_ns\": {}, \"count\": {}}}",
+                escape_json(s.name),
+                s.total_ns,
+                s.self_ns,
+                s.count
+            );
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{\"buckets\": [{}], \"sum_ns\": {}, \"count\": {}}}",
+                escape_json(h.name),
+                buckets.join(", "),
+                h.sum_ns,
+                h.count
+            );
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// Nanoseconds as a decimal seconds literal without float formatting
+/// surprises (e.g. `25_000_000` → `"0.025"`).
+fn format_seconds(ns: u64) -> String {
+    let whole = ns / 1_000_000_000;
+    let frac = ns % 1_000_000_000;
+    if frac == 0 {
+        return whole.to_string();
+    }
+    let mut s = format!("{whole}.{frac:09}");
+    while s.ends_with('0') {
+        s.pop();
+    }
+    s
+}
+
+fn escape_label(name: &str) -> String {
+    name.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn escape_json(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_formatting_is_exact() {
+        assert_eq!(format_seconds(0), "0");
+        assert_eq!(format_seconds(1_000), "0.000001");
+        assert_eq!(format_seconds(25_000_000), "0.025");
+        assert_eq!(format_seconds(1_000_000_000), "1");
+        assert_eq!(format_seconds(1_500_000_000), "1.5");
+    }
+
+    #[test]
+    fn empty_report_renders_valid_json() {
+        let json = Report::default().render_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"spans\": {}"));
+        assert!(json.contains("\"histograms\": {}"));
+    }
+
+    #[test]
+    fn json_escapes_control_and_quote_characters() {
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("x\u{1}y"), "x\\u0001y");
+    }
+
+    #[test]
+    fn span_mean_handles_zero_count() {
+        let s = SpanSnapshot {
+            name: "s",
+            total_ns: 0,
+            self_ns: 0,
+            count: 0,
+        };
+        assert_eq!(s.mean_ns(), 0);
+        let s = SpanSnapshot {
+            name: "s",
+            total_ns: 10,
+            self_ns: 10,
+            count: 4,
+        };
+        assert_eq!(s.mean_ns(), 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Scoped, nesting-aware span timers.
+
+use std::cell::RefCell;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use crate::registry::{self, SpanCell};
+
+thread_local! {
+    /// Per-thread stack of open spans; each frame accumulates the wall
+    /// nanoseconds of its already-closed children so the parent can report
+    /// self time (total minus children) when it closes.
+    static OPEN_SPANS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A named span timer.
+///
+/// [`Span::start`] returns a guard that measures monotonic wall time until
+/// drop and records it into the registry. Spans nest per thread: a child's
+/// wall time is subtracted from the parent's *self* time, so reports
+/// separate "time in this stage" from "time in stages it called".
+pub struct Span {
+    name: &'static str,
+    cell: OnceLock<Arc<SpanCell>>,
+}
+
+impl Span {
+    /// A handle for the span `name` (registration is deferred until the
+    /// first enabled recording).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The span's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn cell(&self) -> &Arc<SpanCell> {
+        self.cell.get_or_init(|| registry::global().span(self.name))
+    }
+
+    /// Opens the span; the returned guard records on drop. While metrics
+    /// are disabled this is a no-op guard (atomic load + branch, no clock
+    /// read).
+    #[inline]
+    pub fn start(&self) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard { active: None };
+        }
+        let cell = Arc::clone(self.cell());
+        OPEN_SPANS.with(|s| s.borrow_mut().push(0));
+        SpanGuard {
+            active: Some(ActiveSpan {
+                start: Instant::now(),
+                cell,
+            }),
+        }
+    }
+
+    /// Records `total_ns` wall nanoseconds over `count` entries in bulk,
+    /// bypassing the clock and the nesting stack — for call sites that
+    /// already measured time themselves (e.g. per-worker timing structs
+    /// merged at the end of a parallel stage). Bulk-recorded time counts
+    /// as self time.
+    #[inline]
+    pub fn record_nanos(&self, total_ns: u64, count: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        let cell = self.cell();
+        cell.total_ns.fetch_add(total_ns, Ordering::Relaxed);
+        cell.self_ns.fetch_add(total_ns, Ordering::Relaxed);
+        cell.count.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Times one closure invocation under this span.
+    #[inline]
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.start();
+        f()
+    }
+
+    /// Whether this handle has resolved its registry cell yet (diagnostic;
+    /// used to prove the disabled path never touches the registry).
+    pub fn is_registered(&self) -> bool {
+        self.cell.get().is_some()
+    }
+}
+
+struct ActiveSpan {
+    start: Instant,
+    cell: Arc<SpanCell>,
+}
+
+/// Guard of an open span; records wall time into the registry on drop.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let elapsed = active.start.elapsed().as_nanos() as u64;
+        let children = OPEN_SPANS.with(|s| {
+            let mut stack = s.borrow_mut();
+            let children = stack.pop().unwrap_or(0);
+            if let Some(parent) = stack.last_mut() {
+                *parent += elapsed;
+            }
+            children
+        });
+        active.cell.total_ns.fetch_add(elapsed, Ordering::Relaxed);
+        active
+            .cell
+            .self_ns
+            .fetch_add(elapsed.saturating_sub(children), Ordering::Relaxed);
+        active.cell.count.fetch_add(1, Ordering::Relaxed);
+    }
+}

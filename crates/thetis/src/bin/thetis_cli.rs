@@ -27,6 +27,8 @@ struct Args {
     votes: usize,
     demo: bool,
     explain: bool,
+    metrics: Option<String>,
+    metrics_out: Option<PathBuf>,
 }
 
 const USAGE: &str = "usage: thetis-cli --kg FILE --tables DIR --query \"A,B,...\" [options]
@@ -41,7 +43,10 @@ options:
   --token-linking        link cells by token overlap (default exact label)
   --lsh                  prefilter with the LSEI (30,10)
   --votes N              LSEI voting threshold       (default 1)
-  --explain              show per-entity match breakdown for each hit";
+  --explain              show per-entity match breakdown for each hit
+  --metrics text|json    dump observability metrics after the run
+                         (Prometheus text or JSON, to stderr)
+  --metrics-out FILE     write the metrics dump to FILE instead";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -55,6 +60,8 @@ fn parse_args() -> Result<Args, String> {
         votes: 1,
         demo: false,
         explain: false,
+        metrics: None,
+        metrics_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -108,6 +115,18 @@ fn parse_args() -> Result<Args, String> {
             "--explain" => {
                 args.explain = true;
                 i += 1;
+            }
+            "--metrics" => {
+                let format = take(&argv, i, "--metrics")?;
+                if format != "text" && format != "json" {
+                    return Err(format!("--metrics must be text or json, got {format:?}"));
+                }
+                args.metrics = Some(format);
+                i += 2;
+            }
+            "--metrics-out" => {
+                args.metrics_out = Some(PathBuf::from(take(&argv, i, "--metrics-out")?));
+                i += 2;
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
@@ -185,6 +204,9 @@ fn parse_query(specs: &[String], graph: &KnowledgeGraph) -> Query {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    if args.metrics.is_some() {
+        thetis::obs::set_enabled(true);
+    }
 
     let (graph, mut lake) = if args.demo {
         let bench = Benchmark::build(&BenchmarkConfig::tiny(BenchmarkKind::Wt2015));
@@ -293,6 +315,19 @@ fn run() -> Result<(), String> {
         result.stats.total_nanos as f64 / 1e6,
         result.stats.reduction * 100.0
     );
+
+    if let Some(format) = &args.metrics {
+        let report = thetis::obs::snapshot();
+        let rendered = match format.as_str() {
+            "json" => report.render_json(),
+            _ => report.render_text(),
+        };
+        match &args.metrics_out {
+            Some(path) => std::fs::write(path, &rendered)
+                .map_err(|e| format!("cannot write metrics to {}: {e}", path.display()))?,
+            None => eprint!("{rendered}"),
+        }
+    }
     Ok(())
 }
 

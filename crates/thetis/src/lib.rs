@@ -19,7 +19,9 @@
 //!   and [`core::ThetisEngine`];
 //! * [`baselines`] — BM25, union search, join search, table embeddings;
 //! * [`corpus`] — benchmark generators and graded ground truth;
-//! * [`eval`] — NDCG/recall metrics and the experiment harness.
+//! * [`eval`] — NDCG/recall metrics and the experiment harness;
+//! * [`obs`] — the observability layer (span timers, counters, latency
+//!   histograms) every hot path above reports into.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +51,7 @@ pub use thetis_embedding as embedding;
 pub use thetis_eval as eval;
 pub use thetis_kg as kg;
 pub use thetis_lsh as lsh;
+pub use thetis_obs as obs;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {

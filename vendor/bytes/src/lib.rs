@@ -45,6 +45,14 @@ impl Bytes {
     pub fn as_slice(&self) -> &[u8] {
         &self.data[self.start..]
     }
+
+    /// Shortens the view to its first `len` remaining bytes. A no-op when
+    /// `len` is not smaller than the current length.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len() {
+            Arc::make_mut(&mut self.data).truncate(self.start + len);
+        }
+    }
 }
 
 impl Default for Bytes {
@@ -195,6 +203,25 @@ impl BytesMut {
     /// Converts into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
+    }
+
+    /// The written bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
     }
 }
 
