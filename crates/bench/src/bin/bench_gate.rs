@@ -8,26 +8,39 @@
 //! Compares the current run's wall time against the committed baseline and
 //! exits non-zero when it regresses by more than the threshold (default
 //! 20%). A missing baseline is a warning, not a failure, so the first run
-//! on a fresh branch can bootstrap one. Per-span totals are printed for
-//! both runs so a failing job's log shows *where* the time went, but only
-//! wall time gates: span-level noise on shared CI runners is too high to
-//! fail on.
+//! on a fresh branch can bootstrap one.
+//!
+//! Per-span *self* times gate too (default 25%, `--span-threshold`), so a
+//! localized regression — say the Hungarian step doubling — fails the job
+//! even when faster neighbors hide it from the wall-time ratio. Only spans
+//! whose baseline self time is at least [`SPAN_NOISE_FLOOR_NS`] participate:
+//! sub-50ms spans are dominated by scheduler noise on shared CI runners and
+//! would flap.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use thetis_bench::BenchReport;
 
+/// Spans with baseline self time below this never gate (50 ms): at that
+/// magnitude a single page fault or scheduler preemption exceeds any real
+/// regression signal.
+const SPAN_NOISE_FLOOR_NS: u64 = 50_000_000;
+
 const USAGE: &str = "usage: bench_gate --baseline FILE --current FILE [--threshold F]
-  --baseline FILE   committed BENCH_*.json to compare against
-  --current FILE    freshly produced BENCH_*.json
-  --threshold F     allowed wall-time regression fraction (default 0.20)";
+  --baseline FILE     committed BENCH_*.json to compare against
+  --current FILE      freshly produced BENCH_*.json
+  --threshold F       allowed wall-time regression fraction (default 0.20)
+  --span-threshold F  allowed per-span self-time regression fraction
+                      (default 0.25; spans under 50ms baseline self time
+                      are exempt as noise)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline: Option<PathBuf> = None;
     let mut current: Option<PathBuf> = None;
     let mut threshold = 0.20f64;
+    let mut span_threshold = 0.25f64;
     let mut i = 0;
     while i < args.len() {
         let value = |i: usize| {
@@ -50,6 +63,12 @@ fn main() -> ExitCode {
                     .unwrap_or_else(|_| die("--threshold needs a float"));
                 i += 2;
             }
+            "--span-threshold" => {
+                span_threshold = value(i)
+                    .parse()
+                    .unwrap_or_else(|_| die("--span-threshold needs a float"));
+                i += 2;
+            }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -65,6 +84,9 @@ fn main() -> ExitCode {
     };
     if !(0.0..10.0).contains(&threshold) {
         die("--threshold must be in [0, 10)");
+    }
+    if !(0.0..10.0).contains(&span_threshold) {
+        die("--span-threshold must be in [0, 10)");
     }
 
     let cur = match load(&current) {
@@ -89,26 +111,63 @@ fn main() -> ExitCode {
     );
     print_span_table(&base, &cur);
 
+    let mut failed = false;
+
+    // Per-span self-time gate: spans loud enough to trust (baseline self
+    // time over the noise floor) must not regress past the span threshold.
+    for span in &base.spans {
+        if span.self_ns < SPAN_NOISE_FLOOR_NS {
+            continue;
+        }
+        let Some(cur_self) = cur.span_self_ns(&span.name) else {
+            // A gated span that vanished means the instrumentation moved;
+            // surface it without failing (the wall gate still protects).
+            eprintln!(
+                "bench_gate: note — span {} present in baseline but not in current run",
+                span.name
+            );
+            continue;
+        };
+        let span_ratio = cur_self as f64 / span.self_ns as f64;
+        if span_ratio > 1.0 + span_threshold {
+            eprintln!(
+                "bench_gate: FAIL — span {} self time regressed {:.1}% \
+                 ({:.2}ms -> {:.2}ms, allowed +{:.0}%)",
+                span.name,
+                (span_ratio - 1.0) * 100.0,
+                span.self_ns as f64 / 1e6,
+                cur_self as f64 / 1e6,
+                span_threshold * 100.0
+            );
+            failed = true;
+        }
+    }
+
     if base.wall_seconds <= 0.0 {
-        eprintln!("bench_gate: baseline wall time is zero; passing");
-        return ExitCode::SUCCESS;
+        eprintln!("bench_gate: baseline wall time is zero; skipping wall gate");
+    } else {
+        let ratio = cur.wall_seconds / base.wall_seconds;
+        if ratio > 1.0 + threshold {
+            eprintln!(
+                "bench_gate: FAIL — wall time regressed {:.1}% (allowed {:.0}%)",
+                (ratio - 1.0) * 100.0,
+                threshold * 100.0
+            );
+            failed = true;
+        } else {
+            println!(
+                "bench_gate: OK — wall time {}{:.1}% vs baseline (allowed +{:.0}%)",
+                if ratio >= 1.0 { "+" } else { "" },
+                (ratio - 1.0) * 100.0,
+                threshold * 100.0
+            );
+        }
     }
-    let ratio = cur.wall_seconds / base.wall_seconds;
-    if ratio > 1.0 + threshold {
-        eprintln!(
-            "bench_gate: FAIL — wall time regressed {:.1}% (allowed {:.0}%)",
-            (ratio - 1.0) * 100.0,
-            threshold * 100.0
-        );
-        return ExitCode::FAILURE;
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
-    println!(
-        "bench_gate: OK — wall time {}{:.1}% vs baseline (allowed +{:.0}%)",
-        if ratio >= 1.0 { "+" } else { "" },
-        (ratio - 1.0) * 100.0,
-        threshold * 100.0
-    );
-    ExitCode::SUCCESS
 }
 
 fn load(path: &PathBuf) -> Result<BenchReport, String> {
@@ -129,14 +188,26 @@ fn print_span_table(base: &BenchReport, cur: &BenchReport) {
     if names.is_empty() {
         return;
     }
-    println!("{:<26} {:>12} {:>12}", "span", "base ms", "cur ms");
+    println!(
+        "{:<26} {:>12} {:>12} {:>14} {:>14}",
+        "span", "base ms", "cur ms", "base self ms", "cur self ms"
+    );
+    let fmt = |ns: Option<u64>| {
+        ns.map(|ns| format!("{:.2}", ns as f64 / 1e6))
+            .unwrap_or_else(|| "-".into())
+    };
     for name in names {
-        let fmt = |r: &BenchReport| {
-            r.span_total_ns(name)
-                .map(|ns| format!("{:.2}", ns as f64 / 1e6))
-                .unwrap_or_else(|| "-".into())
-        };
-        println!("{name:<26} {:>12} {:>12}", fmt(base), fmt(cur));
+        let gated = base
+            .span_self_ns(name)
+            .is_some_and(|ns| ns >= SPAN_NOISE_FLOOR_NS);
+        println!(
+            "{name:<26} {:>12} {:>12} {:>14} {:>14} {}",
+            fmt(base.span_total_ns(name)),
+            fmt(cur.span_total_ns(name)),
+            fmt(base.span_self_ns(name)),
+            fmt(cur.span_self_ns(name)),
+            if gated { "[gated]" } else { "" }
+        );
     }
 }
 

@@ -1,0 +1,219 @@
+//! `bench_history` — per-span trend report over `BENCH_*.json` snapshots.
+//!
+//! ```sh
+//! bench_history [--dir results] [--span core.search] [--top N]
+//! ```
+//!
+//! `reproduce` writes one `BENCH_<experiment>.json` per experiment run; the
+//! committed `results/` directory accumulates them as the perf baselines CI
+//! gates against. This tool reads every snapshot in a directory (sorted by
+//! file name, so lexicographic experiment order doubles as the series
+//! order), and renders the trend per span: self time across snapshots with
+//! an ASCII sparkline, plus the wall-time and search-latency percentile
+//! series. Point it at a directory holding dated copies of the same
+//! experiment (`BENCH_smoke.json` from several commits) and the sparkline
+//! is a literal time series; point it at `results/` as committed and it
+//! compares experiments side by side.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use thetis_bench::BenchReport;
+
+const USAGE: &str = "usage: bench_history [--dir DIR] [--span NAME] [--top N]
+  --dir DIR    directory holding BENCH_*.json snapshots (default results)
+  --span NAME  only report this span (default: all)
+  --top N      keep the N spans with the largest latest self time (default 12)";
+
+/// Sparkline glyphs from empty to full.
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir = PathBuf::from("results");
+    let mut only_span: Option<String> = None;
+    let mut top = 12usize;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| {
+            args.get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| die(&format!("{} needs a value", args[i])))
+        };
+        match args[i].as_str() {
+            "--dir" => {
+                dir = PathBuf::from(value(i));
+                i += 2;
+            }
+            "--span" => {
+                only_span = Some(value(i));
+                i += 2;
+            }
+            "--top" => {
+                top = value(i)
+                    .parse()
+                    .unwrap_or_else(|_| die("--top needs an integer"));
+                i += 2;
+            }
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => die(&format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+
+    let snapshots = match load_dir(&dir) {
+        Ok(s) => s,
+        Err(e) => die(&e),
+    };
+    if snapshots.is_empty() {
+        eprintln!(
+            "bench_history: no BENCH_*.json snapshots in {}",
+            dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "bench history: {} snapshot(s) in {}",
+        snapshots.len(),
+        dir.display()
+    );
+    println!();
+
+    // Run-level series: wall time and search-latency percentiles.
+    println!(
+        "{:<24} {:>7} {:>8} {:>9} {:>12} {:>12}",
+        "snapshot", "scale", "queries", "wall s", "p50 ms", "p99 ms"
+    );
+    for (stem, report) in &snapshots {
+        let pct = |q: f64| {
+            report
+                .histogram("core.search_latency")
+                .and_then(|h| h.percentile(q))
+                .map(|ns| format!("{:.3}", ns as f64 / 1e6))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "{stem:<24} {:>7.3} {:>8} {:>9.2} {:>12} {:>12}",
+            report.scale,
+            report.n_queries,
+            report.wall_seconds,
+            pct(0.50),
+            pct(0.99),
+        );
+    }
+    println!();
+
+    // Span-level series: self time per snapshot, newest-snapshot-ranked.
+    let mut series: BTreeMap<String, Vec<Option<u64>>> = BTreeMap::new();
+    for (idx, (_, report)) in snapshots.iter().enumerate() {
+        for span in &report.spans {
+            if only_span.as_ref().is_some_and(|s| s != &span.name) {
+                continue;
+            }
+            series
+                .entry(span.name.clone())
+                .or_insert_with(|| vec![None; snapshots.len()])[idx] = Some(span.self_ns);
+        }
+    }
+    if series.is_empty() {
+        if let Some(span) = only_span {
+            eprintln!("bench_history: span {span:?} appears in no snapshot");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+    let mut rows: Vec<(&String, &Vec<Option<u64>>)> = series.iter().collect();
+    rows.sort_by_key(|(name, points)| {
+        // Largest latest self time first; name breaks ties deterministically.
+        let latest = points.iter().rev().flatten().next().copied().unwrap_or(0);
+        (std::cmp::Reverse(latest), name.to_string())
+    });
+    let shown = rows.len().min(top.max(1));
+
+    println!("span self-time trend (ms per snapshot, oldest → newest):");
+    println!(
+        "{:<26} {:>12} {:>12} {:>8}  trend",
+        "span", "first ms", "latest ms", "Δ%"
+    );
+    for (name, points) in rows.iter().take(shown) {
+        let known: Vec<u64> = points.iter().copied().flatten().collect();
+        let first = *known.first().expect("series has a point");
+        let latest = *known.last().expect("series has a point");
+        let delta = if first == 0 {
+            "-".to_string()
+        } else {
+            format!("{:+.1}", (latest as f64 / first as f64 - 1.0) * 100.0)
+        };
+        println!(
+            "{name:<26} {:>12.2} {:>12.2} {:>8}  {}",
+            first as f64 / 1e6,
+            latest as f64 / 1e6,
+            delta,
+            sparkline(points)
+        );
+    }
+    if rows.len() > shown {
+        println!(
+            "({} more span(s) below the --top {} cut)",
+            rows.len() - shown,
+            shown
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Reads every `BENCH_*.json` in `dir`, file-name-sorted, as
+/// `(file stem, report)` pairs. Unparseable files are skipped with a
+/// warning so one corrupt snapshot cannot hide the rest of the history.
+fn load_dir(dir: &Path) -> Result<Vec<(String, BenchReport)>, String> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    let mut out = Vec::new();
+    for path in paths {
+        let stem = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        match serde_json::from_str::<BenchReport>(&text) {
+            Ok(report) => out.push((stem, report)),
+            Err(e) => eprintln!("bench_history: skipping {} ({e})", path.display()),
+        }
+    }
+    Ok(out)
+}
+
+/// Renders a span's series as one sparkline glyph per snapshot, scaled to
+/// the series maximum; gaps (span absent from a snapshot) render as `·`.
+fn sparkline(points: &[Option<u64>]) -> String {
+    let max = points.iter().copied().flatten().max().unwrap_or(0);
+    points
+        .iter()
+        .map(|p| match p {
+            None => '·',
+            Some(_) if max == 0 => SPARKS[0],
+            Some(v) => {
+                let idx = (*v as f64 / max as f64 * (SPARKS.len() - 1) as f64).round() as usize;
+                SPARKS[idx.min(SPARKS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}

@@ -83,7 +83,11 @@ fn main() -> ExitCode {
     }
 
     let ctx = Ctx::new(scale, queries, out);
-    thetis::obs::set_enabled(true);
+    // THETIS_OBS=0 runs the experiments with telemetry fully off (the
+    // BENCH_*.json snapshot then carries wall time but empty metrics).
+    if !thetis::obs::env_disabled() {
+        thetis::obs::set_enabled(true);
+    }
     let start = std::time::Instant::now();
     let known = run_experiment(&ctx, &command);
     if !known {

@@ -48,6 +48,21 @@ pub struct HistogramRow {
     pub buckets: Vec<u64>,
 }
 
+impl HistogramRow {
+    /// The `q`-quantile of the recorded latencies in nanoseconds, linearly
+    /// interpolated within the containing bucket (see
+    /// [`thetis::obs::HistogramSnapshot::percentile`] for the estimator).
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        thetis::obs::HistogramSnapshot {
+            name: "",
+            buckets: self.buckets.clone(),
+            sum_ns: self.sum_ns,
+            count: self.count,
+        }
+        .percentile(q)
+    }
+}
+
 /// The `BENCH_<experiment>.json` document.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -116,12 +131,26 @@ impl BenchReport {
             .map(|s| s.total_ns)
     }
 
+    /// The self nanoseconds of span `name` (net of nested spans), if
+    /// present.
+    pub fn span_self_ns(&self, name: &str) -> Option<u64> {
+        self.spans
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.self_ns)
+    }
+
     /// The value of counter `name`, if present.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters
             .iter()
             .find(|c| c.name == name)
             .map(|c| c.value)
+    }
+
+    /// The latency histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramRow> {
+        self.histograms.iter().find(|h| h.name == name)
     }
 }
 
@@ -168,7 +197,16 @@ mod tests {
         let back: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.experiment, "smoke");
         assert_eq!(back.span_total_ns("lsh.build"), Some(5_000_000));
+        assert_eq!(back.span_self_ns("lsh.build"), Some(4_000_000));
         assert_eq!(back.counter("core.searches"), Some(12));
         assert_eq!(back.histograms[0].buckets.len(), 9);
+        // All 12 observations sit in the 1ms–10ms bucket: p50 interpolates
+        // to mid-bucket rather than the 10ms upper bound.
+        let h = back.histogram("core.search_latency").unwrap();
+        assert_eq!(h.percentile(0.5), Some(1_000_000 + 9_000_000 / 2));
+        // With 12 observations p99 lands on the last one: the bucket top —
+        // but never beyond it (the old bound-only estimate capped here too).
+        assert_eq!(h.percentile(0.99), Some(10_000_000));
+        assert!(h.percentile(0.75).unwrap() < 10_000_000);
     }
 }

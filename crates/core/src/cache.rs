@@ -75,6 +75,20 @@ impl CacheStats {
             served: self.served - earlier.served,
         }
     }
+
+    /// Records this delta as a `sigma.cache` event on `trace` (a no-op for
+    /// an inactive trace): how many σ evaluations the search performed, how
+    /// many lookups the memo served, and the resulting hit rate. One summary
+    /// event per search — per-lookup events would dominate the trace.
+    pub fn record_trace_summary(&self, trace: &thetis_obs::QueryTrace) {
+        trace.record_with("sigma.cache", || {
+            thetis_obs::trace_attrs![
+                ("computed", self.computed),
+                ("served", self.served),
+                ("hit_rate", self.hit_rate()),
+            ]
+        });
+    }
 }
 
 /// A thread-safe memo of `σ(query entity, lake entity)` values, sharded by

@@ -10,7 +10,7 @@ use thetis_lsh::lsei::{EntitySigner, Lsei};
 use crate::cache::{CachedSimilarity, CountingSimilarity, SimilarityCache};
 use crate::informativeness::Informativeness;
 use crate::query::Query;
-use crate::search::{score_candidates, score_candidates_pruned, ScoreTimings};
+use crate::search::{score_candidates_pruned_traced, score_candidates_traced, ScoreTimings};
 use crate::semrel::RowAgg;
 use crate::similarity::EntitySimilarity;
 use crate::topk::TopK;
@@ -207,6 +207,23 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
         self.search_candidates(query, options, &all, 0, 0.0)
     }
 
+    /// [`ThetisEngine::search`] with a flight recorder attached: an active
+    /// trace receives the full per-query event stream (Hungarian mappings,
+    /// per-tuple SemRel breakdowns, prune decisions, σ-cache summary,
+    /// ranked results, phase timings). Pass [`QueryTrace::disabled`]
+    /// (or a sampled-out handle) for zero extra work.
+    ///
+    /// [`QueryTrace::disabled`]: thetis_obs::QueryTrace::disabled
+    pub fn search_traced(
+        &self,
+        query: &Query,
+        options: SearchOptions,
+        trace: &thetis_obs::QueryTrace,
+    ) -> SearchResult {
+        let all: Vec<TableId> = (0..self.lake.len() as u32).map(TableId).collect();
+        self.search_candidates_cached(query, options, &all, 0, 0.0, None, trace)
+    }
+
     /// Brute-force search memoizing σ into a caller-provided cache, so the
     /// memo outlives one call: repeating a search against an already-warm
     /// cache computes no σ at all (hit rate 1.0). The caller must clear or
@@ -218,7 +235,15 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
         cache: &SimilarityCache,
     ) -> SearchResult {
         let all: Vec<TableId> = (0..self.lake.len() as u32).map(TableId).collect();
-        self.search_candidates_cached(query, options, &all, 0, 0.0, Some(cache))
+        self.search_candidates_cached(
+            query,
+            options,
+            &all,
+            0,
+            0.0,
+            Some(cache),
+            &thetis_obs::QueryTrace::disabled(),
+        )
     }
 
     /// Semantic search with LSEI prefiltering (§6): only tables surviving
@@ -230,11 +255,41 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
         lsei: &Lsei<Sg>,
         votes: usize,
     ) -> SearchResult {
+        self.search_prefiltered_traced(
+            query,
+            options,
+            lsei,
+            votes,
+            &thetis_obs::QueryTrace::disabled(),
+        )
+    }
+
+    /// [`ThetisEngine::search_prefiltered`] with a flight recorder attached:
+    /// the LSEI lookup additionally records its per-entity band matches and
+    /// per-table vote counts (see
+    /// [`Lsei::prefilter_traced`](thetis_lsh::lsei::Lsei::prefilter_traced)),
+    /// followed by the full scoring event stream.
+    pub fn search_prefiltered_traced<Sg: EntitySigner>(
+        &self,
+        query: &Query,
+        options: SearchOptions,
+        lsei: &Lsei<Sg>,
+        votes: usize,
+        trace: &thetis_obs::QueryTrace,
+    ) -> SearchResult {
         let start = Instant::now();
-        let pre = lsei.prefilter(&query.distinct_entities(), votes);
+        let pre = lsei.prefilter_traced(&query.distinct_entities(), votes, trace);
         let prefilter_nanos = start.elapsed().as_nanos() as u64;
         let reduction = pre.reduction(self.lake.len());
-        self.search_candidates(query, options, &pre.tables, prefilter_nanos, reduction)
+        self.search_candidates_cached(
+            query,
+            options,
+            &pre.tables,
+            prefilter_nanos,
+            reduction,
+            None,
+            trace,
+        )
     }
 
     /// Prefiltered search with query-side column aggregation (§6.2): the
@@ -287,9 +342,18 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
         prefilter_nanos: u64,
         reduction: f64,
     ) -> SearchResult {
-        self.search_candidates_cached(query, options, candidates, prefilter_nanos, reduction, None)
+        self.search_candidates_cached(
+            query,
+            options,
+            candidates,
+            prefilter_nanos,
+            reduction,
+            None,
+            &thetis_obs::QueryTrace::disabled(),
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn search_candidates_cached(
         &self,
         query: &Query,
@@ -298,6 +362,7 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
         prefilter_nanos: u64,
         reduction: f64,
         external: Option<&SimilarityCache>,
+        trace: &thetis_obs::QueryTrace,
     ) -> SearchResult {
         let _search = OBS_SEARCH.start();
         let start = Instant::now();
@@ -308,7 +373,7 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
 
         let run = |sim: &(dyn EntitySimilarity + Sync)| {
             if options.prune {
-                score_candidates_pruned(
+                score_candidates_pruned_traced(
                     query,
                     self.lake,
                     candidates,
@@ -317,9 +382,10 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
                     options.agg,
                     options.resolved_threads(),
                     options.k,
+                    trace,
                 )
             } else {
-                score_candidates(
+                score_candidates_traced(
                     query,
                     self.lake,
                     candidates,
@@ -327,6 +393,7 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
                     &self.inform,
                     options.agg,
                     options.resolved_threads(),
+                    trace,
                 )
             }
         };
@@ -347,6 +414,7 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
             let delta = c.stats().since(before);
             timings.sigma_computed = delta.computed;
             timings.sigma_cached = delta.served;
+            delta.record_trace_summary(trace);
         }
 
         let mut topk = TopK::new(options.k);
@@ -354,7 +422,26 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
             topk.push(tid, score);
         }
         let ranked = topk.into_sorted();
+        if trace.is_active() {
+            for (rank, &(tid, score)) in ranked.iter().enumerate() {
+                trace.record(
+                    "search.result",
+                    thetis_obs::trace_attrs![
+                        ("rank", rank + 1),
+                        ("table", tid.0),
+                        ("score", score)
+                    ],
+                );
+            }
+        }
         let total_nanos = prefilter_nanos + start.elapsed().as_nanos() as u64;
+        trace.record_phase_with("core.search", start, || {
+            thetis_obs::trace_attrs![
+                ("candidates", candidates.len()),
+                ("tables_scored", timings.tables_scored),
+                ("tables_pruned", timings.tables_pruned),
+            ]
+        });
         if thetis_obs::enabled() {
             OBS_SEARCHES.inc();
             OBS_CANDIDATES.add(candidates.len() as u64);
@@ -527,6 +614,61 @@ mod tests {
         assert!(first.stats.sigma_computed() > 0);
         assert_eq!(second.stats.sigma_computed(), 0);
         assert_eq!(second.stats.sigma_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn traced_search_matches_untraced_and_records_the_pipeline() {
+        let (g, lake, players, _) = fixture();
+        let engine = ThetisEngine::new(&g, &lake, TypeJaccard::new(&g));
+        let cfg = LshConfig::new(32, 8);
+        let signer = TypeSigner::new(&g, TypeFilter::none(), cfg, 7);
+        let lsei = Lsei::build(&lake, signer, cfg, LseiMode::Entity);
+        let q = Query::single(vec![players[0]]);
+        let opts = SearchOptions {
+            threads: 2,
+            ..SearchOptions::top(2)
+        };
+
+        let plain = engine.search_prefiltered(&q, opts, &lsei, 1);
+        let trace = thetis_obs::QueryTrace::forced(0xABCD);
+        let traced = engine.search_prefiltered_traced(&q, opts, &lsei, 1, &trace);
+        assert_eq!(plain.ranked, traced.ranked);
+
+        let events = trace.events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        for expected in [
+            "lsei.prefilter",
+            "lsei.lookup",
+            "lsei.admit",
+            "hungarian.map",
+            "semrel.tuple",
+            "score.table",
+            "sigma.cache",
+            "search.result",
+            "core.search",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
+        // Ranked results round-trip through the trace in rank order.
+        let results: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "search.result")
+            .collect();
+        assert_eq!(results.len(), traced.ranked.len());
+        for (i, (r, &(tid, score))) in results.iter().zip(&traced.ranked).enumerate() {
+            assert_eq!(r.attr_u64("rank"), Some(i as u64 + 1));
+            assert_eq!(r.attr_u64("table"), Some(tid.0 as u64));
+            assert_eq!(r.attr_f64("score"), Some(score));
+        }
+        // The whole export survives a JSON round trip.
+        let parsed = thetis_obs::parse_trace_json(&trace.to_json()).expect("parses");
+        assert_eq!(parsed.events, events);
+
+        // A disabled trace records nothing and does not perturb results.
+        let off = thetis_obs::QueryTrace::disabled();
+        let silent = engine.search_prefiltered_traced(&q, opts, &lsei, 1, &off);
+        assert_eq!(silent.ranked, plain.ranked);
+        assert!(off.is_empty());
     }
 
     #[test]

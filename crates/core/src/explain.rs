@@ -9,9 +9,10 @@
 
 use thetis_datalake::{DataLake, TableId};
 use thetis_kg::EntityId;
+use thetis_lsh::lsei::AdmissionEvidence;
 
 use crate::informativeness::Informativeness;
-use crate::mapping::map_tuple_to_columns;
+use crate::mapping::map_tuple_to_columns_detailed;
 use crate::query::Query;
 use crate::semrel::{distance_score, RowAgg};
 use crate::similarity::EntitySimilarity;
@@ -23,12 +24,27 @@ pub struct EntityMatch {
     pub query_entity: EntityId,
     /// The column `τ` assigned it to (`None` = no column left).
     pub column: Option<usize>,
+    /// The column-relevance score `S[i][τ(i)]` that made the Hungarian
+    /// step choose that column (0 when unassigned).
+    pub column_relevance: f64,
     /// The best-matching entity in that column (under the row aggregation).
     pub matched_entity: Option<EntityId>,
     /// The aggregated similarity `x_i` that entered Eq. 2.
     pub similarity: f64,
     /// The informativeness weight `I(e)` of the query entity.
     pub weight: f64,
+}
+
+impl EntityMatch {
+    /// This entity's contribution `I(e_i) · (1 − x_i)²` to the squared
+    /// weighted distance of Eq. 2. Per tuple,
+    /// `score = 1 / (sqrt(Σ_i contribution_i) + 1)` (Eq. 3) — the
+    /// documented aggregation under which the per-entity σ breakdown sums
+    /// to the reported SemRel score.
+    pub fn distance_contribution(&self) -> f64 {
+        let d = 1.0 - self.similarity;
+        self.weight * d * d
+    }
 }
 
 /// The explanation of one query tuple against the table.
@@ -40,7 +56,21 @@ pub struct TupleExplanation {
     pub score: f64,
 }
 
-/// A full explanation of `SemRel(Q, T)`.
+impl TupleExplanation {
+    /// The weighted distance `D_I` of Eq. 2, rebuilt from the per-entity
+    /// contributions; `score == 1 / (weighted_distance() + 1)` always holds.
+    pub fn weighted_distance(&self) -> f64 {
+        self.matches
+            .iter()
+            .map(EntityMatch::distance_contribution)
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// A full explanation of `SemRel(Q, T)`: a complete score-provenance record
+/// — mapping, per-entity σ breakdown, pruning bound, and (when the search
+/// ran behind an LSEI) the admission evidence.
 #[derive(Debug, Clone)]
 pub struct Explanation {
     /// The explained table.
@@ -52,6 +82,18 @@ pub struct Explanation {
     /// The relevance upper bound the pruning pass would have used for this
     /// table (≥ `score`; 0 for unlinked tables or empty queries).
     pub upper_bound: f64,
+    /// Why the LSEI admitted this table (per-entity votes and band
+    /// matches); `None` when the search did not run behind an LSEI.
+    pub admission: Option<AdmissionEvidence>,
+}
+
+impl Explanation {
+    /// Attaches LSEI admission evidence (see
+    /// [`Lsei::admission_evidence`](thetis_lsh::lsei::Lsei::admission_evidence)).
+    pub fn with_admission(mut self, admission: AdmissionEvidence) -> Self {
+        self.admission = Some(admission);
+        self
+    }
 }
 
 /// Explains the SemRel score of `table` for `query` (max row aggregation,
@@ -66,13 +108,14 @@ pub fn explain(
     let table = lake.table(table_id);
     let mut tuples = Vec::with_capacity(query.len());
     for tuple in &query.tuples {
-        let mapping = map_tuple_to_columns(tuple, table, sim);
+        let (mapping, relevance) = map_tuple_to_columns_detailed(tuple, table, sim);
         let mut matches: Vec<EntityMatch> = tuple
             .iter()
-            .zip(&mapping.columns)
-            .map(|(&e, &column)| EntityMatch {
+            .zip(mapping.columns.iter().zip(&relevance))
+            .map(|(&e, (&column, &column_relevance))| EntityMatch {
                 query_entity: e,
                 column,
+                column_relevance,
                 matched_entity: None,
                 similarity: 0.0,
                 weight: inform.weight(e),
@@ -108,6 +151,7 @@ pub fn explain(
         tuples,
         score,
         upper_bound,
+        admission: None,
     }
 }
 
@@ -227,6 +271,49 @@ mod tests {
                 ex.score
             );
         }
+    }
+
+    #[test]
+    fn contributions_rebuild_the_reported_score() {
+        let (g, lake, players, teams) = fixture();
+        let sim = TypeJaccard::new(&g);
+        let inform = Informativeness::uniform();
+        for q in [
+            Query::single(vec![players[1]]),
+            Query::single(vec![teams[2], players[1]]),
+            Query::new(vec![vec![players[0], teams[0]], vec![players[2]]]),
+        ] {
+            let ex = explain(&q, &lake, TableId(0), &sim, &inform);
+            let mut mean = 0.0;
+            for t in &ex.tuples {
+                // Eq. 3 over the per-entity contributions of Eq. 2.
+                let rebuilt = 1.0 / (t.weighted_distance() + 1.0);
+                assert!(
+                    (rebuilt - t.score).abs() < 1e-12,
+                    "{rebuilt} vs {}",
+                    t.score
+                );
+                mean += t.score;
+            }
+            mean /= ex.tuples.len() as f64;
+            assert!((mean - ex.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mapped_entities_carry_their_column_relevance() {
+        let (g, lake, players, teams) = fixture();
+        let sim = TypeJaccard::new(&g);
+        let inform = Informativeness::uniform();
+        let q = Query::single(vec![players[0], teams[0]]);
+        let ex = explain(&q, &lake, TableId(0), &sim, &inform);
+        for m in &ex.tuples[0].matches {
+            assert!(m.column.is_some());
+            // The chosen column contains the exact entity plus same-type
+            // neighbors: its relevance strictly exceeds the single best σ.
+            assert!(m.column_relevance >= m.similarity);
+        }
+        assert!(ex.admission.is_none(), "no LSEI was involved");
     }
 
     #[test]

@@ -48,9 +48,26 @@ pub fn map_tuple_to_columns(
     table: &Table,
     sim: &dyn EntitySimilarity,
 ) -> ColumnMapping {
+    map_tuple_to_columns_detailed(tuple, table, sim).0
+}
+
+/// [`map_tuple_to_columns`] keeping the chosen pairs' relevance: returns
+/// the mapping plus, per query entity, the column-relevance score
+/// `S[i][τ(i)]` of its assigned column (0 when unassigned) — the evidence
+/// behind the Hungarian step's choice.
+pub fn map_tuple_to_columns_detailed(
+    tuple: &EntityTuple,
+    table: &Table,
+    sim: &dyn EntitySimilarity,
+) -> (ColumnMapping, Vec<f64>) {
     let matrix = score_matrix(tuple, table, sim);
     let (columns, _) = max_assignment(&matrix);
-    ColumnMapping { columns }
+    let relevance = columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| c.map_or(0.0, |j| matrix[i][j]))
+        .collect();
+    (ColumnMapping { columns }, relevance)
 }
 
 #[cfg(test)]

@@ -86,6 +86,35 @@ pub fn score_table(
     agg: RowAgg,
     timings: &mut ScoreTimings,
 ) -> Option<f64> {
+    score_table_traced(
+        query,
+        lake,
+        table_id,
+        sim,
+        inform,
+        agg,
+        timings,
+        &thetis_obs::QueryTrace::disabled(),
+    )
+}
+
+/// [`score_table`] with a flight recorder attached. An active trace receives,
+/// per query tuple, a `hungarian.map` event (the chosen tuple→column mapping
+/// with each pair's column-relevance) and a `semrel.tuple` event (the
+/// aggregated per-entity similarities `x_i` and the tuple's Eq. 3 score),
+/// plus one `score.table` phase for the whole table. An inactive trace costs
+/// one branch per tuple.
+#[allow(clippy::too_many_arguments)]
+pub fn score_table_traced(
+    query: &Query,
+    lake: &DataLake,
+    table_id: TableId,
+    sim: &dyn EntitySimilarity,
+    inform: &Informativeness,
+    agg: RowAgg,
+    timings: &mut ScoreTimings,
+    trace: &thetis_obs::QueryTrace,
+) -> Option<f64> {
     let table = lake.table(table_id);
     let has_links = table
         .rows()
@@ -97,18 +126,86 @@ pub fn score_table(
 
     let start = Instant::now();
     let mut sum = 0.0;
-    for tuple in &query.tuples {
+    for (ti, tuple) in query.tuples.iter().enumerate() {
         let map_start = Instant::now();
-        let mapping = map_tuple_to_columns(tuple, table, sim);
-        let agg_start = Instant::now();
-        timings.mapping_nanos += agg_start.duration_since(map_start).as_nanos() as u64;
-        timings.mapping_count += 1;
-        sum += tuple_table_score(tuple, table, &mapping, sim, inform, agg);
-        timings.agg_nanos += agg_start.elapsed().as_nanos() as u64;
+        if trace.is_active() {
+            let (mapping, relevance) =
+                crate::mapping::map_tuple_to_columns_detailed(tuple, table, sim);
+            let agg_start = Instant::now();
+            timings.mapping_nanos += agg_start.duration_since(map_start).as_nanos() as u64;
+            timings.mapping_count += 1;
+            trace.record(
+                "hungarian.map",
+                thetis_obs::trace_attrs![
+                    ("table", table_id.0),
+                    ("tuple", ti),
+                    ("mapping", render_mapping(&mapping.columns)),
+                    ("relevance", render_f64_list(&relevance)),
+                ],
+            );
+            let (tuple_score, xs) =
+                crate::semrel::tuple_table_score_detailed(tuple, table, &mapping, sim, inform, agg);
+            trace.record(
+                "semrel.tuple",
+                thetis_obs::trace_attrs![
+                    ("table", table_id.0),
+                    ("tuple", ti),
+                    ("x", render_f64_list(&xs)),
+                    ("score", tuple_score),
+                ],
+            );
+            sum += tuple_score;
+            timings.agg_nanos += agg_start.elapsed().as_nanos() as u64;
+        } else {
+            let mapping = map_tuple_to_columns(tuple, table, sim);
+            let agg_start = Instant::now();
+            timings.mapping_nanos += agg_start.duration_since(map_start).as_nanos() as u64;
+            timings.mapping_count += 1;
+            sum += tuple_table_score(tuple, table, &mapping, sim, inform, agg);
+            timings.agg_nanos += agg_start.elapsed().as_nanos() as u64;
+        }
     }
     timings.scoring_nanos += start.elapsed().as_nanos() as u64;
     timings.tables_scored += 1;
-    Some(sum / query.len() as f64)
+    let score = sum / query.len() as f64;
+    trace.record_phase_with("score.table", start, || {
+        thetis_obs::trace_attrs![("table", table_id.0), ("score", score)]
+    });
+    Some(score)
+}
+
+/// The mapping `τ` as a compact string, e.g. `"0→2,1→—"`.
+fn render_mapping(columns: &[Option<usize>]) -> String {
+    let mut out = String::new();
+    for (i, c) in columns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match c {
+            Some(j) => {
+                out.push_str(&i.to_string());
+                out.push('→');
+                out.push_str(&j.to_string());
+            }
+            None => {
+                out.push_str(&i.to_string());
+                out.push_str("→—");
+            }
+        }
+    }
+    out
+}
+
+/// A float vector as a compact comma list, e.g. `"1.0000,0.9500"`.
+fn render_f64_list(xs: &[f64]) -> String {
+    let mut out = String::new();
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{x:.4}"));
+    }
+    out
 }
 
 /// An upper bound on [`score_table`] for the same arguments, cheap enough
@@ -172,39 +269,57 @@ pub fn score_candidates(
     agg: RowAgg,
     threads: usize,
 ) -> (Vec<(TableId, f64)>, ScoreTimings) {
+    score_candidates_traced(
+        query,
+        lake,
+        candidates,
+        sim,
+        inform,
+        agg,
+        threads,
+        &thetis_obs::QueryTrace::disabled(),
+    )
+}
+
+/// [`score_candidates`] with a flight recorder attached; the trace handle is
+/// shared across the scoring workers (its event buffer is mutex-guarded and
+/// events are time-ordered on export).
+#[allow(clippy::too_many_arguments)]
+pub fn score_candidates_traced(
+    query: &Query,
+    lake: &DataLake,
+    candidates: &[TableId],
+    sim: &(dyn EntitySimilarity + Sync),
+    inform: &Informativeness,
+    agg: RowAgg,
+    threads: usize,
+    trace: &thetis_obs::QueryTrace,
+) -> (Vec<(TableId, f64)>, ScoreTimings) {
     let threads = threads.max(1);
     if candidates.is_empty() {
         return (Vec::new(), ScoreTimings::default());
     }
-    if threads == 1 || candidates.len() < 64 {
+    let run_chunk = |slice: &[TableId]| {
         let mut timings = ScoreTimings::default();
-        let mut out = Vec::with_capacity(candidates.len());
-        for &tid in candidates {
-            if let Some(s) = score_table(query, lake, tid, sim, inform, agg, &mut timings) {
+        let mut out = Vec::with_capacity(slice.len());
+        for &tid in slice {
+            if let Some(s) =
+                score_table_traced(query, lake, tid, sim, inform, agg, &mut timings, trace)
+            {
                 out.push((tid, s));
             }
         }
-        return (out, timings);
+        (out, timings)
+    };
+    if threads == 1 || candidates.len() < 64 {
+        return run_chunk(candidates);
     }
 
     let chunk = candidates.len().div_ceil(threads);
     let results: Vec<(Vec<(TableId, f64)>, ScoreTimings)> = std::thread::scope(|scope| {
         let handles: Vec<_> = candidates
             .chunks(chunk)
-            .map(|slice| {
-                scope.spawn(move || {
-                    let mut timings = ScoreTimings::default();
-                    let mut out = Vec::with_capacity(slice.len());
-                    for &tid in slice {
-                        if let Some(s) =
-                            score_table(query, lake, tid, sim, inform, agg, &mut timings)
-                        {
-                            out.push((tid, s));
-                        }
-                    }
-                    (out, timings)
-                })
-            })
+            .map(|slice| scope.spawn(move || run_chunk(slice)))
             .collect();
         handles
             .into_iter()
@@ -244,6 +359,36 @@ pub fn score_candidates_pruned(
     threads: usize,
     k: usize,
 ) -> (Vec<(TableId, f64)>, ScoreTimings) {
+    score_candidates_pruned_traced(
+        query,
+        lake,
+        candidates,
+        sim,
+        inform,
+        agg,
+        threads,
+        k,
+        &thetis_obs::QueryTrace::disabled(),
+    )
+}
+
+/// [`score_candidates_pruned`] with a flight recorder attached: an active
+/// trace additionally receives one `prune.skip` event per pruned table (its
+/// upper bound and the floor that killed it); scored tables leave their
+/// `score.table` / `hungarian.map` / `semrel.tuple` events via
+/// [`score_table_traced`].
+#[allow(clippy::too_many_arguments)]
+pub fn score_candidates_pruned_traced(
+    query: &Query,
+    lake: &DataLake,
+    candidates: &[TableId],
+    sim: &(dyn EntitySimilarity + Sync),
+    inform: &Informativeness,
+    agg: RowAgg,
+    threads: usize,
+    k: usize,
+    trace: &thetis_obs::QueryTrace,
+) -> (Vec<(TableId, f64)>, ScoreTimings) {
     use std::sync::atomic::{AtomicU64, Ordering};
 
     use crate::topk::TopK;
@@ -269,9 +414,14 @@ pub fn score_candidates_pruned(
             let floor = f64::from_bits(floor_bits.load(Ordering::Relaxed));
             if bound < floor {
                 timings.tables_pruned += 1;
+                trace.record_with("prune.skip", || {
+                    thetis_obs::trace_attrs![("table", tid.0), ("bound", bound), ("floor", floor),]
+                });
                 continue;
             }
-            if let Some(s) = score_table(query, lake, tid, sim, inform, agg, &mut timings) {
+            if let Some(s) =
+                score_table_traced(query, lake, tid, sim, inform, agg, &mut timings, trace)
+            {
                 local.push(tid, s);
                 if local.len() == k {
                     let min = local.min_score().expect("full top-k has a minimum");
@@ -440,6 +590,48 @@ mod tests {
         assert_eq!(survivors[0].0, TableId(0));
         assert_eq!(timings.tables_scored, 1);
         assert_eq!(timings.tables_pruned, 1);
+    }
+
+    #[test]
+    fn traced_scoring_matches_untraced_and_records_provenance() {
+        let (g, lake, players) = fixture();
+        let sim = TypeJaccard::new(&g);
+        let inform = Informativeness::uniform();
+        let q = Query::single(vec![players[0]]);
+        let cands: Vec<TableId> = (0..3).map(TableId).collect();
+
+        let (plain, _) =
+            score_candidates_pruned(&q, &lake, &cands, &sim, &inform, RowAgg::Max, 1, 1);
+        let trace = thetis_obs::QueryTrace::forced(11);
+        let (traced, _) = score_candidates_pruned_traced(
+            &q,
+            &lake,
+            &cands,
+            &sim,
+            &inform,
+            RowAgg::Max,
+            1,
+            1,
+            &trace,
+        );
+        assert_eq!(plain, traced, "tracing must not perturb the ranking");
+
+        let events = trace.events();
+        let maps: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "hungarian.map")
+            .collect();
+        assert!(!maps.is_empty());
+        assert_eq!(maps[0].attr_str("mapping"), Some("0→0"));
+        let tuples: Vec<_> = events.iter().filter(|e| e.name == "semrel.tuple").collect();
+        assert!(!tuples.is_empty());
+        assert!(tuples[0].attr_f64("score").is_some());
+        let skips: Vec<_> = events.iter().filter(|e| e.name == "prune.skip").collect();
+        assert_eq!(skips.len(), 1, "table 1 is dominated and must be pruned");
+        assert!(skips[0].attr_f64("bound").unwrap() < skips[0].attr_f64("floor").unwrap());
+        let scored: Vec<_> = events.iter().filter(|e| e.name == "score.table").collect();
+        assert_eq!(scored.len(), 1);
+        assert_eq!(scored[0].attr_f64("score"), Some(plain[0].1));
     }
 
     #[test]

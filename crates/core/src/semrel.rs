@@ -57,6 +57,21 @@ pub fn tuple_table_score(
     inform: &Informativeness,
     agg: RowAgg,
 ) -> f64 {
+    tuple_table_score_detailed(tuple, table, mapping, sim, inform, agg).0
+}
+
+/// [`tuple_table_score`] keeping the intermediate state: returns the score
+/// together with the per-query-entity aggregated similarities
+/// `⟨x_1, ..., x_m⟩` that entered Eq. 2 (the coordinates of the tuple's
+/// point in the SemRel space — what a flight recorder or explanation wants).
+pub fn tuple_table_score_detailed(
+    tuple: &EntityTuple,
+    table: &Table,
+    mapping: &ColumnMapping,
+    sim: &dyn EntitySimilarity,
+    inform: &Informativeness,
+    agg: RowAgg,
+) -> (f64, Vec<f64>) {
     let m = tuple.len();
     let mut acc = vec![0.0f64; m];
     let n_rows = table.n_rows();
@@ -84,7 +99,8 @@ pub fn tuple_table_score(
             *a /= n_rows as f64;
         }
     }
-    distance_score(tuple, &acc, inform)
+    let score = distance_score(tuple, &acc, inform);
+    (score, acc)
 }
 
 /// SemRel between two entity tuples (§4.1): the target tuple is treated as

@@ -50,6 +50,27 @@ impl<T: Copy + Eq> LshIndex<T> {
         out
     }
 
+    /// Like [`LshIndex::query_bag`], but keeps band identity: returns one
+    /// `(band, bucket)` pair per band whose bucket contains at least one
+    /// item. Provenance surfaces use this to report *which* signature bands
+    /// produced a collision, not just how many.
+    pub fn query_by_band(&self, sig: &Signature) -> Vec<(usize, &[T])> {
+        let mut out = Vec::new();
+        for (band, (group, key)) in self
+            .groups
+            .iter()
+            .zip(band_keys(sig, &self.config))
+            .enumerate()
+        {
+            if let Some(bucket) = group.get(&key) {
+                if !bucket.is_empty() {
+                    out.push((band, bucket.as_slice()));
+                }
+            }
+        }
+        out
+    }
+
     /// Read access to the bucket groups (for persistence).
     pub fn groups(&self) -> &[HashMap<u64, Vec<T>>] {
         &self.groups
@@ -117,6 +138,26 @@ mod tests {
         let b = sig(&[false; 8]);
         idx.insert(&a, 1u32);
         assert!(idx.query_bag(&b).is_empty());
+    }
+
+    #[test]
+    fn query_by_band_reports_only_colliding_bands() {
+        let cfg = LshConfig::new(8, 4);
+        let mut idx = LshIndex::new(cfg);
+        let a = sig(&[true, true, true, true, false, false, false, false]);
+        // Same first band as `a`, different second band.
+        let b = sig(&[true, true, true, true, true, true, true, true]);
+        idx.insert(&a, 7u32);
+        let hits = idx.query_by_band(&b);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 0);
+        assert_eq!(hits[0].1, &[7]);
+        // Identical signature: every band collides, in band order.
+        let hits = idx.query_by_band(&a);
+        assert_eq!(
+            hits.iter().map(|&(band, _)| band).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
     }
 
     #[test]

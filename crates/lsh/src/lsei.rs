@@ -141,6 +141,49 @@ pub struct PrefilterResult {
     pub raw_candidates: usize,
 }
 
+/// Why the LSEI admitted one table for one query: the per-entity vote
+/// breakdown behind a [`Lsei::prefilter`] decision (provenance for the
+/// `explain` surface — not computed on the search hot path).
+#[derive(Debug, Clone)]
+pub struct AdmissionEvidence {
+    /// The admitted table.
+    pub table: TableId,
+    /// The voting threshold the lookup ran with.
+    pub votes_required: usize,
+    /// Per query entity, the votes this table collected (entities that
+    /// contributed no vote are included with an empty band list, so the
+    /// caller sees the full query).
+    pub entity_votes: Vec<EntityVotes>,
+}
+
+/// One query entity's contribution to a table's admission.
+#[derive(Debug, Clone)]
+pub struct EntityVotes {
+    /// The query entity that was looked up.
+    pub entity: EntityId,
+    /// Votes this table collected from the entity's lookup (its
+    /// multiplicity in the post-banding candidate bag).
+    pub votes: usize,
+    /// Signature bands whose buckets contributed at least one of those
+    /// votes, in band order.
+    pub bands: Vec<usize>,
+}
+
+impl AdmissionEvidence {
+    /// Total votes across all query entities.
+    pub fn total_votes(&self) -> usize {
+        self.entity_votes.iter().map(|v| v.votes).sum()
+    }
+
+    /// Whether any single entity cleared the voting threshold (the
+    /// admission rule of §6.2: voting is per lookup, results are merged).
+    pub fn admitted(&self) -> bool {
+        self.entity_votes
+            .iter()
+            .any(|v| v.votes >= self.votes_required.max(1))
+    }
+}
+
 impl PrefilterResult {
     /// Search-space reduction relative to a lake of `total` tables, as a
     /// fraction in `[0, 1]` (Table 4 of the paper).
@@ -406,15 +449,49 @@ impl<S: EntitySigner> Lsei<S> {
         bag
     }
 
-    /// Applies the voting threshold to a bag and returns the sorted
-    /// surviving table set.
-    fn vote(bag: &[TableId], votes: usize) -> Vec<TableId> {
-        let _vote = OBS_QUERY_VOTE.start();
+    /// Like [`Lsei::table_bag`], but keeps band identity: also returns the
+    /// band indices whose buckets contributed at least one table. Bag
+    /// contents and order are identical to `table_bag` (bands are expanded
+    /// in band order either way).
+    fn table_bag_banded(&self, sig: &Signature) -> (Vec<TableId>, Vec<usize>) {
+        let mut bag = Vec::new();
+        let mut bands = Vec::new();
+        for (band, bucket) in self.index.query_by_band(sig) {
+            let before = bag.len();
+            match self.mode {
+                LseiMode::Entity => {
+                    for &raw in bucket {
+                        if let Some(tables) = self.postings.get(&EntityId(raw)) {
+                            bag.extend_from_slice(tables);
+                        }
+                    }
+                }
+                LseiMode::Column => {
+                    bag.extend(bucket.iter().copied().map(TableId));
+                }
+            }
+            if bag.len() > before {
+                bands.push(band);
+            }
+        }
+        (bag, bands)
+    }
+
+    /// Per-table multiplicities of a candidate bag (the vote counts the
+    /// threshold is applied to).
+    fn vote_counts(bag: &[TableId]) -> HashMap<TableId, usize> {
         let mut counts: HashMap<TableId, usize> = HashMap::new();
         for &t in bag {
             *counts.entry(t).or_insert(0) += 1;
         }
-        let mut out: Vec<TableId> = counts
+        counts
+    }
+
+    /// Applies the voting threshold to a bag and returns the sorted
+    /// surviving table set.
+    fn vote(bag: &[TableId], votes: usize) -> Vec<TableId> {
+        let _vote = OBS_QUERY_VOTE.start();
+        let mut out: Vec<TableId> = Self::vote_counts(bag)
             .into_iter()
             .filter(|&(_, c)| c >= votes.max(1))
             .map(|(t, _)| t)
@@ -426,8 +503,23 @@ impl<S: EntitySigner> Lsei<S> {
     /// The prefilter of §6.2: each query entity is looked up individually,
     /// voting is applied per lookup, and the per-entity results are merged.
     pub fn prefilter(&self, query_entities: &[EntityId], votes: usize) -> PrefilterResult {
+        self.prefilter_traced(query_entities, votes, &thetis_obs::QueryTrace::disabled())
+    }
+
+    /// [`Lsei::prefilter`] with a flight recorder attached: an active trace
+    /// receives one `lsei.lookup` event per query entity (raw bag size,
+    /// which signature bands matched, how many tables survived voting) and
+    /// one `lsei.admit` event per admitted table with its vote count. An
+    /// inactive trace costs one branch per entity and changes nothing.
+    pub fn prefilter_traced(
+        &self,
+        query_entities: &[EntityId],
+        votes: usize,
+        trace: &thetis_obs::QueryTrace,
+    ) -> PrefilterResult {
         let started = thetis_obs::enabled().then(std::time::Instant::now);
         let _query = OBS_QUERY.start();
+        let mut phase = trace.phase("lsei.prefilter");
         let mut raw = 0usize;
         let mut merged: Vec<TableId> = Vec::new();
         for &e in query_entities {
@@ -435,9 +527,46 @@ impl<S: EntitySigner> Lsei<S> {
                 let _sign = OBS_QUERY_SIGN.start();
                 self.signer.sign_entity(e)
             };
-            let bag = self.table_bag(&sig);
-            raw += bag.len();
-            merged.extend(Self::vote(&bag, votes));
+            if trace.is_active() {
+                let (bag, bands) = self.table_bag_banded(&sig);
+                raw += bag.len();
+                let admitted = {
+                    let _vote = OBS_QUERY_VOTE.start();
+                    let counts = Self::vote_counts(&bag);
+                    let mut admitted: Vec<(TableId, usize)> = counts
+                        .into_iter()
+                        .filter(|&(_, c)| c >= votes.max(1))
+                        .collect();
+                    admitted.sort_unstable_by_key(|&(t, _)| t);
+                    admitted
+                };
+                trace.record(
+                    "lsei.lookup",
+                    thetis_obs::trace_attrs![
+                        ("entity", e.0),
+                        ("raw_candidates", bag.len()),
+                        ("bands_matched", bands.len()),
+                        ("bands", render_band_list(&bands)),
+                        ("admitted", admitted.len()),
+                    ],
+                );
+                for &(t, c) in &admitted {
+                    trace.record(
+                        "lsei.admit",
+                        thetis_obs::trace_attrs![
+                            ("entity", e.0),
+                            ("table", t.0),
+                            ("votes", c),
+                            ("votes_required", votes.max(1)),
+                        ],
+                    );
+                }
+                merged.extend(admitted.into_iter().map(|(t, _)| t));
+            } else {
+                let bag = self.table_bag(&sig);
+                raw += bag.len();
+                merged.extend(Self::vote(&bag, votes));
+            }
         }
         merged.sort_unstable();
         merged.dedup();
@@ -446,9 +575,59 @@ impl<S: EntitySigner> Lsei<S> {
         if let Some(started) = started {
             OBS_QUERY_LATENCY.observe_since(started);
         }
+        phase.attr("entities", query_entities.len());
+        phase.attr("raw_candidates", raw);
+        phase.attr("candidates_out", merged.len());
+        drop(phase);
         PrefilterResult {
             tables: merged,
             raw_candidates: raw,
+        }
+    }
+
+    /// Reconstructs the admission evidence for one table: per query entity,
+    /// how many votes the table collected and which signature bands the
+    /// collisions came from. This re-runs the lookups, so it belongs on the
+    /// explain surface, not the search hot path.
+    pub fn admission_evidence(
+        &self,
+        query_entities: &[EntityId],
+        votes: usize,
+        table: TableId,
+    ) -> AdmissionEvidence {
+        let mut entity_votes = Vec::with_capacity(query_entities.len());
+        for &e in query_entities {
+            let sig = self.signer.sign_entity(e);
+            let mut count = 0usize;
+            let mut bands = Vec::new();
+            for (band, bucket) in self.index.query_by_band(&sig) {
+                let before = count;
+                match self.mode {
+                    LseiMode::Entity => {
+                        for &raw in bucket {
+                            if let Some(tables) = self.postings.get(&EntityId(raw)) {
+                                count += tables.iter().filter(|&&t| t == table).count();
+                            }
+                        }
+                    }
+                    LseiMode::Column => {
+                        count += bucket.iter().filter(|&&t| TableId(t) == table).count();
+                    }
+                }
+                if count > before {
+                    bands.push(band);
+                }
+            }
+            entity_votes.push(EntityVotes {
+                entity: e,
+                votes: count,
+                bands,
+            });
+        }
+        AdmissionEvidence {
+            table,
+            votes_required: votes,
+            entity_votes,
         }
     }
 
@@ -488,6 +667,18 @@ impl<S: EntitySigner> Lsei<S> {
             raw_candidates: raw,
         }
     }
+}
+
+/// Band indices as a compact comma list (e.g. `"0,3,7"`), for trace attrs.
+fn render_band_list(bands: &[usize]) -> String {
+    let mut out = String::new();
+    for (i, b) in bands.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&b.to_string());
+    }
+    out
 }
 
 #[cfg(test)]
@@ -647,6 +838,66 @@ mod tests {
         let after = lsei.prefilter(&[bb[0]], 1);
         assert_eq!(before.tables, after.tables);
         assert_eq!(before.raw_candidates, after.raw_candidates);
+    }
+
+    #[test]
+    fn traced_prefilter_matches_untraced_and_records_provenance() {
+        let (g, lake, bb, _vb) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let signer = TypeSigner::new(&g, TypeFilter::none(), cfg, 1);
+        let lsei = Lsei::build(&lake, signer, cfg, LseiMode::Entity);
+
+        let plain = lsei.prefilter(&[bb[0], bb[5]], 1);
+        let trace = thetis_obs::QueryTrace::forced(99);
+        let traced = lsei.prefilter_traced(&[bb[0], bb[5]], 1, &trace);
+        assert_eq!(plain.tables, traced.tables);
+        assert_eq!(plain.raw_candidates, traced.raw_candidates);
+
+        let events = trace.events();
+        let lookups: Vec<_> = events.iter().filter(|e| e.name == "lsei.lookup").collect();
+        assert_eq!(lookups.len(), 2, "one lookup event per query entity");
+        assert!(lookups[0].attr_u64("bands_matched").unwrap() > 0);
+        assert!(!lookups[0].attr_str("bands").unwrap().is_empty());
+        let admits: Vec<_> = events.iter().filter(|e| e.name == "lsei.admit").collect();
+        assert!(!admits.is_empty(), "admitted tables must leave evidence");
+        for admit in &admits {
+            assert!(admit.attr_u64("votes").unwrap() >= admit.attr_u64("votes_required").unwrap());
+        }
+        assert!(events.iter().any(|e| e.name == "lsei.prefilter"));
+
+        // An inactive trace records nothing and changes nothing.
+        let off = thetis_obs::QueryTrace::disabled();
+        let silent = lsei.prefilter_traced(&[bb[0], bb[5]], 1, &off);
+        assert_eq!(silent.tables, plain.tables);
+        assert!(off.is_empty());
+    }
+
+    #[test]
+    fn admission_evidence_agrees_with_prefilter() {
+        let (g, lake, bb, _vb) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let signer = TypeSigner::new(&g, TypeFilter::none(), cfg, 1);
+        let lsei = Lsei::build(&lake, signer, cfg, LseiMode::Entity);
+        let query = &bb[0..2];
+        let res = lsei.prefilter(query, 1);
+        for &t in &res.tables {
+            let ev = lsei.admission_evidence(query, 1, t);
+            assert!(ev.admitted(), "{t:?} was admitted, evidence must agree");
+            assert_eq!(ev.entity_votes.len(), query.len());
+            assert!(ev.total_votes() > 0);
+            // Votes come from somewhere: a voting entity names its bands.
+            for v in ev.entity_votes.iter().filter(|v| v.votes > 0) {
+                assert!(!v.bands.is_empty());
+            }
+        }
+        // A table the prefilter rejected yields non-admitted evidence.
+        let rejected: Vec<TableId> = (0..lake.len() as u32)
+            .map(TableId)
+            .filter(|t| !res.tables.contains(t))
+            .collect();
+        for &t in &rejected {
+            assert!(!lsei.admission_evidence(query, 1, t).admitted());
+        }
     }
 
     #[test]

@@ -48,15 +48,33 @@ mod histogram;
 mod registry;
 mod report;
 mod span;
+pub mod trace;
 
 pub use counter::Counter;
 pub use histogram::{Histogram, HISTOGRAM_BOUNDS_NS};
 pub use report::{CounterSnapshot, HistogramSnapshot, Report, SpanSnapshot};
 pub use span::{Span, SpanGuard};
+pub use trace::{
+    parse_trace_json, set_trace_sampling, should_trace, trace_sampling, AttrValue, ParsedTrace,
+    QueryTrace, TraceEvent, TracePhase,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Environment variable that force-disables all telemetry and tracing:
+/// binaries honoring the kill switch (`reproduce`, `thetis-cli`) skip
+/// [`set_enabled`]/[`set_trace_sampling`] entirely when it is set to `0`.
+pub const OBS_ENV_VAR: &str = "THETIS_OBS";
+
+/// Whether the `THETIS_OBS=0` kill switch is set in the environment.
+///
+/// Only the exact value `0` disables; unset or any other value means
+/// "follow the binary's own flags".
+pub fn env_disabled() -> bool {
+    std::env::var(OBS_ENV_VAR).is_ok_and(|v| v == "0")
+}
 
 /// Whether metrics recording is currently on.
 ///

@@ -52,6 +52,52 @@ pub struct HistogramSnapshot {
     pub count: u64,
 }
 
+impl HistogramSnapshot {
+    /// The `q`-quantile (`q ∈ [0, 1]`) of the recorded latencies, in
+    /// nanoseconds, interpolated linearly *within* the bucket that contains
+    /// the target observation.
+    ///
+    /// Earlier reporting returned the containing bucket's upper bound,
+    /// which with decade-wide buckets overstates p50/p99 by up to 10×
+    /// (every observation between 1 ms and 10 ms reported as 10 ms).
+    /// Interpolation assumes observations spread uniformly across the
+    /// bucket — the standard Prometheus `histogram_quantile` estimate —
+    /// and is exact at bucket boundaries. Observations in the +Inf
+    /// overflow bucket cannot be interpolated; the last finite bound is
+    /// returned for them. Returns `None` when the histogram is empty.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // The rank of the target observation, 1-based: quantile q falls on
+        // observation ⌈q·count⌉ (at least 1).
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lower = if i == 0 {
+                    0
+                } else {
+                    HISTOGRAM_BOUNDS_NS[i - 1]
+                };
+                let Some(&upper) = HISTOGRAM_BOUNDS_NS.get(i) else {
+                    // +Inf bucket: no finite width to interpolate over.
+                    return Some(*HISTOGRAM_BOUNDS_NS.last().expect("bounds non-empty"));
+                };
+                // Position of the target within this bucket, in (0, 1].
+                let into = (rank - seen) as f64 / n as f64;
+                return Some(lower + ((upper - lower) as f64 * into).round() as u64);
+            }
+            seen += n;
+        }
+        None
+    }
+}
+
 /// A full snapshot of the registry, ordered by metric name.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -254,6 +300,53 @@ mod tests {
     fn json_escapes_control_and_quote_characters() {
         assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(escape_json("x\u{1}y"), "x\\u0001y");
+    }
+
+    fn histogram(buckets: Vec<u64>) -> HistogramSnapshot {
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            name: "h",
+            buckets,
+            sum_ns: 0,
+            count,
+        }
+    }
+
+    #[test]
+    fn percentile_interpolates_within_the_bucket() {
+        // 100 observations, all in the 1ms–10ms bucket (index 4).
+        let h = histogram(vec![0, 0, 0, 0, 100, 0, 0, 0, 0]);
+        // p50 sits halfway through the bucket, NOT at the 10ms upper bound.
+        let p50 = h.percentile(0.50).unwrap();
+        assert_eq!(p50, 1_000_000 + (9_000_000 / 2));
+        let p99 = h.percentile(0.99).unwrap();
+        assert!(p99 < 10_000_000, "p99 {p99} must undercut the bucket bound");
+        assert!(p99 > p50);
+        // The top of the bucket is reached only at q = 1.
+        assert_eq!(h.percentile(1.0), Some(10_000_000));
+    }
+
+    #[test]
+    fn percentile_crosses_buckets_correctly() {
+        // 50 observations ≤ 1µs, 50 in (1ms, 10ms].
+        let h = histogram(vec![50, 0, 0, 0, 50, 0, 0, 0, 0]);
+        // p25 is inside the first bucket: interpolated from 0.
+        assert_eq!(h.percentile(0.25), Some(500));
+        // p50 is the last observation of the first bucket: its upper bound.
+        assert_eq!(h.percentile(0.50), Some(1_000));
+        // p75 is halfway through the second occupied bucket.
+        assert_eq!(h.percentile(0.75), Some(1_000_000 + 9_000_000 / 2));
+    }
+
+    #[test]
+    fn percentile_handles_overflow_and_empty() {
+        let empty = histogram(vec![0; 9]);
+        assert_eq!(empty.percentile(0.5), None);
+        // Everything in +Inf: the last finite bound is the best estimate.
+        let mut overflow = vec![0u64; 9];
+        overflow[8] = 10;
+        let h = histogram(overflow);
+        assert_eq!(h.percentile(0.99), Some(10_000_000_000));
     }
 
     #[test]

@@ -1,0 +1,958 @@
+//! Per-query flight recorder: structured search traces.
+//!
+//! The aggregate metrics of this crate (spans / counters / histograms)
+//! answer "how is the engine doing overall"; a [`QueryTrace`] answers "what
+//! happened to *this* query": which LSEI bands matched, which candidates
+//! were admitted with how many votes, which tables were pruned against
+//! which floor, which tuple→column mapping the Hungarian step chose, and
+//! where the time went — one timestamped [`TraceEvent`] per decision, with
+//! typed attributes.
+//!
+//! The design follows the same rules as the rest of the crate:
+//!
+//! * **~Zero cost when disabled.** Tracing is off unless
+//!   [`set_trace_sampling`] turned it on, and even then a query is traced
+//!   only when its id passes the hash sampler. A disabled handle holds
+//!   `None`: no buffer is allocated, every recording call is one branch.
+//!   Call sites that would build attribute vectors guard on
+//!   [`QueryTrace::is_active`] or use [`QueryTrace::record_with`], whose
+//!   closure never runs for an inactive trace.
+//! * **Thread-safe.** The scoring workers of one search share the handle;
+//!   events land in a mutex-guarded buffer and are time-ordered on export.
+//! * **Deterministic, dependency-free exports.** The canonical JSON form
+//!   ([`QueryTrace::to_json`]) round-trips through [`parse_trace_json`];
+//!   [`QueryTrace::to_chrome_json`] loads into `chrome://tracing` /
+//!   Perfetto; [`QueryTrace::render_waterfall`] is the human-readable
+//!   timing breakdown the CLI prints.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Global sampling knob: 0 = tracing off, 1 = trace every query, N = trace
+/// the queries whose id hashes into the 1-in-N sample.
+static TRACE_SAMPLE: AtomicU32 = AtomicU32::new(0);
+
+/// Sets the trace sampling rate process-wide.
+///
+/// `0` disables tracing entirely (the default), `1` traces every query,
+/// `n > 1` traces roughly one query in `n`, chosen deterministically by
+/// query-id hash so the same query id is always either in or out of the
+/// sample.
+pub fn set_trace_sampling(n: u32) {
+    TRACE_SAMPLE.store(n, Ordering::Relaxed);
+}
+
+/// The current trace sampling rate (see [`set_trace_sampling`]).
+pub fn trace_sampling() -> u32 {
+    TRACE_SAMPLE.load(Ordering::Relaxed)
+}
+
+/// FNV-1a over the query id — cheap, stable across runs and platforms.
+fn fnv1a(x: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in x.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Whether a query with this id falls into the current sample.
+///
+/// One relaxed atomic load plus (only when tracing is on at all) a short
+/// integer hash — safe to call per query on the hot path.
+#[inline]
+pub fn should_trace(query_id: u64) -> bool {
+    let n = TRACE_SAMPLE.load(Ordering::Relaxed);
+    match n {
+        0 => false,
+        1 => true,
+        n => fnv1a(query_id).is_multiple_of(n as u64),
+    }
+}
+
+/// A typed attribute value on a [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer (counts, ids, nanoseconds).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (scores, bounds, rates).
+    F64(f64),
+    /// Free-form text (names, rendered mappings).
+    Str(String),
+    /// Flag.
+    Bool(bool),
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I64(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+/// One recorded trace event.
+///
+/// Events with `dur_ns == 0` are *instant* decisions (a table admitted, a
+/// table pruned); events with a duration are *phases* (prefilter, scoring)
+/// and render as bars in the waterfall.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the trace started.
+    pub t_ns: u64,
+    /// Duration of the phase, or 0 for an instant event.
+    pub dur_ns: u64,
+    /// Event name, dot-namespaced like metric names (e.g. `lsei.admit`).
+    pub name: String,
+    /// Typed attributes, in recording order.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+impl TraceEvent {
+    /// The attribute `key`, if present.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The attribute `key` as a u64, if present and of that type.
+    pub fn attr_u64(&self, key: &str) -> Option<u64> {
+        match self.attr(key) {
+            Some(AttrValue::U64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The attribute `key` as an f64, if present and of that type.
+    pub fn attr_f64(&self, key: &str) -> Option<f64> {
+        match self.attr(key) {
+            Some(AttrValue::F64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The attribute `key` as a str, if present and of that type.
+    pub fn attr_str(&self, key: &str) -> Option<&str> {
+        match self.attr(key) {
+            Some(AttrValue::Str(v)) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct TraceInner {
+    query_id: u64,
+    start: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+/// A per-query flight recorder handle.
+///
+/// Construct with [`QueryTrace::for_query`] (respects the global sampling
+/// gate) or [`QueryTrace::forced`] (always records, for explain surfaces
+/// and tests); pass `&QueryTrace` down the search path. An inactive handle
+/// ([`QueryTrace::disabled`], or a sampled-out query) holds no buffer and
+/// records nothing.
+pub struct QueryTrace {
+    inner: Option<TraceInner>,
+}
+
+impl QueryTrace {
+    /// A handle that records nothing and holds no buffer.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A handle for `query_id`: active iff tracing is enabled and the id
+    /// falls into the sample (see [`set_trace_sampling`]).
+    pub fn for_query(query_id: u64) -> Self {
+        if should_trace(query_id) {
+            Self::forced(query_id)
+        } else {
+            Self::disabled()
+        }
+    }
+
+    /// A handle that records regardless of the sampling gate.
+    pub fn forced(query_id: u64) -> Self {
+        Self {
+            inner: Some(TraceInner {
+                query_id,
+                start: Instant::now(),
+                events: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Whether this handle records events.
+    ///
+    /// The one check call sites need before building attribute payloads.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The traced query id (0 for a disabled handle).
+    pub fn query_id(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.query_id)
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| {
+            i.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+        })
+    }
+
+    /// Whether no events have been recorded (always true when disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records an instant event with the given attributes; a no-op when
+    /// inactive (but the caller has already paid for `attrs` — prefer
+    /// [`QueryTrace::record_with`] or an [`QueryTrace::is_active`] guard on
+    /// hot paths).
+    pub fn record(&self, name: &str, attrs: Vec<(String, AttrValue)>) {
+        self.push(name, 0, attrs);
+    }
+
+    /// Records an instant event whose attributes are built lazily: the
+    /// closure runs only for an active trace, so an inactive handle pays
+    /// one branch and nothing else.
+    #[inline]
+    pub fn record_with(&self, name: &str, attrs: impl FnOnce() -> Vec<(String, AttrValue)>) {
+        if self.inner.is_some() {
+            self.push(name, 0, attrs());
+        }
+    }
+
+    /// Records a phase that started at `started` and just ended, with
+    /// lazily built attributes.
+    #[inline]
+    pub fn record_phase_with(
+        &self,
+        name: &str,
+        started: Instant,
+        attrs: impl FnOnce() -> Vec<(String, AttrValue)>,
+    ) {
+        let Some(inner) = &self.inner else { return };
+        let t_end = inner.start.elapsed().as_nanos() as u64;
+        let dur = started.elapsed().as_nanos() as u64;
+        let event = TraceEvent {
+            t_ns: t_end.saturating_sub(dur),
+            dur_ns: dur,
+            name: name.to_string(),
+            attrs: attrs(),
+        };
+        inner
+            .events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event);
+    }
+
+    /// Opens a phase; the returned guard records the event (with its wall
+    /// duration) when dropped. For an inactive trace the guard is inert.
+    pub fn phase(&self, name: &str) -> TracePhase<'_> {
+        TracePhase {
+            trace: self,
+            name: name.to_string(),
+            started: Instant::now(),
+            attrs: Vec::new(),
+            active: self.is_active(),
+        }
+    }
+
+    fn push(&self, name: &str, dur_ns: u64, attrs: Vec<(String, AttrValue)>) {
+        let Some(inner) = &self.inner else { return };
+        let event = TraceEvent {
+            t_ns: inner.start.elapsed().as_nanos() as u64,
+            dur_ns,
+            name: name.to_string(),
+            attrs,
+        };
+        inner
+            .events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event);
+    }
+
+    /// A time-ordered copy of all recorded events.
+    ///
+    /// Events from concurrent workers are merged by start timestamp (ties
+    /// keep recording order), so exports are stable for a given interleaving.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut events = inner
+            .events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        events.sort_by_key(|e| e.t_ns);
+        events
+    }
+
+    /// Renders the canonical JSON document:
+    /// `{"query_id": N, "events": [{"t_ns": ..., "dur_ns": ..., "name":
+    /// ..., "attrs": {...}}]}`. Attribute typing survives the round trip
+    /// through [`parse_trace_json`]: unsigned integers render bare, signed
+    /// ones always carry a sign, floats always carry a decimal point or
+    /// exponent, strings and booleans are native JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"query_id\": {}, \"events\": [", self.query_id());
+        for (i, e) in self.events().iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n  {{\"t_ns\": {}, \"dur_ns\": {}, \"name\": \"{}\", \"attrs\": {{",
+                e.t_ns,
+                e.dur_ns,
+                escape_json(&e.name)
+            );
+            for (j, (k, v)) in e.attrs.iter().enumerate() {
+                let sep = if j == 0 { "" } else { ", " };
+                let _ = write!(out, "{sep}\"{}\": {}", escape_json(k), render_attr(v));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Renders the Chrome trace-event JSON array (load via
+    /// `chrome://tracing` or <https://ui.perfetto.dev>): phases as complete
+    /// (`"X"`) events, instants as instant (`"i"`) events, all on one
+    /// process/thread track, timestamps in microseconds.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.events().iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let ts = e.t_ns as f64 / 1_000.0;
+            let _ = write!(
+                out,
+                "{sep}\n  {{\"name\": \"{}\", \"ph\": \"{}\", \"ts\": {ts}, ",
+                escape_json(&e.name),
+                if e.dur_ns > 0 { "X" } else { "i" },
+            );
+            if e.dur_ns > 0 {
+                let _ = write!(out, "\"dur\": {}, ", e.dur_ns as f64 / 1_000.0);
+            } else {
+                out.push_str("\"s\": \"t\", ");
+            }
+            out.push_str("\"pid\": 1, \"tid\": 1, \"args\": {");
+            for (j, (k, v)) in e.attrs.iter().enumerate() {
+                let sep = if j == 0 { "" } else { ", " };
+                let _ = write!(
+                    out,
+                    "{sep}\"{}\": {}",
+                    escape_json(k),
+                    render_attr_chrome(v)
+                );
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Renders a human-readable timing waterfall: phases as proportional
+    /// bars against the trace's total duration, instants as annotated
+    /// ticks, attributes inline.
+    pub fn render_waterfall(&self) -> String {
+        let events = self.events();
+        let total: u64 = events
+            .iter()
+            .map(|e| e.t_ns + e.dur_ns)
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        const BAR: usize = 24;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace of query {:#018x} — {} events, {:.3} ms total",
+            self.query_id(),
+            events.len(),
+            total as f64 / 1e6
+        );
+        for e in &events {
+            let start = (e.t_ns as u128 * BAR as u128 / total as u128) as usize;
+            let width = ((e.dur_ns as u128 * BAR as u128).div_ceil(total as u128)) as usize;
+            let mut lane = vec![b' '; BAR];
+            if e.dur_ns > 0 {
+                for slot in lane.iter_mut().skip(start).take(width.max(1)) {
+                    *slot = b'#';
+                }
+            } else if start < BAR {
+                lane[start] = b'|';
+            }
+            let lane = String::from_utf8(lane).expect("ascii lane");
+            let time = if e.dur_ns > 0 {
+                format!("{:>9.3} ms", e.dur_ns as f64 / 1e6)
+            } else {
+                format!("{:>9}   ", "·")
+            };
+            let mut attrs = String::new();
+            for (k, v) in &e.attrs {
+                let _ = write!(attrs, " {k}={}", render_attr_human(v));
+            }
+            let _ = writeln!(out, "[{lane}] {time} {:<20}{attrs}", e.name);
+        }
+        out
+    }
+}
+
+/// A phase guard: records one duration event on drop, with attributes
+/// attached via [`TracePhase::attr`].
+pub struct TracePhase<'a> {
+    trace: &'a QueryTrace,
+    name: String,
+    started: Instant,
+    attrs: Vec<(String, AttrValue)>,
+    active: bool,
+}
+
+impl TracePhase<'_> {
+    /// Attaches an attribute to the phase event (no-op when inactive).
+    pub fn attr(&mut self, key: &str, value: impl Into<AttrValue>) {
+        if self.active {
+            self.attrs.push((key.to_string(), value.into()));
+        }
+    }
+}
+
+impl Drop for TracePhase<'_> {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let attrs = std::mem::take(&mut self.attrs);
+        self.trace
+            .record_phase_with(&self.name, self.started, || attrs);
+    }
+}
+
+/// Shorthand for building an attribute list:
+/// `attrs![("table", 3usize), ("score", 0.71)]`.
+#[macro_export]
+macro_rules! trace_attrs {
+    ($(($k:expr, $v:expr)),* $(,)?) => {
+        vec![$(($k.to_string(), $crate::AttrValue::from($v))),*]
+    };
+}
+
+fn render_attr(v: &AttrValue) -> String {
+    match v {
+        AttrValue::U64(x) => x.to_string(),
+        // A sign distinguishes I64 from U64 in the round trip.
+        AttrValue::I64(x) => {
+            if *x >= 0 {
+                format!("+{x}")
+            } else {
+                x.to_string()
+            }
+        }
+        AttrValue::F64(x) => render_f64(*x),
+        AttrValue::Str(s) => format!("\"{}\"", escape_json(s)),
+        AttrValue::Bool(b) => b.to_string(),
+    }
+}
+
+/// Chrome's JSON parser rejects the non-standard leading `+`; signedness
+/// does not need to survive that export.
+fn render_attr_chrome(v: &AttrValue) -> String {
+    match v {
+        AttrValue::I64(x) => x.to_string(),
+        other => render_attr(other),
+    }
+}
+
+fn render_attr_human(v: &AttrValue) -> String {
+    match v {
+        AttrValue::U64(x) => x.to_string(),
+        AttrValue::I64(x) => x.to_string(),
+        AttrValue::F64(x) => format!("{x:.4}"),
+        AttrValue::Str(s) => s.clone(),
+        AttrValue::Bool(b) => b.to_string(),
+    }
+}
+
+/// `f64` as a JSON literal that always reads back as a float: a decimal
+/// point or exponent is forced so `2.0` does not collapse into the integer
+/// `2` (and non-finite values, which JSON cannot carry, become `null` —
+/// they never occur in recorded scores).
+fn render_f64(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{x}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn escape_json(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Canonical-JSON parsing (the round-trip counterpart of `to_json`).
+// ---------------------------------------------------------------------------
+
+/// A parsed trace document: query id plus events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedTrace {
+    /// The traced query id.
+    pub query_id: u64,
+    /// The recorded events, in document order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Parses the canonical JSON produced by [`QueryTrace::to_json`].
+///
+/// This is a minimal recursive-descent parser over exactly the subset of
+/// JSON the exporter emits (object / array / string / number / bool); it
+/// exists so the crate can guarantee a lossless round trip without pulling
+/// a JSON dependency into every hot path that links `thetis-obs`.
+pub fn parse_trace_json(text: &str) -> Result<ParsedTrace, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut query_id = 0u64;
+    let mut events = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.eat(b'}') {
+            break;
+        }
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        match key.as_str() {
+            "query_id" => {
+                query_id = match p.number()? {
+                    AttrValue::U64(v) => v,
+                    other => return Err(format!("query_id is not unsigned: {other:?}")),
+                }
+            }
+            "events" => {
+                p.expect(b'[')?;
+                loop {
+                    p.skip_ws();
+                    if p.eat(b']') {
+                        break;
+                    }
+                    events.push(p.event()?);
+                    p.skip_ws();
+                    if !p.eat(b',') {
+                        p.skip_ws();
+                        p.expect(b']')?;
+                        break;
+                    }
+                }
+            }
+            other => return Err(format!("unexpected key {other:?}")),
+        }
+        p.skip_ws();
+        if !p.eat(b',') {
+            p.skip_ws();
+            p.expect(b'}')?;
+            break;
+        }
+    }
+    Ok(ParsedTrace { query_id, events })
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {} (found {:?})",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Numbers keep the exporter's type convention: a leading `+` or `-`
+    /// means I64, a `.`/exponent means F64, bare digits mean U64.
+    fn number(&mut self) -> Result<AttrValue, String> {
+        let start = self.pos;
+        let signed = matches!(self.peek(), Some(b'+') | Some(b'-'));
+        if signed {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        if text.contains('.') || text.contains('e') || text.contains('E') {
+            text.parse::<f64>()
+                .map(AttrValue::F64)
+                .map_err(|e| format!("bad float {text:?}: {e}"))
+        } else if signed {
+            text.parse::<i64>()
+                .map(AttrValue::I64)
+                .map_err(|e| format!("bad int {text:?}: {e}"))
+        } else {
+            text.parse::<u64>()
+                .map(AttrValue::U64)
+                .map_err(|e| format!("bad uint {text:?}: {e}"))
+        }
+    }
+
+    fn value(&mut self) -> Result<AttrValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(AttrValue::Str(self.string()?)),
+            Some(b't') => {
+                self.literal("true")?;
+                Ok(AttrValue::Bool(true))
+            }
+            Some(b'f') => {
+                self.literal("false")?;
+                Ok(AttrValue::Bool(false))
+            }
+            Some(b'n') => {
+                self.literal("null")?;
+                // `null` only ever encodes a non-finite float.
+                Ok(AttrValue::F64(f64::NAN))
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected {lit} at byte {}", self.pos))
+        }
+    }
+
+    fn event(&mut self) -> Result<TraceEvent, String> {
+        self.expect(b'{')?;
+        let mut event = TraceEvent {
+            t_ns: 0,
+            dur_ns: 0,
+            name: String::new(),
+            attrs: Vec::new(),
+        };
+        loop {
+            self.skip_ws();
+            if self.eat(b'}') {
+                break;
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            match key.as_str() {
+                "t_ns" => {
+                    event.t_ns = match self.number()? {
+                        AttrValue::U64(v) => v,
+                        other => return Err(format!("t_ns is not unsigned: {other:?}")),
+                    }
+                }
+                "dur_ns" => {
+                    event.dur_ns = match self.number()? {
+                        AttrValue::U64(v) => v,
+                        other => return Err(format!("dur_ns is not unsigned: {other:?}")),
+                    }
+                }
+                "name" => event.name = self.string()?,
+                "attrs" => {
+                    self.expect(b'{')?;
+                    loop {
+                        self.skip_ws();
+                        if self.eat(b'}') {
+                            break;
+                        }
+                        let k = self.string()?;
+                        self.skip_ws();
+                        self.expect(b':')?;
+                        self.skip_ws();
+                        let v = self.value()?;
+                        event.attrs.push((k, v));
+                        self.skip_ws();
+                        if !self.eat(b',') {
+                            self.skip_ws();
+                            self.expect(b'}')?;
+                            break;
+                        }
+                    }
+                }
+                other => return Err(format!("unexpected event key {other:?}")),
+            }
+            self.skip_ws();
+            if !self.eat(b',') {
+                self.skip_ws();
+                self.expect(b'}')?;
+                break;
+            }
+        }
+        Ok(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing_and_holds_no_buffer() {
+        let t = QueryTrace::disabled();
+        assert!(!t.is_active());
+        t.record("x", vec![("a".into(), AttrValue::U64(1))]);
+        t.record_with("y", || panic!("closure must not run"));
+        drop(t.phase("z"));
+        assert!(t.is_empty());
+        assert!(t.inner.is_none(), "no buffer may exist");
+        assert_eq!(t.events().len(), 0);
+    }
+
+    #[test]
+    fn sampling_gate_admits_deterministically() {
+        set_trace_sampling(0);
+        assert!(!should_trace(42));
+        assert!(!QueryTrace::for_query(42).is_active());
+        set_trace_sampling(1);
+        assert!(should_trace(42));
+        set_trace_sampling(4);
+        // Deterministic: same id, same verdict, and roughly 1 in 4 sampled.
+        let admitted = (0..1000u64).filter(|&q| should_trace(q)).count();
+        assert!((150..400).contains(&admitted), "{admitted}");
+        for q in 0..50u64 {
+            assert_eq!(should_trace(q), should_trace(q));
+        }
+        set_trace_sampling(0);
+    }
+
+    #[test]
+    fn events_carry_attributes_and_order() {
+        let t = QueryTrace::forced(7);
+        t.record("first", trace_attrs![("n", 3usize), ("score", 0.5)]);
+        {
+            let mut p = t.phase("work");
+            p.attr("items", 10u64);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "first");
+        assert_eq!(events[0].attr_u64("n"), Some(3));
+        assert_eq!(events[0].attr_f64("score"), Some(0.5));
+        assert_eq!(events[1].name, "work");
+        assert!(events[1].dur_ns >= 1_000_000);
+        assert_eq!(events[1].attr_u64("items"), Some(10));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_events() {
+        let t = QueryTrace::forced(0xDEAD_BEEF);
+        t.record(
+            "lsei.admit",
+            trace_attrs![
+                ("table", 5usize),
+                ("votes", 3u64),
+                ("delta", -2i64),
+                ("score", 0.875),
+                ("name", "weird \"quoted\"\npath"),
+                ("kept", true),
+            ],
+        );
+        t.record("prune", trace_attrs![("bound", 2.0), ("floor", 0.25)]);
+        let json = t.to_json();
+        let parsed = parse_trace_json(&json).expect("parses");
+        assert_eq!(parsed.query_id, 0xDEAD_BEEF);
+        assert_eq!(parsed.events, t.events());
+    }
+
+    #[test]
+    fn chrome_export_is_wellformed_enough() {
+        let t = QueryTrace::forced(1);
+        t.record("instant", trace_attrs![("x", 1u64), ("d", -3i64)]);
+        {
+            let _p = t.phase("phase");
+        }
+        let chrome = t.to_chrome_json();
+        assert!(chrome.starts_with('['));
+        assert!(chrome.trim_end().ends_with(']'));
+        assert!(chrome.contains("\"ph\": \"i\""));
+        assert!(chrome.contains("\"ph\": \"X\""));
+        // No non-standard signed literal leaks into the chrome export.
+        assert!(chrome.contains("\"d\": -3"));
+    }
+
+    #[test]
+    fn waterfall_renders_bars_and_ticks() {
+        let t = QueryTrace::forced(3);
+        {
+            let _p = t.phase("scoring");
+        }
+        t.record("admit", trace_attrs![("table", 1usize)]);
+        let w = t.render_waterfall();
+        assert!(w.contains("scoring"));
+        assert!(w.contains("admit"));
+        assert!(w.contains("table=1"));
+        assert!(w.contains("2 events"));
+    }
+
+    #[test]
+    fn empty_trace_parses_back() {
+        let t = QueryTrace::forced(9);
+        let parsed = parse_trace_json(&t.to_json()).expect("parses");
+        assert_eq!(parsed.query_id, 9);
+        assert!(parsed.events.is_empty());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_trace_json("").is_err());
+        assert!(parse_trace_json("{\"query_id\": }").is_err());
+        assert!(parse_trace_json("[1,2,3]").is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests of the trace JSON round trip: for any sequence of
+//! recorded events — arbitrary names, arbitrary typed attributes —
+//! `parse_trace_json(to_json(trace))` reconstructs the trace exactly.
+//!
+//! The exporter's type convention (I64 carries a sign, F64 a decimal point
+//! or exponent, U64 bare digits) is what makes this hold without a schema;
+//! these tests are the executable statement of that convention.
+
+use proptest::prelude::*;
+use thetis_obs::{parse_trace_json, AttrValue, QueryTrace};
+
+/// Attribute text covering everything the JSON escaper must handle:
+/// quotes, backslashes, newlines/tabs, control characters, non-ASCII.
+const TEXT: &str = "[a-zA-Z0-9\"\\\\\n\t\r\u{7}\u{1}é→🦀 {},:]{0,16}";
+
+fn attr_value() -> impl Strategy<Value = AttrValue> {
+    (
+        (0u8..5, any::<u64>(), any::<i64>()),
+        // `any::<f64>()` draws from the unit interval; widen it so the
+        // decimal-or-exponent rendering convention is exercised across
+        // magnitudes (shortest-round-trip Display keeps this lossless).
+        ((-1e18f64..1e18), TEXT, any::<bool>()),
+    )
+        .prop_map(|((variant, u, i), (f, s, b))| match variant {
+            0 => AttrValue::U64(u),
+            1 => AttrValue::I64(i),
+            2 => AttrValue::F64(f),
+            3 => AttrValue::Str(s),
+            _ => AttrValue::Bool(b),
+        })
+}
+
+fn event() -> impl Strategy<Value = (String, Vec<(String, AttrValue)>)> {
+    (
+        "[a-z.]{1,20}",
+        proptest::collection::vec((TEXT, attr_value()), 0..5),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn json_export_round_trips_exactly(
+        query_id in any::<u64>(),
+        events in proptest::collection::vec(event(), 0..12),
+    ) {
+        let trace = QueryTrace::forced(query_id);
+        for (name, attrs) in &events {
+            trace.record(name, attrs.clone());
+        }
+        let parsed = parse_trace_json(&trace.to_json())
+            .expect("exported JSON parses");
+        prop_assert_eq!(parsed.query_id, query_id);
+        prop_assert_eq!(parsed.events, trace.events());
+    }
+
+    #[test]
+    fn attr_values_survive_with_their_type(value in attr_value()) {
+        let trace = QueryTrace::forced(7);
+        trace.record("probe", vec![("v".to_string(), value.clone())]);
+        let parsed = parse_trace_json(&trace.to_json()).expect("parses");
+        let got = parsed.events[0].attr("v").expect("attr present");
+        // Same variant AND same payload: U64(2) must not come back I64(2)
+        // and F64(2.0) must not collapse into U64(2).
+        prop_assert_eq!(got, &value);
+    }
+
+    #[test]
+    fn sampled_out_traces_stay_empty_and_export_no_events(
+        events in proptest::collection::vec(event(), 1..8),
+    ) {
+        // `disabled()` is the sampled-out state (`for_query` under global
+        // sampling returns exactly this); recording into it is a no-op and
+        // the export carries no events for any input.
+        let trace = QueryTrace::disabled();
+        for (name, attrs) in &events {
+            trace.record(name, attrs.clone());
+        }
+        prop_assert!(!trace.is_active());
+        prop_assert!(trace.is_empty());
+        let parsed = parse_trace_json(&trace.to_json()).expect("parses");
+        prop_assert_eq!(parsed.events.len(), 0);
+    }
+}

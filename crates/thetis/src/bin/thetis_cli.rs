@@ -27,12 +27,15 @@ struct Args {
     votes: usize,
     demo: bool,
     explain: bool,
+    cmd_explain: bool,
     metrics: Option<String>,
     metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
 }
 
 const USAGE: &str = "usage: thetis-cli --kg FILE --tables DIR --query \"A,B,...\" [options]
        thetis-cli --demo --query \"...\"            (synthetic lake)
+       thetis-cli explain \"A,B,...\" [options]     (full score provenance)
 
 options:
   --query \"e1,e2;f1,f2\"  entity tuples: ',' separates entities, ';' tuples
@@ -46,7 +49,16 @@ options:
   --explain              show per-entity match breakdown for each hit
   --metrics text|json    dump observability metrics after the run
                          (Prometheus text or JSON, to stderr)
-  --metrics-out FILE     write the metrics dump to FILE instead";
+  --metrics-out FILE     write the metrics dump to FILE instead
+  --trace-out FILE       (explain) also write the query trace as Chrome
+                         trace-event JSON (chrome://tracing / Perfetto)
+
+the `explain` subcommand always searches through the LSEI and prints, per
+top-k table: the Hungarian tuple-to-column mapping, the per-tuple sigma
+breakdown that rebuilds the SemRel score, the LSEI admission evidence
+(votes and matching bands per query entity), and a timing waterfall of the
+traced search. Set THETIS_OBS=0 to disable all telemetry and tracing
+(explain then skips the waterfall).";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -60,10 +72,20 @@ fn parse_args() -> Result<Args, String> {
         votes: 1,
         demo: false,
         explain: false,
+        cmd_explain: false,
         metrics: None,
         metrics_out: None,
+        trace_out: None,
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("explain") {
+        args.cmd_explain = true;
+        argv.remove(0);
+        // A bare positional after `explain` is the query spec.
+        if argv.first().is_some_and(|a| !a.starts_with("--")) {
+            args.query.push(argv.remove(0));
+        }
+    }
     let mut i = 0;
     let take = |argv: &[String], i: usize, flag: &str| {
         argv.get(i + 1)
@@ -126,6 +148,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--metrics-out" => {
                 args.metrics_out = Some(PathBuf::from(take(&argv, i, "--metrics-out")?));
+                i += 2;
+            }
+            "--trace-out" => {
+                args.trace_out = Some(PathBuf::from(take(&argv, i, "--trace-out")?));
                 i += 2;
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -204,7 +230,10 @@ fn parse_query(specs: &[String], graph: &KnowledgeGraph) -> Query {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    if args.metrics.is_some() {
+    // THETIS_OBS=0 is the kill switch: no telemetry, no tracing, no matter
+    // what the flags say.
+    let obs_allowed = !thetis::obs::env_disabled();
+    if args.metrics.is_some() && obs_allowed {
         thetis::obs::set_enabled(true);
     }
 
@@ -267,6 +296,10 @@ fn run() -> Result<(), String> {
     let engine = ThetisEngine::new(&graph, &lake, sim);
     let options = SearchOptions::top(args.k);
 
+    if args.cmd_explain {
+        return run_explain(&args, &graph, &lake, &engine, &query, options, obs_allowed);
+    }
+
     let result = if args.use_lsh {
         let cfg = LshConfig::recommended();
         let filter = TypeFilter::from_lake(&lake, &graph, 0.5);
@@ -327,6 +360,151 @@ fn run() -> Result<(), String> {
                 .map_err(|e| format!("cannot write metrics to {}: {e}", path.display()))?,
             None => eprint!("{rendered}"),
         }
+    }
+    Ok(())
+}
+
+/// A stable query id for the trace: FNV-1a over the query's entity ids.
+fn query_trace_id(query: &Query) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for tuple in &query.tuples {
+        for e in tuple {
+            h ^= e.0 as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// The `explain` subcommand: a traced LSEI search followed by the full
+/// score-provenance record of every top-k hit.
+fn run_explain<S: EntitySimilarity>(
+    args: &Args,
+    graph: &KnowledgeGraph,
+    lake: &DataLake,
+    engine: &ThetisEngine<'_, S>,
+    query: &Query,
+    options: SearchOptions,
+    obs_allowed: bool,
+) -> Result<(), String> {
+    let cfg = LshConfig::recommended();
+    let filter = TypeFilter::from_lake(lake, graph, 0.5);
+    let lsei = Lsei::build(
+        lake,
+        TypeSigner::new(graph, filter, cfg, 42),
+        cfg,
+        LseiMode::Entity,
+    );
+    let trace = if obs_allowed {
+        thetis::obs::QueryTrace::forced(query_trace_id(query))
+    } else {
+        thetis::obs::QueryTrace::disabled()
+    };
+    let result = engine.search_prefiltered_traced(query, options, &lsei, args.votes, &trace);
+
+    let label = |e: thetis::kg::EntityId| graph.label(e).to_string();
+    println!(
+        "query: {} tuple(s), {} distinct entities — {} candidate(s) after LSEI, {} scored, {} pruned",
+        query.len(),
+        query.distinct_entities().len(),
+        result.stats.candidates,
+        result.stats.tables_scored,
+        result.stats.tables_pruned(),
+    );
+    let query_entities = query.distinct_entities();
+    for (rank, (tid, score)) in result.ranked.iter().enumerate() {
+        let table = lake.table(*tid);
+        let ex = thetis::core::explain(
+            query,
+            lake,
+            *tid,
+            engine.similarity(),
+            engine.informativeness(),
+        )
+        .with_admission(lsei.admission_evidence(&query_entities, args.votes, *tid));
+        println!();
+        println!(
+            "#{:<2} {:<30} SemRel {score:.4}   (upper bound {:.4})",
+            rank + 1,
+            table.name,
+            ex.upper_bound
+        );
+        for (ti, tuple) in ex.tuples.iter().enumerate() {
+            // The Hungarian mapping with the evidence behind each choice.
+            let mapping: Vec<String> = tuple
+                .matches
+                .iter()
+                .map(|m| match m.column {
+                    Some(c) => format!(
+                        "{} → col {:?} (relevance {:.3})",
+                        label(m.query_entity),
+                        table.columns[c],
+                        m.column_relevance
+                    ),
+                    None => format!("{} → (unmapped)", label(m.query_entity)),
+                })
+                .collect();
+            println!("    mapping (tuple {ti}): {}", mapping.join(", "));
+            // The σ breakdown that rebuilds the score: Eq. 2 contributions.
+            for m in &tuple.matches {
+                let target = m
+                    .matched_entity
+                    .map(&label)
+                    .unwrap_or_else(|| "(no match)".into());
+                println!(
+                    "      {:<24} ≈ {:<24} σ={:.4}  weight={:.3}  contribution={:.4}",
+                    label(m.query_entity),
+                    target,
+                    m.similarity,
+                    m.weight,
+                    m.distance_contribution()
+                );
+            }
+            println!(
+                "      D_I = {:.4} ⇒ tuple SemRel = 1/(D_I+1) = {:.4}",
+                tuple.weighted_distance(),
+                tuple.score
+            );
+        }
+        println!(
+            "    table score = mean over {} tuple(s) = {:.4}",
+            ex.tuples.len(),
+            ex.score
+        );
+        // Why the LSEI let this table through.
+        if let Some(adm) = &ex.admission {
+            println!(
+                "    LSEI admission (votes required {}):{}",
+                adm.votes_required.max(1),
+                if adm.admitted() {
+                    ""
+                } else {
+                    "  [below threshold]"
+                }
+            );
+            for v in &adm.entity_votes {
+                let bands: Vec<String> = v.bands.iter().map(usize::to_string).collect();
+                println!(
+                    "      {:<24} votes={:<4} bands=[{}]",
+                    label(v.entity),
+                    v.votes,
+                    bands.join(",")
+                );
+            }
+        }
+    }
+
+    if trace.is_active() {
+        println!();
+        print!("{}", trace.render_waterfall());
+        if let Some(path) = &args.trace_out {
+            std::fs::write(path, trace.to_chrome_json())
+                .map_err(|e| format!("cannot write trace to {}: {e}", path.display()))?;
+            eprintln!("wrote Chrome trace to {}", path.display());
+        }
+    } else {
+        println!();
+        println!("(tracing disabled via THETIS_OBS=0 — waterfall omitted)");
     }
     Ok(())
 }

@@ -60,6 +60,88 @@ fn demo_mode_searches_end_to_end() {
 }
 
 #[test]
+fn explain_subcommand_prints_full_provenance() {
+    let probe = cli()
+        .args(["--demo", "--query", "zzz-not-an-entity"])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&probe.stderr);
+    let suggested = stderr
+        .split("Try --query \"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("demo prints a suggested query")
+        .to_string();
+
+    let trace_path = std::env::temp_dir().join("thetis-cli-explain-trace.json");
+    let _ = std::fs::remove_file(&trace_path);
+    let out = cli()
+        .args([
+            "explain",
+            &suggested,
+            "--demo",
+            "--k",
+            "2",
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The provenance record: mapping, σ breakdown, admission, waterfall.
+    assert!(stdout.contains("SemRel"), "{stdout}");
+    assert!(stdout.contains("mapping (tuple 0):"), "{stdout}");
+    assert!(stdout.contains("D_I = "), "{stdout}");
+    assert!(stdout.contains("LSEI admission"), "{stdout}");
+    assert!(stdout.contains("votes="), "{stdout}");
+    assert!(stdout.contains("trace of query 0x"), "{stdout}");
+    assert!(stdout.contains("lsei.prefilter"), "{stdout}");
+    assert!(stdout.contains("core.search"), "{stdout}");
+    // --trace-out wrote Chrome trace-event JSON.
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file written");
+    assert!(trace.starts_with('['), "{trace}");
+    assert!(trace.contains("\"ph\": \"X\""), "{trace}");
+    let _ = std::fs::remove_file(&trace_path);
+}
+
+#[test]
+fn thetis_obs_zero_disables_tracing_in_explain() {
+    let probe = cli()
+        .args(["--demo", "--query", "zzz-not-an-entity"])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&probe.stderr);
+    let suggested = stderr
+        .split("Try --query \"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("demo prints a suggested query")
+        .to_string();
+
+    let out = cli()
+        .args(["explain", &suggested, "--demo", "--k", "1"])
+        .env("THETIS_OBS", "0")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Provenance still prints (it is recomputed, not traced)...
+    assert!(stdout.contains("LSEI admission"), "{stdout}");
+    // ...but the waterfall is gone.
+    assert!(!stdout.contains("trace of query 0x"), "{stdout}");
+    assert!(stdout.contains("THETIS_OBS=0"), "{stdout}");
+}
+
+#[test]
 fn searches_real_kg_and_csv_directory() {
     let dir = std::env::temp_dir().join("thetis-cli-e2e");
     let _ = std::fs::remove_dir_all(&dir);
