@@ -11,7 +11,8 @@
 //! `fig6`, `agg-ablation`, `bm25-prefilter`, `noisy-linking`, `all`.
 //!
 //! Flags: `--scale <f64>` (default 0.01 — 1/100 of each paper corpus),
-//! `--queries <n>` (default 50), `--out <dir>` (default `results/`).
+//! `--queries <n>` (default 50), `--threads <n>` (scoring workers,
+//! default all cores), `--out <dir>` (default `results/`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -19,7 +20,8 @@ use std::process::ExitCode;
 use thetis_bench::experiments;
 use thetis_bench::Ctx;
 
-const USAGE: &str = "usage: reproduce <experiment> [--scale F] [--queries N] [--out DIR]
+const USAGE: &str =
+    "usage: reproduce <experiment> [--scale F] [--queries N] [--threads N] [--out DIR]
 experiments:
   table2         Table 2   corpus statistics (all four corpora)
   fig4           Figure 4  NDCG@10: STST/STSE, 6 LSH configs, BM25, union search
@@ -39,7 +41,10 @@ experiments:
 
 Every run also snapshots the observability registry into
 BENCH_<experiment>.json (wall time, per-span totals, counters) in the
-output directory; see bench_gate for the CI regression check.";
+output directory; see bench_gate for the CI regression check. An
+explicit --threads N pins the scoring worker count and suffixes the
+snapshot name (BENCH_<experiment>_tN.json) so per-thread-count
+baselines coexist.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +55,7 @@ fn main() -> ExitCode {
 
     let mut scale = 0.01f64;
     let mut queries = 50usize;
+    let mut threads = 0usize;
     let mut out = PathBuf::from("results");
     let mut i = 1;
     while i < args.len() {
@@ -68,6 +74,13 @@ fn main() -> ExitCode {
                     .unwrap_or_else(|| die("--queries needs an integer"));
                 i += 2;
             }
+            "--threads" => {
+                threads = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs an integer"));
+                i += 2;
+            }
             "--out" => {
                 out = args
                     .get(i + 1)
@@ -82,7 +95,7 @@ fn main() -> ExitCode {
         die("--scale must be in (0, 1]");
     }
 
-    let ctx = Ctx::new(scale, queries, out);
+    let ctx = Ctx::new(scale, queries, out).with_threads(threads);
     // THETIS_OBS=0 runs the experiments with telemetry fully off (the
     // BENCH_*.json snapshot then carries wall time but empty metrics).
     if !thetis::obs::env_disabled() {

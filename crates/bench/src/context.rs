@@ -38,6 +38,11 @@ pub struct Ctx {
     pub scale: f64,
     /// Queries per corpus (the paper uses 50).
     pub n_queries: usize,
+    /// Scoring worker threads (0 = all available cores). Experiments that
+    /// search through `SearchOptions` honor this; result artifacts carry a
+    /// `_t<N>` suffix when it is explicit, so per-thread-count baselines
+    /// can coexist.
+    pub threads: usize,
     /// Directory for JSON result dumps.
     pub out_dir: PathBuf,
     cache: Mutex<Vec<(BenchmarkKind, Arc<BenchData>)>>,
@@ -50,8 +55,25 @@ impl Ctx {
         Self {
             scale,
             n_queries,
+            threads: 0,
             out_dir,
             cache: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Sets an explicit scoring thread count (0 = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The artifact suffix for this context's thread count (`"_t4"` when
+    /// explicit, empty otherwise).
+    pub fn thread_suffix(&self) -> String {
+        if self.threads > 0 {
+            format!("_t{}", self.threads)
+        } else {
+            String::new()
         }
     }
 

@@ -29,6 +29,7 @@ const SMOKE_SCORE_ITERS: usize = 50;
 #[derive(Serialize)]
 struct SmokeSummary {
     tables: usize,
+    threads: usize,
     lsei_build_seconds: f64,
     prefilter_queries: usize,
     searches: usize,
@@ -40,7 +41,14 @@ struct SmokeSummary {
 pub fn run(ctx: &Ctx) -> String {
     let scale = ctx.scale.min(MAX_SMOKE_SCALE);
     let n_queries = ctx.n_queries.clamp(4, 8);
-    eprintln!("[smoke] scale {scale}, {n_queries} queries");
+    eprintln!(
+        "[smoke] scale {scale}, {n_queries} queries, threads {}",
+        if ctx.threads == 0 {
+            "auto".to_string()
+        } else {
+            ctx.threads.to_string()
+        }
+    );
     let data = crate::context::BenchData::build(BenchmarkKind::Wt2015, scale, n_queries);
     let graph = &data.bench.kg.graph;
     let lake = &data.bench.lake;
@@ -67,14 +75,18 @@ pub fn run(ctx: &Ctx) -> String {
     // scoring_cost workload, part 1: full engine searches (σ memoization,
     // pruning, Hungarian mapping, row aggregation all live).
     let engine = ThetisEngine::new(graph, lake, TypeJaccard::new(graph));
+    let options = SearchOptions {
+        threads: ctx.threads,
+        ..SearchOptions::top(10)
+    };
     let mut searches = 0usize;
     let mut search_seconds = 0.0f64;
     for q in data.bench.queries5.iter().take(SMOKE_SEARCHES) {
         let query = Query::new(q.tuples.clone());
         let start = std::time::Instant::now();
-        let plain = engine.search(&query, SearchOptions::top(10));
+        let plain = engine.search(&query, options);
         search_seconds += start.elapsed().as_secs_f64();
-        let via_lsei = engine.search_prefiltered(&query, SearchOptions::top(10), &lsei, 1);
+        let via_lsei = engine.search_prefiltered(&query, options, &lsei, 1);
         searches += 2;
         assert!(
             !plain.ranked.is_empty() && via_lsei.ranked.len() <= plain.ranked.len().max(10),
@@ -112,6 +124,7 @@ pub fn run(ctx: &Ctx) -> String {
 
     let summary = SmokeSummary {
         tables: lake.len(),
+        threads: ctx.threads,
         lsei_build_seconds,
         prefilter_queries,
         searches,
@@ -127,7 +140,7 @@ pub fn run(ctx: &Ctx) -> String {
         summary.mean_search_seconds,
         summary.score_table_iters,
     );
-    ctx.write_json("smoke_summary", &summary);
+    ctx.write_json(&format!("smoke_summary{}", ctx.thread_suffix()), &summary);
     println!("{line}");
     line
 }

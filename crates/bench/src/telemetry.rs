@@ -155,11 +155,16 @@ impl BenchReport {
 }
 
 /// Snapshots the registry and writes `BENCH_<experiment>.json` (dashes in
-/// the experiment name become underscores) into the context's output
-/// directory. Returns the captured report.
+/// the experiment name become underscores; an explicit `--threads N`
+/// appends `_tN` so per-thread-count baselines coexist) into the context's
+/// output directory. Returns the captured report.
 pub fn write_bench_report(ctx: &Ctx, experiment: &str, wall_seconds: f64) -> BenchReport {
     let report = BenchReport::capture(experiment, ctx.scale, ctx.n_queries, wall_seconds);
-    let stem = format!("BENCH_{}", experiment.replace('-', "_"));
+    let stem = format!(
+        "BENCH_{}{}",
+        experiment.replace('-', "_"),
+        ctx.thread_suffix()
+    );
     ctx.write_json(&stem, &report);
     report
 }

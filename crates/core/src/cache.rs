@@ -31,6 +31,11 @@ use crate::similarity::EntitySimilarity;
 /// metrics are enabled, so the disabled path stays clock-free.
 static OBS_SIGMA: thetis_obs::Span = thetis_obs::Span::new("core.sigma");
 
+/// Time spent in batched σ kernels (cache misses only); the count is the
+/// number of pairs evaluated, so `nanos / count` is the amortized per-pair
+/// cost the batching buys.
+static OBS_SIGMA_BATCH: thetis_obs::Span = thetis_obs::Span::new("core.sigma_batch");
+
 /// Evaluates `sim.sim(a, b)`, recording wall time into the `core.sigma`
 /// span when metrics are enabled.
 #[inline]
@@ -42,6 +47,19 @@ fn timed_sim(sim: &dyn EntitySimilarity, a: EntityId, b: EntityId) -> f64 {
     let v = sim.sim(a, b);
     OBS_SIGMA.record_nanos(start.elapsed().as_nanos() as u64, 1);
     v
+}
+
+/// Evaluates `sim.sim_batch(a, bs, out)`, recording wall time and pair
+/// count into the `core.sigma_batch` span when metrics are enabled.
+#[inline]
+fn timed_sim_batch(sim: &dyn EntitySimilarity, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
+    if !thetis_obs::enabled() {
+        sim.sim_batch(a, bs, out);
+        return;
+    }
+    let start = std::time::Instant::now();
+    sim.sim_batch(a, bs, out);
+    OBS_SIGMA_BATCH.record_nanos(start.elapsed().as_nanos() as u64, bs.len() as u64);
 }
 
 /// Counter snapshot of a [`SimilarityCache`].
@@ -151,6 +169,55 @@ impl SimilarityCache {
         v
     }
 
+    /// Looks up `σ(a, b)` for every `b` of `bs`, batching the misses
+    /// through one `sim.sim_batch` call and memoizing them. Hits count as
+    /// served and misses as computed, exactly as if each pair had gone
+    /// through [`SimilarityCache::sim_through`] — the
+    /// `computed + served == lookups` invariant is preserved.
+    pub fn sim_batch_through(
+        &self,
+        sim: &dyn EntitySimilarity,
+        a: EntityId,
+        bs: &[EntityId],
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(bs.len(), out.len());
+        let mut miss_idx: Vec<u32> = Vec::new();
+        let mut miss_bs: Vec<EntityId> = Vec::new();
+        for (i, &b) in bs.iter().enumerate() {
+            let key = (a.0, b.0);
+            match self
+                .shard(key)
+                .read()
+                .expect("similarity cache poisoned")
+                .get(&key)
+            {
+                Some(&v) => out[i] = v,
+                None => {
+                    miss_idx.push(i as u32);
+                    miss_bs.push(b);
+                }
+            }
+        }
+        self.served
+            .fetch_add((bs.len() - miss_bs.len()) as u64, Ordering::Relaxed);
+        if miss_bs.is_empty() {
+            return;
+        }
+        let mut miss_out = vec![0.0f64; miss_bs.len()];
+        timed_sim_batch(sim, a, &miss_bs, &mut miss_out);
+        self.computed
+            .fetch_add(miss_bs.len() as u64, Ordering::Relaxed);
+        for ((&i, &b), &v) in miss_idx.iter().zip(&miss_bs).zip(&miss_out) {
+            out[i as usize] = v;
+            let key = (a.0, b.0);
+            self.shard(key)
+                .write()
+                .expect("similarity cache poisoned")
+                .insert(key, v);
+        }
+    }
+
     /// Number of memoized pairs.
     pub fn len(&self) -> usize {
         self.shards
@@ -206,6 +273,10 @@ impl EntitySimilarity for CachedSimilarity<'_> {
         self.cache.sim_through(self.inner, a, b)
     }
 
+    fn sim_batch(&self, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
+        self.cache.sim_batch_through(self.inner, a, bs, out);
+    }
+
     fn name(&self) -> &'static str {
         self.inner.name()
     }
@@ -239,6 +310,11 @@ impl EntitySimilarity for CountingSimilarity<'_> {
     fn sim(&self, a: EntityId, b: EntityId) -> f64 {
         self.computed.fetch_add(1, Ordering::Relaxed);
         timed_sim(self.inner, a, b)
+    }
+
+    fn sim_batch(&self, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
+        self.computed.fetch_add(bs.len() as u64, Ordering::Relaxed);
+        timed_sim_batch(self.inner, a, bs, out);
     }
 
     fn name(&self) -> &'static str {
@@ -313,6 +389,53 @@ mod tests {
         assert_eq!(stats.lookups(), lookups);
         assert_eq!(stats.computed, 16);
         assert!(stats.hit_rate() > 0.6);
+    }
+
+    #[test]
+    fn batch_lookups_keep_the_counter_invariant() {
+        let (g, es) = graph();
+        let sim = TypeJaccard::new(&g);
+        let cache = SimilarityCache::with_shards(4);
+        let cached = CachedSimilarity::new(&sim, &cache);
+        let mut out = vec![0.0f64; es.len()];
+        // First batch: all misses, computed in one kernel call.
+        cached.sim_batch(es[0], &es, &mut out);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                computed: 4,
+                served: 0
+            }
+        );
+        // Second batch: all hits.
+        cached.sim_batch(es[0], &es, &mut out);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                computed: 4,
+                served: 4
+            }
+        );
+        // Mixed batch: one new entity among three memoized pairs.
+        let mixed = vec![es[1], es[2], es[3], es[0]];
+        cached.sim_batch(es[0], &mixed, &mut out[..4]);
+        let stats = cache.stats();
+        assert_eq!(stats.lookups(), 12);
+        // Batched values match the scalar path bit-for-bit.
+        for (&b, &v) in mixed.iter().zip(&out) {
+            assert_eq!(v.to_bits(), sim.sim(es[0], b).to_bits());
+        }
+    }
+
+    #[test]
+    fn counting_similarity_counts_batched_pairs() {
+        let (g, es) = graph();
+        let sim = TypeJaccard::new(&g);
+        let counting = CountingSimilarity::new(&sim);
+        let mut out = vec![0.0f64; es.len()];
+        counting.sim_batch(es[0], &es, &mut out);
+        counting.sim(es[0], es[1]);
+        assert_eq!(counting.computed(), es.len() as u64 + 1);
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod query;
 pub mod relaxation;
 pub mod search;
 pub mod semrel;
+pub mod sigma;
 pub mod similarity;
 pub mod topk;
 
@@ -46,7 +47,9 @@ pub use explain::{explain, EntityMatch, Explanation, TupleExplanation};
 pub use informativeness::Informativeness;
 pub use query::{EntityTuple, Query};
 pub use relaxation::{search_with_relaxation, RelaxationConfig, RelaxedSearch};
+pub use search::{Schedule, ScoreTimings};
 pub use semrel::RowAgg;
+pub use sigma::SigmaRows;
 pub use similarity::{
     EmbeddingCosine, EntitySimilarity, NeighborhoodJaccard, PredicateJaccard, TypeJaccard,
 };

@@ -6,10 +6,11 @@
 //! score. The mapping is computed once per (query tuple, table) and reused
 //! for every row.
 
-use thetis_datalake::Table;
+use thetis_datalake::{Table, TableDigest};
 
 use crate::hungarian::max_assignment;
 use crate::query::EntityTuple;
+use crate::sigma::SigmaRows;
 use crate::similarity::EntitySimilarity;
 
 /// The column assignment of one query tuple in one table:
@@ -40,6 +41,50 @@ pub fn score_matrix(
         }
     }
     matrix
+}
+
+/// Builds the same score matrix as [`score_matrix`] from a precomputed
+/// table digest and σ rows, without touching raw rows or evaluating σ.
+///
+/// Each column's linked cells are replayed **in row order** (the digest
+/// stores them that way), so every `S[i][j]` accumulates the exact same
+/// floating-point additions as the raw row walk — the matrices are
+/// bit-identical, and so is everything downstream of the Hungarian step.
+pub fn score_matrix_digest(
+    tuple: &EntityTuple,
+    digest: &TableDigest,
+    sigma: &SigmaRows,
+) -> Vec<Vec<f64>> {
+    let n_cols = digest.columns.len();
+    let mut matrix = vec![vec![0.0f64; n_cols]; tuple.len()];
+    for (i, &e) in tuple.iter().enumerate() {
+        let row = sigma.row(e);
+        for (j, col) in digest.columns.iter().enumerate() {
+            let mut acc = 0.0f64;
+            for &idx in &col.cells {
+                acc += row[idx as usize];
+            }
+            matrix[i][j] = acc;
+        }
+    }
+    matrix
+}
+
+/// [`map_tuple_to_columns_detailed`] over a digest and precomputed σ rows:
+/// identical mapping and relevance, no raw-row work.
+pub fn map_tuple_to_columns_digest_detailed(
+    tuple: &EntityTuple,
+    digest: &TableDigest,
+    sigma: &SigmaRows,
+) -> (ColumnMapping, Vec<f64>) {
+    let matrix = score_matrix_digest(tuple, digest, sigma);
+    let (columns, _) = max_assignment(&matrix);
+    let relevance = columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| c.map_or(0.0, |j| matrix[i][j]))
+        .collect();
+    (ColumnMapping { columns }, relevance)
 }
 
 /// Computes the optimal column mapping `τ` for `tuple` in `table`.
@@ -140,6 +185,28 @@ mod tests {
         used.sort_unstable();
         used.dedup();
         assert_eq!(used.len(), 2);
+    }
+
+    #[test]
+    fn digest_matrix_is_bit_identical_to_raw() {
+        let (g, table, players, teams) = fixture();
+        let sim = crate::similarity::TypeJaccard::new(&g);
+        let digest = thetis_datalake::TableDigest::build(&table).unwrap();
+        let tuple = vec![teams[1], players[2]];
+        let query = crate::query::Query::single(tuple.clone());
+        let sigma = crate::sigma::SigmaRows::build(&query, &digest, &sim);
+
+        let raw = score_matrix(&tuple, &table, &sim);
+        let fast = score_matrix_digest(&tuple, &digest, &sigma);
+        for (ri, fi) in raw.iter().zip(&fast) {
+            for (r, f) in ri.iter().zip(fi) {
+                assert_eq!(r.to_bits(), f.to_bits());
+            }
+        }
+        let (m_raw, rel_raw) = map_tuple_to_columns_detailed(&tuple, &table, &sim);
+        let (m_fast, rel_fast) = map_tuple_to_columns_digest_detailed(&tuple, &digest, &sigma);
+        assert_eq!(m_raw, m_fast);
+        assert_eq!(rel_raw, rel_fast);
     }
 
     #[test]

@@ -1,14 +1,40 @@
 //! Algorithm 1: scoring candidate tables, optionally in parallel.
+//!
+//! Scoring runs off the lake's precomputed
+//! [`TableDigest`](thetis_datalake::TableDigest)s: per table, one batched σ
+//! kernel per distinct query entity fills a [`SigmaRows`] lattice, and the
+//! Hungarian matrix, row aggregation and pruning upper bound all read from
+//! it — the σ cache is consulted once per (query entity, distinct entity)
+//! pair instead of once per cell, and the ranking stays bit-identical to
+//! the raw row walk (see [`crate::mapping::score_matrix_digest`] and
+//! [`crate::semrel::tuple_table_score_digest_detailed`] for why).
+//!
+//! Candidates are distributed over workers by **work stealing**: a shared
+//! atomic cursor hands out fixed-size blocks ([`Schedule::block`]), so a
+//! worker that drew the few giant tables simply claims fewer blocks while
+//! the others drain the rest — no static chunk skew. The pruned scorer
+//! additionally orders candidates by descending upper bound and seeds the
+//! shared top-k floor from the `k` best bounds before the main loop.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
-use thetis_datalake::{DataLake, TableId};
+use thetis_datalake::{DataLake, TableDigest, TableId};
 
 use crate::informativeness::Informativeness;
-use crate::mapping::map_tuple_to_columns;
 use crate::query::Query;
-use crate::semrel::{tuple_table_score, RowAgg};
+use crate::semrel::RowAgg;
+use crate::sigma::SigmaRows;
 use crate::similarity::EntitySimilarity;
+use crate::topk::TopK;
+
+/// Work-stealing blocks claimed across all scoring passes.
+static OBS_STEALS: thetis_obs::Counter = thetis_obs::Counter::new("core.sched_steals");
+/// Candidates processed by scoring workers (one per steal-loop item).
+static OBS_WORKER_TABLES: thetis_obs::Counter = thetis_obs::Counter::new("core.sched_tables");
+/// Per-worker busy wall time (one record per worker drain), so
+/// `nanos / count` is the mean worker occupancy of a scoring pass.
+static OBS_WORKER_BUSY: thetis_obs::Span = thetis_obs::Span::new("core.worker_busy");
 
 /// Timing breakdown of a scoring pass (reproduces the §7.3 "table scoring"
 /// measurement: the share of time spent computing the mapping `μ_{T,Q}`).
@@ -71,6 +97,148 @@ impl ScoreTimings {
     }
 }
 
+/// How a scoring pass is spread over worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Schedule {
+    /// Worker threads (at least 1).
+    pub threads: usize,
+    /// Candidates claimed per work-stealing block. Small blocks balance
+    /// skewed table sizes better; large blocks amortize the shared-cursor
+    /// atomics. The default suits lakes where a handful of tables dominate.
+    pub block: usize,
+    /// Sequential-fallback cutoff, per thread: workers are only spawned
+    /// when `candidates ≥ threads × min_per_thread`, so a small candidate
+    /// set never pays thread-spawn overhead for a few tables each.
+    pub min_per_thread: usize,
+}
+
+impl Schedule {
+    /// Default work-stealing block size.
+    pub const DEFAULT_BLOCK: usize = 8;
+    /// Default sequential-fallback cutoff per thread.
+    pub const DEFAULT_MIN_PER_THREAD: usize = 16;
+
+    /// A schedule over `threads` workers with default block size and
+    /// cutoff.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            block: Self::DEFAULT_BLOCK,
+            min_per_thread: Self::DEFAULT_MIN_PER_THREAD,
+        }
+    }
+
+    /// The single-threaded schedule.
+    pub fn sequential() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// Workers to actually spawn for `n` work items.
+    fn workers_for(&self, n: usize) -> usize {
+        let threads = self.threads.max(1);
+        if threads == 1 || n < threads * self.min_per_thread.max(1) {
+            1
+        } else {
+            threads
+        }
+    }
+}
+
+/// Runs `work` over `0..n` in blocks claimed from a shared atomic cursor.
+///
+/// Each worker builds its accumulator with `make(worker)`, then repeatedly
+/// steals the next block until the cursor passes `n`; `work` returns how
+/// many items it processed (for utilization accounting). An active trace
+/// receives one `sched.steal` event per claimed block and one `sched.drain`
+/// event per worker (blocks, items, busy nanos); the same utilization
+/// lands on the `core.sched_*` / `core.worker_busy` obs series.
+fn steal_blocks<R, M, F>(
+    n: usize,
+    sched: Schedule,
+    trace: &thetis_obs::QueryTrace,
+    make: M,
+    work: F,
+) -> Vec<R>
+where
+    R: Send,
+    M: Fn(usize) -> R + Sync,
+    F: Fn(&mut R, std::ops::Range<usize>, usize) -> u64 + Sync,
+{
+    let workers = sched.workers_for(n);
+    let block = sched.block.max(1);
+    let cursor = AtomicUsize::new(0);
+    let worker_loop = |wid: usize| -> R {
+        let busy = Instant::now();
+        let mut acc = make(wid);
+        let mut blocks = 0u64;
+        let mut items = 0u64;
+        loop {
+            let start = cursor.fetch_add(block, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + block).min(n);
+            blocks += 1;
+            if trace.is_active() {
+                trace.record(
+                    "sched.steal",
+                    thetis_obs::trace_attrs![
+                        ("worker", wid),
+                        ("start", start),
+                        ("len", end - start),
+                    ],
+                );
+            }
+            items += work(&mut acc, start..end, wid);
+        }
+        let busy_nanos = busy.elapsed().as_nanos() as u64;
+        trace.record_with("sched.drain", || {
+            thetis_obs::trace_attrs![
+                ("worker", wid),
+                ("blocks", blocks),
+                ("tables", items),
+                ("busy_nanos", busy_nanos),
+            ]
+        });
+        if thetis_obs::enabled() {
+            OBS_STEALS.add(blocks);
+            OBS_WORKER_TABLES.add(items);
+            OBS_WORKER_BUSY.record_nanos(busy_nanos, 1);
+        }
+        acc
+    };
+    if workers == 1 {
+        return vec![worker_loop(0)];
+    }
+    std::thread::scope(|scope| {
+        let worker_loop = &worker_loop;
+        let handles: Vec<_> = (0..workers)
+            .map(|wid| scope.spawn(move || worker_loop(wid)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scoring worker panicked"))
+            .collect()
+    })
+}
+
+/// Resolves the digest of `table_id`: the lake's precomputed one when
+/// fresh, otherwise an ad-hoc build stored in `slot` (one-off scoring of a
+/// mutated lake must not panic). `None` means the table has no entity
+/// links and is irrelevant by §4.2.
+fn resolve_digest<'a>(
+    lake: &'a DataLake,
+    table_id: TableId,
+    slot: &'a mut Option<TableDigest>,
+) -> Option<&'a TableDigest> {
+    if lake.digests_fresh() {
+        lake.digest(table_id)
+    } else {
+        *slot = TableDigest::build(lake.table(table_id));
+        slot.as_ref()
+    }
+}
+
 /// Scores one table against the whole query (lines 3–15 of Algorithm 1):
 /// per query tuple, compute the column mapping and the aggregated row
 /// score, then average the per-tuple SemRel scores.
@@ -115,25 +283,39 @@ pub fn score_table_traced(
     timings: &mut ScoreTimings,
     trace: &thetis_obs::QueryTrace,
 ) -> Option<f64> {
-    let table = lake.table(table_id);
-    let has_links = table
-        .rows()
-        .iter()
-        .any(|row| row.iter().any(|c| c.is_linked()));
-    if !has_links || query.is_empty() {
+    if query.is_empty() {
         return None;
     }
+    let mut slot = None;
+    let digest = resolve_digest(lake, table_id, &mut slot)?;
+    Some(score_digest(
+        query, table_id, digest, sim, inform, agg, timings, trace,
+    ))
+}
 
+/// The digest-driven scoring kernel behind [`score_table_traced`].
+#[allow(clippy::too_many_arguments)]
+fn score_digest(
+    query: &Query,
+    table_id: TableId,
+    digest: &TableDigest,
+    sim: &dyn EntitySimilarity,
+    inform: &Informativeness,
+    agg: RowAgg,
+    timings: &mut ScoreTimings,
+    trace: &thetis_obs::QueryTrace,
+) -> f64 {
     let start = Instant::now();
+    let sigma = SigmaRows::build(query, digest, sim);
     let mut sum = 0.0;
     for (ti, tuple) in query.tuples.iter().enumerate() {
         let map_start = Instant::now();
+        let (mapping, relevance) =
+            crate::mapping::map_tuple_to_columns_digest_detailed(tuple, digest, &sigma);
+        let agg_start = Instant::now();
+        timings.mapping_nanos += agg_start.duration_since(map_start).as_nanos() as u64;
+        timings.mapping_count += 1;
         if trace.is_active() {
-            let (mapping, relevance) =
-                crate::mapping::map_tuple_to_columns_detailed(tuple, table, sim);
-            let agg_start = Instant::now();
-            timings.mapping_nanos += agg_start.duration_since(map_start).as_nanos() as u64;
-            timings.mapping_count += 1;
             trace.record(
                 "hungarian.map",
                 thetis_obs::trace_attrs![
@@ -143,8 +325,11 @@ pub fn score_table_traced(
                     ("relevance", render_f64_list(&relevance)),
                 ],
             );
-            let (tuple_score, xs) =
-                crate::semrel::tuple_table_score_detailed(tuple, table, &mapping, sim, inform, agg);
+        }
+        let (tuple_score, xs) = crate::semrel::tuple_table_score_digest_detailed(
+            tuple, digest, &mapping, &sigma, inform, agg,
+        );
+        if trace.is_active() {
             trace.record(
                 "semrel.tuple",
                 thetis_obs::trace_attrs![
@@ -154,16 +339,9 @@ pub fn score_table_traced(
                     ("score", tuple_score),
                 ],
             );
-            sum += tuple_score;
-            timings.agg_nanos += agg_start.elapsed().as_nanos() as u64;
-        } else {
-            let mapping = map_tuple_to_columns(tuple, table, sim);
-            let agg_start = Instant::now();
-            timings.mapping_nanos += agg_start.duration_since(map_start).as_nanos() as u64;
-            timings.mapping_count += 1;
-            sum += tuple_table_score(tuple, table, &mapping, sim, inform, agg);
-            timings.agg_nanos += agg_start.elapsed().as_nanos() as u64;
         }
+        sum += tuple_score;
+        timings.agg_nanos += agg_start.elapsed().as_nanos() as u64;
     }
     timings.scoring_nanos += start.elapsed().as_nanos() as u64;
     timings.tables_scored += 1;
@@ -171,7 +349,7 @@ pub fn score_table_traced(
     trace.record_phase_with("score.table", start, || {
         thetis_obs::trace_attrs![("table", table_id.0), ("score", score)]
     });
-    Some(score)
+    score
 }
 
 /// The mapping `τ` as a compact string, e.g. `"0→2,1→—"`.
@@ -213,12 +391,13 @@ fn render_f64_list(xs: &[f64]) -> String {
 /// running at all.
 ///
 /// For every query entity `e_i` the bound takes
-/// `x̄_i = max_{ē ∈ T} σ(e_i, ē)` over the table's *distinct* entities. Any
-/// real mapping aggregates σ values drawn from that same entity pool, so
-/// `x_i ≤ x̄_i` under both [`RowAgg::Max`] and [`RowAgg::Avg`], and Eq. 2–3
-/// are monotone in each `x_i` — hence `score ≤ bound`. When `sim` memoizes
-/// (see [`CachedSimilarity`](crate::cache::CachedSimilarity)) the σ values
-/// computed here pre-seed the cache for the full scoring pass, so an
+/// `x̄_i = max_{ē ∈ T} σ(e_i, ē)` over the table's *distinct* entities
+/// (read straight from the digest's σ rows). Any real mapping aggregates σ
+/// values drawn from that same entity pool, so `x_i ≤ x̄_i` under both
+/// [`RowAgg::Max`] and [`RowAgg::Avg`], and Eq. 2–3 are monotone in each
+/// `x_i` — hence `score ≤ bound`. When `sim` memoizes (see
+/// [`CachedSimilarity`](crate::cache::CachedSimilarity)) the σ batch
+/// computed here pre-seeds the cache for the full scoring pass, so an
 /// unpruned table pays for the bound almost nothing.
 ///
 /// Returns `None` exactly when [`score_table`] would (no entity links or an
@@ -230,35 +409,32 @@ pub fn upper_bound_score(
     sim: &dyn EntitySimilarity,
     inform: &Informativeness,
 ) -> Option<f64> {
-    let table = lake.table(table_id);
-    let has_links = table
-        .rows()
-        .iter()
-        .any(|row| row.iter().any(|c| c.is_linked()));
-    if !has_links || query.is_empty() {
+    if query.is_empty() {
         return None;
     }
-
-    let pool = table.distinct_entities();
-    let mut best: std::collections::HashMap<thetis_kg::EntityId, f64> =
-        std::collections::HashMap::new();
-    for e in query.distinct_entities() {
-        let x = pool
-            .iter()
-            .map(|&t| sim.sim(e, t))
-            .fold(0.0f64, f64::max)
-            .min(1.0);
-        best.insert(e, x);
-    }
+    let mut slot = None;
+    let digest = resolve_digest(lake, table_id, &mut slot)?;
+    let sigma = SigmaRows::build(query, digest, sim);
+    let best: Vec<(thetis_kg::EntityId, f64)> = sigma
+        .entities()
+        .iter()
+        .map(|&e| (e, sigma.bound_of(e)))
+        .collect();
+    let lookup = |e: thetis_kg::EntityId| -> f64 {
+        best.iter()
+            .find(|&&(x, _)| x == e)
+            .expect("tuple entity missing from σ rows")
+            .1
+    };
     let mut sum = 0.0;
     for tuple in &query.tuples {
-        let x: Vec<f64> = tuple.iter().map(|e| best[e]).collect();
+        let x: Vec<f64> = tuple.iter().map(|&e| lookup(e)).collect();
         sum += crate::semrel::distance_score(tuple, &x, inform);
     }
     Some(sum / query.len() as f64)
 }
 
-/// Scores `candidates` in parallel over `threads` workers and returns all
+/// Scores `candidates` over the schedule's workers and returns all
 /// `(table, score)` pairs (unsorted) plus merged timings.
 pub fn score_candidates(
     query: &Query,
@@ -267,7 +443,7 @@ pub fn score_candidates(
     sim: &(dyn EntitySimilarity + Sync),
     inform: &Informativeness,
     agg: RowAgg,
-    threads: usize,
+    sched: Schedule,
 ) -> (Vec<(TableId, f64)>, ScoreTimings) {
     score_candidates_traced(
         query,
@@ -276,7 +452,7 @@ pub fn score_candidates(
         sim,
         inform,
         agg,
-        threads,
+        sched,
         &thetis_obs::QueryTrace::disabled(),
     )
 }
@@ -292,41 +468,30 @@ pub fn score_candidates_traced(
     sim: &(dyn EntitySimilarity + Sync),
     inform: &Informativeness,
     agg: RowAgg,
-    threads: usize,
+    sched: Schedule,
     trace: &thetis_obs::QueryTrace,
 ) -> (Vec<(TableId, f64)>, ScoreTimings) {
-    let threads = threads.max(1);
     if candidates.is_empty() {
         return (Vec::new(), ScoreTimings::default());
     }
-    let run_chunk = |slice: &[TableId]| {
-        let mut timings = ScoreTimings::default();
-        let mut out = Vec::with_capacity(slice.len());
-        for &tid in slice {
-            if let Some(s) =
-                score_table_traced(query, lake, tid, sim, inform, agg, &mut timings, trace)
-            {
-                out.push((tid, s));
+    let results = steal_blocks(
+        candidates.len(),
+        sched,
+        trace,
+        |_| (Vec::<(TableId, f64)>::new(), ScoreTimings::default()),
+        |acc, range, _| {
+            let mut done = 0u64;
+            for &tid in &candidates[range] {
+                if let Some(s) =
+                    score_table_traced(query, lake, tid, sim, inform, agg, &mut acc.1, trace)
+                {
+                    acc.0.push((tid, s));
+                }
+                done += 1;
             }
-        }
-        (out, timings)
-    };
-    if threads == 1 || candidates.len() < 64 {
-        return run_chunk(candidates);
-    }
-
-    let chunk = candidates.len().div_ceil(threads);
-    let results: Vec<(Vec<(TableId, f64)>, ScoreTimings)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = candidates
-            .chunks(chunk)
-            .map(|slice| scope.spawn(move || run_chunk(slice)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("scoring worker panicked"))
-            .collect()
-    });
-
+            done
+        },
+    );
     let mut all = Vec::with_capacity(candidates.len());
     let mut timings = ScoreTimings::default();
     for (part, t) in results {
@@ -339,7 +504,16 @@ pub fn score_candidates_traced(
 /// Like [`score_candidates`], but skips the Hungarian mapping and row
 /// aggregation for tables whose [`upper_bound_score`] falls strictly below
 /// the running top-`k` floor, and returns only each worker's local top-`k`
-/// survivors (at most `k · workers` pairs).
+/// survivors (at most `k · (workers + 1)` pairs).
+///
+/// The pass runs in four phases: (1) upper bounds for every candidate,
+/// work-stolen across workers (the batched σ values land in the memo and
+/// are reused by the scoring phase); (2) candidates sort by descending
+/// bound — ties by ascending id — so the strongest tables are scored first
+/// and the floor tightens as early as possible; (3) the `k` highest-bound
+/// candidates are scored outright, seeding the floor at the best possible
+/// value before any prune decision; (4) the remainder is work-stolen with
+/// the shared atomic floor.
 ///
 /// The floor is shared across workers through an atomic: it is the best
 /// k-th-highest score any worker has seen so far, which is always ≤ the
@@ -356,7 +530,7 @@ pub fn score_candidates_pruned(
     sim: &(dyn EntitySimilarity + Sync),
     inform: &Informativeness,
     agg: RowAgg,
-    threads: usize,
+    sched: Schedule,
     k: usize,
 ) -> (Vec<(TableId, f64)>, ScoreTimings) {
     score_candidates_pruned_traced(
@@ -366,7 +540,7 @@ pub fn score_candidates_pruned(
         sim,
         inform,
         agg,
-        threads,
+        sched,
         k,
         &thetis_obs::QueryTrace::disabled(),
     )
@@ -374,9 +548,10 @@ pub fn score_candidates_pruned(
 
 /// [`score_candidates_pruned`] with a flight recorder attached: an active
 /// trace additionally receives one `prune.skip` event per pruned table (its
-/// upper bound and the floor that killed it); scored tables leave their
-/// `score.table` / `hungarian.map` / `semrel.tuple` events via
-/// [`score_table_traced`].
+/// upper bound and the floor that killed it) and a `prune.floor` event each
+/// time the shared floor rises (the floor trajectory — when pruning became
+/// effective); scored tables leave their `score.table` / `hungarian.map` /
+/// `semrel.tuple` events via [`score_table_traced`].
 #[allow(clippy::too_many_arguments)]
 pub fn score_candidates_pruned_traced(
     query: &Query,
@@ -385,73 +560,112 @@ pub fn score_candidates_pruned_traced(
     sim: &(dyn EntitySimilarity + Sync),
     inform: &Informativeness,
     agg: RowAgg,
-    threads: usize,
+    sched: Schedule,
     k: usize,
     trace: &thetis_obs::QueryTrace,
 ) -> (Vec<(TableId, f64)>, ScoreTimings) {
-    use std::sync::atomic::{AtomicU64, Ordering};
-
-    use crate::topk::TopK;
-
-    let threads = threads.max(1);
     if candidates.is_empty() || k == 0 {
         return (Vec::new(), ScoreTimings::default());
     }
+
+    // Phase 1: upper bounds for every candidate.
+    let bound_results = steal_blocks(
+        candidates.len(),
+        sched,
+        trace,
+        |_| (Vec::<(TableId, f64)>::new(), ScoreTimings::default()),
+        |acc, range, _| {
+            let mut done = 0u64;
+            for &tid in &candidates[range] {
+                let start = Instant::now();
+                let bound = upper_bound_score(query, lake, tid, sim, inform);
+                acc.1.scoring_nanos += start.elapsed().as_nanos() as u64;
+                if let Some(b) = bound {
+                    acc.0.push((tid, b));
+                }
+                done += 1;
+            }
+            done
+        },
+    );
+    let mut timings = ScoreTimings::default();
+    let mut bounded: Vec<(TableId, f64)> = Vec::with_capacity(candidates.len());
+    for (part, t) in bound_results {
+        bounded.extend(part);
+        timings.merge(t);
+    }
+
+    // Phase 2: strongest bounds first (ties by ascending id, so the visit
+    // order is deterministic regardless of which worker bounded what).
+    bounded.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
     // f64 bits compare like integers for non-negative floats, and SemRel
     // scores are always positive, so `fetch_max` on the bit pattern keeps
     // the floor monotonically tightening without a lock.
     let floor_bits = AtomicU64::new(0.0f64.to_bits());
-
-    let run_chunk = |slice: &[TableId]| {
-        let mut timings = ScoreTimings::default();
-        let mut local: TopK<TableId> = TopK::new(k);
-        for &tid in slice {
-            let start = Instant::now();
-            let bound = upper_bound_score(query, lake, tid, sim, inform);
-            timings.scoring_nanos += start.elapsed().as_nanos() as u64;
-            let Some(bound) = bound else { continue };
-            let floor = f64::from_bits(floor_bits.load(Ordering::Relaxed));
-            if bound < floor {
-                timings.tables_pruned += 1;
-                trace.record_with("prune.skip", || {
-                    thetis_obs::trace_attrs![("table", tid.0), ("bound", bound), ("floor", floor),]
+    let raise_floor = |top: &TopK<TableId>, wid: usize| {
+        if top.len() == k {
+            let min = top.min_score().expect("full top-k has a minimum");
+            let bits = min.to_bits();
+            let prev = floor_bits.fetch_max(bits, Ordering::Relaxed);
+            if bits > prev {
+                trace.record_with("prune.floor", || {
+                    thetis_obs::trace_attrs![("worker", wid), ("floor", min)]
                 });
-                continue;
-            }
-            if let Some(s) =
-                score_table_traced(query, lake, tid, sim, inform, agg, &mut timings, trace)
-            {
-                local.push(tid, s);
-                if local.len() == k {
-                    let min = local.min_score().expect("full top-k has a minimum");
-                    floor_bits.fetch_max(min.to_bits(), Ordering::Relaxed);
-                }
             }
         }
-        (local.into_sorted(), timings)
     };
 
-    if threads == 1 || candidates.len() < 64 {
-        return run_chunk(candidates);
+    // Phase 3: seed the floor by fully scoring the k highest-bound
+    // candidates — the floor starts at the tightest value any order could
+    // have produced after k tables, so phase 4 prunes from its first item.
+    let seed_n = bounded.len().min(k);
+    let mut seed_top: TopK<TableId> = TopK::new(k);
+    for &(tid, _) in &bounded[..seed_n] {
+        if let Some(s) = score_table_traced(query, lake, tid, sim, inform, agg, &mut timings, trace)
+        {
+            seed_top.push(tid, s);
+        }
     }
+    raise_floor(&seed_top, 0);
 
-    let chunk = candidates.len().div_ceil(threads);
-    let results: Vec<(Vec<(TableId, f64)>, ScoreTimings)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = candidates
-            .chunks(chunk)
-            .map(|slice| scope.spawn(|| run_chunk(slice)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("scoring worker panicked"))
-            .collect()
-    });
+    // Phase 4: the remainder, strongest first, under work stealing.
+    let rest = &bounded[seed_n..];
+    let main_results = steal_blocks(
+        rest.len(),
+        sched,
+        trace,
+        |_| (TopK::<TableId>::new(k), ScoreTimings::default()),
+        |acc, range, wid| {
+            let mut done = 0u64;
+            for &(tid, bound) in &rest[range] {
+                done += 1;
+                let floor = f64::from_bits(floor_bits.load(Ordering::Relaxed));
+                if bound < floor {
+                    acc.1.tables_pruned += 1;
+                    trace.record_with("prune.skip", || {
+                        thetis_obs::trace_attrs![
+                            ("table", tid.0),
+                            ("bound", bound),
+                            ("floor", floor),
+                        ]
+                    });
+                    continue;
+                }
+                if let Some(s) =
+                    score_table_traced(query, lake, tid, sim, inform, agg, &mut acc.1, trace)
+                {
+                    acc.0.push(tid, s);
+                    raise_floor(&acc.0, wid);
+                }
+            }
+            done
+        },
+    );
 
-    let mut all = Vec::with_capacity(k * results.len());
-    let mut timings = ScoreTimings::default();
-    for (part, t) in results {
-        all.extend(part);
+    let mut all = seed_top.into_sorted();
+    for (top, t) in main_results {
+        all.extend(top.into_sorted());
         timings.merge(t);
     }
     (all, timings)
@@ -513,17 +727,75 @@ mod tests {
     }
 
     #[test]
+    fn stale_lake_scores_through_an_adhoc_digest() {
+        let (g, mut lake, players) = fixture();
+        let sim = TypeJaccard::new(&g);
+        let inform = Informativeness::uniform();
+        let q = Query::single(vec![players[0]]);
+        let mut t = ScoreTimings::default();
+        let fresh = score_table(&q, &lake, TableId(0), &sim, &inform, RowAgg::Max, &mut t);
+        // Mutating the lake invalidates the digests; scoring must fall back
+        // to an ad-hoc build instead of panicking, with identical output.
+        let mut extra = Table::new("x", vec!["c".into()]);
+        extra.push_row(vec![CellValue::LinkedEntity {
+            mention: "m".into(),
+            entity: players[5],
+        }]);
+        lake.add_table(extra);
+        assert!(!lake.digests_fresh());
+        let stale = score_table(&q, &lake, TableId(0), &sim, &inform, RowAgg::Max, &mut t);
+        assert_eq!(fresh, stale);
+    }
+
+    #[test]
     fn parallel_matches_sequential() {
         let (g, lake, players) = fixture();
         let sim = TypeJaccard::new(&g);
         let inform = Informativeness::uniform();
         let q = Query::single(vec![players[0]]);
         let cands: Vec<TableId> = (0..3).map(TableId).collect();
-        let (mut seq, _) = score_candidates(&q, &lake, &cands, &sim, &inform, RowAgg::Max, 1);
-        let (mut par, _) = score_candidates(&q, &lake, &cands, &sim, &inform, RowAgg::Max, 4);
+        let (mut seq, _) = score_candidates(
+            &q,
+            &lake,
+            &cands,
+            &sim,
+            &inform,
+            RowAgg::Max,
+            Schedule::sequential(),
+        );
+        let (mut par, _) = score_candidates(
+            &q,
+            &lake,
+            &cands,
+            &sim,
+            &inform,
+            RowAgg::Max,
+            Schedule::with_threads(4),
+        );
         seq.sort_by_key(|&(t, _)| t);
         par.sort_by_key(|&(t, _)| t);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn work_stealing_covers_every_candidate_once() {
+        // Force real workers with a tiny block: every candidate must be
+        // scored exactly once no matter how blocks interleave.
+        let (g, lake, players) = fixture();
+        let sim = TypeJaccard::new(&g);
+        let inform = Informativeness::uniform();
+        let q = Query::single(vec![players[0]]);
+        let cands: Vec<TableId> = (0..3).flat_map(|_| (0..3).map(TableId)).collect();
+        let sched = Schedule {
+            threads: 3,
+            block: 1,
+            min_per_thread: 1,
+        };
+        let (scored, timings) =
+            score_candidates(&q, &lake, &cands, &sim, &inform, RowAgg::Max, sched);
+        // 9 visits, 3 of them the unlinked table.
+        assert_eq!(scored.len(), 6);
+        assert_eq!(timings.tables_scored, 6);
     }
 
     #[test]
@@ -533,7 +805,15 @@ mod tests {
         let inform = Informativeness::uniform();
         let q = Query::single(vec![players[0]]);
         let cands: Vec<TableId> = (0..3).map(TableId).collect();
-        let (_, timings) = score_candidates(&q, &lake, &cands, &sim, &inform, RowAgg::Max, 1);
+        let (_, timings) = score_candidates(
+            &q,
+            &lake,
+            &cands,
+            &sim,
+            &inform,
+            RowAgg::Max,
+            Schedule::sequential(),
+        );
         assert_eq!(timings.tables_scored, 2);
         assert!(timings.scoring_nanos >= timings.mapping_nanos);
         assert!(timings.mapping_fraction() <= 1.0);
@@ -564,9 +844,25 @@ mod tests {
         let inform = Informativeness::uniform();
         let q = Query::single(vec![players[0]]);
         let cands: Vec<TableId> = (0..3).map(TableId).collect();
-        let (exhaustive, _) = score_candidates(&q, &lake, &cands, &sim, &inform, RowAgg::Max, 1);
-        let (survivors, timings) =
-            score_candidates_pruned(&q, &lake, &cands, &sim, &inform, RowAgg::Max, 1, 1);
+        let (exhaustive, _) = score_candidates(
+            &q,
+            &lake,
+            &cands,
+            &sim,
+            &inform,
+            RowAgg::Max,
+            Schedule::sequential(),
+        );
+        let (survivors, timings) = score_candidates_pruned(
+            &q,
+            &lake,
+            &cands,
+            &sim,
+            &inform,
+            RowAgg::Max,
+            Schedule::sequential(),
+            1,
+        );
         let mut top = crate::topk::TopK::new(1);
         for &(t, s) in &exhaustive {
             top.push(t, s);
@@ -578,14 +874,23 @@ mod tests {
     #[test]
     fn pruning_actually_skips_dominated_tables() {
         // Table 0 holds the exact query entity (score 1.0, the maximum);
-        // with k = 1 every later table's bound is < 1.0 and gets pruned.
+        // with k = 1 it has the highest bound, seeds the floor at 1.0, and
+        // every other table gets pruned.
         let (g, lake, players) = fixture();
         let sim = TypeJaccard::new(&g);
         let inform = Informativeness::uniform();
         let q = Query::single(vec![players[0]]);
         let cands: Vec<TableId> = (0..3).map(TableId).collect();
-        let (survivors, timings) =
-            score_candidates_pruned(&q, &lake, &cands, &sim, &inform, RowAgg::Max, 1, 1);
+        let (survivors, timings) = score_candidates_pruned(
+            &q,
+            &lake,
+            &cands,
+            &sim,
+            &inform,
+            RowAgg::Max,
+            Schedule::sequential(),
+            1,
+        );
         assert_eq!(survivors.len(), 1);
         assert_eq!(survivors[0].0, TableId(0));
         assert_eq!(timings.tables_scored, 1);
@@ -600,8 +905,16 @@ mod tests {
         let q = Query::single(vec![players[0]]);
         let cands: Vec<TableId> = (0..3).map(TableId).collect();
 
-        let (plain, _) =
-            score_candidates_pruned(&q, &lake, &cands, &sim, &inform, RowAgg::Max, 1, 1);
+        let (plain, _) = score_candidates_pruned(
+            &q,
+            &lake,
+            &cands,
+            &sim,
+            &inform,
+            RowAgg::Max,
+            Schedule::sequential(),
+            1,
+        );
         let trace = thetis_obs::QueryTrace::forced(11);
         let (traced, _) = score_candidates_pruned_traced(
             &q,
@@ -610,7 +923,7 @@ mod tests {
             &sim,
             &inform,
             RowAgg::Max,
-            1,
+            Schedule::sequential(),
             1,
             &trace,
         );
@@ -632,6 +945,15 @@ mod tests {
         let scored: Vec<_> = events.iter().filter(|e| e.name == "score.table").collect();
         assert_eq!(scored.len(), 1);
         assert_eq!(scored[0].attr_f64("score"), Some(plain[0].1));
+        // The floor trajectory: seeding the floor from the best-bound table
+        // is recorded before any prune decision.
+        let floors: Vec<_> = events.iter().filter(|e| e.name == "prune.floor").collect();
+        assert_eq!(floors.len(), 1);
+        assert_eq!(floors[0].attr_f64("floor"), Some(plain[0].1));
+        // Scheduler provenance: every worker drains exactly once per phase.
+        let drains: Vec<_> = events.iter().filter(|e| e.name == "sched.drain").collect();
+        assert_eq!(drains.len(), 2, "one bound phase + one scoring phase");
+        assert!(events.iter().any(|e| e.name == "sched.steal"));
     }
 
     #[test]
@@ -641,8 +963,16 @@ mod tests {
         let inform = Informativeness::uniform();
         let q = Query::single(vec![players[0]]);
         let cands: Vec<TableId> = (0..3).map(TableId).collect();
-        let (survivors, _) =
-            score_candidates_pruned(&q, &lake, &cands, &sim, &inform, RowAgg::Max, 1, 0);
+        let (survivors, _) = score_candidates_pruned(
+            &q,
+            &lake,
+            &cands,
+            &sim,
+            &inform,
+            RowAgg::Max,
+            Schedule::sequential(),
+            0,
+        );
         assert!(survivors.is_empty());
     }
 }

@@ -15,12 +15,13 @@
 //! 5× better, which our ablation experiment reproduces), and the final
 //! query score averages over query tuples (Eq. 1, `SemRel_MAX`).
 
-use thetis_datalake::Table;
+use thetis_datalake::{Table, TableDigest};
 
 use crate::hungarian::max_assignment;
 use crate::informativeness::Informativeness;
 use crate::mapping::ColumnMapping;
 use crate::query::EntityTuple;
+use crate::sigma::SigmaRows;
 use crate::similarity::EntitySimilarity;
 
 /// How per-row similarity scores are aggregated across table rows
@@ -97,6 +98,59 @@ pub fn tuple_table_score_detailed(
     if agg == RowAgg::Avg && n_rows > 0 {
         for a in &mut acc {
             *a /= n_rows as f64;
+        }
+    }
+    let score = distance_score(tuple, &acc, inform);
+    (score, acc)
+}
+
+/// [`tuple_table_score_detailed`] over a table digest and precomputed σ
+/// rows — bit-identical output without touching raw rows.
+///
+/// [`RowAgg::Max`] folds over the mapped column's *distinct* entities (the
+/// maximum of a multiset ignores multiplicity). [`RowAgg::Avg`] replays the
+/// mapped column's linked cells in row order — the digest stores them in
+/// exactly the order the raw walk visits them, and the unlinked cells the
+/// raw walk adds contribute `+0.0`, which is a bitwise no-op on the
+/// non-negative accumulator — then divides by the full row count.
+pub fn tuple_table_score_digest_detailed(
+    tuple: &EntityTuple,
+    digest: &TableDigest,
+    mapping: &ColumnMapping,
+    sigma: &SigmaRows,
+    inform: &Informativeness,
+    agg: RowAgg,
+) -> (f64, Vec<f64>) {
+    let mut acc = vec![0.0f64; tuple.len()];
+    for (i, &e) in tuple.iter().enumerate() {
+        let Some(col) = mapping.columns[i] else {
+            continue;
+        };
+        let col = &digest.columns[col];
+        let row = sigma.row(e);
+        match agg {
+            RowAgg::Max => {
+                let mut best = 0.0f64;
+                for &idx in &col.entities {
+                    let s = row[idx as usize];
+                    if s > best {
+                        best = s;
+                    }
+                }
+                acc[i] = best;
+            }
+            RowAgg::Avg => {
+                let mut sum = 0.0f64;
+                for &idx in &col.cells {
+                    sum += row[idx as usize];
+                }
+                acc[i] = sum;
+            }
+        }
+    }
+    if agg == RowAgg::Avg && digest.n_rows > 0 {
+        for a in &mut acc {
+            *a /= digest.n_rows as f64;
         }
     }
     let score = distance_score(tuple, &acc, inform);
@@ -209,6 +263,49 @@ mod tests {
         let avg_s = tuple_table_score(&q, &table, &mapping, &sim, &inform, RowAgg::Avg);
         assert_eq!(max_s, 1.0); // best row is the exact match
         assert!(avg_s < max_s);
+    }
+
+    #[test]
+    fn digest_tuple_score_is_bit_identical_to_raw() {
+        let (g, players, teams) = graph();
+        let sim = TypeJaccard::new(&g);
+        let inform = Informativeness::uniform();
+        // A table with an unlinked row and a mixed column, the shapes the
+        // digest compresses away.
+        let mut table = Table::new("t", vec!["a".into(), "b".into()]);
+        let link = |e: EntityId| CellValue::LinkedEntity {
+            mention: "m".into(),
+            entity: e,
+        };
+        table.push_row(vec![link(players[0]), link(teams[0])]);
+        table.push_row(vec![CellValue::Text("x".into()), link(teams[1])]);
+        table.push_row(vec![CellValue::Null, CellValue::Null]);
+        table.push_row(vec![link(players[1]), CellValue::Text("y".into())]);
+        let digest = thetis_datalake::TableDigest::build(&table).unwrap();
+
+        let tuple = vec![players[0], teams[1]];
+        let query = crate::query::Query::single(tuple.clone());
+        let sigma = SigmaRows::build(&query, &digest, &sim);
+        for mapping in [
+            ColumnMapping {
+                columns: vec![Some(0), Some(1)],
+            },
+            ColumnMapping {
+                columns: vec![Some(1), None],
+            },
+        ] {
+            for agg in [RowAgg::Max, RowAgg::Avg] {
+                let (raw, raw_xs) =
+                    tuple_table_score_detailed(&tuple, &table, &mapping, &sim, &inform, agg);
+                let (fast, fast_xs) = tuple_table_score_digest_detailed(
+                    &tuple, &digest, &mapping, &sigma, &inform, agg,
+                );
+                assert_eq!(raw.to_bits(), fast.to_bits(), "{agg:?} {mapping:?}");
+                for (r, f) in raw_xs.iter().zip(&fast_xs) {
+                    assert_eq!(r.to_bits(), f.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

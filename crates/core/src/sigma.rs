@@ -1,0 +1,130 @@
+//! Per-table σ rows: the batched similarity kernel feeding Algorithm 1.
+//!
+//! For one (query, table) pair every score the engine needs — the §5.1
+//! column-relevance matrix, the row aggregation, and the pruning upper
+//! bound — draws from the same value set `σ(e, ē)` for query entities `e`
+//! and *distinct* table entities `ē`. [`SigmaRows`] materializes that set
+//! once per table with one [`EntitySimilarity::sim_batch`] call per
+//! distinct query entity, so the σ cache is consulted once per (query
+//! entity, distinct entity) pair instead of once per cell occurrence, and
+//! every later consumer is a plain array index.
+
+use thetis_datalake::TableDigest;
+use thetis_kg::EntityId;
+
+use crate::query::Query;
+use crate::similarity::EntitySimilarity;
+
+/// The σ values of every distinct query entity against every distinct
+/// entity of one table digest: `row(e)[j] = σ(e, digest.distinct[j])`.
+#[derive(Debug, Clone)]
+pub struct SigmaRows {
+    entities: Vec<EntityId>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl SigmaRows {
+    /// Evaluates σ for all of `query`'s distinct entities against all of
+    /// `digest`'s distinct entities, one batched kernel call per query
+    /// entity.
+    pub fn build(query: &Query, digest: &TableDigest, sim: &dyn EntitySimilarity) -> Self {
+        let entities = query.distinct_entities();
+        let rows = entities
+            .iter()
+            .map(|&e| {
+                let mut row = vec![0.0f64; digest.distinct.len()];
+                sim.sim_batch(e, &digest.distinct, &mut row);
+                row
+            })
+            .collect();
+        Self { entities, rows }
+    }
+
+    /// The σ row of query entity `e` (indexed like `digest.distinct`).
+    ///
+    /// # Panics
+    /// Panics if `e` is not a query entity.
+    #[inline]
+    pub fn row(&self, e: EntityId) -> &[f64] {
+        let i = self
+            .entities
+            .iter()
+            .position(|&x| x == e)
+            .expect("entity is not part of the query");
+        &self.rows[i]
+    }
+
+    /// `max_ē σ(e, ē)` over the table's distinct entities, capped at 1 —
+    /// the per-entity coordinate of the pruning upper bound. Identical to
+    /// folding the scalar σ over the table's entity pool (max is
+    /// order-independent).
+    pub fn bound_of(&self, e: EntityId) -> f64 {
+        self.row(e).iter().copied().fold(0.0f64, f64::max).min(1.0)
+    }
+
+    /// The distinct query entities, in first-occurrence order.
+    pub fn entities(&self) -> &[EntityId] {
+        &self.entities
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::TypeJaccard;
+    use thetis_datalake::{CellValue, Table};
+    use thetis_kg::KgBuilder;
+
+    #[test]
+    fn rows_match_scalar_sigma_bitwise() {
+        let mut b = KgBuilder::new();
+        let thing = b.add_type("Thing", None);
+        let p = b.add_type("Player", Some(thing));
+        let es: Vec<EntityId> = (0..4)
+            .map(|i| b.add_entity(&format!("e{i}"), vec![p]))
+            .collect();
+        let g = b.freeze();
+        let sim = TypeJaccard::new(&g);
+
+        let mut t = Table::new("t", vec!["a".into()]);
+        for &e in &es[1..] {
+            t.push_row(vec![CellValue::LinkedEntity {
+                mention: "m".into(),
+                entity: e,
+            }]);
+        }
+        let digest = TableDigest::build(&t).unwrap();
+        let q = Query::new(vec![vec![es[0], es[1]], vec![es[0]]]);
+        let rows = SigmaRows::build(&q, &digest, &sim);
+
+        assert_eq!(rows.entities(), &[es[0], es[1]]);
+        for &e in rows.entities() {
+            for (j, &target) in digest.distinct.iter().enumerate() {
+                assert_eq!(rows.row(e)[j].to_bits(), sim.sim(e, target).to_bits());
+            }
+        }
+        // e1 is in the table: its bound is the exact-match 1.0.
+        assert_eq!(rows.bound_of(es[1]), 1.0);
+        // e0 is not: its best is the same-type cap.
+        assert_eq!(rows.bound_of(es[0]), 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of the query")]
+    fn foreign_entity_panics() {
+        let mut b = KgBuilder::new();
+        let thing = b.add_type("Thing", None);
+        let e0 = b.add_entity("e0", vec![thing]);
+        let e1 = b.add_entity("e1", vec![thing]);
+        let g = b.freeze();
+        let sim = TypeJaccard::new(&g);
+        let mut t = Table::new("t", vec!["a".into()]);
+        t.push_row(vec![CellValue::LinkedEntity {
+            mention: "m".into(),
+            entity: e1,
+        }]);
+        let digest = TableDigest::build(&t).unwrap();
+        let rows = SigmaRows::build(&Query::single(vec![e1]), &digest, &sim);
+        let _ = rows.row(e0);
+    }
+}

@@ -26,6 +26,19 @@ pub trait EntitySimilarity: Sync {
     /// The similarity of two entities.
     fn sim(&self, a: EntityId, b: EntityId) -> f64;
 
+    /// The similarity of `a` against every entity of `bs`, written into
+    /// `out` (`out.len() == bs.len()`). Must produce exactly the values
+    /// [`EntitySimilarity::sim`] would — implementations may only hoist
+    /// work common to `a` (its type set, its embedding row and norm), never
+    /// change per-pair arithmetic, so batched and scalar paths stay
+    /// bit-identical and cache-compatible.
+    fn sim_batch(&self, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
+        debug_assert_eq!(bs.len(), out.len());
+        for (&b, o) in bs.iter().zip(out) {
+            *o = self.sim(a, b);
+        }
+    }
+
     /// A short human-readable name ("types" / "embeddings").
     fn name(&self) -> &'static str;
 }
@@ -33,6 +46,10 @@ pub trait EntitySimilarity: Sync {
 impl<S: EntitySimilarity + ?Sized> EntitySimilarity for Box<S> {
     fn sim(&self, a: EntityId, b: EntityId) -> f64 {
         (**self).sim(a, b)
+    }
+
+    fn sim_batch(&self, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
+        (**self).sim_batch(a, bs, out);
     }
 
     fn name(&self) -> &'static str {
@@ -45,9 +62,38 @@ impl<S: EntitySimilarity + ?Sized> EntitySimilarity for &S {
         (**self).sim(a, b)
     }
 
+    fn sim_batch(&self, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
+        (**self).sim_batch(a, bs, out);
+    }
+
     fn name(&self) -> &'static str {
         (**self).name()
     }
+}
+
+/// Capped Jaccard of two sorted, deduplicated `u32` sets — the shared
+/// kernel of [`PredicateJaccard`] and [`NeighborhoodJaccard`].
+#[inline]
+fn sorted_jaccard(sa: &[u32], sb: &[u32], cap: f64) -> f64 {
+    if sa.is_empty() && sb.is_empty() {
+        return 0.0;
+    }
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0usize;
+    while i < sa.len() && j < sb.len() {
+        match sa[i].cmp(&sb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = sa.len() + sb.len() - inter;
+    (inter as f64 / union as f64).min(cap)
 }
 
 /// Adjusted Jaccard similarity over entity-type sets (Eq. 4).
@@ -82,6 +128,18 @@ impl EntitySimilarity for TypeJaccard<'_> {
         }
         let j = type_jaccard(self.graph.types_of(a), self.graph.types_of(b));
         j.min(self.cap)
+    }
+
+    fn sim_batch(&self, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
+        debug_assert_eq!(bs.len(), out.len());
+        let ta = self.graph.types_of(a);
+        for (&b, o) in bs.iter().zip(out) {
+            *o = if a == b {
+                1.0
+            } else {
+                type_jaccard(ta, self.graph.types_of(b)).min(self.cap)
+            };
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -127,27 +185,23 @@ impl EntitySimilarity for PredicateJaccard {
         if a == b {
             return 1.0;
         }
+        sorted_jaccard(
+            &self.predicate_sets[a.index()],
+            &self.predicate_sets[b.index()],
+            self.cap,
+        )
+    }
+
+    fn sim_batch(&self, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
+        debug_assert_eq!(bs.len(), out.len());
         let sa = &self.predicate_sets[a.index()];
-        let sb = &self.predicate_sets[b.index()];
-        if sa.is_empty() && sb.is_empty() {
-            return 0.0;
+        for (&b, o) in bs.iter().zip(out) {
+            *o = if a == b {
+                1.0
+            } else {
+                sorted_jaccard(sa, &self.predicate_sets[b.index()], self.cap)
+            };
         }
-        let mut i = 0;
-        let mut j = 0;
-        let mut inter = 0usize;
-        while i < sa.len() && j < sb.len() {
-            match sa[i].cmp(&sb[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    inter += 1;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        let union = sa.len() + sb.len() - inter;
-        (inter as f64 / union as f64).min(self.cap)
     }
 
     fn name(&self) -> &'static str {
@@ -192,27 +246,23 @@ impl EntitySimilarity for NeighborhoodJaccard {
         if a == b {
             return 1.0;
         }
+        sorted_jaccard(
+            &self.neighborhoods[a.index()],
+            &self.neighborhoods[b.index()],
+            self.cap,
+        )
+    }
+
+    fn sim_batch(&self, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
+        debug_assert_eq!(bs.len(), out.len());
         let sa = &self.neighborhoods[a.index()];
-        let sb = &self.neighborhoods[b.index()];
-        if sa.is_empty() && sb.is_empty() {
-            return 0.0;
+        for (&b, o) in bs.iter().zip(out) {
+            *o = if a == b {
+                1.0
+            } else {
+                sorted_jaccard(sa, &self.neighborhoods[b.index()], self.cap)
+            };
         }
-        let mut i = 0;
-        let mut j = 0;
-        let mut inter = 0usize;
-        while i < sa.len() && j < sb.len() {
-            match sa[i].cmp(&sb[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    inter += 1;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        let union = sa.len() + sb.len() - inter;
-        (inter as f64 / union as f64).min(self.cap)
     }
 
     fn name(&self) -> &'static str {
@@ -238,6 +288,14 @@ impl EntitySimilarity for EmbeddingCosine<'_> {
             return 1.0;
         }
         self.store.cosine(a, b).max(0.0)
+    }
+
+    fn sim_batch(&self, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
+        debug_assert_eq!(bs.len(), out.len());
+        self.store.cosine_batch(a, bs, out);
+        for (&b, o) in bs.iter().zip(out) {
+            *o = if a == b { 1.0 } else { o.max(0.0) };
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -347,6 +405,54 @@ mod tests {
         let v = s2.sim(p1, p2);
         assert!(v > 0.0 && v < 0.95, "depth-2 sim {v}");
         assert_eq!(s.name(), "neighborhoods");
+    }
+
+    fn assert_batch_matches_scalar<S: EntitySimilarity>(s: &S, n: u32) {
+        let bs: Vec<EntityId> = (0..n).map(EntityId).collect();
+        let mut out = vec![0.0f64; bs.len()];
+        for a in 0..n {
+            let a = EntityId(a);
+            s.sim_batch(a, &bs, &mut out);
+            for (&b, &got) in bs.iter().zip(&out) {
+                assert_eq!(
+                    got.to_bits(),
+                    s.sim(a, b).to_bits(),
+                    "{}: batch diverges at ({a:?}, {b:?})",
+                    s.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sim_batch_is_bit_identical_to_scalar_for_all_similarities() {
+        let mut b = KgBuilder::new();
+        let thing = b.add_type("Thing", None);
+        let player = b.add_type("Player", Some(thing));
+        let actor = b.add_type("Actor", Some(thing));
+        let e0 = b.add_entity("e0", vec![player]);
+        let e1 = b.add_entity("e1", vec![player, actor]);
+        let e2 = b.add_entity("e2", vec![actor]);
+        let e3 = b.add_entity("e3", vec![]);
+        let plays = b.add_predicate("playsFor");
+        let born = b.add_predicate("bornIn");
+        b.add_edge(e0, plays, e3);
+        b.add_edge(e1, plays, e3);
+        b.add_edge(e1, born, e2);
+        b.add_edge(e2, born, e0);
+        let g = b.freeze();
+        let n = g.entity_count() as u32;
+
+        assert_batch_matches_scalar(&TypeJaccard::new(&g), n);
+        assert_batch_matches_scalar(&PredicateJaccard::new(&g), n);
+        assert_batch_matches_scalar(&NeighborhoodJaccard::new(&g, 2), n);
+
+        let mut store = EmbeddingStore::zeros(n as usize, 3);
+        for i in 0..n {
+            let v = [(i as f32) - 1.5, 0.5, -(i as f32) * 0.25];
+            store.get_mut(EntityId(i)).copy_from_slice(&v);
+        }
+        assert_batch_matches_scalar(&EmbeddingCosine::new(&store), n);
     }
 
     #[test]

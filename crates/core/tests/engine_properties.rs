@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use thetis_core::search::score_candidates;
+use thetis_core::search::{score_candidates, Schedule};
 use thetis_core::{
     CachedSimilarity, CountingSimilarity, EmbeddingCosine, Informativeness, Query, RowAgg,
     SearchOptions, SimilarityCache, ThetisEngine, TypeJaccard,
@@ -88,6 +88,75 @@ fn build_scenario(seed: u64, n_entities: usize, n_tables: usize) -> Scenario {
     }
 }
 
+/// Like [`build_scenario`], but with heavily skewed table sizes: most
+/// tables hold 1–3 rows while a few hold 30–60, so static chunking would
+/// leave some workers idle — exactly the shape work stealing targets.
+fn build_skewed_scenario(seed: u64, n_entities: usize, n_tables: usize) -> Scenario {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed);
+    let mut s = build_scenario(seed, n_entities, n_tables);
+    let mut tables: Vec<Table> = (0..n_tables)
+        .map(|ti| {
+            let n_rows = if rng.random_bool(0.15) {
+                rng.random_range(30usize..60)
+            } else {
+                rng.random_range(1usize..4)
+            };
+            let mut t = Table::new(format!("t{ti}"), vec!["a".into(), "b".into()]);
+            for _ in 0..n_rows {
+                let row = (0..2)
+                    .map(|_| {
+                        if rng.random_bool(0.85) {
+                            CellValue::LinkedEntity {
+                                mention: "m".into(),
+                                entity: EntityId(rng.random_range(0..n_entities as u32)),
+                            }
+                        } else {
+                            CellValue::Text("plain".into())
+                        }
+                    })
+                    .collect();
+                t.push_row(row);
+            }
+            t
+        })
+        .collect();
+    // One fully unlinked table so the skip path is exercised too.
+    let mut unlinked = Table::new("unlinked", vec!["a".into()]);
+    unlinked.push_row(vec![CellValue::Text("plain".into())]);
+    tables.push(unlinked);
+    s.lake = DataLake::from_tables(tables);
+    s
+}
+
+/// The exhaustive sequential reference, computed from the *raw* row-walk
+/// primitives (no digest, no batching, no scheduler): per linked table,
+/// Hungarian mapping + row aggregation per tuple, averaged.
+fn reference_scores(
+    s: &Scenario,
+    sim: &dyn thetis_core::EntitySimilarity,
+    inform: &Informativeness,
+    agg: RowAgg,
+) -> Vec<(TableId, f64)> {
+    let mut out = Vec::new();
+    for tid in 0..s.lake.len() as u32 {
+        let table = s.lake.table(TableId(tid));
+        let linked = table
+            .rows()
+            .iter()
+            .any(|row| row.iter().any(|c| c.entity().is_some()));
+        if !linked || s.query.is_empty() {
+            continue;
+        }
+        let mut sum = 0.0;
+        for tuple in &s.query.tuples {
+            let mapping = thetis_core::mapping::map_tuple_to_columns(tuple, table, sim);
+            sum += thetis_core::semrel::tuple_table_score(tuple, table, &mapping, sim, inform, agg);
+        }
+        out.push((TableId(tid), sum / s.query.len() as f64));
+    }
+    out
+}
+
 fn assert_optimized_matches_exhaustive(
     s: &Scenario,
     engine: &ThetisEngine<'_, impl thetis_core::EntitySimilarity>,
@@ -163,7 +232,8 @@ proptest! {
         k in 1usize..6,
         threads in 2usize..5,
     ) {
-        // 80 tables crosses the sequential fallback threshold (64).
+        // 80 tables crosses the sequential fallback cutoff for every
+        // thread count in range (threads × 16 ≤ 80).
         let s = build_scenario(seed, 12, 80);
         let engine = ThetisEngine::new(&s.graph, &s.lake, TypeJaccard::new(&s.graph));
         let fast = engine.search(
@@ -175,6 +245,82 @@ proptest! {
             SearchOptions { threads: 1, ..SearchOptions::exhaustive(k) },
         );
         prop_assert_eq!(&fast.ranked, &slow.ranked);
+    }
+
+    /// The digest-driven, work-stolen scorer is **bit-identical** to the
+    /// raw row-walk reference for every σ × aggregation combination, under
+    /// skewed table sizes and 1–8 worker threads with a tiny steal block
+    /// (maximum interleaving).
+    #[test]
+    fn digest_scoring_is_bit_identical_to_raw_reference(
+        seed in any::<u64>(),
+        threads in 1usize..9,
+    ) {
+        let s = build_skewed_scenario(seed, 14, 40);
+        let inform = Informativeness::from_lake(&s.lake);
+        let candidates: Vec<TableId> = (0..s.lake.len() as u32).map(TableId).collect();
+        let sched = Schedule { threads, block: 2, min_per_thread: 1 };
+        let type_sim = TypeJaccard::new(&s.graph);
+        let emb_sim = EmbeddingCosine::new(&s.store);
+        let sims: [&(dyn thetis_core::EntitySimilarity + Sync); 2] = [&type_sim, &emb_sim];
+        for sim in sims {
+            for agg in [RowAgg::Max, RowAgg::Avg] {
+                let reference = reference_scores(&s, sim, &inform, agg);
+                let (mut fast, timings) =
+                    score_candidates(&s.query, &s.lake, &candidates, sim, &inform, agg, sched);
+                fast.sort_by_key(|&(t, _)| t);
+                prop_assert_eq!(fast.len(), reference.len());
+                for (&(ft, fs), &(rt, rs)) in fast.iter().zip(&reference) {
+                    prop_assert_eq!(ft, rt);
+                    prop_assert_eq!(
+                        fs.to_bits(), rs.to_bits(),
+                        "score of {:?} diverged bitwise: {} vs {} ({:?}, {} threads)",
+                        ft, fs, rs, agg, threads
+                    );
+                }
+                prop_assert_eq!(timings.tables_scored, reference.len());
+            }
+        }
+    }
+
+    /// The pruned, floor-seeded, bound-ordered path returns the same top-k
+    /// as the raw reference for all four σ × aggregation combos and any
+    /// thread count.
+    #[test]
+    fn pruned_digest_search_keeps_the_reference_top_k(
+        seed in any::<u64>(),
+        k in 1usize..6,
+        threads in 1usize..9,
+    ) {
+        let s = build_skewed_scenario(seed, 14, 40);
+        let type_sim = TypeJaccard::new(&s.graph);
+        let emb_sim = EmbeddingCosine::new(&s.store);
+        for use_embeddings in [false, true] {
+            for agg in [RowAgg::Max, RowAgg::Avg] {
+                let opts = SearchOptions {
+                    agg,
+                    threads,
+                    steal_block: 2,
+                    min_per_thread: 1,
+                    ..SearchOptions::top(k)
+                };
+                let inform = Informativeness::from_lake(&s.lake);
+                let (pruned, reference) = if use_embeddings {
+                    let engine = ThetisEngine::new(&s.graph, &s.lake, EmbeddingCosine::new(&s.store));
+                    (engine.search(&s.query, opts).ranked,
+                     reference_scores(&s, &emb_sim, &inform, agg))
+                } else {
+                    let engine = ThetisEngine::new(&s.graph, &s.lake, TypeJaccard::new(&s.graph));
+                    (engine.search(&s.query, opts).ranked,
+                     reference_scores(&s, &type_sim, &inform, agg))
+                };
+                let mut top = thetis_core::topk::TopK::new(k);
+                for &(t, score) in &reference {
+                    top.push(t, score);
+                }
+                prop_assert_eq!(pruned, top.into_sorted(), "agg = {:?}, {} threads", agg, threads);
+            }
+        }
     }
 
     /// Every σ lookup is either computed or served from the memo:
@@ -201,7 +347,7 @@ proptest! {
             &lookups,
             &inform,
             RowAgg::Max,
-            threads,
+            Schedule::with_threads(threads),
         );
         let stats = cache.stats();
         prop_assert_eq!(stats.computed + stats.served, lookups.computed());

@@ -1,9 +1,11 @@
 //! The data lake container: tables plus entity→table postings.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use thetis_kg::EntityId;
 
+use crate::digest::TableDigest;
 use crate::table::{Table, TableId};
 
 /// One full postings rebuild (corpus ingestion's dominant index cost).
@@ -20,6 +22,7 @@ static OBS_TABLES_ADDED: thetis_obs::Counter = thetis_obs::Counter::new("datalak
 pub struct DataLake {
     tables: Vec<Table>,
     postings: HashMap<EntityId, Vec<TableId>>,
+    digests: Vec<Option<Arc<TableDigest>>>,
     postings_dirty: bool,
 }
 
@@ -34,6 +37,7 @@ impl DataLake {
         let mut lake = Self {
             tables,
             postings: HashMap::new(),
+            digests: Vec::new(),
             postings_dirty: true,
         };
         lake.rebuild_postings();
@@ -94,7 +98,9 @@ impl DataLake {
             .map(|(i, t)| (TableId::from_index(i), t))
     }
 
-    /// Rebuilds the entity→tables postings from scratch.
+    /// Rebuilds the entity→tables postings and the per-table columnar
+    /// digests from scratch. Any table mutation (re-linking, added tables)
+    /// invalidates both; this is the single point where they refresh.
     pub fn rebuild_postings(&mut self) {
         let _rebuild = OBS_REBUILD.start();
         self.postings.clear();
@@ -104,6 +110,7 @@ impl DataLake {
                 self.postings.entry(e).or_default().push(id);
             }
         }
+        self.digests = TableDigest::build_all(&self.tables);
         self.postings_dirty = false;
     }
 
@@ -135,6 +142,29 @@ impl DataLake {
     /// informativeness weight `I(e)`).
     pub fn table_frequency(&mut self, e: EntityId) -> usize {
         self.tables_with_entity(e).len()
+    }
+
+    /// Whether the precomputed digests reflect the current tables (they go
+    /// stale together with the postings and refresh in
+    /// [`DataLake::rebuild_postings`]).
+    pub fn digests_fresh(&self) -> bool {
+        !self.postings_dirty
+    }
+
+    /// The precomputed columnar digest of table `id`, or `None` when the
+    /// table has no entity links.
+    ///
+    /// # Panics
+    /// Panics if tables were mutated since the last rebuild (call
+    /// [`DataLake::rebuild_postings`] first, or check
+    /// [`DataLake::digests_fresh`] and build an ad-hoc
+    /// [`TableDigest`] for one-off scoring of a dirty lake).
+    pub fn digest(&self, id: TableId) -> Option<&TableDigest> {
+        assert!(
+            !self.postings_dirty,
+            "digests are stale; call rebuild_postings() after mutating tables"
+        );
+        self.digests[id.index()].as_deref()
     }
 }
 
@@ -194,5 +224,37 @@ mod tests {
         let mut lake = lake();
         lake.add_table(Table::new("t3", vec!["a".into()]));
         let _ = lake.postings();
+    }
+
+    #[test]
+    fn digests_build_with_postings() {
+        let lake = lake();
+        assert!(lake.digests_fresh());
+        let d = lake.digest(TableId(0)).expect("t1 is linked");
+        assert_eq!(d.distinct, vec![EntityId(1)]);
+        assert_eq!(d.columns[0].counts, vec![2]);
+        let d2 = lake.digest(TableId(1)).expect("t2 is linked");
+        assert_eq!(d2.distinct, vec![EntityId(1), EntityId(2)]);
+    }
+
+    #[test]
+    fn mutation_invalidates_digests_until_rebuild() {
+        let mut lake = lake();
+        let mut t3 = Table::new("t3", vec!["a".into()]);
+        t3.push_row(vec![linked("z", 3)]);
+        lake.add_table(t3);
+        assert!(!lake.digests_fresh());
+        lake.rebuild_postings();
+        assert!(lake.digests_fresh());
+        let d = lake.digest(TableId(2)).expect("t3 is linked");
+        assert_eq!(d.distinct, vec![EntityId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn stale_digest_access_panics() {
+        let mut lake = lake();
+        lake.add_table(Table::new("t3", vec!["a".into()]));
+        let _ = lake.digest(TableId(0));
     }
 }

@@ -13,12 +13,14 @@
 //! * CSV I/O and corpus statistics reproducing Table 2 of the paper.
 
 pub mod csv;
+pub mod digest;
 pub mod lake;
 pub mod linking;
 pub mod stats;
 pub mod table;
 pub mod value;
 
+pub use digest::{ColumnDigest, LinkedRow, TableDigest};
 pub use lake::DataLake;
 pub use linking::{EntityLinker, ExactLabelLinker, LinkStats, NoisyLinker, TokenLinker};
 pub use stats::LakeStats;

@@ -7,10 +7,24 @@ use thetis_kg::EntityId;
 const MAGIC: &[u8; 4] = b"TEV1";
 
 /// A dense `n × dim` matrix of entity embeddings, indexed by [`EntityId`].
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The rows live in one contiguous row-major `f32` slab, and the per-row
+/// L2 norms are computed lazily once and cached (invalidated by any
+/// mutation), so batched cosine kernels pay one dot product per pair
+/// instead of three accumulations plus two square roots.
+#[derive(Debug, Clone)]
 pub struct EmbeddingStore {
     dim: usize,
     data: Vec<f32>,
+    /// Cached per-row `sqrt(Σ x²)` in f64 — exactly the value the scalar
+    /// cosine would compute, so cached-norm cosines are bit-identical.
+    norms: std::sync::OnceLock<Vec<f64>>,
+}
+
+impl PartialEq for EmbeddingStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.dim == other.dim && self.data == other.data
+    }
 }
 
 impl EmbeddingStore {
@@ -20,6 +34,7 @@ impl EmbeddingStore {
         Self {
             dim,
             data: vec![0.0; n * dim],
+            norms: std::sync::OnceLock::new(),
         }
     }
 
@@ -30,7 +45,11 @@ impl EmbeddingStore {
     pub fn from_raw(data: Vec<f32>, dim: usize) -> Self {
         assert!(dim > 0, "embedding dimension must be positive");
         assert_eq!(data.len() % dim, 0, "data length must be a multiple of dim");
-        Self { dim, data }
+        Self {
+            dim,
+            data,
+            norms: std::sync::OnceLock::new(),
+        }
     }
 
     /// Embedding dimensionality.
@@ -58,15 +77,18 @@ impl EmbeddingStore {
         &self.data[i..i + self.dim]
     }
 
-    /// Mutable access to the vector for entity `e`.
+    /// Mutable access to the vector for entity `e`. Invalidates the norm
+    /// cache.
     #[inline]
     pub fn get_mut(&mut self, e: EntityId) -> &mut [f32] {
+        self.norms.take();
         let i = e.index() * self.dim;
         &mut self.data[i..i + self.dim]
     }
 
     /// L2-normalizes every vector in place (zero vectors are left as-is).
     pub fn normalize(&mut self) {
+        self.norms.take();
         let dim = self.dim;
         for row in self.data.chunks_mut(dim) {
             let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
@@ -78,10 +100,58 @@ impl EmbeddingStore {
         }
     }
 
+    /// Per-row L2 norms (`sqrt(Σ x²)` in f64), computed once and cached.
+    /// Accumulation runs element-by-element exactly like the scalar cosine,
+    /// so dividing a dot product by two cached norms reproduces
+    /// [`cosine`]'s bits.
+    pub fn norms(&self) -> &[f64] {
+        self.norms.get_or_init(|| {
+            self.data
+                .chunks(self.dim)
+                .map(|row| {
+                    let mut sumsq = 0.0f64;
+                    for &x in row {
+                        sumsq += f64::from(x) * f64::from(x);
+                    }
+                    sumsq.sqrt()
+                })
+                .collect()
+        })
+    }
+
     /// Cosine similarity of two entities' vectors, in `[-1, 1]`.
-    /// Zero vectors yield 0.
+    /// Zero vectors yield 0. Uses the cached norms; bit-identical to
+    /// [`cosine`] over the same rows.
     pub fn cosine(&self, a: EntityId, b: EntityId) -> f64 {
-        cosine(self.get(a), self.get(b))
+        let norms = self.norms();
+        let (na, nb) = (norms[a.index()], norms[b.index()]);
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        (dot(self.get(a), self.get(b)) / (na * nb)).clamp(-1.0, 1.0)
+    }
+
+    /// Cosine of `a` against every entity of `bs`, written into `out`
+    /// (`out.len() == bs.len()`). One pass keeps `a`'s row and norm hot, so
+    /// the per-pair cost collapses to a single contiguous dot product.
+    /// Each value is bit-identical to [`EmbeddingStore::cosine`].
+    pub fn cosine_batch(&self, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
+        debug_assert_eq!(bs.len(), out.len());
+        let norms = self.norms();
+        let na = norms[a.index()];
+        if na == 0.0 {
+            out.fill(0.0);
+            return;
+        }
+        let va = self.get(a);
+        for (&b, o) in bs.iter().zip(out) {
+            let nb = norms[b.index()];
+            *o = if nb == 0.0 {
+                0.0
+            } else {
+                (dot(va, self.get(b)) / (na * nb)).clamp(-1.0, 1.0)
+            };
+        }
     }
 
     /// Serializes to the `TEV1` binary format.
@@ -122,8 +192,25 @@ impl EmbeddingStore {
         for _ in 0..n * dim {
             data.push(bytes.get_f32_le());
         }
-        Ok(Self { dim, data })
+        Ok(Self {
+            dim,
+            data,
+            norms: std::sync::OnceLock::new(),
+        })
     }
+}
+
+/// Dot product of two equal-length `f32` rows, accumulated in f64 in
+/// element order — the same order (and therefore the same bits) as the
+/// fused loop inside [`cosine`].
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += f64::from(x) * f64::from(y);
+    }
+    acc
 }
 
 /// Cosine similarity of two equal-length vectors (0 for zero vectors).
@@ -174,6 +261,37 @@ mod tests {
         assert!((v[0] - 0.6).abs() < 1e-6);
         assert!((v[1] - 0.8).abs() < 1e-6);
         assert_eq!(s.get(EntityId(1)), &[0.0, 0.0]); // zero row untouched
+    }
+
+    #[test]
+    fn cosine_batch_matches_scalar_bitwise() {
+        let n = 6usize;
+        let dim = 3usize;
+        let data: Vec<f32> = (0..n * dim)
+            .map(|i| ((i * 37 % 17) as f32 - 8.0) / 5.0)
+            .collect();
+        let s = EmbeddingStore::from_raw(data, dim);
+        let bs: Vec<EntityId> = (0..n as u32).map(EntityId).collect();
+        let mut out = vec![0.0f64; n];
+        for a in 0..n as u32 {
+            s.cosine_batch(EntityId(a), &bs, &mut out);
+            for (&b, &got) in bs.iter().zip(&out) {
+                let scalar = cosine(s.get(EntityId(a)), s.get(b));
+                assert_eq!(got.to_bits(), scalar.to_bits(), "a={a} b={b:?}");
+                assert_eq!(s.cosine(EntityId(a), b).to_bits(), scalar.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn norm_cache_invalidates_on_mutation() {
+        let mut s = EmbeddingStore::zeros(2, 2);
+        assert_eq!(s.norms(), &[0.0, 0.0]);
+        s.get_mut(EntityId(0)).copy_from_slice(&[3.0, 4.0]);
+        assert_eq!(s.norms(), &[5.0, 0.0]);
+        s.normalize();
+        // f32 rounding in normalize leaves the recomputed norm within 1e-6.
+        assert!((s.norms()[0] - 1.0).abs() < 1e-6);
     }
 
     #[test]

@@ -297,9 +297,27 @@ impl<S: EntitySigner> Lsei<S> {
                 }
             }
             LseiMode::Column => {
+                let fresh = lake.digests_fresh();
                 for (tid, table) in lake.iter() {
+                    // A fresh digest already lists each column's linked
+                    // cells in row order, so the group reconstructed from
+                    // it is the exact multiset the raw row walk yields
+                    // (group signatures are duplicate- and
+                    // order-sensitive); unlinked tables skip the row walk
+                    // entirely.
+                    let digest = if fresh { lake.digest(tid) } else { None };
+                    if fresh && digest.is_none() {
+                        continue;
+                    }
                     for col in 0..table.n_cols() {
-                        let entities: Vec<EntityId> = table.entities_in_column(col).collect();
+                        let entities: Vec<EntityId> = match digest {
+                            Some(d) => d.columns[col]
+                                .cells
+                                .iter()
+                                .map(|&idx| d.distinct[idx as usize])
+                                .collect(),
+                            None => table.entities_in_column(col).collect(),
+                        };
                         if entities.is_empty() {
                             continue;
                         }
@@ -730,6 +748,32 @@ mod tests {
         let res = lsei.prefilter(&[bb[0]], 1);
         assert!(res.tables.contains(&TableId(0)));
         assert!(res.tables.contains(&TableId(1)));
+    }
+
+    #[test]
+    fn column_mode_digest_and_raw_builds_agree() {
+        // A fresh lake builds column groups from the digests; a stale one
+        // falls back to the raw row walk. Both must produce the same
+        // signatures, hence the same prefilter behavior.
+        let (g, lake, bb, vb) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        assert!(lake.digests_fresh());
+        let signer = TypeSigner::new(&g, TypeFilter::none(), cfg, 1);
+        let from_digest = Lsei::build(&lake, signer, cfg, LseiMode::Column);
+
+        let mut stale = lake.clone();
+        let _ = stale.table_mut(TableId(0)); // marks digests stale, no change
+        assert!(!stale.digests_fresh());
+        let signer = TypeSigner::new(&g, TypeFilter::none(), cfg, 1);
+        let from_raw = Lsei::build(&stale, signer, cfg, LseiMode::Column);
+
+        for &e in bb.iter().chain(&vb) {
+            assert_eq!(
+                from_digest.prefilter(&[e], 1).tables,
+                from_raw.prefilter(&[e], 1).tables,
+                "prefilter diverged for {e:?}"
+            );
+        }
     }
 
     #[test]

@@ -496,6 +496,36 @@ fn run_explain<S: EntitySimilarity>(
 
     if trace.is_active() {
         println!();
+        // Scheduler provenance: how the scoring work spread over workers,
+        // and how the pruning floor tightened over the pass.
+        let events = trace.events();
+        let drains: Vec<_> = events.iter().filter(|e| e.name == "sched.drain").collect();
+        if !drains.is_empty() {
+            let steals = events.iter().filter(|e| e.name == "sched.steal").count();
+            println!(
+                "scheduler: {} worker drain(s), {} block(s) stolen",
+                drains.len(),
+                steals
+            );
+            for d in &drains {
+                println!(
+                    "    worker {} — {} block(s), {} table(s), busy {:.2}ms",
+                    d.attr_u64("worker").unwrap_or(0),
+                    d.attr_u64("blocks").unwrap_or(0),
+                    d.attr_u64("tables").unwrap_or(0),
+                    d.attr_u64("busy_nanos").unwrap_or(0) as f64 / 1e6,
+                );
+            }
+        }
+        let floors: Vec<String> = events
+            .iter()
+            .filter(|e| e.name == "prune.floor")
+            .filter_map(|e| e.attr_f64("floor"))
+            .map(|f| format!("{f:.4}"))
+            .collect();
+        if !floors.is_empty() {
+            println!("    pruning floor trajectory: {}", floors.join(" → "));
+        }
         print!("{}", trace.render_waterfall());
         if let Some(path) = &args.trace_out {
             std::fs::write(path, trace.to_chrome_json())

@@ -60,7 +60,8 @@ pub mod prelude {
     };
     pub use thetis_core::{
         EmbeddingCosine, EntitySimilarity, Informativeness, PredicateJaccard, Query, RowAgg,
-        SearchOptions, SearchResult, SearchStats, SimilarityCache, ThetisEngine, TypeJaccard,
+        Schedule, SearchOptions, SearchResult, SearchStats, SimilarityCache, ThetisEngine,
+        TypeJaccard,
     };
     pub use thetis_corpus::{
         BenchQuery, Benchmark, BenchmarkConfig, BenchmarkKind, GroundTruth, TableGenConfig,

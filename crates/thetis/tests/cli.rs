@@ -102,6 +102,9 @@ fn explain_subcommand_prints_full_provenance() {
     assert!(stdout.contains("trace of query 0x"), "{stdout}");
     assert!(stdout.contains("lsei.prefilter"), "{stdout}");
     assert!(stdout.contains("core.search"), "{stdout}");
+    // Scheduler provenance: worker drains and (with pruning on) the floor.
+    assert!(stdout.contains("scheduler:"), "{stdout}");
+    assert!(stdout.contains("worker 0"), "{stdout}");
     // --trace-out wrote Chrome trace-event JSON.
     let trace = std::fs::read_to_string(&trace_path).expect("trace file written");
     assert!(trace.starts_with('['), "{trace}");
