@@ -1,0 +1,104 @@
+//! End-to-end tests for the `bench_gate` CI binary.
+//!
+//! The gate must degrade gracefully — warn and pass — when the committed
+//! baseline is missing (first run on a fresh branch), and must still be
+//! strict about its own argument contract and genuine regressions.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use thetis_bench::BenchReport;
+
+fn gate() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bench_gate"))
+}
+
+fn run(cmd: &mut Command) -> Output {
+    cmd.output().expect("bench_gate should spawn")
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("thetis-gate-{}-{tag}.json", std::process::id()))
+}
+
+fn write_report(tag: &str, wall_seconds: f64) -> PathBuf {
+    let report = BenchReport {
+        experiment: "gate-test".into(),
+        scale: 1.0,
+        n_queries: 1,
+        wall_seconds,
+        counters: Vec::new(),
+        spans: Vec::new(),
+        histograms: Vec::new(),
+    };
+    let path = temp_path(tag);
+    std::fs::write(&path, serde_json::to_string(&report).unwrap()).unwrap();
+    path
+}
+
+#[test]
+fn missing_baseline_warns_and_passes() {
+    let current = write_report("missing-base-cur", 1.0);
+    let out = run(gate()
+        .arg("--baseline")
+        .arg("/nonexistent/thetis/BENCH_none.json")
+        .arg("--current")
+        .arg(&current));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "missing baseline must pass, got {:?}: {stderr}",
+        out.status
+    );
+    assert!(stderr.contains("no usable baseline"), "{stderr}");
+    assert!(stderr.contains("passing"), "{stderr}");
+    std::fs::remove_file(current).ok();
+}
+
+#[test]
+fn missing_current_is_a_hard_error() {
+    let baseline = write_report("missing-cur-base", 1.0);
+    let out = run(gate()
+        .arg("--baseline")
+        .arg(&baseline)
+        .arg("--current")
+        .arg("/nonexistent/thetis/BENCH_none.json"));
+    assert!(!out.status.success(), "missing current report must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read current report"), "{stderr}");
+    std::fs::remove_file(baseline).ok();
+}
+
+#[test]
+fn missing_required_flag_is_a_usage_error() {
+    let out = run(gate().arg("--current").arg("whatever.json"));
+    assert!(!out.status.success(), "missing --baseline must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--baseline is required"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn wall_time_regression_fails_and_parity_passes() {
+    let baseline = write_report("reg-base", 1.0);
+    let slow = write_report("reg-slow", 2.0);
+    let out = run(gate()
+        .arg("--baseline")
+        .arg(&baseline)
+        .arg("--current")
+        .arg(&slow));
+    assert!(!out.status.success(), "100% regression must fail the gate");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("wall time regressed"), "{stderr}");
+
+    let same = write_report("reg-same", 1.0);
+    let out = run(gate()
+        .arg("--baseline")
+        .arg(&baseline)
+        .arg("--current")
+        .arg(&same));
+    assert!(out.status.success(), "parity run must pass the gate");
+    for p in [baseline, slow, same] {
+        std::fs::remove_file(p).ok();
+    }
+}

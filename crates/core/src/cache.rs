@@ -114,6 +114,12 @@ impl CacheStats {
 ///
 /// Keys are directional — `(a, b)` and `(b, a)` are distinct entries — so no
 /// symmetry assumption is imposed on the wrapped similarity.
+///
+/// Lock poisoning is recovered, not propagated: a worker that panics while
+/// holding a shard lock (panic isolation catches it per table) leaves the
+/// shard usable. Every write is a single `insert` of an independent entry,
+/// so a poisoned shard is never structurally torn — at worst one memo
+/// entry is missing and gets recomputed.
 pub struct SimilarityCache {
     shards: Vec<RwLock<HashMap<(u32, u32), f64>>>,
     computed: AtomicU64,
@@ -156,7 +162,7 @@ impl SimilarityCache {
     pub fn sim_through(&self, sim: &dyn EntitySimilarity, a: EntityId, b: EntityId) -> f64 {
         let key = (a.0, b.0);
         let shard = self.shard(key);
-        if let Some(&v) = shard.read().expect("similarity cache poisoned").get(&key) {
+        if let Some(&v) = shard.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
             self.served.fetch_add(1, Ordering::Relaxed);
             return v;
         }
@@ -164,7 +170,7 @@ impl SimilarityCache {
         self.computed.fetch_add(1, Ordering::Relaxed);
         shard
             .write()
-            .expect("similarity cache poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .insert(key, v);
         v
     }
@@ -189,7 +195,7 @@ impl SimilarityCache {
             match self
                 .shard(key)
                 .read()
-                .expect("similarity cache poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .get(&key)
             {
                 Some(&v) => out[i] = v,
@@ -213,7 +219,7 @@ impl SimilarityCache {
             let key = (a.0, b.0);
             self.shard(key)
                 .write()
-                .expect("similarity cache poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .insert(key, v);
         }
     }
@@ -222,7 +228,7 @@ impl SimilarityCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("similarity cache poisoned").len())
+            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).len())
             .sum()
     }
 
@@ -242,7 +248,7 @@ impl SimilarityCache {
     /// Drops all memoized pairs and resets the counters.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.write().expect("similarity cache poisoned").clear();
+            shard.write().unwrap_or_else(|e| e.into_inner()).clear();
         }
         self.computed.store(0, Ordering::Relaxed);
         self.served.store(0, Ordering::Relaxed);
@@ -473,5 +479,34 @@ mod tests {
         assert_eq!(stats.lookups(), 4 * 50 * 16);
         // At most one duplicated compute per pair per racing thread.
         assert!(stats.computed >= 16 && stats.computed <= 64, "{stats:?}");
+    }
+
+    #[test]
+    fn poisoned_shard_is_recovered_not_propagated() {
+        let (g, es) = graph();
+        let sim = TypeJaccard::new(&g);
+        let cache = SimilarityCache::with_shards(1);
+        let cached = CachedSimilarity::new(&sim, &cache);
+        let expect = cached.sim(es[0], es[1]);
+
+        // Poison the single shard: panic while holding its write lock.
+        let shard = &cache.shards[0];
+        let join = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = shard.write().unwrap();
+                    panic!("poison the shard on purpose");
+                })
+                .join()
+        });
+        assert!(join.is_err());
+        assert!(shard.is_poisoned());
+
+        // Every access path still works and the memo survived intact.
+        assert_eq!(cached.sim(es[0], es[1]), expect);
+        assert_eq!(cached.sim(es[2], es[3]), sim.sim(es[2], es[3]));
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
     }
 }

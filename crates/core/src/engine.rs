@@ -1,7 +1,7 @@
 //! The Thetis search engine: Algorithm 1 + optional LSEI prefiltering
 //! behind a single API.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use thetis_datalake::{DataLake, TableId};
 use thetis_kg::KnowledgeGraph;
@@ -31,6 +31,12 @@ static OBS_SIGMA_COMPUTED: thetis_obs::Counter = thetis_obs::Counter::new("core.
 static OBS_SIGMA_CACHED: thetis_obs::Counter = thetis_obs::Counter::new("core.sigma_cached");
 static OBS_SEARCH_LATENCY: thetis_obs::Histogram =
     thetis_obs::Histogram::new("core.search_latency");
+/// Searches whose deadline expired before every candidate was visited.
+static OBS_DEADLINE_EXPIRED: thetis_obs::Counter =
+    thetis_obs::Counter::new("core.deadline_expired");
+/// Prefiltered searches that fell back to an exhaustive scan because the
+/// LSEI index was missing or failed verification.
+static OBS_LSEI_FALLBACK: thetis_obs::Counter = thetis_obs::Counter::new("lsei.fallback");
 
 /// Knobs of one search call.
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +62,14 @@ pub struct SearchOptions {
     /// when `candidates ≥ threads × min_per_thread` (see
     /// [`Schedule::min_per_thread`]).
     pub min_per_thread: usize,
+    /// Wall-clock budget for the scoring pass. When it expires the search
+    /// stops claiming work at steal-block granularity and returns the
+    /// best-so-far top-`k` with [`SearchStats::degraded`] set and the
+    /// skipped candidates counted in [`SearchStats::tables_unscored`].
+    /// Tables that *were* scored keep bit-identical scores. There is no
+    /// minimum-progress guarantee: a zero budget yields an empty, fully
+    /// degraded result. `None` (the default) means unbounded.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for SearchOptions {
@@ -68,6 +82,7 @@ impl Default for SearchOptions {
             prune: true,
             steal_block: Schedule::DEFAULT_BLOCK,
             min_per_thread: Schedule::DEFAULT_MIN_PER_THREAD,
+            deadline: None,
         }
     }
 }
@@ -92,6 +107,14 @@ impl SearchOptions {
         }
     }
 
+    /// The same options with a wall-clock scoring budget attached.
+    pub fn with_deadline(self, budget: Duration) -> Self {
+        Self {
+            deadline: Some(budget),
+            ..self
+        }
+    }
+
     fn resolved_threads(&self) -> usize {
         if self.threads > 0 {
             self.threads
@@ -110,6 +133,50 @@ impl SearchOptions {
     }
 }
 
+/// Why a search result is partial — the degradation ladder's rungs, as a
+/// bitset so a single query can degrade for several reasons at once.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradedReasons {
+    /// The wall-clock budget expired before every candidate was visited.
+    pub deadline: bool,
+    /// At least one table's scoring (or bounding) panicked and was dropped.
+    pub worker_panic: bool,
+    /// The LSEI prefilter was unusable (missing/corrupt index) and the
+    /// search fell back to an exhaustive scan.
+    pub lsei_fallback: bool,
+}
+
+impl DegradedReasons {
+    /// Whether any reason is set.
+    pub fn any(&self) -> bool {
+        self.deadline || self.worker_panic || self.lsei_fallback
+    }
+
+    /// The set reasons as stable labels (for traces, CLI output, logs).
+    pub fn labels(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.deadline {
+            out.push("deadline");
+        }
+        if self.worker_panic {
+            out.push("worker_panic");
+        }
+        if self.lsei_fallback {
+            out.push("lsei_fallback");
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for DegradedReasons {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.any() {
+            return f.write_str("none");
+        }
+        f.write_str(&self.labels().join("+"))
+    }
+}
+
 /// Instrumentation of one search call.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SearchStats {
@@ -123,6 +190,17 @@ pub struct SearchStats {
     pub prefilter_nanos: u64,
     /// Wall time of the whole search, nanoseconds.
     pub total_nanos: u64,
+    /// Whether the ranking is partial: some candidate that would have been
+    /// considered was skipped (deadline, panic, lost worker) or the
+    /// prefilter fell back. Scored tables keep bit-identical scores even
+    /// when this is set.
+    pub degraded: bool,
+    /// Candidates that received no disposition at all — neither scored,
+    /// pruned, nor skipped as unlinked — plus tables dropped by panic
+    /// isolation. Zero on a healthy run.
+    pub tables_unscored: usize,
+    /// Which rungs of the degradation ladder fired.
+    pub degraded_reason: DegradedReasons,
     /// Scoring-time breakdown.
     pub timings: ScoreTimings,
 }
@@ -131,6 +209,11 @@ impl SearchStats {
     /// Tables skipped by upper-bound pruning.
     pub fn tables_pruned(&self) -> usize {
         self.timings.tables_pruned
+    }
+
+    /// Tables dropped because their scoring panicked (isolated per table).
+    pub fn worker_panics(&self) -> usize {
+        self.timings.tables_panicked
     }
 
     /// σ evaluations actually performed.
@@ -312,6 +395,40 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
         )
     }
 
+    /// Prefiltered search that tolerates a missing or unverifiable index —
+    /// the degradation ladder's LSEI rung. Pass `Some(lsei)` for the
+    /// normal prefiltered path; pass `None` (the index file was missing,
+    /// truncated, or failed its checksum) to fall back to an exhaustive
+    /// scan of the whole lake. The fallback bumps the `lsei.fallback`
+    /// counter, records an `lsei.fallback` trace event, and marks the
+    /// result `degraded` with `degraded_reason.lsei_fallback` so callers
+    /// can warn — but the ranking itself is *complete* (every table was
+    /// considered), just slower to produce.
+    pub fn search_prefiltered_resilient<Sg: EntitySigner>(
+        &self,
+        query: &Query,
+        options: SearchOptions,
+        lsei: Option<&Lsei<Sg>>,
+        votes: usize,
+        trace: &thetis_obs::QueryTrace,
+    ) -> SearchResult {
+        match lsei {
+            Some(index) => self.search_prefiltered_traced(query, options, index, votes, trace),
+            None => {
+                if thetis_obs::enabled() {
+                    OBS_LSEI_FALLBACK.inc();
+                }
+                trace.record_with("lsei.fallback", || {
+                    thetis_obs::trace_attrs![("tables", self.lake.len())]
+                });
+                let mut res = self.search_traced(query, options, trace);
+                res.stats.degraded = true;
+                res.stats.degraded_reason.lsei_fallback = true;
+                res
+            }
+        }
+    }
+
     /// Prefiltered search with query-side column aggregation (§6.2): the
     /// entities at each tuple position merge into one LSEI lookup, so a
     /// 5-tuple query costs as much as a 1-tuple query.
@@ -392,6 +509,9 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
         let before = cache.map(|c| c.stats());
 
         let sched = options.schedule();
+        // The budget covers the scoring pass; prefilter time already spent
+        // is the caller's concern (it is typically microseconds).
+        let deadline_at = options.deadline.map(|d| start + d);
         let run = |sim: &(dyn EntitySimilarity + Sync)| {
             if options.prune {
                 score_candidates_pruned_traced(
@@ -403,6 +523,7 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
                     options.agg,
                     sched,
                     options.k,
+                    deadline_at,
                     trace,
                 )
             } else {
@@ -414,6 +535,7 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
                     &self.inform,
                     options.agg,
                     sched,
+                    deadline_at,
                     trace,
                 )
             }
@@ -436,6 +558,23 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
             timings.sigma_computed = delta.computed;
             timings.sigma_cached = delta.served;
             delta.record_trace_summary(trace);
+        }
+
+        let tables_unscored = timings.tables_unscored + timings.tables_panicked;
+        let degraded_reason = DegradedReasons {
+            deadline: timings.deadline_hit,
+            worker_panic: timings.tables_panicked > 0,
+            lsei_fallback: false,
+        };
+        let degraded = degraded_reason.any() || tables_unscored > 0;
+        if degraded {
+            trace.record_with("search.degraded", || {
+                thetis_obs::trace_attrs![
+                    ("reason", degraded_reason.to_string()),
+                    ("tables_unscored", tables_unscored),
+                    ("tables_panicked", timings.tables_panicked),
+                ]
+            });
         }
 
         let mut topk = TopK::new(options.k);
@@ -473,6 +612,9 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
             OBS_HUNGARIAN.record_nanos(timings.mapping_nanos, timings.mapping_count);
             OBS_ROW_AGG.record_nanos(timings.agg_nanos, timings.tables_scored as u64);
             OBS_SEARCH_LATENCY.observe_nanos(total_nanos);
+            if timings.deadline_hit {
+                OBS_DEADLINE_EXPIRED.inc();
+            }
         }
         SearchResult {
             ranked,
@@ -482,6 +624,9 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
                 reduction,
                 prefilter_nanos,
                 total_nanos,
+                degraded,
+                tables_unscored,
+                degraded_reason,
                 timings,
             },
         }

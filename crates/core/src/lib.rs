@@ -42,7 +42,7 @@ pub mod similarity;
 pub mod topk;
 
 pub use cache::{CacheStats, CachedSimilarity, CountingSimilarity, SimilarityCache};
-pub use engine::{SearchOptions, SearchResult, SearchStats, ThetisEngine};
+pub use engine::{DegradedReasons, SearchOptions, SearchResult, SearchStats, ThetisEngine};
 pub use explain::{explain, EntityMatch, Explanation, TupleExplanation};
 pub use informativeness::Informativeness;
 pub use query::{EntityTuple, Query};

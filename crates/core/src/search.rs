@@ -16,7 +16,7 @@
 //! additionally orders candidates by descending upper bound and seeds the
 //! shared top-k floor from the `k` best bounds before the main loop.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 use thetis_datalake::{DataLake, TableDigest, TableId};
@@ -35,6 +35,9 @@ static OBS_WORKER_TABLES: thetis_obs::Counter = thetis_obs::Counter::new("core.s
 /// Per-worker busy wall time (one record per worker drain), so
 /// `nanos / count` is the mean worker occupancy of a scoring pass.
 static OBS_WORKER_BUSY: thetis_obs::Span = thetis_obs::Span::new("core.worker_busy");
+/// Panics caught during scoring (per-table isolation or a lost worker);
+/// the query completes with partial results either way.
+static OBS_WORKER_PANICS: thetis_obs::Counter = thetis_obs::Counter::new("core.worker_panics");
 
 /// Timing breakdown of a scoring pass (reproduces the §7.3 "table scoring"
 /// measurement: the share of time spent computing the mapping `μ_{T,Q}`).
@@ -63,6 +66,16 @@ pub struct ScoreTimings {
     /// σ lookups served from the query-scoped memo (always 0 when
     /// memoization is disabled).
     pub sigma_cached: u64,
+    /// Candidates skipped because they carry no entity links (irrelevant
+    /// by §4.2; includes every candidate when the query itself is empty).
+    pub tables_unlinked: usize,
+    /// Candidates whose scorer panicked: the panic was caught, the table's
+    /// result dropped, and the pass continued (see `core.worker_panics`).
+    pub tables_panicked: usize,
+    /// Candidates never visited because the deadline expired first.
+    pub tables_unscored: usize,
+    /// Whether any scoring phase stopped early on an expired deadline.
+    pub deadline_hit: bool,
 }
 
 impl ScoreTimings {
@@ -94,6 +107,10 @@ impl ScoreTimings {
         self.tables_pruned += other.tables_pruned;
         self.sigma_computed += other.sigma_computed;
         self.sigma_cached += other.sigma_cached;
+        self.tables_unlinked += other.tables_unlinked;
+        self.tables_panicked += other.tables_panicked;
+        self.tables_unscored += other.tables_unscored;
+        self.deadline_hit |= other.deadline_hit;
     }
 }
 
@@ -144,21 +161,44 @@ impl Schedule {
     }
 }
 
+/// What a [`steal_blocks`] pass did, beyond the per-worker accumulators.
+#[derive(Debug, Clone, Copy, Default)]
+struct StealReport {
+    /// Items the surviving workers report as processed. Items claimed by a
+    /// lost worker (see `lost_workers`) are *not* counted, so
+    /// `n - processed` is exactly the number of items with no result.
+    processed: u64,
+    /// Whether the pass stopped early because the deadline expired.
+    deadline_hit: bool,
+    /// Workers whose thread died outright (a panic that escaped the
+    /// per-item isolation). Their accumulators are dropped.
+    lost_workers: u64,
+}
+
 /// Runs `work` over `0..n` in blocks claimed from a shared atomic cursor.
 ///
 /// Each worker builds its accumulator with `make(worker)`, then repeatedly
 /// steals the next block until the cursor passes `n`; `work` returns how
-/// many items it processed (for utilization accounting). An active trace
-/// receives one `sched.steal` event per claimed block and one `sched.drain`
-/// event per worker (blocks, items, busy nanos); the same utilization
+/// many items it processed (for utilization accounting). When `deadline`
+/// is set, every worker re-checks the clock before claiming a block and
+/// stops cooperatively once it has passed — block claiming is the
+/// cancellation granularity, so an in-flight block always completes. An
+/// active trace receives one `sched.steal` event per claimed block, one
+/// `sched.drain` event per worker (blocks, items, busy nanos), and one
+/// `sched.deadline` event when the budget expires; the same utilization
 /// lands on the `core.sched_*` / `core.worker_busy` obs series.
+///
+/// A worker thread that dies (its panic escaped `work`'s own isolation) is
+/// absorbed: its accumulator is dropped, the loss is counted in the
+/// report, and the remaining workers drain normally.
 fn steal_blocks<R, M, F>(
     n: usize,
     sched: Schedule,
+    deadline: Option<Instant>,
     trace: &thetis_obs::QueryTrace,
     make: M,
     work: F,
-) -> Vec<R>
+) -> (Vec<R>, StealReport)
 where
     R: Send,
     M: Fn(usize) -> R + Sync,
@@ -167,12 +207,30 @@ where
     let workers = sched.workers_for(n);
     let block = sched.block.max(1);
     let cursor = AtomicUsize::new(0);
-    let worker_loop = |wid: usize| -> R {
+    let expired = AtomicBool::new(false);
+    let worker_loop = |wid: usize| -> (R, u64) {
         let busy = Instant::now();
         let mut acc = make(wid);
         let mut blocks = 0u64;
         let mut items = 0u64;
         loop {
+            if let Some(d) = deadline {
+                if expired.load(Ordering::Relaxed) {
+                    break;
+                }
+                if Instant::now() >= d {
+                    if !expired.swap(true, Ordering::Relaxed) {
+                        trace.record_with("sched.deadline", || {
+                            thetis_obs::trace_attrs![
+                                ("worker", wid),
+                                ("claimed", cursor.load(Ordering::Relaxed).min(n)),
+                                ("total", n),
+                            ]
+                        });
+                    }
+                    break;
+                }
+            }
             let start = cursor.fetch_add(block, Ordering::Relaxed);
             if start >= n {
                 break;
@@ -205,21 +263,101 @@ where
             OBS_WORKER_TABLES.add(items);
             OBS_WORKER_BUSY.record_nanos(busy_nanos, 1);
         }
-        acc
+        (acc, items)
     };
     if workers == 1 {
-        return vec![worker_loop(0)];
+        let (acc, items) = worker_loop(0);
+        let report = StealReport {
+            processed: items,
+            deadline_hit: expired.load(Ordering::Relaxed),
+            lost_workers: 0,
+        };
+        return (vec![acc], report);
     }
     std::thread::scope(|scope| {
         let worker_loop = &worker_loop;
         let handles: Vec<_> = (0..workers)
             .map(|wid| scope.spawn(move || worker_loop(wid)))
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("scoring worker panicked"))
-            .collect()
+        let mut accs = Vec::with_capacity(workers);
+        let mut report = StealReport::default();
+        for (wid, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok((acc, items)) => {
+                    accs.push(acc);
+                    report.processed += items;
+                }
+                Err(_) => {
+                    report.lost_workers += 1;
+                    if thetis_obs::enabled() {
+                        OBS_WORKER_PANICS.inc();
+                    }
+                    trace.record_with("sched.panic", || {
+                        thetis_obs::trace_attrs![("worker", wid), ("scope", "worker")]
+                    });
+                }
+            }
+        }
+        report.deadline_hit = expired.load(Ordering::Relaxed);
+        (accs, report)
     })
+}
+
+/// The panic payload's message, when it carries one.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Scores one table under panic isolation: a panicking scorer is caught,
+/// counted (`tables_panicked`, `core.worker_panics`, a `sched.panic` trace
+/// event naming the table), and reported as `None` with its partial
+/// timings dropped, so shared accounting never sees a half-updated table.
+/// A clean `None` (no entity links) is counted as `tables_unlinked`.
+#[allow(clippy::too_many_arguments)]
+fn score_table_isolated(
+    query: &Query,
+    lake: &DataLake,
+    table_id: TableId,
+    sim: &dyn EntitySimilarity,
+    inform: &Informativeness,
+    agg: RowAgg,
+    timings: &mut ScoreTimings,
+    trace: &thetis_obs::QueryTrace,
+    wid: usize,
+) -> Option<f64> {
+    let mut local = ScoreTimings::default();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        score_table_traced(query, lake, table_id, sim, inform, agg, &mut local, trace)
+    }));
+    match outcome {
+        Ok(score) => {
+            timings.merge(local);
+            if score.is_none() {
+                timings.tables_unlinked += 1;
+            }
+            score
+        }
+        Err(payload) => {
+            timings.tables_panicked += 1;
+            if thetis_obs::enabled() {
+                OBS_WORKER_PANICS.inc();
+            }
+            trace.record_with("sched.panic", || {
+                thetis_obs::trace_attrs![
+                    ("worker", wid),
+                    ("table", table_id.0),
+                    ("msg", panic_message(payload.as_ref())),
+                ]
+            });
+            None
+        }
+    }
 }
 
 /// Resolves the digest of `table_id`: the lake's precomputed one when
@@ -453,13 +591,16 @@ pub fn score_candidates(
         inform,
         agg,
         sched,
+        None,
         &thetis_obs::QueryTrace::disabled(),
     )
 }
 
 /// [`score_candidates`] with a flight recorder attached; the trace handle is
 /// shared across the scoring workers (its event buffer is mutex-guarded and
-/// events are time-ordered on export).
+/// events are time-ordered on export). When `deadline` is set the pass
+/// stops claiming work once it expires and reports the unvisited
+/// candidates in `tables_unscored` (`deadline_hit` set).
 #[allow(clippy::too_many_arguments)]
 pub fn score_candidates_traced(
     query: &Query,
@@ -469,21 +610,23 @@ pub fn score_candidates_traced(
     inform: &Informativeness,
     agg: RowAgg,
     sched: Schedule,
+    deadline: Option<Instant>,
     trace: &thetis_obs::QueryTrace,
 ) -> (Vec<(TableId, f64)>, ScoreTimings) {
     if candidates.is_empty() {
         return (Vec::new(), ScoreTimings::default());
     }
-    let results = steal_blocks(
+    let (results, report) = steal_blocks(
         candidates.len(),
         sched,
+        deadline,
         trace,
         |_| (Vec::<(TableId, f64)>::new(), ScoreTimings::default()),
-        |acc, range, _| {
+        |acc, range, wid| {
             let mut done = 0u64;
             for &tid in &candidates[range] {
                 if let Some(s) =
-                    score_table_traced(query, lake, tid, sim, inform, agg, &mut acc.1, trace)
+                    score_table_isolated(query, lake, tid, sim, inform, agg, &mut acc.1, trace, wid)
                 {
                     acc.0.push((tid, s));
                 }
@@ -498,6 +641,11 @@ pub fn score_candidates_traced(
         all.extend(part);
         timings.merge(t);
     }
+    // Items never visited — deadline-skipped or claimed by a lost worker —
+    // have no disposition yet; they are the unscored remainder.
+    let accounted = timings.tables_scored + timings.tables_unlinked + timings.tables_panicked;
+    timings.tables_unscored += candidates.len().saturating_sub(accounted);
+    timings.deadline_hit |= report.deadline_hit;
     (all, timings)
 }
 
@@ -542,6 +690,7 @@ pub fn score_candidates_pruned(
         agg,
         sched,
         k,
+        None,
         &thetis_obs::QueryTrace::disabled(),
     )
 }
@@ -552,6 +701,13 @@ pub fn score_candidates_pruned(
 /// time the shared floor rises (the floor trajectory — when pruning became
 /// effective); scored tables leave their `score.table` / `hungarian.map` /
 /// `semrel.tuple` events via [`score_table_traced`].
+///
+/// When `deadline` is set, every phase — bounding, floor seeding, and the
+/// main loop — re-checks the clock at its claim granularity and stops
+/// early; candidates the expired phases never visited are reported in
+/// `tables_unscored`. The shared floor is seeded only from tables that were
+/// actually scored, so every prune decision in a partial run is one the
+/// full run would also have made: scored tables keep bit-identical scores.
 #[allow(clippy::too_many_arguments)]
 pub fn score_candidates_pruned_traced(
     query: &Query,
@@ -562,26 +718,47 @@ pub fn score_candidates_pruned_traced(
     agg: RowAgg,
     sched: Schedule,
     k: usize,
+    deadline: Option<Instant>,
     trace: &thetis_obs::QueryTrace,
 ) -> (Vec<(TableId, f64)>, ScoreTimings) {
     if candidates.is_empty() || k == 0 {
         return (Vec::new(), ScoreTimings::default());
     }
 
-    // Phase 1: upper bounds for every candidate.
-    let bound_results = steal_blocks(
+    // Phase 1: upper bounds for every candidate, under the same per-table
+    // panic isolation as scoring — a table whose σ kernel panics while
+    // bounding is dropped (counted in `tables_panicked`) instead of taking
+    // the whole pass down.
+    let (bound_results, bound_report) = steal_blocks(
         candidates.len(),
         sched,
+        deadline,
         trace,
         |_| (Vec::<(TableId, f64)>::new(), ScoreTimings::default()),
-        |acc, range, _| {
+        |acc, range, wid| {
             let mut done = 0u64;
             for &tid in &candidates[range] {
                 let start = Instant::now();
-                let bound = upper_bound_score(query, lake, tid, sim, inform);
+                let bound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    upper_bound_score(query, lake, tid, sim, inform)
+                }));
                 acc.1.scoring_nanos += start.elapsed().as_nanos() as u64;
-                if let Some(b) = bound {
-                    acc.0.push((tid, b));
+                match bound {
+                    Ok(Some(b)) => acc.0.push((tid, b)),
+                    Ok(None) => acc.1.tables_unlinked += 1,
+                    Err(payload) => {
+                        acc.1.tables_panicked += 1;
+                        if thetis_obs::enabled() {
+                            OBS_WORKER_PANICS.inc();
+                        }
+                        trace.record_with("sched.panic", || {
+                            thetis_obs::trace_attrs![
+                                ("worker", wid),
+                                ("table", tid.0),
+                                ("msg", panic_message(payload.as_ref())),
+                            ]
+                        });
+                    }
                 }
                 done += 1;
             }
@@ -594,6 +771,11 @@ pub fn score_candidates_pruned_traced(
         bounded.extend(part);
         timings.merge(t);
     }
+    // Candidates the bound phase never visited (deadline expiry or a lost
+    // worker) get no bound and no later phase — they are unscored.
+    let bound_accounted = bounded.len() + timings.tables_unlinked + timings.tables_panicked;
+    timings.tables_unscored += candidates.len().saturating_sub(bound_accounted);
+    timings.deadline_hit |= bound_report.deadline_hit;
 
     // Phase 2: strongest bounds first (ties by ascending id, so the visit
     // order is deterministic regardless of which worker bounded what).
@@ -619,21 +801,34 @@ pub fn score_candidates_pruned_traced(
     // Phase 3: seed the floor by fully scoring the k highest-bound
     // candidates — the floor starts at the tightest value any order could
     // have produced after k tables, so phase 4 prunes from its first item.
+    // The deadline is re-checked before every seed table; seeds never
+    // visited join the unscored remainder.
     let seed_n = bounded.len().min(k);
     let mut seed_top: TopK<TableId> = TopK::new(k);
+    let mut seeds_visited = 0usize;
     for &(tid, _) in &bounded[..seed_n] {
-        if let Some(s) = score_table_traced(query, lake, tid, sim, inform, agg, &mut timings, trace)
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                timings.deadline_hit = true;
+                break;
+            }
+        }
+        seeds_visited += 1;
+        if let Some(s) =
+            score_table_isolated(query, lake, tid, sim, inform, agg, &mut timings, trace, 0)
         {
             seed_top.push(tid, s);
         }
     }
+    timings.tables_unscored += seed_n - seeds_visited;
     raise_floor(&seed_top, 0);
 
     // Phase 4: the remainder, strongest first, under work stealing.
     let rest = &bounded[seed_n..];
-    let main_results = steal_blocks(
+    let (main_results, main_report) = steal_blocks(
         rest.len(),
         sched,
+        deadline,
         trace,
         |_| (TopK::<TableId>::new(k), ScoreTimings::default()),
         |acc, range, wid| {
@@ -653,7 +848,7 @@ pub fn score_candidates_pruned_traced(
                     continue;
                 }
                 if let Some(s) =
-                    score_table_traced(query, lake, tid, sim, inform, agg, &mut acc.1, trace)
+                    score_table_isolated(query, lake, tid, sim, inform, agg, &mut acc.1, trace, wid)
                 {
                     acc.0.push(tid, s);
                     raise_floor(&acc.0, wid);
@@ -664,10 +859,20 @@ pub fn score_candidates_pruned_traced(
     );
 
     let mut all = seed_top.into_sorted();
+    let mut main_timings = ScoreTimings::default();
     for (top, t) in main_results {
         all.extend(top.into_sorted());
-        timings.merge(t);
+        main_timings.merge(t);
     }
+    // Phase-4 items that were never visited (deadline or lost worker): no
+    // prune decision, no score — unscored.
+    let main_accounted = main_timings.tables_scored
+        + main_timings.tables_pruned
+        + main_timings.tables_unlinked
+        + main_timings.tables_panicked;
+    main_timings.tables_unscored += rest.len().saturating_sub(main_accounted);
+    main_timings.deadline_hit |= main_report.deadline_hit;
+    timings.merge(main_timings);
     (all, timings)
 }
 
@@ -925,6 +1130,7 @@ mod tests {
             RowAgg::Max,
             Schedule::sequential(),
             1,
+            None,
             &trace,
         );
         assert_eq!(plain, traced, "tracing must not perturb the ranking");

@@ -28,6 +28,9 @@ impl SigmaRows {
     /// `digest`'s distinct entities, one batched kernel call per query
     /// entity.
     pub fn build(query: &Query, digest: &TableDigest, sim: &dyn EntitySimilarity) -> Self {
+        // Chaos-testing hook: an armed `sigma` failpoint panics here, which
+        // the per-table isolation in `search.rs` must contain.
+        thetis_obs::faults::maybe_panic("sigma");
         let entities = query.distinct_entities();
         let rows = entities
             .iter()

@@ -270,7 +270,18 @@ impl EntitySimilarity for NeighborhoodJaccard {
     }
 }
 
+/// Entities degraded to σ = 0 because the embedding store had no vector
+/// for them (or the `embedding.missing` failpoint simulated that).
+static OBS_EMBEDDING_MISSING: thetis_obs::Counter = thetis_obs::Counter::new("embedding.missing");
+
 /// Cosine similarity of entity embeddings, clamped to `[0, 1]`.
+///
+/// An entity the store has no vector for — a KG newer than the embedding
+/// snapshot — degrades every pair involving it to σ = 0 (the paper's
+/// partial-mapping semantics: an unmatched position contributes nothing)
+/// instead of indexing out of bounds. Identity still scores 1. Each
+/// degraded lookup bumps the `embedding.missing` counter; the
+/// `embedding.missing` failpoint simulates the condition in chaos runs.
 pub struct EmbeddingCosine<'a> {
     store: &'a EmbeddingStore,
 }
@@ -280,6 +291,24 @@ impl<'a> EmbeddingCosine<'a> {
     pub fn new(store: &'a EmbeddingStore) -> Self {
         Self { store }
     }
+
+    /// Whether `e` has a usable vector: present in the store and not
+    /// knocked out by the `embedding.missing` failpoint.
+    fn resolvable(&self, e: EntityId) -> bool {
+        if !self.store.contains(e)
+            || matches!(
+                thetis_obs::faults::check("embedding.missing"),
+                Some(thetis_obs::faults::FaultAction::Error)
+                    | Some(thetis_obs::faults::FaultAction::Corrupt)
+            )
+        {
+            if thetis_obs::enabled() {
+                OBS_EMBEDDING_MISSING.inc();
+            }
+            return false;
+        }
+        true
+    }
 }
 
 impl EntitySimilarity for EmbeddingCosine<'_> {
@@ -287,14 +316,25 @@ impl EntitySimilarity for EmbeddingCosine<'_> {
         if a == b {
             return 1.0;
         }
+        if !self.resolvable(a) || !self.resolvable(b) {
+            return 0.0;
+        }
         self.store.cosine(a, b).max(0.0)
     }
 
     fn sim_batch(&self, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
         debug_assert_eq!(bs.len(), out.len());
-        self.store.cosine_batch(a, bs, out);
+        // Fast path: the whole batch resolves, so the fused kernel's bits
+        // are untouched on healthy runs.
+        if self.resolvable(a) && bs.iter().all(|&b| self.resolvable(b)) {
+            self.store.cosine_batch(a, bs, out);
+            for (&b, o) in bs.iter().zip(out) {
+                *o = if a == b { 1.0 } else { o.max(0.0) };
+            }
+            return;
+        }
         for (&b, o) in bs.iter().zip(out) {
-            *o = if a == b { 1.0 } else { o.max(0.0) };
+            *o = self.sim(a, b);
         }
     }
 
@@ -463,5 +503,28 @@ mod tests {
         let s = EmbeddingCosine::new(&store);
         assert_eq!(s.sim(EntityId(0), EntityId(1)), 0.0);
         assert_eq!(s.sim(EntityId(0), EntityId(0)), 1.0);
+    }
+
+    #[test]
+    fn embedding_cosine_degrades_missing_entities_to_zero() {
+        // A KG newer than the embedding snapshot: entity 5 has no vector.
+        let mut store = EmbeddingStore::zeros(2, 2);
+        store.get_mut(EntityId(0)).copy_from_slice(&[1.0, 0.0]);
+        store.get_mut(EntityId(1)).copy_from_slice(&[1.0, 0.0]);
+        let s = EmbeddingCosine::new(&store);
+        let missing = EntityId(5);
+        assert_eq!(s.sim(EntityId(0), missing), 0.0);
+        assert_eq!(s.sim(missing, EntityId(0)), 0.0);
+        // Identity degrades gracefully too, but still scores 1: the entity
+        // is "itself" regardless of whether a vector exists for it.
+        assert_eq!(s.sim(missing, missing), 1.0);
+        // Batch with a missing entity mixed in: present pairs keep their
+        // exact bits, the missing one degrades to 0.
+        let bs = [EntityId(1), missing, EntityId(0)];
+        let mut out = [f64::NAN; 3];
+        s.sim_batch(EntityId(0), &bs, &mut out);
+        assert_eq!(out[0].to_bits(), s.sim(EntityId(0), EntityId(1)).to_bits());
+        assert_eq!(out[1], 0.0);
+        assert_eq!(out[2], 1.0);
     }
 }

@@ -77,6 +77,25 @@ impl EmbeddingStore {
         &self.data[i..i + self.dim]
     }
 
+    /// Whether the store holds a vector for entity `e`. A KG can legally
+    /// contain entities the embedding snapshot predates, so callers on the
+    /// query path should check (or use [`EmbeddingStore::try_get`]) and
+    /// degrade rather than index out of bounds.
+    #[inline]
+    pub fn contains(&self, e: EntityId) -> bool {
+        e.index() < self.len()
+    }
+
+    /// The vector for entity `e`, or `None` when the store has no row for
+    /// it — the non-panicking form of [`EmbeddingStore::get`].
+    #[inline]
+    pub fn try_get(&self, e: EntityId) -> Option<&[f32]> {
+        if !self.contains(e) {
+            return None;
+        }
+        Some(self.get(e))
+    }
+
     /// Mutable access to the vector for entity `e`. Invalidates the norm
     /// cache.
     #[inline]
@@ -292,6 +311,15 @@ mod tests {
         s.normalize();
         // f32 rounding in normalize leaves the recomputed norm within 1e-6.
         assert!((s.norms()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn missing_entities_are_detectable_without_panicking() {
+        let s = EmbeddingStore::from_raw(vec![1.0, 0.0, 0.0, 1.0], 2);
+        assert!(s.contains(EntityId(1)));
+        assert!(!s.contains(EntityId(2)));
+        assert_eq!(s.try_get(EntityId(0)), Some(&[1.0f32, 0.0][..]));
+        assert_eq!(s.try_get(EntityId(7)), None);
     }
 
     #[test]

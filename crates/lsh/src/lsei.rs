@@ -45,6 +45,9 @@ static OBS_RAW_CANDIDATES: thetis_obs::Counter = thetis_obs::Counter::new("lsh.r
 static OBS_CANDIDATES_OUT: thetis_obs::Counter = thetis_obs::Counter::new("lsh.candidates_out");
 static OBS_TABLES_INSERTED: thetis_obs::Counter = thetis_obs::Counter::new("lsh.tables_inserted");
 static OBS_QUERY_LATENCY: thetis_obs::Histogram = thetis_obs::Histogram::new("lsh.query_latency");
+/// Signing workers (or single entities on the recovery path) that
+/// panicked during a parallel index build.
+static OBS_SIGN_PANICS: thetis_obs::Counter = thetis_obs::Counter::new("lsh.sign_panics");
 
 /// Computes LSH signatures for entities and entity groups.
 pub trait EntitySigner {
@@ -111,11 +114,21 @@ impl<'a> EmbeddingSigner<'a> {
 
 impl EntitySigner for EmbeddingSigner<'_> {
     fn sign_entity(&self, e: EntityId) -> Signature {
-        self.planes.sign(self.store.get(e))
+        // An entity the embedding snapshot predates gets the all-zero
+        // signature — it lands in one arbitrary bucket instead of
+        // panicking the build or lookup. Its tables still surface through
+        // their other entities.
+        match self.store.try_get(e) {
+            Some(v) => self.planes.sign(v),
+            None => Signature::zeros(self.planes.num_vectors()),
+        }
     }
 
     fn sign_group(&self, entities: &[EntityId]) -> Signature {
-        let vectors: Vec<&[f32]> = entities.iter().map(|&e| self.store.get(e)).collect();
+        let vectors: Vec<&[f32]> = entities
+            .iter()
+            .filter_map(|&e| self.store.try_get(e))
+            .collect();
         match mean_vector(&vectors) {
             Some(mean) => self.planes.sign(&mean),
             None => Signature::zeros(self.planes.num_vectors()),
@@ -414,7 +427,7 @@ impl<S: EntitySigner> Lsei<S> {
         let sign_guard = OBS_BUILD_SIGN.start();
         let chunk = entities.len().div_ceil(threads.max(1)).max(1);
         let signed: Vec<Vec<(EntityId, Signature)>> = std::thread::scope(|scope| {
-            entities
+            let handles: Vec<_> = entities
                 .chunks(chunk)
                 .map(|slice| {
                     let signer = &signer;
@@ -425,9 +438,32 @@ impl<S: EntitySigner> Lsei<S> {
                             .collect::<Vec<_>>()
                     })
                 })
-                .collect::<Vec<_>>()
-                .into_iter()
-                .map(|h| h.join().expect("signature worker panicked"))
+                .collect();
+            // A panicked worker loses its whole chunk's signatures, so
+            // recover by re-signing that chunk sequentially with
+            // per-entity isolation; an entity whose signing panics again
+            // is skipped (it simply never collides, so its tables rely on
+            // their other entities) rather than aborting the build.
+            entities
+                .chunks(chunk)
+                .zip(handles)
+                .map(|(slice, h)| match h.join() {
+                    Ok(part) => part,
+                    Err(_) => {
+                        OBS_SIGN_PANICS.inc();
+                        slice
+                            .iter()
+                            .filter_map(|&e| {
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    signer.sign_entity(e)
+                                }))
+                                .map(|sig| (e, sig))
+                                .map_err(|_| OBS_SIGN_PANICS.inc())
+                                .ok()
+                            })
+                            .collect()
+                    }
+                })
                 .collect()
         });
         drop(sign_guard);

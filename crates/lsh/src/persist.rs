@@ -211,6 +211,81 @@ pub fn lsei_from_bytes<S: EntitySigner>(
     Ok(Lsei::from_parts(signer, mode, index, postings, n_tables))
 }
 
+/// Writes an LSEI snapshot to `path` crash-safely: the `TLI2` bytes go to
+/// a sibling temp file first, which is fsynced and then atomically renamed
+/// over the destination, so a crash at any point leaves either the old
+/// snapshot or the new one — never a torn file. (A torn file would still
+/// be *detected* by the checksum on read; this avoids even producing one.)
+///
+/// The `lsei.write` failpoint injects failures for chaos runs: `error`
+/// fails the write cleanly, `corrupt` flips one payload bit (which the
+/// read-side checksum must catch), `panic` panics.
+pub fn write_lsei_file<S>(lsei: &Lsei<S>, path: &std::path::Path) -> Result<(), String> {
+    let mut data = lsei_to_bytes(lsei).to_vec();
+    match thetis_obs::faults::check("lsei.write") {
+        Some(thetis_obs::faults::FaultAction::Panic) => panic!("injected fault: lsei.write"),
+        Some(thetis_obs::faults::FaultAction::Error) => {
+            return Err("injected fault: lsei.write".into());
+        }
+        Some(thetis_obs::faults::FaultAction::Corrupt) => {
+            let mid = data.len() / 2;
+            data[mid] ^= 0x40;
+        }
+        None => {}
+    }
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let tmp = path.with_extension("tli2.tmp");
+    let write = || -> std::io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&data)?;
+        // Contents must be durable before the rename publishes them.
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        // Persist the rename itself (the directory entry).
+        if let Some(d) = dir {
+            if let Ok(dh) = std::fs::File::open(d) {
+                let _ = dh.sync_all();
+            }
+        }
+        Ok(())
+    };
+    write().map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("writing LSEI snapshot {}: {e}", path.display())
+    })
+}
+
+/// Reads an LSEI snapshot written by [`write_lsei_file`] (or any
+/// `TLI1`/`TLI2` dump), verifying the checksum before parsing.
+///
+/// The `lsei.read` failpoint injects failures for chaos runs: `error`
+/// fails the read cleanly, `corrupt` flips one bit of the bytes read (so
+/// the checksum rejects them), `panic` panics. Callers on the query path
+/// should treat any `Err` as "no index" and fall back to an exhaustive
+/// scan (see `ThetisEngine::search_prefiltered_resilient`).
+pub fn read_lsei_file<S: EntitySigner>(
+    path: &std::path::Path,
+    signer: S,
+    expected_config: LshConfig,
+) -> Result<Lsei<S>, String> {
+    let mut data = std::fs::read(path)
+        .map_err(|e| format!("reading LSEI snapshot {}: {e}", path.display()))?;
+    match thetis_obs::faults::check("lsei.read") {
+        Some(thetis_obs::faults::FaultAction::Panic) => panic!("injected fault: lsei.read"),
+        Some(thetis_obs::faults::FaultAction::Error) => {
+            return Err("injected fault: lsei.read".into());
+        }
+        Some(thetis_obs::faults::FaultAction::Corrupt) if !data.is_empty() => {
+            let mid = data.len() / 2;
+            data[mid] ^= 0x40;
+        }
+        _ => {}
+    }
+    lsei_from_bytes(Bytes::from(data), signer, expected_config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,5 +449,186 @@ mod tests {
             err.contains("truncated") || err.contains("trailing"),
             "{err}"
         );
+    }
+
+    fn build_fixture_lsei<'g>(
+        g: &'g KnowledgeGraph,
+        lake: &DataLake,
+        cfg: LshConfig,
+    ) -> Lsei<TypeSigner<'g>> {
+        Lsei::build(
+            lake,
+            TypeSigner::new(g, TypeFilter::none(), cfg, 7),
+            cfg,
+            LseiMode::Entity,
+        )
+    }
+
+    /// `Lsei` is not `Debug`, so `unwrap_err` is unavailable — unwrap the
+    /// error by hand.
+    fn expect_err<S>(r: Result<Lsei<S>, String>) -> String {
+        match r {
+            Err(e) => e,
+            Ok(_) => panic!("malformed input accepted"),
+        }
+    }
+
+    fn decode<'g>(
+        bytes: Vec<u8>,
+        g: &'g KnowledgeGraph,
+        cfg: LshConfig,
+    ) -> Result<Lsei<TypeSigner<'g>>, String> {
+        lsei_from_bytes(
+            Bytes::from(bytes),
+            TypeSigner::new(g, TypeFilter::none(), cfg, 7),
+            cfg,
+        )
+    }
+
+    #[test]
+    fn truncation_mid_footer_is_rejected() {
+        let (g, lake, _) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let mut bytes = lsei_to_bytes(&build_fixture_lsei(&g, &lake, cfg)).to_vec();
+        // Cut inside the 8-byte checksum footer.
+        bytes.truncate(bytes.len() - 4);
+        let err = expect_err(decode(bytes, &g, cfg));
+        assert!(
+            err.contains("truncated") || err.contains("checksum") || err.contains("trailing"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn truncation_mid_body_is_rejected() {
+        let (g, lake, _) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let mut bytes = lsei_to_bytes(&build_fixture_lsei(&g, &lake, cfg)).to_vec();
+        bytes.truncate(bytes.len() / 2);
+        let err = expect_err(decode(bytes, &g, cfg));
+        assert!(
+            err.contains("truncated") || err.contains("checksum"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn zero_length_file_is_rejected() {
+        let (g, _, _) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let err = expect_err(decode(Vec::new(), &g, cfg));
+        assert!(err.contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn legacy_tli1_with_trailing_garbage_is_rejected() {
+        let (g, lake, _) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let mut bytes = encode_payload(&build_fixture_lsei(&g, &lake, cfg), MAGIC_V1).to_vec();
+        bytes.extend_from_slice(&[0xAB, 0xCD, 0xEF]);
+        let err = expect_err(decode(bytes, &g, cfg));
+        assert!(err.contains("trailing"), "{err}");
+    }
+
+    /// Fault-plan state is process-global, so tests that arm failpoints
+    /// (or read files the fault tests could corrupt) must not interleave.
+    static FAULT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("thetis-persist-{}-{tag}.tli2", std::process::id()))
+    }
+
+    #[test]
+    fn file_roundtrip_preserves_lookups() {
+        let _g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        thetis_obs::faults::disarm();
+        let (g, lake, players) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let original = build_fixture_lsei(&g, &lake, cfg);
+        let path = temp_path("roundtrip");
+        write_lsei_file(&original, &path).unwrap();
+        let restored =
+            read_lsei_file(&path, TypeSigner::new(&g, TypeFilter::none(), cfg, 7), cfg).unwrap();
+        for &probe in &players {
+            assert_eq!(
+                original.prefilter(&[probe], 1).tables,
+                restored.prefilter(&[probe], 1).tables
+            );
+        }
+        // The temp sibling must not linger after a successful rename.
+        assert!(!path.with_extension("tli2.tmp").exists());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_errors_with_context() {
+        let _g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        thetis_obs::faults::disarm();
+        let (g, _, _) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let path = temp_path("does-not-exist");
+        let _ = std::fs::remove_file(&path);
+        let err = expect_err(read_lsei_file(
+            &path,
+            TypeSigner::new(&g, TypeFilter::none(), cfg, 7),
+            cfg,
+        ));
+        assert!(err.contains("reading LSEI snapshot"), "{err}");
+    }
+
+    #[test]
+    fn injected_write_corruption_is_caught_on_read() {
+        let _g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let (g, lake, _) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let original = build_fixture_lsei(&g, &lake, cfg);
+        let path = temp_path("inject-corrupt");
+
+        thetis_obs::faults::arm(
+            thetis_obs::faults::FaultPlan::parse("lsei.write=corrupt", 1).unwrap(),
+        );
+        write_lsei_file(&original, &path).unwrap();
+        thetis_obs::faults::disarm();
+
+        let err = expect_err(read_lsei_file(
+            &path,
+            TypeSigner::new(&g, TypeFilter::none(), cfg, 7),
+            cfg,
+        ));
+        assert!(err.contains("checksum"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn injected_read_faults_error_cleanly() {
+        let _g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        thetis_obs::faults::disarm();
+        let (g, lake, _) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let original = build_fixture_lsei(&g, &lake, cfg);
+        let path = temp_path("inject-read");
+        write_lsei_file(&original, &path).unwrap();
+
+        thetis_obs::faults::arm(
+            thetis_obs::faults::FaultPlan::parse("lsei.read=error", 1).unwrap(),
+        );
+        let err = expect_err(read_lsei_file(
+            &path,
+            TypeSigner::new(&g, TypeFilter::none(), cfg, 7),
+            cfg,
+        ));
+        assert!(err.contains("injected fault: lsei.read"), "{err}");
+
+        thetis_obs::faults::arm(
+            thetis_obs::faults::FaultPlan::parse("lsei.read=corrupt", 1).unwrap(),
+        );
+        let err = expect_err(read_lsei_file(
+            &path,
+            TypeSigner::new(&g, TypeFilter::none(), cfg, 7),
+            cfg,
+        ));
+        assert!(err.contains("checksum"), "{err}");
+        thetis_obs::faults::disarm();
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,385 @@
+//! Deterministic fault injection (failpoints) for chaos testing.
+//!
+//! Production code threads named failpoints through its I/O and compute
+//! paths (`lsei.read`, `lsei.write`, `sigma`, `embedding.missing`); a
+//! chaos test — or an operator reproducing an incident — arms a
+//! [`FaultPlan`] and every subsequent [`check`] call decides *
+//! deterministically* whether that site fires, from the plan seed, the
+//! failpoint name, and a per-failpoint hit counter. Same plan, same call
+//! sequence → same faults, so a failing chaos run replays exactly.
+//!
+//! Plans parse from a compact spec, also accepted from the environment
+//! ([`FAULTS_ENV_VAR`], seeded by [`FAULTS_SEED_ENV_VAR`]):
+//!
+//! ```text
+//! THETIS_FAULTS="lsei.read=corrupt@0.1,sigma=panic@0.01,lsei.write=error"
+//! ```
+//!
+//! Each item is `name=action[@probability]`; the probability defaults to 1.
+//! Actions are [`FaultAction::Panic`] (the site panics), [`FaultAction::
+//! Error`] (the site returns an injected error), and [`FaultAction::
+//! Corrupt`] (the site flips bits in the data it just read). Which actions
+//! a site honors is documented at the site; unsupported actions are
+//! ignored there.
+//!
+//! Like the rest of this crate the module is dependency-free, and the
+//! disarmed fast path — the only path production traffic ever takes — is a
+//! single relaxed atomic load.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use crate::Counter;
+
+/// Failpoints that actually fired (any site, any action).
+static OBS_FAULTS_FIRED: Counter = Counter::new("faults.fired");
+
+/// Environment variable holding the fault spec (see the module docs).
+pub const FAULTS_ENV_VAR: &str = "THETIS_FAULTS";
+/// Environment variable holding the plan seed (`u64`, default 0).
+pub const FAULTS_SEED_ENV_VAR: &str = "THETIS_FAULTS_SEED";
+
+/// What an armed failpoint does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The instrumented site panics (exercises panic isolation).
+    Panic,
+    /// The instrumented site returns an injected error.
+    Error,
+    /// The instrumented site corrupts the data it just produced/read.
+    Corrupt,
+}
+
+impl FaultAction {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "panic" => Ok(Self::Panic),
+            "error" => Ok(Self::Error),
+            "corrupt" => Ok(Self::Corrupt),
+            other => Err(format!(
+                "unknown fault action {other:?} (expected panic, error, or corrupt)"
+            )),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Failpoint {
+    name: String,
+    action: FaultAction,
+    probability: f64,
+    /// Times this site was consulted while armed.
+    hits: AtomicU64,
+    /// Times this site actually fired.
+    fired: AtomicU64,
+}
+
+/// A parsed, seeded set of failpoints.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    points: Vec<Failpoint>,
+}
+
+impl FaultPlan {
+    /// Parses a comma-separated `name=action[@probability]` spec.
+    pub fn parse(spec: &str, seed: u64) -> Result<Self, String> {
+        let mut points = Vec::new();
+        for item in spec.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let (name, rest) = item
+                .split_once('=')
+                .ok_or_else(|| format!("fault item {item:?} is missing '=action'"))?;
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(format!("fault item {item:?} has an empty failpoint name"));
+            }
+            let (action, probability) = match rest.split_once('@') {
+                Some((a, p)) => {
+                    let prob: f64 = p
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad fault probability {p:?} in {item:?}"))?;
+                    if !(0.0..=1.0).contains(&prob) {
+                        return Err(format!("fault probability {prob} not in [0, 1]"));
+                    }
+                    (FaultAction::parse(a.trim())?, prob)
+                }
+                None => (FaultAction::parse(rest.trim())?, 1.0),
+            };
+            points.push(Failpoint {
+                name: name.to_string(),
+                action,
+                probability,
+                hits: AtomicU64::new(0),
+                fired: AtomicU64::new(0),
+            });
+        }
+        Ok(Self { seed, points })
+    }
+
+    /// Reads [`FAULTS_ENV_VAR`] / [`FAULTS_SEED_ENV_VAR`]; `Ok(None)` when
+    /// no spec is set.
+    pub fn from_env() -> Result<Option<Self>, String> {
+        let Ok(spec) = std::env::var(FAULTS_ENV_VAR) else {
+            return Ok(None);
+        };
+        if spec.trim().is_empty() {
+            return Ok(None);
+        }
+        let seed = match std::env::var(FAULTS_SEED_ENV_VAR) {
+            Ok(s) => s
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad {FAULTS_SEED_ENV_VAR} value {s:?}"))?,
+            Err(_) => 0,
+        };
+        Self::parse(&spec, seed).map(Some)
+    }
+
+    /// The failpoint names this plan arms, in spec order.
+    pub fn names(&self) -> Vec<&str> {
+        self.points.iter().map(|p| p.name.as_str()).collect()
+    }
+
+    /// Whether the plan arms any failpoint at all.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static PLAN: RwLock<Option<FaultPlan>> = RwLock::new(None);
+
+/// FNV-1a 64 of a byte string (the same dependency-free hash the trace
+/// sampler uses).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed u64 → u64 permutation.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Arms `plan` process-wide, replacing any previous plan.
+pub fn arm(plan: FaultPlan) {
+    let any = !plan.is_empty();
+    *PLAN.write().unwrap_or_else(|e| e.into_inner()) = Some(plan);
+    ARMED.store(any, Ordering::Release);
+}
+
+/// Arms the plan from the environment, if one is set. Returns whether a
+/// plan was armed.
+pub fn arm_from_env() -> Result<bool, String> {
+    match FaultPlan::from_env()? {
+        Some(plan) => {
+            let any = !plan.is_empty();
+            arm(plan);
+            Ok(any)
+        }
+        None => Ok(false),
+    }
+}
+
+/// Disarms all failpoints (the fast path is restored immediately).
+pub fn disarm() {
+    ARMED.store(false, Ordering::Release);
+    *PLAN.write().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// Whether any failpoint is armed. One relaxed load.
+#[inline(always)]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Consults the failpoint `name`: `Some(action)` when an armed plan fires
+/// this hit, `None` otherwise (always `None` when disarmed).
+///
+/// The decision is a pure function of the plan seed, the failpoint name,
+/// and this site's hit index, so a fixed plan replays the same fault
+/// sequence per site. (Under concurrency the *assignment* of hit indices
+/// to racing callers follows the interleaving; single-threaded call
+/// sequences are fully deterministic.)
+pub fn check(name: &str) -> Option<FaultAction> {
+    if !armed() {
+        return None;
+    }
+    let guard = PLAN.read().unwrap_or_else(|e| e.into_inner());
+    let plan = guard.as_ref()?;
+    let point = plan.points.iter().find(|p| p.name == name)?;
+    let hit = point.hits.fetch_add(1, Ordering::Relaxed);
+    let fire = if point.probability >= 1.0 {
+        true
+    } else if point.probability <= 0.0 {
+        false
+    } else {
+        let z = splitmix64(
+            plan.seed ^ fnv1a64(name.as_bytes()) ^ hit.wrapping_mul(0x2545_F491_4F6C_DD1D),
+        );
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        u < point.probability
+    };
+    if fire {
+        point.fired.fetch_add(1, Ordering::Relaxed);
+        if crate::enabled() {
+            OBS_FAULTS_FIRED.inc();
+        }
+        Some(point.action)
+    } else {
+        None
+    }
+}
+
+/// Panics with an injected-fault message when `name` fires with
+/// [`FaultAction::Panic`]; any other outcome is a no-op. The convenience
+/// wrapper for pure-compute sites where only a panic makes sense.
+#[inline]
+pub fn maybe_panic(name: &str) {
+    if armed() && check(name) == Some(FaultAction::Panic) {
+        panic!("injected fault: {name}");
+    }
+}
+
+/// How many times the failpoint `name` has fired since it was armed.
+pub fn fired(name: &str) -> u64 {
+    let guard = PLAN.read().unwrap_or_else(|e| e.into_inner());
+    guard
+        .as_ref()
+        .and_then(|p| p.points.iter().find(|pt| pt.name == name))
+        .map_or(0, |pt| pt.fired.load(Ordering::Relaxed))
+}
+
+/// How many times the failpoint `name` has been consulted since armed.
+pub fn hits(name: &str) -> u64 {
+    let guard = PLAN.read().unwrap_or_else(|e| e.into_inner());
+    guard
+        .as_ref()
+        .and_then(|p| p.points.iter().find(|pt| pt.name == name))
+        .map_or(0, |pt| pt.hits.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The plan is process-global; tests that arm/disarm must not
+    /// interleave.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn serial() -> MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn parses_the_documented_spec() {
+        let plan = FaultPlan::parse(
+            "lsei.read=corrupt@0.1, sigma=panic@0.01,lsei.write=error",
+            7,
+        )
+        .unwrap();
+        assert_eq!(plan.names(), vec!["lsei.read", "sigma", "lsei.write"]);
+        assert_eq!(plan.points[0].action, FaultAction::Corrupt);
+        assert_eq!(plan.points[0].probability, 0.1);
+        assert_eq!(plan.points[1].action, FaultAction::Panic);
+        assert_eq!(plan.points[2].action, FaultAction::Error);
+        assert_eq!(plan.points[2].probability, 1.0);
+        assert!(FaultPlan::parse("", 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "sigma",
+            "sigma=explode",
+            "=panic",
+            "sigma=panic@1.5",
+            "sigma=panic@x",
+        ] {
+            assert!(FaultPlan::parse(bad, 0).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn disarmed_checks_never_fire() {
+        let _g = serial();
+        disarm();
+        assert!(!armed());
+        assert_eq!(check("sigma"), None);
+        maybe_panic("sigma"); // must be a no-op
+    }
+
+    #[test]
+    fn certain_faults_always_fire_and_count() {
+        let _g = serial();
+        arm(FaultPlan::parse("io=error", 0).unwrap());
+        for _ in 0..5 {
+            assert_eq!(check("io"), Some(FaultAction::Error));
+        }
+        assert_eq!(check("other"), None, "unarmed sites stay clean");
+        assert_eq!(fired("io"), 5);
+        assert_eq!(hits("io"), 5);
+        disarm();
+        assert_eq!(check("io"), None);
+    }
+
+    #[test]
+    fn probabilistic_faults_replay_deterministically() {
+        let _g = serial();
+        let run = |seed: u64| -> Vec<bool> {
+            arm(FaultPlan::parse("sigma=panic@0.3", seed).unwrap());
+            let fires: Vec<bool> = (0..64).map(|_| check("sigma").is_some()).collect();
+            disarm();
+            fires
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b, "same seed must replay the same fault sequence");
+        assert_ne!(a, c, "different seeds must diverge");
+        let rate = a.iter().filter(|&&f| f).count();
+        assert!((5..=30).contains(&rate), "fire rate {rate}/64 at p=0.3");
+    }
+
+    #[test]
+    fn zero_probability_never_fires() {
+        let _g = serial();
+        arm(FaultPlan::parse("sigma=panic@0", 1).unwrap());
+        for _ in 0..64 {
+            assert_eq!(check("sigma"), None);
+        }
+        assert_eq!(fired("sigma"), 0);
+        assert_eq!(hits("sigma"), 64);
+        disarm();
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault: sigma")]
+    fn maybe_panic_panics_when_armed() {
+        let _g = serial();
+        arm(FaultPlan::parse("sigma=panic", 0).unwrap());
+        // Disarm before unwinding so a poisoned TEST_LOCK is the only
+        // residue other tests must tolerate.
+        struct Disarm;
+        impl Drop for Disarm {
+            fn drop(&mut self) {
+                disarm();
+            }
+        }
+        let _d = Disarm;
+        maybe_panic("sigma");
+    }
+}

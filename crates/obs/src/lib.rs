@@ -44,6 +44,7 @@
 //! LSEI prefiltering" from "time in the search that called it".
 
 mod counter;
+pub mod faults;
 mod histogram;
 mod registry;
 mod report;

@@ -31,6 +31,9 @@ struct Args {
     metrics: Option<String>,
     metrics_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
+    deadline_ms: Option<u64>,
+    index: Option<PathBuf>,
+    save_index: Option<PathBuf>,
 }
 
 const USAGE: &str = "usage: thetis-cli --kg FILE --tables DIR --query \"A,B,...\" [options]
@@ -52,6 +55,15 @@ options:
   --metrics-out FILE     write the metrics dump to FILE instead
   --trace-out FILE       (explain) also write the query trace as Chrome
                          trace-event JSON (chrome://tracing / Perfetto)
+  --deadline-ms N        wall-clock scoring budget; on expiry the best-so-
+                         far top-k is returned and a degradation warning
+                         explains what was skipped
+  --index FILE           load the LSEI from a TLI1/TLI2 snapshot instead of
+                         building it (missing file is an error; a corrupt
+                         or unverifiable file falls back to an exhaustive
+                         scan with a warning)
+  --save-index FILE      after building the LSEI, persist it crash-safely
+                         to FILE (implies --lsh)
 
 the `explain` subcommand always searches through the LSEI and prints, per
 top-k table: the Hungarian tuple-to-column mapping, the per-tuple sigma
@@ -76,6 +88,9 @@ fn parse_args() -> Result<Args, String> {
         metrics: None,
         metrics_out: None,
         trace_out: None,
+        deadline_ms: None,
+        index: None,
+        save_index: None,
     };
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("explain") {
@@ -154,6 +169,24 @@ fn parse_args() -> Result<Args, String> {
                 args.trace_out = Some(PathBuf::from(take(&argv, i, "--trace-out")?));
                 i += 2;
             }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    take(&argv, i, "--deadline-ms")?
+                        .parse()
+                        .map_err(|_| "--deadline-ms needs an integer".to_string())?,
+                );
+                i += 2;
+            }
+            "--index" => {
+                args.index = Some(PathBuf::from(take(&argv, i, "--index")?));
+                args.use_lsh = true;
+                i += 2;
+            }
+            "--save-index" => {
+                args.save_index = Some(PathBuf::from(take(&argv, i, "--save-index")?));
+                args.use_lsh = true;
+                i += 2;
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -230,6 +263,35 @@ fn parse_query(specs: &[String], graph: &KnowledgeGraph) -> Query {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    // Chaos runs: THETIS_FAULTS arms deterministic failpoints through the
+    // whole stack (see the faults module docs for the spec syntax).
+    match thetis::obs::faults::arm_from_env() {
+        Ok(true) => {
+            eprintln!(
+                "warning: fault injection armed via {} (chaos run)",
+                thetis::obs::faults::FAULTS_ENV_VAR
+            );
+            silence_injected_panics();
+        }
+        Ok(false) => {}
+        Err(e) => {
+            return Err(format!(
+                "bad {} spec: {e}",
+                thetis::obs::faults::FAULTS_ENV_VAR
+            ))
+        }
+    }
+    // Fail fast on a missing index file — most likely a typo — before any
+    // expensive loading. (A file that exists but fails verification is
+    // handled later by degrading to an exhaustive scan.)
+    if let Some(path) = &args.index {
+        if !path.exists() {
+            return Err(format!(
+                "index file {} does not exist (build one with --save-index)",
+                path.display()
+            ));
+        }
+    }
     // THETIS_OBS=0 is the kill switch: no telemetry, no tracing, no matter
     // what the flags say.
     let obs_allowed = !thetis::obs::env_disabled();
@@ -294,7 +356,10 @@ fn run() -> Result<(), String> {
         }
     };
     let engine = ThetisEngine::new(&graph, &lake, sim);
-    let options = SearchOptions::top(args.k);
+    let mut options = SearchOptions::top(args.k);
+    if let Some(ms) = args.deadline_ms {
+        options = options.with_deadline(std::time::Duration::from_millis(ms));
+    }
 
     if args.cmd_explain {
         return run_explain(&args, &graph, &lake, &engine, &query, options, obs_allowed);
@@ -303,16 +368,49 @@ fn run() -> Result<(), String> {
     let result = if args.use_lsh {
         let cfg = LshConfig::recommended();
         let filter = TypeFilter::from_lake(&lake, &graph, 0.5);
-        let lsei = Lsei::build(
-            &lake,
-            TypeSigner::new(&graph, filter, cfg, 42),
-            cfg,
-            LseiMode::Entity,
-        );
-        engine.search_prefiltered(&query, options, &lsei, args.votes)
+        // Load the index snapshot if one was given, build it otherwise. A
+        // missing snapshot file is a hard error (most likely a typo); a
+        // snapshot that fails verification degrades to an exhaustive scan.
+        let lsei = match &args.index {
+            Some(path) => {
+                match thetis::lsh::persist::read_lsei_file(
+                    path,
+                    TypeSigner::new(&graph, filter.clone(), cfg, 42),
+                    cfg,
+                ) {
+                    Ok(l) => Some(l),
+                    Err(e) => {
+                        eprintln!(
+                            "warning: index {} is unusable ({e}); \
+                             falling back to an exhaustive scan",
+                            path.display()
+                        );
+                        None
+                    }
+                }
+            }
+            None => Some(Lsei::build(
+                &lake,
+                TypeSigner::new(&graph, filter.clone(), cfg, 42),
+                cfg,
+                LseiMode::Entity,
+            )),
+        };
+        if let (Some(l), Some(out)) = (&lsei, &args.save_index) {
+            thetis::lsh::persist::write_lsei_file(l, out)?;
+            eprintln!("wrote LSEI snapshot to {}", out.display());
+        }
+        engine.search_prefiltered_resilient(
+            &query,
+            options,
+            lsei.as_ref(),
+            args.votes,
+            &thetis::obs::QueryTrace::disabled(),
+        )
     } else {
         engine.search(&query, options)
     };
+    warn_if_degraded(&result.stats);
 
     println!("{:<30} {:>8}", "table", "SemRel");
     let inform = thetis::core::Informativeness::from_lake(&lake);
@@ -364,6 +462,43 @@ fn run() -> Result<(), String> {
     Ok(())
 }
 
+/// Keeps chaos-run output readable: injected panics are caught by the
+/// engine's per-table isolation, so their default hook backtrace is pure
+/// noise. Genuine panics still report through the original hook.
+fn silence_injected_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|s| s.as_str())
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .is_some_and(|s| s.starts_with("injected fault:"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+}
+
+/// Warns on stderr when a search returned partial results, naming the
+/// rungs of the degradation ladder that fired and how much was skipped.
+fn warn_if_degraded(stats: &SearchStats) {
+    if !stats.degraded {
+        return;
+    }
+    eprintln!(
+        "warning: degraded result ({}) — {} of {} candidate table(s) unscored{}",
+        stats.degraded_reason,
+        stats.tables_unscored,
+        stats.candidates,
+        if stats.worker_panics() > 0 {
+            format!(", {} dropped by panic isolation", stats.worker_panics())
+        } else {
+            String::new()
+        }
+    );
+}
+
 /// A stable query id for the trace: FNV-1a over the query's entity ids.
 fn query_trace_id(query: &Query) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -401,6 +536,7 @@ fn run_explain<S: EntitySimilarity>(
         thetis::obs::QueryTrace::disabled()
     };
     let result = engine.search_prefiltered_traced(query, options, &lsei, args.votes, &trace);
+    warn_if_degraded(&result.stats);
 
     let label = |e: thetis::kg::EntityId| graph.label(e).to_string();
     println!(
@@ -411,6 +547,36 @@ fn run_explain<S: EntitySimilarity>(
         result.stats.tables_scored,
         result.stats.tables_pruned(),
     );
+    if result.stats.degraded {
+        println!(
+            "degraded: reason {} — {} table(s) unscored, {} dropped by panic isolation",
+            result.stats.degraded_reason,
+            result.stats.tables_unscored,
+            result.stats.worker_panics(),
+        );
+        for e in trace.events() {
+            match e.name.as_str() {
+                "sched.panic" => println!(
+                    "    worker {} panicked{}: {}",
+                    e.attr_u64("worker").unwrap_or(0),
+                    e.attr_u64("table")
+                        .map(|t| format!(" scoring table {t}"))
+                        .unwrap_or_default(),
+                    e.attr_str("msg").unwrap_or("(no message)"),
+                ),
+                "sched.deadline" => println!(
+                    "    deadline expired after {} of {} claim(s)",
+                    e.attr_u64("claimed").unwrap_or(0),
+                    e.attr_u64("total").unwrap_or(0),
+                ),
+                "lsei.fallback" => println!(
+                    "    LSEI unusable — exhaustively scanned {} table(s)",
+                    e.attr_u64("tables").unwrap_or(0),
+                ),
+                _ => {}
+            }
+        }
+    }
     let query_entities = query.distinct_entities();
     for (rank, (tid, score)) in result.ranked.iter().enumerate() {
         let table = lake.table(*tid);

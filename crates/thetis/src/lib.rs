@@ -59,9 +59,9 @@ pub mod prelude {
         Bm25Index, Bm25Params, JoinSearch, TableEmbeddingSearch, UnionSearch, UnionVariant,
     };
     pub use thetis_core::{
-        EmbeddingCosine, EntitySimilarity, Informativeness, PredicateJaccard, Query, RowAgg,
-        Schedule, SearchOptions, SearchResult, SearchStats, SimilarityCache, ThetisEngine,
-        TypeJaccard,
+        DegradedReasons, EmbeddingCosine, EntitySimilarity, Informativeness, PredicateJaccard,
+        Query, RowAgg, Schedule, SearchOptions, SearchResult, SearchStats, SimilarityCache,
+        ThetisEngine, TypeJaccard,
     };
     pub use thetis_corpus::{
         BenchQuery, Benchmark, BenchmarkConfig, BenchmarkKind, GroundTruth, TableGenConfig,

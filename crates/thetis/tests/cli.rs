@@ -27,6 +27,185 @@ fn unknown_flag_is_rejected() {
 }
 
 #[test]
+fn missing_index_file_is_a_contextual_error() {
+    let path = std::env::temp_dir().join("thetis-cli-no-such-index.tli2");
+    let _ = std::fs::remove_file(&path);
+    let out = cli()
+        .args(["--demo", "--query", "x", "--index", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("does not exist"), "{stderr}");
+    assert!(!stderr.contains("panicked at"), "{stderr}");
+}
+
+#[test]
+fn unresolvable_query_is_a_contextual_error() {
+    let out = cli()
+        .args(["--demo", "--query", "zzz-not-an-entity"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("no query entity could be resolved"),
+        "{stderr}"
+    );
+    assert!(!stderr.contains("panicked at"), "{stderr}");
+}
+
+#[test]
+fn unreadable_lake_is_a_contextual_error() {
+    let dir = std::env::temp_dir().join("thetis-cli-unreadable-lake");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("kg.tsv"), "type\tThing\t-\nentity\tE\tThing\n").unwrap();
+
+    // Tables directory that does not exist at all.
+    let out = cli()
+        .args([
+            "--kg",
+            dir.join("kg.tsv").to_str().unwrap(),
+            "--tables",
+            dir.join("no-such-dir").to_str().unwrap(),
+            "--query",
+            "E",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read tables directory"), "{stderr}");
+    assert!(!stderr.contains("panicked at"), "{stderr}");
+
+    // Directory with no CSVs is equally contextual.
+    std::fs::create_dir_all(dir.join("empty")).unwrap();
+    let out = cli()
+        .args([
+            "--kg",
+            dir.join("kg.tsv").to_str().unwrap(),
+            "--tables",
+            dir.join("empty").to_str().unwrap(),
+            "--query",
+            "E",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no .csv files"), "{stderr}");
+    assert!(!stderr.contains("panicked at"), "{stderr}");
+}
+
+#[test]
+fn corrupt_index_falls_back_with_a_warning() {
+    let dir = std::env::temp_dir().join("thetis-cli-corrupt-index");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let index = dir.join("lake.tli2");
+    std::fs::write(&index, b"TLI2 this is definitely not an index").unwrap();
+
+    // First learn a resolvable demo query.
+    let probe = cli()
+        .args(["--demo", "--query", "zzz-not-an-entity"])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&probe.stderr);
+    let suggested = stderr
+        .split("Try --query \"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("demo prints a suggested query")
+        .to_string();
+
+    let out = cli()
+        .args([
+            "--demo",
+            "--query",
+            &suggested,
+            "--index",
+            index.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("falling back to an exhaustive scan"),
+        "{stderr}"
+    );
+    assert!(
+        stderr.contains("degraded result (lsei_fallback)"),
+        "{stderr}"
+    );
+    assert!(!stderr.contains("panicked at"), "{stderr}");
+    // The fallback still produced a ranking.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SemRel"), "{stdout}");
+}
+
+#[test]
+fn save_and_load_index_roundtrip() {
+    let dir = std::env::temp_dir().join("thetis-cli-save-index");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let index = dir.join("lake.tli2");
+
+    let probe = cli()
+        .args(["--demo", "--query", "zzz-not-an-entity"])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&probe.stderr);
+    let suggested = stderr
+        .split("Try --query \"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("demo prints a suggested query")
+        .to_string();
+
+    let save = cli()
+        .args([
+            "--demo",
+            "--query",
+            &suggested,
+            "--save-index",
+            index.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        save.status.success(),
+        "{}",
+        String::from_utf8_lossy(&save.stderr)
+    );
+    assert!(index.exists(), "--save-index wrote the snapshot");
+
+    let load = cli()
+        .args([
+            "--demo",
+            "--query",
+            &suggested,
+            "--index",
+            index.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        load.status.success(),
+        "{}",
+        String::from_utf8_lossy(&load.stderr)
+    );
+    let save_out = String::from_utf8_lossy(&save.stdout);
+    let load_out = String::from_utf8_lossy(&load.stdout);
+    assert_eq!(save_out, load_out, "loaded index reproduces the ranking");
+}
+
+#[test]
 fn demo_mode_searches_end_to_end() {
     // The demo prints a suggested query entity on stderr; use a fixed label
     // we can rely on instead: resolve via a two-step run. First run with a
