@@ -69,11 +69,14 @@ fn main() -> ExitCode {
         Err(e) => die(&e),
     };
     if snapshots.is_empty() {
-        eprintln!(
-            "bench_history: no BENCH_*.json snapshots in {}",
+        // An empty history is a normal state (fresh checkout, results/ not
+        // yet populated by `reproduce`), not an error: report and succeed.
+        println!(
+            "bench_history: no benchmark files in {} — run `reproduce` to \
+             record a first snapshot",
             dir.display()
         );
-        return ExitCode::FAILURE;
+        return ExitCode::SUCCESS;
     }
 
     println!(

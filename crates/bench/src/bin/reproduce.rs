@@ -37,6 +37,7 @@ experiments:
   sim-ablation   §8        all four σ instantiations head to head
   relaxation     §8        query relaxation on over-specialized queries
   smoke          CI        quick perf-smoke workload (LSEI + scoring)
+  delta-maintenance CI     incremental mutation vs full rebuild microbench
   all            run everything above in order
 
 Every run also snapshots the observability registry into
@@ -129,6 +130,7 @@ fn run_experiment(ctx: &Ctx, command: &str) -> bool {
         "sim-ablation" => experiments::extensions::sim_ablation(ctx),
         "relaxation" => experiments::extensions::relaxation(ctx),
         "smoke" => experiments::smoke::run(ctx),
+        "delta-maintenance" | "delta" => experiments::delta::run(ctx),
         "all" => {
             for cmd in [
                 "table2",

@@ -2,6 +2,7 @@
 //! artifact → module map.
 
 pub mod ablations;
+pub mod delta;
 pub mod extensions;
 pub mod fig4;
 pub mod fig5;

@@ -1,0 +1,70 @@
+//! End-to-end tests of the `bench_history` binary's edge cases: an empty
+//! or unreadable snapshot directory must be reported gracefully, never
+//! panic, and only the genuinely broken case may exit nonzero.
+
+use std::process::Command;
+
+fn bench_history() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bench_history"))
+}
+
+/// Regression: an existing directory with no `BENCH_*.json` files used to
+/// be treated as a failure. It is the normal state of a fresh checkout —
+/// the tool must say so and exit zero.
+#[test]
+fn empty_results_directory_reports_no_benchmark_files_and_succeeds() {
+    let dir = std::env::temp_dir().join("thetis-bench-history-empty");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    // A non-matching file must not count as a snapshot either.
+    std::fs::write(dir.join("README.txt"), "not a snapshot").unwrap();
+
+    let out = bench_history()
+        .args(["--dir", dir.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "empty history is not an error: {stderr}"
+    );
+    assert!(stdout.contains("no benchmark files"), "{stdout}");
+    assert!(!stderr.contains("panicked at"), "{stderr}");
+}
+
+/// A directory that does not exist at all stays a hard, contextual error.
+#[test]
+fn missing_results_directory_is_a_contextual_error() {
+    let dir = std::env::temp_dir().join("thetis-bench-history-no-such-dir");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let out = bench_history()
+        .args(["--dir", dir.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+    assert!(!stderr.contains("panicked at"), "{stderr}");
+}
+
+/// A corrupt snapshot is skipped with a warning; with nothing else to
+/// show, the run still lands on the graceful empty-history path.
+#[test]
+fn corrupt_only_snapshot_is_skipped_and_reported_as_empty() {
+    let dir = std::env::temp_dir().join("thetis-bench-history-corrupt");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("BENCH_broken.json"), "{ not json").unwrap();
+
+    let out = bench_history()
+        .args(["--dir", dir.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("skipping"), "{stderr}");
+    assert!(stdout.contains("no benchmark files"), "{stdout}");
+}

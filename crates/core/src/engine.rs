@@ -201,6 +201,10 @@ pub struct SearchStats {
     pub tables_unscored: usize,
     /// Which rungs of the degradation ladder fired.
     pub degraded_reason: DegradedReasons,
+    /// The lake generation this search read. A search pinned to an
+    /// [`EpochLake`](thetis_datalake::EpochLake) snapshot reports the
+    /// pinned epoch even while writers publish newer ones.
+    pub lake_epoch: thetis_datalake::LakeEpoch,
     /// Scoring-time breakdown.
     pub timings: ScoreTimings,
 }
@@ -503,6 +507,11 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
     ) -> SearchResult {
         let _search = OBS_SEARCH.start();
         let start = Instant::now();
+        // The epoch of the (pinned) lake view this whole search reads.
+        let lake_epoch = self.lake.epoch();
+        trace.record_with("lake.epoch", || {
+            thetis_obs::trace_attrs![("epoch", lake_epoch)]
+        });
         // A query-scoped memo, unless the caller brought a longer-lived one.
         let owned = (external.is_none() && options.memoize).then(SimilarityCache::new);
         let cache = external.or(owned.as_ref());
@@ -627,6 +636,7 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
                 degraded,
                 tables_unscored,
                 degraded_reason,
+                lake_epoch,
                 timings,
             },
         }

@@ -361,15 +361,17 @@ fn score_table_isolated(
 }
 
 /// Resolves the digest of `table_id`: the lake's precomputed one when
-/// fresh, otherwise an ad-hoc build stored in `slot` (one-off scoring of a
-/// mutated lake must not panic). `None` means the table has no entity
-/// links and is irrelevant by §4.2.
+/// *this table* is fresh (staleness is tracked per table, so one mutated
+/// table no longer forces ad-hoc digests for the whole lake), otherwise an
+/// ad-hoc build stored in `slot` (one-off scoring of a mutated table must
+/// not panic). `None` means the table has no entity links and is
+/// irrelevant by §4.2.
 fn resolve_digest<'a>(
     lake: &'a DataLake,
     table_id: TableId,
     slot: &'a mut Option<TableDigest>,
 ) -> Option<&'a TableDigest> {
-    if lake.digests_fresh() {
+    if lake.digest_fresh(table_id) {
         lake.digest(table_id)
     } else {
         *slot = TableDigest::build(lake.table(table_id));
@@ -939,14 +941,22 @@ mod tests {
         let q = Query::single(vec![players[0]]);
         let mut t = ScoreTimings::default();
         let fresh = score_table(&q, &lake, TableId(0), &sim, &inform, RowAgg::Max, &mut t);
-        // Mutating the lake invalidates the digests; scoring must fall back
-        // to an ad-hoc build instead of panicking, with identical output.
-        let mut extra = Table::new("x", vec!["c".into()]);
-        extra.push_row(vec![CellValue::LinkedEntity {
-            mention: "m".into(),
-            entity: players[5],
-        }]);
-        lake.add_table(extra);
+        // Touching another table through `table_mut` marks only *it* stale;
+        // scoring the stale table falls back to an ad-hoc digest instead of
+        // panicking, while fresh tables keep using their stored digest.
+        lake.table_mut(TableId(1))
+            .push_row(vec![CellValue::LinkedEntity {
+                mention: "m".into(),
+                entity: players[5],
+            }]);
+        assert!(!lake.digest_fresh(TableId(1)));
+        assert!(lake.digest_fresh(TableId(0)), "staleness is per table");
+        let unaffected = score_table(&q, &lake, TableId(0), &sim, &inform, RowAgg::Max, &mut t);
+        assert_eq!(fresh, unaffected);
+        // The stale table itself scores without panicking.
+        let _ = score_table(&q, &lake, TableId(1), &sim, &inform, RowAgg::Max, &mut t);
+        // Bulk mutation stales everything; scoring still must not panic.
+        let _ = lake.tables_mut();
         assert!(!lake.digests_fresh());
         let stale = score_table(&q, &lake, TableId(0), &sim, &inform, RowAgg::Max, &mut t);
         assert_eq!(fresh, stale);

@@ -434,3 +434,67 @@ proptest! {
         }
     }
 }
+
+/// The `lake.delta` failpoint: a panic mid-delta during an epoch commit
+/// must leave the previously published epoch fully readable — same epoch,
+/// same postings, bit-identical search results — and a retry after the
+/// fault clears must succeed normally.
+#[test]
+fn mid_delta_panic_leaves_the_previous_epoch_readable() {
+    use thetis_datalake::{EpochLake, Mutation};
+
+    let _g = serial();
+    let s = build_scenario(11, 12, 3);
+    let options = exhaustive_options(&s.lake, 2);
+    let store = EpochLake::new(s.lake);
+
+    let pinned = store.pin();
+    let epoch_before = pinned.epoch();
+    let postings_before = pinned.postings().clone();
+    let engine = ThetisEngine::new(&s.graph, &pinned, TypeJaccard::new(&s.graph));
+    let baseline = engine.search(&s.query, options);
+    assert!(!baseline.stats.degraded);
+
+    let mut incoming = Table::new("incoming", vec!["a".into()]);
+    incoming.push_row(vec![CellValue::LinkedEntity {
+        mention: "e0".into(),
+        entity: EntityId(0),
+    }]);
+
+    // Arm the failpoint (probability defaults to 1: the very next delta
+    // panics) and drive the commit into it.
+    {
+        let _quiet = QuietPanics::install();
+        let _armed = FaultGuard;
+        faults::arm(FaultPlan::parse("lake.delta=panic", 3).unwrap());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.commit(vec![Mutation::Add(incoming.clone())])
+        }));
+        assert!(outcome.is_err(), "the armed delta must panic");
+    }
+
+    // The published snapshot never changed: the panic unwound on the
+    // writer's private clone, before the swap.
+    assert_eq!(store.epoch(), epoch_before, "no partial epoch published");
+    assert_eq!(store.pin().len(), pinned.len());
+    assert_eq!(store.pin().postings(), &postings_before);
+    assert_eq!(pinned.epoch(), epoch_before);
+
+    // Reads against the surviving epoch are bit-identical to the baseline.
+    let engine = ThetisEngine::new(&s.graph, &pinned, TypeJaccard::new(&s.graph));
+    let after = engine.search(&s.query, options);
+    assert!(!after.stats.degraded, "surviving epoch must not degrade");
+    assert_eq!(after.stats.lake_epoch, epoch_before);
+    assert_eq!(after.ranked.len(), baseline.ranked.len());
+    for ((at, ascore), (bt, bscore)) in after.ranked.iter().zip(&baseline.ranked) {
+        assert_eq!(at, bt);
+        assert_eq!(ascore.to_bits(), bscore.to_bits());
+    }
+
+    // With the fault disarmed the same batch lands cleanly.
+    let epoch_after = store.commit(vec![Mutation::Add(incoming)]);
+    assert_eq!(epoch_after, epoch_before + 1);
+    let fresh = store.pin();
+    assert_eq!(fresh.len(), pinned.len() + 1);
+    assert!(fresh.postings()[&EntityId(0)].contains(&TableId(fresh.len() as u32 - 1)));
+}

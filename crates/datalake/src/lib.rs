@@ -7,6 +7,8 @@
 //!
 //! * table and cell representations ([`Table`], [`CellValue`]),
 //! * the lake container with entity→table postings ([`DataLake`]),
+//!   mutable in place via delta updates and readable through epoch-pinned
+//!   snapshots ([`epoch::EpochLake`]),
 //! * entity linkers implementing `Φ` ([`linking`]): exact label match, a
 //!   token-based "Lucene-like" matcher (used by the paper for GitTables),
 //!   and a noise-injecting wrapper simulating imperfect linkers (§7.5),
@@ -14,6 +16,7 @@
 
 pub mod csv;
 pub mod digest;
+pub mod epoch;
 pub mod lake;
 pub mod linking;
 pub mod stats;
@@ -21,7 +24,8 @@ pub mod table;
 pub mod value;
 
 pub use digest::{ColumnDigest, LinkedRow, TableDigest};
-pub use lake::DataLake;
+pub use epoch::{EpochLake, Mutation};
+pub use lake::{DataLake, LakeEpoch};
 pub use linking::{EntityLinker, ExactLabelLinker, LinkStats, NoisyLinker, TokenLinker};
 pub use stats::LakeStats;
 pub use table::{Table, TableId};

@@ -37,6 +37,23 @@ impl<T: Copy + Eq> LshIndex<T> {
         }
     }
 
+    /// Removes one occurrence of `item` from the bucket addressed by `sig`
+    /// in every band, dropping buckets that empty out — an index mutated by
+    /// removals is indistinguishable from one rebuilt without the item.
+    /// Absent occurrences are ignored (removal is idempotent per band).
+    pub fn remove(&mut self, sig: &Signature, item: T) {
+        for (group, key) in self.groups.iter_mut().zip(band_keys(sig, &self.config)) {
+            if let Some(bucket) = group.get_mut(&key) {
+                if let Some(pos) = bucket.iter().position(|&x| x == item) {
+                    bucket.remove(pos);
+                }
+                if bucket.is_empty() {
+                    group.remove(&key);
+                }
+            }
+        }
+    }
+
     /// All items colliding with `sig` in at least one band, as a *bag*:
     /// an item appears once per colliding band (the voting prefilter counts
     /// these multiplicities).
@@ -158,6 +175,23 @@ mod tests {
             hits.iter().map(|&(band, _)| band).collect::<Vec<_>>(),
             vec![0, 1]
         );
+    }
+
+    #[test]
+    fn remove_drops_one_occurrence_and_empty_buckets() {
+        let cfg = LshConfig::new(8, 4);
+        let mut idx = LshIndex::new(cfg);
+        let a = sig(&[true; 8]);
+        idx.insert(&a, 1u32);
+        idx.insert(&a, 2u32);
+        idx.remove(&a, 1u32);
+        assert_eq!(idx.query_bag(&a), vec![2, 2]);
+        idx.remove(&a, 2u32);
+        assert!(idx.query_bag(&a).is_empty());
+        assert_eq!(idx.bucket_count(), 0, "emptied buckets are dropped");
+        // Removing an absent item is a no-op.
+        idx.remove(&a, 7u32);
+        assert_eq!(idx.entry_count(), 0);
     }
 
     #[test]

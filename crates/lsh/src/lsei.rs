@@ -44,6 +44,8 @@ static OBS_SIGNATURES: thetis_obs::Counter = thetis_obs::Counter::new("lsh.signa
 static OBS_RAW_CANDIDATES: thetis_obs::Counter = thetis_obs::Counter::new("lsh.raw_candidates");
 static OBS_CANDIDATES_OUT: thetis_obs::Counter = thetis_obs::Counter::new("lsh.candidates_out");
 static OBS_TABLES_INSERTED: thetis_obs::Counter = thetis_obs::Counter::new("lsh.tables_inserted");
+static OBS_TABLES_REMOVED: thetis_obs::Counter = thetis_obs::Counter::new("lsh.tables_removed");
+static OBS_TABLES_RELINKED: thetis_obs::Counter = thetis_obs::Counter::new("lsh.tables_relinked");
 static OBS_QUERY_LATENCY: thetis_obs::Histogram = thetis_obs::Histogram::new("lsh.query_latency");
 /// Signing workers (or single entities on the recovery path) that
 /// panicked during a parallel index build.
@@ -242,26 +244,34 @@ pub struct Lsei<S> {
     index: LshIndex<u32>,
     postings: HashMap<EntityId, Vec<TableId>>,
     n_tables: usize,
+    /// The lake epoch this index describes: copied from the lake at build
+    /// time and bumped once per delta mutation, mirroring the lake's own
+    /// counter so a persisted index can be checked for staleness.
+    epoch: u64,
 }
+
+/// The decomposed index, as returned by [`Lsei::parts`]: `(config, mode,
+/// bucket index, postings, n_tables, epoch)`.
+pub type LseiParts<'a> = (
+    LshConfig,
+    LseiMode,
+    &'a LshIndex<u32>,
+    &'a HashMap<EntityId, Vec<TableId>>,
+    usize,
+    u64,
+);
 
 impl<S> Lsei<S> {
     /// Decomposes the index for persistence: `(config, mode, bucket index,
-    /// postings, n_tables)`.
-    pub fn parts(
-        &self,
-    ) -> (
-        LshConfig,
-        LseiMode,
-        &LshIndex<u32>,
-        &HashMap<EntityId, Vec<TableId>>,
-        usize,
-    ) {
+    /// postings, n_tables, epoch)`.
+    pub fn parts(&self) -> LseiParts<'_> {
         (
             *self.index.config(),
             self.mode,
             &self.index,
             &self.postings,
             self.n_tables,
+            self.epoch,
         )
     }
 
@@ -273,6 +283,7 @@ impl<S> Lsei<S> {
         index: LshIndex<u32>,
         postings: HashMap<EntityId, Vec<TableId>>,
         n_tables: usize,
+        epoch: u64,
     ) -> Self {
         Self {
             signer,
@@ -280,7 +291,18 @@ impl<S> Lsei<S> {
             index,
             postings,
             n_tables,
+            epoch,
         }
+    }
+
+    /// The lake epoch this index describes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Re-anchors the recorded epoch (after resynchronizing with a lake).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 }
 
@@ -350,6 +372,7 @@ impl<S: EntitySigner> Lsei<S> {
             index,
             postings,
             n_tables: lake.len(),
+            epoch: lake.epoch(),
         }
     }
 
@@ -359,24 +382,64 @@ impl<S: EntitySigner> Lsei<S> {
     ///
     /// `table_id` must be the id the table has (or will have) in the lake;
     /// entities already indexed only gain a posting, new entities are
-    /// signed and inserted into the buckets.
+    /// signed and inserted into the buckets. Bumps the recorded epoch,
+    /// mirroring [`thetis_datalake::DataLake::add_table`].
     pub fn insert_table(&mut self, table_id: TableId, table: &thetis_datalake::Table) {
         OBS_TABLES_INSERTED.inc();
+        self.insert_entries(table_id, table);
+        self.epoch += 1;
+    }
+
+    /// Incrementally de-indexes one table. `table` must be the content the
+    /// index was built with (the table returned by
+    /// [`thetis_datalake::DataLake::remove_table`]): its entity set drives
+    /// which postings shrink, and an entity left with no tables at all is
+    /// re-signed and evicted from every band bucket — exactly the state a
+    /// rebuild without the table produces.
+    pub fn remove_table(&mut self, table_id: TableId, table: &thetis_datalake::Table) {
+        OBS_TABLES_REMOVED.inc();
+        self.remove_entries(table_id, table);
+        self.epoch += 1;
+    }
+
+    /// Incrementally re-indexes one table whose content changed from `old`
+    /// to `new` (the re-linking path). In `Entity` mode only the entity-set
+    /// difference is touched, so unchanged entities keep their bucket
+    /// entries; in `Column` mode the old column groups are evicted and the
+    /// new ones inserted.
+    pub fn relink_table(
+        &mut self,
+        table_id: TableId,
+        old: &thetis_datalake::Table,
+        new: &thetis_datalake::Table,
+    ) {
+        OBS_TABLES_RELINKED.inc();
+        match self.mode {
+            LseiMode::Entity => {
+                let old_set: std::collections::BTreeSet<EntityId> =
+                    old.distinct_entities().into_iter().collect();
+                let new_set: std::collections::BTreeSet<EntityId> =
+                    new.distinct_entities().into_iter().collect();
+                for &e in old_set.difference(&new_set) {
+                    self.remove_posting(e, table_id);
+                }
+                for &e in new_set.difference(&old_set) {
+                    self.insert_posting(e, table_id);
+                }
+            }
+            LseiMode::Column => {
+                self.remove_entries(table_id, old);
+                self.insert_entries(table_id, new);
+            }
+        }
+        self.epoch += 1;
+    }
+
+    fn insert_entries(&mut self, table_id: TableId, table: &thetis_datalake::Table) {
         match self.mode {
             LseiMode::Entity => {
                 for e in table.distinct_entities() {
-                    match self.postings.entry(e) {
-                        std::collections::hash_map::Entry::Occupied(mut o) => {
-                            if !o.get().contains(&table_id) {
-                                o.get_mut().push(table_id);
-                            }
-                        }
-                        std::collections::hash_map::Entry::Vacant(v) => {
-                            let sig = self.signer.sign_entity(e);
-                            self.index.insert(&sig, e.0);
-                            v.insert(vec![table_id]);
-                        }
-                    }
+                    self.insert_posting(e, table_id);
                 }
             }
             LseiMode::Column => {
@@ -391,6 +454,60 @@ impl<S: EntitySigner> Lsei<S> {
             }
         }
         self.n_tables = self.n_tables.max(table_id.index() + 1);
+    }
+
+    fn remove_entries(&mut self, table_id: TableId, table: &thetis_datalake::Table) {
+        match self.mode {
+            LseiMode::Entity => {
+                for e in table.distinct_entities() {
+                    self.remove_posting(e, table_id);
+                }
+            }
+            LseiMode::Column => {
+                for col in 0..table.n_cols() {
+                    let entities: Vec<EntityId> = table.entities_in_column(col).collect();
+                    if entities.is_empty() {
+                        continue;
+                    }
+                    let sig = self.signer.sign_group(&entities);
+                    self.index.remove(&sig, table_id.0);
+                }
+            }
+        }
+    }
+
+    /// Adds `table_id` to entity `e`'s posting list in sorted position
+    /// (rebuilds produce ascending lists; deltas must too). A first-time
+    /// entity is signed and inserted into the band buckets.
+    fn insert_posting(&mut self, e: EntityId, table_id: TableId) {
+        match self.postings.entry(e) {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                let list = o.get_mut();
+                if let Err(pos) = list.binary_search(&table_id) {
+                    list.insert(pos, table_id);
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let sig = self.signer.sign_entity(e);
+                self.index.insert(&sig, e.0);
+                v.insert(vec![table_id]);
+            }
+        }
+    }
+
+    /// Drops `table_id` from entity `e`'s posting list; an entity with no
+    /// remaining tables leaves the postings *and* the band buckets.
+    fn remove_posting(&mut self, e: EntityId, table_id: TableId) {
+        if let Some(list) = self.postings.get_mut(&e) {
+            if let Ok(pos) = list.binary_search(&table_id) {
+                list.remove(pos);
+            }
+            if list.is_empty() {
+                self.postings.remove(&e);
+                let sig = self.signer.sign_entity(e);
+                self.index.remove(&sig, e.0);
+            }
+        }
     }
 
     /// The number of tables the index was built over.
@@ -477,6 +594,7 @@ impl<S: EntitySigner> Lsei<S> {
             index,
             postings,
             n_tables: lake.len(),
+            epoch: lake.epoch(),
         }
     }
 
@@ -903,6 +1021,114 @@ mod tests {
             let b = incr.prefilter(&[probe], 1);
             assert_eq!(a.tables, b.tables, "divergence for {probe:?}");
         }
+    }
+
+    /// Bucket groups in canonical form (key-sorted maps of sorted item
+    /// lists): `HashMap` iteration order makes even two identical rebuilds
+    /// differ in bucket item order, so equivalence is up to this form.
+    fn canonical_buckets<S>(lsei: &Lsei<S>) -> Vec<std::collections::BTreeMap<u64, Vec<u32>>> {
+        lsei.parts()
+            .2
+            .groups()
+            .iter()
+            .map(|g| {
+                g.iter()
+                    .map(|(&k, items)| {
+                        let mut v = items.clone();
+                        v.sort_unstable();
+                        (k, v)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn canonical_postings<S>(lsei: &Lsei<S>) -> std::collections::BTreeMap<EntityId, Vec<TableId>> {
+        lsei.parts()
+            .3
+            .iter()
+            .map(|(&e, ts)| (e, ts.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn incremental_remove_matches_batch_build() {
+        for mode in [LseiMode::Entity, LseiMode::Column] {
+            let (g, lake, _, _) = fixture();
+            let cfg = LshConfig::new(32, 8);
+            let mk_signer = || TypeSigner::new(&g, TypeFilter::none(), cfg, 1);
+
+            let mut mutated = Lsei::build(&lake, mk_signer(), cfg, mode);
+            let victim = TableId(1);
+            mutated.remove_table(victim, lake.table(victim));
+
+            // The ground truth: rebuild over the lake with the table
+            // tombstoned (ids keep their positions).
+            let mut tombstoned = lake.clone();
+            tombstoned.remove_table(victim);
+            let rebuilt = Lsei::build(&tombstoned, mk_signer(), cfg, mode);
+
+            assert_eq!(
+                canonical_buckets(&mutated),
+                canonical_buckets(&rebuilt),
+                "bucket divergence in {mode:?} mode"
+            );
+            if mode == LseiMode::Entity {
+                assert_eq!(canonical_postings(&mutated), canonical_postings(&rebuilt));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_relink_matches_batch_build() {
+        for mode in [LseiMode::Entity, LseiMode::Column] {
+            let (g, lake, _, vb) = fixture();
+            let cfg = LshConfig::new(32, 8);
+            let mk_signer = || TypeSigner::new(&g, TypeFilter::none(), cfg, 1);
+
+            // Relink table 0 from baseball entities to volleyball ones.
+            let mut new_content = Table::new("bb_a", vec!["p".into()]);
+            for &e in &vb[0..4] {
+                new_content.push_row(vec![CellValue::LinkedEntity {
+                    mention: g.label(e).to_string(),
+                    entity: e,
+                }]);
+            }
+
+            let mut mutated = Lsei::build(&lake, mk_signer(), cfg, mode);
+            mutated.relink_table(TableId(0), lake.table(TableId(0)), &new_content);
+
+            let mut relinked = lake.clone();
+            let replacement = new_content.clone();
+            relinked.relink_table(TableId(0), move |t| *t = replacement);
+            let rebuilt = Lsei::build(&relinked, mk_signer(), cfg, mode);
+
+            assert_eq!(
+                canonical_buckets(&mutated),
+                canonical_buckets(&rebuilt),
+                "bucket divergence in {mode:?} mode"
+            );
+            if mode == LseiMode::Entity {
+                assert_eq!(canonical_postings(&mutated), canonical_postings(&rebuilt));
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_bump_the_epoch() {
+        let (g, lake, _, _) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let signer = TypeSigner::new(&g, TypeFilter::none(), cfg, 1);
+        let mut lsei = Lsei::build(&lake, signer, cfg, LseiMode::Entity);
+        assert_eq!(lsei.epoch(), lake.epoch(), "build copies the lake epoch");
+        let e0 = lsei.epoch();
+        let t = lake.table(TableId(0)).clone();
+        lsei.remove_table(TableId(0), &t);
+        assert_eq!(lsei.epoch(), e0 + 1);
+        lsei.insert_table(TableId(0), &t);
+        assert_eq!(lsei.epoch(), e0 + 2);
+        lsei.relink_table(TableId(0), &t, &t);
+        assert_eq!(lsei.epoch(), e0 + 3);
     }
 
     #[test]

@@ -7,16 +7,23 @@
 //! configuration and seed, which the header verifies via the stored
 //! config.
 //!
-//! Format (`TLI2`, little-endian; `TLI1` is the same without the checksum
-//! footer and is still readable):
+//! Format (`TLI3`, little-endian; `TLI2` is the same without the epoch
+//! field, `TLI1` additionally lacks the checksum footer — both are still
+//! readable and restore with epoch 0):
 //!
 //! ```text
-//! magic "TLI2" | num_vectors u32 | band_size u32 | mode u8 | n_tables u32
-//! | n_groups u32 | groups... | n_postings u32 | postings... | checksum u64
+//! magic "TLI3" | num_vectors u32 | band_size u32 | mode u8 | n_tables u32
+//! | epoch u64 | n_groups u32 | groups... | n_postings u32 | postings...
+//! | checksum u64
 //! group    := n_buckets u32 | (key u64 | n_items u32 | items u32*)*
 //! posting  := entity u32 | n_tables u32 | table u32*
 //! checksum := FNV-1a 64 over every preceding byte (magic included)
 //! ```
+//!
+//! The epoch is the lake generation the snapshot describes (see
+//! `thetis_datalake::LakeEpoch`): delta persistence (`thetis-cli add`/
+//! `remove --save-index`) bumps it in lockstep with the lake, so a reader
+//! can tell a snapshot that missed mutations from one that is current.
 //!
 //! Deserialization never trusts a length field beyond what the remaining
 //! input can back, and never panics on malformed input: every failure mode
@@ -30,9 +37,11 @@ use crate::config::LshConfig;
 use crate::index::LshIndex;
 use crate::lsei::{EntitySigner, Lsei, LseiMode};
 
-/// Current format: checksummed footer.
+/// Current format: checksummed footer plus the lake epoch.
+const MAGIC_V3: &[u8; 4] = b"TLI3";
+/// Legacy format: checksummed, no epoch. Still accepted (epoch 0).
 const MAGIC_V2: &[u8; 4] = b"TLI2";
-/// Legacy format: no footer. Still accepted by [`lsei_from_bytes`].
+/// Legacy format: no footer, no epoch. Still accepted (epoch 0).
 const MAGIC_V1: &[u8; 4] = b"TLI1";
 
 /// FNV-1a 64-bit: tiny, dependency-free, and plenty to catch the
@@ -47,17 +56,17 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Serializes an LSEI's index structure (buckets, postings, config) in the
-/// `TLI2` format: payload plus an FNV-1a checksum footer.
+/// Serializes an LSEI's index structure (buckets, postings, config, epoch)
+/// in the `TLI3` format: payload plus an FNV-1a checksum footer.
 pub fn lsei_to_bytes<S>(lsei: &Lsei<S>) -> Bytes {
-    let mut buf = encode_payload(lsei, MAGIC_V2);
+    let mut buf = encode_payload(lsei, MAGIC_V3);
     let checksum = fnv1a64(&buf);
     buf.put_u64_le(checksum);
     buf.freeze()
 }
 
 fn encode_payload<S>(lsei: &Lsei<S>, magic: &[u8; 4]) -> BytesMut {
-    let (config, mode, index, postings, n_tables) = lsei.parts();
+    let (config, mode, index, postings, n_tables, epoch) = lsei.parts();
     let mut buf = BytesMut::new();
     buf.put_slice(magic);
     buf.put_u32_le(config.num_vectors as u32);
@@ -67,6 +76,9 @@ fn encode_payload<S>(lsei: &Lsei<S>, magic: &[u8; 4]) -> BytesMut {
         LseiMode::Column => 1,
     });
     buf.put_u32_le(n_tables as u32);
+    if magic == MAGIC_V3 {
+        buf.put_u64_le(epoch);
+    }
 
     let groups = index.groups();
     buf.put_u32_le(groups.len() as u32);
@@ -101,8 +113,9 @@ fn encode_payload<S>(lsei: &Lsei<S>, magic: &[u8; 4]) -> BytesMut {
 
 /// Restores an LSEI from bytes plus a freshly constructed signer.
 ///
-/// Accepts both the current `TLI2` format (whose FNV-1a footer is verified
-/// before any field is parsed) and the legacy `TLI1` format (no footer).
+/// Accepts the current `TLI3` format and the legacy `TLI2` format (FNV-1a
+/// footers verified before any field is parsed) as well as the legacy
+/// `TLI1` format (no footer). Dumps predating `TLI3` restore with epoch 0.
 ///
 /// # Errors
 /// Fails on magic/structure mismatch, truncated or bit-flipped input
@@ -124,12 +137,13 @@ pub fn lsei_from_bytes<S: EntitySigner>(
     need(&bytes, 17)?;
     let mut magic = [0u8; 4];
     bytes.copy_to_slice(&mut magic);
-    if &magic == MAGIC_V2 {
+    if &magic == MAGIC_V2 || &magic == MAGIC_V3 {
         // Verify the footer over the whole payload (magic already
         // consumed, so rebuild the checksum incrementally) before trusting
         // any length field.
+        let min_body = if &magic == MAGIC_V3 { 21 } else { 13 };
         let n = bytes.remaining();
-        if n < 8 + 13 {
+        if n < 8 + min_body {
             return Err("truncated LSEI dump (missing checksum footer)".into());
         }
         let stored = u64::from_le_bytes(
@@ -138,7 +152,7 @@ pub fn lsei_from_bytes<S: EntitySigner>(
                 .expect("slice of exactly eight bytes"),
         );
         let mut payload = Vec::with_capacity(4 + n - 8);
-        payload.extend_from_slice(MAGIC_V2);
+        payload.extend_from_slice(&magic);
         payload.extend_from_slice(&bytes[..n - 8]);
         let computed = fnv1a64(&payload);
         if stored != computed {
@@ -165,6 +179,12 @@ pub fn lsei_from_bytes<S: EntitySigner>(
         m => return Err(format!("unknown mode byte {m}")),
     };
     let n_tables = bytes.get_u32_le() as usize;
+    let epoch = if &magic == MAGIC_V3 {
+        need(&bytes, 8)?;
+        bytes.get_u64_le()
+    } else {
+        0
+    };
 
     need(&bytes, 4)?;
     let n_groups = bytes.get_u32_le() as usize;
@@ -208,10 +228,12 @@ pub fn lsei_from_bytes<S: EntitySigner>(
         return Err(format!("{} trailing bytes in LSEI dump", bytes.remaining()));
     }
 
-    Ok(Lsei::from_parts(signer, mode, index, postings, n_tables))
+    Ok(Lsei::from_parts(
+        signer, mode, index, postings, n_tables, epoch,
+    ))
 }
 
-/// Writes an LSEI snapshot to `path` crash-safely: the `TLI2` bytes go to
+/// Writes an LSEI snapshot to `path` crash-safely: the `TLI3` bytes go to
 /// a sibling temp file first, which is fsynced and then atomically renamed
 /// over the destination, so a crash at any point leaves either the old
 /// snapshot or the new one — never a torn file. (A torn file would still
@@ -258,7 +280,7 @@ pub fn write_lsei_file<S>(lsei: &Lsei<S>, path: &std::path::Path) -> Result<(), 
 }
 
 /// Reads an LSEI snapshot written by [`write_lsei_file`] (or any
-/// `TLI1`/`TLI2` dump), verifying the checksum before parsing.
+/// `TLI1`/`TLI2`/`TLI3` dump), verifying the checksum before parsing.
 ///
 /// The `lsei.read` failpoint injects failures for chaos runs: `error`
 /// fails the read cleanly, `corrupt` flips one bit of the bytes read (so
@@ -379,6 +401,38 @@ mod tests {
                 cfg,
             );
             assert!(outcome.is_err(), "bit flip at offset {off} accepted");
+        }
+    }
+
+    #[test]
+    fn epoch_survives_the_roundtrip() {
+        let (g, lake, _) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let mk_signer = || TypeSigner::new(&g, TypeFilter::none(), cfg, 7);
+        let mut original = Lsei::build(&lake, mk_signer(), cfg, LseiMode::Entity);
+        original.set_epoch(42);
+        let restored = lsei_from_bytes(lsei_to_bytes(&original), mk_signer(), cfg).unwrap();
+        assert_eq!(restored.epoch(), 42);
+    }
+
+    #[test]
+    fn legacy_tli2_dump_restores_with_epoch_zero() {
+        let (g, lake, players) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let mk_signer = || TypeSigner::new(&g, TypeFilter::none(), cfg, 7);
+        let mut original = Lsei::build(&lake, mk_signer(), cfg, LseiMode::Entity);
+        original.set_epoch(42);
+        // A TLI2 dump is the epoch-less payload plus the checksum footer.
+        let mut legacy = encode_payload(&original, MAGIC_V2);
+        let checksum = fnv1a64(&legacy);
+        legacy.put_u64_le(checksum);
+        let restored = lsei_from_bytes(legacy.freeze(), mk_signer(), cfg).unwrap();
+        assert_eq!(restored.epoch(), 0, "pre-epoch formats restore as 0");
+        for &probe in &players {
+            assert_eq!(
+                original.prefilter(&[probe], 1).tables,
+                restored.prefilter(&[probe], 1).tables
+            );
         }
     }
 

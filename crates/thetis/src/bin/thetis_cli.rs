@@ -34,11 +34,19 @@ struct Args {
     deadline_ms: Option<u64>,
     index: Option<PathBuf>,
     save_index: Option<PathBuf>,
+    cmd_add: bool,
+    cmd_remove: bool,
+    csv: Option<PathBuf>,
+    table_name: Option<String>,
 }
 
 const USAGE: &str = "usage: thetis-cli --kg FILE --tables DIR --query \"A,B,...\" [options]
        thetis-cli --demo --query \"...\"            (synthetic lake)
        thetis-cli explain \"A,B,...\" [options]     (full score provenance)
+       thetis-cli add --kg FILE --tables DIR --csv FILE --index FILE
+                      [--save-index FILE]         (delta-ingest one table)
+       thetis-cli remove --kg FILE --tables DIR --table NAME --index FILE
+                      [--save-index FILE]         (delta-tombstone one table)
 
 options:
   --query \"e1,e2;f1,f2\"  entity tuples: ',' separates entities, ';' tuples
@@ -64,6 +72,15 @@ options:
                          scan with a warning)
   --save-index FILE      after building the LSEI, persist it crash-safely
                          to FILE (implies --lsh)
+  --csv FILE             (add) the CSV file to ingest as a new table
+  --table NAME           (remove) the table to tombstone
+
+the `add` and `remove` subcommands mutate the lake *incrementally*: the
+index snapshot given by --index is patched in O(table) — postings, band
+buckets, and digests — instead of being rebuilt, and its epoch advances in
+lockstep with the lake. Both verify the snapshot matches the lake first
+(same epoch, same table count) and exit nonzero on a stale index. `add`
+also copies the CSV into the tables directory so later full loads see it.
 
 the `explain` subcommand always searches through the LSEI and prints, per
 top-k table: the Hungarian tuple-to-column mapping, the per-tuple sigma
@@ -91,15 +108,30 @@ fn parse_args() -> Result<Args, String> {
         deadline_ms: None,
         index: None,
         save_index: None,
+        cmd_add: false,
+        cmd_remove: false,
+        csv: None,
+        table_name: None,
     };
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.first().map(String::as_str) == Some("explain") {
-        args.cmd_explain = true;
-        argv.remove(0);
-        // A bare positional after `explain` is the query spec.
-        if argv.first().is_some_and(|a| !a.starts_with("--")) {
-            args.query.push(argv.remove(0));
+    match argv.first().map(String::as_str) {
+        Some("explain") => {
+            args.cmd_explain = true;
+            argv.remove(0);
+            // A bare positional after `explain` is the query spec.
+            if argv.first().is_some_and(|a| !a.starts_with("--")) {
+                args.query.push(argv.remove(0));
+            }
         }
+        Some("add") => {
+            args.cmd_add = true;
+            argv.remove(0);
+        }
+        Some("remove") => {
+            args.cmd_remove = true;
+            argv.remove(0);
+        }
+        _ => {}
     }
     let mut i = 0;
     let take = |argv: &[String], i: usize, flag: &str| {
@@ -187,9 +219,35 @@ fn parse_args() -> Result<Args, String> {
                 args.use_lsh = true;
                 i += 2;
             }
+            "--csv" => {
+                args.csv = Some(PathBuf::from(take(&argv, i, "--csv")?));
+                i += 2;
+            }
+            "--table" => {
+                args.table_name = Some(take(&argv, i, "--table")?);
+                i += 2;
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
+    }
+    if args.cmd_add || args.cmd_remove {
+        let cmd = if args.cmd_add { "add" } else { "remove" };
+        if args.demo {
+            return Err(format!(
+                "{cmd} mutates a real lake; --demo has none\n{USAGE}"
+            ));
+        }
+        if args.kg.is_none() || args.tables.is_none() || args.index.is_none() {
+            return Err(format!("{cmd} needs --kg, --tables and --index\n{USAGE}"));
+        }
+        if args.cmd_add && args.csv.is_none() {
+            return Err(format!("add needs --csv FILE\n{USAGE}"));
+        }
+        if args.cmd_remove && args.table_name.is_none() {
+            return Err(format!("remove needs --table NAME\n{USAGE}"));
+        }
+        return Ok(args);
     }
     if args.query.is_empty() {
         return Err(format!("--query is required\n{USAGE}"));
@@ -329,6 +387,10 @@ fn run() -> Result<(), String> {
         lake.len()
     );
 
+    if args.cmd_add || args.cmd_remove {
+        return run_delta(&args, &graph, &mut lake);
+    }
+
     let query = parse_query(&args.query, &graph);
     if query.is_empty() {
         return Err("no query entity could be resolved against the KG".into());
@@ -440,11 +502,12 @@ fn run() -> Result<(), String> {
         }
     }
     eprintln!(
-        "scored {} of {} tables in {:.1}ms (prefilter reduction {:.1}%)",
+        "scored {} of {} tables in {:.1}ms (prefilter reduction {:.1}%, lake epoch {})",
         result.stats.tables_scored,
         lake.len(),
         result.stats.total_nanos as f64 / 1e6,
-        result.stats.reduction * 100.0
+        result.stats.reduction * 100.0,
+        result.stats.lake_epoch,
     );
 
     if let Some(format) = &args.metrics {
@@ -458,6 +521,150 @@ fn run() -> Result<(), String> {
                 .map_err(|e| format!("cannot write metrics to {}: {e}", path.display()))?,
             None => eprint!("{rendered}"),
         }
+    }
+    Ok(())
+}
+
+/// The `add` / `remove` subcommands: patch the lake and the persisted LSEI
+/// incrementally instead of rebuilding either.
+///
+/// Both start from a coherence check — the snapshot must describe exactly
+/// the lake that was just loaded (same epoch, same table count) — and exit
+/// nonzero on a stale index, because a delta applied to the wrong base
+/// would silently corrupt postings. The mutation itself is O(table):
+/// digests, entity→table postings, and band buckets are patched in place
+/// and the epoch advances once, in lockstep on both sides.
+fn run_delta(args: &Args, graph: &KnowledgeGraph, lake: &mut DataLake) -> Result<(), String> {
+    let index_path = args.index.as_ref().expect("validated");
+    let tables_dir = args.tables.as_ref().expect("validated");
+    let cfg = LshConfig::recommended();
+    let filter = TypeFilter::from_lake(lake, graph, 0.5);
+    let mut lsei = thetis::lsh::persist::read_lsei_file(
+        index_path,
+        TypeSigner::new(graph, filter, cfg, 42),
+        cfg,
+    )
+    .map_err(|e| format!("cannot load index {}: {e}", index_path.display()))?;
+
+    let index_tables = lsei.parts().4;
+    if lsei.epoch() != lake.epoch() || index_tables != lake.len() {
+        return Err(format!(
+            "stale index {}: snapshot is at epoch {} over {} table(s), but the \
+             lake loaded from {} is at epoch {} over {} table(s); rebuild the \
+             snapshot (search with --lsh --save-index) before applying deltas",
+            index_path.display(),
+            lsei.epoch(),
+            index_tables,
+            tables_dir.display(),
+            lake.epoch(),
+            lake.len(),
+        ));
+    }
+
+    let started = std::time::Instant::now();
+    if args.cmd_add {
+        let csv_path = args.csv.as_ref().expect("validated");
+        let name = csv_path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "table".into());
+        if lake
+            .iter()
+            .any(|(id, t)| !lake.is_removed(id) && t.name == name)
+        {
+            return Err(format!(
+                "table {name:?} already exists in the lake (remove it first, \
+                 or rename the CSV)"
+            ));
+        }
+        let file = std::fs::File::open(csv_path)
+            .map_err(|e| format!("cannot open {}: {e}", csv_path.display()))?;
+        let mut table = thetis::datalake::csv::read_csv(&name, std::io::BufReader::new(file))
+            .map_err(|e| format!("cannot parse {}: {e}", csv_path.display()))?;
+        let stats = if args.token_linking {
+            TokenLinker::new(graph).link_table(&mut table)
+        } else {
+            ExactLabelLinker::new(graph).link_table(&mut table)
+        };
+        let before = lake.epoch();
+        let id = lake.add_table(table.clone());
+        lsei.insert_table(id, &table);
+        eprintln!(
+            "added {name:?} as table {} ({}/{} cells linked): epoch {} -> {} \
+             in {:.2?} (delta, no rebuild)",
+            id.0,
+            stats.linked,
+            stats.cells,
+            before,
+            lake.epoch(),
+            started.elapsed(),
+        );
+        // Keep the directory the source of truth: copy the CSV in so the
+        // next full load sees the same lake the snapshot describes. Delta
+        // ids append, so the file must also sort last.
+        let dest = tables_dir.join(format!("{name}.csv"));
+        if dest != *csv_path {
+            std::fs::copy(csv_path, &dest).map_err(|e| {
+                format!(
+                    "cannot copy {} into {}: {e}",
+                    csv_path.display(),
+                    dest.display()
+                )
+            })?;
+            eprintln!(
+                "copied {} into {}",
+                csv_path.display(),
+                tables_dir.display()
+            );
+        }
+        if lake
+            .iter()
+            .any(|(other, t)| other != id && !lake.is_removed(other) && t.name > name)
+        {
+            eprintln!(
+                "warning: {name}.csv does not sort last in {}; a future full \
+                 load will assign different table ids than this snapshot — \
+                 rebuild the index before trusting it again",
+                tables_dir.display()
+            );
+        }
+    } else {
+        let name = args.table_name.as_ref().expect("validated");
+        let id = lake
+            .iter()
+            .find(|&(id, t)| !lake.is_removed(id) && &t.name == name)
+            .map(|(id, _)| id)
+            .ok_or_else(|| format!("no table named {name:?} in the lake"))?;
+        let before = lake.epoch();
+        let old = lake.remove_table(id);
+        lsei.remove_table(id, &old);
+        eprintln!(
+            "removed {name:?} (table {}, {} row(s)): epoch {} -> {} in {:.2?} \
+             (tombstoned, delta)",
+            id.0,
+            old.rows().len(),
+            before,
+            lake.epoch(),
+            started.elapsed(),
+        );
+        eprintln!(
+            "note: {}/{name}.csv is left in place; the updated snapshot \
+             describes the tombstoned lake and will read as stale against a \
+             fresh load of the directory",
+            tables_dir.display()
+        );
+    }
+    debug_assert_eq!(lsei.epoch(), lake.epoch(), "epochs move in lockstep");
+
+    if let Some(out) = &args.save_index {
+        thetis::lsh::persist::write_lsei_file(&lsei, out)?;
+        eprintln!(
+            "wrote updated LSEI snapshot (epoch {}) to {}",
+            lsei.epoch(),
+            out.display()
+        );
+    } else {
+        eprintln!("dry run: pass --save-index FILE to persist the updated index");
     }
     Ok(())
 }
@@ -546,6 +753,10 @@ fn run_explain<S: EntitySimilarity>(
         result.stats.candidates,
         result.stats.tables_scored,
         result.stats.tables_pruned(),
+    );
+    println!(
+        "lake: epoch {} — the snapshot this search was pinned to",
+        result.stats.lake_epoch
     );
     if result.stats.degraded {
         println!(

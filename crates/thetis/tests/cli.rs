@@ -380,3 +380,210 @@ fn searches_real_kg_and_csv_directory() {
     assert!(stdout.contains("sigma=1.000"), "{stdout}");
     assert!(stdout.contains("Ron Santo"), "{stdout}");
 }
+
+/// Builds a real KG + CSV lake fixture for the delta subcommands: two
+/// tables in the lake directory and a third CSV outside it, ready to add.
+fn delta_fixture(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("thetis-cli-delta-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("tables")).unwrap();
+    std::fs::write(
+        dir.join("kg.tsv"),
+        "type\tThing\t-\n\
+         entity\tAlice\tThing\n\
+         entity\tBob\tThing\n\
+         entity\tCarol\tThing\n\
+         entity\tDave\tThing\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("tables/t0.csv"), "a,b\nAlice,Bob\nCarol,Dave\n").unwrap();
+    std::fs::write(dir.join("tables/t1.csv"), "a,b\nBob,Carol\nAlice,Alice\n").unwrap();
+    std::fs::write(dir.join("t2.csv"), "a,b\nDave,Alice\n").unwrap();
+    dir
+}
+
+/// Shorthand: a `cli()` invocation with the fixture's kg/tables wired in.
+fn delta_cmd(dir: &std::path::Path, head: &[&str]) -> Command {
+    let mut c = cli();
+    c.args(head).args([
+        "--kg",
+        dir.join("kg.tsv").to_str().unwrap(),
+        "--tables",
+        dir.join("tables").to_str().unwrap(),
+    ]);
+    c
+}
+
+#[test]
+fn add_subcommand_applies_a_delta_and_the_updated_index_searches() {
+    let dir = delta_fixture("add");
+    let index = dir.join("lake.tli");
+
+    // Build + persist the base snapshot.
+    let save = delta_cmd(&dir, &[])
+        .args([
+            "--query",
+            "Alice",
+            "--lsh",
+            "--save-index",
+            index.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        save.status.success(),
+        "{}",
+        String::from_utf8_lossy(&save.stderr)
+    );
+
+    // Delta-ingest the third table.
+    let add = delta_cmd(&dir, &["add"])
+        .args([
+            "--csv",
+            dir.join("t2.csv").to_str().unwrap(),
+            "--index",
+            index.to_str().unwrap(),
+            "--save-index",
+            index.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&add.stderr);
+    assert!(add.status.success(), "{stderr}");
+    assert!(stderr.contains("delta, no rebuild"), "{stderr}");
+    assert!(stderr.contains("added \"t2\" as table 2"), "{stderr}");
+    assert!(stderr.contains("wrote updated LSEI snapshot"), "{stderr}");
+    // The CSV was ingested into the directory for future full loads.
+    assert!(dir.join("tables/t2.csv").exists());
+
+    // The updated snapshot is coherent with a fresh load: searching
+    // through it succeeds and can see the new table.
+    let search = delta_cmd(&dir, &[])
+        .args([
+            "--query",
+            "Dave",
+            "--index",
+            index.to_str().unwrap(),
+            "--k",
+            "3",
+        ])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&search.stderr);
+    assert!(search.status.success(), "{stderr}");
+    let stdout = String::from_utf8_lossy(&search.stdout);
+    assert!(
+        stdout.contains("t2"),
+        "new table must be searchable: {stdout}"
+    );
+    assert!(
+        !stderr.contains("falling back"),
+        "index must verify: {stderr}"
+    );
+}
+
+#[test]
+fn add_rejects_a_malformed_csv_with_a_nonzero_exit() {
+    let dir = delta_fixture("bad-csv");
+    let index = dir.join("lake.tli");
+    let save = delta_cmd(&dir, &[])
+        .args([
+            "--query",
+            "Alice",
+            "--lsh",
+            "--save-index",
+            index.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        save.status.success(),
+        "{}",
+        String::from_utf8_lossy(&save.stderr)
+    );
+
+    std::fs::write(dir.join("bad.csv"), "a,b\nonly-one-field\n").unwrap();
+    let add = delta_cmd(&dir, &["add"])
+        .args([
+            "--csv",
+            dir.join("bad.csv").to_str().unwrap(),
+            "--index",
+            index.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!add.status.success(), "malformed CSV must fail");
+    let stderr = String::from_utf8_lossy(&add.stderr);
+    assert!(stderr.contains("cannot parse"), "{stderr}");
+    assert!(stderr.contains("expected 2"), "{stderr}");
+    assert!(!stderr.contains("panicked at"), "{stderr}");
+    // A rejected add must leave the directory untouched.
+    assert!(!dir.join("tables/bad.csv").exists());
+}
+
+#[test]
+fn remove_tombstones_and_a_stale_index_is_rejected_with_epochs() {
+    let dir = delta_fixture("remove");
+    let index = dir.join("lake.tli");
+    let stale = dir.join("stale.tli");
+    let save = delta_cmd(&dir, &[])
+        .args([
+            "--query",
+            "Alice",
+            "--lsh",
+            "--save-index",
+            index.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        save.status.success(),
+        "{}",
+        String::from_utf8_lossy(&save.stderr)
+    );
+
+    // Tombstone t1; the updated snapshot goes to a separate file.
+    let remove = delta_cmd(&dir, &["remove"])
+        .args([
+            "--table",
+            "t1",
+            "--index",
+            index.to_str().unwrap(),
+            "--save-index",
+            stale.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&remove.stderr);
+    assert!(remove.status.success(), "{stderr}");
+    assert!(stderr.contains("removed \"t1\""), "{stderr}");
+    assert!(stderr.contains("tombstoned, delta"), "{stderr}");
+
+    // Removing a table that does not exist is a contextual error.
+    let missing = delta_cmd(&dir, &["remove"])
+        .args(["--table", "zzz", "--index", index.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!missing.status.success());
+    let stderr = String::from_utf8_lossy(&missing.stderr);
+    assert!(stderr.contains("no table named \"zzz\""), "{stderr}");
+
+    // The post-remove snapshot is one epoch ahead of a fresh directory
+    // load: applying another delta through it must be refused, naming
+    // both epochs.
+    let add = delta_cmd(&dir, &["add"])
+        .args([
+            "--csv",
+            dir.join("t2.csv").to_str().unwrap(),
+            "--index",
+            stale.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!add.status.success(), "stale index must be rejected");
+    let stderr = String::from_utf8_lossy(&add.stderr);
+    assert!(stderr.contains("stale index"), "{stderr}");
+    assert!(stderr.contains("epoch 5"), "index epoch named: {stderr}");
+    assert!(stderr.contains("epoch 4"), "lake epoch named: {stderr}");
+    assert!(!stderr.contains("panicked at"), "{stderr}");
+}
