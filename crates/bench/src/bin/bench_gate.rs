@@ -27,13 +27,22 @@ use thetis_bench::BenchReport;
 /// regression signal.
 const SPAN_NOISE_FLOOR_NS: u64 = 50_000_000;
 
+/// Histograms with a baseline p99 below this never gate (1 ms): the
+/// latency buckets are decades, so below a millisecond the interpolated
+/// percentile is dominated by bucket shape, not by the workload.
+const P99_NOISE_FLOOR_NS: u64 = 1_000_000;
+
 const USAGE: &str = "usage: bench_gate --baseline FILE --current FILE [--threshold F]
   --baseline FILE     committed BENCH_*.json to compare against
   --current FILE      freshly produced BENCH_*.json
   --threshold F       allowed wall-time regression fraction (default 0.20)
   --span-threshold F  allowed per-span self-time regression fraction
                       (default 0.25; spans under 50ms baseline self time
-                      are exempt as noise)";
+                      are exempt as noise)
+  --p99-threshold F   also gate each latency histogram's p99 against the
+                      baseline, allowing a regression fraction of F
+                      (off by default; histograms with a baseline p99
+                      under 1ms are exempt as noise)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +50,7 @@ fn main() -> ExitCode {
     let mut current: Option<PathBuf> = None;
     let mut threshold = 0.20f64;
     let mut span_threshold = 0.25f64;
+    let mut p99_threshold: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         let value = |i: usize| {
@@ -69,6 +79,14 @@ fn main() -> ExitCode {
                     .unwrap_or_else(|_| die("--span-threshold needs a float"));
                 i += 2;
             }
+            "--p99-threshold" => {
+                p99_threshold = Some(
+                    value(i)
+                        .parse()
+                        .unwrap_or_else(|_| die("--p99-threshold needs a float")),
+                );
+                i += 2;
+            }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -87,6 +105,9 @@ fn main() -> ExitCode {
     }
     if !(0.0..10.0).contains(&span_threshold) {
         die("--span-threshold must be in [0, 10)");
+    }
+    if p99_threshold.is_some_and(|t| !(0.0..10.0).contains(&t)) {
+        die("--p99-threshold must be in [0, 10)");
     }
 
     let cur = match load(&current) {
@@ -140,6 +161,45 @@ fn main() -> ExitCode {
                 span_threshold * 100.0
             );
             failed = true;
+        }
+    }
+
+    // Optional latency gate: every baseline histogram loud enough to trust
+    // (p99 over the noise floor) must keep its p99 within the threshold.
+    if let Some(p99_threshold) = p99_threshold {
+        for hist in &base.histograms {
+            let Some(base_p99) = hist.percentile(0.99).filter(|&ns| ns >= P99_NOISE_FLOOR_NS)
+            else {
+                continue;
+            };
+            let Some(cur_p99) = cur.histogram(&hist.name).and_then(|h| h.percentile(0.99)) else {
+                eprintln!(
+                    "bench_gate: note — histogram {} present in baseline but not in current run",
+                    hist.name
+                );
+                continue;
+            };
+            let ratio = cur_p99 as f64 / base_p99 as f64;
+            if ratio > 1.0 + p99_threshold {
+                eprintln!(
+                    "bench_gate: FAIL — {} p99 regressed {:.1}% \
+                     ({:.2}ms -> {:.2}ms, allowed +{:.0}%)",
+                    hist.name,
+                    (ratio - 1.0) * 100.0,
+                    base_p99 as f64 / 1e6,
+                    cur_p99 as f64 / 1e6,
+                    p99_threshold * 100.0
+                );
+                failed = true;
+            } else {
+                println!(
+                    "bench_gate: OK — {} p99 {:.2}ms vs {:.2}ms baseline (allowed +{:.0}%)",
+                    hist.name,
+                    cur_p99 as f64 / 1e6,
+                    base_p99 as f64 / 1e6,
+                    p99_threshold * 100.0
+                );
+            }
         }
     }
 

@@ -22,6 +22,7 @@ use thetis_bench::Ctx;
 
 const USAGE: &str =
     "usage: reproduce <experiment> [--scale F] [--queries N] [--threads N] [--out DIR]
+                     [--connect HOST:PORT]
 experiments:
   table2         Table 2   corpus statistics (all four corpora)
   fig4           Figure 4  NDCG@10: STST/STSE, 6 LSH configs, BM25, union search
@@ -38,6 +39,9 @@ experiments:
   relaxation     §8        query relaxation on over-specialized queries
   smoke          CI        quick perf-smoke workload (LSEI + scoring)
   delta-maintenance CI     incremental mutation vs full rebuild microbench
+  serve          CI        open-loop QPS/latency bench of the resident
+                           query service (in-process, or an external
+                           server via --connect HOST:PORT)
   all            run everything above in order
 
 Every run also snapshots the observability registry into
@@ -58,6 +62,7 @@ fn main() -> ExitCode {
     let mut queries = 50usize;
     let mut threads = 0usize;
     let mut out = PathBuf::from("results");
+    let mut connect: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -89,6 +94,13 @@ fn main() -> ExitCode {
                     .unwrap_or_else(|| die("--out needs a path"));
                 i += 2;
             }
+            "--connect" => {
+                connect = args
+                    .get(i + 1)
+                    .cloned()
+                    .or_else(|| die("--connect needs HOST:PORT"));
+                i += 2;
+            }
             other => die(&format!("unknown flag {other}\n{USAGE}")),
         }
     }
@@ -96,7 +108,9 @@ fn main() -> ExitCode {
         die("--scale must be in (0, 1]");
     }
 
-    let ctx = Ctx::new(scale, queries, out).with_threads(threads);
+    let ctx = Ctx::new(scale, queries, out)
+        .with_threads(threads)
+        .with_connect(connect);
     // THETIS_OBS=0 runs the experiments with telemetry fully off (the
     // BENCH_*.json snapshot then carries wall time but empty metrics).
     if !thetis::obs::env_disabled() {
@@ -131,6 +145,7 @@ fn run_experiment(ctx: &Ctx, command: &str) -> bool {
         "relaxation" => experiments::extensions::relaxation(ctx),
         "smoke" => experiments::smoke::run(ctx),
         "delta-maintenance" | "delta" => experiments::delta::run(ctx),
+        "serve" => experiments::serve_bench::run(ctx),
         "all" => {
             for cmd in [
                 "table2",

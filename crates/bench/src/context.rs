@@ -45,6 +45,10 @@ pub struct Ctx {
     pub threads: usize,
     /// Directory for JSON result dumps.
     pub out_dir: PathBuf,
+    /// Address of an already-running `thetis-cli serve` instance. When
+    /// set, the `serve` experiment drives that server instead of booting
+    /// one in-process (this is how the CI serve-smoke job runs it).
+    pub connect: Option<String>,
     cache: Mutex<Vec<(BenchmarkKind, Arc<BenchData>)>>,
 }
 
@@ -57,6 +61,7 @@ impl Ctx {
             n_queries,
             threads: 0,
             out_dir,
+            connect: None,
             cache: Mutex::new(Vec::new()),
         }
     }
@@ -64,6 +69,12 @@ impl Ctx {
     /// Sets an explicit scoring thread count (0 = all cores).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Points the `serve` experiment at an external server.
+    pub fn with_connect(mut self, connect: Option<String>) -> Self {
+        self.connect = connect;
         self
     }
 

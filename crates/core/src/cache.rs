@@ -124,6 +124,13 @@ pub struct SimilarityCache {
     shards: Vec<RwLock<HashMap<(u32, u32), f64>>>,
     computed: AtomicU64,
     served: AtomicU64,
+    /// Shard wipes forced by the capacity bound (or an explicit
+    /// [`SimilarityCache::evict_entries`]).
+    evictions: AtomicU64,
+    /// Per-shard entry budget (0 = unbounded). Enforced at insert time:
+    /// a shard that would grow past it is wiped first, so total residency
+    /// stays under `shards × per_shard_cap` entries.
+    per_shard_cap: usize,
 }
 
 impl Default for SimilarityCache {
@@ -144,12 +151,56 @@ impl SimilarityCache {
 
     /// An empty cache with `shards` lock shards (rounded up to at least 1).
     pub fn with_shards(shards: usize) -> Self {
+        Self::with_shards_and_capacity(shards, 0)
+    }
+
+    /// An empty cache with `shards` lock shards and a total entry budget.
+    ///
+    /// `capacity` bounds resident memo entries (each is 16 bytes of key +
+    /// value plus map overhead); 0 means unbounded. Eviction is
+    /// coarse-grained and cheap: when an insert would push a shard past its
+    /// `capacity / shards` slice, that whole shard is wiped first — a
+    /// random-ish 1/`shards` of the cache — rather than tracking any
+    /// per-entry recency. Evicted pairs are recomputed on next use; the
+    /// hit/miss counters are unaffected, so the
+    /// `computed + served == lookups` invariant survives eviction.
+    pub fn with_shards_and_capacity(shards: usize, capacity: usize) -> Self {
         let shards = shards.max(1);
+        let per_shard_cap = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(shards).max(1)
+        };
         Self {
             shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
             computed: AtomicU64::new(0),
             served: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            per_shard_cap,
         }
+    }
+
+    /// Total entry budget this cache enforces (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.per_shard_cap * self.shards.len()
+    }
+
+    /// Shard wipes performed so far (capacity evictions plus explicit
+    /// [`SimilarityCache::evict_entries`] calls, one per non-empty shard).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Inserts under the capacity bound: wipes the shard first when the
+    /// insert would overflow its slice of the budget.
+    fn insert_bounded(&self, key: (u32, u32), v: f64) {
+        let mut shard = self.shard(key).write().unwrap_or_else(|e| e.into_inner());
+        if self.per_shard_cap > 0 && shard.len() >= self.per_shard_cap && !shard.contains_key(&key)
+        {
+            shard.clear();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.insert(key, v);
     }
 
     fn shard(&self, key: (u32, u32)) -> &RwLock<HashMap<(u32, u32), f64>> {
@@ -168,10 +219,7 @@ impl SimilarityCache {
         }
         let v = timed_sim(sim, a, b);
         self.computed.fetch_add(1, Ordering::Relaxed);
-        shard
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(key, v);
+        self.insert_bounded(key, v);
         v
     }
 
@@ -216,11 +264,7 @@ impl SimilarityCache {
             .fetch_add(miss_bs.len() as u64, Ordering::Relaxed);
         for ((&i, &b), &v) in miss_idx.iter().zip(&miss_bs).zip(&miss_out) {
             out[i as usize] = v;
-            let key = (a.0, b.0);
-            self.shard(key)
-                .write()
-                .unwrap_or_else(|e| e.into_inner())
-                .insert(key, v);
+            self.insert_bounded((a.0, b.0), v);
         }
     }
 
@@ -252,6 +296,98 @@ impl SimilarityCache {
         }
         self.computed.store(0, Ordering::Relaxed);
         self.served.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+
+    /// Drops all memoized pairs but keeps the hit/miss counters — the
+    /// eviction primitive for a long-lived shared cache, where counters
+    /// are deltas other threads may be mid-way through measuring (a
+    /// counter reset under a concurrent [`CacheStats::since`] would
+    /// underflow). Each non-empty shard wiped counts as one eviction.
+    pub fn evict_entries(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.write().unwrap_or_else(|e| e.into_inner());
+            if !shard.is_empty() {
+                shard.clear();
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A cross-query σ memo tagged with the lake epoch it was warmed on — the
+/// resident-service promotion of [`SimilarityCache`].
+///
+/// A server shares one of these across every request. Before a request
+/// uses the memo it calls [`SharedSimilarityCache::for_epoch`] with the
+/// epoch of the lake snapshot it pinned; when the epoch has advanced past
+/// the tag (an `add`/`remove`/`relink` committed), the entries are evicted
+/// once and the tag moves forward. Eviction keeps the hit/miss counters
+/// (see [`SimilarityCache::evict_entries`]) so concurrent requests
+/// measuring per-request deltas never underflow.
+///
+/// The eviction is *conservative*, not load-bearing for correctness: every
+/// σ the engine ships (type Jaccard, predicate Jaccard, embedding cosine)
+/// depends only on the knowledge graph and embedding store — which a lake
+/// mutation never touches — so a request still pinned to an older snapshot
+/// may keep inserting after the wipe and its values remain bit-exact for
+/// any epoch. The tag exists so that a deployment whose σ *did* become
+/// lake-dependent degrades to stale-entry eviction instead of silently
+/// serving wrong values, and so memory from retired epochs is reclaimed.
+pub struct SharedSimilarityCache {
+    cache: SimilarityCache,
+    /// The lake epoch the current entries were (first) warmed on.
+    epoch: AtomicU64,
+    /// Epoch advances that triggered an eviction.
+    invalidations: AtomicU64,
+}
+
+impl SharedSimilarityCache {
+    /// Wraps a bounded [`SimilarityCache`] tagged at `epoch`.
+    pub fn new(epoch: u64, shards: usize, capacity: usize) -> Self {
+        let cache = SimilarityCache::with_shards_and_capacity(shards, capacity);
+        Self {
+            cache,
+            epoch: AtomicU64::new(epoch),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the memo for a request pinned at `epoch`, evicting stale
+    /// entries first when the epoch advanced past the tag. Exactly one
+    /// caller per advance performs the eviction (compare-exchange on the
+    /// tag); requests pinned to *older* epochs never move the tag back.
+    pub fn for_epoch(&self, epoch: u64) -> &SimilarityCache {
+        let mut seen = self.epoch.load(Ordering::Acquire);
+        while epoch > seen {
+            match self
+                .epoch
+                .compare_exchange_weak(seen, epoch, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    self.cache.evict_entries();
+                    self.invalidations.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                Err(now) => seen = now,
+            }
+        }
+        &self.cache
+    }
+
+    /// The epoch the entries are currently tagged with.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// How many epoch advances evicted the memo so far.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// The underlying memo, without an epoch check (stats, tests).
+    pub fn cache(&self) -> &SimilarityCache {
+        &self.cache
     }
 }
 
@@ -479,6 +615,115 @@ mod tests {
         assert_eq!(stats.lookups(), 4 * 50 * 16);
         // At most one duplicated compute per pair per racing thread.
         assert!(stats.computed >= 16 && stats.computed <= 64, "{stats:?}");
+    }
+
+    #[test]
+    fn capacity_bound_evicts_instead_of_growing() {
+        let (g, es) = graph();
+        let sim = TypeJaccard::new(&g);
+        // One shard, room for two entries: the third insert wipes it.
+        let cache = SimilarityCache::with_shards_and_capacity(1, 2);
+        assert_eq!(cache.capacity(), 2);
+        let cached = CachedSimilarity::new(&sim, &cache);
+        cached.sim(es[0], es[1]);
+        cached.sim(es[0], es[2]);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+        cached.sim(es[0], es[3]);
+        assert_eq!(cache.len(), 1, "shard wiped before the overflow insert");
+        assert_eq!(cache.evictions(), 1);
+        // Counters survive eviction: 3 computes, 0 hits so far.
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                computed: 3,
+                served: 0
+            }
+        );
+        // Re-inserting an existing key at capacity does not evict.
+        cached.sim(es[0], es[3]);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.stats().served, 1);
+    }
+
+    #[test]
+    fn batched_inserts_respect_the_capacity_bound() {
+        let (g, es) = graph();
+        let sim = TypeJaccard::new(&g);
+        let cache = SimilarityCache::with_shards_and_capacity(1, 2);
+        let cached = CachedSimilarity::new(&sim, &cache);
+        let mut out = vec![0.0f64; es.len()];
+        cached.sim_batch(es[0], &es, &mut out);
+        assert!(cache.len() <= 2);
+        assert!(cache.evictions() > 0);
+        // Values are still bit-identical to the unbounded path.
+        for (&b, &v) in es.iter().zip(&out) {
+            assert_eq!(v.to_bits(), sim.sim(es[0], b).to_bits());
+        }
+    }
+
+    #[test]
+    fn evict_entries_keeps_counters() {
+        let (g, es) = graph();
+        let sim = TypeJaccard::new(&g);
+        let cache = SimilarityCache::new();
+        let cached = CachedSimilarity::new(&sim, &cache);
+        cached.sim(es[0], es[1]);
+        cached.sim(es[0], es[1]);
+        let before = cache.stats();
+        cache.evict_entries();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), before, "eviction never touches counters");
+        assert_eq!(cache.evictions(), 1);
+        // The pair recomputes on next use.
+        cached.sim(es[0], es[1]);
+        assert_eq!(cache.stats().computed, before.computed + 1);
+    }
+
+    #[test]
+    fn shared_cache_invalidates_once_per_epoch_advance() {
+        let (g, es) = graph();
+        let sim = TypeJaccard::new(&g);
+        let shared = SharedSimilarityCache::new(3, 4, 0);
+        assert_eq!(shared.epoch(), 3);
+        let warm = shared.for_epoch(3);
+        CachedSimilarity::new(&sim, warm).sim(es[0], es[1]);
+        assert_eq!(shared.cache().len(), 1);
+        // A request pinned to an older snapshot neither evicts nor
+        // rewinds the tag.
+        shared.for_epoch(2);
+        assert_eq!(shared.epoch(), 3);
+        assert_eq!(shared.cache().len(), 1);
+        assert_eq!(shared.invalidations(), 0);
+        // The epoch advancing evicts exactly once…
+        shared.for_epoch(5);
+        assert_eq!(shared.epoch(), 5);
+        assert!(shared.cache().is_empty());
+        assert_eq!(shared.invalidations(), 1);
+        // …and repeated calls at the new epoch are free.
+        shared.for_epoch(5);
+        assert_eq!(shared.invalidations(), 1);
+        // Counters survived the invalidation.
+        assert_eq!(shared.cache().stats().computed, 1);
+    }
+
+    #[test]
+    fn shared_cache_concurrent_epoch_advance_evicts_once() {
+        let shared = SharedSimilarityCache::new(0, 8, 0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for e in 1..=10u64 {
+                        shared.for_epoch(e);
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.epoch(), 10);
+        // One eviction per distinct advance at most — the CAS arbitrates,
+        // but racing threads may skip intermediate epochs entirely.
+        assert!(shared.invalidations() <= 10, "{}", shared.invalidations());
+        assert!(shared.invalidations() >= 1);
     }
 
     #[test]

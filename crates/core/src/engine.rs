@@ -433,6 +433,59 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
         }
     }
 
+    /// [`ThetisEngine::search_prefiltered_resilient`] memoizing σ into a
+    /// caller-provided cache that outlives the call — the request path of a
+    /// resident service, where one
+    /// [`SharedSimilarityCache`](crate::cache::SharedSimilarityCache)
+    /// (already resolved to its inner [`SimilarityCache`] via
+    /// `for_epoch`) is shared across every concurrent query. Per-request
+    /// [`SearchStats`] σ counters are deltas over the shared counters, so
+    /// a repeat query against a warm cache reports
+    /// [`SearchStats::sigma_hit_rate`] of 1.0. Falls back to an exhaustive
+    /// scan (marked `degraded_reason.lsei_fallback`) when `lsei` is
+    /// `None`, exactly like the resilient path.
+    pub fn search_prefiltered_shared<Sg: EntitySigner>(
+        &self,
+        query: &Query,
+        options: SearchOptions,
+        lsei: Option<&Lsei<Sg>>,
+        votes: usize,
+        cache: &SimilarityCache,
+        trace: &thetis_obs::QueryTrace,
+    ) -> SearchResult {
+        match lsei {
+            Some(index) => {
+                let start = Instant::now();
+                let pre = index.prefilter_traced(&query.distinct_entities(), votes, trace);
+                let prefilter_nanos = start.elapsed().as_nanos() as u64;
+                let reduction = pre.reduction(self.lake.len());
+                self.search_candidates_cached(
+                    query,
+                    options,
+                    &pre.tables,
+                    prefilter_nanos,
+                    reduction,
+                    Some(cache),
+                    trace,
+                )
+            }
+            None => {
+                if thetis_obs::enabled() {
+                    OBS_LSEI_FALLBACK.inc();
+                }
+                trace.record_with("lsei.fallback", || {
+                    thetis_obs::trace_attrs![("tables", self.lake.len())]
+                });
+                let all: Vec<TableId> = (0..self.lake.len() as u32).map(TableId).collect();
+                let mut res =
+                    self.search_candidates_cached(query, options, &all, 0, 0.0, Some(cache), trace);
+                res.stats.degraded = true;
+                res.stats.degraded_reason.lsei_fallback = true;
+                res
+            }
+        }
+    }
+
     /// Prefiltered search with query-side column aggregation (§6.2): the
     /// entities at each tuple position merge into one LSEI lookup, so a
     /// 5-tuple query costs as much as a 1-tuple query.
@@ -817,6 +870,42 @@ mod tests {
         assert!(first.stats.sigma_computed() > 0);
         assert_eq!(second.stats.sigma_computed(), 0);
         assert_eq!(second.stats.sigma_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn shared_prefiltered_search_warms_across_queries_and_falls_back() {
+        let (g, lake, players, _) = fixture();
+        let engine = ThetisEngine::new(&g, &lake, TypeJaccard::new(&g));
+        let cfg = LshConfig::new(32, 8);
+        let signer = TypeSigner::new(&g, TypeFilter::none(), cfg, 7);
+        let lsei = Lsei::build(&lake, signer, cfg, LseiMode::Entity);
+        let q = Query::single(vec![players[0]]);
+        let opts = SearchOptions {
+            prune: false,
+            ..SearchOptions::top(4)
+        };
+        let shared = crate::cache::SharedSimilarityCache::new(lake.epoch(), 8, 0);
+        let off = thetis_obs::QueryTrace::disabled();
+
+        let cache = shared.for_epoch(lake.epoch());
+        let first = engine.search_prefiltered_shared(&q, opts, Some(&lsei), 1, cache, &off);
+        let plain = engine.search_prefiltered(&q, opts, &lsei, 1);
+        assert_eq!(first.ranked, plain.ranked);
+        assert!(first.stats.sigma_computed() > 0);
+        assert!(!first.stats.degraded);
+
+        // Second identical request: served entirely from the shared memo.
+        let second = engine.search_prefiltered_shared(&q, opts, Some(&lsei), 1, cache, &off);
+        assert_eq!(second.ranked, first.ranked);
+        assert_eq!(second.stats.sigma_computed(), 0);
+        assert_eq!(second.stats.sigma_hit_rate(), 1.0);
+
+        // Missing index: complete ranking, marked as the fallback rung.
+        let fallback =
+            engine.search_prefiltered_shared::<TypeSigner<'_>>(&q, opts, None, 1, cache, &off);
+        assert!(fallback.stats.degraded);
+        assert!(fallback.stats.degraded_reason.lsei_fallback);
+        assert_eq!(fallback.ranked, engine.search(&q, opts).ranked);
     }
 
     #[test]

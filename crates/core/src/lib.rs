@@ -41,7 +41,9 @@ pub mod sigma;
 pub mod similarity;
 pub mod topk;
 
-pub use cache::{CacheStats, CachedSimilarity, CountingSimilarity, SimilarityCache};
+pub use cache::{
+    CacheStats, CachedSimilarity, CountingSimilarity, SharedSimilarityCache, SimilarityCache,
+};
 pub use engine::{DegradedReasons, SearchOptions, SearchResult, SearchStats, ThetisEngine};
 pub use explain::{explain, EntityMatch, Explanation, TupleExplanation};
 pub use informativeness::Informativeness;

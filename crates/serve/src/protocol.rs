@@ -1,0 +1,231 @@
+//! The wire protocol: line-delimited JSON, one request per line, one
+//! response line back.
+//!
+//! Requests are a single flat object so clients in any language can speak
+//! it with a string template. Every field except the operation's required
+//! ones is optional; unknown fields are ignored. Scores travel twice: as a
+//! plain `score` for humans and as `score_bits` (the IEEE-754 bit pattern
+//! of the `f64`) for exact comparison — JSON float round-trips are not
+//! guaranteed bit-exact, the bit pattern is.
+//!
+//! ```text
+//! {"query":"Ron Santo,Chicago Cubs","k":5,"deadline_ms":50}
+//! {"op":"stats"}
+//! {"op":"add_table","name":"t9","csv":"player\nRon Santo\n"}
+//! {"op":"ping"}
+//! {"op":"shutdown"}
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// One client request. `op` defaults to `"search"` when absent.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Request {
+    /// `"search"` (default), `"stats"`, `"add_table"`, `"remove_table"`,
+    /// `"ping"`, or `"shutdown"`.
+    pub op: Option<String>,
+    /// Entity-tuple query spec, `','` separating entities and `';'`
+    /// tuples — the same syntax as `thetis-cli --query`.
+    pub query: Option<String>,
+    /// Results to return (default: the server's configured k).
+    pub k: Option<u64>,
+    /// Per-request wall-clock scoring budget in milliseconds, mapped onto
+    /// [`SearchOptions::with_deadline`](thetis_core::SearchOptions): on
+    /// expiry the response carries the best-so-far top-k with
+    /// `degraded: true` and `"deadline"` among the reasons.
+    pub deadline_ms: Option<u64>,
+    /// LSEI voting threshold override (default: the server's).
+    pub votes: Option<u64>,
+    /// (`add_table`/`remove_table`) table name.
+    pub name: Option<String>,
+    /// (`add_table`) inline CSV content of the table to ingest.
+    pub csv: Option<String>,
+    /// Test hook: hold the request for this long *after* pinning its lake
+    /// snapshot and before scoring, while it still occupies an in-flight
+    /// slot. Rejected unless the server was built with
+    /// [`ServerConfig::allow_debug`](crate::ServerConfig).
+    pub debug_hold_ms: Option<u64>,
+}
+
+impl Request {
+    /// A plain search request for `query`.
+    pub fn search(query: &str) -> Self {
+        Self {
+            query: Some(query.to_string()),
+            ..Self::default()
+        }
+    }
+
+    /// A bare operation request (`"stats"`, `"ping"`, `"shutdown"`).
+    pub fn op(op: &str) -> Self {
+        Self {
+            op: Some(op.to_string()),
+            ..Self::default()
+        }
+    }
+
+    /// The effective operation (`"search"` when unset).
+    pub fn operation(&self) -> &str {
+        self.op.as_deref().unwrap_or("search")
+    }
+}
+
+/// One ranked hit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Hit {
+    /// Table id in the pinned snapshot.
+    pub table: u64,
+    /// Table name.
+    pub name: String,
+    /// SemRel score (human-readable; may lose bits in JSON).
+    pub score: f64,
+    /// `score.to_bits()` — compare rankings with this, not with `score`.
+    pub score_bits: u64,
+}
+
+/// Counters of a running server, returned by the `stats` op.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Currently published lake epoch.
+    pub epoch: u64,
+    /// Search requests admitted so far.
+    pub requests: u64,
+    /// Search requests shed with `overloaded`.
+    pub shed: u64,
+    /// Requests answered with `status: "error"`.
+    pub errors: u64,
+    /// Searches currently executing.
+    pub inflight: u64,
+    /// Resident entries in the shared σ memo.
+    pub cache_entries: u64,
+    /// σ evaluations the shared memo performed (misses), cumulative.
+    pub cache_computed: u64,
+    /// σ lookups the shared memo served (hits), cumulative.
+    pub cache_served: u64,
+    /// Cumulative hit rate of the shared memo.
+    pub cache_hit_rate: f64,
+    /// Shard wipes forced by the memo's capacity bound.
+    pub cache_evictions: u64,
+    /// Epoch advances that evicted the shared memo.
+    pub cache_invalidations: u64,
+}
+
+/// One server response line.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Response {
+    /// `"ok"`, `"overloaded"`, or `"error"`.
+    pub status: String,
+    /// Human-readable cause when `status` is not `"ok"`.
+    pub error: Option<String>,
+    /// Lake epoch this response was computed against: for searches, the
+    /// epoch of the *pinned* snapshot (stable even if writers publish
+    /// newer epochs mid-flight); for mutations, the newly published epoch.
+    pub epoch: Option<u64>,
+    /// Ranked results, best first (searches only).
+    pub ranked: Option<Vec<Hit>>,
+    /// Whether the ranking is partial (deadline, panic, LSEI fallback).
+    pub degraded: Option<bool>,
+    /// Which degradation rungs fired (`"deadline"`, `"worker_panic"`,
+    /// `"lsei_fallback"`); empty on a healthy run.
+    pub degraded_reason: Option<Vec<String>>,
+    /// Fraction of this search's σ lookups served by the shared memo.
+    pub sigma_hit_rate: Option<f64>,
+    /// Candidate tables after prefiltering.
+    pub candidates: Option<u64>,
+    /// Tables actually scored.
+    pub tables_scored: Option<u64>,
+    /// Server-side wall time of the request, microseconds.
+    pub micros: Option<u64>,
+    /// Server counters (`stats` op only).
+    pub stats: Option<ServerStats>,
+}
+
+impl Response {
+    /// An `"error"` response with a cause.
+    pub fn error(cause: impl Into<String>) -> Self {
+        Self {
+            status: "error".into(),
+            error: Some(cause.into()),
+            ..Self::default()
+        }
+    }
+
+    /// The `"overloaded"` load-shedding response.
+    pub fn overloaded() -> Self {
+        Self {
+            status: "overloaded".into(),
+            error: Some("server saturated; retry with backoff".into()),
+            ..Self::default()
+        }
+    }
+
+    /// Whether the request succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.status == "ok"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_and_default_missing_fields() {
+        let parsed: Request = serde_json::from_str(r#"{"query":"a,b;c","k":5}"#).unwrap();
+        assert_eq!(parsed.operation(), "search");
+        assert_eq!(parsed.query.as_deref(), Some("a,b;c"));
+        assert_eq!(parsed.k, Some(5));
+        assert_eq!(parsed.deadline_ms, None);
+
+        let op: Request = serde_json::from_str(r#"{"op":"stats"}"#).unwrap();
+        assert_eq!(op.operation(), "stats");
+
+        let json = serde_json::to_string(&Request::search("x,y")).unwrap();
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.query.as_deref(), Some("x,y"));
+    }
+
+    #[test]
+    fn score_bits_survive_json_even_when_the_float_does_not() {
+        // A score with a full mantissa, at the mercy of float
+        // formatting: the bit pattern is the contract, not the decimal.
+        let score = std::f64::consts::FRAC_1_PI;
+        let hit = Hit {
+            table: 3,
+            name: "t".into(),
+            score,
+            score_bits: score.to_bits(),
+        };
+        let json = serde_json::to_string(&hit).unwrap();
+        let back: Hit = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.score_bits, score.to_bits());
+        assert_eq!(f64::from_bits(back.score_bits), score);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resp = Response {
+            status: "ok".into(),
+            epoch: Some(7),
+            ranked: Some(vec![Hit {
+                table: 0,
+                name: "players".into(),
+                score: 1.0,
+                score_bits: 1.0f64.to_bits(),
+            }]),
+            degraded: Some(false),
+            degraded_reason: Some(vec![]),
+            sigma_hit_rate: Some(0.5),
+            candidates: Some(4),
+            tables_scored: Some(4),
+            micros: Some(1234),
+            ..Response::default()
+        };
+        let back: Response = serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        assert!(back.is_ok());
+        assert_eq!(back.epoch, Some(7));
+        assert_eq!(back.ranked.unwrap()[0].name, "players");
+        assert!(Response::overloaded().status == "overloaded");
+        assert!(!Response::error("boom").is_ok());
+    }
+}

@@ -1,0 +1,596 @@
+//! The resident server: one loaded lake, many concurrent queries.
+//!
+//! [`Server`] owns everything a query needs — the knowledge graph, the
+//! [`EpochLake`] snapshot store, per-epoch derived state (informativeness
+//! weights and the LSEI), the similarity, and the shared cross-query σ memo
+//! — and [`serve`] exposes it over a TCP socket speaking the line-delimited
+//! JSON protocol of [`protocol`](crate::protocol).
+//!
+//! ## Concurrency model
+//!
+//! One thread per connection; each search runs on the caller's connection
+//! thread using the engine's existing work-stealing scorer. Admission
+//! control is a single atomic in-flight counter: a search that would push
+//! it past [`ServerConfig::max_inflight`] is shed immediately with an
+//! `overloaded` response instead of queueing — the client owns the retry
+//! policy, the server owns bounded latency.
+//!
+//! ## Epochs
+//!
+//! Every search pins the current [`EpochState`] (lake snapshot +
+//! informativeness + LSEI, all derived from the same epoch) before doing
+//! any work, so mutations committed mid-flight never tear a query.
+//! Mutations commit through the [`EpochLake`] writer path and then rebuild
+//! the derived state; the shared σ memo notices the epoch advance on the
+//! next search and evicts itself (see
+//! [`SharedSimilarityCache`](thetis_core::SharedSimilarityCache)).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use thetis_core::{
+    EmbeddingCosine, EntitySimilarity, Informativeness, PredicateJaccard, Query, SearchOptions,
+    SharedSimilarityCache, ThetisEngine, TypeJaccard,
+};
+use thetis_datalake::{DataLake, EntityLinker, EpochLake, ExactLabelLinker, Mutation};
+use thetis_embedding::EmbeddingStore;
+use thetis_kg::KnowledgeGraph;
+use thetis_lsh::lsei::{Lsei, LseiMode, TypeSigner};
+use thetis_lsh::{LshConfig, TypeFilter};
+
+use crate::protocol::{Hit, Request, Response, ServerStats};
+
+/// Search requests admitted (shed ones excluded).
+static OBS_REQUESTS: thetis_obs::Counter = thetis_obs::Counter::new("serve.requests");
+/// Search requests shed with `overloaded`.
+static OBS_SHED: thetis_obs::Counter = thetis_obs::Counter::new("serve.shed");
+/// Requests answered with an error status.
+static OBS_ERRORS: thetis_obs::Counter = thetis_obs::Counter::new("serve.errors");
+/// Mutations committed through the serve path.
+static OBS_MUTATIONS: thetis_obs::Counter = thetis_obs::Counter::new("serve.mutations");
+/// Server-side request latency, admission to response.
+static OBS_LATENCY: thetis_obs::Histogram = thetis_obs::Histogram::new("serve.request_latency");
+
+/// Which entity similarity the server answers with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimKind {
+    /// Adjusted type Jaccard (no training needed).
+    Types,
+    /// Predicate-set Jaccard.
+    Predicates,
+    /// Embedding cosine — requires an [`EmbeddingStore`] at construction.
+    Embeddings,
+}
+
+/// Construction-time knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`"127.0.0.1:0"` picks a free port).
+    pub addr: String,
+    /// Searches allowed in flight at once; one more is shed, not queued.
+    pub max_inflight: usize,
+    /// Entry budget of the shared σ memo (0 = unbounded).
+    pub cache_capacity: usize,
+    /// Lock shards of the shared σ memo.
+    pub cache_shards: usize,
+    /// Default LSEI voting threshold (requests may override).
+    pub votes: usize,
+    /// Build and use the LSEI prefilter (recommended; without it every
+    /// search scans the whole lake).
+    pub use_lsei: bool,
+    /// Default `k` when a request does not name one.
+    pub k: usize,
+    /// Scoring worker threads per request (0 = all cores). A server
+    /// expecting many concurrent clients usually wants 1: concurrency
+    /// across requests, not within one.
+    pub threads: usize,
+    /// Entity similarity to answer with.
+    pub sim: SimKind,
+    /// Honor the `debug_hold_ms` test hook (off for real deployments).
+    pub allow_debug: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            max_inflight: std::thread::available_parallelism().map_or(4, |n| n.get() * 2),
+            cache_capacity: 1 << 20,
+            cache_shards: thetis_core::SimilarityCache::DEFAULT_SHARDS,
+            votes: 1,
+            use_lsei: true,
+            k: 10,
+            threads: 1,
+            sim: SimKind::Types,
+            allow_debug: false,
+        }
+    }
+}
+
+/// Everything derived from one lake epoch, swapped atomically as a unit so
+/// a pinned request reads a coherent view.
+struct EpochState {
+    lake: Arc<DataLake>,
+    inform: Informativeness,
+    lsei: Option<Lsei<TypeSigner<'static>>>,
+}
+
+/// The resident query service. Shared across connection threads as an
+/// `Arc`; all methods take `&self`.
+pub struct Server {
+    graph: &'static KnowledgeGraph,
+    sim: Box<dyn EntitySimilarity + Send + Sync + 'static>,
+    config: ServerConfig,
+    epochs: EpochLake,
+    state: RwLock<Arc<EpochState>>,
+    /// Serializes mutation commits *and* the derived-state rebuild that
+    /// follows, so two racing mutations cannot publish states out of
+    /// epoch order.
+    mutate: Mutex<()>,
+    cache: SharedSimilarityCache,
+    inflight: AtomicUsize,
+    requests: AtomicU64,
+    shed: AtomicU64,
+    errors: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// Decrements the in-flight counter even when a search panics.
+struct InflightGuard<'a>(&'a Server);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl Server {
+    /// Builds a server over a linked lake.
+    ///
+    /// The graph (and embedding store, when `sim` is
+    /// [`SimKind::Embeddings`]) are intentionally leaked to `'static`:
+    /// they live for the whole process anyway — this is a resident service
+    /// — and `'static` borrows are what lets the LSEI signer and the
+    /// similarity live inside the server without self-referential
+    /// lifetimes. `store` must be `Some` for the embeddings similarity.
+    pub fn new(
+        graph: KnowledgeGraph,
+        lake: DataLake,
+        store: Option<EmbeddingStore>,
+        config: ServerConfig,
+    ) -> Arc<Self> {
+        let graph: &'static KnowledgeGraph = Box::leak(Box::new(graph));
+        let store: Option<&'static EmbeddingStore> = store.map(|s| &*Box::leak(Box::new(s)));
+        let sim: Box<dyn EntitySimilarity + Send + Sync + 'static> = match config.sim {
+            SimKind::Types => Box::new(TypeJaccard::new(graph)),
+            SimKind::Predicates => Box::new(PredicateJaccard::new(graph)),
+            SimKind::Embeddings => Box::new(EmbeddingCosine::new(
+                store.expect("SimKind::Embeddings needs an embedding store"),
+            )),
+        };
+        let epochs = EpochLake::new(lake);
+        let epoch = epochs.epoch();
+        let state = RwLock::new(Arc::new(Self::derive_state(graph, epochs.pin(), &config)));
+        Arc::new(Self {
+            graph,
+            sim,
+            cache: SharedSimilarityCache::new(epoch, config.cache_shards, config.cache_capacity),
+            config,
+            epochs,
+            state,
+            mutate: Mutex::new(()),
+            inflight: AtomicUsize::new(0),
+            requests: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// Builds the per-epoch derived state: informativeness weights and
+    /// (when enabled) the LSEI, with exactly the `thetis-cli` index
+    /// construction (recommended LSH config, 0.5 type filter, seed 42) so
+    /// serve results are bit-identical to one-shot CLI runs.
+    fn derive_state(
+        graph: &'static KnowledgeGraph,
+        lake: Arc<DataLake>,
+        config: &ServerConfig,
+    ) -> EpochState {
+        let inform = Informativeness::from_lake(&lake);
+        let lsei = config.use_lsei.then(|| {
+            let cfg = LshConfig::recommended();
+            let filter = TypeFilter::from_lake(&lake, graph, 0.5);
+            Lsei::build(
+                &lake,
+                TypeSigner::new(graph, filter, cfg, 42),
+                cfg,
+                LseiMode::Entity,
+            )
+        });
+        EpochState { lake, inform, lsei }
+    }
+
+    /// The (leaked) knowledge graph queries resolve against.
+    pub fn graph(&self) -> &'static KnowledgeGraph {
+        self.graph
+    }
+
+    /// The configuration this server was built with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The currently published lake epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epochs.epoch()
+    }
+
+    /// Whether a `shutdown` request was received.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Requests the accept loop to stop (idempotent).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Current server counters.
+    pub fn stats(&self) -> ServerStats {
+        let cache = self.cache.cache();
+        let cs = cache.stats();
+        ServerStats {
+            epoch: self.epochs.epoch(),
+            requests: self.requests.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed) as u64,
+            cache_entries: cache.len() as u64,
+            cache_computed: cs.computed,
+            cache_served: cs.served,
+            cache_hit_rate: cs.hit_rate(),
+            cache_evictions: cache.evictions(),
+            cache_invalidations: self.cache.invalidations(),
+        }
+    }
+
+    /// Handles one request (transport-independent; the TCP layer and tests
+    /// both come through here).
+    pub fn handle(&self, req: &Request) -> Response {
+        let resp = match req.operation() {
+            "ping" => Response {
+                status: "ok".into(),
+                epoch: Some(self.epochs.epoch()),
+                ..Response::default()
+            },
+            "stats" => Response {
+                status: "ok".into(),
+                epoch: Some(self.epochs.epoch()),
+                stats: Some(self.stats()),
+                ..Response::default()
+            },
+            "shutdown" => {
+                self.request_shutdown();
+                Response {
+                    status: "ok".into(),
+                    epoch: Some(self.epochs.epoch()),
+                    ..Response::default()
+                }
+            }
+            "search" => self.handle_search(req),
+            "add_table" => self.handle_add_table(req),
+            "remove_table" => self.handle_remove_table(req),
+            other => Response::error(format!("unknown op {other:?}")),
+        };
+        if resp.status == "error" {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            if thetis_obs::enabled() {
+                OBS_ERRORS.inc();
+            }
+        }
+        resp
+    }
+
+    fn handle_search(&self, req: &Request) -> Response {
+        // Admission control: claim an in-flight slot or shed immediately.
+        // fetch_add-then-check keeps the fast path one atomic; the guard
+        // releases the slot on every exit path, panics included.
+        if self.inflight.fetch_add(1, Ordering::AcqRel) >= self.config.max_inflight {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            if thetis_obs::enabled() {
+                OBS_SHED.inc();
+            }
+            return Response::overloaded();
+        }
+        let _slot = InflightGuard(self);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if thetis_obs::enabled() {
+            OBS_REQUESTS.inc();
+        }
+        let started = Instant::now();
+
+        let Some(spec) = req.query.as_deref() else {
+            return Response::error("search needs a \"query\" field");
+        };
+        let (query, unknown) = parse_query_spec(spec, self.graph);
+        if query.is_empty() {
+            return Response::error(format!(
+                "no query entity could be resolved against the KG (unknown: {unknown:?})"
+            ));
+        }
+        if req.debug_hold_ms.is_some() && !self.config.allow_debug {
+            return Response::error("debug_hold_ms is disabled on this server");
+        }
+
+        // Pin a coherent epoch view, then resolve the shared memo for it.
+        let state = self.state.read().unwrap_or_else(|e| e.into_inner()).clone();
+        let epoch = state.lake.epoch();
+        let cache = self.cache.for_epoch(epoch);
+        if let Some(ms) = req.debug_hold_ms.filter(|_| self.config.allow_debug) {
+            // Test hook: park *after* pinning, while holding the slot, so
+            // tests can overlap this request with mutations and saturation.
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+
+        let mut options = SearchOptions::top(req.k.map_or(self.config.k, |k| k as usize));
+        options.threads = self.config.threads;
+        if let Some(ms) = req.deadline_ms {
+            options = options.with_deadline(Duration::from_millis(ms));
+        }
+        let votes = req.votes.map_or(self.config.votes, |v| v as usize);
+
+        let engine = ThetisEngine::with_informativeness(
+            self.graph,
+            &state.lake,
+            &*self.sim,
+            state.inform.clone(),
+        );
+        let result = engine.search_prefiltered_shared(
+            &query,
+            options,
+            state.lsei.as_ref(),
+            votes,
+            cache,
+            &thetis_obs::QueryTrace::disabled(),
+        );
+
+        let ranked = result
+            .ranked
+            .iter()
+            .map(|&(tid, score)| Hit {
+                table: tid.0 as u64,
+                name: state.lake.table(tid).name.clone(),
+                score,
+                score_bits: score.to_bits(),
+            })
+            .collect();
+        let micros = started.elapsed().as_micros() as u64;
+        if thetis_obs::enabled() {
+            OBS_LATENCY.observe_nanos(micros * 1_000);
+        }
+        Response {
+            status: "ok".into(),
+            epoch: Some(result.stats.lake_epoch),
+            ranked: Some(ranked),
+            degraded: Some(result.stats.degraded),
+            degraded_reason: Some(
+                result
+                    .stats
+                    .degraded_reason
+                    .labels()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            ),
+            sigma_hit_rate: Some(result.stats.sigma_hit_rate()),
+            candidates: Some(result.stats.candidates as u64),
+            tables_scored: Some(result.stats.tables_scored as u64),
+            micros: Some(micros),
+            ..Response::default()
+        }
+    }
+
+    fn handle_add_table(&self, req: &Request) -> Response {
+        let Some(name) = req.name.as_deref() else {
+            return Response::error("add_table needs a \"name\" field");
+        };
+        let Some(csv) = req.csv.as_deref() else {
+            return Response::error("add_table needs a \"csv\" field");
+        };
+        let mut table =
+            match thetis_datalake::csv::read_csv(name, std::io::Cursor::new(csv.as_bytes())) {
+                Ok(t) => t,
+                Err(e) => return Response::error(format!("cannot parse csv: {e}")),
+            };
+        ExactLabelLinker::new(self.graph).link_table(&mut table);
+        self.commit(vec![Mutation::Add(table)])
+    }
+
+    fn handle_remove_table(&self, req: &Request) -> Response {
+        let Some(name) = req.name.as_deref() else {
+            return Response::error("remove_table needs a \"name\" field");
+        };
+        // Resolve against the current snapshot under the mutate lock so the
+        // id cannot go stale between lookup and commit.
+        let _mutating = self.mutate.lock().unwrap_or_else(|e| e.into_inner());
+        let lake = self.epochs.pin();
+        let Some(id) = lake
+            .iter()
+            .find(|&(id, t)| !lake.is_removed(id) && t.name == name)
+            .map(|(id, _)| id)
+        else {
+            return Response::error(format!("no table named {name:?} in the lake"));
+        };
+        self.commit_locked(vec![Mutation::Remove(id)])
+    }
+
+    /// Commits a mutation batch and republishes the derived state.
+    fn commit(&self, batch: Vec<Mutation>) -> Response {
+        let _mutating = self.mutate.lock().unwrap_or_else(|e| e.into_inner());
+        self.commit_locked(batch)
+    }
+
+    fn commit_locked(&self, batch: Vec<Mutation>) -> Response {
+        let epoch = self.epochs.commit(batch);
+        let state = Self::derive_state(self.graph, self.epochs.pin(), &self.config);
+        *self.state.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(state);
+        if thetis_obs::enabled() {
+            OBS_MUTATIONS.inc();
+        }
+        // The shared memo is invalidated lazily: the next search pinning
+        // the new epoch evicts it through `for_epoch`.
+        Response {
+            status: "ok".into(),
+            epoch: Some(epoch),
+            ..Response::default()
+        }
+    }
+}
+
+/// Parses a `"e1,e2;f1,f2"` spec against the KG label index, returning the
+/// query plus the mentions that resolved to nothing (the caller decides
+/// whether an entirely-unresolved query is an error).
+pub fn parse_query_spec(spec: &str, graph: &KnowledgeGraph) -> (Query, Vec<String>) {
+    let mut tuples = Vec::new();
+    let mut unknown = Vec::new();
+    for tuple_spec in spec.split(';') {
+        let mut tuple = Vec::new();
+        for mention in tuple_spec.split(',') {
+            let mention = mention.trim();
+            if mention.is_empty() {
+                continue;
+            }
+            match graph.entity_by_label(mention) {
+                Some(e) => tuple.push(e),
+                None => unknown.push(mention.to_string()),
+            }
+        }
+        if !tuple.is_empty() {
+            tuples.push(tuple);
+        }
+    }
+    (Query::new(tuples), unknown)
+}
+
+/// A server bound to its socket with the accept loop running.
+pub struct RunningServer {
+    server: Arc<Server>,
+    addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RunningServer {
+    /// The address the server actually bound (resolves `:0` ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The underlying server (stats, in-process mutation, shutdown).
+    pub fn server(&self) -> &Arc<Server> {
+        &self.server
+    }
+
+    /// Signals shutdown and waits for the accept loop to exit. Open
+    /// connections finish their current request and close on client EOF.
+    pub fn shutdown(mut self) {
+        self.server.request_shutdown();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until the accept loop exits (a `shutdown` request arrived).
+    pub fn join(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        self.server.request_shutdown();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Binds the server's configured address and starts the accept loop on a
+/// background thread. One thread per connection; each connection handles
+/// line-delimited JSON requests until EOF.
+pub fn serve(server: Arc<Server>) -> std::io::Result<RunningServer> {
+    let listener = TcpListener::bind(&server.config.addr)?;
+    let addr = listener.local_addr()?;
+    // Non-blocking accept so the loop can observe the shutdown flag
+    // without a sentinel connection.
+    listener.set_nonblocking(true)?;
+    let accept_server = Arc::clone(&server);
+    let acceptor = std::thread::Builder::new()
+        .name("thetis-serve-accept".into())
+        .spawn(move || loop {
+            if accept_server.shutdown_requested() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let conn_server = Arc::clone(&accept_server);
+                    let _ = std::thread::Builder::new()
+                        .name("thetis-serve-conn".into())
+                        .spawn(move || handle_connection(conn_server, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+        })?;
+    Ok(RunningServer {
+        server,
+        addr,
+        acceptor: Some(acceptor),
+    })
+}
+
+/// One connection: read a line, answer a line, until EOF or I/O error. A
+/// malformed line gets an `error` response instead of killing the
+/// connection — clients pipelining requests keep their line alignment.
+fn handle_connection(server: Arc<Server>, stream: TcpStream) {
+    stream.set_nonblocking(false).ok();
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = match serde_json::from_str::<Request>(&line) {
+            Ok(req) => server.handle(&req),
+            Err(e) => {
+                server.errors.fetch_add(1, Ordering::Relaxed);
+                if thetis_obs::enabled() {
+                    OBS_ERRORS.inc();
+                }
+                Response::error(format!("bad request: {e}"))
+            }
+        };
+        let json = serde_json::to_string(&resp).unwrap_or_else(|_| {
+            "{\"status\":\"error\",\"error\":\"response serialization failed\"}".into()
+        });
+        if writer
+            .write_all(json.as_bytes())
+            .and_then(|_| writer.write_all(b"\n"))
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+}

@@ -36,8 +36,12 @@ struct Args {
     save_index: Option<PathBuf>,
     cmd_add: bool,
     cmd_remove: bool,
+    cmd_serve: bool,
     csv: Option<PathBuf>,
     table_name: Option<String>,
+    addr: String,
+    max_inflight: Option<usize>,
+    cache_capacity: Option<usize>,
 }
 
 const USAGE: &str = "usage: thetis-cli --kg FILE --tables DIR --query \"A,B,...\" [options]
@@ -47,6 +51,8 @@ const USAGE: &str = "usage: thetis-cli --kg FILE --tables DIR --query \"A,B,...\
                       [--save-index FILE]         (delta-ingest one table)
        thetis-cli remove --kg FILE --tables DIR --table NAME --index FILE
                       [--save-index FILE]         (delta-tombstone one table)
+       thetis-cli serve --demo [--addr HOST:PORT] [options]
+                                                  (resident query service)
 
 options:
   --query \"e1,e2;f1,f2\"  entity tuples: ',' separates entities, ';' tuples
@@ -74,6 +80,13 @@ options:
                          to FILE (implies --lsh)
   --csv FILE             (add) the CSV file to ingest as a new table
   --table NAME           (remove) the table to tombstone
+  --addr HOST:PORT       (serve) listen address     (default 127.0.0.1:0,
+                         which picks a free port — the bound address is
+                         printed on stderr)
+  --max-inflight N       (serve) searches in flight before shedding with
+                         an \"overloaded\" response  (default 2x cores)
+  --cache-capacity N     (serve) entry budget of the shared cross-query
+                         sigma memo, 0 = unbounded  (default 1048576)
 
 the `add` and `remove` subcommands mutate the lake *incrementally*: the
 index snapshot given by --index is patched in O(table) — postings, band
@@ -81,6 +94,13 @@ buckets, and digests — instead of being rebuilt, and its epoch advances in
 lockstep with the lake. Both verify the snapshot matches the lake first
 (same epoch, same table count) and exit nonzero on a stale index. `add`
 also copies the CSV into the tables directory so later full loads see it.
+
+the `serve` subcommand loads the lake once, builds the LSEI, and then
+answers concurrent queries over TCP: one JSON request per line, one JSON
+response line back (send {\"query\":\"A,B\"} and read the ranked tables;
+{\"op\":\"stats\"} for counters, {\"op\":\"shutdown\"} to stop). Results are
+bit-identical to one-shot --lsh runs over the same inputs. A saturated
+server sheds excess searches immediately with status \"overloaded\".
 
 the `explain` subcommand always searches through the LSEI and prints, per
 top-k table: the Hungarian tuple-to-column mapping, the per-tuple sigma
@@ -110,8 +130,12 @@ fn parse_args() -> Result<Args, String> {
         save_index: None,
         cmd_add: false,
         cmd_remove: false,
+        cmd_serve: false,
         csv: None,
         table_name: None,
+        addr: "127.0.0.1:0".into(),
+        max_inflight: None,
+        cache_capacity: None,
     };
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
@@ -129,6 +153,10 @@ fn parse_args() -> Result<Args, String> {
         }
         Some("remove") => {
             args.cmd_remove = true;
+            argv.remove(0);
+        }
+        Some("serve") => {
+            args.cmd_serve = true;
             argv.remove(0);
         }
         _ => {}
@@ -227,6 +255,26 @@ fn parse_args() -> Result<Args, String> {
                 args.table_name = Some(take(&argv, i, "--table")?);
                 i += 2;
             }
+            "--addr" => {
+                args.addr = take(&argv, i, "--addr")?;
+                i += 2;
+            }
+            "--max-inflight" => {
+                args.max_inflight = Some(
+                    take(&argv, i, "--max-inflight")?
+                        .parse()
+                        .map_err(|_| "--max-inflight needs an integer".to_string())?,
+                );
+                i += 2;
+            }
+            "--cache-capacity" => {
+                args.cache_capacity = Some(
+                    take(&argv, i, "--cache-capacity")?
+                        .parse()
+                        .map_err(|_| "--cache-capacity needs an integer".to_string())?,
+                );
+                i += 2;
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -246,6 +294,14 @@ fn parse_args() -> Result<Args, String> {
         }
         if args.cmd_remove && args.table_name.is_none() {
             return Err(format!("remove needs --table NAME\n{USAGE}"));
+        }
+        return Ok(args);
+    }
+    if args.cmd_serve {
+        if !args.demo && (args.kg.is_none() || args.tables.is_none()) {
+            return Err(format!(
+                "serve needs --kg and --tables (or --demo)\n{USAGE}"
+            ));
         }
         return Ok(args);
     }
@@ -390,6 +446,9 @@ fn run() -> Result<(), String> {
     if args.cmd_add || args.cmd_remove {
         return run_delta(&args, &graph, &mut lake);
     }
+    if args.cmd_serve {
+        return run_serve(&args, graph, lake);
+    }
 
     let query = parse_query(&args.query, &graph);
     if query.is_empty() {
@@ -517,11 +576,81 @@ fn run() -> Result<(), String> {
             _ => report.render_text(),
         };
         match &args.metrics_out {
-            Some(path) => std::fs::write(path, &rendered)
-                .map_err(|e| format!("cannot write metrics to {}: {e}", path.display()))?,
+            Some(path) => write_report(path, rendered.as_bytes(), "metrics")?,
             None => eprint!("{rendered}"),
         }
     }
+    Ok(())
+}
+
+/// Writes a report file, creating missing parent directories first, and
+/// confirms the written path on stderr — tooling that points --metrics-out
+/// or --trace-out into a fresh output directory should not have to
+/// pre-create it.
+fn write_report(path: &Path, contents: &[u8], what: &str) -> Result<(), String> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create directory {}: {e}", parent.display()))?;
+    }
+    std::fs::write(path, contents)
+        .map_err(|e| format!("cannot write {what} to {}: {e}", path.display()))?;
+    eprintln!("wrote {what} to {}", path.display());
+    Ok(())
+}
+
+/// The `serve` subcommand: load the lake and build the LSEI once, then
+/// answer concurrent line-delimited JSON queries over TCP until a
+/// `{"op":"shutdown"}` request arrives. See `thetis::serve` for the
+/// protocol and the admission-control / shared-cache semantics.
+fn run_serve(args: &Args, graph: KnowledgeGraph, lake: DataLake) -> Result<(), String> {
+    let store: Option<EmbeddingStore> = if args.sim == "embeddings" {
+        eprintln!("training RDF2Vec embeddings on the KG...");
+        let config = Rdf2VecConfig {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            ..Rdf2VecConfig::default()
+        };
+        Some(Rdf2Vec::new(config).train(&graph))
+    } else {
+        None
+    };
+    let sim = match args.sim.as_str() {
+        "types" => SimKind::Types,
+        "predicates" => SimKind::Predicates,
+        "embeddings" => SimKind::Embeddings,
+        other => {
+            return Err(format!(
+                "unknown similarity {other:?} (types|predicates|embeddings)"
+            ))
+        }
+    };
+    let mut config = ServerConfig {
+        addr: args.addr.clone(),
+        votes: args.votes,
+        k: args.k,
+        sim,
+        // Test hook, deliberately not a flag: lets the e2e suite hold a
+        // request in flight to exercise saturation and epoch pinning.
+        allow_debug: std::env::var_os("THETIS_SERVE_DEBUG").is_some(),
+        ..ServerConfig::default()
+    };
+    if let Some(n) = args.max_inflight {
+        config.max_inflight = n;
+    }
+    if let Some(n) = args.cache_capacity {
+        config.cache_capacity = n;
+    }
+    eprintln!("building LSEI and informativeness weights...");
+    let server = Server::new(graph, lake, store, config);
+    let running =
+        thetis::serve::serve(server).map_err(|e| format!("cannot bind {}: {e}", args.addr))?;
+    eprintln!(
+        "serving on {} (max in-flight {}, sigma memo capacity {})",
+        running.addr(),
+        running.server().config().max_inflight,
+        running.server().config().cache_capacity,
+    );
+    running.join();
+    eprintln!("server shut down");
     Ok(())
 }
 
@@ -905,9 +1034,7 @@ fn run_explain<S: EntitySimilarity>(
         }
         print!("{}", trace.render_waterfall());
         if let Some(path) = &args.trace_out {
-            std::fs::write(path, trace.to_chrome_json())
-                .map_err(|e| format!("cannot write trace to {}: {e}", path.display()))?;
-            eprintln!("wrote Chrome trace to {}", path.display());
+            write_report(path, trace.to_chrome_json().as_bytes(), "Chrome trace")?;
         }
     } else {
         println!();

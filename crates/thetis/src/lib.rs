@@ -52,6 +52,7 @@ pub use thetis_eval as eval;
 pub use thetis_kg as kg;
 pub use thetis_lsh as lsh;
 pub use thetis_obs as obs;
+pub use thetis_serve as serve;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
@@ -77,4 +78,5 @@ pub mod prelude {
     };
     pub use thetis_lsh::lsei::{EmbeddingSigner, Lsei, LseiMode, TypeSigner};
     pub use thetis_lsh::{LshConfig, TypeFilter};
+    pub use thetis_serve::{RunningServer, Server, ServerConfig, SimKind};
 }

@@ -587,3 +587,161 @@ fn remove_tombstones_and_a_stale_index_is_rejected_with_epochs() {
     assert!(stderr.contains("epoch 4"), "lake epoch named: {stderr}");
     assert!(!stderr.contains("panicked at"), "{stderr}");
 }
+
+/// Learns the demo's suggested (resolvable) query label.
+fn suggested_demo_query() -> String {
+    let probe = cli()
+        .args(["--demo", "--query", "zzz-not-an-entity"])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&probe.stderr);
+    stderr
+        .split("Try --query \"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("demo prints a suggested query")
+        .to_string()
+}
+
+#[test]
+fn metrics_out_creates_parent_dirs_and_reports_the_path() {
+    let suggested = suggested_demo_query();
+    let dir = std::env::temp_dir().join("thetis-cli-metrics-out");
+    let _ = std::fs::remove_dir_all(&dir);
+    // Two levels of directories that do not exist yet.
+    let path = dir.join("fresh/run-1/metrics.json");
+    let out = cli()
+        .args([
+            "--demo",
+            "--query",
+            &suggested,
+            "--metrics",
+            "json",
+            "--metrics-out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(path.exists(), "metrics file written into fresh dirs");
+    assert!(
+        stderr.contains("wrote metrics to") && stderr.contains("metrics.json"),
+        "written path must be reported: {stderr}"
+    );
+    let metrics = std::fs::read_to_string(&path).unwrap();
+    assert!(metrics.contains("core.search"), "{metrics}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_out_creates_parent_dirs_and_reports_the_path() {
+    let suggested = suggested_demo_query();
+    let dir = std::env::temp_dir().join("thetis-cli-trace-out");
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("deep/er/trace.json");
+    let out = cli()
+        .args([
+            "explain",
+            &suggested,
+            "--demo",
+            "--k",
+            "1",
+            "--trace-out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(path.exists(), "trace file written into fresh dirs");
+    assert!(
+        stderr.contains("wrote Chrome trace to") && stderr.contains("trace.json"),
+        "written path must be reported: {stderr}"
+    );
+    let trace = std::fs::read_to_string(&path).unwrap();
+    assert!(trace.starts_with('['), "{trace}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_subcommand_matches_oneshot_rankings_over_tcp() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let suggested = suggested_demo_query();
+
+    // The one-shot reference ranking for the same demo lake.
+    let oneshot = cli()
+        .args(["--demo", "--query", &suggested, "--lsh", "--k", "5"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        oneshot.status.success(),
+        "{}",
+        String::from_utf8_lossy(&oneshot.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&oneshot.stdout);
+    let expected: Vec<String> = stdout
+        .lines()
+        .skip(1) // header
+        .filter_map(|l| l.split_whitespace().next())
+        .map(str::to_string)
+        .collect();
+    assert!(!expected.is_empty(), "{stdout}");
+
+    // Boot the resident server on an ephemeral port.
+    let mut child = cli()
+        .args(["serve", "--demo", "--addr", "127.0.0.1:0", "--k", "5"])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let child_err = child.stderr.take().unwrap();
+    let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+    // Keep draining stderr for the server's whole life — closing the pipe
+    // would fail its later eprintln!s.
+    std::thread::spawn(move || {
+        for line in BufReader::new(child_err).lines() {
+            let line = line.unwrap_or_default();
+            if let Some(rest) = line.strip_prefix("serving on ") {
+                let _ = addr_tx.send(rest.split_whitespace().next().unwrap_or("").to_string());
+            }
+        }
+    });
+    let addr = addr_rx
+        .recv_timeout(std::time::Duration::from_secs(120))
+        .expect("server prints its bound address");
+
+    // Ask the server the same query and compare the ranked table names.
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect to server");
+    let request = format!(
+        "{{\"query\":{}}}\n{{\"op\":\"shutdown\"}}\n",
+        serde_json::to_string(&suggested).unwrap()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    let resp: serde_json::Value = serde_json::from_str(&reply).expect("valid response JSON");
+    assert_eq!(
+        resp.get("status").and_then(|v| v.as_str()),
+        Some("ok"),
+        "{reply}"
+    );
+    let got: Vec<String> = resp
+        .get("ranked")
+        .and_then(|v| v.as_array())
+        .expect("ranked array")
+        .iter()
+        .map(|hit| {
+            hit.get("name")
+                .and_then(|v| v.as_str())
+                .expect("hit name")
+                .to_string()
+        })
+        .collect();
+    assert_eq!(got, expected, "serve ranking diverged from one-shot CLI");
+
+    // The pipelined shutdown request stops the server cleanly.
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "server exited nonzero");
+}
