@@ -19,15 +19,13 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use thetis::obs::sparkline;
 use thetis_bench::BenchReport;
 
 const USAGE: &str = "usage: bench_history [--dir DIR] [--span NAME] [--top N]
   --dir DIR    directory holding BENCH_*.json snapshots (default results)
   --span NAME  only report this span (default: all)
   --top N      keep the N spans with the largest latest self time (default 12)";
-
-/// Sparkline glyphs from empty to full.
-const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -109,6 +107,34 @@ fn main() -> ExitCode {
         );
     }
     println!();
+
+    // Within-run rolling-window trajectory, for snapshots that carry one
+    // (serve experiments sample the server's `metrics` op during load).
+    let with_windows: Vec<_> = snapshots
+        .iter()
+        .filter(|(_, r)| !r.windows.is_empty())
+        .collect();
+    if !with_windows.is_empty() {
+        println!("within-run trajectory (rolling window sampled during load):");
+        for (stem, report) in &with_windows {
+            let p99s: Vec<Option<u64>> = report.windows.iter().map(|w| w.p99_us).collect();
+            let qps: Vec<Option<u64>> = report
+                .windows
+                .iter()
+                .map(|w| Some(w.qps.round() as u64))
+                .collect();
+            let peak_qps = report.windows.iter().map(|w| w.qps).fold(0.0, f64::max);
+            let peak_p99 = report.windows.iter().filter_map(|w| w.p99_us).max();
+            println!(
+                "  {stem:<22} {:>3} sample(s)  peak qps {peak_qps:>7.1}  peak p99 {:>8}",
+                report.windows.len(),
+                peak_p99.map_or_else(|| "-".into(), |v| format!("{v}us")),
+            );
+            println!("  {:<22} qps {}", "", sparkline(&qps));
+            println!("  {:<22} p99 {}", "", sparkline(&p99s));
+        }
+        println!();
+    }
 
     // Span-level series: self time per snapshot, newest-snapshot-ranked.
     let mut series: BTreeMap<String, Vec<Option<u64>>> = BTreeMap::new();
@@ -197,23 +223,6 @@ fn load_dir(dir: &Path) -> Result<Vec<(String, BenchReport)>, String> {
         }
     }
     Ok(out)
-}
-
-/// Renders a span's series as one sparkline glyph per snapshot, scaled to
-/// the series maximum; gaps (span absent from a snapshot) render as `·`.
-fn sparkline(points: &[Option<u64>]) -> String {
-    let max = points.iter().copied().flatten().max().unwrap_or(0);
-    points
-        .iter()
-        .map(|p| match p {
-            None => '·',
-            Some(_) if max == 0 => SPARKS[0],
-            Some(v) => {
-                let idx = (*v as f64 / max as f64 * (SPARKS.len() - 1) as f64).round() as usize;
-                SPARKS[idx.min(SPARKS.len() - 1)]
-            }
-        })
-        .collect()
 }
 
 fn die(msg: &str) -> ! {

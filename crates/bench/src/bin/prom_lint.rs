@@ -1,0 +1,50 @@
+//! `prom_lint` — validates a Prometheus text-exposition file.
+//!
+//! ```sh
+//! prom_lint metrics_snapshot.prom [more.prom ...]
+//! ```
+//!
+//! Runs [`thetis::obs::lint_prometheus_text`] over each file: every sample
+//! line must parse, histogram `_count`/`_sum`/`+Inf` invariants must hold,
+//! and `# TYPE` declarations must precede their series. Prints one line per
+//! violation and exits nonzero if any file fails — CI points it at the
+//! `.prom` file the resident server's metrics writer leaves behind.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: prom_lint FILE [FILE ...]");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in &args {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("prom_lint: {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let errors = thetis::obs::lint_prometheus_text(&text);
+        if errors.is_empty() {
+            let samples = text
+                .lines()
+                .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+                .count();
+            println!("prom_lint: {path}: ok ({samples} sample(s))");
+        } else {
+            failed = true;
+            for err in &errors {
+                eprintln!("prom_lint: {path}: {err}");
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

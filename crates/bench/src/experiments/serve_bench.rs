@@ -141,6 +141,30 @@ pub fn run(ctx: &Ctx) -> String {
     }
 
     let start = Instant::now();
+    // Sample the server's rolling window while the load runs, so the
+    // report carries the within-run latency trajectory next to the
+    // end-of-run percentiles.
+    let sampling = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+    let sampler = {
+        let addr = addr.clone();
+        let sampling = std::sync::Arc::clone(&sampling);
+        std::thread::spawn(move || {
+            let mut points = Vec::new();
+            while sampling.load(std::sync::atomic::Ordering::Relaxed) {
+                if let Some(snap) = query_metrics(&addr) {
+                    points.push(crate::telemetry::WindowPoint {
+                        t_ms: start.elapsed().as_millis() as u64,
+                        qps: snap.qps,
+                        p50_us: snap.p50_us,
+                        p99_us: snap.p99_us,
+                        window_requests: snap.window_requests,
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(250));
+            }
+            points
+        })
+    };
     let outcomes: Vec<Option<Outcome>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..CLIENTS)
             .map(|client| {
@@ -193,6 +217,29 @@ pub fn run(ctx: &Ctx) -> String {
         all
     });
     let wall = start.elapsed().as_secs_f64();
+    sampling.store(false, std::sync::atomic::Ordering::Relaxed);
+    let window_points = sampler.join().expect("sampler thread");
+    let window_samples = window_points.len();
+    crate::telemetry::record_window_series(window_points);
+
+    // A final pre-expired-deadline probe: the server must degrade it
+    // gracefully (partial ranking, reasons named) rather than erroring,
+    // and must hand back the query id its slow-query log files it under.
+    let probe = {
+        let mut req = Request::search(&specs[0]);
+        req.deadline_ms = Some(0);
+        send_one(&addr, &req)
+    };
+    if let Some(probe) = &probe {
+        assert!(
+            probe.is_ok() && probe.degraded == Some(true),
+            "deadline probe must degrade, not fail: {probe:?}"
+        );
+        assert!(
+            probe.query_id.is_some(),
+            "searches must answer with a query id: {probe:?}"
+        );
+    }
 
     // Server-side counters (works against both targets).
     let stats = query_stats(&addr);
@@ -256,7 +303,7 @@ pub fn run(ctx: &Ctx) -> String {
         server_cache_invalidations: stats.as_ref().map_or(0, |s| s.cache_invalidations),
     };
     let line = format!(
-        "serve: {}/{} ok ({} shed), {:.0} req/s achieved, p50 {}us p99 {}us, warm sigma hit rate {:.2}",
+        "serve: {}/{} ok ({} shed), {:.0} req/s achieved, p50 {}us p99 {}us, warm sigma hit rate {:.2}, {window_samples} window sample(s)",
         summary.ok,
         summary.requests,
         summary.overloaded,
@@ -296,4 +343,26 @@ fn query_stats(addr: &str) -> Option<thetis::serve::ServerStats> {
     let mut reply = String::new();
     BufReader::new(stream).read_line(&mut reply).ok()?;
     serde_json::from_str::<Response>(&reply).ok()?.stats
+}
+
+/// Fetches the server's rolling-window metrics snapshot, best-effort.
+fn query_metrics(addr: &str) -> Option<thetis::serve::MetricsSnapshot> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let mut writer = stream.try_clone().ok()?;
+    writer.write_all(b"{\"op\":\"metrics\"}\n").ok()?;
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).ok()?;
+    serde_json::from_str::<Response>(&reply).ok()?.metrics
+}
+
+/// One request over a fresh connection, best-effort.
+fn send_one(addr: &str, req: &Request) -> Option<Response> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let mut writer = stream.try_clone().ok()?;
+    let mut line = serde_json::to_string(req).ok()?;
+    line.push('\n');
+    writer.write_all(line.as_bytes()).ok()?;
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).ok()?;
+    serde_json::from_str(&reply).ok()
 }

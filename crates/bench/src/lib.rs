@@ -26,4 +26,4 @@ pub mod methods;
 pub mod telemetry;
 
 pub use context::{BenchData, Ctx};
-pub use telemetry::{write_bench_report, BenchReport};
+pub use telemetry::{record_window_series, write_bench_report, BenchReport, WindowPoint};

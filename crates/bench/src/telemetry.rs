@@ -63,6 +63,33 @@ impl HistogramRow {
     }
 }
 
+/// One within-run sample of the server's rolling-window metrics, taken
+/// while the benchmark load was running (serve experiments only).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WindowPoint {
+    /// Milliseconds since the benchmark's load started.
+    pub t_ms: u64,
+    /// Windowed request rate at the sample.
+    pub qps: f64,
+    /// Windowed p50 latency, microseconds (absent while the window is
+    /// empty).
+    pub p50_us: Option<u64>,
+    /// Windowed p99 latency, microseconds.
+    pub p99_us: Option<u64>,
+    /// Requests inside the window at the sample.
+    pub window_requests: u64,
+}
+
+/// Experiments that sampled a server's rolling window during their run
+/// park the series here for [`BenchReport::capture`] to pick up — the
+/// capture happens at process exit, far from the experiment code.
+static WINDOW_SERIES: std::sync::Mutex<Vec<WindowPoint>> = std::sync::Mutex::new(Vec::new());
+
+/// Hands a within-run window series to the next [`BenchReport::capture`].
+pub fn record_window_series(points: Vec<WindowPoint>) {
+    *WINDOW_SERIES.lock().unwrap_or_else(|e| e.into_inner()) = points;
+}
+
 /// The `BENCH_<experiment>.json` document.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -80,6 +107,10 @@ pub struct BenchReport {
     pub spans: Vec<SpanRow>,
     /// All latency histograms, name-ordered.
     pub histograms: Vec<HistogramRow>,
+    /// Within-run rolling-window samples (serve experiments; empty
+    /// elsewhere, and absent from older snapshots).
+    #[serde(default)]
+    pub windows: Vec<WindowPoint>,
 }
 
 impl BenchReport {
@@ -120,6 +151,7 @@ impl BenchReport {
                     buckets: h.buckets.clone(),
                 })
                 .collect(),
+            windows: std::mem::take(&mut *WINDOW_SERIES.lock().unwrap_or_else(|e| e.into_inner())),
         }
     }
 
@@ -196,6 +228,13 @@ mod tests {
                 count: 12,
                 sum_ns: 60_000_000,
                 buckets: vec![0, 0, 0, 0, 12, 0, 0, 0, 0],
+            }],
+            windows: vec![WindowPoint {
+                t_ms: 500,
+                qps: 20.0,
+                p50_us: Some(900),
+                p99_us: Some(4_500),
+                window_requests: 10,
             }],
         };
         let json = serde_json::to_string(&report).unwrap();

@@ -30,6 +30,7 @@ fn write_report(tag: &str, wall_seconds: f64) -> PathBuf {
         counters: Vec::new(),
         spans: Vec::new(),
         histograms: Vec::new(),
+        windows: Vec::new(),
     };
     let path = temp_path(tag);
     std::fs::write(&path, serde_json::to_string(&report).unwrap()).unwrap();

@@ -182,8 +182,9 @@ struct StealReport {
 /// many items it processed (for utilization accounting). When `deadline`
 /// is set, every worker re-checks the clock before claiming a block and
 /// stops cooperatively once it has passed — block claiming is the
-/// cancellation granularity, so an in-flight block always completes. An
-/// active trace receives one `sched.steal` event per claimed block, one
+/// cancellation granularity, so an in-flight block always completes. A
+/// *verbose* trace receives one `sched.steal` event per claimed block
+/// (summary traces skip the per-block stream); every active trace gets one
 /// `sched.drain` event per worker (blocks, items, busy nanos), and one
 /// `sched.deadline` event when the budget expires; the same utilization
 /// lands on the `core.sched_*` / `core.worker_busy` obs series.
@@ -237,7 +238,7 @@ where
             }
             let end = (start + block).min(n);
             blocks += 1;
-            if trace.is_active() {
+            if trace.is_verbose() {
                 trace.record(
                     "sched.steal",
                     thetis_obs::trace_attrs![
@@ -455,7 +456,7 @@ fn score_digest(
         let agg_start = Instant::now();
         timings.mapping_nanos += agg_start.duration_since(map_start).as_nanos() as u64;
         timings.mapping_count += 1;
-        if trace.is_active() {
+        if trace.is_verbose() {
             trace.record(
                 "hungarian.map",
                 thetis_obs::trace_attrs![
@@ -469,7 +470,7 @@ fn score_digest(
         let (tuple_score, xs) = crate::semrel::tuple_table_score_digest_detailed(
             tuple, digest, &mapping, &sigma, inform, agg,
         );
-        if trace.is_active() {
+        if trace.is_verbose() {
             trace.record(
                 "semrel.tuple",
                 thetis_obs::trace_attrs![
@@ -697,7 +698,7 @@ pub fn score_candidates_pruned(
     )
 }
 
-/// [`score_candidates_pruned`] with a flight recorder attached: an active
+/// [`score_candidates_pruned`] with a flight recorder attached: a verbose
 /// trace additionally receives one `prune.skip` event per pruned table (its
 /// upper bound and the floor that killed it) and a `prune.floor` event each
 /// time the shared floor rises (the floor trajectory — when pruning became
@@ -840,13 +841,15 @@ pub fn score_candidates_pruned_traced(
                 let floor = f64::from_bits(floor_bits.load(Ordering::Relaxed));
                 if bound < floor {
                     acc.1.tables_pruned += 1;
-                    trace.record_with("prune.skip", || {
-                        thetis_obs::trace_attrs![
-                            ("table", tid.0),
-                            ("bound", bound),
-                            ("floor", floor),
-                        ]
-                    });
+                    if trace.is_verbose() {
+                        trace.record_with("prune.skip", || {
+                            thetis_obs::trace_attrs![
+                                ("table", tid.0),
+                                ("bound", bound),
+                                ("floor", floor),
+                            ]
+                        });
+                    }
                     continue;
                 }
                 if let Some(s) =

@@ -699,7 +699,7 @@ impl<S: EntitySigner> Lsei<S> {
                 let _sign = OBS_QUERY_SIGN.start();
                 self.signer.sign_entity(e)
             };
-            if trace.is_active() {
+            if trace.is_verbose() {
                 let (bag, bands) = self.table_bag_banded(&sig);
                 raw += bag.len();
                 let admitted = {

@@ -262,6 +262,20 @@ pub fn fired(name: &str) -> u64 {
         .map_or(0, |pt| pt.fired.load(Ordering::Relaxed))
 }
 
+/// Total fires across every failpoint of the armed plan (0 when
+/// disarmed). Diff two readings to know whether any fault fired between
+/// them — works whether the plan was armed from the environment or
+/// in-process with [`arm`].
+pub fn total_fired() -> u64 {
+    let guard = PLAN.read().unwrap_or_else(|e| e.into_inner());
+    guard.as_ref().map_or(0, |p| {
+        p.points
+            .iter()
+            .map(|pt| pt.fired.load(Ordering::Relaxed))
+            .sum()
+    })
+}
+
 /// How many times the failpoint `name` has been consulted since armed.
 pub fn hits(name: &str) -> u64 {
     let guard = PLAN.read().unwrap_or_else(|e| e.into_inner());

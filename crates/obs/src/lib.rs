@@ -47,17 +47,27 @@ mod counter;
 pub mod faults;
 mod histogram;
 mod registry;
-mod report;
+pub mod report;
+pub mod retain;
+pub mod rolling;
 mod span;
 pub mod trace;
 
 pub use counter::Counter;
 pub use histogram::{Histogram, HISTOGRAM_BOUNDS_NS};
-pub use report::{CounterSnapshot, HistogramSnapshot, Report, SpanSnapshot};
+pub use report::{
+    lint_prometheus_text, sparkline, CounterSnapshot, HistogramSnapshot, Report, SpanSnapshot,
+    SPARKS,
+};
+pub use retain::{read_slowlog, PromotionPolicy, RetainedTrace, TraceRetainer};
+pub use rolling::{
+    Exemplar, RollingCounter, RollingHistogram, WindowClock, WindowedHistogram,
+    DEFAULT_SLOT_DURATION, DEFAULT_WINDOW_SLOTS,
+};
 pub use span::{Span, SpanGuard};
 pub use trace::{
-    parse_trace_json, set_trace_sampling, should_trace, trace_sampling, AttrValue, ParsedTrace,
-    QueryTrace, TraceEvent, TracePhase,
+    parse_trace_json, render_waterfall_events, set_trace_sampling, should_trace, trace_sampling,
+    AttrValue, ParsedTrace, QueryTrace, TraceEvent, TracePhase,
 };
 
 use std::sync::atomic::{AtomicBool, Ordering};

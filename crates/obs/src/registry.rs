@@ -122,15 +122,24 @@ impl Registry {
             histograms: m
                 .histograms
                 .iter()
-                .map(|(&name, cell)| HistogramSnapshot {
-                    name,
-                    buckets: cell
+                .map(|(&name, cell)| {
+                    let buckets: Vec<u64> = cell
                         .buckets
                         .iter()
                         .map(|b| b.load(Ordering::Relaxed))
-                        .collect(),
-                    sum_ns: cell.sum_ns.load(Ordering::Relaxed),
-                    count: cell.count.load(Ordering::Relaxed),
+                        .collect();
+                    // Derive the count from the bins just read rather
+                    // than loading the separate count atomic: a snapshot
+                    // taken mid-observation must still satisfy
+                    // `count == Σ buckets` (the Prometheus lint checks
+                    // exactly this on every render).
+                    let count = buckets.iter().sum();
+                    HistogramSnapshot {
+                        name,
+                        buckets,
+                        sum_ns: cell.sum_ns.load(Ordering::Relaxed),
+                        count,
+                    }
                 })
                 .collect(),
         }

@@ -129,9 +129,13 @@ impl Report {
     }
 
     /// Renders the Prometheus text exposition format.
+    ///
+    /// Every emitted family carries a `# HELP` and `# TYPE` header and the
+    /// output always passes [`lint_prometheus_text`].
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         if !self.counters.is_empty() {
+            out.push_str("# HELP thetis_counter_total Monotonic event counters, one series per name label.\n");
             out.push_str("# TYPE thetis_counter_total counter\n");
             for c in &self.counters {
                 let _ = writeln!(
@@ -143,27 +147,42 @@ impl Report {
             }
         }
         if !self.spans.is_empty() {
+            // One family per span aspect, each with its own headers (mixing
+            // three sample names under a single TYPE line is a format
+            // violation the lint would flag).
+            out.push_str("# HELP thetis_span_nanoseconds_total Wall time per span including nested child spans.\n");
             out.push_str("# TYPE thetis_span_nanoseconds_total counter\n");
             for s in &self.spans {
-                let name = escape_label(s.name);
                 let _ = writeln!(
                     out,
-                    "thetis_span_nanoseconds_total{{span=\"{name}\"}} {}",
+                    "thetis_span_nanoseconds_total{{span=\"{}\"}} {}",
+                    escape_label(s.name),
                     s.total_ns
                 );
+            }
+            out.push_str("# HELP thetis_span_self_nanoseconds_total Wall time per span excluding nested child spans.\n");
+            out.push_str("# TYPE thetis_span_self_nanoseconds_total counter\n");
+            for s in &self.spans {
                 let _ = writeln!(
                     out,
-                    "thetis_span_self_nanoseconds_total{{span=\"{name}\"}} {}",
+                    "thetis_span_self_nanoseconds_total{{span=\"{}\"}} {}",
+                    escape_label(s.name),
                     s.self_ns
                 );
+            }
+            out.push_str("# HELP thetis_span_entries_total Recorded entries per span.\n");
+            out.push_str("# TYPE thetis_span_entries_total counter\n");
+            for s in &self.spans {
                 let _ = writeln!(
                     out,
-                    "thetis_span_entries_total{{span=\"{name}\"}} {}",
+                    "thetis_span_entries_total{{span=\"{}\"}} {}",
+                    escape_label(s.name),
                     s.count
                 );
             }
         }
         if !self.histograms.is_empty() {
+            out.push_str("# HELP thetis_latency_seconds Latency distributions, one histogram per name label.\n");
             out.push_str("# TYPE thetis_latency_seconds histogram\n");
             for h in &self.histograms {
                 let name = escape_label(h.name);
@@ -275,6 +294,235 @@ fn escape_json(name: &str) -> String {
     out
 }
 
+/// The eight-level block ramp shared by every sparkline in the workspace
+/// (bench history trends, the `thetis-cli top` dashboard).
+pub const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `points` as a unicode sparkline, one character per point,
+/// scaled against the maximum; `None` (no data) renders as `·`.
+pub fn sparkline(points: &[Option<u64>]) -> String {
+    let max = points.iter().copied().flatten().max().unwrap_or(0);
+    points
+        .iter()
+        .map(|p| match p {
+            None => '·',
+            Some(_) if max == 0 => SPARKS[0],
+            Some(v) => {
+                let idx = (*v as f64 / max as f64 * (SPARKS.len() - 1) as f64).round() as usize;
+                SPARKS[idx.min(SPARKS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Lints a Prometheus text exposition document.
+///
+/// Checks the invariants scrapers actually depend on and returns every
+/// violation found (empty vec = clean):
+///
+/// * each line is a comment, blank, or `name{labels} value` with a legal
+///   metric name and a numeric value;
+/// * at most one `# HELP` and one `# TYPE` per family, and the `# TYPE`
+///   precedes the family's first sample;
+/// * histogram bucket `le` bounds are strictly increasing per series and
+///   end at `+Inf`, cumulative bucket values never decrease, and the
+///   `_count` sample equals the `+Inf` bucket.
+pub fn lint_prometheus_text(text: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut helped: Vec<String> = Vec::new();
+    let mut typed: Vec<(String, String)> = Vec::new();
+    let mut sampled: Vec<String> = Vec::new();
+    // (family, series key without le) -> [(le, value)] in document order,
+    // plus observed _count values for the histogram cross-check.
+    let mut buckets: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    let mut counts: Vec<(String, f64)> = Vec::new();
+
+    let name_ok = |n: &str| {
+        !n.is_empty()
+            && n.chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && n.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    };
+    // The family a sample belongs to: its name, with the histogram suffix
+    // stripped when the base family was declared a histogram.
+    let family_of = |sample: &str, typed: &[(String, String)]| -> String {
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(base) = sample.strip_suffix(suffix) {
+                if typed.iter().any(|(n, t)| n == base && t == "histogram") {
+                    return base.to_string();
+                }
+            }
+        }
+        sample.to_string()
+    };
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let Some(name) = rest.split_whitespace().next() else {
+                errors.push(format!("line {lineno}: HELP without a metric name"));
+                continue;
+            };
+            if helped.iter().any(|h| h == name) {
+                errors.push(format!("line {lineno}: duplicate HELP for {name}"));
+            }
+            helped.push(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+                errors.push(format!("line {lineno}: malformed TYPE line"));
+                continue;
+            };
+            if typed.iter().any(|(n, _)| n == name) {
+                errors.push(format!("line {lineno}: duplicate TYPE for {name}"));
+            }
+            if sampled
+                .iter()
+                .any(|s| family_of(s, &typed) == name || s == name)
+            {
+                errors.push(format!(
+                    "line {lineno}: TYPE for {name} after its first sample"
+                ));
+            }
+            typed.push((name.to_string(), kind.to_string()));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        // Sample line: name, optional {labels}, value.
+        let (name_and_labels, value) = match line.rsplit_once(' ') {
+            Some(split) => split,
+            None => {
+                errors.push(format!("line {lineno}: no value: {line:?}"));
+                continue;
+            }
+        };
+        let value: f64 = match value.parse() {
+            Ok(v) => v,
+            Err(_) if value == "+Inf" => f64::INFINITY,
+            Err(_) => {
+                errors.push(format!("line {lineno}: unparseable value {value:?}"));
+                continue;
+            }
+        };
+        let (name, labels) = match name_and_labels.split_once('{') {
+            Some((n, rest)) => match rest.strip_suffix('}') {
+                Some(labels) => (n, labels),
+                None => {
+                    errors.push(format!("line {lineno}: unterminated label set"));
+                    continue;
+                }
+            },
+            None => (name_and_labels, ""),
+        };
+        if !name_ok(name) {
+            errors.push(format!("line {lineno}: illegal metric name {name:?}"));
+            continue;
+        }
+        sampled.push(name.to_string());
+        if name.ends_with("_bucket") {
+            // Split out the le label; the remaining labels identify the series.
+            let mut le: Option<f64> = None;
+            let mut series = Vec::new();
+            for part in split_labels(labels) {
+                if let Some(v) = part.strip_prefix("le=\"").and_then(|v| v.strip_suffix('"')) {
+                    le = match v {
+                        "+Inf" => Some(f64::INFINITY),
+                        v => v.parse().ok(),
+                    };
+                    if le.is_none() {
+                        errors.push(format!("line {lineno}: unparseable le bound {v:?}"));
+                    }
+                } else {
+                    series.push(part);
+                }
+            }
+            let Some(le) = le else {
+                errors.push(format!("line {lineno}: bucket sample without le label"));
+                continue;
+            };
+            let key = format!("{name}|{}", series.join(","));
+            match buckets.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, rows)) => rows.push((le, value)),
+                None => buckets.push((key, vec![(le, value)])),
+            }
+        } else if name.ends_with("_count") {
+            let series: Vec<&str> = split_labels(labels);
+            counts.push((
+                format!("{}|{}", name.trim_end_matches("_count"), series.join(",")),
+                value,
+            ));
+        }
+    }
+
+    for (key, rows) in &buckets {
+        let pretty = key.replace('|', "{") + "}";
+        for pair in rows.windows(2) {
+            if pair[1].0 <= pair[0].0 {
+                errors.push(format!(
+                    "{pretty}: le bounds not strictly increasing ({} then {})",
+                    pair[0].0, pair[1].0
+                ));
+            }
+            if pair[1].1 < pair[0].1 {
+                errors.push(format!(
+                    "{pretty}: cumulative bucket count decreases at le={}",
+                    pair[1].0
+                ));
+            }
+        }
+        match rows.last() {
+            Some(&(le, inf_value)) if le.is_infinite() => {
+                let count_key = key.replacen("_bucket|", "|", 1);
+                if let Some((_, count)) = counts.iter().find(|(k, _)| *k == count_key) {
+                    if *count != inf_value {
+                        errors.push(format!(
+                            "{pretty}: _count {count} != +Inf bucket {inf_value}"
+                        ));
+                    }
+                }
+            }
+            _ => errors.push(format!("{pretty}: bucket series does not end at +Inf")),
+        }
+    }
+    errors
+}
+
+/// Splits a Prometheus label body on commas that sit outside quotes.
+fn split_labels(labels: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth_quote = false;
+    let mut start = 0;
+    let bytes = labels.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' if i == 0 || bytes[i - 1] != b'\\' => depth_quote = !depth_quote,
+            b',' if !depth_quote => {
+                if start < i {
+                    out.push(&labels[start..i]);
+                }
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if start < labels.len() {
+        out.push(&labels[start..]);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,6 +595,100 @@ mod tests {
         overflow[8] = 10;
         let h = histogram(overflow);
         assert_eq!(h.percentile(0.99), Some(10_000_000_000));
+    }
+
+    #[test]
+    fn rendered_text_passes_the_lint() {
+        let report = Report {
+            counters: vec![CounterSnapshot {
+                name: "core.searches",
+                value: 3,
+            }],
+            spans: vec![SpanSnapshot {
+                name: "lsh.build",
+                total_ns: 10,
+                self_ns: 8,
+                count: 2,
+            }],
+            histograms: vec![HistogramSnapshot {
+                name: "core.search_latency",
+                buckets: vec![1, 0, 2, 0, 0, 0, 0, 0, 1],
+                sum_ns: 99,
+                count: 4,
+            }],
+        };
+        let text = report.render_text();
+        let errors = lint_prometheus_text(&text);
+        assert!(errors.is_empty(), "lint found: {errors:?}");
+        assert!(text.contains("# HELP thetis_latency_seconds "));
+        assert!(text.contains("# TYPE thetis_span_entries_total counter"));
+    }
+
+    #[test]
+    fn lint_catches_real_violations() {
+        // Duplicate TYPE.
+        let errs = lint_prometheus_text("# TYPE a counter\n# TYPE a counter\na 1\n");
+        assert!(
+            errs.iter().any(|e| e.contains("duplicate TYPE")),
+            "{errs:?}"
+        );
+        // TYPE after a sample of the family.
+        let errs = lint_prometheus_text("a 1\n# TYPE a counter\n");
+        assert!(
+            errs.iter().any(|e| e.contains("after its first sample")),
+            "{errs:?}"
+        );
+        // Unparseable value and illegal name.
+        assert!(!lint_prometheus_text("a banana\n").is_empty());
+        assert!(!lint_prometheus_text("9bad{x=\"1\"} 2\n").is_empty());
+        // Non-monotone le bounds.
+        let errs = lint_prometheus_text(concat!(
+            "# TYPE h histogram\n",
+            "h_bucket{le=\"1\"} 1\n",
+            "h_bucket{le=\"0.5\"} 2\n",
+            "h_bucket{le=\"+Inf\"} 2\n",
+            "h_count 2\n",
+        ));
+        assert!(
+            errs.iter().any(|e| e.contains("not strictly increasing")),
+            "{errs:?}"
+        );
+        // Decreasing cumulative counts.
+        let errs = lint_prometheus_text(concat!(
+            "# TYPE h histogram\n",
+            "h_bucket{le=\"1\"} 5\n",
+            "h_bucket{le=\"2\"} 3\n",
+            "h_bucket{le=\"+Inf\"} 5\n",
+            "h_count 5\n",
+        ));
+        assert!(errs.iter().any(|e| e.contains("decreases")), "{errs:?}");
+        // Missing +Inf terminator.
+        let errs = lint_prometheus_text("# TYPE h histogram\nh_bucket{le=\"1\"} 1\n");
+        assert!(
+            errs.iter().any(|e| e.contains("does not end at +Inf")),
+            "{errs:?}"
+        );
+        // _count disagreeing with the +Inf bucket.
+        let errs = lint_prometheus_text(concat!(
+            "# TYPE h histogram\n",
+            "h_bucket{le=\"1\"} 1\n",
+            "h_bucket{le=\"+Inf\"} 4\n",
+            "h_count 9\n",
+        ));
+        assert!(
+            errs.iter().any(|e| e.contains("!= +Inf bucket")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn sparkline_scales_and_marks_gaps() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[None, Some(0)]), "·▁");
+        let line = sparkline(&[Some(0), Some(50), Some(100), None]);
+        assert_eq!(line.chars().count(), 4);
+        assert!(line.ends_with('·'));
+        assert!(line.contains('█'), "max maps to the full block: {line}");
     }
 
     #[test]

@@ -1,0 +1,522 @@
+//! Tail-sampling trace retention: keep every query's trace for a while,
+//! persist the ones that turned out to matter.
+//!
+//! Head sampling ([`set_trace_sampling`](crate::set_trace_sampling), PR 3)
+//! decides *before* a query runs whether to trace it — which by
+//! construction misses exactly the rare slow or degraded request an
+//! operator needs to see. The [`TraceRetainer`] inverts the selection:
+//! the server records a lightweight summary trace for **every** request
+//! into a bounded in-memory reservoir, and *after* the request finishes —
+//! when its latency, degradation rungs, and fault hits are known — a
+//! [`PromotionPolicy`] decides whether the trace is also appended to a
+//! persistent slow-query log (JSONL, one self-contained line per trace,
+//! written with a single `write_all` on an append-mode file so concurrent
+//! writers never interleave).
+//!
+//! A promoted line round-trips through [`RetainedTrace::parse_json_line`]
+//! using the same hand-rolled grammar as the canonical trace JSON, so the
+//! CLI can pretty-print a day-old slowlog with the exact waterfall
+//! renderer used for live traces — no JSON dependency, no schema drift.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::trace::{
+    escape_json, render_attr, render_waterfall_events, AttrValue, Parser, TraceEvent,
+};
+
+/// A finished query's trace plus the request-level facts the promotion
+/// decision was made from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetainedTrace {
+    /// The query id (the same id the server returns to the client).
+    pub query_id: u64,
+    /// The protocol operation (`"search"`, ...).
+    pub op: String,
+    /// End-to-end server-side latency of the request.
+    pub latency_ns: u64,
+    /// Lake epoch the request was pinned to.
+    pub lake_epoch: u64,
+    /// Degradation rungs that fired (`"deadline"`, `"worker_panic"`,
+    /// `"lsei_fallback"`); empty for a healthy request.
+    pub reasons: Vec<String>,
+    /// Why the trace was promoted to the slow-query log (`"latency"`,
+    /// `"degraded"`, `"fault"`), or `None` if it only lives in the
+    /// in-memory reservoir.
+    pub promoted_by: Option<String>,
+    /// The recorded trace events, time-ordered.
+    pub events: Vec<TraceEvent>,
+}
+
+impl RetainedTrace {
+    /// One self-contained JSONL line (no interior newlines).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"query_id\": {}, \"op\": \"{}\", \"latency_ns\": {}, \"lake_epoch\": {}, \"reasons\": [",
+            self.query_id,
+            escape_json(&self.op),
+            self.latency_ns,
+            self.lake_epoch
+        );
+        for (i, r) in self.reasons.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(out, "{sep}\"{}\"", escape_json(r));
+        }
+        out.push(']');
+        if let Some(by) = &self.promoted_by {
+            let _ = write!(out, ", \"promoted_by\": \"{}\"", escape_json(by));
+        }
+        out.push_str(", \"events\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(
+                out,
+                "{sep}{{\"t_ns\": {}, \"dur_ns\": {}, \"name\": \"{}\", \"attrs\": {{",
+                e.t_ns,
+                e.dur_ns,
+                escape_json(&e.name)
+            );
+            for (j, (k, v)) in e.attrs.iter().enumerate() {
+                let sep = if j == 0 { "" } else { ", " };
+                let _ = write!(out, "{sep}\"{}\": {}", escape_json(k), render_attr(v));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses one slowlog line back (the inverse of
+    /// [`RetainedTrace::to_json_line`]).
+    pub fn parse_json_line(line: &str) -> Result<Self, String> {
+        let mut p = Parser::new(line);
+        p.skip_ws();
+        p.expect(b'{')?;
+        let mut trace = RetainedTrace {
+            query_id: 0,
+            op: String::new(),
+            latency_ns: 0,
+            lake_epoch: 0,
+            reasons: Vec::new(),
+            promoted_by: None,
+            events: Vec::new(),
+        };
+        loop {
+            p.skip_ws();
+            if p.eat(b'}') {
+                break;
+            }
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let unsigned = |v: AttrValue, key: &str| match v {
+                AttrValue::U64(v) => Ok(v),
+                other => Err(format!("{key} is not unsigned: {other:?}")),
+            };
+            match key.as_str() {
+                "query_id" => trace.query_id = unsigned(p.number()?, "query_id")?,
+                "latency_ns" => trace.latency_ns = unsigned(p.number()?, "latency_ns")?,
+                "lake_epoch" => trace.lake_epoch = unsigned(p.number()?, "lake_epoch")?,
+                "op" => trace.op = p.string()?,
+                "promoted_by" => trace.promoted_by = Some(p.string()?),
+                "reasons" => {
+                    p.expect(b'[')?;
+                    loop {
+                        p.skip_ws();
+                        if p.eat(b']') {
+                            break;
+                        }
+                        trace.reasons.push(p.string()?);
+                        p.skip_ws();
+                        if !p.eat(b',') {
+                            p.skip_ws();
+                            p.expect(b']')?;
+                            break;
+                        }
+                    }
+                }
+                "events" => {
+                    p.expect(b'[')?;
+                    loop {
+                        p.skip_ws();
+                        if p.eat(b']') {
+                            break;
+                        }
+                        trace.events.push(p.event()?);
+                        p.skip_ws();
+                        if !p.eat(b',') {
+                            p.skip_ws();
+                            p.expect(b']')?;
+                            break;
+                        }
+                    }
+                }
+                other => return Err(format!("unexpected slowlog key {other:?}")),
+            }
+            p.skip_ws();
+            if !p.eat(b',') {
+                p.skip_ws();
+                p.expect(b'}')?;
+                break;
+            }
+        }
+        Ok(trace)
+    }
+
+    /// A human-readable rendering: a one-line header (op, latency, epoch,
+    /// reasons, promotion cause) above the standard trace waterfall.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{} query {:#018x} — {:.3} ms, epoch {}",
+            self.op,
+            self.query_id,
+            self.latency_ns as f64 / 1e6,
+            self.lake_epoch
+        );
+        if !self.reasons.is_empty() {
+            let _ = write!(out, ", degraded: {}", self.reasons.join("+"));
+        }
+        if let Some(by) = &self.promoted_by {
+            let _ = write!(out, " [promoted: {by}]");
+        }
+        out.push('\n');
+        out.push_str(&render_waterfall_events(self.query_id, &self.events));
+        out
+    }
+}
+
+/// When a finished request's trace escalates from the in-memory reservoir
+/// to the persistent slow-query log.
+///
+/// The latency rung is *relative*: "slow" means slow against the current
+/// rolling-window p99 (see [`crate::rolling`]), not against a fixed
+/// threshold an operator would have to retune per corpus. The window must
+/// hold at least `min_window_count` observations before the relative rung
+/// can fire, so the first requests after boot don't all promote against a
+/// p99 estimated from nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct PromotionPolicy {
+    /// Promote when latency exceeds `windowed p99 × p99_factor`.
+    pub p99_factor: f64,
+    /// Minimum windowed observation count before the latency rung arms.
+    pub min_window_count: u64,
+    /// Absolute floor: the latency rung never fires below this, however
+    /// tight the windowed p99 is (suppresses promotion storms on a corpus
+    /// where every request takes microseconds).
+    pub floor_ns: u64,
+}
+
+impl Default for PromotionPolicy {
+    fn default() -> Self {
+        Self {
+            p99_factor: 2.0,
+            min_window_count: 32,
+            floor_ns: 0,
+        }
+    }
+}
+
+impl PromotionPolicy {
+    /// The promotion cause for a finished request, or `None` to keep the
+    /// trace in-memory only. Precedence: a fired fault beats a degraded
+    /// response beats relative slowness (the cause names the *strongest*
+    /// signal; the full reasons list travels on the trace regardless).
+    pub fn reason(
+        &self,
+        latency_ns: u64,
+        windowed_p99: Option<u64>,
+        windowed_count: u64,
+        degraded: bool,
+        fault_fired: bool,
+    ) -> Option<&'static str> {
+        if fault_fired {
+            return Some("fault");
+        }
+        if degraded {
+            return Some("degraded");
+        }
+        let p99 = windowed_p99?;
+        if windowed_count >= self.min_window_count.max(1)
+            && latency_ns as f64 > p99 as f64 * self.p99_factor
+            && latency_ns >= self.floor_ns
+        {
+            return Some("latency");
+        }
+        None
+    }
+}
+
+/// A bounded reservoir of recent traces plus the optional slow-query log.
+pub struct TraceRetainer {
+    ring: Mutex<VecDeque<Arc<RetainedTrace>>>,
+    capacity: usize,
+    slowlog: Option<Mutex<std::fs::File>>,
+    slowlog_path: Option<PathBuf>,
+    recorded: AtomicU64,
+    promoted: AtomicU64,
+}
+
+impl TraceRetainer {
+    /// An in-memory-only retainer holding the last `capacity` traces.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            capacity: capacity.max(1),
+            slowlog: None,
+            slowlog_path: None,
+            recorded: AtomicU64::new(0),
+            promoted: AtomicU64::new(0),
+        }
+    }
+
+    /// A retainer that also appends promoted traces to the JSONL file at
+    /// `path` (created if missing, appended to if present — restarts keep
+    /// history).
+    pub fn with_slowlog(capacity: usize, path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let mut retainer = Self::new(capacity);
+        retainer.slowlog = Some(Mutex::new(file));
+        retainer.slowlog_path = Some(path.to_path_buf());
+        Ok(retainer)
+    }
+
+    /// Records a finished request's trace. If `trace.promoted_by` is set
+    /// the line is also appended to the slow-query log (when configured).
+    /// Returns the shared handle now living in the reservoir.
+    pub fn record(&self, trace: RetainedTrace) -> Arc<RetainedTrace> {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        if trace.promoted_by.is_some() {
+            self.promoted.fetch_add(1, Ordering::Relaxed);
+            if let Some(file) = &self.slowlog {
+                let mut line = trace.to_json_line();
+                line.push('\n');
+                // One write_all per line on an O_APPEND file: concurrent
+                // promotions from different request threads never shear.
+                let mut file = file.lock().unwrap_or_else(|e| e.into_inner());
+                let _ = file.write_all(line.as_bytes());
+                let _ = file.flush();
+            }
+        }
+        let shared = Arc::new(trace);
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(Arc::clone(&shared));
+        shared
+    }
+
+    /// The `n` most recent traces, newest first.
+    pub fn recent(&self, n: usize) -> Vec<Arc<RetainedTrace>> {
+        let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        ring.iter().rev().take(n).cloned().collect()
+    }
+
+    /// The `n` slowest retained traces, slowest first.
+    pub fn slowest(&self, n: usize) -> Vec<Arc<RetainedTrace>> {
+        let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        let mut all: Vec<_> = ring.iter().cloned().collect();
+        all.sort_by_key(|t| std::cmp::Reverse(t.latency_ns));
+        all.truncate(n);
+        all
+    }
+
+    /// The retained trace of `query_id`, if it has not been evicted.
+    pub fn find(&self, query_id: u64) -> Option<Arc<RetainedTrace>> {
+        let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        ring.iter().rev().find(|t| t.query_id == query_id).cloned()
+    }
+
+    /// Traces recorded since construction.
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Traces promoted to the slow-query log since construction.
+    pub fn promoted(&self) -> u64 {
+        self.promoted.load(Ordering::Relaxed)
+    }
+
+    /// The slow-query log path, when one is configured.
+    pub fn slowlog_path(&self) -> Option<&Path> {
+        self.slowlog_path.as_deref()
+    }
+}
+
+/// Reads and parses a slow-query log file, in append order. Blank lines
+/// are skipped; a malformed line is an error naming its line number.
+pub fn read_slowlog(path: &Path) -> Result<Vec<RetainedTrace>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(
+            RetainedTrace::parse_json_line(line)
+                .map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?,
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace_attrs;
+    use crate::QueryTrace;
+
+    fn sample(query_id: u64, latency_ns: u64, promoted_by: Option<&str>) -> RetainedTrace {
+        let t = QueryTrace::summary(query_id);
+        t.record(
+            "lake.epoch",
+            trace_attrs![("epoch", 3u64), ("note", "a \"quoted\" name")],
+        );
+        t.record(
+            "search.degraded",
+            trace_attrs![("deadline", true), ("delta", -1i64)],
+        );
+        RetainedTrace {
+            query_id,
+            op: "search".into(),
+            latency_ns,
+            lake_epoch: 3,
+            reasons: vec!["deadline".into()],
+            promoted_by: promoted_by.map(String::from),
+            events: t.events(),
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_lossless_and_single_line() {
+        let trace = sample(0xBEEF, 12_345_678, Some("degraded"));
+        let line = trace.to_json_line();
+        assert!(!line.contains('\n'), "slowlog lines must not wrap");
+        let back = RetainedTrace::parse_json_line(&line).expect("parses");
+        assert_eq!(back, trace);
+
+        // Unpromoted traces omit the key and round-trip to None.
+        let quiet = sample(1, 10, None);
+        let back = RetainedTrace::parse_json_line(&quiet.to_json_line()).unwrap();
+        assert_eq!(back.promoted_by, None);
+
+        assert!(RetainedTrace::parse_json_line("not json").is_err());
+        assert!(RetainedTrace::parse_json_line("{\"nope\": 1}").is_err());
+    }
+
+    #[test]
+    fn render_carries_header_and_waterfall() {
+        let r = sample(0x42, 7_000_000, Some("fault")).render();
+        assert!(r.contains("search query 0x0000000000000042"));
+        assert!(r.contains("7.000 ms"));
+        assert!(r.contains("degraded: deadline"));
+        assert!(r.contains("[promoted: fault]"));
+        assert!(r.contains("lake.epoch"));
+        assert!(r.contains("search.degraded"));
+    }
+
+    #[test]
+    fn reservoir_bounds_finds_and_orders() {
+        let retainer = TraceRetainer::new(3);
+        for i in 0..5u64 {
+            retainer.record(sample(i, i * 1_000, None));
+        }
+        assert_eq!(retainer.recorded(), 5);
+        assert_eq!(retainer.promoted(), 0);
+        // Capacity 3: ids 0 and 1 were evicted.
+        assert!(retainer.find(0).is_none());
+        assert!(retainer.find(1).is_none());
+        assert_eq!(retainer.find(4).unwrap().query_id, 4);
+        let recent = retainer.recent(2);
+        assert_eq!(recent[0].query_id, 4);
+        assert_eq!(recent[1].query_id, 3);
+        let slowest = retainer.slowest(10);
+        assert_eq!(slowest.len(), 3);
+        assert_eq!(slowest[0].query_id, 4, "slowest first");
+    }
+
+    #[test]
+    fn promoted_traces_land_in_the_slowlog_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "thetis-obs-retain-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("slowlog.jsonl");
+        let retainer = TraceRetainer::with_slowlog(8, &path).expect("open slowlog");
+        retainer.record(sample(1, 100, None));
+        retainer.record(sample(2, 200, Some("degraded")));
+        retainer.record(sample(3, 300, Some("latency")));
+        assert_eq!(retainer.promoted(), 2);
+        let logged = read_slowlog(&path).expect("slowlog parses");
+        assert_eq!(logged.len(), 2, "only promoted traces persist");
+        assert_eq!(logged[0].query_id, 2);
+        assert_eq!(logged[1].query_id, 3);
+        assert_eq!(logged[1].promoted_by.as_deref(), Some("latency"));
+        // Append mode: a new retainer on the same path keeps history.
+        let again = TraceRetainer::with_slowlog(8, &path).expect("reopen");
+        again.record(sample(4, 400, Some("fault")));
+        assert_eq!(read_slowlog(&path).unwrap().len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn promotion_policy_rungs_and_precedence() {
+        let policy = PromotionPolicy::default();
+        // Fault beats degraded beats latency.
+        assert_eq!(policy.reason(1, Some(1), 100, true, true), Some("fault"));
+        assert_eq!(
+            policy.reason(1, Some(1), 100, true, false),
+            Some("degraded")
+        );
+        // Latency rung: needs a warm window and a 2× exceedance.
+        assert_eq!(
+            policy.reason(250, Some(100), 100, false, false),
+            Some("latency")
+        );
+        assert_eq!(
+            policy.reason(150, Some(100), 100, false, false),
+            None,
+            "below 2×p99"
+        );
+        assert_eq!(
+            policy.reason(250, Some(100), 10, false, false),
+            None,
+            "cold window"
+        );
+        assert_eq!(
+            policy.reason(250, None, 100, false, false),
+            None,
+            "no p99 yet"
+        );
+        // The absolute floor suppresses microsecond-scale promotions.
+        let floored = PromotionPolicy {
+            floor_ns: 1_000_000,
+            ..PromotionPolicy::default()
+        };
+        assert_eq!(floored.reason(250, Some(100), 100, false, false), None);
+        assert_eq!(
+            floored.reason(5_000_000, Some(100), 100, false, false),
+            Some("latency")
+        );
+    }
+}

@@ -1,0 +1,564 @@
+//! Rolling-window aggregation: "what is p99 *right now*", not "since boot".
+//!
+//! The registry's [`Counter`](crate::Counter) and
+//! [`Histogram`](crate::Histogram) accumulate forever, which is the right
+//! contract for benchmarks (exact totals) and the wrong one for a resident
+//! server: after a day of traffic a latency spike vanishes into the
+//! cumulative average. The types here put a ring of fixed-duration slots
+//! behind the same bucket layout, so every observation lands twice — once
+//! in a cumulative tally and once in the slot covering the current time —
+//! and a snapshot can report both "requests since boot" and "p99 over the
+//! last two minutes".
+//!
+//! Three design rules, matching the rest of the crate:
+//!
+//! * **Lock-free recording.** A slot is a fixed array of atomics; claiming
+//!   a slot for a new time period is one CAS, recording is `fetch_add`s.
+//!   At a period boundary a handful of concurrent observations may land in
+//!   a slot that is being recycled and be attributed to the adjacent
+//!   period (or dropped from the window — never from the cumulative
+//!   totals); windowed numbers are approximations by construction and this
+//!   race only moves samples by one slot width.
+//! * **Deterministic clocks.** Every rolling type reads time through a
+//!   [`WindowClock`]. Production uses the monotonic clock; tests inject a
+//!   manual clock and call [`WindowClock::advance`], so "the window decays
+//!   after 2 minutes" is asserted without sleeping.
+//! * **Exemplars.** Each histogram bucket remembers the most recent
+//!   `(value, query-id, lake-epoch)` observation that landed in it, so a
+//!   fat p99 bucket links directly to a concrete query whose trace the
+//!   retainer (see [`crate::retain`]) can still have.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::histogram::{HISTOGRAM_BOUNDS_NS, N_BUCKETS};
+use crate::report::HistogramSnapshot;
+
+/// Default ring geometry: 12 slots of 10 s = a 2-minute window.
+pub const DEFAULT_WINDOW_SLOTS: usize = 12;
+/// Default slot width.
+pub const DEFAULT_SLOT_DURATION: Duration = Duration::from_secs(10);
+
+/// The time source of a rolling window.
+///
+/// Cloning shares the underlying clock: a manual clock advanced through
+/// one handle moves every window built from any of its clones, which is
+/// how a test drives a whole server's metrics forward at once.
+#[derive(Clone)]
+pub enum WindowClock {
+    /// Wall time from a private [`Instant`] anchor (production).
+    Monotonic(Instant),
+    /// Nanoseconds owned by the caller (tests): starts at 0, moves only
+    /// via [`WindowClock::advance`].
+    Manual(Arc<AtomicU64>),
+}
+
+impl WindowClock {
+    /// A production clock anchored at "now".
+    pub fn monotonic() -> Self {
+        WindowClock::Monotonic(Instant::now())
+    }
+
+    /// A test clock frozen at t = 0 until advanced.
+    pub fn manual() -> Self {
+        WindowClock::Manual(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Nanoseconds since the clock's origin.
+    pub fn now_ns(&self) -> u64 {
+        match self {
+            WindowClock::Monotonic(anchor) => anchor.elapsed().as_nanos() as u64,
+            WindowClock::Manual(ns) => ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Moves a manual clock forward; a no-op on a monotonic clock (real
+    /// time cannot be pushed).
+    pub fn advance(&self, by: Duration) {
+        if let WindowClock::Manual(ns) = self {
+            ns.fetch_add(by.as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether this is an injected (manual) clock.
+    pub fn is_manual(&self) -> bool {
+        matches!(self, WindowClock::Manual(_))
+    }
+}
+
+impl Default for WindowClock {
+    fn default() -> Self {
+        WindowClock::monotonic()
+    }
+}
+
+impl std::fmt::Debug for WindowClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WindowClock::Monotonic(_) => f.write_str("WindowClock::Monotonic"),
+            WindowClock::Manual(ns) => {
+                write!(f, "WindowClock::Manual({}ns)", ns.load(Ordering::Relaxed))
+            }
+        }
+    }
+}
+
+/// The concrete observation a histogram bucket points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The observed latency, nanoseconds.
+    pub value_ns: u64,
+    /// The query that produced it.
+    pub query_id: u64,
+    /// The lake epoch it ran against.
+    pub lake_epoch: u64,
+}
+
+/// One time slot of a ring: `period` is the slot's claim ticket
+/// (period index + 1, so 0 means "never used"), the payload atomics are
+/// reset by whichever thread wins the claim CAS.
+struct Slot {
+    period: AtomicU64,
+    bins: [AtomicU64; N_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Self {
+            period: AtomicU64::new(0),
+            bins: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Claims this slot for `period` (1-based ticket), zeroing its payload
+    /// if the slot still carries an older period. Returns whether the slot
+    /// now belongs to `period`.
+    fn claim(&self, ticket: u64) -> bool {
+        let current = self.period.load(Ordering::Acquire);
+        if current == ticket {
+            return true;
+        }
+        if current > ticket {
+            // The ring has already lapped this period (observer raced a
+            // very stale clock read); drop the windowed attribution.
+            return false;
+        }
+        if self
+            .period
+            .compare_exchange(current, ticket, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            // We won the recycle: zero the payload. Concurrent writers that
+            // claimed the same ticket may interleave with these stores —
+            // that can misplace a few boundary observations, never corrupt
+            // a running total (the cumulative side is separate).
+            for bin in &self.bins {
+                bin.store(0, Ordering::Relaxed);
+            }
+            self.sum.store(0, Ordering::Relaxed);
+            self.count.store(0, Ordering::Relaxed);
+        }
+        // Lost the CAS to the same ticket or to a newer one; re-check.
+        self.period.load(Ordering::Acquire) == ticket
+    }
+}
+
+/// A windowed view of a [`RollingHistogram`].
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    /// Aggregated per-bucket counts over the window (non-cumulative, +Inf
+    /// last) — reuses [`HistogramSnapshot`] so percentile math is shared
+    /// with the cumulative side.
+    pub snapshot: HistogramSnapshot,
+    /// The window's nominal width in seconds.
+    pub window_secs: f64,
+}
+
+impl WindowedHistogram {
+    /// Observations per second over the window.
+    pub fn rate(&self) -> f64 {
+        self.snapshot.count as f64 / self.window_secs
+    }
+
+    /// The windowed `q`-quantile in nanoseconds (`None` when the window is
+    /// empty).
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        self.snapshot.percentile(q)
+    }
+}
+
+/// A latency histogram with both cumulative totals and a rolling window,
+/// plus per-bucket exemplars.
+///
+/// Instance-owned rather than registry-global: the owner (the server)
+/// chooses the clock, which is what makes windowed behavior testable
+/// without sleeps.
+pub struct RollingHistogram {
+    name: &'static str,
+    clock: WindowClock,
+    slot_ns: u64,
+    slots: Vec<Slot>,
+    cumulative: Slot,
+    exemplars: Vec<Mutex<Option<Exemplar>>>,
+}
+
+impl RollingHistogram {
+    /// A histogram named `name` over `slots × slot_duration` of history,
+    /// reading time from `clock`.
+    pub fn new(
+        name: &'static str,
+        clock: WindowClock,
+        slots: usize,
+        slot_duration: Duration,
+    ) -> Self {
+        let slots = slots.max(1);
+        let slot_ns = (slot_duration.as_nanos() as u64).max(1);
+        Self {
+            name,
+            clock,
+            slot_ns,
+            slots: (0..slots).map(|_| Slot::empty()).collect(),
+            cumulative: Slot::empty(),
+            exemplars: (0..N_BUCKETS).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// The default 12 × 10 s geometry.
+    pub fn with_default_window(name: &'static str, clock: WindowClock) -> Self {
+        Self::new(name, clock, DEFAULT_WINDOW_SLOTS, DEFAULT_SLOT_DURATION)
+    }
+
+    /// The histogram's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The clock this histogram reads (share it to advance tests).
+    pub fn clock(&self) -> &WindowClock {
+        &self.clock
+    }
+
+    /// The nominal window width.
+    pub fn window(&self) -> Duration {
+        Duration::from_nanos(self.slot_ns * self.slots.len() as u64)
+    }
+
+    fn bucket_index(ns: u64) -> usize {
+        HISTOGRAM_BOUNDS_NS
+            .iter()
+            .position(|&bound| ns <= bound)
+            .unwrap_or(HISTOGRAM_BOUNDS_NS.len())
+    }
+
+    /// Records one observation with its exemplar identity.
+    pub fn observe(&self, value_ns: u64, query_id: u64, lake_epoch: u64) {
+        let idx = Self::bucket_index(value_ns);
+        // Cumulative side first: it must never lose an observation.
+        self.cumulative.bins[idx].fetch_add(1, Ordering::Relaxed);
+        self.cumulative.sum.fetch_add(value_ns, Ordering::Relaxed);
+        self.cumulative.count.fetch_add(1, Ordering::Relaxed);
+        // Windowed side: claim the current slot, then add.
+        let period = self.clock.now_ns() / self.slot_ns;
+        let slot = &self.slots[(period as usize) % self.slots.len()];
+        if slot.claim(period + 1) {
+            slot.bins[idx].fetch_add(1, Ordering::Relaxed);
+            slot.sum.fetch_add(value_ns, Ordering::Relaxed);
+            slot.count.fetch_add(1, Ordering::Relaxed);
+        }
+        // Exemplar: best-effort most-recent. try_lock keeps the hot path
+        // wait-free — losing the race just means an equally recent sample
+        // is the exemplar.
+        if let Ok(mut slot) = self.exemplars[idx].try_lock() {
+            *slot = Some(Exemplar {
+                value_ns,
+                query_id,
+                lake_epoch,
+            });
+        }
+    }
+
+    /// Records an anonymous observation (exemplar attributed to query 0).
+    pub fn observe_nanos(&self, value_ns: u64) {
+        self.observe(value_ns, 0, 0);
+    }
+
+    /// The cumulative (since-construction) snapshot. The count is derived
+    /// from the bins read in this snapshot, so `count == Σ buckets` holds
+    /// even when observations land mid-read.
+    pub fn cumulative(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .cumulative
+            .bins
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            name: self.name,
+            buckets,
+            sum_ns: self.cumulative.sum.load(Ordering::Relaxed),
+            count,
+        }
+    }
+
+    /// The windowed snapshot: every slot whose period falls inside the
+    /// last `slots × slot_duration`, including the in-progress slot. The
+    /// count is derived from the bins read in this pass — never from the
+    /// slot's separate count atomic — so `count == Σ buckets` holds even
+    /// when writers land between the loads.
+    pub fn windowed(&self) -> WindowedHistogram {
+        let current = self.clock.now_ns() / self.slot_ns;
+        let oldest = (current + 1).saturating_sub(self.slots.len() as u64);
+        let mut buckets = vec![0u64; N_BUCKETS];
+        let mut sum_ns = 0u64;
+        let mut count = 0u64;
+        for slot in &self.slots {
+            let ticket = slot.period.load(Ordering::Acquire);
+            if ticket == 0 {
+                continue;
+            }
+            let period = ticket - 1;
+            if period < oldest || period > current {
+                continue;
+            }
+            for (acc, bin) in buckets.iter_mut().zip(&slot.bins) {
+                let n = bin.load(Ordering::Relaxed);
+                *acc += n;
+                count += n;
+            }
+            sum_ns += slot.sum.load(Ordering::Relaxed);
+        }
+        WindowedHistogram {
+            snapshot: HistogramSnapshot {
+                name: self.name,
+                buckets,
+                sum_ns,
+                count,
+            },
+            window_secs: (self.slot_ns * self.slots.len() as u64) as f64 / 1e9,
+        }
+    }
+
+    /// The retained exemplar of bucket `idx` (`0..N_BUCKETS`, +Inf last).
+    pub fn exemplar(&self, idx: usize) -> Option<Exemplar> {
+        self.exemplars
+            .get(idx)?
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .copied()
+    }
+
+    /// All exemplars, bucket-ordered.
+    pub fn exemplars(&self) -> Vec<Option<Exemplar>> {
+        (0..self.exemplars.len())
+            .map(|i| self.exemplar(i))
+            .collect()
+    }
+
+    /// The exemplar of the highest occupied bucket of the *windowed*
+    /// snapshot — the concrete query behind the current tail.
+    pub fn top_exemplar(&self) -> Option<Exemplar> {
+        let windowed = self.windowed();
+        let idx = windowed.snapshot.buckets.iter().rposition(|&n| n > 0)?;
+        self.exemplar(idx)
+    }
+}
+
+/// A counter with both a cumulative total and a rolling-window rate.
+pub struct RollingCounter {
+    name: &'static str,
+    clock: WindowClock,
+    slot_ns: u64,
+    slots: Vec<Slot>,
+    total: AtomicU64,
+}
+
+impl RollingCounter {
+    /// A counter named `name` over `slots × slot_duration` of history.
+    pub fn new(
+        name: &'static str,
+        clock: WindowClock,
+        slots: usize,
+        slot_duration: Duration,
+    ) -> Self {
+        let slots = slots.max(1);
+        Self {
+            name,
+            clock,
+            slot_ns: (slot_duration.as_nanos() as u64).max(1),
+            slots: (0..slots).map(|_| Slot::empty()).collect(),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// The default 12 × 10 s geometry.
+    pub fn with_default_window(name: &'static str, clock: WindowClock) -> Self {
+        Self::new(name, clock, DEFAULT_WINDOW_SLOTS, DEFAULT_SLOT_DURATION)
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` to both the total and the current window slot.
+    pub fn add(&self, n: u64) {
+        self.total.fetch_add(n, Ordering::Relaxed);
+        let period = self.clock.now_ns() / self.slot_ns;
+        let slot = &self.slots[(period as usize) % self.slots.len()];
+        if slot.claim(period + 1) {
+            slot.count.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The cumulative total since construction.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// The sum over the rolling window.
+    pub fn windowed(&self) -> u64 {
+        let current = self.clock.now_ns() / self.slot_ns;
+        let oldest = (current + 1).saturating_sub(self.slots.len() as u64);
+        self.slots
+            .iter()
+            .filter_map(|slot| {
+                let ticket = slot.period.load(Ordering::Acquire);
+                if ticket == 0 {
+                    return None;
+                }
+                let period = ticket - 1;
+                (period >= oldest && period <= current).then(|| slot.count.load(Ordering::Relaxed))
+            })
+            .sum()
+    }
+
+    /// Events per second over the window.
+    pub fn rate(&self) -> f64 {
+        self.windowed() as f64 / ((self.slot_ns * self.slots.len() as u64) as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> Duration {
+        Duration::from_secs(s)
+    }
+
+    #[test]
+    fn manual_clock_is_shared_across_clones() {
+        let clock = WindowClock::manual();
+        let twin = clock.clone();
+        assert_eq!(clock.now_ns(), 0);
+        twin.advance(secs(3));
+        assert_eq!(clock.now_ns(), 3_000_000_000);
+        assert!(clock.is_manual());
+        assert!(!WindowClock::monotonic().is_manual());
+    }
+
+    #[test]
+    fn windowed_counts_decay_without_sleeping() {
+        let clock = WindowClock::manual();
+        let h = RollingHistogram::new("t", clock.clone(), 12, secs(10));
+        for _ in 0..100 {
+            h.observe(5_000_000, 7, 1); // 5ms
+        }
+        assert_eq!(h.windowed().snapshot.count, 100);
+        assert_eq!(h.cumulative().count, 100);
+        assert!(h.windowed().percentile(0.99).is_some());
+
+        // 60s later the observations are still inside the 120s window...
+        clock.advance(secs(60));
+        assert_eq!(h.windowed().snapshot.count, 100);
+        // ...and after 130s in total they have rolled out entirely.
+        clock.advance(secs(70));
+        assert_eq!(h.windowed().snapshot.count, 0);
+        assert_eq!(h.windowed().percentile(0.99), None);
+        // The cumulative side never decays.
+        assert_eq!(h.cumulative().count, 100);
+    }
+
+    #[test]
+    fn window_spans_multiple_slots_and_recycles_them() {
+        let clock = WindowClock::manual();
+        let h = RollingHistogram::new("t", clock.clone(), 3, secs(1));
+        h.observe_nanos(100); // slot for period 0
+        clock.advance(secs(1));
+        h.observe_nanos(100); // period 1
+        clock.advance(secs(1));
+        h.observe_nanos(100); // period 2
+        assert_eq!(h.windowed().snapshot.count, 3);
+        // Period 3 reuses period 0's slot: its old count must vanish.
+        clock.advance(secs(1));
+        h.observe_nanos(100);
+        assert_eq!(
+            h.windowed().snapshot.count,
+            3,
+            "slot recycling lost/kept extra"
+        );
+        assert_eq!(h.cumulative().count, 4);
+    }
+
+    #[test]
+    fn exemplars_track_the_most_recent_sample_per_bucket() {
+        let h = RollingHistogram::new("t", WindowClock::manual(), 2, secs(10));
+        h.observe(5_000_000, 111, 4); // 1ms–10ms bucket (index 4)
+        h.observe(6_000_000, 222, 5); // same bucket, newer
+        h.observe(500, 333, 5); // ≤1µs bucket (index 0)
+        let ex = h.exemplar(4).expect("bucket 4 has an exemplar");
+        assert_eq!(ex.query_id, 222);
+        assert_eq!(ex.lake_epoch, 5);
+        assert_eq!(ex.value_ns, 6_000_000);
+        assert_eq!(h.exemplar(0).unwrap().query_id, 333);
+        assert_eq!(h.exemplar(7), None);
+        // The top occupied bucket is index 4 → its exemplar wins.
+        assert_eq!(h.top_exemplar().unwrap().query_id, 222);
+    }
+
+    #[test]
+    fn rolling_counter_rates_decay_and_totals_do_not() {
+        let clock = WindowClock::manual();
+        let c = RollingCounter::new("t", clock.clone(), 12, secs(10));
+        c.add(240);
+        assert_eq!(c.windowed(), 240);
+        assert_eq!(c.total(), 240);
+        assert!((c.rate() - 2.0).abs() < 1e-9, "240 over 120s = 2/s");
+        clock.advance(secs(130));
+        assert_eq!(c.windowed(), 0);
+        assert_eq!(c.rate(), 0.0);
+        assert_eq!(c.total(), 240);
+    }
+
+    #[test]
+    fn concurrent_observers_keep_exact_cumulative_totals() {
+        let clock = WindowClock::manual();
+        let h = std::sync::Arc::new(RollingHistogram::new("t", clock.clone(), 4, secs(1)));
+        let c = std::sync::Arc::new(RollingCounter::new("t", clock.clone(), 4, secs(1)));
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let h = std::sync::Arc::clone(&h);
+                let c = std::sync::Arc::clone(&c);
+                scope.spawn(move || {
+                    for i in 0..1_000u64 {
+                        h.observe(i * 1_000, t, 1);
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        // Cumulative side is exact regardless of slot races.
+        assert_eq!(h.cumulative().count, 8_000);
+        assert_eq!(c.total(), 8_000);
+        // The clock never moved, so the windowed side is exact here too.
+        assert_eq!(h.windowed().snapshot.count, 8_000);
+        assert_eq!(c.windowed(), 8_000);
+    }
+}

@@ -180,6 +180,7 @@ impl TraceEvent {
 struct TraceInner {
     query_id: u64,
     start: Instant,
+    verbose: bool,
     events: Mutex<Vec<TraceEvent>>,
 }
 
@@ -210,12 +211,33 @@ impl QueryTrace {
         }
     }
 
-    /// A handle that records regardless of the sampling gate.
+    /// A handle that records regardless of the sampling gate, at full
+    /// (verbose) event detail.
     pub fn forced(query_id: u64) -> Self {
         Self {
             inner: Some(TraceInner {
                 query_id,
                 start: Instant::now(),
+                verbose: true,
+                events: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// An always-on *summary* handle: active, but call sites that emit
+    /// per-item event streams (one event per stolen block, per pruned
+    /// table, per LSEI candidate) guard those on [`QueryTrace::is_verbose`]
+    /// and skip them. What remains — phase timings, degradation rungs,
+    /// epoch pins, final results — is a bounded handful of events per
+    /// query, cheap enough for the server to record on *every* request so
+    /// its tail-sampling retainer (see [`crate::retain`]) always has the
+    /// trace of a request that only turned out to be slow at the end.
+    pub fn summary(query_id: u64) -> Self {
+        Self {
+            inner: Some(TraceInner {
+                query_id,
+                start: Instant::now(),
+                verbose: false,
                 events: Mutex::new(Vec::new()),
             }),
         }
@@ -227,6 +249,13 @@ impl QueryTrace {
     #[inline]
     pub fn is_active(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Whether this handle wants high-cardinality per-item events too
+    /// (always false for [`QueryTrace::summary`] handles).
+    #[inline]
+    pub fn is_verbose(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.verbose)
     }
 
     /// The traced query id (0 for a disabled handle).
@@ -401,47 +430,53 @@ impl QueryTrace {
     /// bars against the trace's total duration, instants as annotated
     /// ticks, attributes inline.
     pub fn render_waterfall(&self) -> String {
-        let events = self.events();
-        let total: u64 = events
-            .iter()
-            .map(|e| e.t_ns + e.dur_ns)
-            .max()
-            .unwrap_or(0)
-            .max(1);
-        const BAR: usize = 24;
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "trace of query {:#018x} — {} events, {:.3} ms total",
-            self.query_id(),
-            events.len(),
-            total as f64 / 1e6
-        );
-        for e in &events {
-            let start = (e.t_ns as u128 * BAR as u128 / total as u128) as usize;
-            let width = ((e.dur_ns as u128 * BAR as u128).div_ceil(total as u128)) as usize;
-            let mut lane = vec![b' '; BAR];
-            if e.dur_ns > 0 {
-                for slot in lane.iter_mut().skip(start).take(width.max(1)) {
-                    *slot = b'#';
-                }
-            } else if start < BAR {
-                lane[start] = b'|';
-            }
-            let lane = String::from_utf8(lane).expect("ascii lane");
-            let time = if e.dur_ns > 0 {
-                format!("{:>9.3} ms", e.dur_ns as f64 / 1e6)
-            } else {
-                format!("{:>9}   ", "·")
-            };
-            let mut attrs = String::new();
-            for (k, v) in &e.attrs {
-                let _ = write!(attrs, " {k}={}", render_attr_human(v));
-            }
-            let _ = writeln!(out, "[{lane}] {time} {:<20}{attrs}", e.name);
-        }
-        out
+        render_waterfall_events(self.query_id(), &self.events())
     }
+}
+
+/// Renders the waterfall for an already-extracted event list — the same
+/// output as [`QueryTrace::render_waterfall`], usable on traces that were
+/// persisted (slow-query log) rather than live.
+pub fn render_waterfall_events(query_id: u64, events: &[TraceEvent]) -> String {
+    let total: u64 = events
+        .iter()
+        .map(|e| e.t_ns + e.dur_ns)
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    const BAR: usize = 24;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace of query {:#018x} — {} events, {:.3} ms total",
+        query_id,
+        events.len(),
+        total as f64 / 1e6
+    );
+    for e in events {
+        let start = (e.t_ns as u128 * BAR as u128 / total as u128) as usize;
+        let width = ((e.dur_ns as u128 * BAR as u128).div_ceil(total as u128)) as usize;
+        let mut lane = vec![b' '; BAR];
+        if e.dur_ns > 0 {
+            for slot in lane.iter_mut().skip(start).take(width.max(1)) {
+                *slot = b'#';
+            }
+        } else if start < BAR {
+            lane[start] = b'|';
+        }
+        let lane = String::from_utf8(lane).expect("ascii lane");
+        let time = if e.dur_ns > 0 {
+            format!("{:>9.3} ms", e.dur_ns as f64 / 1e6)
+        } else {
+            format!("{:>9}   ", "·")
+        };
+        let mut attrs = String::new();
+        for (k, v) in &e.attrs {
+            let _ = write!(attrs, " {k}={}", render_attr_human(v));
+        }
+        let _ = writeln!(out, "[{lane}] {time} {:<20}{attrs}", e.name);
+    }
+    out
 }
 
 /// A phase guard: records one duration event on drop, with attributes
@@ -483,7 +518,7 @@ macro_rules! trace_attrs {
     };
 }
 
-fn render_attr(v: &AttrValue) -> String {
+pub(crate) fn render_attr(v: &AttrValue) -> String {
     match v {
         AttrValue::U64(x) => x.to_string(),
         // A sign distinguishes I64 from U64 in the round trip.
@@ -535,7 +570,7 @@ fn render_f64(x: f64) -> String {
     }
 }
 
-fn escape_json(name: &str) -> String {
+pub(crate) fn escape_json(name: &str) -> String {
     let mut out = String::with_capacity(name.len());
     for c in name.chars() {
         match c {
@@ -625,13 +660,24 @@ pub fn parse_trace_json(text: &str) -> Result<ParsedTrace, String> {
     Ok(ParsedTrace { query_id, events })
 }
 
-struct Parser<'a> {
+pub(crate) struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
+impl<'a> Parser<'a> {
+    /// A parser positioned at the start of `text` (crate-internal: the
+    /// slow-query log reuses this grammar for its own line format).
+    pub(crate) fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+}
+
 impl Parser<'_> {
-    fn skip_ws(&mut self) {
+    pub(crate) fn skip_ws(&mut self) {
         while self
             .bytes
             .get(self.pos)
@@ -641,11 +687,11 @@ impl Parser<'_> {
         }
     }
 
-    fn peek(&self) -> Option<u8> {
+    pub(crate) fn peek(&self) -> Option<u8> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn eat(&mut self, b: u8) -> bool {
+    pub(crate) fn eat(&mut self, b: u8) -> bool {
         if self.peek() == Some(b) {
             self.pos += 1;
             true
@@ -654,7 +700,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    pub(crate) fn expect(&mut self, b: u8) -> Result<(), String> {
         if self.eat(b) {
             Ok(())
         } else {
@@ -667,7 +713,7 @@ impl Parser<'_> {
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    pub(crate) fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
@@ -716,7 +762,7 @@ impl Parser<'_> {
 
     /// Numbers keep the exporter's type convention: a leading `+` or `-`
     /// means I64, a `.`/exponent means F64, bare digits mean U64.
-    fn number(&mut self) -> Result<AttrValue, String> {
+    pub(crate) fn number(&mut self) -> Result<AttrValue, String> {
         let start = self.pos;
         let signed = matches!(self.peek(), Some(b'+') | Some(b'-'));
         if signed {
@@ -744,7 +790,7 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<AttrValue, String> {
+    pub(crate) fn value(&mut self) -> Result<AttrValue, String> {
         match self.peek() {
             Some(b'"') => Ok(AttrValue::Str(self.string()?)),
             Some(b't') => {
@@ -773,7 +819,7 @@ impl Parser<'_> {
         }
     }
 
-    fn event(&mut self) -> Result<TraceEvent, String> {
+    pub(crate) fn event(&mut self) -> Result<TraceEvent, String> {
         self.expect(b'{')?;
         let mut event = TraceEvent {
             t_ns: 0,

@@ -1,0 +1,172 @@
+//! Render-under-fire: writer threads hammer counters, histograms, and
+//! rolling windows while a reader renders the registry as Prometheus text
+//! and JSON the whole time. Every render must parse (the text passes the
+//! lint, the JSON a strict walker); after the writers join, cumulative
+//! totals are exact — the lock-free paths may tear a *windowed* view at a
+//! slot boundary, but never a cumulative one.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use thetis_obs::rolling::{RollingCounter, RollingHistogram, WindowClock};
+use thetis_obs::{lint_prometheus_text, Counter, Histogram};
+
+static HITS: Counter = Counter::new("hammer.hits");
+static LATENCY: Histogram = Histogram::new("hammer.latency");
+
+/// A strict, allocation-light JSON validator: accepts exactly the values
+/// `render_json` can emit (objects, arrays, strings, numbers). Returns
+/// the rest of the input after one value, or `None` on malformed input.
+fn json_value(s: &str) -> Option<&str> {
+    let s = s.trim_start();
+    match s.chars().next()? {
+        '{' => {
+            let mut rest = s[1..].trim_start();
+            if let Some(stripped) = rest.strip_prefix('}') {
+                return Some(stripped);
+            }
+            loop {
+                rest = json_string(rest)?.trim_start();
+                rest = rest.strip_prefix(':')?;
+                rest = json_value(rest)?.trim_start();
+                match rest.chars().next()? {
+                    ',' => rest = rest[1..].trim_start(),
+                    '}' => return Some(&rest[1..]),
+                    _ => return None,
+                }
+            }
+        }
+        '[' => {
+            let mut rest = s[1..].trim_start();
+            if let Some(stripped) = rest.strip_prefix(']') {
+                return Some(stripped);
+            }
+            loop {
+                rest = json_value(rest)?.trim_start();
+                match rest.chars().next()? {
+                    ',' => rest = rest[1..].trim_start(),
+                    ']' => return Some(&rest[1..]),
+                    _ => return None,
+                }
+            }
+        }
+        '"' => json_string(s),
+        '0'..='9' | '-' => {
+            let end = s
+                .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+                .unwrap_or(s.len());
+            Some(&s[end..])
+        }
+        _ => None,
+    }
+}
+
+fn json_string(s: &str) -> Option<&str> {
+    let s = s.trim_start().strip_prefix('"')?;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        match (escaped, c) {
+            (true, _) => escaped = false,
+            (false, '\\') => escaped = true,
+            (false, '"') => return Some(&s[i + 1..]),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn assert_valid_json(text: &str) {
+    let rest = json_value(text).unwrap_or_else(|| panic!("malformed JSON render:\n{text}"));
+    assert!(
+        rest.trim().is_empty(),
+        "trailing garbage after JSON value: {rest:?}"
+    );
+}
+
+#[test]
+fn renders_stay_parseable_under_concurrent_writes() {
+    thetis_obs::set_enabled(true);
+    const WRITERS: usize = 4;
+    const ITERS: u64 = 20_000;
+
+    let clock = WindowClock::manual();
+    let rolling_hits = Arc::new(RollingCounter::new(
+        "hammer.windowed_hits",
+        clock.clone(),
+        12,
+        Duration::from_secs(10),
+    ));
+    let rolling_latency = Arc::new(RollingHistogram::new(
+        "hammer.windowed_latency",
+        clock.clone(),
+        12,
+        Duration::from_secs(10),
+    ));
+
+    let done = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let rolling_hits = Arc::clone(&rolling_hits);
+                let rolling_latency = Arc::clone(&rolling_latency);
+                let clock = clock.clone();
+                scope.spawn(move || {
+                    for i in 0..ITERS {
+                        HITS.inc();
+                        LATENCY.observe_nanos(1_000 * (i % 997));
+                        rolling_hits.add(1);
+                        rolling_latency.observe(1_000 * (i % 997), i, w as u64);
+                        // One writer also slides the window, so renders
+                        // race slot recycling, not just bin increments.
+                        if w == 0 && i % 4_096 == 0 {
+                            clock.advance(Duration::from_secs(1));
+                        }
+                    }
+                })
+            })
+            .collect();
+        // The reader renders continuously until every writer is done.
+        let done_reading = Arc::clone(&done);
+        let rolling_latency = Arc::clone(&rolling_latency);
+        scope.spawn(move || {
+            let mut renders = 0u32;
+            while !done_reading.load(Ordering::Relaxed) || renders == 0 {
+                let report = thetis_obs::snapshot();
+                let text = report.render_text();
+                let errors = lint_prometheus_text(&text);
+                assert!(errors.is_empty(), "mid-write lint: {errors:?}\n{text}");
+                assert_valid_json(&report.render_json());
+                // The windowed view may tear at a slot boundary, but its
+                // invariants must hold in every render.
+                let window = rolling_latency.windowed();
+                let binned: u64 = window.snapshot.buckets.iter().sum();
+                assert_eq!(binned, window.snapshot.count);
+                renders += 1;
+            }
+        });
+        for handle in writers {
+            handle.join().unwrap();
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+
+    // After the join, cumulative totals are exact.
+    let expected = WRITERS as u64 * ITERS;
+    assert_eq!(rolling_hits.total(), expected);
+    assert_eq!(rolling_latency.cumulative().count, expected);
+    let report = thetis_obs::snapshot();
+    let hits = report
+        .counters
+        .iter()
+        .find(|c| c.name == "hammer.hits")
+        .expect("hammered counter must be registered");
+    assert_eq!(hits.value, expected);
+    let latency = report
+        .histograms
+        .iter()
+        .find(|h| h.name == "hammer.latency")
+        .expect("hammered histogram must be registered");
+    assert_eq!(latency.count, expected);
+    assert_eq!(latency.buckets.iter().sum::<u64>(), expected);
+}

@@ -30,8 +30,10 @@
 //! # }
 //! ```
 
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 
-pub use protocol::{Hit, Request, Response, ServerStats};
+pub use metrics::ServeMetrics;
+pub use protocol::{HealthStatus, Hit, MetricsSnapshot, Request, Response, ServerStats};
 pub use server::{parse_query_spec, serve, RunningServer, Server, ServerConfig, SimKind};

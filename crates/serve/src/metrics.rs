@@ -1,0 +1,252 @@
+//! The server's observability core: rolling request metrics, exemplars,
+//! and the tail-sampling trace retainer.
+//!
+//! One [`ServeMetrics`] lives inside the [`Server`](crate::Server); every
+//! finished search flows through [`ServeMetrics::observe_search`], which
+//! does four things in one place so they cannot drift apart:
+//!
+//! 1. reads the *pre-request* rolling-window p99 (the promotion threshold
+//!    must not be inflated by the very request it judges),
+//! 2. records the request into the windowed latency histogram (with its
+//!    exemplar) and the windowed rate counters,
+//! 3. asks the [`PromotionPolicy`] whether the trace escalates to the
+//!    slow-query log (relative slowness, degradation, or a fired fault),
+//! 4. files the trace in the bounded in-memory reservoir either way.
+//!
+//! Everything reads time through one injected [`WindowClock`], so the e2e
+//! tests drive "p99 decays after load stops" by advancing a manual clock —
+//! no sleeps, no flaky thresholds.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use thetis_obs::rolling::{RollingCounter, RollingHistogram, WindowClock};
+use thetis_obs::{faults, PromotionPolicy, QueryTrace, RetainedTrace, TraceRetainer};
+
+use crate::protocol::{BucketSnapshot, ExemplarInfo, MetricsSnapshot, SlowQuery};
+
+/// FNV-1a over bytes — the same stable hash the CLI uses for trace ids.
+fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Rolling-window metrics + trace retention for one server instance.
+pub struct ServeMetrics {
+    clock: WindowClock,
+    latency: RollingHistogram,
+    requests: RollingCounter,
+    shed: RollingCounter,
+    errors: RollingCounter,
+    degraded: RollingCounter,
+    mutations: RollingCounter,
+    sigma_served: RollingCounter,
+    sigma_computed: RollingCounter,
+    retainer: TraceRetainer,
+    policy: PromotionPolicy,
+    seq: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// Builds the metrics core. `slowlog` (when set) is opened in append
+    /// mode immediately so a bad path fails at construction, not on the
+    /// first slow query.
+    pub fn new(
+        clock: WindowClock,
+        window_slots: usize,
+        slot_duration: Duration,
+        trace_capacity: usize,
+        slowlog: Option<&Path>,
+        policy: PromotionPolicy,
+    ) -> std::io::Result<Self> {
+        let retainer = match slowlog {
+            Some(path) => TraceRetainer::with_slowlog(trace_capacity, path)?,
+            None => TraceRetainer::new(trace_capacity),
+        };
+        let roller = |name| RollingCounter::new(name, clock.clone(), window_slots, slot_duration);
+        Ok(Self {
+            latency: RollingHistogram::new(
+                "serve.windowed_latency",
+                clock.clone(),
+                window_slots,
+                slot_duration,
+            ),
+            requests: roller("serve.windowed_requests"),
+            shed: roller("serve.windowed_shed"),
+            errors: roller("serve.windowed_errors"),
+            degraded: roller("serve.windowed_degraded"),
+            mutations: roller("serve.windowed_mutations"),
+            sigma_served: roller("serve.windowed_sigma_served"),
+            sigma_computed: roller("serve.windowed_sigma_computed"),
+            retainer,
+            policy,
+            seq: AtomicU64::new(0),
+            clock,
+        })
+    }
+
+    /// The shared clock (advance it in tests to decay windows).
+    pub fn clock(&self) -> &WindowClock {
+        &self.clock
+    }
+
+    /// The trace reservoir.
+    pub fn retainer(&self) -> &TraceRetainer {
+        &self.retainer
+    }
+
+    /// The windowed latency histogram (exemplars included).
+    pub fn latency(&self) -> &RollingHistogram {
+        &self.latency
+    }
+
+    /// A process-unique query id for a request: a hash of the query spec
+    /// (so the same query is recognizable across requests) mixed with a
+    /// sequence number (so two in-flight copies of the same spec stay
+    /// distinguishable in the slowlog).
+    pub fn next_query_id(&self, spec: &str) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        fnv1a_bytes(spec.as_bytes()) ^ seq.rotate_left(17).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Total fires across the armed fault plan's failpoints — diff two
+    /// readings around a request to know whether a fault fired *in* it.
+    pub fn faults_fired(&self) -> u64 {
+        faults::total_fired()
+    }
+
+    /// Records a shed request.
+    pub fn observe_shed(&self) {
+        self.shed.add(1);
+    }
+
+    /// Records an error response.
+    pub fn observe_error(&self) {
+        self.errors.add(1);
+    }
+
+    /// Records a committed mutation.
+    pub fn observe_mutation(&self) {
+        self.mutations.add(1);
+    }
+
+    /// Records a finished search and files its trace; returns the
+    /// promotion cause when the trace went to the slow-query log.
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe_search(
+        &self,
+        query_id: u64,
+        op: &str,
+        latency_ns: u64,
+        lake_epoch: u64,
+        reasons: &[&'static str],
+        sigma_served: u64,
+        sigma_computed: u64,
+        fault_fired: bool,
+        trace: &QueryTrace,
+    ) -> Option<&'static str> {
+        // Threshold first: judge this request against the window *before*
+        // it joins it.
+        let window = self.latency.windowed();
+        let promoted_by = self.policy.reason(
+            latency_ns,
+            window.percentile(0.99),
+            window.snapshot.count,
+            !reasons.is_empty(),
+            fault_fired,
+        );
+        self.requests.add(1);
+        self.latency.observe(latency_ns, query_id, lake_epoch);
+        if !reasons.is_empty() {
+            self.degraded.add(1);
+        }
+        self.sigma_served.add(sigma_served);
+        self.sigma_computed.add(sigma_computed);
+        self.retainer.record(RetainedTrace {
+            query_id,
+            op: op.to_string(),
+            latency_ns,
+            lake_epoch,
+            reasons: reasons.iter().map(|s| s.to_string()).collect(),
+            promoted_by: promoted_by.map(String::from),
+            events: trace.events(),
+        });
+        promoted_by
+    }
+
+    /// The windowed portion of a metrics snapshot (the server layers its
+    /// cumulative counters and cache stats on top).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let window = self.latency.windowed();
+        let exemplars = self.latency.exemplars();
+        let buckets = window
+            .snapshot
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| BucketSnapshot {
+                le_ns: thetis_obs::HISTOGRAM_BOUNDS_NS.get(i).copied(),
+                count,
+                exemplar: exemplars
+                    .get(i)
+                    .and_then(|e| e.as_ref())
+                    .map(|e| ExemplarInfo {
+                        value_ns: e.value_ns,
+                        query_id: e.query_id,
+                        lake_epoch: e.lake_epoch,
+                    }),
+            })
+            .collect();
+        let served = self.sigma_served.windowed();
+        let computed = self.sigma_computed.windowed();
+        let slowest = self
+            .retainer
+            .slowest(5)
+            .into_iter()
+            .map(|t| SlowQuery {
+                query_id: t.query_id,
+                op: t.op.clone(),
+                latency_us: t.latency_ns / 1_000,
+                epoch: t.lake_epoch,
+                reasons: t.reasons.clone(),
+                promoted_by: t.promoted_by.clone(),
+            })
+            .collect();
+        MetricsSnapshot {
+            window_secs: window.window_secs,
+            qps: self.requests.rate(),
+            p50_us: window.percentile(0.50).map(|ns| ns / 1_000),
+            p99_us: window.percentile(0.99).map(|ns| ns / 1_000),
+            window_requests: self.requests.windowed(),
+            window_shed: self.shed.windowed(),
+            window_errors: self.errors.windowed(),
+            window_degraded: self.degraded.windowed(),
+            window_mutations: self.mutations.windowed(),
+            window_sigma_hit_rate: if served + computed == 0 {
+                0.0
+            } else {
+                served as f64 / (served + computed) as f64
+            },
+            traces_retained: self.retainer.recorded(),
+            traces_promoted: self.retainer.promoted(),
+            buckets,
+            slowest,
+            ..MetricsSnapshot::default()
+        }
+    }
+
+    /// Windowed degraded-request count (for health rungs).
+    pub fn window_degraded(&self) -> u64 {
+        self.degraded.windowed()
+    }
+
+    /// Windowed shed-request count (for health rungs).
+    pub fn window_shed(&self) -> u64 {
+        self.shed.windowed()
+    }
+}

@@ -21,8 +21,8 @@ use serde::{Deserialize, Serialize};
 /// One client request. `op` defaults to `"search"` when absent.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Request {
-    /// `"search"` (default), `"stats"`, `"add_table"`, `"remove_table"`,
-    /// `"ping"`, or `"shutdown"`.
+    /// `"search"` (default), `"stats"`, `"metrics"`, `"health"`,
+    /// `"add_table"`, `"remove_table"`, `"ping"`, or `"shutdown"`.
     pub op: Option<String>,
     /// Entity-tuple query spec, `','` separating entities and `';'`
     /// tuples — the same syntax as `thetis-cli --query`.
@@ -108,6 +108,128 @@ pub struct ServerStats {
     pub cache_evictions: u64,
     /// Epoch advances that evicted the shared memo.
     pub cache_invalidations: u64,
+    /// Searches answered degraded (deadline / panic / LSEI fallback).
+    #[serde(default)]
+    pub degraded: u64,
+    /// Traces filed in the in-memory reservoir.
+    #[serde(default)]
+    pub traces_retained: u64,
+    /// Traces promoted to the slow-query log.
+    #[serde(default)]
+    pub traces_promoted: u64,
+}
+
+/// The exemplar attached to one latency bucket: the most recent concrete
+/// observation that landed there.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExemplarInfo {
+    /// The observed latency, nanoseconds.
+    pub value_ns: u64,
+    /// The query that produced it (resolvable in the trace reservoir and
+    /// the slow-query log).
+    pub query_id: u64,
+    /// The lake epoch it ran against.
+    pub lake_epoch: u64,
+}
+
+/// One windowed latency bucket.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BucketSnapshot {
+    /// Upper bound in nanoseconds; `None` is the +Inf overflow bucket.
+    pub le_ns: Option<u64>,
+    /// Observations in this bucket over the window (non-cumulative).
+    pub count: u64,
+    /// The bucket's most recent observation, if any ever landed here.
+    pub exemplar: Option<ExemplarInfo>,
+}
+
+/// One entry of the "slowest recent queries" table.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SlowQuery {
+    /// The query id (matches `Response::query_id` and the slowlog).
+    pub query_id: u64,
+    /// The protocol operation.
+    pub op: String,
+    /// Server-side latency, microseconds.
+    pub latency_us: u64,
+    /// Lake epoch the request was pinned to.
+    pub epoch: u64,
+    /// Degradation rungs that fired.
+    pub reasons: Vec<String>,
+    /// Why the trace was promoted to the slowlog, if it was.
+    pub promoted_by: Option<String>,
+}
+
+/// The windowed metrics snapshot returned by the `metrics` op.
+///
+/// `window_*` fields cover the rolling window (how the server is doing
+/// *now*); `total_*` fields are cumulative since boot.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Width of the rolling window, seconds.
+    pub window_secs: f64,
+    /// Admitted searches per second over the window.
+    pub qps: f64,
+    /// Windowed p50 latency, microseconds (`None` when the window is empty).
+    pub p50_us: Option<u64>,
+    /// Windowed p99 latency, microseconds (`None` when the window is empty).
+    pub p99_us: Option<u64>,
+    /// Searches admitted inside the window.
+    pub window_requests: u64,
+    /// Searches shed inside the window.
+    pub window_shed: u64,
+    /// Error responses inside the window.
+    pub window_errors: u64,
+    /// Degraded searches inside the window.
+    pub window_degraded: u64,
+    /// Mutations committed inside the window.
+    pub window_mutations: u64,
+    /// Fraction of σ lookups served by the shared memo inside the window.
+    pub window_sigma_hit_rate: f64,
+    /// Traces filed in the reservoir since boot.
+    pub traces_retained: u64,
+    /// Traces promoted to the slow-query log since boot.
+    pub traces_promoted: u64,
+    /// Windowed latency buckets with exemplars, finite bounds first,
+    /// +Inf last.
+    pub buckets: Vec<BucketSnapshot>,
+    /// Slowest retained queries, slowest first.
+    pub slowest: Vec<SlowQuery>,
+    /// Searches currently executing.
+    pub inflight: u64,
+    /// The admission-control bound.
+    pub max_inflight: u64,
+    /// Cumulative admitted searches.
+    pub total_requests: u64,
+    /// Cumulative shed searches.
+    pub total_shed: u64,
+    /// Cumulative error responses.
+    pub total_errors: u64,
+    /// Cumulative degraded searches.
+    pub total_degraded: u64,
+    /// Cumulative shared-memo hit rate.
+    pub cache_hit_rate: f64,
+    /// Currently published lake epoch.
+    pub epoch: u64,
+    /// Seconds since the server started.
+    pub uptime_s: f64,
+}
+
+/// The `health` op's verdict.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HealthStatus {
+    /// `"ready"`, `"degraded"`, or `"overloaded"` (worst rung wins).
+    pub status: String,
+    /// Human-readable causes, empty when ready.
+    pub reasons: Vec<String>,
+    /// Searches currently executing.
+    pub inflight: u64,
+    /// The admission-control bound.
+    pub max_inflight: u64,
+    /// Admitted searches per second over the window.
+    pub qps: f64,
+    /// Currently published lake epoch.
+    pub epoch: u64,
 }
 
 /// One server response line.
@@ -138,6 +260,13 @@ pub struct Response {
     pub micros: Option<u64>,
     /// Server counters (`stats` op only).
     pub stats: Option<ServerStats>,
+    /// The server-assigned query id of this search: the key into the
+    /// trace reservoir, the slow-query log, and exemplars.
+    pub query_id: Option<u64>,
+    /// Windowed metrics (`metrics` op only).
+    pub metrics: Option<MetricsSnapshot>,
+    /// Health verdict (`health` op only).
+    pub health: Option<HealthStatus>,
 }
 
 impl Response {

@@ -27,9 +27,13 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
+
+use thetis_obs::rolling::WindowClock;
+use thetis_obs::{PromotionPolicy, QueryTrace};
 
 use thetis_core::{
     EmbeddingCosine, EntitySimilarity, Informativeness, PredicateJaccard, Query, SearchOptions,
@@ -41,7 +45,8 @@ use thetis_kg::KnowledgeGraph;
 use thetis_lsh::lsei::{Lsei, LseiMode, TypeSigner};
 use thetis_lsh::{LshConfig, TypeFilter};
 
-use crate::protocol::{Hit, Request, Response, ServerStats};
+use crate::metrics::ServeMetrics;
+use crate::protocol::{HealthStatus, Hit, MetricsSnapshot, Request, Response, ServerStats};
 
 /// Search requests admitted (shed ones excluded).
 static OBS_REQUESTS: thetis_obs::Counter = thetis_obs::Counter::new("serve.requests");
@@ -91,6 +96,30 @@ pub struct ServerConfig {
     pub sim: SimKind,
     /// Honor the `debug_hold_ms` test hook (off for real deployments).
     pub allow_debug: bool,
+    /// Time source of every rolling window and rate limiter: monotonic in
+    /// production, manual in tests (advance it to decay windows without
+    /// sleeping).
+    pub clock: WindowClock,
+    /// Slots of the rolling window.
+    pub window_slots: usize,
+    /// Width of one rolling-window slot.
+    pub slot_duration: Duration,
+    /// Append promoted slow-query traces to this JSONL file.
+    pub slowlog: Option<PathBuf>,
+    /// Traces kept in the in-memory reservoir.
+    pub trace_capacity: usize,
+    /// When a finished request's trace escalates to the slow-query log.
+    pub promotion: PromotionPolicy,
+    /// Write a JSON metrics snapshot (plus a Prometheus text rendering of
+    /// the global registry, same stem with a `.prom` extension) to this
+    /// path periodically and at shutdown.
+    pub metrics_out: Option<PathBuf>,
+    /// Interval between metrics-snapshot writes.
+    pub metrics_interval: Duration,
+    /// Emit rate-limited structured stderr lines on shed/degraded
+    /// requests (the CLI turns this on; tests that shed on purpose leave
+    /// it off).
+    pub trouble_log: bool,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +135,15 @@ impl Default for ServerConfig {
             threads: 1,
             sim: SimKind::Types,
             allow_debug: false,
+            clock: WindowClock::monotonic(),
+            window_slots: thetis_obs::DEFAULT_WINDOW_SLOTS,
+            slot_duration: thetis_obs::DEFAULT_SLOT_DURATION,
+            slowlog: None,
+            trace_capacity: 256,
+            promotion: PromotionPolicy::default(),
+            metrics_out: None,
+            metrics_interval: Duration::from_secs(5),
+            trouble_log: false,
         }
     }
 }
@@ -131,10 +169,15 @@ pub struct Server {
     /// epoch order.
     mutate: Mutex<()>,
     cache: SharedSimilarityCache,
+    metrics: ServeMetrics,
     inflight: AtomicUsize,
     requests: AtomicU64,
     shed: AtomicU64,
     errors: AtomicU64,
+    degraded: AtomicU64,
+    /// Clock reading of the last trouble line, for the 1/s rate limit.
+    last_trouble_ns: AtomicU64,
+    started: Instant,
     shutdown: AtomicBool,
 }
 
@@ -174,6 +217,15 @@ impl Server {
         let epochs = EpochLake::new(lake);
         let epoch = epochs.epoch();
         let state = RwLock::new(Arc::new(Self::derive_state(graph, epochs.pin(), &config)));
+        let metrics = ServeMetrics::new(
+            config.clock.clone(),
+            config.window_slots,
+            config.slot_duration,
+            config.trace_capacity,
+            config.slowlog.as_deref(),
+            config.promotion,
+        )
+        .expect("cannot open the slow-query log");
         Arc::new(Self {
             graph,
             sim,
@@ -182,10 +234,14 @@ impl Server {
             epochs,
             state,
             mutate: Mutex::new(()),
+            metrics,
             inflight: AtomicUsize::new(0),
             requests: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            last_trouble_ns: AtomicU64::new(u64::MAX),
+            started: Instant::now(),
             shutdown: AtomicBool::new(false),
         })
     }
@@ -254,6 +310,89 @@ impl Server {
             cache_hit_rate: cs.hit_rate(),
             cache_evictions: cache.evictions(),
             cache_invalidations: self.cache.invalidations(),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            traces_retained: self.metrics.retainer().recorded(),
+            traces_promoted: self.metrics.retainer().promoted(),
+        }
+    }
+
+    /// The server's rolling-window metrics core (tests reach the trace
+    /// reservoir and the injected clock through this).
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// The full windowed metrics snapshot (the `metrics` op's payload).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let cache = self.cache.cache();
+        let mut snap = self.metrics.snapshot();
+        snap.inflight = self.inflight.load(Ordering::Relaxed) as u64;
+        snap.max_inflight = self.config.max_inflight as u64;
+        snap.total_requests = self.requests.load(Ordering::Relaxed);
+        snap.total_shed = self.shed.load(Ordering::Relaxed);
+        snap.total_errors = self.errors.load(Ordering::Relaxed);
+        snap.total_degraded = self.degraded.load(Ordering::Relaxed);
+        snap.cache_hit_rate = cache.stats().hit_rate();
+        snap.epoch = self.epochs.epoch();
+        snap.uptime_s = self.started.elapsed().as_secs_f64();
+        snap
+    }
+
+    /// The `health` op's verdict: `overloaded` when admission control is
+    /// saturated or shed requests fall inside the window, `degraded` when
+    /// degraded responses do, `ready` otherwise — worst rung wins, with
+    /// every firing rung named in `reasons`.
+    pub fn health(&self) -> HealthStatus {
+        let inflight = self.inflight.load(Ordering::Relaxed);
+        let mut reasons = Vec::new();
+        let mut status = "ready";
+        let window_degraded = self.metrics.window_degraded();
+        if window_degraded > 0 {
+            status = "degraded";
+            reasons.push(format!(
+                "{window_degraded} degraded response(s) in the window"
+            ));
+        }
+        let window_shed = self.metrics.window_shed();
+        if window_shed > 0 {
+            status = "overloaded";
+            reasons.push(format!("{window_shed} shed request(s) in the window"));
+        }
+        if inflight >= self.config.max_inflight {
+            status = "overloaded";
+            reasons.push(format!(
+                "admission control saturated ({inflight}/{})",
+                self.config.max_inflight
+            ));
+        }
+        HealthStatus {
+            status: status.into(),
+            reasons,
+            inflight: inflight as u64,
+            max_inflight: self.config.max_inflight as u64,
+            qps: self.metrics.snapshot().qps,
+            epoch: self.epochs.epoch(),
+        }
+    }
+
+    /// Rate-limited (≥1 s apart, measured on the injected clock) structured
+    /// stderr line for operators; a no-op unless
+    /// [`ServerConfig::trouble_log`] is on.
+    fn log_trouble(&self, line: impl FnOnce() -> String) {
+        if !self.config.trouble_log {
+            return;
+        }
+        let now = self.config.clock.now_ns();
+        let last = self.last_trouble_ns.load(Ordering::Relaxed);
+        if last != u64::MAX && now.saturating_sub(last) < 1_000_000_000 {
+            return;
+        }
+        if self
+            .last_trouble_ns
+            .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            eprintln!("{}", line());
         }
     }
 
@@ -280,6 +419,18 @@ impl Server {
                     ..Response::default()
                 }
             }
+            "metrics" => Response {
+                status: "ok".into(),
+                epoch: Some(self.epochs.epoch()),
+                metrics: Some(self.metrics_snapshot()),
+                ..Response::default()
+            },
+            "health" => Response {
+                status: "ok".into(),
+                epoch: Some(self.epochs.epoch()),
+                health: Some(self.health()),
+                ..Response::default()
+            },
             "search" => self.handle_search(req),
             "add_table" => self.handle_add_table(req),
             "remove_table" => self.handle_remove_table(req),
@@ -287,6 +438,7 @@ impl Server {
         };
         if resp.status == "error" {
             self.errors.fetch_add(1, Ordering::Relaxed);
+            self.metrics.observe_error();
             if thetis_obs::enabled() {
                 OBS_ERRORS.inc();
             }
@@ -301,9 +453,17 @@ impl Server {
         if self.inflight.fetch_add(1, Ordering::AcqRel) >= self.config.max_inflight {
             self.inflight.fetch_sub(1, Ordering::AcqRel);
             self.shed.fetch_add(1, Ordering::Relaxed);
+            self.metrics.observe_shed();
             if thetis_obs::enabled() {
                 OBS_SHED.inc();
             }
+            self.log_trouble(|| {
+                format!(
+                    "thetis-serve trouble: event=shed op=search inflight={} max_inflight={}",
+                    self.inflight.load(Ordering::Relaxed),
+                    self.config.max_inflight
+                )
+            });
             return Response::overloaded();
         }
         let _slot = InflightGuard(self);
@@ -349,14 +509,23 @@ impl Server {
             &*self.sim,
             state.inform.clone(),
         );
+        // Always-on summary trace: a bounded handful of events per request
+        // (phases, degradation rungs, epoch pins — never per-table streams),
+        // so the retainer has the full trace of a request that only turned
+        // out slow at the end. The fault-hit delta around the search is the
+        // promotion signal for injected chaos.
+        let query_id = self.metrics.next_query_id(spec);
+        let trace = QueryTrace::summary(query_id);
+        let faults_before = self.metrics.faults_fired();
         let result = engine.search_prefiltered_shared(
             &query,
             options,
             state.lsei.as_ref(),
             votes,
             cache,
-            &thetis_obs::QueryTrace::disabled(),
+            &trace,
         );
+        let fault_fired = self.metrics.faults_fired() > faults_before;
 
         let ranked = result
             .ranked
@@ -372,24 +541,47 @@ impl Server {
         if thetis_obs::enabled() {
             OBS_LATENCY.observe_nanos(micros * 1_000);
         }
+        let reasons = result.stats.degraded_reason.labels();
+        if result.stats.degraded {
+            self.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        let promoted = self.metrics.observe_search(
+            query_id,
+            "search",
+            micros * 1_000,
+            result.stats.lake_epoch,
+            &reasons,
+            result.stats.timings.sigma_cached,
+            result.stats.timings.sigma_computed,
+            fault_fired,
+            &trace,
+        );
+        if result.stats.degraded || fault_fired {
+            self.log_trouble(|| {
+                format!(
+                    "thetis-serve trouble: event=degraded op=search \
+                     query_id={query_id:#018x} latency_us={micros} \
+                     reasons={} promoted={}",
+                    if reasons.is_empty() {
+                        "fault".to_string()
+                    } else {
+                        reasons.join("+")
+                    },
+                    promoted.unwrap_or("no"),
+                )
+            });
+        }
         Response {
             status: "ok".into(),
             epoch: Some(result.stats.lake_epoch),
             ranked: Some(ranked),
             degraded: Some(result.stats.degraded),
-            degraded_reason: Some(
-                result
-                    .stats
-                    .degraded_reason
-                    .labels()
-                    .iter()
-                    .map(|s| s.to_string())
-                    .collect(),
-            ),
+            degraded_reason: Some(reasons.iter().map(|s| s.to_string()).collect()),
             sigma_hit_rate: Some(result.stats.sigma_hit_rate()),
             candidates: Some(result.stats.candidates as u64),
             tables_scored: Some(result.stats.tables_scored as u64),
             micros: Some(micros),
+            query_id: Some(query_id),
             ..Response::default()
         }
     }
@@ -438,6 +630,7 @@ impl Server {
         let epoch = self.epochs.commit(batch);
         let state = Self::derive_state(self.graph, self.epochs.pin(), &self.config);
         *self.state.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(state);
+        self.metrics.observe_mutation();
         if thetis_obs::enabled() {
             OBS_MUTATIONS.inc();
         }
@@ -481,6 +674,7 @@ pub struct RunningServer {
     server: Arc<Server>,
     addr: SocketAddr,
     acceptor: Option<std::thread::JoinHandle<()>>,
+    metrics_writer: Option<std::thread::JoinHandle<()>>,
 }
 
 impl RunningServer {
@@ -498,14 +692,19 @@ impl RunningServer {
     /// connections finish their current request and close on client EOF.
     pub fn shutdown(mut self) {
         self.server.request_shutdown();
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
-        }
+        self.reap();
     }
 
     /// Blocks until the accept loop exits (a `shutdown` request arrived).
     pub fn join(mut self) {
+        self.reap();
+    }
+
+    fn reap(&mut self) {
         if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.metrics_writer.take() {
             let _ = h.join();
         }
     }
@@ -514,9 +713,7 @@ impl RunningServer {
 impl Drop for RunningServer {
     fn drop(&mut self) {
         self.server.request_shutdown();
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
-        }
+        self.reap();
     }
 }
 
@@ -549,11 +746,65 @@ pub fn serve(server: Arc<Server>) -> std::io::Result<RunningServer> {
                 Err(_) => break,
             }
         })?;
+    let metrics_writer = match server.config.metrics_out.clone() {
+        Some(path) => {
+            let writer_server = Arc::clone(&server);
+            Some(
+                std::thread::Builder::new()
+                    .name("thetis-serve-metrics".into())
+                    .spawn(move || metrics_writer_loop(writer_server, path))?,
+            )
+        }
+        None => None,
+    };
     Ok(RunningServer {
         server,
         addr,
         acceptor: Some(acceptor),
+        metrics_writer,
     })
+}
+
+/// Writes the windowed JSON snapshot (and a Prometheus text rendering of
+/// the global registry alongside it, same stem with a `.prom` extension)
+/// every [`ServerConfig::metrics_interval`], plus one final write at
+/// shutdown so the last snapshot always survives the process.
+fn metrics_writer_loop(server: Arc<Server>, path: PathBuf) {
+    let write_once = |server: &Server| {
+        let snap = server.metrics_snapshot();
+        if let Ok(json) = serde_json::to_string_pretty(&snap) {
+            write_atomically(&path, json.as_bytes());
+        }
+        let prom = thetis_obs::snapshot().render_text();
+        write_atomically(&path.with_extension("prom"), prom.as_bytes());
+    };
+    let interval = server
+        .config
+        .metrics_interval
+        .max(Duration::from_millis(100));
+    let mut last = Instant::now();
+    write_once(&server);
+    while !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+        if last.elapsed() >= interval {
+            write_once(&server);
+            last = Instant::now();
+        }
+    }
+    write_once(&server);
+}
+
+/// Write-to-temp-then-rename so a scraper never reads a torn file.
+fn write_atomically(path: &std::path::Path, bytes: &[u8]) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    if std::fs::write(&tmp, bytes).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
 }
 
 /// One connection: read a line, answer a line, until EOF or I/O error. A

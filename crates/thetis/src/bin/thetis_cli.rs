@@ -37,11 +37,20 @@ struct Args {
     cmd_add: bool,
     cmd_remove: bool,
     cmd_serve: bool,
+    cmd_top: bool,
+    cmd_slowlog: bool,
     csv: Option<PathBuf>,
     table_name: Option<String>,
     addr: String,
     max_inflight: Option<usize>,
     cache_capacity: Option<usize>,
+    serve_slowlog: Option<PathBuf>,
+    metrics_interval_s: Option<u64>,
+    slowlog_file: Option<PathBuf>,
+    limit: usize,
+    interval_ms: u64,
+    frames: Option<u64>,
+    no_clear: bool,
 }
 
 const USAGE: &str = "usage: thetis-cli --kg FILE --tables DIR --query \"A,B,...\" [options]
@@ -53,6 +62,9 @@ const USAGE: &str = "usage: thetis-cli --kg FILE --tables DIR --query \"A,B,...\
                       [--save-index FILE]         (delta-tombstone one table)
        thetis-cli serve --demo [--addr HOST:PORT] [options]
                                                   (resident query service)
+       thetis-cli top --addr HOST:PORT [--interval-ms N] [--frames N]
+                      [--no-clear]                (live server dashboard)
+       thetis-cli slowlog FILE [--limit N]        (render a slow-query log)
 
 options:
   --query \"e1,e2;f1,f2\"  entity tuples: ',' separates entities, ';' tuples
@@ -87,6 +99,17 @@ options:
                          an \"overloaded\" response  (default 2x cores)
   --cache-capacity N     (serve) entry budget of the shared cross-query
                          sigma memo, 0 = unbounded  (default 1048576)
+  --slowlog FILE         (serve) append promoted slow-query traces to FILE
+                         as JSONL (render later with `thetis-cli slowlog`)
+  --metrics-interval-s N (serve) seconds between --metrics-out snapshot
+                         writes                     (default 5)
+  --interval-ms N        (top) refresh interval     (default 1000)
+  --frames N             (top) render N frames, then exit (default: loop
+                         until interrupted)
+  --no-clear             (top) append frames instead of clearing the
+                         screen (for logs and pipes)
+  --limit N              (slowlog) most-recent traces to render
+                                                    (default 10)
 
 the `add` and `remove` subcommands mutate the lake *incrementally*: the
 index snapshot given by --index is patched in O(table) — postings, band
@@ -98,9 +121,13 @@ also copies the CSV into the tables directory so later full loads see it.
 the `serve` subcommand loads the lake once, builds the LSEI, and then
 answers concurrent queries over TCP: one JSON request per line, one JSON
 response line back (send {\"query\":\"A,B\"} and read the ranked tables;
-{\"op\":\"stats\"} for counters, {\"op\":\"shutdown\"} to stop). Results are
-bit-identical to one-shot --lsh runs over the same inputs. A saturated
-server sheds excess searches immediately with status \"overloaded\".
+{\"op\":\"stats\"} for counters, {\"op\":\"metrics\"} for the rolling-window
+snapshot, {\"op\":\"health\"} for ready/degraded/overloaded, and
+{\"op\":\"shutdown\"} to stop). Results are bit-identical to one-shot --lsh
+runs over the same inputs. A saturated server sheds excess searches
+immediately with status \"overloaded\". With --slowlog, traces of slow,
+degraded, or fault-hit requests are appended to a JSONL log; `top` and
+`slowlog` are the matching live dashboard and log renderer.
 
 the `explain` subcommand always searches through the LSEI and prints, per
 top-k table: the Hungarian tuple-to-column mapping, the per-tuple sigma
@@ -131,11 +158,20 @@ fn parse_args() -> Result<Args, String> {
         cmd_add: false,
         cmd_remove: false,
         cmd_serve: false,
+        cmd_top: false,
+        cmd_slowlog: false,
         csv: None,
         table_name: None,
         addr: "127.0.0.1:0".into(),
         max_inflight: None,
         cache_capacity: None,
+        serve_slowlog: None,
+        metrics_interval_s: None,
+        slowlog_file: None,
+        limit: 10,
+        interval_ms: 1000,
+        frames: None,
+        no_clear: false,
     };
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
@@ -158,6 +194,18 @@ fn parse_args() -> Result<Args, String> {
         Some("serve") => {
             args.cmd_serve = true;
             argv.remove(0);
+        }
+        Some("top") => {
+            args.cmd_top = true;
+            argv.remove(0);
+        }
+        Some("slowlog") => {
+            args.cmd_slowlog = true;
+            argv.remove(0);
+            // A bare positional after `slowlog` is the JSONL file.
+            if argv.first().is_some_and(|a| !a.starts_with("--")) {
+                args.slowlog_file = Some(PathBuf::from(argv.remove(0)));
+            }
         }
         _ => {}
     }
@@ -275,6 +323,42 @@ fn parse_args() -> Result<Args, String> {
                 );
                 i += 2;
             }
+            "--slowlog" => {
+                args.serve_slowlog = Some(PathBuf::from(take(&argv, i, "--slowlog")?));
+                i += 2;
+            }
+            "--metrics-interval-s" => {
+                args.metrics_interval_s = Some(
+                    take(&argv, i, "--metrics-interval-s")?
+                        .parse()
+                        .map_err(|_| "--metrics-interval-s needs an integer".to_string())?,
+                );
+                i += 2;
+            }
+            "--limit" => {
+                args.limit = take(&argv, i, "--limit")?
+                    .parse()
+                    .map_err(|_| "--limit needs an integer".to_string())?;
+                i += 2;
+            }
+            "--interval-ms" => {
+                args.interval_ms = take(&argv, i, "--interval-ms")?
+                    .parse()
+                    .map_err(|_| "--interval-ms needs an integer".to_string())?;
+                i += 2;
+            }
+            "--frames" => {
+                args.frames = Some(
+                    take(&argv, i, "--frames")?
+                        .parse()
+                        .map_err(|_| "--frames needs an integer".to_string())?,
+                );
+                i += 2;
+            }
+            "--no-clear" => {
+                args.no_clear = true;
+                i += 1;
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -302,6 +386,20 @@ fn parse_args() -> Result<Args, String> {
             return Err(format!(
                 "serve needs --kg and --tables (or --demo)\n{USAGE}"
             ));
+        }
+        return Ok(args);
+    }
+    if args.cmd_top {
+        if args.addr == "127.0.0.1:0" {
+            return Err(format!(
+                "top needs --addr HOST:PORT of a running server\n{USAGE}"
+            ));
+        }
+        return Ok(args);
+    }
+    if args.cmd_slowlog {
+        if args.slowlog_file.is_none() {
+            return Err(format!("slowlog needs a FILE argument\n{USAGE}"));
         }
         return Ok(args);
     }
@@ -377,6 +475,13 @@ fn parse_query(specs: &[String], graph: &KnowledgeGraph) -> Query {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    // Client-side subcommands need no lake at all.
+    if args.cmd_top {
+        return run_top(&args);
+    }
+    if args.cmd_slowlog {
+        return run_slowlog(&args);
+    }
     // Chaos runs: THETIS_FAULTS arms deterministic failpoints through the
     // whole stack (see the faults module docs for the spec syntax).
     match thetis::obs::faults::arm_from_env() {
@@ -603,6 +708,12 @@ fn write_report(path: &Path, contents: &[u8], what: &str) -> Result<(), String> 
 /// `{"op":"shutdown"}` request arrives. See `thetis::serve` for the
 /// protocol and the admission-control / shared-cache semantics.
 fn run_serve(args: &Args, graph: KnowledgeGraph, lake: DataLake) -> Result<(), String> {
+    // A resident server always records its cumulative metrics (the
+    // rolling-window side is unconditional anyway); THETIS_OBS=0 still
+    // wins as the kill switch.
+    if !thetis::obs::env_disabled() {
+        thetis::obs::set_enabled(true);
+    }
     let store: Option<EmbeddingStore> = if args.sim == "embeddings" {
         eprintln!("training RDF2Vec embeddings on the KG...");
         let config = Rdf2VecConfig {
@@ -631,6 +742,11 @@ fn run_serve(args: &Args, graph: KnowledgeGraph, lake: DataLake) -> Result<(), S
         // Test hook, deliberately not a flag: lets the e2e suite hold a
         // request in flight to exercise saturation and epoch pinning.
         allow_debug: std::env::var_os("THETIS_SERVE_DEBUG").is_some(),
+        slowlog: args.serve_slowlog.clone(),
+        metrics_out: args.metrics_out.clone(),
+        // Operators get the rate-limited trouble lines on stderr; library
+        // and test embeddings leave them off.
+        trouble_log: true,
         ..ServerConfig::default()
     };
     if let Some(n) = args.max_inflight {
@@ -638,6 +754,9 @@ fn run_serve(args: &Args, graph: KnowledgeGraph, lake: DataLake) -> Result<(), S
     }
     if let Some(n) = args.cache_capacity {
         config.cache_capacity = n;
+    }
+    if let Some(s) = args.metrics_interval_s {
+        config.metrics_interval = std::time::Duration::from_secs(s.max(1));
     }
     eprintln!("building LSEI and informativeness weights...");
     let server = Server::new(graph, lake, store, config);
@@ -649,8 +768,169 @@ fn run_serve(args: &Args, graph: KnowledgeGraph, lake: DataLake) -> Result<(), S
         running.server().config().max_inflight,
         running.server().config().cache_capacity,
     );
+    if let Some(path) = &args.serve_slowlog {
+        eprintln!("slow-query log: {}", path.display());
+    }
+    if let Some(path) = &args.metrics_out {
+        eprintln!(
+            "metrics snapshots: {} every {:?}",
+            path.display(),
+            running.server().config().metrics_interval,
+        );
+    }
     running.join();
     eprintln!("server shut down");
+    Ok(())
+}
+
+/// One protocol request over its own connection, like any other client.
+fn send_request(addr: &str, op: &str) -> Result<thetis::serve::Response, String> {
+    use std::io::{BufRead, BufReader, Write as _};
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut line = serde_json::to_string(&thetis::serve::Request::op(op))
+        .map_err(|e| format!("cannot encode request: {e}"))?;
+    line.push('\n');
+    stream
+        .write_all(line.as_bytes())
+        .map_err(|e| format!("cannot send to {addr}: {e}"))?;
+    let mut reply = String::new();
+    BufReader::new(stream)
+        .read_line(&mut reply)
+        .map_err(|e| format!("cannot read from {addr}: {e}"))?;
+    serde_json::from_str(&reply).map_err(|e| format!("bad response from {addr}: {e}"))
+}
+
+/// Formats an optional microsecond reading for the dashboard.
+fn fmt_us(us: Option<u64>) -> String {
+    us.map_or_else(|| "-".into(), |v| format!("{v}us"))
+}
+
+/// The `top` subcommand: a live dashboard over the `metrics` and `health`
+/// protocol ops of a running server — windowed QPS and latency quantiles
+/// with sparkline history, degradation state, and the slowest retained
+/// queries with their trace ids.
+fn run_top(args: &Args) -> Result<(), String> {
+    const HISTORY: usize = 48;
+    let mut qps_hist: Vec<Option<u64>> = Vec::new();
+    let mut p50_hist: Vec<Option<u64>> = Vec::new();
+    let mut p99_hist: Vec<Option<u64>> = Vec::new();
+    let mut frame = 0u64;
+    loop {
+        let metrics = send_request(&args.addr, "metrics")?
+            .metrics
+            .ok_or("server did not return metrics (is it an older build?)")?;
+        let health = send_request(&args.addr, "health")?
+            .health
+            .ok_or("server did not return health (is it an older build?)")?;
+        let push = |hist: &mut Vec<Option<u64>>, v: Option<u64>| {
+            hist.push(v);
+            if hist.len() > HISTORY {
+                hist.remove(0);
+            }
+        };
+        push(&mut qps_hist, Some(metrics.qps.round() as u64));
+        push(&mut p50_hist, metrics.p50_us);
+        push(&mut p99_hist, metrics.p99_us);
+
+        if !args.no_clear {
+            // Clear and home, plain ANSI.
+            print!("\x1b[2J\x1b[H");
+        }
+        println!(
+            "thetis-serve {}  epoch {}  up {:.0}s  [{}]",
+            args.addr, metrics.epoch, metrics.uptime_s, health.status
+        );
+        for reason in &health.reasons {
+            println!("  ! {reason}");
+        }
+        println!(
+            "  window {}s: {} request(s), {} shed, {} error(s), {} degraded, \
+             {} mutation(s), sigma hit rate {:.1}%",
+            metrics.window_secs,
+            metrics.window_requests,
+            metrics.window_shed,
+            metrics.window_errors,
+            metrics.window_degraded,
+            metrics.window_mutations,
+            metrics.window_sigma_hit_rate * 100.0,
+        );
+        println!(
+            "  inflight {}/{}  totals: {} request(s), {} shed, {} error(s), \
+             {} degraded  traces {}/{} promoted",
+            metrics.inflight,
+            metrics.max_inflight,
+            metrics.total_requests,
+            metrics.total_shed,
+            metrics.total_errors,
+            metrics.total_degraded,
+            metrics.traces_promoted,
+            metrics.traces_retained,
+        );
+        println!(
+            "  qps {:>10.1}  {}",
+            metrics.qps,
+            thetis::obs::sparkline(&qps_hist)
+        );
+        println!(
+            "  p50 {:>10}  {}",
+            fmt_us(metrics.p50_us),
+            thetis::obs::sparkline(&p50_hist)
+        );
+        println!(
+            "  p99 {:>10}  {}",
+            fmt_us(metrics.p99_us),
+            thetis::obs::sparkline(&p99_hist)
+        );
+        if !metrics.slowest.is_empty() {
+            println!("  slowest retained queries:");
+            for q in &metrics.slowest {
+                println!(
+                    "    {:#018x}  {:>9}us  epoch {}  {}{}",
+                    q.query_id,
+                    q.latency_us,
+                    q.epoch,
+                    if q.reasons.is_empty() {
+                        "ok".to_string()
+                    } else {
+                        q.reasons.join("+")
+                    },
+                    q.promoted_by
+                        .as_deref()
+                        .map(|p| format!("  [slowlog: {p}]"))
+                        .unwrap_or_default(),
+                );
+            }
+        }
+        frame += 1;
+        if args.frames.is_some_and(|n| frame >= n) {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(args.interval_ms.max(50)));
+    }
+}
+
+/// The `slowlog` subcommand: pretty-print the slow-query log a server
+/// wrote with `serve --slowlog`, most recent last, each with its full
+/// timing waterfall.
+fn run_slowlog(args: &Args) -> Result<(), String> {
+    let path = args.slowlog_file.as_ref().expect("validated");
+    let traces = thetis::obs::read_slowlog(path)
+        .map_err(|e| format!("cannot read slowlog {}: {e}", path.display()))?;
+    if traces.is_empty() {
+        eprintln!("slowlog {} is empty", path.display());
+        return Ok(());
+    }
+    let total = traces.len();
+    let start = total.saturating_sub(args.limit.max(1));
+    eprintln!(
+        "{total} promoted trace(s) in {}, showing {}",
+        path.display(),
+        total - start
+    );
+    for trace in &traces[start..] {
+        print!("{}", trace.render());
+    }
     Ok(())
 }
 

@@ -745,3 +745,116 @@ fn serve_subcommand_matches_oneshot_rankings_over_tcp() {
     let status = child.wait().expect("server exits");
     assert!(status.success(), "server exited nonzero");
 }
+
+#[test]
+fn top_without_addr_is_a_usage_error() {
+    let out = cli().arg("top").output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("top needs --addr"), "{stderr}");
+}
+
+#[test]
+fn slowlog_without_file_is_a_usage_error() {
+    let out = cli().arg("slowlog").output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("slowlog needs a FILE"), "{stderr}");
+}
+
+#[test]
+fn slowlog_renders_a_log_written_by_the_server() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let suggested = suggested_demo_query();
+    let log = std::env::temp_dir().join(format!("thetis-cli-slowlog-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&log);
+
+    // Boot a demo server with a slow-query log attached.
+    let mut child = cli()
+        .args([
+            "serve",
+            "--demo",
+            "--addr",
+            "127.0.0.1:0",
+            "--slowlog",
+            log.to_str().unwrap(),
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let child_err = child.stderr.take().unwrap();
+    let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(child_err).lines() {
+            let line = line.unwrap_or_default();
+            if let Some(rest) = line.strip_prefix("serving on ") {
+                let _ = addr_tx.send(rest.split_whitespace().next().unwrap_or("").to_string());
+            }
+        }
+    });
+    let addr = addr_rx
+        .recv_timeout(std::time::Duration::from_secs(120))
+        .expect("server prints its bound address");
+
+    // One healthy search, one degraded by a pre-expired deadline: only the
+    // degraded one may be promoted into the slowlog.
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect to server");
+    let query_json = serde_json::to_string(&suggested).unwrap();
+    let request =
+        format!("{{\"query\":{query_json}}}\n{{\"query\":{query_json},\"deadline_ms\":0}}\n");
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    reply.clear();
+    reader.read_line(&mut reply).unwrap();
+    let degraded: serde_json::Value = serde_json::from_str(&reply).expect("valid response");
+    assert_eq!(
+        degraded.get("degraded").and_then(|v| v.as_bool()),
+        Some(true)
+    );
+    let qid = degraded
+        .get("query_id")
+        .and_then(|v| v.as_u64())
+        .expect("searches answer with a query id");
+
+    // `top` renders one dashboard frame against the live server.
+    let top = cli()
+        .args(["top", "--addr", &addr, "--frames", "1", "--no-clear"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        top.status.success(),
+        "{}",
+        String::from_utf8_lossy(&top.stderr)
+    );
+    let dash = String::from_utf8_lossy(&top.stdout);
+    assert!(dash.contains("thetis-serve"), "{dash}");
+    assert!(dash.contains("p99"), "{dash}");
+    assert!(dash.contains("degraded"), "{dash}");
+
+    // Shut down, then render the slowlog offline.
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect to server");
+    stream.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).unwrap();
+    assert!(child.wait().expect("server exits").success());
+
+    let out = cli()
+        .args(["slowlog", log.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let rendered = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        rendered.contains(&format!("{qid:#018x}")),
+        "slowlog must render the degraded query's trace:\n{rendered}"
+    );
+    assert!(rendered.contains("deadline"), "{rendered}");
+    let _ = std::fs::remove_file(&log);
+}
