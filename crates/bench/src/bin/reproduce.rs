@@ -22,7 +22,7 @@ use thetis_bench::Ctx;
 
 const USAGE: &str =
     "usage: reproduce <experiment> [--scale F] [--queries N] [--threads N] [--out DIR]
-                     [--connect HOST:PORT]
+                     [--kernel f64|f32|i8] [--connect HOST:PORT]
 experiments:
   table2         Table 2   corpus statistics (all four corpora)
   fig4           Figure 4  NDCG@10: STST/STSE, 6 LSH configs, BM25, union search
@@ -49,7 +49,9 @@ BENCH_<experiment>.json (wall time, per-span totals, counters) in the
 output directory; see bench_gate for the CI regression check. An
 explicit --threads N pins the scoring worker count and suffixes the
 snapshot name (BENCH_<experiment>_tN.json) so per-thread-count
-baselines coexist.";
+baselines coexist. --kernel selects the sigma kernel for embedding
+similarity (f64 is the bit-exact reference; f32/i8 score from quantized
+SoA slabs) and suffixes artifacts the same way (BENCH_smoke_t1_f32.json).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,6 +63,7 @@ fn main() -> ExitCode {
     let mut scale = 0.01f64;
     let mut queries = 50usize;
     let mut threads = 0usize;
+    let mut kernel = thetis::core::SigmaKernel::default();
     let mut out = PathBuf::from("results");
     let mut connect: Option<String> = None;
     let mut i = 1;
@@ -87,6 +90,13 @@ fn main() -> ExitCode {
                     .unwrap_or_else(|| die("--threads needs an integer"));
                 i += 2;
             }
+            "--kernel" => {
+                kernel = args
+                    .get(i + 1)
+                    .and_then(|v| thetis::core::SigmaKernel::parse(v))
+                    .unwrap_or_else(|| die("--kernel must be f64, f32 or i8"));
+                i += 2;
+            }
             "--out" => {
                 out = args
                     .get(i + 1)
@@ -110,6 +120,7 @@ fn main() -> ExitCode {
 
     let ctx = Ctx::new(scale, queries, out)
         .with_threads(threads)
+        .with_kernel(kernel)
         .with_connect(connect);
     // THETIS_OBS=0 runs the experiments with telemetry fully off (the
     // BENCH_*.json snapshot then carries wall time but empty metrics).

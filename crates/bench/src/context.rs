@@ -43,6 +43,11 @@ pub struct Ctx {
     /// `_t<N>` suffix when it is explicit, so per-thread-count baselines
     /// can coexist.
     pub threads: usize,
+    /// σ kernel for embedding-similarity searches (`--kernel`). The f64
+    /// reference is the default; quantized kernels suffix result artifacts
+    /// (`_f32`, `_i8`) so per-kernel baselines coexist next to the f64
+    /// ones.
+    pub kernel: SigmaKernel,
     /// Directory for JSON result dumps.
     pub out_dir: PathBuf,
     /// Address of an already-running `thetis-cli serve` instance. When
@@ -60,6 +65,7 @@ impl Ctx {
             scale,
             n_queries,
             threads: 0,
+            kernel: SigmaKernel::default(),
             out_dir,
             connect: None,
             cache: Mutex::new(Vec::new()),
@@ -69,6 +75,12 @@ impl Ctx {
     /// Sets an explicit scoring thread count (0 = all cores).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the σ kernel embedding-similarity experiments run under.
+    pub fn with_kernel(mut self, kernel: SigmaKernel) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -86,6 +98,22 @@ impl Ctx {
         } else {
             String::new()
         }
+    }
+
+    /// The artifact suffix for this context's σ kernel (`"_f32"` / `"_i8"`
+    /// when quantized, empty for the f64 reference — existing baselines
+    /// keep their names).
+    pub fn kernel_suffix(&self) -> String {
+        match self.kernel {
+            SigmaKernel::F64Exact => String::new(),
+            k => format!("_{}", k.name()),
+        }
+    }
+
+    /// The combined artifact suffix: thread count then kernel
+    /// (`"_t1_f32"`), so per-thread and per-kernel baselines coexist.
+    pub fn artifact_suffix(&self) -> String {
+        format!("{}{}", self.thread_suffix(), self.kernel_suffix())
     }
 
     /// Returns (building and caching on first use) the data for `kind`.

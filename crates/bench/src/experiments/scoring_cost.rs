@@ -1,5 +1,8 @@
 //! §7.3 "Table scoring": per-table scoring cost and the share spent in the
-//! Hungarian mapping `μ_{T,Q}`, on WT2015 and GitTables, for both σ.
+//! Hungarian mapping `μ_{T,Q}`, on WT2015 and GitTables, for both σ — and,
+//! for the embedding σ, under each quantization kernel (f64 reference,
+//! f32 and i8 SoA slabs), so the table reads off the kernel speedup
+//! directly.
 
 use serde::Serialize;
 use thetis::eval::report::{fmt_pct, fmt_secs, format_table};
@@ -13,8 +16,17 @@ struct Row {
     corpus: String,
     query_set: &'static str,
     sim: &'static str,
+    kernel: &'static str,
     mean_table_seconds: f64,
     mapping_fraction: f64,
+}
+
+/// The (σ, kernel) combinations measured: type Jaccard is kernel-invariant
+/// (one row), embedding cosine gets one row per kernel.
+fn combos() -> Vec<(Sim, SigmaKernel)> {
+    let mut v = vec![(Sim::Types, SigmaKernel::F64Exact)];
+    v.extend(SigmaKernel::ALL.iter().map(|&k| (Sim::Embeddings, k)));
+    v
 }
 
 fn measure(ctx: &Ctx, kind: BenchmarkKind, rows: &mut Vec<Row>) {
@@ -25,7 +37,7 @@ fn measure(ctx: &Ctx, kind: BenchmarkKind, rows: &mut Vec<Row>) {
     let cap = 8.min(data.bench.queries1.len());
     let q1 = &data.bench.queries1[..cap];
     let q5 = &data.bench.queries5[..cap];
-    for sim in [Sim::Types, Sim::Embeddings] {
+    for (sim, kernel) in combos() {
         for (query_set, queries) in [("1-tuple", q1), ("5-tuple", q5)] {
             let mut mapping = 0u64;
             let mut scoring = 0u64;
@@ -36,7 +48,8 @@ fn measure(ctx: &Ctx, kind: BenchmarkKind, rows: &mut Vec<Row>) {
             let options = SearchOptions {
                 threads: 1,
                 ..SearchOptions::exhaustive(10)
-            };
+            }
+            .with_kernel(kernel);
             let run = |res: thetis::core::SearchResult,
                        mapping: &mut u64,
                        scoring: &mut u64,
@@ -59,11 +72,9 @@ fn measure(ctx: &Ctx, kind: BenchmarkKind, rows: &mut Vec<Row>) {
                     }
                 }
                 Sim::Embeddings => {
-                    let engine = ThetisEngine::new(
-                        graph,
-                        &data.bench.lake,
-                        EmbeddingCosine::new(&data.store),
-                    );
+                    let cos = EmbeddingCosine::new(&data.store);
+                    cos.warm(kernel);
+                    let engine = ThetisEngine::new(graph, &data.bench.lake, cos);
                     for q in queries.iter() {
                         run(
                             engine.search(&Query::new(q.tuples.clone()), options),
@@ -81,6 +92,10 @@ fn measure(ctx: &Ctx, kind: BenchmarkKind, rows: &mut Vec<Row>) {
                     Sim::Types => "types",
                     Sim::Embeddings => "embeddings",
                 },
+                kernel: match sim {
+                    Sim::Types => "-",
+                    Sim::Embeddings => kernel.name(),
+                },
                 mean_table_seconds: scoring as f64 / 1e9 / tables.max(1) as f64,
                 mapping_fraction: if scoring == 0 {
                     0.0
@@ -92,7 +107,8 @@ fn measure(ctx: &Ctx, kind: BenchmarkKind, rows: &mut Vec<Row>) {
     }
 }
 
-/// Regenerates the scoring-cost measurement of §7.3.
+/// Regenerates the scoring-cost measurement of §7.3, with per-kernel rows
+/// for the embedding σ.
 pub fn run(ctx: &Ctx) -> String {
     let mut rows = Vec::new();
     measure(ctx, BenchmarkKind::Wt2015, &mut rows);
@@ -100,7 +116,7 @@ pub fn run(ctx: &Ctx) -> String {
     ctx.write_json("scoring_cost", &rows);
     let table = format_table(
         "§7.3 table-scoring cost: mean per-table time and share spent in μ(T,Q)",
-        &["corpus", "queries", "σ", "per-table", "μ share"],
+        &["corpus", "queries", "σ", "kernel", "per-table", "μ share"],
         &rows
             .iter()
             .map(|r| {
@@ -108,6 +124,7 @@ pub fn run(ctx: &Ctx) -> String {
                     r.corpus.clone(),
                     r.query_set.to_string(),
                     r.sim.to_string(),
+                    r.kernel.to_string(),
                     fmt_secs(r.mean_table_seconds),
                     fmt_pct(r.mapping_fraction),
                 ]

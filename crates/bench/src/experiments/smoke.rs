@@ -23,6 +23,19 @@ const MAX_SMOKE_SCALE: f64 = 0.002;
 /// How many engine searches per query set.
 const SMOKE_SEARCHES: usize = 4;
 
+/// Cold-cache passes of the embedding-σ search block; enough that the
+/// quantizable embedding σ dominates the `core.sigma*` spans over the
+/// kernel-invariant type-σ work above it (the f32-vs-f64 span diff is a
+/// CI acceptance signal, so it needs headroom over run-to-run noise).
+const SMOKE_EMB_PASSES: usize = 6;
+
+/// Dimensionality of the σ-workload store. The corpus-fidelity store
+/// trains at 32d for speed, but real RDF2Vec embeddings run 100–200d —
+/// and at 32d fixed per-pair overhead (norm lookups, bounds checks,
+/// clamping) hides most of the slab kernels' advantage, so the smoke
+/// numbers would understate what production sees.
+const SMOKE_EMB_DIM: usize = 128;
+
 /// How many raw `score_table` iterations per σ.
 const SMOKE_SCORE_ITERS: usize = 50;
 
@@ -30,11 +43,15 @@ const SMOKE_SCORE_ITERS: usize = 50;
 struct SmokeSummary {
     tables: usize,
     threads: usize,
+    kernel: String,
     lsei_build_seconds: f64,
     prefilter_queries: usize,
     searches: usize,
+    emb_searches: usize,
     score_table_iters: usize,
     mean_search_seconds: f64,
+    mean_emb_search_seconds: f64,
+    sigma_slab_bytes: usize,
 }
 
 /// Runs the quick perf-smoke workload.
@@ -42,12 +59,13 @@ pub fn run(ctx: &Ctx) -> String {
     let scale = ctx.scale.min(MAX_SMOKE_SCALE);
     let n_queries = ctx.n_queries.clamp(4, 8);
     eprintln!(
-        "[smoke] scale {scale}, {n_queries} queries, threads {}",
+        "[smoke] scale {scale}, {n_queries} queries, threads {}, kernel {}",
         if ctx.threads == 0 {
             "auto".to_string()
         } else {
             ctx.threads.to_string()
-        }
+        },
+        ctx.kernel,
     );
     let data = crate::context::BenchData::build(BenchmarkKind::Wt2015, scale, n_queries);
     let graph = &data.bench.kg.graph;
@@ -94,6 +112,50 @@ pub fn run(ctx: &Ctx) -> String {
         );
     }
 
+    // Embedding-σ searches under the context's kernel: `core.sigma*` self
+    // time in the enclosing BENCH snapshot is dominated by these, so
+    // diffing an `_f32` run against the f64 baseline reads off the
+    // quantized-kernel speedup directly. Each pass uses a fresh engine
+    // (cold σ cache) over both query sets — otherwise memoization would
+    // hide all but the first pass's kernel work behind cache hits and the
+    // kernel-invariant type searches above would dilute the spans. The
+    // slab is warmed up front so its one-time build cost never pollutes a
+    // sigma span.
+    // The store is synthetic (seeded uniform values at paper-realistic
+    // dimensionality): per-pair σ cost is data-independent, so this
+    // measures exactly what the kernels change without paying for a
+    // second SGNS training run.
+    let emb_store = {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0x516D_A50B);
+        let raw: Vec<f32> = (0..graph.entity_count() * SMOKE_EMB_DIM)
+            .map(|_| rng.random::<f32>() - 0.5)
+            .collect();
+        EmbeddingStore::from_raw(raw, SMOKE_EMB_DIM)
+    };
+    let emb_options = options.with_kernel(ctx.kernel);
+    let mut sigma_slab_bytes = 0usize;
+    let mut emb_searches = 0usize;
+    let mut emb_search_seconds = 0.0f64;
+    for _ in 0..SMOKE_EMB_PASSES {
+        let emb_cos = EmbeddingCosine::new(&emb_store);
+        emb_cos.warm(ctx.kernel);
+        sigma_slab_bytes = emb_cos.slab_bytes();
+        let emb_engine = ThetisEngine::new(graph, lake, emb_cos);
+        for q in data.bench.queries5.iter().chain(data.bench.queries1.iter()) {
+            let query = Query::new(q.tuples.clone());
+            let start = std::time::Instant::now();
+            let ranked = emb_engine.search(&query, emb_options);
+            emb_search_seconds += start.elapsed().as_secs_f64();
+            emb_searches += 1;
+            assert!(
+                !ranked.ranked.is_empty(),
+                "smoke embedding search produced no ranking"
+            );
+        }
+    }
+
     // scoring_cost workload, part 2: raw per-table scoring for both σ.
     let inform = Informativeness::from_lake(lake);
     let type_sim = TypeJaccard::new(graph);
@@ -125,22 +187,31 @@ pub fn run(ctx: &Ctx) -> String {
     let summary = SmokeSummary {
         tables: lake.len(),
         threads: ctx.threads,
+        kernel: ctx.kernel.to_string(),
         lsei_build_seconds,
         prefilter_queries,
         searches,
+        emb_searches,
         score_table_iters: SMOKE_SCORE_ITERS * 2,
         mean_search_seconds: search_seconds / SMOKE_SEARCHES.max(1) as f64,
+        mean_emb_search_seconds: emb_search_seconds / emb_searches.max(1) as f64,
+        sigma_slab_bytes,
     };
     let line = format!(
-        "smoke: {} tables, LSEI build {:.3}s, {} prefilters, {} searches (mean {:.4}s), {} score_table iters",
+        "smoke: {} tables, LSEI build {:.3}s, {} prefilters, {} searches (mean {:.4}s), \
+         {} embedding searches (kernel {}, mean {:.4}s, slab {} B), {} score_table iters",
         summary.tables,
         summary.lsei_build_seconds,
         summary.prefilter_queries,
         summary.searches,
         summary.mean_search_seconds,
+        summary.emb_searches,
+        summary.kernel,
+        summary.mean_emb_search_seconds,
+        summary.sigma_slab_bytes,
         summary.score_table_iters,
     );
-    ctx.write_json(&format!("smoke_summary{}", ctx.thread_suffix()), &summary);
+    ctx.write_json(&format!("smoke_summary{}", ctx.artifact_suffix()), &summary);
     println!("{line}");
     line
 }

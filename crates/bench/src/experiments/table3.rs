@@ -13,6 +13,8 @@ use crate::methods::{prefiltered_report, semantic_report_opts, Sim};
 struct Row {
     query_set: &'static str,
     method: String,
+    /// σ kernel the run scored with (`"-"` for kernel-invariant methods).
+    kernel: &'static str,
     votes: usize,
     mean_seconds: f64,
     mean_reduction: f64,
@@ -30,21 +32,51 @@ fn eval_query_set(
 ) {
     let data = ctx.data(BenchmarkKind::Wt2015);
     // Brute force reference, before (exhaustive) and after (memoized +
-    // pruned) the scoring optimizations — same ranking, fewer σ.
+    // pruned) the scoring optimizations — same ranking, fewer σ. STSE's
+    // memoized variant additionally runs under every σ kernel, so the f32
+    // and i8 rows show the quantized-slab speedup against the f64
+    // reference at identical NDCG (within quantization tolerance).
     for sim in [Sim::Types, Sim::Embeddings] {
         let base = match sim {
             Sim::Types => "STST",
             Sim::Embeddings => "STSE",
         };
-        for (suffix, options) in [
-            (" exh", SearchOptions::exhaustive(10)),
-            ("", SearchOptions::top(10)),
-        ] {
-            let (r, scoring) =
-                semantic_report_opts(&data, sim, &format!("{base}{suffix}"), queries, gt, options);
+        let kernels: &[SigmaKernel] = match sim {
+            Sim::Types => &[SigmaKernel::F64Exact],
+            Sim::Embeddings => &SigmaKernel::ALL,
+        };
+        let (r, scoring) = semantic_report_opts(
+            &data,
+            sim,
+            &format!("{base} exh"),
+            queries,
+            gt,
+            SearchOptions::exhaustive(10),
+        );
+        rows.push(Row {
+            query_set,
+            method: r.name.clone(),
+            kernel: kernel_label(sim, SigmaKernel::F64Exact),
+            votes: 0,
+            mean_seconds: r.mean_seconds,
+            mean_reduction: 0.0,
+            mean_ndcg10: r.mean_ndcg10,
+            sigma_computed: scoring.sigma_computed,
+            tables_pruned: scoring.tables_pruned,
+        });
+        for &kernel in kernels {
+            let (r, scoring) = semantic_report_opts(
+                &data,
+                sim,
+                base,
+                queries,
+                gt,
+                SearchOptions::top(10).with_kernel(kernel),
+            );
             rows.push(Row {
                 query_set,
                 method: r.name.clone(),
+                kernel: kernel_label(sim, kernel),
                 votes: 0,
                 mean_seconds: r.mean_seconds,
                 mean_reduction: 0.0,
@@ -62,6 +94,7 @@ fn eval_query_set(
                 rows.push(Row {
                     query_set,
                     method: format!("{}{}", sim.letter(), cfg),
+                    kernel: "-",
                     votes,
                     mean_seconds: r.mean_seconds,
                     mean_reduction: stats.mean_reduction,
@@ -71,6 +104,14 @@ fn eval_query_set(
                 });
             }
         }
+    }
+}
+
+/// The kernel column label: type Jaccard is kernel-invariant.
+fn kernel_label(sim: Sim, kernel: SigmaKernel) -> &'static str {
+    match sim {
+        Sim::Types => "-",
+        Sim::Embeddings => kernel.name(),
     }
 }
 
@@ -99,6 +140,7 @@ pub fn run(ctx: &Ctx) -> String {
         &[
             "queries",
             "method",
+            "kernel",
             "votes",
             "runtime",
             "reduction",
@@ -112,6 +154,7 @@ pub fn run(ctx: &Ctx) -> String {
                 vec![
                     r.query_set.to_string(),
                     r.method.clone(),
+                    r.kernel.to_string(),
                     if r.votes == 0 {
                         "-".into()
                     } else {

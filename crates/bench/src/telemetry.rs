@@ -188,14 +188,15 @@ impl BenchReport {
 
 /// Snapshots the registry and writes `BENCH_<experiment>.json` (dashes in
 /// the experiment name become underscores; an explicit `--threads N`
-/// appends `_tN` so per-thread-count baselines coexist) into the context's
+/// appends `_tN`, and a quantized `--kernel` appends `_f32`/`_i8`, so
+/// per-thread-count and per-kernel baselines coexist) into the context's
 /// output directory. Returns the captured report.
 pub fn write_bench_report(ctx: &Ctx, experiment: &str, wall_seconds: f64) -> BenchReport {
     let report = BenchReport::capture(experiment, ctx.scale, ctx.n_queries, wall_seconds);
     let stem = format!(
         "BENCH_{}{}",
         experiment.replace('-', "_"),
-        ctx.thread_suffix()
+        ctx.artifact_suffix()
     );
     ctx.write_json(&stem, &report);
     report

@@ -68,6 +68,71 @@ fn stst_prefiltered_quality_is_pinned() {
     );
 }
 
+/// Quality drift allowed for the f32 SoA kernel vs the pinned f64 STSE
+/// reference. σ error is ≤ dim·ε_f32 (~1e-5 at dim 64), which only moves
+/// retrieval metrics when it flips a near-tie in the ranking.
+const F32_QUALITY_TOL: f64 = 0.02;
+/// Quality drift allowed for the i8 kernel (σ error ≤ 4·√dim/254 ≈ 0.13
+/// at dim 64 — coarse enough to reorder close scores, not to break
+/// retrieval).
+const I8_QUALITY_TOL: f64 = 0.05;
+
+#[test]
+fn stse_quality_is_pinned_and_quantized_kernels_stay_within_tolerance() {
+    let d = data();
+    let q = &d.bench.queries1;
+    let gt = &d.bench.gt1;
+    // The default path and the explicit f64 kernel are the same code: both
+    // must hit the pinned values exactly.
+    for options in [
+        SearchOptions::top(100),
+        SearchOptions::top(100).with_kernel(SigmaKernel::F64Exact),
+    ] {
+        let (r, _) = semantic_report_opts(&d, Sim::Embeddings, "STSE", q, gt, options);
+        assert!(
+            (r.mean_ndcg10 - GOLDEN_STSE_NDCG10).abs() < TOL,
+            "STSE f64 NDCG@10 drifted: got {:.17}, pinned {:.17}",
+            r.mean_ndcg10,
+            GOLDEN_STSE_NDCG10
+        );
+        assert!(
+            (r.mean_recall100 - GOLDEN_STSE_RECALL100).abs() < TOL,
+            "STSE f64 recall@100 drifted: got {:.17}, pinned {:.17}",
+            r.mean_recall100,
+            GOLDEN_STSE_RECALL100
+        );
+    }
+    // Quantized kernels trade σ precision for speed; retrieval quality
+    // must stay within the per-kernel tolerance of the f64 reference.
+    for (kernel, tol) in [
+        (SigmaKernel::F32, F32_QUALITY_TOL),
+        (SigmaKernel::I8, I8_QUALITY_TOL),
+    ] {
+        let (r, _) = semantic_report_opts(
+            &d,
+            Sim::Embeddings,
+            "STSE",
+            q,
+            gt,
+            SearchOptions::top(100).with_kernel(kernel),
+        );
+        assert!(
+            (r.mean_ndcg10 - GOLDEN_STSE_NDCG10).abs() <= tol,
+            "STSE {kernel} NDCG@10 left its tolerance: got {:.17}, \
+             f64 reference {:.17}, tol {tol}",
+            r.mean_ndcg10,
+            GOLDEN_STSE_NDCG10
+        );
+        assert!(
+            (r.mean_recall100 - GOLDEN_STSE_RECALL100).abs() <= tol,
+            "STSE {kernel} recall@100 left its tolerance: got {:.17}, \
+             f64 reference {:.17}, tol {tol}",
+            r.mean_recall100,
+            GOLDEN_STSE_RECALL100
+        );
+    }
+}
+
 // Pinned against the vendored RNG; regenerate by running this test with
 // `GOLDEN_PRINT=1` and copying the printed values.
 const GOLDEN_BRUTE_NDCG10: f64 = 0.8123244334835918;
@@ -75,6 +140,8 @@ const GOLDEN_BRUTE_RECALL100: f64 = 1.0;
 const GOLDEN_PRE_NDCG10: f64 = 0.8123244334835918;
 const GOLDEN_PRE_RECALL100: f64 = 0.7178700328759291;
 const GOLDEN_PRE_REDUCTION: f64 = 0.531578947368421;
+const GOLDEN_STSE_NDCG10: f64 = 0.8309360576430003;
+const GOLDEN_STSE_RECALL100: f64 = 1.0;
 
 #[test]
 fn print_golden_values() {
@@ -86,9 +153,12 @@ fn print_golden_values() {
     let gt = &d.bench.gt1;
     let (b, _) = semantic_report_opts(&d, Sim::Types, "STST", q, gt, SearchOptions::top(100));
     let (p, s) = prefiltered_report(&d, Sim::Types, LshConfig::new(32, 8), 1, q, gt, 100);
+    let (e, _) = semantic_report_opts(&d, Sim::Embeddings, "STSE", q, gt, SearchOptions::top(100));
     println!("GOLDEN_BRUTE_NDCG10: f64 = {:?};", b.mean_ndcg10);
     println!("GOLDEN_BRUTE_RECALL100: f64 = {:?};", b.mean_recall100);
     println!("GOLDEN_PRE_NDCG10: f64 = {:?};", p.mean_ndcg10);
     println!("GOLDEN_PRE_RECALL100: f64 = {:?};", p.mean_recall100);
     println!("GOLDEN_PRE_REDUCTION: f64 = {:?};", s.mean_reduction);
+    println!("GOLDEN_STSE_NDCG10: f64 = {:?};", e.mean_ndcg10);
+    println!("GOLDEN_STSE_RECALL100: f64 = {:?};", e.mean_recall100);
 }

@@ -24,7 +24,7 @@ use std::sync::RwLock;
 
 use thetis_kg::EntityId;
 
-use crate::similarity::EntitySimilarity;
+use crate::similarity::{EntitySimilarity, SigmaKernel};
 
 /// Time spent actually evaluating σ (cache misses only). Timed per call —
 /// a clock read costs a few percent of one σ evaluation — and only while
@@ -36,29 +36,36 @@ static OBS_SIGMA: thetis_obs::Span = thetis_obs::Span::new("core.sigma");
 /// cost the batching buys.
 static OBS_SIGMA_BATCH: thetis_obs::Span = thetis_obs::Span::new("core.sigma_batch");
 
-/// Evaluates `sim.sim(a, b)`, recording wall time into the `core.sigma`
-/// span when metrics are enabled.
+/// Evaluates `sim.sim_kernel(kernel, a, b)`, recording wall time into the
+/// `core.sigma` span when metrics are enabled.
 #[inline]
-fn timed_sim(sim: &dyn EntitySimilarity, a: EntityId, b: EntityId) -> f64 {
+fn timed_sim(sim: &dyn EntitySimilarity, kernel: SigmaKernel, a: EntityId, b: EntityId) -> f64 {
     if !thetis_obs::enabled() {
-        return sim.sim(a, b);
+        return sim.sim_kernel(kernel, a, b);
     }
     let start = std::time::Instant::now();
-    let v = sim.sim(a, b);
+    let v = sim.sim_kernel(kernel, a, b);
     OBS_SIGMA.record_nanos(start.elapsed().as_nanos() as u64, 1);
     v
 }
 
-/// Evaluates `sim.sim_batch(a, bs, out)`, recording wall time and pair
-/// count into the `core.sigma_batch` span when metrics are enabled.
+/// Evaluates `sim.sim_batch_kernel(kernel, a, bs, out)`, recording wall
+/// time and pair count into the `core.sigma_batch` span when metrics are
+/// enabled.
 #[inline]
-fn timed_sim_batch(sim: &dyn EntitySimilarity, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
+fn timed_sim_batch(
+    sim: &dyn EntitySimilarity,
+    kernel: SigmaKernel,
+    a: EntityId,
+    bs: &[EntityId],
+    out: &mut [f64],
+) {
     if !thetis_obs::enabled() {
-        sim.sim_batch(a, bs, out);
+        sim.sim_batch_kernel(kernel, a, bs, out);
         return;
     }
     let start = std::time::Instant::now();
-    sim.sim_batch(a, bs, out);
+    sim.sim_batch_kernel(kernel, a, bs, out);
     OBS_SIGMA_BATCH.record_nanos(start.elapsed().as_nanos() as u64, bs.len() as u64);
 }
 
@@ -109,11 +116,18 @@ impl CacheStats {
     }
 }
 
+/// One memo shard: `(query entity, lake entity, kernel tag) → σ`.
+type MemoShard = RwLock<HashMap<(u32, u32, u8), f64>>;
+
 /// A thread-safe memo of `σ(query entity, lake entity)` values, sharded by
 /// key hash so parallel scoring workers mostly touch disjoint locks.
 ///
 /// Keys are directional — `(a, b)` and `(b, a)` are distinct entries — so no
-/// symmetry assumption is imposed on the wrapped similarity.
+/// symmetry assumption is imposed on the wrapped similarity. Keys also
+/// carry the [`SigmaKernel`] tag the value was computed under: a search
+/// running the f32 kernel never observes a memoized f64 σ (or vice versa),
+/// even when a long-lived shared cache spans requests with different
+/// kernels.
 ///
 /// Lock poisoning is recovered, not propagated: a worker that panics while
 /// holding a shard lock (panic isolation catches it per table) leaves the
@@ -121,7 +135,7 @@ impl CacheStats {
 /// so a poisoned shard is never structurally torn — at worst one memo
 /// entry is missing and gets recomputed.
 pub struct SimilarityCache {
-    shards: Vec<RwLock<HashMap<(u32, u32), f64>>>,
+    shards: Vec<MemoShard>,
     computed: AtomicU64,
     served: AtomicU64,
     /// Shard wipes forced by the capacity bound (or an explicit
@@ -193,7 +207,7 @@ impl SimilarityCache {
 
     /// Inserts under the capacity bound: wipes the shard first when the
     /// insert would overflow its slice of the budget.
-    fn insert_bounded(&self, key: (u32, u32), v: f64) {
+    fn insert_bounded(&self, key: (u32, u32, u8), v: f64) {
         let mut shard = self.shard(key).write().unwrap_or_else(|e| e.into_inner());
         if self.per_shard_cap > 0 && shard.len() >= self.per_shard_cap && !shard.contains_key(&key)
         {
@@ -203,31 +217,42 @@ impl SimilarityCache {
         shard.insert(key, v);
     }
 
-    fn shard(&self, key: (u32, u32)) -> &RwLock<HashMap<(u32, u32), f64>> {
-        let h = (((key.0 as u64) << 32) | key.1 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    fn shard(&self, key: (u32, u32, u8)) -> &MemoShard {
+        let h = ((((key.0 as u64) << 32) | key.1 as u64) ^ ((key.2 as u64) << 17))
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
         &self.shards[(h >> 33) as usize % self.shards.len()]
     }
 
-    /// Looks up `σ(a, b)`, computing and memoizing it through `sim` on a
-    /// miss.
+    /// Looks up `σ(a, b)` under the reference kernel, computing and
+    /// memoizing it through `sim` on a miss.
     pub fn sim_through(&self, sim: &dyn EntitySimilarity, a: EntityId, b: EntityId) -> f64 {
-        let key = (a.0, b.0);
+        self.sim_through_kernel(sim, SigmaKernel::F64Exact, a, b)
+    }
+
+    /// Looks up `σ(a, b)` under `kernel`, computing and memoizing it
+    /// through `sim` on a miss. The memo entry is keyed by the kernel, so
+    /// values computed under one kernel are invisible to another.
+    pub fn sim_through_kernel(
+        &self,
+        sim: &dyn EntitySimilarity,
+        kernel: SigmaKernel,
+        a: EntityId,
+        b: EntityId,
+    ) -> f64 {
+        let key = (a.0, b.0, kernel.tag());
         let shard = self.shard(key);
         if let Some(&v) = shard.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
             self.served.fetch_add(1, Ordering::Relaxed);
             return v;
         }
-        let v = timed_sim(sim, a, b);
+        let v = timed_sim(sim, kernel, a, b);
         self.computed.fetch_add(1, Ordering::Relaxed);
         self.insert_bounded(key, v);
         v
     }
 
-    /// Looks up `σ(a, b)` for every `b` of `bs`, batching the misses
-    /// through one `sim.sim_batch` call and memoizing them. Hits count as
-    /// served and misses as computed, exactly as if each pair had gone
-    /// through [`SimilarityCache::sim_through`] — the
-    /// `computed + served == lookups` invariant is preserved.
+    /// Looks up `σ(a, b)` for every `b` of `bs` under the reference
+    /// kernel; see [`SimilarityCache::sim_batch_through_kernel`].
     pub fn sim_batch_through(
         &self,
         sim: &dyn EntitySimilarity,
@@ -235,11 +260,29 @@ impl SimilarityCache {
         bs: &[EntityId],
         out: &mut [f64],
     ) {
+        self.sim_batch_through_kernel(sim, SigmaKernel::F64Exact, a, bs, out);
+    }
+
+    /// Looks up `σ(a, b)` for every `b` of `bs` under `kernel`, batching
+    /// the misses through one `sim.sim_batch_kernel` call and memoizing
+    /// them. Hits count as served and misses as computed, exactly as if
+    /// each pair had gone through
+    /// [`SimilarityCache::sim_through_kernel`] — the
+    /// `computed + served == lookups` invariant is preserved.
+    pub fn sim_batch_through_kernel(
+        &self,
+        sim: &dyn EntitySimilarity,
+        kernel: SigmaKernel,
+        a: EntityId,
+        bs: &[EntityId],
+        out: &mut [f64],
+    ) {
         debug_assert_eq!(bs.len(), out.len());
+        let tag = kernel.tag();
         let mut miss_idx: Vec<u32> = Vec::new();
         let mut miss_bs: Vec<EntityId> = Vec::new();
         for (i, &b) in bs.iter().enumerate() {
-            let key = (a.0, b.0);
+            let key = (a.0, b.0, tag);
             match self
                 .shard(key)
                 .read()
@@ -259,12 +302,12 @@ impl SimilarityCache {
             return;
         }
         let mut miss_out = vec![0.0f64; miss_bs.len()];
-        timed_sim_batch(sim, a, &miss_bs, &mut miss_out);
+        timed_sim_batch(sim, kernel, a, &miss_bs, &mut miss_out);
         self.computed
             .fetch_add(miss_bs.len() as u64, Ordering::Relaxed);
         for ((&i, &b), &v) in miss_idx.iter().zip(&miss_bs).zip(&miss_out) {
             out[i as usize] = v;
-            self.insert_bounded((a.0, b.0), v);
+            self.insert_bounded((a.0, b.0, tag), v);
         }
     }
 
@@ -393,30 +436,69 @@ impl SharedSimilarityCache {
 
 /// An [`EntitySimilarity`] that answers through a [`SimilarityCache`],
 /// drop-in wherever a `&dyn EntitySimilarity` is expected.
+///
+/// The wrapper carries the [`SigmaKernel`] the search selected: every σ
+/// that flows through the plain `sim`/`sim_batch` surface is evaluated
+/// under that kernel and memoized under its tag, so downstream code
+/// (SigmaRows, the Hungarian scorer) stays kernel-oblivious.
 pub struct CachedSimilarity<'a> {
     inner: &'a dyn EntitySimilarity,
     cache: &'a SimilarityCache,
+    kernel: SigmaKernel,
 }
 
 impl<'a> CachedSimilarity<'a> {
-    /// Wraps `inner` so its σ values memoize into `cache`.
+    /// Wraps `inner` under the reference kernel.
     pub fn new(inner: &'a dyn EntitySimilarity, cache: &'a SimilarityCache) -> Self {
-        Self { inner, cache }
+        Self::with_kernel(inner, cache, SigmaKernel::F64Exact)
+    }
+
+    /// Wraps `inner` so σ evaluates under `kernel` and memoizes into
+    /// `cache` with the matching key tag.
+    pub fn with_kernel(
+        inner: &'a dyn EntitySimilarity,
+        cache: &'a SimilarityCache,
+        kernel: SigmaKernel,
+    ) -> Self {
+        Self {
+            inner,
+            cache,
+            kernel,
+        }
     }
 
     /// The cache in use.
     pub fn cache(&self) -> &SimilarityCache {
         self.cache
     }
+
+    /// The kernel this wrapper evaluates under.
+    pub fn kernel(&self) -> SigmaKernel {
+        self.kernel
+    }
 }
 
 impl EntitySimilarity for CachedSimilarity<'_> {
     fn sim(&self, a: EntityId, b: EntityId) -> f64 {
-        self.cache.sim_through(self.inner, a, b)
+        self.cache.sim_through_kernel(self.inner, self.kernel, a, b)
     }
 
     fn sim_batch(&self, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
-        self.cache.sim_batch_through(self.inner, a, bs, out);
+        self.cache
+            .sim_batch_through_kernel(self.inner, self.kernel, a, bs, out);
+    }
+
+    fn sim_kernel(&self, kernel: SigmaKernel, a: EntityId, b: EntityId) -> f64 {
+        self.cache.sim_through_kernel(self.inner, kernel, a, b)
+    }
+
+    fn sim_batch_kernel(&self, kernel: SigmaKernel, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
+        self.cache
+            .sim_batch_through_kernel(self.inner, kernel, a, bs, out);
+    }
+
+    fn slab_bytes(&self) -> usize {
+        self.inner.slab_bytes()
     }
 
     fn name(&self) -> &'static str {
@@ -427,18 +509,29 @@ impl EntitySimilarity for CachedSimilarity<'_> {
 /// An [`EntitySimilarity`] that counts σ evaluations without memoizing —
 /// the instrumentation counterpart of [`CachedSimilarity`] for the
 /// exhaustive baseline, so memoized and unmemoized searches report
-/// comparable `sigma_computed` numbers.
+/// comparable `sigma_computed` numbers. Like [`CachedSimilarity`] it
+/// carries the selected [`SigmaKernel`] and routes the plain surface
+/// through it.
 pub struct CountingSimilarity<'a> {
     inner: &'a dyn EntitySimilarity,
     computed: AtomicU64,
+    kernel: SigmaKernel,
 }
 
 impl<'a> CountingSimilarity<'a> {
-    /// Wraps `inner`, counting every evaluation.
+    /// Wraps `inner` under the reference kernel, counting every
+    /// evaluation.
     pub fn new(inner: &'a dyn EntitySimilarity) -> Self {
+        Self::with_kernel(inner, SigmaKernel::F64Exact)
+    }
+
+    /// Wraps `inner` so σ evaluates under `kernel`, counting every
+    /// evaluation.
+    pub fn with_kernel(inner: &'a dyn EntitySimilarity, kernel: SigmaKernel) -> Self {
         Self {
             inner,
             computed: AtomicU64::new(0),
+            kernel,
         }
     }
 
@@ -451,12 +544,26 @@ impl<'a> CountingSimilarity<'a> {
 impl EntitySimilarity for CountingSimilarity<'_> {
     fn sim(&self, a: EntityId, b: EntityId) -> f64 {
         self.computed.fetch_add(1, Ordering::Relaxed);
-        timed_sim(self.inner, a, b)
+        timed_sim(self.inner, self.kernel, a, b)
     }
 
     fn sim_batch(&self, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
         self.computed.fetch_add(bs.len() as u64, Ordering::Relaxed);
-        timed_sim_batch(self.inner, a, bs, out);
+        timed_sim_batch(self.inner, self.kernel, a, bs, out);
+    }
+
+    fn sim_kernel(&self, kernel: SigmaKernel, a: EntityId, b: EntityId) -> f64 {
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        timed_sim(self.inner, kernel, a, b)
+    }
+
+    fn sim_batch_kernel(&self, kernel: SigmaKernel, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
+        self.computed.fetch_add(bs.len() as u64, Ordering::Relaxed);
+        timed_sim_batch(self.inner, kernel, a, bs, out);
+    }
+
+    fn slab_bytes(&self) -> usize {
+        self.inner.slab_bytes()
     }
 
     fn name(&self) -> &'static str {
@@ -724,6 +831,38 @@ mod tests {
         // but racing threads may skip intermediate epochs entirely.
         assert!(shared.invalidations() <= 10, "{}", shared.invalidations());
         assert!(shared.invalidations() >= 1);
+    }
+
+    #[test]
+    fn kernel_tags_partition_the_memo() {
+        use crate::similarity::EmbeddingCosine;
+        let mut store = thetis_embedding::EmbeddingStore::zeros(3, 4);
+        for i in 0..3u32 {
+            let row = store.get_mut(EntityId(i));
+            for (j, x) in row.iter_mut().enumerate() {
+                *x = ((i as usize * 7 + j * 3) % 5) as f32 - 2.0;
+            }
+        }
+        let sim = EmbeddingCosine::new(&store);
+        let cache = SimilarityCache::with_shards(2);
+        let f64_view = CachedSimilarity::new(&sim, &cache);
+        let f32_view = CachedSimilarity::with_kernel(&sim, &cache, SigmaKernel::F32);
+        assert_eq!(f32_view.kernel(), SigmaKernel::F32);
+        let (a, b) = (EntityId(0), EntityId(1));
+        let exact = f64_view.sim(a, b);
+        let quant = f32_view.sim(a, b);
+        // Same pair, two kernels: two distinct memo entries, two computes.
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().computed, 2);
+        // Each view serves its own kernel's value back.
+        assert_eq!(f64_view.sim(a, b).to_bits(), exact.to_bits());
+        assert_eq!(f32_view.sim(a, b).to_bits(), quant.to_bits());
+        assert_eq!(cache.stats().served, 2);
+        assert_eq!(exact.to_bits(), sim.sim(a, b).to_bits());
+        assert_eq!(
+            quant.to_bits(),
+            sim.sim_kernel(SigmaKernel::F32, a, b).to_bits()
+        );
     }
 
     #[test]

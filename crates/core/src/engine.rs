@@ -14,7 +14,7 @@ use crate::search::{
     score_candidates_pruned_traced, score_candidates_traced, Schedule, ScoreTimings,
 };
 use crate::semrel::RowAgg;
-use crate::similarity::EntitySimilarity;
+use crate::similarity::{EntitySimilarity, SigmaKernel};
 use crate::topk::TopK;
 
 /// One engine search end to end (prefilter excluded — that is `lsh.query`).
@@ -70,6 +70,13 @@ pub struct SearchOptions {
     /// minimum-progress guarantee: a zero budget yields an empty, fully
     /// degraded result. `None` (the default) means unbounded.
     pub deadline: Option<Duration>,
+    /// Which σ arithmetic the search runs (§16). The default,
+    /// [`SigmaKernel::F64Exact`], is bit-identical to every release before
+    /// quantization; `F32`/`I8` select the quantized slabs for bounded
+    /// numeric drift in exchange for vectorized throughput. Memoized σ
+    /// values are keyed by the kernel, so mixed-kernel callers sharing a
+    /// cache never cross-contaminate.
+    pub kernel: SigmaKernel,
 }
 
 impl Default for SearchOptions {
@@ -83,6 +90,7 @@ impl Default for SearchOptions {
             steal_block: Schedule::DEFAULT_BLOCK,
             min_per_thread: Schedule::DEFAULT_MIN_PER_THREAD,
             deadline: None,
+            kernel: SigmaKernel::F64Exact,
         }
     }
 }
@@ -113,6 +121,11 @@ impl SearchOptions {
             deadline: Some(budget),
             ..self
         }
+    }
+
+    /// The same options running σ under `kernel`.
+    pub fn with_kernel(self, kernel: SigmaKernel) -> Self {
+        Self { kernel, ..self }
     }
 
     fn resolved_threads(&self) -> usize {
@@ -604,9 +617,9 @@ impl<'a, S: EntitySimilarity> ThetisEngine<'a, S> {
         };
 
         let (scored, mut timings) = match cache {
-            Some(c) => run(&CachedSimilarity::new(&self.sim, c)),
+            Some(c) => run(&CachedSimilarity::with_kernel(&self.sim, c, options.kernel)),
             None => {
-                let counting = CountingSimilarity::new(&self.sim);
+                let counting = CountingSimilarity::with_kernel(&self.sim, options.kernel);
                 let out = run(&counting);
                 (out.0, {
                     let mut t = out.1;
@@ -776,6 +789,42 @@ mod tests {
         let q = Query::single(vec![players[0], players[1]]);
         let res = engine.search_prefiltered_aggregated(&q, SearchOptions::top(2), &lsei, 1);
         assert!(res.table_ids().contains(&TableId(0)));
+    }
+
+    #[test]
+    fn quantized_kernel_search_tracks_reference_ranking() {
+        use crate::similarity::EmbeddingCosine;
+        let (g, lake, players, _) = fixture();
+        let n = g.entity_count();
+        let mut store = thetis_embedding::EmbeddingStore::zeros(n, 8);
+        for i in 0..n as u32 {
+            let row = store.get_mut(EntityId(i));
+            for (j, x) in row.iter_mut().enumerate() {
+                *x = (((i as usize * 13 + j * 7) % 19) as f32 - 9.0) / 4.0;
+            }
+        }
+        let engine = ThetisEngine::new(&g, &lake, EmbeddingCosine::new(&store));
+        let q = Query::single(vec![players[0], players[3]]);
+        let exact = engine.search(&q, SearchOptions::top(4));
+        for kernel in [SigmaKernel::F32, SigmaKernel::I8] {
+            let quant = engine.search(&q, SearchOptions::top(4).with_kernel(kernel));
+            assert_eq!(exact.table_ids(), quant.table_ids(), "{kernel}");
+            for ((_, want), (_, got)) in exact.ranked.iter().zip(&quant.ranked) {
+                assert!((want - got).abs() < 0.05, "{kernel}: {got} vs {want}");
+            }
+            // Memoized and unmemoized runs agree bit-for-bit per kernel.
+            let unmemo = engine.search(
+                &q,
+                SearchOptions {
+                    memoize: false,
+                    ..SearchOptions::top(4).with_kernel(kernel)
+                },
+            );
+            for ((ta, sa), (tb, sb)) in quant.ranked.iter().zip(&unmemo.ranked) {
+                assert_eq!(ta, tb);
+                assert_eq!(sa.to_bits(), sb.to_bits());
+            }
+        }
     }
 
     #[test]

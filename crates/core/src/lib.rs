@@ -53,5 +53,6 @@ pub use search::{Schedule, ScoreTimings};
 pub use semrel::RowAgg;
 pub use sigma::SigmaRows;
 pub use similarity::{
-    EmbeddingCosine, EntitySimilarity, NeighborhoodJaccard, PredicateJaccard, TypeJaccard,
+    EmbeddingCosine, EntitySimilarity, NeighborhoodJaccard, PredicateJaccard, SigmaKernel,
+    TypeJaccard,
 };

@@ -12,8 +12,74 @@
 //! * [`PredicateJaccard`] — Jaccard over the predicate vocabulary around
 //!   each entity (§5.3's "similarity based on the set of predicates").
 
-use thetis_embedding::EmbeddingStore;
+use thetis_embedding::{EmbeddingStore, F32Slab, I8Slab};
 use thetis_kg::{entity::type_jaccard, EntityId, KnowledgeGraph};
+
+/// Which arithmetic the σ kernel runs in (§16).
+///
+/// `F64Exact` is the bit-identical reference: scalar f32 rows with f64
+/// accumulation, exactly the arithmetic every release before quantization
+/// used. `F32` and `I8` select the quantized SoA slabs
+/// ([`thetis_embedding::F32Slab`] / [`thetis_embedding::I8Slab`]), which
+/// trade bounded numeric error for autovectorized throughput. Similarities
+/// without an embedding payload (type/predicate/neighborhood Jaccard) are
+/// exact integer-ratio computations and return identical values under
+/// every kernel.
+///
+/// The kernel is part of the memoization identity: cached σ values are
+/// keyed by `(a, b, kernel)` so values computed under one kernel are never
+/// served to a search running another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SigmaKernel {
+    /// Scalar f64-accumulated reference (bit-identical across releases).
+    #[default]
+    F64Exact,
+    /// f32 SoA slab with precomputed inverse norms (chunked `mul_add`).
+    F32,
+    /// i8-quantized slab with per-row scales (i32 accumulation).
+    I8,
+}
+
+impl SigmaKernel {
+    /// All kernels, in reference-first order.
+    pub const ALL: [SigmaKernel; 3] = [SigmaKernel::F64Exact, SigmaKernel::F32, SigmaKernel::I8];
+
+    /// A short stable name ("f64" / "f32" / "i8") — used in CLI flags,
+    /// wire requests, and bench report columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            SigmaKernel::F64Exact => "f64",
+            SigmaKernel::F32 => "f32",
+            SigmaKernel::I8 => "i8",
+        }
+    }
+
+    /// Parses a kernel name as produced by [`SigmaKernel::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "f64" => Some(SigmaKernel::F64Exact),
+            "f32" => Some(SigmaKernel::F32),
+            "i8" => Some(SigmaKernel::I8),
+            _ => None,
+        }
+    }
+
+    /// A stable one-byte tag for cache keys.
+    #[inline]
+    pub fn tag(self) -> u8 {
+        match self {
+            SigmaKernel::F64Exact => 0,
+            SigmaKernel::F32 => 1,
+            SigmaKernel::I8 => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for SigmaKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// An entity-to-entity semantic similarity in `[0, 1]` with `σ(e, e) = 1`.
 ///
@@ -39,6 +105,30 @@ pub trait EntitySimilarity: Sync {
         }
     }
 
+    /// The similarity under an explicit [`SigmaKernel`]. Similarities
+    /// without a quantizable payload ignore the kernel — their arithmetic
+    /// is exact under every kernel — so the default forwards to
+    /// [`EntitySimilarity::sim`]. [`EmbeddingCosine`] overrides this to
+    /// dispatch into its quantized slabs.
+    fn sim_kernel(&self, kernel: SigmaKernel, a: EntityId, b: EntityId) -> f64 {
+        let _ = kernel;
+        self.sim(a, b)
+    }
+
+    /// Batched form of [`EntitySimilarity::sim_kernel`]; the same
+    /// bit-identity contract as [`EntitySimilarity::sim_batch`] holds
+    /// *within* a kernel (batch bits == scalar bits for the same kernel).
+    fn sim_batch_kernel(&self, kernel: SigmaKernel, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
+        let _ = kernel;
+        self.sim_batch(a, bs, out);
+    }
+
+    /// Heap bytes held by quantized slabs this similarity has built
+    /// (0 for similarities without one) — surfaced in serve `stats`.
+    fn slab_bytes(&self) -> usize {
+        0
+    }
+
     /// A short human-readable name ("types" / "embeddings").
     fn name(&self) -> &'static str;
 }
@@ -50,6 +140,18 @@ impl<S: EntitySimilarity + ?Sized> EntitySimilarity for Box<S> {
 
     fn sim_batch(&self, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
         (**self).sim_batch(a, bs, out);
+    }
+
+    fn sim_kernel(&self, kernel: SigmaKernel, a: EntityId, b: EntityId) -> f64 {
+        (**self).sim_kernel(kernel, a, b)
+    }
+
+    fn sim_batch_kernel(&self, kernel: SigmaKernel, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
+        (**self).sim_batch_kernel(kernel, a, bs, out);
+    }
+
+    fn slab_bytes(&self) -> usize {
+        (**self).slab_bytes()
     }
 
     fn name(&self) -> &'static str {
@@ -64,6 +166,18 @@ impl<S: EntitySimilarity + ?Sized> EntitySimilarity for &S {
 
     fn sim_batch(&self, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
         (**self).sim_batch(a, bs, out);
+    }
+
+    fn sim_kernel(&self, kernel: SigmaKernel, a: EntityId, b: EntityId) -> f64 {
+        (**self).sim_kernel(kernel, a, b)
+    }
+
+    fn sim_batch_kernel(&self, kernel: SigmaKernel, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
+        (**self).sim_batch_kernel(kernel, a, bs, out);
+    }
+
+    fn slab_bytes(&self) -> usize {
+        (**self).slab_bytes()
     }
 
     fn name(&self) -> &'static str {
@@ -284,12 +398,47 @@ static OBS_EMBEDDING_MISSING: thetis_obs::Counter = thetis_obs::Counter::new("em
 /// `embedding.missing` failpoint simulates the condition in chaos runs.
 pub struct EmbeddingCosine<'a> {
     store: &'a EmbeddingStore,
+    /// Quantized slabs, built lazily on first use of the matching kernel
+    /// and reused for the lifetime of this similarity. The store is
+    /// immutable behind the shared borrow, so a slab never goes stale.
+    f32_slab: std::sync::OnceLock<F32Slab>,
+    i8_slab: std::sync::OnceLock<I8Slab>,
 }
 
 impl<'a> EmbeddingCosine<'a> {
     /// Creates the similarity over `store`.
     pub fn new(store: &'a EmbeddingStore) -> Self {
-        Self { store }
+        Self {
+            store,
+            f32_slab: std::sync::OnceLock::new(),
+            i8_slab: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The f32 slab, built on first use.
+    fn f32_slab(&self) -> &F32Slab {
+        self.f32_slab
+            .get_or_init(|| F32Slab::from_store(self.store))
+    }
+
+    /// The i8 slab, built on first use.
+    fn i8_slab(&self) -> &I8Slab {
+        self.i8_slab.get_or_init(|| I8Slab::from_store(self.store))
+    }
+
+    /// Eagerly builds the slabs a kernel needs (normally they build
+    /// lazily on first σ; servers call this at startup so the first
+    /// request doesn't pay the one-time cost).
+    pub fn warm(&self, kernel: SigmaKernel) {
+        match kernel {
+            SigmaKernel::F64Exact => {}
+            SigmaKernel::F32 => {
+                self.f32_slab();
+            }
+            SigmaKernel::I8 => {
+                self.i8_slab();
+            }
+        }
     }
 
     /// Whether `e` has a usable vector: present in the store and not
@@ -336,6 +485,52 @@ impl EntitySimilarity for EmbeddingCosine<'_> {
         for (&b, o) in bs.iter().zip(out) {
             *o = self.sim(a, b);
         }
+    }
+
+    fn sim_kernel(&self, kernel: SigmaKernel, a: EntityId, b: EntityId) -> f64 {
+        if kernel == SigmaKernel::F64Exact {
+            return self.sim(a, b);
+        }
+        // Identity, missing-vector degradation, and the failpoint behave
+        // exactly like the reference kernel; only resolvable non-identical
+        // pairs dispatch into the quantized slab.
+        if a == b {
+            return 1.0;
+        }
+        if !self.resolvable(a) || !self.resolvable(b) {
+            return 0.0;
+        }
+        match kernel {
+            SigmaKernel::F64Exact => unreachable!(),
+            SigmaKernel::F32 => self.f32_slab().cosine(a, b).max(0.0),
+            SigmaKernel::I8 => self.i8_slab().cosine(a, b).max(0.0),
+        }
+    }
+
+    fn sim_batch_kernel(&self, kernel: SigmaKernel, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
+        if kernel == SigmaKernel::F64Exact {
+            self.sim_batch(a, bs, out);
+            return;
+        }
+        debug_assert_eq!(bs.len(), out.len());
+        if self.resolvable(a) && bs.iter().all(|&b| self.resolvable(b)) {
+            match kernel {
+                SigmaKernel::F64Exact => unreachable!(),
+                SigmaKernel::F32 => self.f32_slab().cosine_batch(a, bs, out),
+                SigmaKernel::I8 => self.i8_slab().cosine_batch(a, bs, out),
+            }
+            for (&b, o) in bs.iter().zip(out) {
+                *o = if a == b { 1.0 } else { o.max(0.0) };
+            }
+            return;
+        }
+        for (&b, o) in bs.iter().zip(out) {
+            *o = self.sim_kernel(kernel, a, b);
+        }
+    }
+
+    fn slab_bytes(&self) -> usize {
+        self.f32_slab.get().map_or(0, F32Slab::bytes) + self.i8_slab.get().map_or(0, I8Slab::bytes)
     }
 
     fn name(&self) -> &'static str {
@@ -503,6 +698,122 @@ mod tests {
         let s = EmbeddingCosine::new(&store);
         assert_eq!(s.sim(EntityId(0), EntityId(1)), 0.0);
         assert_eq!(s.sim(EntityId(0), EntityId(0)), 1.0);
+    }
+
+    #[test]
+    fn kernel_names_roundtrip() {
+        for k in SigmaKernel::ALL {
+            assert_eq!(SigmaKernel::parse(k.name()), Some(k));
+        }
+        assert_eq!(SigmaKernel::parse("f16"), None);
+        assert_eq!(SigmaKernel::default(), SigmaKernel::F64Exact);
+        assert_eq!(format!("{}", SigmaKernel::F32), "f32");
+    }
+
+    fn kernel_test_store(n: u32, dim: usize) -> EmbeddingStore {
+        let mut store = EmbeddingStore::zeros(n as usize, dim);
+        for i in 0..n {
+            let row = store.get_mut(EntityId(i));
+            for (j, x) in row.iter_mut().enumerate() {
+                *x = (((i as usize * 31 + j * 17) % 23) as f32 - 11.0) / 7.0;
+            }
+        }
+        store
+    }
+
+    #[test]
+    fn f64_kernel_is_bit_identical_to_plain_sim() {
+        let store = kernel_test_store(6, 13);
+        let s = EmbeddingCosine::new(&store);
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                let (a, b) = (EntityId(a), EntityId(b));
+                assert_eq!(
+                    s.sim_kernel(SigmaKernel::F64Exact, a, b).to_bits(),
+                    s.sim(a, b).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_kernels_track_reference_within_bounds() {
+        let dim = 13;
+        let store = kernel_test_store(6, dim);
+        let s = EmbeddingCosine::new(&store);
+        let i8_bound = 4.0 * (dim as f64).sqrt() / 254.0 + 1e-3;
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                let (a, b) = (EntityId(a), EntityId(b));
+                let want = s.sim(a, b);
+                let f = s.sim_kernel(SigmaKernel::F32, a, b);
+                let q = s.sim_kernel(SigmaKernel::I8, a, b);
+                assert!((f - want).abs() < 1e-5, "f32 {f} vs {want}");
+                assert!((q - want).abs() <= i8_bound, "i8 {q} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_batches_are_bit_identical_to_kernel_scalars() {
+        let store = kernel_test_store(6, 13);
+        let s = EmbeddingCosine::new(&store);
+        let bs: Vec<EntityId> = (0..6u32).map(EntityId).collect();
+        let mut out = vec![0.0f64; bs.len()];
+        for k in SigmaKernel::ALL {
+            for a in 0..6u32 {
+                let a = EntityId(a);
+                s.sim_batch_kernel(k, a, &bs, &mut out);
+                for (&b, &got) in bs.iter().zip(&out) {
+                    assert_eq!(
+                        got.to_bits(),
+                        s.sim_kernel(k, a, b).to_bits(),
+                        "kernel {k} diverges at ({a:?}, {b:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_kernels_degrade_missing_entities_like_reference() {
+        let store = kernel_test_store(2, 4);
+        let s = EmbeddingCosine::new(&store);
+        let missing = EntityId(7);
+        for k in [SigmaKernel::F32, SigmaKernel::I8] {
+            assert_eq!(s.sim_kernel(k, EntityId(0), missing), 0.0);
+            assert_eq!(s.sim_kernel(k, missing, EntityId(0)), 0.0);
+            assert_eq!(s.sim_kernel(k, missing, missing), 1.0);
+            let bs = [EntityId(1), missing, EntityId(0)];
+            let mut out = [f64::NAN; 3];
+            s.sim_batch_kernel(k, EntityId(0), &bs, &mut out);
+            assert_eq!(
+                out[0].to_bits(),
+                s.sim_kernel(k, EntityId(0), EntityId(1)).to_bits()
+            );
+            assert_eq!(out[1], 0.0);
+            assert_eq!(out[2], 1.0);
+        }
+    }
+
+    #[test]
+    fn slab_bytes_counts_only_built_slabs() {
+        let store = kernel_test_store(4, 8);
+        let s = EmbeddingCosine::new(&store);
+        assert_eq!(s.slab_bytes(), 0);
+        s.warm(SigmaKernel::F32);
+        let f32_bytes = 4 * 8 * 4 + 4 * 4;
+        assert_eq!(s.slab_bytes(), f32_bytes);
+        s.warm(SigmaKernel::I8);
+        assert_eq!(s.slab_bytes(), f32_bytes + 4 * 8 + 4 * 8);
+        // Non-embedding similarities hold no slab under any kernel.
+        let (g, p1, p2, _) = graph();
+        let tj = TypeJaccard::new(&g);
+        assert_eq!(tj.slab_bytes(), 0);
+        assert_eq!(
+            tj.sim_kernel(SigmaKernel::I8, p1, p2).to_bits(),
+            tj.sim(p1, p2).to_bits()
+        );
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Property tests for σ-kernel isolation in the memo caches.
+//!
+//! The quantized kernels (f32/i8) produce *different bits* than the f64
+//! reference for almost every resolvable pair, so a cache that ever
+//! served a value across kernels would surface here as a bitwise
+//! mismatch against the uncached similarity. Both the per-engine
+//! [`SimilarityCache`] and the epoch-keyed [`SharedSimilarityCache`] are
+//! driven with randomly interleaved kernels, scalar and batched lookups,
+//! and (for the bounded variant) capacities small enough to force
+//! evictions mid-sequence.
+
+use proptest::prelude::*;
+use thetis_core::{
+    EmbeddingCosine, EntitySimilarity, SharedSimilarityCache, SigmaKernel, SimilarityCache,
+};
+use thetis_embedding::EmbeddingStore;
+use thetis_kg::EntityId;
+
+/// A store from proptest data, truncated to whole rows.
+fn store_from(data: &[f32], dim: usize) -> EmbeddingStore {
+    let truncated: Vec<f32> = data.iter().copied().take(data.len() / dim * dim).collect();
+    EmbeddingStore::from_raw(truncated, dim)
+}
+
+/// One randomized lookup: which kernel, which pair, scalar or batched.
+type Op = (usize, u32, u32, bool);
+
+/// Replays `ops` through `cache`, asserting every answer is bit-identical
+/// to the uncached similarity under the *same* kernel.
+fn replay(
+    cache: &SimilarityCache,
+    cos: &EmbeddingCosine<'_>,
+    n: u32,
+    ops: &[Op],
+) -> Result<(), TestCaseError> {
+    for &(k, a, b, batched) in ops {
+        let kernel = SigmaKernel::ALL[k % SigmaKernel::ALL.len()];
+        let (a, b) = (EntityId(a % n), EntityId(b % n));
+        let got = if batched {
+            let mut out = [0.0f64];
+            cache.sim_batch_through_kernel(cos, kernel, a, &[b], &mut out);
+            out[0]
+        } else {
+            cache.sim_through_kernel(cos, kernel, a, b)
+        };
+        let direct = cos.sim_kernel(kernel, a, b);
+        prop_assert_eq!(
+            got.to_bits(),
+            direct.to_bits(),
+            "cache served σ_{}({:?}, {:?}) = {} but the kernel computes {}",
+            kernel,
+            a,
+            b,
+            got,
+            direct
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    /// `SimilarityCache` never serves a σ value across kernels, whatever
+    /// the interleaving of kernels, pairs, and scalar/batch lookups.
+    #[test]
+    fn similarity_cache_isolates_kernels(
+        data in proptest::collection::vec(-4.0f32..4.0, 16..96),
+        dim in 2usize..8,
+        ops in proptest::collection::vec((0usize..3, 0u32..16, 0u32..16, any::<bool>()), 1..150),
+    ) {
+        let store = store_from(&data, dim);
+        prop_assume!(store.len() >= 2);
+        let cos = EmbeddingCosine::new(&store);
+        let cache = SimilarityCache::with_shards(4);
+        replay(&cache, &cos, store.len() as u32, &ops)?;
+    }
+
+    /// Kernel isolation survives capacity pressure: a cache small enough
+    /// to wipe shards mid-sequence still never crosses kernels.
+    #[test]
+    fn bounded_cache_isolates_kernels_across_evictions(
+        data in proptest::collection::vec(-4.0f32..4.0, 16..96),
+        dim in 2usize..8,
+        ops in proptest::collection::vec((0usize..3, 0u32..16, 0u32..16, any::<bool>()), 1..150),
+    ) {
+        let store = store_from(&data, dim);
+        prop_assume!(store.len() >= 2);
+        let cos = EmbeddingCosine::new(&store);
+        let cache = SimilarityCache::with_shards_and_capacity(2, 8);
+        replay(&cache, &cos, store.len() as u32, &ops)?;
+    }
+
+    /// The epoch-keyed shared cache inherits the isolation: interleaved
+    /// kernels against a fixed epoch (including across an epoch bump,
+    /// which invalidates the memo entirely) always match the direct
+    /// kernel bits.
+    #[test]
+    fn shared_cache_isolates_kernels(
+        data in proptest::collection::vec(-4.0f32..4.0, 16..96),
+        dim in 2usize..8,
+        ops in proptest::collection::vec((0usize..3, 0u32..16, 0u32..16, any::<bool>()), 1..100),
+        bump_at in 0usize..100,
+    ) {
+        let store = store_from(&data, dim);
+        prop_assume!(store.len() >= 2);
+        let cos = EmbeddingCosine::new(&store);
+        let shared = SharedSimilarityCache::new(0, 4, 0);
+        let mut epoch = 0u64;
+        for (i, &op) in ops.iter().enumerate() {
+            if i == bump_at {
+                epoch += 1;
+            }
+            replay(shared.for_epoch(epoch), &cos, store.len() as u32, &[op])?;
+        }
+    }
+}

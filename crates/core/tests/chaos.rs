@@ -213,6 +213,77 @@ fn sigma_panic_mid_query_drops_only_the_panicked_tables() {
     assert!(verified, "no seed in 1..=5 produced a panic at p = 0.25");
 }
 
+/// The `sigma` failpoint sits in the kernel-independent
+/// `SigmaRows::build`, so an armed plan must fire *identically* under
+/// the quantized f32 kernel. With a single worker the table order — and
+/// therefore the failpoint hit sequence — is deterministic, so the same
+/// plan + seed drops the same tables under f64 and f32, and each run's
+/// survivors stay bit-identical to that kernel's own fault-free ranking.
+#[test]
+fn sigma_failpoint_fires_identically_under_the_f32_kernel() {
+    use thetis_core::{EmbeddingCosine, SigmaKernel};
+    use thetis_embedding::EmbeddingStore;
+
+    let _g = serial();
+    let s = build_scenario(7, 40, 4);
+    let dim = 8usize;
+    let mut rng = SmallRng::seed_from_u64(0xF32);
+    let data: Vec<f32> = (0..s.graph.entity_count() * dim)
+        .map(|_| rng.random_range(-1.0f32..1.0))
+        .collect();
+    let store = EmbeddingStore::from_raw(data, dim);
+    let cos = EmbeddingCosine::new(&store);
+    cos.warm(SigmaKernel::F32);
+    let engine = ThetisEngine::new(&s.graph, &s.lake, cos);
+    let single = exhaustive_options(&s.lake, 1);
+
+    let mut panicked_per_kernel = Vec::new();
+    for kernel in [SigmaKernel::F64Exact, SigmaKernel::F32] {
+        let options = single.with_kernel(kernel);
+        let baseline = engine.search(&s.query, options);
+        assert!(!baseline.stats.degraded, "fault-free {kernel} run degraded");
+
+        let _quiet = QuietPanics::install();
+        let _armed = FaultGuard;
+        faults::arm(FaultPlan::parse("sigma=panic@0.25", 1).unwrap());
+        let trace = QueryTrace::forced(1);
+        let chaotic = engine.search_traced(&s.query, options, &trace);
+        assert!(
+            faults::hits("sigma") > 0,
+            "the sigma failpoint was never reached under {kernel}"
+        );
+        let panicked = panicked_tables(&trace);
+        assert!(
+            !panicked.is_empty(),
+            "plan sigma=panic@0.25 seed 1 fired nothing under {kernel}"
+        );
+        assert!(chaotic.stats.degraded);
+        assert_eq!(chaotic.stats.tables_unscored, panicked.len());
+
+        // Survivors keep this kernel's bit-exact fault-free scores.
+        let expected: Vec<(TableId, f64)> = baseline
+            .ranked
+            .iter()
+            .copied()
+            .filter(|(t, _)| !panicked.contains(&t.0))
+            .collect();
+        assert_eq!(chaotic.ranked.len(), expected.len());
+        for ((ct, cs), (et, es)) in chaotic.ranked.iter().zip(&expected) {
+            assert_eq!(ct, et, "survivor order diverged under {kernel}");
+            assert_eq!(
+                cs.to_bits(),
+                es.to_bits(),
+                "survivor score diverged under {kernel}"
+            );
+        }
+        panicked_per_kernel.push(panicked);
+    }
+    assert_eq!(
+        panicked_per_kernel[0], panicked_per_kernel[1],
+        "the same plan must drop the same tables under f64 and f32"
+    );
+}
+
 /// The acceptance test for deadlines: with a budget far below the full
 /// scan time, the search returns quickly (≈ within 2× the budget) with a
 /// valid partial top-k, `tables_unscored > 0`, and bit-identical scores

@@ -18,11 +18,13 @@
 pub mod hogwild;
 pub mod rdf2vec;
 pub mod sgns;
+pub mod slab;
 pub mod store;
 pub mod walks;
 
 pub use hogwild::train_parallel;
 pub use rdf2vec::{Rdf2Vec, Rdf2VecConfig};
 pub use sgns::SgnsConfig;
+pub use slab::{F32Slab, I8Slab};
 pub use store::EmbeddingStore;
 pub use walks::{generate_walks, WalkConfig};

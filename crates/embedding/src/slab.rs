@@ -1,0 +1,582 @@
+//! Quantized structure-of-arrays embedding slabs for the vectorized σ
+//! kernels.
+//!
+//! [`EmbeddingStore`] keeps the reference representation: f32 rows with
+//! cosines accumulated in f64, bit-identical to the scalar loop. The slabs
+//! here trade that bit-identity for throughput:
+//!
+//! - [`F32Slab`] keeps the rows in f32 but precomputes per-row *inverse*
+//!   norms and accumulates the dot product in f32 across a fixed number of
+//!   independent lanes, which LLVM autovectorizes to packed mul/add. The
+//!   result differs from the f64 reference by a few ULPs per accumulated
+//!   element (≈ `dim · ε_f32` relative).
+//! - [`I8Slab`] additionally quantizes each row to `i8` with a per-row
+//!   scale factor (`max_abs / 127`) and accumulates in `i32`. Scales
+//!   cancel in the cosine, so the error is pure quantization noise,
+//!   bounded by ≈ `4·√dim / 254` in the worst case (see
+//!   [`I8Slab::cosine`]).
+//!
+//! Both slabs are built once from an [`EmbeddingStore`] and are immutable;
+//! mutation goes through the store and rebuilds the slab.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use thetis_kg::EntityId;
+
+use crate::store::EmbeddingStore;
+
+/// Magic prefix of the binary f32 slab format.
+const F32_MAGIC: &[u8; 4] = b"TQF1";
+/// Magic prefix of the binary i8 slab format.
+const I8_MAGIC: &[u8; 4] = b"TQI1";
+
+/// Accumulator lanes of the chunked dot-product loops. Wide enough for
+/// one AVX2 register of f32; on narrower ISAs LLVM splits the chunk.
+const LANES: usize = 8;
+
+/// Dot product of two equal-length rows, f32 accumulation across `LANES`
+/// independent partial sums. The loop shape (fixed-width chunks, one
+/// multiply-accumulate per lane, no cross-lane dependency) is what
+/// LLVM's autovectorizer turns into packed mul/add — deliberately NOT
+/// `f32::mul_add`, which lowers to a slow libm `fmaf` call on targets
+/// without a guaranteed FMA unit (the portable x86-64 baseline).
+#[inline]
+fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        for l in 0..LANES {
+            acc[l] += xa[l] * xb[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    acc.iter().sum::<f32>() + tail
+}
+
+/// Dot product of two equal-length `i8` rows with `i32` accumulation.
+/// Chunked like [`dot_f32`] so the widening multiplies vectorize.
+#[inline]
+fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0i32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        for l in 0..LANES {
+            acc[l] += i32::from(xa[l]) * i32::from(xb[l]);
+        }
+    }
+    let mut tail = 0i32;
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += i32::from(x) * i32::from(y);
+    }
+    acc.iter().sum::<i32>() + tail
+}
+
+/// A contiguous f32 SoA slab with precomputed per-row inverse norms.
+///
+/// `cosine(a, b)` is one chunked f32 dot product and two multiplies — no
+/// division, no square root, no f64 widening on the hot path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct F32Slab {
+    dim: usize,
+    data: Vec<f32>,
+    /// `1 / ‖row‖` per row, `0.0` for zero rows (so their cosine is 0).
+    /// Norms are accumulated in f64 (like the store's) then inverted and
+    /// rounded to f32 once.
+    inv_norms: Vec<f32>,
+}
+
+impl F32Slab {
+    /// Builds the slab from a store: copies the rows and precomputes
+    /// inverse norms.
+    pub fn from_store(store: &EmbeddingStore) -> Self {
+        let dim = store.dim();
+        let n = store.len();
+        let mut data = Vec::with_capacity(n * dim);
+        let mut inv_norms = Vec::with_capacity(n);
+        for i in 0..n {
+            let row = store.get(EntityId(i as u32));
+            data.extend_from_slice(row);
+            let mut sumsq = 0.0f64;
+            for &x in row {
+                sumsq += f64::from(x) * f64::from(x);
+            }
+            let norm = sumsq.sqrt();
+            inv_norms.push(if norm == 0.0 {
+                0.0
+            } else {
+                (1.0 / norm) as f32
+            });
+        }
+        Self {
+            dim,
+            data,
+            inv_norms,
+        }
+    }
+
+    /// Embedding dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inv_norms.len()
+    }
+
+    /// Whether the slab holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.inv_norms.is_empty()
+    }
+
+    /// Whether the slab holds a row for entity `e`.
+    #[inline]
+    pub fn contains(&self, e: EntityId) -> bool {
+        e.index() < self.len()
+    }
+
+    /// The row for entity `e`.
+    #[inline]
+    fn row(&self, e: EntityId) -> &[f32] {
+        let i = e.index() * self.dim;
+        &self.data[i..i + self.dim]
+    }
+
+    /// Heap footprint of the slab payload in bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * 4 + self.inv_norms.len() * 4
+    }
+
+    /// Cosine similarity of two rows in `[-1, 1]` (0 for zero rows).
+    ///
+    /// Within ≈ `dim · ε_f32` relative of the f64 reference — the dot
+    /// product is f32-accumulated and the norms are f32-rounded, but no
+    /// precision beyond that is lost.
+    pub fn cosine(&self, a: EntityId, b: EntityId) -> f64 {
+        let (ia, ib) = (self.inv_norms[a.index()], self.inv_norms[b.index()]);
+        if ia == 0.0 || ib == 0.0 {
+            return 0.0;
+        }
+        f64::from(dot_f32(self.row(a), self.row(b)) * ia * ib).clamp(-1.0, 1.0)
+    }
+
+    /// Cosine of `a` against every entity of `bs`, written into `out`.
+    /// Each value equals [`F32Slab::cosine`] over the same pair.
+    pub fn cosine_batch(&self, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
+        debug_assert_eq!(bs.len(), out.len());
+        let ia = self.inv_norms[a.index()];
+        if ia == 0.0 {
+            out.fill(0.0);
+            return;
+        }
+        let va = self.row(a);
+        for (&b, o) in bs.iter().zip(out) {
+            let ib = self.inv_norms[b.index()];
+            *o = if ib == 0.0 {
+                0.0
+            } else {
+                f64::from(dot_f32(va, self.row(b)) * ia * ib).clamp(-1.0, 1.0)
+            };
+        }
+    }
+
+    /// Serializes to the `TQF1` binary format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(12 + self.data.len() * 4 + self.inv_norms.len() * 4);
+        buf.put_slice(F32_MAGIC);
+        buf.put_u32_le(self.dim as u32);
+        buf.put_u32_le(self.len() as u32);
+        for &x in &self.data {
+            buf.put_f32_le(x);
+        }
+        for &x in &self.inv_norms {
+            buf.put_f32_le(x);
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes from the `TQF1` binary format.
+    pub fn from_bytes(mut bytes: Bytes) -> Result<Self, String> {
+        if bytes.remaining() < 12 {
+            return Err("truncated f32 slab header".into());
+        }
+        let mut magic = [0u8; 4];
+        bytes.copy_to_slice(&mut magic);
+        if &magic != F32_MAGIC {
+            return Err(format!("bad f32 slab magic {magic:?}"));
+        }
+        let dim = bytes.get_u32_le() as usize;
+        let n = bytes.get_u32_le() as usize;
+        if dim == 0 {
+            return Err("zero slab dimension".into());
+        }
+        let want = n * dim * 4 + n * 4;
+        if bytes.remaining() != want {
+            return Err(format!(
+                "expected {want} payload bytes, found {}",
+                bytes.remaining()
+            ));
+        }
+        let mut data = Vec::with_capacity(n * dim);
+        for _ in 0..n * dim {
+            data.push(bytes.get_f32_le());
+        }
+        let mut inv_norms = Vec::with_capacity(n);
+        for _ in 0..n {
+            inv_norms.push(bytes.get_f32_le());
+        }
+        Ok(Self {
+            dim,
+            data,
+            inv_norms,
+        })
+    }
+}
+
+/// An `i8`-quantized SoA slab with per-row scale factors.
+///
+/// Each row is quantized as `q[i] = round(x[i] / scale)` with
+/// `scale = max_abs / 127`, clamped to `[-127, 127]`. For cosine the
+/// scales cancel, so only the quantized-row norms are kept:
+/// `cos(a, b) ≈ dot_i32(qa, qb) · inv_qnorm[a] · inv_qnorm[b]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct I8Slab {
+    dim: usize,
+    data: Vec<i8>,
+    /// Per-row dequantization scale (`max_abs / 127`; `0.0` for zero
+    /// rows). Not used by the cosine — kept so dot products and future
+    /// L2 kernels can dequantize.
+    scales: Vec<f32>,
+    /// `1 / ‖q‖` per quantized row, `0.0` for zero rows.
+    inv_qnorms: Vec<f32>,
+}
+
+impl I8Slab {
+    /// Builds the slab from a store, quantizing each row independently.
+    pub fn from_store(store: &EmbeddingStore) -> Self {
+        let dim = store.dim();
+        let n = store.len();
+        let mut data = Vec::with_capacity(n * dim);
+        let mut scales = Vec::with_capacity(n);
+        let mut inv_qnorms = Vec::with_capacity(n);
+        for i in 0..n {
+            let row = store.get(EntityId(i as u32));
+            let max_abs = row.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            if max_abs == 0.0 {
+                data.extend(std::iter::repeat_n(0i8, dim));
+                scales.push(0.0);
+                inv_qnorms.push(0.0);
+                continue;
+            }
+            let scale = max_abs / 127.0;
+            let mut sumsq = 0.0f64;
+            for &x in row {
+                let q = (x / scale).round().clamp(-127.0, 127.0) as i8;
+                data.push(q);
+                sumsq += f64::from(q) * f64::from(q);
+            }
+            scales.push(scale);
+            let qnorm = sumsq.sqrt();
+            // A nonzero row always has at least one element at ±127.
+            inv_qnorms.push((1.0 / qnorm) as f32);
+        }
+        Self {
+            dim,
+            data,
+            scales,
+            inv_qnorms,
+        }
+    }
+
+    /// Embedding dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inv_qnorms.len()
+    }
+
+    /// Whether the slab holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.inv_qnorms.is_empty()
+    }
+
+    /// Whether the slab holds a row for entity `e`.
+    #[inline]
+    pub fn contains(&self, e: EntityId) -> bool {
+        e.index() < self.len()
+    }
+
+    /// The quantized row for entity `e`.
+    #[inline]
+    fn row(&self, e: EntityId) -> &[i8] {
+        let i = e.index() * self.dim;
+        &self.data[i..i + self.dim]
+    }
+
+    /// The dequantization scale for entity `e` (`0.0` for zero rows).
+    #[inline]
+    pub fn scale(&self, e: EntityId) -> f32 {
+        self.scales[e.index()]
+    }
+
+    /// Heap footprint of the slab payload in bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * 4 + self.inv_qnorms.len() * 4
+    }
+
+    /// Cosine similarity of two quantized rows in `[-1, 1]` (0 for zero
+    /// rows).
+    ///
+    /// Error bound: per-element quantization noise is at most
+    /// `scale / 2 = max_abs / 254`, so the relative row error is at most
+    /// `√dim · max_abs / (254 · ‖x‖) ≤ √dim / 254` (since
+    /// `‖x‖ ≥ max_abs`), and the cosine of two unit-direction vectors
+    /// moves by at most about twice the sum of the two relative errors:
+    /// `|σ_i8 − σ_f64| ≲ 4·√dim / 254`.
+    pub fn cosine(&self, a: EntityId, b: EntityId) -> f64 {
+        let (ia, ib) = (self.inv_qnorms[a.index()], self.inv_qnorms[b.index()]);
+        if ia == 0.0 || ib == 0.0 {
+            return 0.0;
+        }
+        f64::from(dot_i8(self.row(a), self.row(b)) as f32 * ia * ib).clamp(-1.0, 1.0)
+    }
+
+    /// Cosine of `a` against every entity of `bs`, written into `out`.
+    /// Each value equals [`I8Slab::cosine`] over the same pair.
+    pub fn cosine_batch(&self, a: EntityId, bs: &[EntityId], out: &mut [f64]) {
+        debug_assert_eq!(bs.len(), out.len());
+        let ia = self.inv_qnorms[a.index()];
+        if ia == 0.0 {
+            out.fill(0.0);
+            return;
+        }
+        let va = self.row(a);
+        for (&b, o) in bs.iter().zip(out) {
+            let ib = self.inv_qnorms[b.index()];
+            *o = if ib == 0.0 {
+                0.0
+            } else {
+                f64::from(dot_i8(va, self.row(b)) as f32 * ia * ib).clamp(-1.0, 1.0)
+            };
+        }
+    }
+
+    /// Serializes to the `TQI1` binary format.
+    pub fn to_bytes(&self) -> Bytes {
+        let n = self.len();
+        let mut buf = BytesMut::with_capacity(12 + self.data.len() + n * 8);
+        buf.put_slice(I8_MAGIC);
+        buf.put_u32_le(self.dim as u32);
+        buf.put_u32_le(n as u32);
+        for &x in &self.data {
+            buf.put_u8(x as u8);
+        }
+        for &x in &self.scales {
+            buf.put_f32_le(x);
+        }
+        for &x in &self.inv_qnorms {
+            buf.put_f32_le(x);
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes from the `TQI1` binary format.
+    pub fn from_bytes(mut bytes: Bytes) -> Result<Self, String> {
+        if bytes.remaining() < 12 {
+            return Err("truncated i8 slab header".into());
+        }
+        let mut magic = [0u8; 4];
+        bytes.copy_to_slice(&mut magic);
+        if &magic != I8_MAGIC {
+            return Err(format!("bad i8 slab magic {magic:?}"));
+        }
+        let dim = bytes.get_u32_le() as usize;
+        let n = bytes.get_u32_le() as usize;
+        if dim == 0 {
+            return Err("zero slab dimension".into());
+        }
+        let want = n * dim + n * 8;
+        if bytes.remaining() != want {
+            return Err(format!(
+                "expected {want} payload bytes, found {}",
+                bytes.remaining()
+            ));
+        }
+        let mut data = Vec::with_capacity(n * dim);
+        for _ in 0..n * dim {
+            data.push(bytes.get_u8() as i8);
+        }
+        let mut scales = Vec::with_capacity(n);
+        for _ in 0..n {
+            scales.push(bytes.get_f32_le());
+        }
+        let mut inv_qnorms = Vec::with_capacity(n);
+        for _ in 0..n {
+            inv_qnorms.push(bytes.get_f32_le());
+        }
+        Ok(Self {
+            dim,
+            data,
+            scales,
+            inv_qnorms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::cosine as cosine_ref;
+
+    /// A deterministic pseudo-random store exercising negative values,
+    /// zero rows, and a non-multiple-of-LANES dimension.
+    fn store(n: usize, dim: usize) -> EmbeddingStore {
+        let mut data = Vec::with_capacity(n * dim);
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        for i in 0..n * dim {
+            // Row 2 is all zeros to cover the zero-norm path.
+            if i / dim == 2 {
+                data.push(0.0);
+                continue;
+            }
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            data.push(((x % 2000) as f32 - 1000.0) / 500.0);
+        }
+        EmbeddingStore::from_raw(data, dim)
+    }
+
+    #[test]
+    fn f32_cosine_tracks_f64_reference() {
+        for dim in [3usize, 8, 13, 32] {
+            let s = store(6, dim);
+            let slab = F32Slab::from_store(&s);
+            for a in 0..6u32 {
+                for b in 0..6u32 {
+                    let want = cosine_ref(s.get(EntityId(a)), s.get(EntityId(b)));
+                    let got = slab.cosine(EntityId(a), EntityId(b));
+                    assert!(
+                        (got - want).abs() < 1e-5,
+                        "dim={dim} a={a} b={b}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i8_cosine_within_quantization_bound() {
+        for dim in [3usize, 8, 13, 32] {
+            let s = store(6, dim);
+            let slab = I8Slab::from_store(&s);
+            let bound = 4.0 * (dim as f64).sqrt() / 254.0 + 1e-3;
+            for a in 0..6u32 {
+                for b in 0..6u32 {
+                    let want = cosine_ref(s.get(EntityId(a)), s.get(EntityId(b)));
+                    let got = slab.cosine(EntityId(a), EntityId(b));
+                    assert!(
+                        (got - want).abs() <= bound,
+                        "dim={dim} a={a} b={b}: {got} vs {want} (bound {bound})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rows_yield_zero_cosine() {
+        let s = store(4, 8);
+        let f = F32Slab::from_store(&s);
+        let q = I8Slab::from_store(&s);
+        assert_eq!(f.cosine(EntityId(2), EntityId(0)), 0.0);
+        assert_eq!(f.cosine(EntityId(0), EntityId(2)), 0.0);
+        assert_eq!(q.cosine(EntityId(2), EntityId(0)), 0.0);
+        assert_eq!(q.scale(EntityId(2)), 0.0);
+    }
+
+    #[test]
+    fn batch_matches_scalar_bitwise() {
+        let s = store(6, 13);
+        let f = F32Slab::from_store(&s);
+        let q = I8Slab::from_store(&s);
+        let bs: Vec<EntityId> = (0..6u32).map(EntityId).collect();
+        let mut out = vec![0.0f64; 6];
+        for a in 0..6u32 {
+            f.cosine_batch(EntityId(a), &bs, &mut out);
+            for (&b, &got) in bs.iter().zip(&out) {
+                assert_eq!(got.to_bits(), f.cosine(EntityId(a), b).to_bits());
+            }
+            q.cosine_batch(EntityId(a), &bs, &mut out);
+            for (&b, &got) in bs.iter().zip(&out) {
+                assert_eq!(got.to_bits(), q.cosine(EntityId(a), b).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn self_cosine_is_close_to_one() {
+        let s = store(6, 32);
+        let f = F32Slab::from_store(&s);
+        let q = I8Slab::from_store(&s);
+        for a in [0u32, 1, 3, 4, 5] {
+            assert!((f.cosine(EntityId(a), EntityId(a)) - 1.0).abs() < 1e-5);
+            assert!((q.cosine(EntityId(a), EntityId(a)) - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip_f32() {
+        let slab = F32Slab::from_store(&store(5, 7));
+        let back = F32Slab::from_bytes(slab.to_bytes()).unwrap();
+        assert_eq!(slab, back);
+    }
+
+    #[test]
+    fn binary_roundtrip_i8() {
+        let slab = I8Slab::from_store(&store(5, 7));
+        let back = I8Slab::from_bytes(slab.to_bytes()).unwrap();
+        assert_eq!(slab, back);
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_are_rejected() {
+        let err = F32Slab::from_bytes(Bytes::from_static(b"XXXX\0\0\0\0\0\0\0\0")).unwrap_err();
+        assert!(err.contains("magic"));
+        let err = I8Slab::from_bytes(Bytes::from_static(b"XXXX\0\0\0\0\0\0\0\0")).unwrap_err();
+        assert!(err.contains("magic"));
+        let mut b = F32Slab::from_store(&store(2, 4)).to_bytes().to_vec();
+        b.pop();
+        assert!(F32Slab::from_bytes(Bytes::from(b))
+            .unwrap_err()
+            .contains("payload"));
+        let mut b = I8Slab::from_store(&store(2, 4)).to_bytes().to_vec();
+        b.pop();
+        assert!(I8Slab::from_bytes(Bytes::from(b))
+            .unwrap_err()
+            .contains("payload"));
+    }
+
+    #[test]
+    fn bytes_reports_payload_footprint() {
+        let f = F32Slab::from_store(&store(5, 7));
+        assert_eq!(f.bytes(), 5 * 7 * 4 + 5 * 4);
+        let q = I8Slab::from_store(&store(5, 7));
+        assert_eq!(q.bytes(), 5 * 7 + 5 * 8);
+    }
+}

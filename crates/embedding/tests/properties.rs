@@ -2,8 +2,21 @@
 
 use proptest::prelude::*;
 use thetis_embedding::store::cosine;
-use thetis_embedding::{generate_walks, EmbeddingStore, WalkConfig};
+use thetis_embedding::{generate_walks, EmbeddingStore, F32Slab, I8Slab, WalkConfig};
 use thetis_kg::{EntityId, KgBuilder};
+
+/// Builds a store from proptest data: truncates to a whole number of
+/// rows and snaps magnitudes below `1e-3` to zero so f32 norm
+/// accumulation cannot underflow where the f64 reference does not (the
+/// slab contract only covers rounding error, not subnormal collapse).
+fn slab_store(data: &[f32], dim: usize) -> EmbeddingStore {
+    let truncated: Vec<f32> = data
+        .iter()
+        .map(|&x| if x.abs() < 1e-3 { 0.0 } else { x })
+        .take(data.len() / dim * dim)
+        .collect();
+    EmbeddingStore::from_raw(truncated, dim)
+}
 
 proptest! {
     /// Cosine similarity is symmetric, bounded, and reflexive on non-zero
@@ -69,6 +82,79 @@ proptest! {
             }
         }
         prop_assert!(starts.iter().all(|&s| s == 2));
+    }
+
+    /// The documented f32 slab error bound: every pairwise cosine from
+    /// the quantized slab stays within a small multiple of `dim · ε_f32`
+    /// of the f64 reference, for arbitrary stores.
+    #[test]
+    fn f32_slab_cosine_stays_within_the_documented_bound(
+        data in proptest::collection::vec(-10.0f32..10.0, 2..96),
+        dim in 1usize..12,
+    ) {
+        let store = slab_store(&data, dim);
+        let slab = F32Slab::from_store(&store);
+        for a in 0..store.len() {
+            for b in 0..store.len() {
+                let (a, b) = (EntityId(a as u32), EntityId(b as u32));
+                let exact = store.cosine(a, b);
+                let approx = slab.cosine(a, b);
+                prop_assert!(
+                    (approx - exact).abs() <= 1e-5,
+                    "f32 slab σ({a:?}, {b:?}) = {approx} left the bound around {exact}"
+                );
+            }
+        }
+    }
+
+    /// The documented i8 slab error bound: quantizing each row to 8 bits
+    /// with a per-row scale moves any cosine by at most about
+    /// `4·√dim/254` (each operand's direction shifts by ≤ `√dim/254` of
+    /// its norm), plus slack for second-order terms.
+    #[test]
+    fn i8_slab_cosine_stays_within_the_documented_bound(
+        data in proptest::collection::vec(-10.0f32..10.0, 2..96),
+        dim in 1usize..12,
+    ) {
+        let store = slab_store(&data, dim);
+        let slab = I8Slab::from_store(&store);
+        let bound = 4.0 * (dim as f64).sqrt() / 254.0 + 5e-3;
+        for a in 0..store.len() {
+            for b in 0..store.len() {
+                let (a, b) = (EntityId(a as u32), EntityId(b as u32));
+                let exact = store.cosine(a, b);
+                let approx = slab.cosine(a, b);
+                prop_assert!(
+                    (approx - exact).abs() <= bound,
+                    "i8 slab σ({a:?}, {b:?}) = {approx} left the ±{bound} band around {exact}"
+                );
+            }
+        }
+    }
+
+    /// Batched slab kernels are bit-identical to their scalar forms —
+    /// the same contract `EntitySimilarity::sim_batch` demands, which
+    /// keeps batch- and scalar-computed values cache-compatible.
+    #[test]
+    fn slab_batch_kernels_match_scalar_bitwise(
+        data in proptest::collection::vec(-10.0f32..10.0, 2..96),
+        dim in 1usize..12,
+    ) {
+        let store = slab_store(&data, dim);
+        let f32_slab = F32Slab::from_store(&store);
+        let i8_slab = I8Slab::from_store(&store);
+        let all: Vec<EntityId> = (0..store.len()).map(|i| EntityId(i as u32)).collect();
+        let mut out = vec![0.0f64; all.len()];
+        for &a in &all {
+            f32_slab.cosine_batch(a, &all, &mut out);
+            for (&b, &o) in all.iter().zip(&out) {
+                prop_assert_eq!(o.to_bits(), f32_slab.cosine(a, b).to_bits());
+            }
+            i8_slab.cosine_batch(a, &all, &mut out);
+            for (&b, &o) in all.iter().zip(&out) {
+                prop_assert_eq!(o.to_bits(), i8_slab.cosine(a, b).to_bits());
+            }
+        }
     }
 
     /// Normalization makes all non-zero rows unit length and is idempotent.

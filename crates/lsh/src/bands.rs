@@ -19,8 +19,17 @@ pub fn band_keys(sig: &Signature, config: &LshConfig) -> Vec<u64> {
         config
     );
     (0..config.bands())
-        .map(|b| sig.extract(b * config.band_size, config.band_size))
+        .map(|b| band_key(sig, config, b))
         .collect()
+}
+
+/// The bucket key of one band of `sig` — the allocation-free unit
+/// [`band_keys`] is built from, for probe loops that walk bands one at a
+/// time. Callers are responsible for the signature-length check
+/// [`band_keys`] performs (do it once, not per band).
+#[inline]
+pub fn band_key(sig: &Signature, config: &LshConfig, band: usize) -> u64 {
+    sig.extract(band * config.band_size, config.band_size)
 }
 
 #[cfg(test)]

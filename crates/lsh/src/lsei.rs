@@ -61,6 +61,7 @@ pub trait EntitySigner {
 }
 
 /// Signer over type-pair shingles (the "LSEI for Entity Types" of §6.1).
+#[derive(Clone)]
 pub struct TypeSigner<'a> {
     graph: &'a KnowledgeGraph,
     filter: TypeFilter,
@@ -248,6 +249,19 @@ pub struct Lsei<S> {
     /// time and bumped once per delta mutation, mirroring the lake's own
     /// counter so a persisted index can be checked for staleness.
     epoch: u64,
+}
+
+impl<S: Clone> Clone for Lsei<S> {
+    fn clone(&self) -> Self {
+        Self {
+            signer: self.signer.clone(),
+            mode: self.mode,
+            index: self.index.clone(),
+            postings: self.postings.clone(),
+            n_tables: self.n_tables,
+            epoch: self.epoch,
+        }
+    }
 }
 
 /// The decomposed index, as returned by [`Lsei::parts`]: `(config, mode,

@@ -40,6 +40,10 @@ pub struct Request {
     pub name: Option<String>,
     /// (`add_table`) inline CSV content of the table to ingest.
     pub csv: Option<String>,
+    /// σ kernel for this search: `"f64"` (bit-exact reference, the
+    /// default), `"f32"`, or `"i8"` (quantized slabs). Unknown names are
+    /// rejected with `status: "error"`.
+    pub kernel: Option<String>,
     /// Test hook: hold the request for this long *after* pinning its lake
     /// snapshot and before scoring, while it still occupies an in-flight
     /// slot. Rejected unless the server was built with
@@ -117,6 +121,10 @@ pub struct ServerStats {
     /// Traces promoted to the slow-query log.
     #[serde(default)]
     pub traces_promoted: u64,
+    /// Heap bytes held by quantized σ slabs (0 until a quantized kernel
+    /// builds one).
+    #[serde(default)]
+    pub sigma_slab_bytes: u64,
 }
 
 /// The exemplar attached to one latency bucket: the most recent concrete

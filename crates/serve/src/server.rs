@@ -20,10 +20,12 @@
 //! Every search pins the current [`EpochState`] (lake snapshot +
 //! informativeness + LSEI, all derived from the same epoch) before doing
 //! any work, so mutations committed mid-flight never tear a query.
-//! Mutations commit through the [`EpochLake`] writer path and then rebuild
-//! the derived state; the shared σ memo notices the epoch advance on the
-//! next search and evicts itself (see
-//! [`SharedSimilarityCache`](thetis_core::SharedSimilarityCache)).
+//! Mutations commit through the [`EpochLake`] writer path; the LSEI is
+//! delta-maintained from the previous epoch's index (one
+//! `insert_table`/`remove_table` per mutation, never a rebuild) while the
+//! informativeness weights are recomputed from the new snapshot. The
+//! shared σ memo notices the epoch advance on the next search and evicts
+//! itself (see [`SharedSimilarityCache`](thetis_core::SharedSimilarityCache)).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -37,9 +39,9 @@ use thetis_obs::{PromotionPolicy, QueryTrace};
 
 use thetis_core::{
     EmbeddingCosine, EntitySimilarity, Informativeness, PredicateJaccard, Query, SearchOptions,
-    SharedSimilarityCache, ThetisEngine, TypeJaccard,
+    SharedSimilarityCache, SigmaKernel, ThetisEngine, TypeJaccard,
 };
-use thetis_datalake::{DataLake, EntityLinker, EpochLake, ExactLabelLinker, Mutation};
+use thetis_datalake::{DataLake, EntityLinker, EpochLake, ExactLabelLinker, Mutation, TableId};
 use thetis_embedding::EmbeddingStore;
 use thetis_kg::KnowledgeGraph;
 use thetis_lsh::lsei::{Lsei, LseiMode, TypeSigner};
@@ -94,6 +96,11 @@ pub struct ServerConfig {
     pub threads: usize,
     /// Entity similarity to answer with.
     pub sim: SimKind,
+    /// Default σ kernel for requests that do not name one (requests can
+    /// still override per search via the wire op's `"kernel"` field).
+    /// The matching quantized slab is warmed at boot so the first
+    /// request never pays the one-time build.
+    pub kernel: SigmaKernel,
     /// Honor the `debug_hold_ms` test hook (off for real deployments).
     pub allow_debug: bool,
     /// Time source of every rolling window and rate limiter: monotonic in
@@ -134,6 +141,7 @@ impl Default for ServerConfig {
             k: 10,
             threads: 1,
             sim: SimKind::Types,
+            kernel: SigmaKernel::default(),
             allow_debug: false,
             clock: WindowClock::monotonic(),
             window_slots: thetis_obs::DEFAULT_WINDOW_SLOTS,
@@ -210,9 +218,13 @@ impl Server {
         let sim: Box<dyn EntitySimilarity + Send + Sync + 'static> = match config.sim {
             SimKind::Types => Box::new(TypeJaccard::new(graph)),
             SimKind::Predicates => Box::new(PredicateJaccard::new(graph)),
-            SimKind::Embeddings => Box::new(EmbeddingCosine::new(
-                store.expect("SimKind::Embeddings needs an embedding store"),
-            )),
+            SimKind::Embeddings => {
+                let cos = EmbeddingCosine::new(
+                    store.expect("SimKind::Embeddings needs an embedding store"),
+                );
+                cos.warm(config.kernel);
+                Box::new(cos)
+            }
         };
         let epochs = EpochLake::new(lake);
         let epoch = epochs.epoch();
@@ -284,6 +296,22 @@ impl Server {
         self.epochs.epoch()
     }
 
+    /// Runs `f` over the currently published (delta-maintained) LSEI —
+    /// `None` when [`ServerConfig::use_lsei`] is off. The serve e2e suite
+    /// uses this to assert the live index is equivalent to a from-scratch
+    /// rebuild after mutation commits.
+    pub fn with_lsei<R>(&self, f: impl FnOnce(Option<&Lsei<TypeSigner<'static>>>) -> R) -> R {
+        let state = self.state.read().unwrap_or_else(|e| e.into_inner()).clone();
+        f(state.lsei.as_ref())
+    }
+
+    /// Builds the LSEI from scratch over the current snapshot — the
+    /// rebuild-equivalence oracle the e2e suite compares [`Server::with_lsei`]
+    /// against. Never used on the serving path.
+    pub fn rebuild_lsei(&self) -> Option<Lsei<TypeSigner<'static>>> {
+        Self::derive_state(self.graph, self.epochs.pin(), &self.config).lsei
+    }
+
     /// Whether a `shutdown` request was received.
     pub fn shutdown_requested(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
@@ -313,6 +341,7 @@ impl Server {
             degraded: self.degraded.load(Ordering::Relaxed),
             traces_retained: self.metrics.retainer().recorded(),
             traces_promoted: self.metrics.retainer().promoted(),
+            sigma_slab_bytes: self.sim.slab_bytes() as u64,
         }
     }
 
@@ -496,10 +525,19 @@ impl Server {
             std::thread::sleep(Duration::from_millis(ms));
         }
 
-        let mut options = SearchOptions::top(req.k.map_or(self.config.k, |k| k as usize));
+        let mut options = SearchOptions::top(req.k.map_or(self.config.k, |k| k as usize))
+            .with_kernel(self.config.kernel);
         options.threads = self.config.threads;
         if let Some(ms) = req.deadline_ms {
             options = options.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(name) = req.kernel.as_deref() {
+            let Some(kernel) = SigmaKernel::parse(name) else {
+                return Response::error(format!(
+                    "unknown kernel {name:?} (expected \"f64\", \"f32\", or \"i8\")"
+                ));
+            };
+            options = options.with_kernel(kernel);
         }
         let votes = req.votes.map_or(self.config.votes, |v| v as usize);
 
@@ -627,8 +665,39 @@ impl Server {
     }
 
     fn commit_locked(&self, batch: Vec<Mutation>) -> Response {
+        // Delta-maintain the LSEI: replay the batch on a clone of the
+        // previous epoch's index instead of rebuilding it over the whole
+        // lake. Pre-commit context is captured first — Add ids are assigned
+        // sequentially from the snapshot length, and Remove/Relink need the
+        // outgoing table content to drive de-indexing — because the
+        // snapshot advances once `commit` publishes.
+        let prev = self.state.read().unwrap_or_else(|e| e.into_inner()).clone();
+        let mut lsei = prev.lsei.clone();
+        if let Some(lsei) = lsei.as_mut() {
+            let pre = self.epochs.pin();
+            let mut next_id = pre.len();
+            for m in &batch {
+                match m {
+                    Mutation::Add(table) => {
+                        let id = TableId::from_index(next_id);
+                        next_id += 1;
+                        lsei.insert_table(id, table);
+                    }
+                    Mutation::Remove(id) => lsei.remove_table(*id, pre.table(*id)),
+                    Mutation::Relink(id, new) => lsei.relink_table(*id, pre.table(*id), new),
+                }
+            }
+        }
         let epoch = self.epochs.commit(batch);
-        let state = Self::derive_state(self.graph, self.epochs.pin(), &self.config);
+        let lake = self.epochs.pin();
+        if let Some(lsei) = lsei.as_mut() {
+            // Each incremental op bumped the LSEI epoch once, matching the
+            // lake's per-mutation bump, but re-anchor to the published
+            // epoch so the pair can never drift.
+            lsei.set_epoch(lake.epoch());
+        }
+        let inform = Informativeness::from_lake(&lake);
+        let state = EpochState { lake, inform, lsei };
         *self.state.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(state);
         self.metrics.observe_mutation();
         if thetis_obs::enabled() {

@@ -313,6 +313,99 @@ fn protocol_errors_are_answered_not_fatal() {
     running.shutdown();
 }
 
+/// Canonical form of an LSEI for equivalence checks: epoch, n_tables,
+/// per-band sorted buckets (sorted contents), sorted postings. Bucket
+/// *order* within a band and posting-map iteration order are
+/// implementation noise; everything else must match a rebuild exactly.
+type LseiCanon = (u64, usize, Vec<Vec<(u64, Vec<u32>)>>, Vec<(u32, Vec<u32>)>);
+
+fn canonicalize(lsei: &Lsei<TypeSigner<'_>>) -> LseiCanon {
+    let (_cfg, _mode, index, postings, n_tables, epoch) = lsei.parts();
+    let buckets = index
+        .groups()
+        .iter()
+        .map(|group| {
+            let mut band: Vec<(u64, Vec<u32>)> = group
+                .iter()
+                .map(|(&key, items)| {
+                    let mut items = items.clone();
+                    items.sort_unstable();
+                    (key, items)
+                })
+                .collect();
+            band.sort_unstable();
+            band
+        })
+        .collect();
+    let mut posts: Vec<(u32, Vec<u32>)> = postings
+        .iter()
+        .map(|(&e, tids)| (e.0, tids.iter().map(|t| t.0).collect()))
+        .collect();
+    posts.sort_unstable();
+    (epoch, n_tables, buckets, posts)
+}
+
+#[test]
+fn delta_maintained_lsei_matches_a_rebuild_after_mutations() {
+    let (running, specs) = start(ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    });
+    let addr = running.addr();
+    let server: Arc<Server> = Arc::clone(running.server());
+
+    let assert_matches_rebuild = |when: &str| {
+        let rebuilt = server.rebuild_lsei().expect("use_lsei is on");
+        server.with_lsei(|live| {
+            let live = live.expect("use_lsei is on");
+            assert_eq!(
+                canonicalize(live),
+                canonicalize(&rebuilt),
+                "delta-maintained LSEI diverged from rebuild {when}"
+            );
+        });
+    };
+    assert_matches_rebuild("at the initial epoch");
+
+    // Ingest a table whose cells link to real KG entities (query specs are
+    // entity labels), so the delta path exercises posting growth *and*
+    // first-time entity signing — not just the unlinked-cell no-op.
+    let labels: Vec<&str> = specs[0].split([',', ';']).collect();
+    let mut add = Request::op("add_table");
+    add.name = Some("delta_linked".into());
+    add.csv = Some(format!("linked_col\n{}\n", labels.join("\n")));
+    assert!(send(addr, &add).is_ok());
+    assert_matches_rebuild("after add_table (linked entities)");
+
+    // An all-unlinked table still advances the epoch and must stay
+    // equivalent (no postings change, n_tables grows).
+    let mut add2 = Request::op("add_table");
+    add2.name = Some("delta_unlinked".into());
+    add2.csv = Some("col_a,col_b\nalpha,beta\n".into());
+    assert!(send(addr, &add2).is_ok());
+    assert_matches_rebuild("after add_table (unlinked)");
+
+    // Remove a seed table: postings shrink and entities left table-less
+    // must be evicted from the band buckets, exactly as a rebuild would.
+    let (_, lake, _) = demo_world();
+    let mut remove = Request::op("remove_table");
+    remove.name = Some(lake.tables()[0].name.clone());
+    assert!(send(addr, &remove).is_ok());
+    assert_matches_rebuild("after remove_table");
+
+    // And remove the table we just added, round-tripping the delta insert.
+    let mut remove2 = Request::op("remove_table");
+    remove2.name = Some("delta_linked".into());
+    assert!(send(addr, &remove2).is_ok());
+    assert_matches_rebuild("after removing the delta-added table");
+
+    // Searches over the delta-maintained index answer normally.
+    let resp = send(addr, &Request::search(&specs[0]));
+    assert!(resp.is_ok(), "search after deltas failed: {resp:?}");
+    assert_eq!(resp.epoch, Some(server.epoch()));
+    running.shutdown();
+}
+
 #[test]
 fn shutdown_request_stops_the_accept_loop() {
     let (running, _) = start(ServerConfig::default());

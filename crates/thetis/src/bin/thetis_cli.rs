@@ -22,6 +22,7 @@ struct Args {
     query: Vec<String>,
     k: usize,
     sim: String,
+    kernel: SigmaKernel,
     token_linking: bool,
     use_lsh: bool,
     votes: usize,
@@ -72,6 +73,11 @@ options:
   --sim types|predicates|embeddings
                          entity similarity (default types; embeddings
                          trains RDF2Vec on the KG first, parallel)
+  --kernel f64|f32|i8    sigma kernel for embedding similarity: f64 is the
+                         bit-exact reference (default); f32 and i8 score
+                         from quantized SoA slabs (vectorized, ~2x faster
+                         sigma; non-embedding sims are exact under every
+                         kernel)
   --token-linking        link cells by token overlap (default exact label)
   --lsh                  prefilter with the LSEI (30,10)
   --votes N              LSEI voting threshold       (default 1)
@@ -143,6 +149,7 @@ fn parse_args() -> Result<Args, String> {
         query: Vec::new(),
         k: 10,
         sim: "types".into(),
+        kernel: SigmaKernel::default(),
         token_linking: false,
         use_lsh: false,
         votes: 1,
@@ -237,6 +244,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--sim" => {
                 args.sim = take(&argv, i, "--sim")?;
+                i += 2;
+            }
+            "--kernel" => {
+                let name = take(&argv, i, "--kernel")?;
+                args.kernel = SigmaKernel::parse(&name)
+                    .ok_or_else(|| format!("--kernel must be f64, f32 or i8, got {name:?}"))?;
                 i += 2;
             }
             "--votes" => {
@@ -574,7 +587,13 @@ fn run() -> Result<(), String> {
     let sim: Box<dyn EntitySimilarity + '_> = match args.sim.as_str() {
         "types" => Box::new(TypeJaccard::new(&graph)),
         "predicates" => Box::new(PredicateJaccard::new(&graph)),
-        "embeddings" => Box::new(EmbeddingCosine::new(store.as_ref().expect("trained above"))),
+        "embeddings" => {
+            let cos = EmbeddingCosine::new(store.as_ref().expect("trained above"));
+            // Build the quantized slab up front so the first query does not
+            // pay for it inside its sigma timings.
+            cos.warm(args.kernel);
+            Box::new(cos)
+        }
         other => {
             return Err(format!(
                 "unknown similarity {other:?} (types|predicates|embeddings)"
@@ -582,7 +601,7 @@ fn run() -> Result<(), String> {
         }
     };
     let engine = ThetisEngine::new(&graph, &lake, sim);
-    let mut options = SearchOptions::top(args.k);
+    let mut options = SearchOptions::top(args.k).with_kernel(args.kernel);
     if let Some(ms) = args.deadline_ms {
         options = options.with_deadline(std::time::Duration::from_millis(ms));
     }
@@ -739,6 +758,7 @@ fn run_serve(args: &Args, graph: KnowledgeGraph, lake: DataLake) -> Result<(), S
         votes: args.votes,
         k: args.k,
         sim,
+        kernel: args.kernel,
         // Test hook, deliberately not a flag: lets the e2e suite hold a
         // request in flight to exercise saturation and epoch pinning.
         allow_debug: std::env::var_os("THETIS_SERVE_DEBUG").is_some(),
