@@ -40,9 +40,21 @@ const TARGET_QPS: f64 = 200.0;
 /// Concurrent client connections.
 const CLIENTS: usize = 4;
 
+/// Mutations per server in the WAL-overhead microbench.
+const WAL_BENCH_MUTATIONS: usize = 24;
+
 /// Client-observed request latency (send to response line).
 static OBS_CLIENT_LATENCY: thetis::obs::Histogram =
     thetis::obs::Histogram::new("serve.client_latency");
+
+/// Client-observed mutation commit latency without a journal.
+static OBS_MUTATION_WAL_OFF: thetis::obs::Histogram =
+    thetis::obs::Histogram::new("serve.mutation_commit_wal_off");
+
+/// Client-observed mutation commit latency with write-ahead journaling
+/// (append + fsync before publish).
+static OBS_MUTATION_WAL_ON: thetis::obs::Histogram =
+    thetis::obs::Histogram::new("serve.mutation_commit_wal_on");
 
 #[derive(Serialize)]
 struct ServeSummary {
@@ -58,6 +70,9 @@ struct ServeSummary {
     phase2_mean_sigma_hit_rate: f64,
     server_cache_hit_rate: f64,
     server_cache_invalidations: u64,
+    mutation_commit_wal_off_us: f64,
+    mutation_commit_wal_on_us: f64,
+    wal_overhead_ratio: f64,
 }
 
 struct Outcome {
@@ -172,8 +187,11 @@ pub fn run(ctx: &Ctx) -> String {
                 let specs = &specs;
                 let offsets = &offsets;
                 scope.spawn(move || {
+                    // Retry with backoff: all clients dial at once, and an
+                    // externally started server (CI) may still be binding.
                     let mut stream =
-                        TcpStream::connect(addr.as_str()).expect("connect benchmark client");
+                        connect_with_retry(addr, Instant::now() + Duration::from_secs(30))
+                            .expect("connect benchmark client");
                     let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
                     let mut got = Vec::new();
                     for i in (client..TOTAL_REQUESTS).step_by(CLIENTS) {
@@ -247,6 +265,17 @@ pub fn run(ctx: &Ctx) -> String {
         running.shutdown();
     }
 
+    // WAL overhead microbench: the same mutation stream against a
+    // journal-off and a journal-on server, client-observed commit
+    // latency. Journaled commits pay one append + fsync per mutation and
+    // must stay O(table) — a blowup here means the journal started
+    // rewriting the corpus.
+    let (wal_off_us, wal_on_us) = mutation_commit_bench();
+    let wal_ratio = wal_on_us / wal_off_us.max(1e-9);
+    eprintln!(
+        "[serve] mutation commit: {wal_off_us:.0}us wal-off, {wal_on_us:.0}us wal-on (x{wal_ratio:.2})"
+    );
+
     let ok = outcomes
         .iter()
         .filter(|o| o.as_ref().is_some_and(|o| o.ok))
@@ -301,9 +330,12 @@ pub fn run(ctx: &Ctx) -> String {
         phase2_mean_sigma_hit_rate: phase2_hit_rate,
         server_cache_hit_rate: stats.as_ref().map_or(0.0, |s| s.cache_hit_rate),
         server_cache_invalidations: stats.as_ref().map_or(0, |s| s.cache_invalidations),
+        mutation_commit_wal_off_us: wal_off_us,
+        mutation_commit_wal_on_us: wal_on_us,
+        wal_overhead_ratio: wal_ratio,
     };
     let line = format!(
-        "serve: {}/{} ok ({} shed), {:.0} req/s achieved, p50 {}us p99 {}us, warm sigma hit rate {:.2}, {window_samples} window sample(s)",
+        "serve: {}/{} ok ({} shed), {:.0} req/s achieved, p50 {}us p99 {}us, warm sigma hit rate {:.2}, wal commit x{:.2}, {window_samples} window sample(s)",
         summary.ok,
         summary.requests,
         summary.overloaded,
@@ -311,28 +343,92 @@ pub fn run(ctx: &Ctx) -> String {
         summary.p50_micros,
         summary.p99_micros,
         summary.phase2_mean_sigma_hit_rate,
+        summary.wal_overhead_ratio,
     );
     ctx.write_json(&format!("serve_summary{}", ctx.thread_suffix()), &summary);
     println!("{line}");
     line
 }
 
+/// Connects with capped exponential backoff (25ms doubling to 1s) until
+/// the overall deadline, then returns the last connect error. Deflakes
+/// the CI race where the bench dials before the background server binds.
+fn connect_with_retry(addr: &str, deadline: Instant) -> std::io::Result<TcpStream> {
+    let mut backoff = Duration::from_millis(25);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(backoff.min(deadline - now));
+                backoff = (backoff * 2).min(Duration::from_secs(1));
+            }
+        }
+    }
+}
+
 /// Polls an external server until it accepts connections (CI starts the
 /// binary in the background; the LSEI build takes a moment).
 fn wait_for_server(addr: &str) {
     let deadline = Instant::now() + Duration::from_secs(60);
-    loop {
-        match TcpStream::connect(addr) {
-            Ok(_) => return,
-            Err(e) => {
-                assert!(
-                    Instant::now() < deadline,
-                    "server at {addr} never came up: {e}"
-                );
-                std::thread::sleep(Duration::from_millis(250));
-            }
-        }
+    if let Err(e) = connect_with_retry(addr, deadline) {
+        panic!("server at {addr} never came up: {e}");
     }
+}
+
+/// The WAL-on vs WAL-off mutation commit microbench: two in-process demo
+/// servers take [`WAL_BENCH_MUTATIONS`] identical `add_table` commits
+/// each; returns the mean client-observed commit latency (µs) per mode.
+/// Checkpointing is disabled so the journaled side measures exactly the
+/// write-ahead cost: encode + append + fsync before publish.
+fn mutation_commit_bench() -> (f64, f64) {
+    let run = |wal: Option<std::path::PathBuf>, hist: &thetis::obs::Histogram| -> f64 {
+        let bench = Benchmark::build(&BenchmarkConfig::tiny(BenchmarkKind::Wt2015));
+        let graph = bench.kg.graph;
+        let mut lake = bench.lake;
+        ExactLabelLinker::new(&graph).link_lake(&mut lake);
+        let server = thetis::serve::Server::new(
+            graph,
+            lake,
+            None,
+            thetis::serve::ServerConfig {
+                threads: 1,
+                wal,
+                checkpoint_every: 0,
+                checkpoint_interval: Duration::ZERO,
+                ..Default::default()
+            },
+        );
+        let running = thetis::serve::serve(server).expect("bind loopback server");
+        let addr = running.addr().to_string();
+        let mut total_ns = 0u64;
+        for i in 0..WAL_BENCH_MUTATIONS {
+            let mut req = Request::op("add_table");
+            req.name = Some(format!("wal_bench_t{i}"));
+            req.csv = Some(format!("col_a,col_b\nv{i},w{i}\n"));
+            let sent = Instant::now();
+            let resp = send_one(&addr, &req).expect("mutation response");
+            assert!(resp.is_ok(), "bench mutation failed: {resp:?}");
+            let ns = sent.elapsed().as_nanos() as u64;
+            hist.observe_nanos(ns);
+            total_ns += ns;
+        }
+        running.shutdown();
+        total_ns as f64 / WAL_BENCH_MUTATIONS as f64 / 1_000.0
+    };
+
+    let off = run(None, &OBS_MUTATION_WAL_OFF);
+    let journal =
+        std::env::temp_dir().join(format!("thetis-serve-bench-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_file(journal.with_extension("ckpt"));
+    let on = run(Some(journal.clone()), &OBS_MUTATION_WAL_ON);
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_file(journal.with_extension("ckpt"));
+    (off, on)
 }
 
 /// Fetches the server's stats counters, best-effort.

@@ -71,6 +71,24 @@ impl DataLake {
         Self::default()
     }
 
+    /// Rebuilds a lake from a checkpoint image: the full table vector
+    /// (tombstones included, so ids never shift), the tombstone set, and
+    /// the epoch the image described. Postings and digests are rebuilt
+    /// eagerly — a rebuild over the tombstoned table vector reproduces
+    /// the delta state exactly (the invariant `incremental.rs` proves) —
+    /// and the epoch is pinned to the recorded value afterwards, since
+    /// the rebuild itself bumps it.
+    pub fn from_snapshot(
+        tables: Vec<Table>,
+        removed: impl IntoIterator<Item = TableId>,
+        epoch: LakeEpoch,
+    ) -> Self {
+        let mut lake = Self::from_tables(tables);
+        lake.removed = removed.into_iter().collect();
+        lake.pin_epoch(epoch);
+        lake
+    }
+
     /// Builds a lake from tables, computing postings eagerly.
     pub fn from_tables(tables: Vec<Table>) -> Self {
         let mut lake = Self {
@@ -280,6 +298,13 @@ impl DataLake {
     #[inline]
     pub fn is_removed(&self, id: TableId) -> bool {
         self.removed.contains(&id)
+    }
+
+    /// All tombstoned ids in ascending order (the checkpoint writer
+    /// persists these: tombstones alone cannot distinguish a removed
+    /// table from one that merely has no rows yet).
+    pub fn removed_ids(&self) -> impl Iterator<Item = TableId> + '_ {
+        self.removed.iter().copied()
     }
 
     /// The current generation. Bumped once per successful mutation or

@@ -22,6 +22,7 @@ pub mod linking;
 pub mod stats;
 pub mod table;
 pub mod value;
+pub mod wal;
 
 pub use digest::{ColumnDigest, LinkedRow, TableDigest};
 pub use epoch::{EpochLake, Mutation};
@@ -30,3 +31,7 @@ pub use linking::{EntityLinker, ExactLabelLinker, LinkStats, NoisyLinker, TokenL
 pub use stats::LakeStats;
 pub use table::{Table, TableId};
 pub use value::CellValue;
+pub use wal::{
+    apply_replay, checkpoint_epoch, read_checkpoint, write_checkpoint, ReplayOutcome, Wal,
+    WalRecord, WalReplay,
+};

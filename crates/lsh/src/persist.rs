@@ -404,6 +404,39 @@ mod tests {
         }
     }
 
+    /// Every single-bit corruption confined to the epoch field (bytes
+    /// 17..25 of the TLI3 header) must fail closed via the checksum. A
+    /// flipped epoch that decoded "successfully" would restore a snapshot
+    /// claiming the wrong lake generation — the staleness check downstream
+    /// would then trust a lie — so none of the 64 flips may be accepted.
+    #[test]
+    fn epoch_field_bit_flips_fail_closed() {
+        let (g, lake, _) = fixture();
+        let cfg = LshConfig::new(32, 8);
+        let mut original = build_fixture_lsei(&g, &lake, cfg);
+        // A mid-range epoch: flips can both raise and lower the value, and
+        // every byte of the u64 carries at least one set or clear bit that
+        // a flip changes meaningfully.
+        original.set_epoch(0x0123_4567_89AB_CDEF);
+        let pristine = lsei_to_bytes(&original).to_vec();
+        // magic(4) + num_vectors(4) + band_size(4) + mode(1) + n_tables(4).
+        const EPOCH_OFFSET: usize = 17;
+        let restored = decode(pristine.clone(), &g, cfg).unwrap();
+        assert_eq!(restored.epoch(), 0x0123_4567_89AB_CDEF);
+        for byte in EPOCH_OFFSET..EPOCH_OFFSET + 8 {
+            for bit in 0..8 {
+                let mut corrupt = pristine.clone();
+                corrupt[byte] ^= 1 << bit;
+                let err = expect_err(decode(corrupt, &g, cfg));
+                assert!(
+                    err.contains("checksum"),
+                    "epoch flip at byte {byte} bit {bit} must be a checksum \
+                     failure, not a silently wrong epoch: {err}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn epoch_survives_the_roundtrip() {
         let (g, lake, _) = fixture();

@@ -1,7 +1,9 @@
 //! Deterministic fault injection (failpoints) for chaos testing.
 //!
 //! Production code threads named failpoints through its I/O and compute
-//! paths (`lsei.read`, `lsei.write`, `sigma`, `embedding.missing`); a
+//! paths (`lsei.read`, `lsei.write`, `sigma`, `embedding.missing`, and the
+//! durability layer's `wal.append`, `wal.fsync`, `wal.checkpoint`,
+//! `wal.replay`); a
 //! chaos test — or an operator reproducing an incident — arms a
 //! [`FaultPlan`] and every subsequent [`check`] call decides *
 //! deterministically* whether that site fires, from the plan seed, the

@@ -59,7 +59,7 @@ pub use report::{
     lint_prometheus_text, sparkline, CounterSnapshot, HistogramSnapshot, Report, SpanSnapshot,
     SPARKS,
 };
-pub use retain::{read_slowlog, PromotionPolicy, RetainedTrace, TraceRetainer};
+pub use retain::{read_slowlog, PromotionPolicy, RetainedTrace, Slowlog, TraceRetainer};
 pub use rolling::{
     Exemplar, RollingCounter, RollingHistogram, WindowClock, WindowedHistogram,
     DEFAULT_SLOT_DURATION, DEFAULT_WINDOW_SLOTS,

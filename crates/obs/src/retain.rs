@@ -360,22 +360,45 @@ impl TraceRetainer {
     }
 }
 
+/// A parsed slow-query log: the traces in append order, plus whether a
+/// torn trailing record had to be skipped.
+#[derive(Debug)]
+pub struct Slowlog {
+    /// Every trace that parsed, in append order.
+    pub traces: Vec<RetainedTrace>,
+    /// Torn trailing records skipped (0 or 1: only the final record can
+    /// legitimately be torn — the log is append-only, one `write` per
+    /// line, so a crash can damage at most the last one).
+    pub torn_skipped: usize,
+}
+
 /// Reads and parses a slow-query log file, in append order. Blank lines
-/// are skipped; a malformed line is an error naming its line number.
-pub fn read_slowlog(path: &Path) -> Result<Vec<RetainedTrace>, String> {
+/// are skipped. A malformed *final* record — the signature of a crash
+/// mid-append — is skipped and counted in [`Slowlog::torn_skipped`]
+/// instead of making the whole log unreadable; a malformed line anywhere
+/// *before* the end is still an error naming its line number, because
+/// mid-file damage is corruption, not a torn append.
+pub fn read_slowlog(path: &Path) -> Result<Slowlog, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let mut out = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .collect();
+    let mut traces = Vec::new();
+    let mut torn_skipped = 0;
+    for (pos, &(i, line)) in lines.iter().enumerate() {
+        match RetainedTrace::parse_json_line(line) {
+            Ok(t) => traces.push(t),
+            Err(_) if pos + 1 == lines.len() => torn_skipped = 1,
+            Err(e) => return Err(format!("{}:{}: {e}", path.display(), i + 1)),
         }
-        out.push(
-            RetainedTrace::parse_json_line(line)
-                .map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?,
-        );
     }
-    Ok(out)
+    Ok(Slowlog {
+        traces,
+        torn_skipped,
+    })
 }
 
 #[cfg(test)]
@@ -468,14 +491,61 @@ mod tests {
         retainer.record(sample(3, 300, Some("latency")));
         assert_eq!(retainer.promoted(), 2);
         let logged = read_slowlog(&path).expect("slowlog parses");
-        assert_eq!(logged.len(), 2, "only promoted traces persist");
-        assert_eq!(logged[0].query_id, 2);
-        assert_eq!(logged[1].query_id, 3);
-        assert_eq!(logged[1].promoted_by.as_deref(), Some("latency"));
+        assert_eq!(logged.traces.len(), 2, "only promoted traces persist");
+        assert_eq!(logged.torn_skipped, 0);
+        assert_eq!(logged.traces[0].query_id, 2);
+        assert_eq!(logged.traces[1].query_id, 3);
+        assert_eq!(logged.traces[1].promoted_by.as_deref(), Some("latency"));
         // Append mode: a new retainer on the same path keeps history.
         let again = TraceRetainer::with_slowlog(8, &path).expect("reopen");
         again.record(sample(4, 400, Some("fault")));
-        assert_eq!(read_slowlog(&path).unwrap().len(), 3);
+        assert_eq!(read_slowlog(&path).unwrap().traces.len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_slowlog_record_is_skipped_not_fatal() {
+        let dir = std::env::temp_dir().join(format!(
+            "thetis-obs-torn-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slowlog.jsonl");
+        let mut text = String::new();
+        text.push_str(&sample(1, 100, Some("degraded")).to_json_line());
+        text.push('\n');
+        text.push_str(&sample(2, 200, Some("latency")).to_json_line());
+        text.push('\n');
+        // A crash mid-append: the last record is a prefix of a line.
+        let torn = sample(3, 300, Some("fault")).to_json_line();
+        text.push_str(&torn[..torn.len() / 2]);
+        std::fs::write(&path, &text).unwrap();
+        let log = read_slowlog(&path).expect("torn tail must not poison the log");
+        assert_eq!(log.traces.len(), 2);
+        assert_eq!(log.torn_skipped, 1);
+        assert_eq!(log.traces[1].query_id, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_file_slowlog_corruption_still_errors() {
+        let dir = std::env::temp_dir().join(format!(
+            "thetis-obs-midcorrupt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slowlog.jsonl");
+        let mut text = String::new();
+        text.push_str("{\"garbage\": tru\n");
+        text.push_str(&sample(2, 200, Some("latency")).to_json_line());
+        text.push('\n');
+        std::fs::write(&path, &text).unwrap();
+        let err = read_slowlog(&path).unwrap_err();
+        assert!(err.contains(":1:"), "error names the corrupt line: {err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

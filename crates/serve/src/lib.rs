@@ -36,4 +36,6 @@ pub mod server;
 
 pub use metrics::ServeMetrics;
 pub use protocol::{HealthStatus, Hit, MetricsSnapshot, Request, Response, ServerStats};
-pub use server::{parse_query_spec, serve, RunningServer, Server, ServerConfig, SimKind};
+pub use server::{
+    parse_query_spec, serve, RecoveryReport, RunningServer, Server, ServerConfig, SimKind,
+};

@@ -125,6 +125,36 @@ pub struct ServerStats {
     /// builds one).
     #[serde(default)]
     pub sigma_slab_bytes: u64,
+    /// Whether mutations are journaled to a write-ahead log.
+    #[serde(default)]
+    pub wal_enabled: bool,
+    /// Mutation records durably appended since boot.
+    #[serde(default)]
+    pub wal_records: u64,
+    /// Current journal size, bytes (header included).
+    #[serde(default)]
+    pub wal_bytes: u64,
+    /// Journal records replayed at boot recovery.
+    #[serde(default)]
+    pub wal_replayed: u64,
+    /// Torn/corrupt journal bytes truncated at boot recovery.
+    #[serde(default)]
+    pub wal_torn_bytes: u64,
+    /// Checkpoints durably written since boot.
+    #[serde(default)]
+    pub checkpoints: u64,
+    /// Consecutive checkpoint failures since the last success (0 when
+    /// healthy; any non-zero value degrades the health verdict).
+    #[serde(default)]
+    pub checkpoint_failures: u64,
+    /// Epoch of the last durable checkpoint (the boot epoch until one is
+    /// written).
+    #[serde(default)]
+    pub checkpoint_epoch: u64,
+    /// Mutations journaled since the last durable checkpoint (what a
+    /// crash right now would have to replay).
+    #[serde(default)]
+    pub mutations_since_checkpoint: u64,
 }
 
 /// The exemplar attached to one latency bucket: the most recent concrete
@@ -221,6 +251,23 @@ pub struct MetricsSnapshot {
     pub epoch: u64,
     /// Seconds since the server started.
     pub uptime_s: f64,
+    /// Whether mutations are journaled to a write-ahead log.
+    #[serde(default)]
+    pub wal_enabled: bool,
+    /// Seconds since the last durable checkpoint (since boot until one is
+    /// written; 0.0 when the WAL is off). Scrape this: a growing age with
+    /// a busy mutation window means recovery time is growing too.
+    #[serde(default)]
+    pub checkpoint_age_s: f64,
+    /// Mutations journaled since the last durable checkpoint.
+    #[serde(default)]
+    pub mutations_since_checkpoint: u64,
+    /// Checkpoints durably written since boot.
+    #[serde(default)]
+    pub checkpoints: u64,
+    /// Consecutive checkpoint failures since the last success.
+    #[serde(default)]
+    pub checkpoint_failures: u64,
 }
 
 /// The `health` op's verdict.

@@ -41,6 +41,7 @@ use thetis_core::{
     EmbeddingCosine, EntitySimilarity, Informativeness, PredicateJaccard, Query, SearchOptions,
     SharedSimilarityCache, SigmaKernel, ThetisEngine, TypeJaccard,
 };
+use thetis_datalake::wal::{Wal, WalRecord};
 use thetis_datalake::{DataLake, EntityLinker, EpochLake, ExactLabelLinker, Mutation, TableId};
 use thetis_embedding::EmbeddingStore;
 use thetis_kg::KnowledgeGraph;
@@ -127,6 +128,22 @@ pub struct ServerConfig {
     /// requests (the CLI turns this on; tests that shed on purpose leave
     /// it off).
     pub trouble_log: bool,
+    /// Journal every mutation to this write-ahead log, fsync'd before the
+    /// commit publishes, and recover `checkpoint + replay` at boot. The
+    /// checkpoint lives next to the journal (same stem, `.ckpt`
+    /// extension). `None` = in-memory only (mutations die with the
+    /// process).
+    pub wal: Option<PathBuf>,
+    /// Checkpoint after this many journaled mutations (0 = only on the
+    /// time interval and at shutdown).
+    pub checkpoint_every: u64,
+    /// Also checkpoint when the last one is older than this, measured on
+    /// the injected clock and checked on the mutation path
+    /// (`Duration::ZERO` disables the time trigger).
+    pub checkpoint_interval: Duration,
+    /// How long a graceful drain waits for in-flight searches before the
+    /// final checkpoint.
+    pub drain_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -152,8 +169,43 @@ impl Default for ServerConfig {
             metrics_out: None,
             metrics_interval: Duration::from_secs(5),
             trouble_log: false,
+            wal: None,
+            checkpoint_every: 64,
+            checkpoint_interval: Duration::from_secs(300),
+            drain_deadline: Duration::from_secs(5),
         }
     }
+}
+
+/// What boot-time crash recovery found and did. All zeroes/`None` when
+/// the server starts without a WAL, or with a fresh one.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Whether a WAL is configured at all.
+    pub wal_enabled: bool,
+    /// Epoch of the checkpoint the recovery started from (`None`: no
+    /// checkpoint yet — the freshly loaded lake was the base).
+    pub checkpoint_epoch: Option<u64>,
+    /// Journal records replayed onto the base.
+    pub replayed: u64,
+    /// Journal records skipped because the checkpoint already contained
+    /// them (a crash between checkpoint rename and journal rotation).
+    pub skipped: u64,
+    /// Whether a torn/corrupt journal tail was truncated.
+    pub torn: bool,
+    /// Bytes that truncation dropped.
+    pub dropped_bytes: u64,
+    /// The epoch the server recovered to (== the published boot epoch).
+    pub recovered_epoch: u64,
+}
+
+/// The durable side of the server: the open journal and where its
+/// checkpoint lives. One mutex guards both — appends are already
+/// serialized by the mutate lock, but `stats` reads the journal length
+/// from other threads.
+struct Durability {
+    wal: Wal,
+    checkpoint: PathBuf,
 }
 
 /// Everything derived from one lake epoch, swapped atomically as a unit so
@@ -187,6 +239,24 @@ pub struct Server {
     last_trouble_ns: AtomicU64,
     started: Instant,
     shutdown: AtomicBool,
+    /// Durable journal + checkpoint path; `None` without `--wal`.
+    durability: Option<Mutex<Durability>>,
+    /// What boot-time recovery found (all-default without a WAL).
+    recovery: RecoveryReport,
+    /// Set by [`Server::drain`]: stop admitting searches and mutations.
+    draining: AtomicBool,
+    /// Mutation records durably appended since boot.
+    wal_appends: AtomicU64,
+    /// Checkpoints durably written since boot.
+    checkpoints: AtomicU64,
+    /// Consecutive checkpoint failures since the last success.
+    checkpoint_failures: AtomicU64,
+    /// Mutations journaled since the last durable checkpoint.
+    mutations_since_checkpoint: AtomicU64,
+    /// Epoch of the last durable checkpoint (boot epoch until one lands).
+    checkpoint_epoch: AtomicU64,
+    /// Injected-clock reading at the last durable checkpoint (or boot).
+    checkpoint_ns: AtomicU64,
 }
 
 /// Decrements the in-flight counter even when a search panics.
@@ -213,6 +283,48 @@ impl Server {
         store: Option<EmbeddingStore>,
         config: ServerConfig,
     ) -> Arc<Self> {
+        Self::recover(graph, lake, store, config)
+            .expect("server boot failed")
+            .0
+    }
+
+    /// Builds a server with crash recovery: when [`ServerConfig::wal`] is
+    /// set, the published boot state is `last checkpoint + journal
+    /// replay` (with any torn tail truncated), not the passed-in `lake` —
+    /// that is only the base for a journal that predates the first
+    /// checkpoint, so it must be loaded the same way every boot.
+    ///
+    /// Fails (never panics) on unrecoverable durability damage: a corrupt
+    /// checkpoint (the checkpoint writer is atomic and read-back
+    /// verified, so damage means storage rot an operator must see) or a
+    /// journal that does not belong to this base.
+    pub fn recover(
+        graph: KnowledgeGraph,
+        mut lake: DataLake,
+        store: Option<EmbeddingStore>,
+        config: ServerConfig,
+    ) -> Result<(Arc<Self>, RecoveryReport), String> {
+        let mut report = RecoveryReport::default();
+        let durability = match &config.wal {
+            None => None,
+            Some(path) => {
+                report.wal_enabled = true;
+                let checkpoint = path.with_extension("ckpt");
+                if checkpoint.exists() {
+                    let recovered = thetis_datalake::read_checkpoint(&checkpoint)?;
+                    report.checkpoint_epoch = Some(recovered.epoch());
+                    lake = recovered;
+                }
+                let (wal, replay) = Wal::recover(path)?;
+                report.torn = replay.torn;
+                report.dropped_bytes = replay.dropped_bytes;
+                let outcome = thetis_datalake::apply_replay(&mut lake, &replay.records)?;
+                report.replayed = outcome.applied;
+                report.skipped = outcome.skipped;
+                Some(Mutex::new(Durability { wal, checkpoint }))
+            }
+        };
+        report.recovered_epoch = lake.epoch();
         let graph: &'static KnowledgeGraph = Box::leak(Box::new(graph));
         let store: Option<&'static EmbeddingStore> = store.map(|s| &*Box::leak(Box::new(s)));
         let sim: Box<dyn EntitySimilarity + Send + Sync + 'static> = match config.sim {
@@ -238,7 +350,8 @@ impl Server {
             config.promotion,
         )
         .expect("cannot open the slow-query log");
-        Arc::new(Self {
+        let boot_ns = config.clock.now_ns();
+        let server = Arc::new(Self {
             graph,
             sim,
             cache: SharedSimilarityCache::new(epoch, config.cache_shards, config.cache_capacity),
@@ -255,7 +368,17 @@ impl Server {
             last_trouble_ns: AtomicU64::new(u64::MAX),
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
-        })
+            durability,
+            recovery: report.clone(),
+            draining: AtomicBool::new(false),
+            wal_appends: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            checkpoint_failures: AtomicU64::new(0),
+            mutations_since_checkpoint: AtomicU64::new(0),
+            checkpoint_epoch: AtomicU64::new(report.checkpoint_epoch.unwrap_or(epoch)),
+            checkpoint_ns: AtomicU64::new(boot_ns),
+        });
+        Ok((server, report))
     }
 
     /// Builds the per-epoch derived state: informativeness weights and
@@ -342,7 +465,25 @@ impl Server {
             traces_retained: self.metrics.retainer().recorded(),
             traces_promoted: self.metrics.retainer().promoted(),
             sigma_slab_bytes: self.sim.slab_bytes() as u64,
+            wal_enabled: self.durability.is_some(),
+            wal_records: self.wal_appends.load(Ordering::Relaxed),
+            wal_bytes: self
+                .durability
+                .as_ref()
+                .map_or(0, |d| d.lock().unwrap_or_else(|e| e.into_inner()).wal.len()),
+            wal_replayed: self.recovery.replayed,
+            wal_torn_bytes: self.recovery.dropped_bytes,
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            checkpoint_failures: self.checkpoint_failures.load(Ordering::Relaxed),
+            checkpoint_epoch: self.checkpoint_epoch.load(Ordering::Relaxed),
+            mutations_since_checkpoint: self.mutations_since_checkpoint.load(Ordering::Relaxed),
         }
+    }
+
+    /// What boot-time crash recovery found and did (all-default without
+    /// a WAL).
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
     }
 
     /// The server's rolling-window metrics core (tests reach the trace
@@ -364,6 +505,19 @@ impl Server {
         snap.cache_hit_rate = cache.stats().hit_rate();
         snap.epoch = self.epochs.epoch();
         snap.uptime_s = self.started.elapsed().as_secs_f64();
+        snap.wal_enabled = self.durability.is_some();
+        snap.checkpoint_age_s = if self.durability.is_some() {
+            self.config
+                .clock
+                .now_ns()
+                .saturating_sub(self.checkpoint_ns.load(Ordering::Relaxed)) as f64
+                / 1e9
+        } else {
+            0.0
+        };
+        snap.mutations_since_checkpoint = self.mutations_since_checkpoint.load(Ordering::Relaxed);
+        snap.checkpoints = self.checkpoints.load(Ordering::Relaxed);
+        snap.checkpoint_failures = self.checkpoint_failures.load(Ordering::Relaxed);
         snap
     }
 
@@ -375,6 +529,28 @@ impl Server {
         let inflight = self.inflight.load(Ordering::Relaxed);
         let mut reasons = Vec::new();
         let mut status = "ready";
+        // Stale-WAL rungs: a journal growing far past the checkpoint
+        // policy, or a checkpoint path that is failing outright, means
+        // recovery time is growing unboundedly — degraded, so operators
+        // see it long before a crash makes it a recovery-time problem.
+        if self.durability.is_some() {
+            let failures = self.checkpoint_failures.load(Ordering::Relaxed);
+            if failures > 0 {
+                status = "degraded";
+                reasons.push(format!(
+                    "{failures} consecutive checkpoint failure(s); journal not rotated"
+                ));
+            }
+            let since = self.mutations_since_checkpoint.load(Ordering::Relaxed);
+            let every = self.config.checkpoint_every;
+            if every > 0 && since >= every.saturating_mul(2) {
+                status = "degraded";
+                reasons.push(format!(
+                    "checkpoint overdue: {since} journaled mutation(s) since the last one \
+                     (policy: every {every})"
+                ));
+            }
+        }
         let window_degraded = self.metrics.window_degraded();
         if window_degraded > 0 {
             status = "degraded";
@@ -476,6 +652,17 @@ impl Server {
     }
 
     fn handle_search(&self, req: &Request) -> Response {
+        // A draining server admits nothing new; in-flight searches finish.
+        if self.draining.load(Ordering::Acquire) {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            self.metrics.observe_shed();
+            if thetis_obs::enabled() {
+                OBS_SHED.inc();
+            }
+            let mut resp = Response::overloaded();
+            resp.error = Some("server is draining; connection closing".into());
+            return resp;
+        }
         // Admission control: claim an in-flight slot or shed immediately.
         // fetch_add-then-check keeps the fast path one atomic; the guard
         // releases the slot on every exit path, panics included.
@@ -665,6 +852,9 @@ impl Server {
     }
 
     fn commit_locked(&self, batch: Vec<Mutation>) -> Response {
+        if self.draining.load(Ordering::Acquire) {
+            return Response::error("server is draining; mutation rejected");
+        }
         // Delta-maintain the LSEI: replay the batch on a clone of the
         // previous epoch's index instead of rebuilding it over the whole
         // lake. Pre-commit context is captured first — Add ids are assigned
@@ -688,6 +878,32 @@ impl Server {
                 }
             }
         }
+        // WRITE-AHEAD: the whole batch is journaled and fsync'd *before*
+        // the commit publishes, one record per mutation carrying the
+        // epoch it will produce. A journal failure (I/O or injected
+        // `wal.append`/`wal.fsync` fault) fails the mutation closed: the
+        // journal rolled itself back, nothing publishes, the client sees
+        // an error — an epoch a client ever observed is always on disk.
+        let n_mutations = batch.len() as u64;
+        if let Some(dur) = &self.durability {
+            let pre_epoch = self.epochs.epoch();
+            let records: Vec<WalRecord> = batch
+                .iter()
+                .enumerate()
+                .map(|(i, m)| WalRecord {
+                    epoch: pre_epoch + i as u64 + 1,
+                    mutation: m.clone(),
+                })
+                .collect();
+            let mut dur = dur.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(e) = dur.wal.append_batch(&records) {
+                self.log_trouble(|| {
+                    format!("thetis-serve trouble: event=wal_append_failed error={e:?}")
+                });
+                return Response::error(format!("mutation not journaled (lake unchanged): {e}"));
+            }
+            self.wal_appends.fetch_add(n_mutations, Ordering::Relaxed);
+        }
         let epoch = self.epochs.commit(batch);
         let lake = self.epochs.pin();
         if let Some(lsei) = lsei.as_mut() {
@@ -703,12 +919,116 @@ impl Server {
         if thetis_obs::enabled() {
             OBS_MUTATIONS.inc();
         }
+        self.maybe_checkpoint(n_mutations);
         // The shared memo is invalidated lazily: the next search pinning
         // the new epoch evicts it through `for_epoch`.
         Response {
             status: "ok".into(),
             epoch: Some(epoch),
             ..Response::default()
+        }
+    }
+
+    /// Checkpoint policy, evaluated after every commit (mutate lock
+    /// held): every N journaled mutations, or when the last checkpoint is
+    /// older than the configured interval.
+    fn maybe_checkpoint(&self, n_mutations: u64) {
+        if self.durability.is_none() {
+            return;
+        }
+        let since = self
+            .mutations_since_checkpoint
+            .fetch_add(n_mutations, Ordering::Relaxed)
+            + n_mutations;
+        let due_count = self.config.checkpoint_every > 0 && since >= self.config.checkpoint_every;
+        let interval_ns = self.config.checkpoint_interval.as_nanos() as u64;
+        let age_ns = self
+            .config
+            .clock
+            .now_ns()
+            .saturating_sub(self.checkpoint_ns.load(Ordering::Relaxed));
+        let due_age = interval_ns > 0 && age_ns >= interval_ns;
+        if due_count || due_age {
+            let _ = self.checkpoint("periodic");
+        }
+    }
+
+    /// Takes a durable checkpoint of the *published* snapshot and rotates
+    /// the journal. Failure is contained — the mutation that triggered it
+    /// already committed and is journaled; an unrotated journal only
+    /// costs replay time at next boot — but it is counted, logged, and
+    /// degrades the health verdict until a checkpoint succeeds again.
+    ///
+    /// Caller must hold the mutate lock (checkpoint and commit must not
+    /// interleave); the serving path does, [`Server::drain`] takes it.
+    fn checkpoint(&self, cause: &str) -> Result<u64, String> {
+        let Some(dur) = &self.durability else {
+            return Err("no WAL configured".into());
+        };
+        let lake = self.epochs.pin();
+        let mut dur = dur.lock().unwrap_or_else(|e| e.into_inner());
+        match thetis_datalake::write_checkpoint(&lake, &dur.checkpoint) {
+            Ok(()) => {
+                // A crash between the rename above and this rotation is
+                // safe: replay skips records the checkpoint already has.
+                if let Err(e) = dur.wal.rotate() {
+                    self.log_trouble(|| {
+                        format!("thetis-serve trouble: event=wal_rotate_failed error={e:?}")
+                    });
+                }
+                self.checkpoints.fetch_add(1, Ordering::Relaxed);
+                self.checkpoint_failures.store(0, Ordering::Relaxed);
+                self.mutations_since_checkpoint.store(0, Ordering::Relaxed);
+                self.checkpoint_epoch.store(lake.epoch(), Ordering::Relaxed);
+                self.checkpoint_ns
+                    .store(self.config.clock.now_ns(), Ordering::Relaxed);
+                Ok(lake.epoch())
+            }
+            Err(e) => {
+                self.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+                self.log_trouble(|| {
+                    format!(
+                        "thetis-serve trouble: event=checkpoint_failed cause={cause} error={e:?}"
+                    )
+                });
+                Err(e)
+            }
+        }
+    }
+
+    /// Whether [`Server::drain`] has started: no new searches or
+    /// mutations are admitted.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Graceful drain (idempotent): stop admitting, wait for in-flight
+    /// searches up to [`ServerConfig::drain_deadline`], then take a final
+    /// checkpoint and rotate the journal. The accept loop runs this after
+    /// shutdown, so [`RunningServer::join`]/[`RunningServer::shutdown`]
+    /// return only once the final checkpoint is durable; a `kill -9`
+    /// skips it by construction and recovery falls back to the journal.
+    pub fn drain(&self) {
+        if self.draining.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let deadline = Instant::now() + self.config.drain_deadline;
+        while self.inflight.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if let Some(dur) = &self.durability {
+            let _mutating = self.mutate.lock().unwrap_or_else(|e| e.into_inner());
+            // Skip the write when it would change nothing: no mutations
+            // since the last checkpoint and the checkpoint file exists.
+            let dirty = self.mutations_since_checkpoint.load(Ordering::Relaxed) > 0
+                || !dur
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .checkpoint
+                    .exists();
+            if dirty {
+                let _ = self.checkpoint("shutdown");
+            }
         }
     }
 }
@@ -798,22 +1118,29 @@ pub fn serve(server: Arc<Server>) -> std::io::Result<RunningServer> {
     let accept_server = Arc::clone(&server);
     let acceptor = std::thread::Builder::new()
         .name("thetis-serve-accept".into())
-        .spawn(move || loop {
-            if accept_server.shutdown_requested() {
-                break;
-            }
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    let conn_server = Arc::clone(&accept_server);
-                    let _ = std::thread::Builder::new()
-                        .name("thetis-serve-conn".into())
-                        .spawn(move || handle_connection(conn_server, stream));
+        .spawn(move || {
+            loop {
+                if accept_server.shutdown_requested() {
+                    break;
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let conn_server = Arc::clone(&accept_server);
+                        let _ = std::thread::Builder::new()
+                            .name("thetis-serve-conn".into())
+                            .spawn(move || handle_connection(conn_server, stream));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
                 }
-                Err(_) => break,
             }
+            // `shutdown` is a graceful drain: stop admitting, let
+            // in-flight requests finish up to the drain deadline, land
+            // the final checkpoint — all before `join`/`shutdown`
+            // return, so the process can exit the moment they do.
+            accept_server.drain();
         })?;
     let metrics_writer = match server.config.metrics_out.clone() {
         Some(path) => {

@@ -139,7 +139,9 @@ fn slowlog_captures_exactly_the_troubled_requests() {
 
     // The slow-query log holds exactly the two troubled requests, each
     // with its full trace and the rung that promoted it.
-    let promoted = thetis_obs::read_slowlog(&slowlog).unwrap();
+    let log = thetis_obs::read_slowlog(&slowlog).unwrap();
+    assert_eq!(log.torn_skipped, 0, "a clean shutdown never tears the log");
+    let promoted = log.traces;
     let mut got: Vec<u64> = promoted.iter().map(|t| t.query_id).collect();
     got.sort_unstable();
     let mut want = vec![fault_qid, deadline_qid];

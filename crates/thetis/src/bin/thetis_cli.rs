@@ -46,6 +46,8 @@ struct Args {
     max_inflight: Option<usize>,
     cache_capacity: Option<usize>,
     serve_slowlog: Option<PathBuf>,
+    serve_wal: Option<PathBuf>,
+    checkpoint_every: Option<u64>,
     metrics_interval_s: Option<u64>,
     slowlog_file: Option<PathBuf>,
     limit: usize,
@@ -107,6 +109,13 @@ options:
                          sigma memo, 0 = unbounded  (default 1048576)
   --slowlog FILE         (serve) append promoted slow-query traces to FILE
                          as JSONL (render later with `thetis-cli slowlog`)
+  --wal FILE             (serve) journal every mutation to FILE before it
+                         is published and recover from FILE (plus its
+                         .ckpt checkpoint sibling) at boot; a torn journal
+                         tail is truncated, never fatal
+  --checkpoint-every N   (serve) checkpoint the lake and rotate the
+                         journal every N journaled mutations (default 64;
+                         0 disables the count trigger)
   --metrics-interval-s N (serve) seconds between --metrics-out snapshot
                          writes                     (default 5)
   --interval-ms N        (top) refresh interval     (default 1000)
@@ -173,6 +182,8 @@ fn parse_args() -> Result<Args, String> {
         max_inflight: None,
         cache_capacity: None,
         serve_slowlog: None,
+        serve_wal: None,
+        checkpoint_every: None,
         metrics_interval_s: None,
         slowlog_file: None,
         limit: 10,
@@ -338,6 +349,18 @@ fn parse_args() -> Result<Args, String> {
             }
             "--slowlog" => {
                 args.serve_slowlog = Some(PathBuf::from(take(&argv, i, "--slowlog")?));
+                i += 2;
+            }
+            "--wal" => {
+                args.serve_wal = Some(PathBuf::from(take(&argv, i, "--wal")?));
+                i += 2;
+            }
+            "--checkpoint-every" => {
+                args.checkpoint_every = Some(
+                    take(&argv, i, "--checkpoint-every")?
+                        .parse()
+                        .map_err(|_| "--checkpoint-every needs an integer".to_string())?,
+                );
                 i += 2;
             }
             "--metrics-interval-s" => {
@@ -763,6 +786,7 @@ fn run_serve(args: &Args, graph: KnowledgeGraph, lake: DataLake) -> Result<(), S
         // request in flight to exercise saturation and epoch pinning.
         allow_debug: std::env::var_os("THETIS_SERVE_DEBUG").is_some(),
         slowlog: args.serve_slowlog.clone(),
+        wal: args.serve_wal.clone(),
         metrics_out: args.metrics_out.clone(),
         // Operators get the rate-limited trouble lines on stderr; library
         // and test embeddings leave them off.
@@ -778,8 +802,24 @@ fn run_serve(args: &Args, graph: KnowledgeGraph, lake: DataLake) -> Result<(), S
     if let Some(s) = args.metrics_interval_s {
         config.metrics_interval = std::time::Duration::from_secs(s.max(1));
     }
+    if let Some(n) = args.checkpoint_every {
+        config.checkpoint_every = n;
+    }
     eprintln!("building LSEI and informativeness weights...");
-    let server = Server::new(graph, lake, store, config);
+    let (server, recovery) = Server::recover(graph, lake, store, config)?;
+    if recovery.wal_enabled {
+        eprintln!(
+            "recovered epoch {} (checkpoint {}, replayed {} record(s), \
+             skipped {}, dropped {} torn byte(s))",
+            recovery.recovered_epoch,
+            recovery
+                .checkpoint_epoch
+                .map_or_else(|| "none".to_string(), |e| format!("epoch {e}")),
+            recovery.replayed,
+            recovery.skipped,
+            recovery.dropped_bytes,
+        );
+    }
     let running =
         thetis::serve::serve(server).map_err(|e| format!("cannot bind {}: {e}", args.addr))?;
     eprintln!(
@@ -790,6 +830,13 @@ fn run_serve(args: &Args, graph: KnowledgeGraph, lake: DataLake) -> Result<(), S
     );
     if let Some(path) = &args.serve_slowlog {
         eprintln!("slow-query log: {}", path.display());
+    }
+    if let Some(path) = &args.serve_wal {
+        eprintln!(
+            "mutation journal: {} (checkpoint every {} mutation(s))",
+            path.display(),
+            running.server().config().checkpoint_every,
+        );
     }
     if let Some(path) = &args.metrics_out {
         eprintln!(
@@ -935,8 +982,15 @@ fn run_top(args: &Args) -> Result<(), String> {
 /// timing waterfall.
 fn run_slowlog(args: &Args) -> Result<(), String> {
     let path = args.slowlog_file.as_ref().expect("validated");
-    let traces = thetis::obs::read_slowlog(path)
+    let log = thetis::obs::read_slowlog(path)
         .map_err(|e| format!("cannot read slowlog {}: {e}", path.display()))?;
+    if log.torn_skipped > 0 {
+        eprintln!(
+            "note: skipped {} torn trailing record(s) (crash mid-append)",
+            log.torn_skipped
+        );
+    }
+    let traces = log.traces;
     if traces.is_empty() {
         eprintln!("slowlog {} is empty", path.display());
         return Ok(());

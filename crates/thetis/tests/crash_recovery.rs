@@ -1,0 +1,235 @@
+//! The kill -9 acceptance test of the durability layer, against the real
+//! `thetis-cli` binary: a journaled server takes acknowledged mutations
+//! under concurrent search load, dies by SIGKILL (no drain, no final
+//! checkpoint — the on-disk journal tail is all that survives), and a
+//! restart over the same `--wal` path recovers to the last acknowledged
+//! epoch with searches bit-identical to the never-crashed server's own
+//! pre-crash answers at that epoch.
+//!
+//! With `THETIS_CRASH_ARTIFACTS=DIR` set (the CI crash-recovery job does),
+//! the journal, checkpoint, and the recovery's stderr trace are copied to
+//! DIR for artifact upload.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::{mpsc, Arc, Mutex};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_thetis-cli"))
+}
+
+/// The demo world's suggested query, scraped from the resolver hint.
+fn suggested_demo_query() -> String {
+    let probe = cli()
+        .args(["--demo", "--query", "zzz-not-an-entity"])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&probe.stderr);
+    stderr
+        .split("Try --query \"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("demo prints a suggested query")
+        .to_string()
+}
+
+/// A spawned demo server: the child process, its bound address, and its
+/// accumulated stderr lines (the drainer thread keeps the pipe open for
+/// the server's whole life).
+struct ServerUnderTest {
+    child: Child,
+    addr: String,
+    stderr: Arc<Mutex<Vec<String>>>,
+}
+
+fn spawn_server(wal: &Path) -> ServerUnderTest {
+    let mut child = cli()
+        .args([
+            "serve",
+            "--demo",
+            "--addr",
+            "127.0.0.1:0",
+            "--wal",
+            wal.to_str().unwrap(),
+            "--checkpoint-every",
+            "3",
+        ])
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let child_err = child.stderr.take().unwrap();
+    let stderr = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&stderr);
+    let (addr_tx, addr_rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(child_err).lines() {
+            let line = line.unwrap_or_default();
+            if let Some(rest) = line.strip_prefix("serving on ") {
+                let _ = addr_tx.send(rest.split_whitespace().next().unwrap_or("").to_string());
+            }
+            sink.lock().unwrap().push(line);
+        }
+    });
+    let addr = addr_rx
+        .recv_timeout(std::time::Duration::from_secs(120))
+        .expect("server prints its bound address");
+    ServerUnderTest {
+        child,
+        addr,
+        stderr,
+    }
+}
+
+/// One raw JSON request line over its own connection; returns the parsed
+/// response (the vendored serde_json has no `json!` macro, so requests
+/// are formatted by hand as in the CLI suite).
+fn send(addr: &str, request: &str) -> serde_json::Value {
+    let mut stream = TcpStream::connect(addr).expect("connect to server");
+    stream.write_all(request.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).unwrap();
+    serde_json::from_str(&reply).expect("valid response JSON")
+}
+
+/// Ranked `(table, score_bits)` pairs plus the answering epoch.
+fn search_bits(addr: &str, query: &str) -> (u64, Vec<(u64, u64)>) {
+    let query_json = serde_json::to_string(query).unwrap();
+    let resp = send(addr, &format!("{{\"query\":{query_json}}}"));
+    assert_eq!(
+        resp.get("status").and_then(|v| v.as_str()),
+        Some("ok"),
+        "{resp:?}"
+    );
+    let epoch = resp.get("epoch").and_then(|v| v.as_u64()).expect("epoch");
+    let bits = resp
+        .get("ranked")
+        .and_then(|v| v.as_array())
+        .expect("ranked array")
+        .iter()
+        .map(|hit| {
+            (
+                hit.get("table").and_then(|v| v.as_u64()).unwrap(),
+                hit.get("score_bits").and_then(|v| v.as_u64()).unwrap(),
+            )
+        })
+        .collect();
+    (epoch, bits)
+}
+
+fn temp_wal() -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("thetis-crash-recovery-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(path.with_extension("ckpt"));
+    path
+}
+
+#[test]
+fn kill_minus_nine_recovers_to_the_last_acknowledged_epoch() {
+    let query = suggested_demo_query();
+    let wal = temp_wal();
+
+    // Victim server: journaled, checkpointing every 3 mutations.
+    let mut victim = spawn_server(&wal);
+
+    // Background search load for the whole mutation phase, so the kill
+    // lands on a busy server, not an idle one.
+    let (stop_tx, stop_rx) = mpsc::channel::<()>();
+    let load = {
+        let addr = victim.addr.clone();
+        let query = query.clone();
+        std::thread::spawn(move || {
+            let query_json = serde_json::to_string(&query).unwrap();
+            let line = format!("{{\"query\":{query_json}}}");
+            while stop_rx.try_recv().is_err() {
+                let _ = send(&addr, &line);
+            }
+        })
+    };
+
+    // Five acknowledged mutations: the third one crosses the checkpoint
+    // boundary, so the journal holds a checkpoint plus two records.
+    let mut last_epoch = 0;
+    for i in 0..5 {
+        let resp = send(
+            &victim.addr,
+            &format!(
+                "{{\"op\":\"add_table\",\"name\":\"crash_t{i}\",\
+                 \"csv\":\"col_a,col_b\\nv{i},w{i}\\n\"}}"
+            ),
+        );
+        assert_eq!(
+            resp.get("status").and_then(|v| v.as_str()),
+            Some("ok"),
+            "{resp:?}"
+        );
+        last_epoch = resp.get("epoch").and_then(|v| v.as_u64()).expect("epoch");
+    }
+
+    // The never-crashed reference at the last acknowledged epoch: the
+    // victim's own answers, taken before it dies.
+    let (ref_epoch, ref_bits) = search_bits(&victim.addr, &query);
+    assert_eq!(ref_epoch, last_epoch);
+    assert!(!ref_bits.is_empty(), "reference ranking must be non-empty");
+
+    let _ = stop_tx.send(());
+    load.join().unwrap();
+
+    // kill -9: SIGKILL, no drain, no final checkpoint, journal mid-life.
+    victim.child.kill().expect("SIGKILL the server");
+    let status = victim.child.wait().expect("server reaped");
+    assert!(!status.success(), "SIGKILL is not a clean exit");
+
+    // Restart over the same journal.
+    let mut revived = spawn_server(&wal);
+    let recovery_line = revived
+        .stderr
+        .lock()
+        .unwrap()
+        .iter()
+        .find(|l| l.starts_with("recovered epoch"))
+        .cloned()
+        .expect("recovery must report itself on stderr");
+    assert!(
+        recovery_line.starts_with(&format!("recovered epoch {last_epoch} ")),
+        "wrong recovered epoch: {recovery_line}"
+    );
+
+    let (got_epoch, got_bits) = search_bits(&revived.addr, &query);
+    assert_eq!(got_epoch, last_epoch, "recovery lost acknowledged epochs");
+    assert_eq!(
+        got_bits, ref_bits,
+        "recovered ranking diverged from the never-crashed reference"
+    );
+    let stats = send(&revived.addr, "{\"op\":\"stats\"}");
+    assert_eq!(
+        stats
+            .get("stats")
+            .and_then(|s| s.get("wal_replayed"))
+            .and_then(|v| v.as_u64()),
+        Some(2),
+        "two records past the checkpoint must replay: {stats:?}"
+    );
+
+    // CI artifact drop: journal + checkpoint + the recovery trace.
+    if let Ok(dir) = std::env::var("THETIS_CRASH_ARTIFACTS") {
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let _ = std::fs::copy(&wal, dir.join("journal.wal"));
+        let _ = std::fs::copy(wal.with_extension("ckpt"), dir.join("journal.ckpt"));
+        let trace = revived.stderr.lock().unwrap().join("\n");
+        std::fs::write(dir.join("recovery-trace.txt"), trace).unwrap();
+    }
+
+    // Graceful shutdown this time: drain + final checkpoint.
+    let resp = send(&revived.addr, "{\"op\":\"shutdown\"}");
+    assert_eq!(resp.get("status").and_then(|v| v.as_str()), Some("ok"));
+    let status = revived.child.wait().expect("server exits");
+    assert!(status.success(), "graceful shutdown exited nonzero");
+
+    let _ = std::fs::remove_file(&wal);
+    let _ = std::fs::remove_file(wal.with_extension("ckpt"));
+}
